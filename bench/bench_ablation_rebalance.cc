@@ -1,0 +1,129 @@
+// Ablation: subgraph rebalancing (the paper's §IV-E proposal).
+//
+// TDSP's frontier wave leaves late-reached partitions idle (Fig. 7a/7b).
+// This bench runs TDSP on CARN at 6 partitions, feeds the observed
+// utilization into planRebalance(), applies the plan and reruns, reporting
+// imbalance, edge cut, and modelled time before vs after — the
+// "improvement vs rebalancing cost" tradeoff the paper describes.
+#include <sstream>
+
+#include "algorithms/tdsp.h"
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+#include "core/rebalance.h"
+#include "generators/topology.h"
+#include "partition/partitioner.h"
+
+namespace {
+
+using namespace tsg;
+using namespace tsg::bench;
+
+struct Observed {
+  double modelled_sec = 0;
+  double imbalance = 0;
+  double min_compute_share = 1.0;
+};
+
+Observed observe(const PartitionedGraph& pg,
+                 const TimeSeriesCollection& collection,
+                 std::size_t latency_attr, RunStats* stats_out) {
+  DirectInstanceProvider provider(pg, collection);
+  TdspOptions options;
+  options.source = 0;
+  options.latency_attr = latency_attr;
+  options.while_mode = true;
+  const auto run = runTdsp(pg, provider, options);
+
+  Observed obs;
+  obs.modelled_sec = nsToSec(run.exec.stats.modelledParallelNs());
+  const auto util = run.exec.stats.partitionUtilization();
+  double max_compute = 0;
+  double total_compute = 0;
+  for (const auto& u : util) {
+    const auto compute = static_cast<double>(u.compute_ns);
+    max_compute = std::max(max_compute, compute);
+    total_compute += compute;
+    obs.min_compute_share = std::min(obs.min_compute_share,
+                                     u.computeFraction());
+  }
+  obs.imbalance = total_compute == 0
+                      ? 1.0
+                      : max_compute * static_cast<double>(util.size()) /
+                            total_compute;
+  if (stats_out != nullptr) {
+    *stats_out = run.exec.stats;
+  }
+  return obs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchConfig config = parseArgs(argc, argv);
+  constexpr std::uint32_t kPartitions = 6;
+
+  auto tmpl = makeTemplate(GraphKind::kCarn, WorkloadKind::kRoad, config);
+  const auto collection =
+      makeCollection(tmpl, WorkloadKind::kRoad, GraphKind::kCarn, config);
+  const std::size_t latency_attr =
+      tmpl->edgeSchema().requireIndex(kLatencyAttr);
+
+  // Placement that exhibits §IV-E's situation: contiguous BFS regions (so
+  // the TDSP wave reaches some partitions late -> skewed load) with MORE
+  // regions than partitions, folded 2:1 (so every partition owns at least
+  // two subgraphs and has a movable tail). A plain BFS placement would give
+  // one monolithic subgraph per partition with nothing to move — exactly
+  // the paper's observation that "the large subgraphs could be broken up".
+  // Interleaved fold (r mod k): paired regions are spatially far apart
+  // (farthest-point seeding), so they stay separate subgraphs.
+  const BfsPartitioner region_grower(config.seed + 7);
+  auto assignment = region_grower.assign(*tmpl, kPartitions * 8);
+  for (auto& p : assignment) {
+    p %= kPartitions;
+  }
+  auto pg_result = PartitionedGraph::build(tmpl, assignment, kPartitions);
+  TSG_CHECK(pg_result.isOk());
+  const auto pg = std::move(pg_result).value();
+
+  RunStats observed_stats(kPartitions);
+  const auto before = observe(pg, collection, latency_attr, &observed_stats);
+
+  auto plan_result = planRebalance(pg, observed_stats);
+  TSG_CHECK(plan_result.isOk());
+  const auto& plan = plan_result.value();
+
+  auto pg_after_result =
+      PartitionedGraph::build(tmpl, plan.new_assignment, kPartitions);
+  TSG_CHECK(pg_after_result.isOk());
+  const auto after =
+      observe(pg_after_result.value(), collection, latency_attr, nullptr);
+
+  TextTable table({"placement", "modelled (s)", "compute imbalance",
+                   "min compute share", "edge cut %"});
+  table.addRow({"original", TextTable::fmtDouble(before.modelled_sec, 3),
+                TextTable::fmtDouble(before.imbalance, 2),
+                TextTable::fmtPercent(before.min_compute_share, 1),
+                TextTable::fmtPercent(plan.cut_fraction_before, 2)});
+  table.addRow({"rebalanced", TextTable::fmtDouble(after.modelled_sec, 3),
+                TextTable::fmtDouble(after.imbalance, 2),
+                TextTable::fmtPercent(after.min_compute_share, 1),
+                TextTable::fmtPercent(plan.cut_fraction_after, 2)});
+
+  std::ostringstream out;
+  out << "=== Ablation: subgraph rebalancing (paper §IV-E), TDSP on CARN, "
+         "folded-region placement, 6 partitions (scale="
+      << config.scale_percent << "%) ===\n"
+      << table.render() << "plan: " << plan.moves.size()
+      << " subgraph moves; predicted imbalance "
+      << TextTable::fmtDouble(plan.imbalance_before, 2) << " -> "
+      << TextTable::fmtDouble(plan.imbalance_after, 2) << "\n"
+      << "expected shape: compute imbalance drops and the most idle "
+         "partition's compute share rises after rebalancing, at a small "
+         "edge-cut cost; algorithm results remain identical (verified by "
+         "tests). Modelled-time deltas at bench scale are within run noise "
+         "— the paper's point is utilization, not wall-clock.\n\n";
+  emit(config, "ablation_rebalance", out.str());
+  return 0;
+}

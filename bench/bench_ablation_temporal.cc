@@ -1,0 +1,83 @@
+// Ablation: temporal concurrency for the independent / eventually dependent
+// patterns. The paper observes (§IV-B) that HASH could be "pleasingly
+// parallelized" across timesteps but GoFFish did not exploit it — our
+// engine implements both modes, so this bench quantifies the improvement
+// the paper leaves on the table.
+//
+// Expected: with temporal concurrency, HASH and TopN wall-clock approach
+// (serial wall / min(timesteps, workers)) on a multi-core host; on this
+// single-core host wall-clock stays flat but the mode is exercised and the
+// per-timestep work distribution is reported.
+#include <sstream>
+
+#include "algorithms/hashtag.h"
+#include "algorithms/topn.h"
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+#include "generators/topology.h"
+
+namespace {
+
+using namespace tsg;
+using namespace tsg::bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchConfig config = parseArgs(argc, argv);
+  constexpr std::uint32_t kPartitions = 6;
+
+  const auto ds =
+      openDataset(GraphKind::kWiki, WorkloadKind::kTweet, kPartitions,
+                  config);
+  const auto& pg = ds.partitionedGraph();
+  const std::size_t tweets_attr =
+      pg.graphTemplate().vertexSchema().requireIndex(kTweetsAttr);
+
+  TextTable table({"algo", "temporal mode", "wall (s)", "modelled (s)",
+                   "supersteps"});
+  for (const auto mode :
+       {TemporalMode::kSerial, TemporalMode::kConcurrent}) {
+    const std::string mode_name =
+        mode == TemporalMode::kSerial ? "serial (paper)" : "concurrent";
+    {
+      auto provider = ds.makeProvider();
+      HashtagOptions options;
+      options.tweets_attr = tweets_attr;
+      options.temporal_mode = mode;
+      const auto run = runHashtagAggregation(pg, *provider, options);
+      table.addRow({"HASH", mode_name,
+                    TextTable::fmtDouble(
+                        nsToSec(run.exec.stats.wallClockNs()), 3),
+                    TextTable::fmtDouble(
+                        nsToSec(run.exec.stats.modelledParallelNs()), 3),
+                    std::to_string(run.exec.stats.totalSupersteps())});
+    }
+    {
+      auto provider = ds.makeProvider();
+      TopNOptions options;
+      options.tweets_attr = tweets_attr;
+      options.n = 10;
+      options.temporal_mode = mode;
+      const auto run = runTopActiveVertices(pg, *provider, options);
+      table.addRow({"TopN", mode_name,
+                    TextTable::fmtDouble(
+                        nsToSec(run.exec.stats.wallClockNs()), 3),
+                    TextTable::fmtDouble(
+                        nsToSec(run.exec.stats.modelledParallelNs()), 3),
+                    std::to_string(run.exec.stats.totalSupersteps())});
+    }
+  }
+
+  std::ostringstream out;
+  out << "=== Ablation: temporal concurrency for independent/eventually "
+         "dependent patterns (WIKI, 6 partitions, scale="
+      << config.scale_percent << "%) ===\n"
+      << table.render()
+      << "note: this host has one core, so concurrent-mode wall-clock gains "
+         "appear only on multi-core machines; results are verified "
+         "identical across modes by the test suite\n\n";
+  emit(config, "ablation_temporal", out.str());
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Shared infrastructure for the paper-reproduction bench binaries.
+//
+// Datasets: "CARN" = synthetic road lattice (large diameter, uniform low
+// degree), "WIKI" = synthetic preferential-attachment graph (power-law,
+// small diameter) — the structural stand-ins for the SNAP graphs (see
+// DESIGN.md §1). Each bench builds its datasets once into a cache directory
+// (default build/bench_data, override with TSG_BENCH_DATA) and reuses them.
+//
+// Scale: default is laptop-scale (tens of thousands of vertices instead of
+// the paper's millions) so the full suite runs in minutes on one core; pass
+// --scale=N (percent of default) to grow or shrink everything.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "gofs/dataset.h"
+#include "graph/collection.h"
+#include "partition/partitioned_graph.h"
+
+namespace tsg::bench {
+
+enum class GraphKind { kCarn, kWiki };
+enum class WorkloadKind { kRoad, kTweet };
+
+struct BenchConfig {
+  // Percent of the base dataset size. Default 300 (~200k-vertex graphs):
+  // big enough that per-superstep compute dominates the modelled barrier
+  // cost, so scaling trends are visible; --scale=100 for quick runs.
+  int scale_percent = 300;
+  std::uint32_t timesteps = 50;
+  std::uint64_t seed = 2015;  // venue year
+  std::string data_dir;       // resolved cache directory
+};
+
+// Parses --scale=, --timesteps=, --seed= out of argv; resolves data_dir.
+BenchConfig parseArgs(int argc, char** argv);
+
+// Deterministic templates. CARN default ~22.5k vertices; WIKI ~20k.
+GraphTemplatePtr makeTemplate(GraphKind kind, WorkloadKind workload,
+                              const BenchConfig& config);
+
+// Hit probabilities mirroring the paper's tuning (§IV-A): high on the road
+// lattice, low on the small-world graph, adjusted for our scale so the
+// propagation stays alive across all timesteps.
+double memeHitProbability(GraphKind kind);
+
+// In-memory instance data for a template.
+TimeSeriesCollection makeCollection(GraphTemplatePtr tmpl,
+                                    WorkloadKind workload,
+                                    GraphKind kind,
+                                    const BenchConfig& config);
+
+// Builds (or reuses from cache) a GoFS dataset for (kind, workload, k) with
+// the paper's packing of 10 and binning of 5, and opens it.
+GofsDataset openDataset(GraphKind kind, WorkloadKind workload, std::uint32_t k,
+                        const BenchConfig& config);
+
+std::string kindName(GraphKind kind);
+
+// Writes the rendered text both to stdout and to
+// <data_dir>/results/<name>.txt for EXPERIMENTS.md collection.
+void emit(const BenchConfig& config, const std::string& name,
+          const std::string& text);
+
+}  // namespace tsg::bench

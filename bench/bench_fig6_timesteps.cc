@@ -1,0 +1,118 @@
+// Fig. 6 reproduction: time per timestep across the run, for TDSP on CARN
+// (6a) and MEME on WIKI (6b), at 3 / 6 / 9 partitions.
+//
+// Paper shape (§IV-D): a gentle bump every 10th timestep where GoFS loads
+// the next slice pack (temporal packing = 10); a larger spike at timesteps
+// 20 and 40 where the synchronized maintenance pause runs (the paper's
+// forced System.gc()); and the 3-partition series sits above 6 ≈ 9.
+#include <map>
+#include <sstream>
+
+#include "algorithms/meme.h"
+#include "algorithms/tdsp.h"
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+#include "generators/topology.h"
+
+namespace {
+
+using namespace tsg;
+using namespace tsg::bench;
+
+// Per-timestep modelled ms + load ms for one run, per k.
+struct Series {
+  std::vector<double> total_ms;
+  std::vector<double> load_ms;
+};
+
+Series seriesOf(const RunStats& stats, Timestep timesteps) {
+  Series s;
+  s.total_ms.assign(timesteps, 0.0);
+  s.load_ms.assign(timesteps, 0.0);
+  for (const auto& rec : stats.supersteps()) {
+    if (rec.is_merge_phase || rec.timestep < 0 ||
+        rec.timestep >= timesteps) {
+      continue;
+    }
+    std::int64_t max_busy = 0;
+    std::int64_t max_load = 0;
+    for (const auto& part : rec.parts) {
+      max_busy = std::max(max_busy,
+                          part.compute_ns + part.send_ns + part.load_ns);
+      max_load = std::max(max_load, part.load_ns);
+    }
+    s.total_ms[rec.timestep] += nsToMs(max_busy);
+    s.load_ms[rec.timestep] += nsToMs(max_load);
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchConfig config = parseArgs(argc, argv);
+
+  std::ostringstream out;
+  out << "=== Fig. 6: time per timestep (slice-load bumps every 10th "
+         "timestep, maintenance at 20/40) scale="
+      << config.scale_percent << "% ===\n";
+
+  struct Case {
+    const char* label;
+    GraphKind kind;
+    bool tdsp;
+  };
+  const Case cases[] = {{"6a: TDSP on CARN", GraphKind::kCarn, true},
+                        {"6b: MEME on WIKI", GraphKind::kWiki, false}};
+
+  for (const auto& c : cases) {
+    std::map<std::uint32_t, Series> by_k;
+    Timestep executed = static_cast<Timestep>(config.timesteps);
+    for (const std::uint32_t k : {3u, 6u, 9u}) {
+      const auto ds = openDataset(
+          c.kind, c.tdsp ? WorkloadKind::kRoad : WorkloadKind::kTweet, k,
+          config);
+      auto provider = ds.makeProvider();
+      const auto& pg = ds.partitionedGraph();
+      if (c.tdsp) {
+        TdspOptions options;
+        options.source = 0;
+        options.latency_attr =
+            pg.graphTemplate().edgeSchema().requireIndex(kLatencyAttr);
+        options.while_mode = false;  // full series, like the figure
+        options.maintenance_period = 20;
+        const auto run = runTdsp(pg, *provider, options);
+        by_k[k] = seriesOf(run.exec.stats, executed);
+      } else {
+        MemeOptions options;
+        options.tweets_attr =
+            pg.graphTemplate().vertexSchema().requireIndex(kTweetsAttr);
+        options.maintenance_period = 20;
+        const auto run = runMemeTracking(pg, *provider, options);
+        by_k[k] = seriesOf(run.exec.stats, executed);
+      }
+    }
+
+    TextTable table({"timestep", "3 parts (ms)", "6 parts (ms)",
+                     "9 parts (ms)", "load k=6 (ms)", "marker"});
+    for (Timestep t = 0; t < executed; ++t) {
+      std::string marker;
+      if (t > 0 && t % 20 == 0) {
+        marker = "maintenance";
+      } else if (t % 10 == 0 && t > 0) {
+        marker = "slice load";
+      }
+      table.addRow({std::to_string(t),
+                    TextTable::fmtDouble(by_k[3].total_ms[t], 2),
+                    TextTable::fmtDouble(by_k[6].total_ms[t], 2),
+                    TextTable::fmtDouble(by_k[9].total_ms[t], 2),
+                    TextTable::fmtDouble(by_k[6].load_ms[t], 2), marker});
+    }
+    out << "--- " << c.label << " ---\n" << table.render();
+  }
+  out << "expected shape: bumps at every 10th timestep (slice pack load), "
+         "spikes at 20/40 (maintenance), 3-partition series above 6 ~= 9\n\n";
+  emit(config, "fig6_timesteps", out.str());
+  return 0;
+}

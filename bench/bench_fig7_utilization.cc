@@ -1,0 +1,64 @@
+// Fig. 7b / 7d reproduction: per-partition split of compute time vs
+// partition overhead (message send) vs sync overhead (barrier wait/idle)
+// vs instance load, on 6 partitions.
+//
+// Paper shape: partitions that are active early / carry more of the
+// algorithm's work show high compute fractions; partitions the frontier
+// reaches late (7b, TDSP on CARN) or with few memes (7d, MEME on WIKI)
+// spend most of their time in sync overhead — the paper reports some at
+// only ~30% compute utilization.
+#include <sstream>
+
+#include "algorithms/meme.h"
+#include "algorithms/tdsp.h"
+#include "bench_common.h"
+#include "generators/topology.h"
+#include "metrics/report.h"
+
+namespace {
+
+using namespace tsg;
+using namespace tsg::bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchConfig config = parseArgs(argc, argv);
+  constexpr std::uint32_t kPartitions = 6;
+
+  std::ostringstream out;
+  out << "=== Fig. 7b/7d: compute / partition-overhead / sync-overhead "
+         "split per partition, 6 partitions (scale="
+      << config.scale_percent << "%) ===\n";
+
+  {
+    const auto ds = openDataset(GraphKind::kCarn, WorkloadKind::kRoad,
+                                kPartitions, config);
+    auto provider = ds.makeProvider();
+    const auto& pg = ds.partitionedGraph();
+    TdspOptions options;
+    options.source = 0;
+    options.latency_attr =
+        pg.graphTemplate().edgeSchema().requireIndex(kLatencyAttr);
+    options.while_mode = false;
+    const auto run = runTdsp(pg, *provider, options);
+    out << renderUtilization(run.exec.stats, "7b: TDSP on CARN");
+    out << summarizeRun(run.exec.stats, "TDSP/CARN") << "\n";
+  }
+  {
+    const auto ds = openDataset(GraphKind::kWiki, WorkloadKind::kTweet,
+                                kPartitions, config);
+    auto provider = ds.makeProvider();
+    const auto& pg = ds.partitionedGraph();
+    MemeOptions options;
+    options.tweets_attr =
+        pg.graphTemplate().vertexSchema().requireIndex(kTweetsAttr);
+    const auto run = runMemeTracking(pg, *provider, options);
+    out << renderUtilization(run.exec.stats, "7d: MEME on WIKI");
+    out << summarizeRun(run.exec.stats, "MEME/WIKI") << "\n";
+  }
+  out << "expected shape: partitions reached late / carrying fewer memes "
+         "show low compute share and high sync share\n\n";
+  emit(config, "fig7_utilization", out.str());
+  return 0;
+}

@@ -1,0 +1,192 @@
+// Micro-benchmarks (google-benchmark) for the substrate hot paths:
+// serialization, attribute gather/scatter, message bus delivery, RNG,
+// partitioning and subgraph decomposition throughput.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "generators/instances.h"
+#include "generators/topology.h"
+#include "gofs/instance_provider.h"
+#include "partition/partitioned_graph.h"
+#include "partition/partitioner.h"
+#include "runtime/message_bus.h"
+
+namespace {
+
+using namespace tsg;
+
+GraphTemplatePtr benchRoad(std::uint32_t side) {
+  RoadNetworkOptions options;
+  options.width = side;
+  options.height = side;
+  options.seed = 1;
+  auto result =
+      makeRoadNetwork(options, AttributeSchema{}, roadEdgeSchema());
+  TSG_CHECK(result.isOk());
+  return std::make_shared<GraphTemplate>(std::move(result).value());
+}
+
+void BM_VarintRoundtrip(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<std::uint64_t> values(1024);
+  for (auto& v : values) {
+    v = rng.next() >> (rng.next() % 56);
+  }
+  for (auto _ : state) {
+    BinaryWriter w(10 * values.size());
+    for (const auto v : values) {
+      w.writeVarint(v);
+    }
+    BinaryReader r(w.buffer());
+    std::uint64_t out = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      benchmark::DoNotOptimize(r.readVarint(out));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_VarintRoundtrip);
+
+void BM_DoubleColumnSerialize(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto col = AttributeColumn::make(AttrType::kDouble, n);
+  Rng rng(2);
+  for (auto& v : col.asDouble()) {
+    v = rng.uniformDouble();
+  }
+  for (auto _ : state) {
+    BinaryWriter w(n * 8 + 16);
+    col.serialize(w);
+    BinaryReader r(w.buffer());
+    auto parsed = AttributeColumn::deserialize(r);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * 8));
+}
+BENCHMARK(BM_DoubleColumnSerialize)->Arg(1024)->Arg(65536);
+
+void BM_GatherScatter(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto col = AttributeColumn::make(AttrType::kDouble, n);
+  std::vector<std::uint32_t> indices;
+  indices.reserve(n / 2);
+  for (std::uint32_t i = 0; i < n; i += 2) {
+    indices.push_back(i);
+  }
+  for (auto _ : state) {
+    auto gathered = col.gather(indices);
+    col.scatterFrom(gathered, indices);
+    benchmark::DoNotOptimize(col);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(indices.size()));
+}
+BENCHMARK(BM_GatherScatter)->Arg(65536);
+
+void BM_MessageBusDelivery(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  MessageBus bus(k);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (PartitionId from = 0; from < k; ++from) {
+      for (int i = 0; i < 100; ++i) {
+        Message msg;
+        msg.src = from;
+        msg.dst = (from + i) % k;
+        msg.payload.assign(64, 7);
+        bus.send(from, msg.dst % k, std::move(msg));
+      }
+    }
+    state.ResumeTiming();
+    const auto stats = bus.deliver();
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(100 * state.range(0)));
+}
+BENCHMARK(BM_MessageBusDelivery)->Arg(3)->Arg(9);
+
+void BM_Xoshiro(benchmark::State& state) {
+  Rng rng(3);
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    acc ^= rng.next();
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_BfsPartition(benchmark::State& state) {
+  const auto tmpl = benchRoad(60);
+  const BfsPartitioner partitioner(7);
+  for (auto _ : state) {
+    auto assignment =
+        partitioner.assign(*tmpl, static_cast<std::uint32_t>(state.range(0)));
+    benchmark::DoNotOptimize(assignment);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(tmpl->numVertices()));
+}
+BENCHMARK(BM_BfsPartition)->Arg(3)->Arg(9);
+
+void BM_SubgraphDecomposition(benchmark::State& state) {
+  auto tmpl = benchRoad(60);
+  const BfsPartitioner partitioner(7);
+  const auto assignment = partitioner.assign(*tmpl, 6);
+  for (auto _ : state) {
+    auto pg = PartitionedGraph::build(tmpl, assignment, 6);
+    benchmark::DoNotOptimize(pg);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(tmpl->numVertices()));
+}
+BENCHMARK(BM_SubgraphDecomposition);
+
+void BM_SirGeneration(benchmark::State& state) {
+  PreferentialAttachmentOptions topo;
+  topo.num_vertices = 5000;
+  topo.seed = 4;
+  auto result =
+      makePreferentialAttachment(topo, tweetVertexSchema(), AttributeSchema{});
+  TSG_CHECK(result.isOk());
+  auto tmpl = std::make_shared<GraphTemplate>(std::move(result).value());
+  SirTweetOptions options;
+  options.num_timesteps = 10;
+  options.hit_probability = 0.1;
+  for (auto _ : state) {
+    auto coll = makeSirTweetInstances(tmpl, options);
+    benchmark::DoNotOptimize(coll);
+  }
+  state.SetItemsProcessed(state.iterations() * 10 * 5000);
+}
+BENCHMARK(BM_SirGeneration);
+
+void BM_PartitionGather(benchmark::State& state) {
+  auto tmpl = benchRoad(40);
+  const BfsPartitioner partitioner(7);
+  auto pg_result =
+      PartitionedGraph::build(tmpl, partitioner.assign(*tmpl, 4), 4);
+  TSG_CHECK(pg_result.isOk());
+  const auto pg = std::move(pg_result).value();
+  RoadInstanceOptions rio;
+  rio.num_timesteps = 1;
+  auto coll = makeRoadInstances(tmpl, rio);
+  TSG_CHECK(coll.isOk());
+  for (auto _ : state) {
+    for (PartitionId p = 0; p < 4; ++p) {
+      auto data = gatherPartitionInstance(pg, p, coll.value().instance(0));
+      benchmark::DoNotOptimize(data);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(tmpl->numEdges()));
+}
+BENCHMARK(BM_PartitionGather);
+
+}  // namespace
+
+BENCHMARK_MAIN();

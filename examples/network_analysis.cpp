@@ -1,0 +1,114 @@
+// Whole-network structural analysis + cluster right-sizing.
+//
+// Combines the topology-level algorithms (weakly connected components,
+// subgraph-centric PageRank) with the §IV-E rebalancing planner: analyze a
+// network, find its influential vertices, then inspect the run's metering
+// and let the planner propose subgraph migrations for the next run.
+//
+// Demonstrates: WCC, PageRank, run metering, planRebalance.
+#include <algorithm>
+#include <cstdio>
+
+#include "algorithms/pagerank.h"
+#include "algorithms/wcc.h"
+#include "core/rebalance.h"
+#include "generators/topology.h"
+#include "gofs/instance_provider.h"
+#include "partition/partitioner.h"
+
+using namespace tsg;
+
+int main() {
+  // A social graph plus a few disconnected satellite communities.
+  PreferentialAttachmentOptions topo;
+  topo.num_vertices = 12000;
+  topo.edges_per_vertex = 2;
+  topo.seed = 77;
+  auto core_result =
+      makePreferentialAttachment(topo, AttributeSchema{}, AttributeSchema{});
+  if (!core_result.isOk()) {
+    return 1;
+  }
+  // Rebuild with satellites: copy the core edges and add isolated rings.
+  GraphTemplateBuilder builder(/*directed=*/false);
+  const auto& core = core_result.value();
+  for (VertexIndex v = 0; v < core.numVertices(); ++v) {
+    builder.addVertex(core.vertexId(v));
+  }
+  EdgeId next_edge = 0;
+  for (EdgeIndex e = 0; e < core.numEdges(); ++e) {
+    builder.addEdge(next_edge++, core.vertexId(core.edgeSrc(e)),
+                    core.vertexId(core.edgeDst(e)));
+  }
+  const VertexId satellite_base = 1'000'000;
+  for (int ring = 0; ring < 3; ++ring) {
+    const VertexId base = satellite_base + static_cast<VertexId>(ring) * 100;
+    for (int i = 0; i < 8; ++i) {
+      builder.addVertex(base + static_cast<VertexId>(i));
+    }
+    for (int i = 0; i < 8; ++i) {
+      builder.addUndirectedEdge(next_edge++, base + i, base + (i + 1) % 8);
+    }
+  }
+  auto tmpl_result = builder.build();
+  if (!tmpl_result.isOk()) {
+    return 1;
+  }
+  auto tmpl = std::make_shared<GraphTemplate>(std::move(tmpl_result).value());
+
+  const LdgPartitioner partitioner(19);
+  auto pg_result =
+      PartitionedGraph::build(tmpl, partitioner.assign(*tmpl, 4), 4);
+  if (!pg_result.isOk()) {
+    return 1;
+  }
+  const auto& pg = pg_result.value();
+  TimeSeriesCollection coll(tmpl, 0, 1);
+  coll.appendInstance();
+  DirectInstanceProvider provider(pg, coll);
+
+  // 1. Connectivity census.
+  const auto wcc = runSubgraphWcc(pg, provider);
+  std::printf("network: %zu vertices, %zu components (expected core + 3 "
+              "satellite rings)\n",
+              tmpl->numVertices(), wcc.num_components);
+
+  // 2. Influence ranking.
+  PageRankOptions pr_options;
+  pr_options.iterations = 25;
+  const auto pr = runSubgraphPageRank(pg, provider, pr_options);
+  std::vector<VertexIndex> order(tmpl->numVertices());
+  for (VertexIndex v = 0; v < order.size(); ++v) {
+    order[v] = v;
+  }
+  std::partial_sort(order.begin(), order.begin() + 5, order.end(),
+                    [&](VertexIndex a, VertexIndex b) {
+                      return pr.ranks[a] > pr.ranks[b];
+                    });
+  std::printf("top-5 PageRank:");
+  for (int i = 0; i < 5; ++i) {
+    std::printf(" user%llu(%.5f)",
+                static_cast<unsigned long long>(tmpl->vertexId(order[i])),
+                pr.ranks[order[i]]);
+  }
+  std::printf("\n");
+
+  // 3. Right-size the placement from the observed metering (§IV-E).
+  const auto plan_result = planRebalance(pg, pr.exec.stats);
+  if (!plan_result.isOk()) {
+    return 1;
+  }
+  const auto& plan = plan_result.value();
+  std::printf(
+      "rebalance plan: %zu subgraph moves; compute imbalance %.2f -> %.2f; "
+      "edge cut %.2f%% -> %.2f%%\n",
+      plan.moves.size(), plan.imbalance_before, plan.imbalance_after,
+      plan.cut_fraction_before * 100.0, plan.cut_fraction_after * 100.0);
+  for (const auto& move : plan.moves) {
+    std::printf("  move subgraph %u: partition %u -> %u (load %.1f%%)\n",
+                move.subgraph, move.from, move.to,
+                move.load * 100.0 /
+                    std::max(1.0, plan.imbalance_before));
+  }
+  return wcc.num_components == 4 ? 0 : 1;
+}

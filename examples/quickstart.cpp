@@ -1,0 +1,109 @@
+// Quickstart: the paper's §III-C worked example, end to end, in ~100 lines.
+//
+// A seven-vertex road network whose edge latencies change every δ = 5
+// minutes. Plain SSSP on the first snapshot estimates S→C at 7 minutes but
+// the route actually takes 35; the time-dependent shortest path (TDSP)
+// leaves S→A immediately, waits out one timestep at A, and crosses A→C when
+// it gets fast — arriving at minute 14.
+//
+// Demonstrates: building a template + instances in memory, partitioning,
+// and running a sequentially dependent TI-BSP algorithm.
+#include <cstdio>
+
+#include "algorithms/reference.h"
+#include "algorithms/tdsp.h"
+#include "gofs/instance_provider.h"
+#include "graph/collection.h"
+#include "partition/partitioner.h"
+
+using namespace tsg;
+
+namespace {
+
+constexpr VertexIndex S = 0, A = 1, B = 2, C = 3, D = 4, E = 5, F = 6;
+constexpr const char* kNames = "SABCDEF";
+
+// Sets the latency of every (src → dst) directed edge in the instance.
+void setLatency(const GraphTemplate& tmpl, GraphInstance& inst,
+                VertexIndex src, VertexIndex dst, double minutes) {
+  for (const auto& oe : tmpl.outEdges(src)) {
+    if (oe.dst == dst) {
+      inst.edgeCol(0).asDouble()[oe.edge] = minutes;
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  // 1. The template: time-invariant topology + attribute schema.
+  GraphTemplateBuilder builder(/*directed=*/true);
+  builder.edgeSchema().add("latency", AttrType::kDouble);
+  for (VertexId id = 0; id < 7; ++id) {
+    builder.addVertex(id);
+  }
+  builder.addEdge(0, S, A);
+  builder.addEdge(1, S, E);
+  builder.addEdge(2, E, C);
+  builder.addEdge(3, A, C);
+  builder.addEdge(4, C, B);
+  builder.addEdge(5, C, D);
+  builder.addEdge(6, E, F);
+  auto built = builder.build();
+  if (!built.isOk()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().toString().c_str());
+    return 1;
+  }
+  const auto tmpl = std::make_shared<GraphTemplate>(std::move(built).value());
+
+  // 2. The instances: three 5-minute snapshots of traffic.
+  TimeSeriesCollection traffic(tmpl, /*t0=*/0, /*delta=*/5);
+  struct Snapshot {
+    double sa, se, ec, ac;
+  };
+  const Snapshot snapshots[] = {{5, 2, 5, 30},    // g0
+                                {15, 10, 30, 15},  // g1: E→C jams
+                                {15, 10, 30, 4}};  // g2: A→C clears
+  for (const auto& snap : snapshots) {
+    auto& inst = traffic.appendInstance();
+    for (auto& latency : inst.edgeCol(0).asDouble()) {
+      latency = 200;  // far-away roads
+    }
+    setLatency(*tmpl, inst, S, A, snap.sa);
+    setLatency(*tmpl, inst, S, E, snap.se);
+    setLatency(*tmpl, inst, E, C, snap.ec);
+    setLatency(*tmpl, inst, A, C, snap.ac);
+  }
+
+  // 3. Partition across two simulated hosts and run TDSP.
+  const BfsPartitioner partitioner;
+  const auto assignment = partitioner.assign(*tmpl, 2);
+  auto pg = PartitionedGraph::build(tmpl, assignment, 2);
+  if (!pg.isOk()) {
+    std::fprintf(stderr, "partitioning failed\n");
+    return 1;
+  }
+  DirectInstanceProvider provider(pg.value(), traffic);
+
+  TdspOptions options;
+  options.source = S;
+  options.latency_attr = 0;
+  const auto run = runTdsp(pg.value(), provider, options);
+
+  // 4. Compare with the naive single-snapshot SSSP.
+  const auto naive = reference::dijkstra(
+      *tmpl, traffic.instance(0).edgeCol(0).asDouble(), S);
+
+  std::printf("vertex | naive SSSP estimate (g0) | TDSP earliest arrival\n");
+  for (VertexIndex v = 0; v < tmpl->numVertices(); ++v) {
+    std::printf("   %c   | %24.0f | %9.0f  (finalized at timestep %d)\n",
+                kNames[v], naive[v], run.tdsp[v], run.finalized_at[v]);
+  }
+  std::printf(
+      "\nnaive route S->E->C looked like %.0f min but TDSP arrives at "
+      "minute %.0f\nby leaving S->A at once, idling at A, and crossing "
+      "A->C when it clears.\n",
+      naive[C], run.tdsp[C]);
+  return run.tdsp[C] == 14.0 ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+// Payload encodings shared by the TI-BSP algorithm programs.
+//
+// The paper's algorithms conceptually send one message per vertex; we batch
+// all vertices targeted at the same subgraph into one payload, which is what
+// a production framework does at the transport layer. Decoders are
+// bounds-checked; a malformed payload aborts (it can only come from this
+// process).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.h"
+#include "graph/types.h"
+
+namespace tsg {
+
+// [count][vertex]... — e.g. the colored set C* passed between timesteps.
+inline std::vector<std::uint8_t> encodeVertexList(
+    const std::vector<VertexIndex>& vertices) {
+  BinaryWriter w(vertices.size() * 5 + 4);
+  w.writePodVector(vertices);
+  return w.takeBuffer();
+}
+
+inline std::vector<VertexIndex> decodeVertexList(
+    std::span<const std::uint8_t> payload) {
+  BinaryReader r(payload);
+  std::vector<VertexIndex> vertices;
+  const Status s = r.readPodVector(vertices);
+  TSG_CHECK_MSG(s.isOk(), s.toString());
+  return vertices;
+}
+
+// [count][(vertex, label)]... — e.g. TDSP frontier relaxations.
+struct VertexLabel {
+  VertexIndex vertex;
+  double label;
+};
+
+inline std::vector<std::uint8_t> encodeVertexLabels(
+    const std::vector<VertexLabel>& items) {
+  BinaryWriter w(items.size() * 12 + 4);
+  w.writeVarint(items.size());
+  for (const auto& item : items) {
+    w.writeU32(item.vertex);
+    w.writeDouble(item.label);
+  }
+  return w.takeBuffer();
+}
+
+inline std::vector<VertexLabel> decodeVertexLabels(
+    std::span<const std::uint8_t> payload) {
+  BinaryReader r(payload);
+  std::uint64_t count = 0;
+  Status s = r.readVarint(count);
+  TSG_CHECK_MSG(s.isOk(), s.toString());
+  std::vector<VertexLabel> items(static_cast<std::size_t>(count));
+  for (auto& item : items) {
+    s = r.readU32(item.vertex);
+    TSG_CHECK_MSG(s.isOk(), s.toString());
+    s = r.readDouble(item.label);
+    TSG_CHECK_MSG(s.isOk(), s.toString());
+  }
+  return items;
+}
+
+// A single unsigned counter (hashtag per-timestep counts).
+inline std::vector<std::uint8_t> encodeU64(std::uint64_t value) {
+  BinaryWriter w(9);
+  w.writeVarint(value);
+  return w.takeBuffer();
+}
+
+inline std::uint64_t decodeU64(std::span<const std::uint8_t> payload) {
+  BinaryReader r(payload);
+  std::uint64_t value = 0;
+  const Status s = r.readVarint(value);
+  TSG_CHECK_MSG(s.isOk(), s.toString());
+  return value;
+}
+
+// [count][u64]... — aggregated per-timestep series in the Hashtag Merge.
+inline std::vector<std::uint8_t> encodeU64List(
+    const std::vector<std::uint64_t>& values) {
+  BinaryWriter w(values.size() * 9 + 4);
+  w.writePodVector(values);
+  return w.takeBuffer();
+}
+
+inline std::vector<std::uint64_t> decodeU64List(
+    std::span<const std::uint8_t> payload) {
+  BinaryReader r(payload);
+  std::vector<std::uint64_t> values;
+  const Status s = r.readPodVector(values);
+  TSG_CHECK_MSG(s.isOk(), s.toString());
+  return values;
+}
+
+}  // namespace tsg

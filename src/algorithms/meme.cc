@@ -1,0 +1,164 @@
+#include "algorithms/meme.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "algorithms/codec.h"
+
+namespace tsg {
+namespace {
+
+class MemeProgram final : public TiBspProgram {
+ public:
+  MemeProgram(const PartitionedGraph& pg, const MemeOptions& options,
+              std::vector<Timestep>& colored_at)
+      : options_(options),
+        colored_at_(colored_at),
+        visited_at_(pg.graphTemplate().numVertices(), -1),
+        remote_sent_at_(pg.graphTemplate().numVertices(), -1) {}
+
+  void compute(SubgraphContext& ctx) override {
+    const Subgraph& sg = ctx.subgraph();
+    const Timestep t = ctx.timestep();
+
+    auto hasMeme = [&](VertexIndex v) {
+      const auto& tweets = ctx.vertexStringList(options_.tweets_attr, v);
+      return std::find(tweets.begin(), tweets.end(), options_.meme) !=
+             tweets.end();
+    };
+
+    std::deque<VertexIndex> queue;
+    auto enqueueRoot = [&](VertexIndex v) {
+      if (visited_at_[v] != t) {
+        visited_at_[v] = t;
+        queue.push_back(v);
+      }
+    };
+    auto color = [&](VertexIndex v) {
+      if (colored_at_[v] < 0) {
+        colored_at_[v] = t;
+        coloredOf(sg).push_back(v);
+        ++newly_colored_[sg.id];
+      }
+    };
+
+    if (ctx.superstep() == 0) {
+      if (t == options_.first_timestep) {
+        // Alg. 1 line 4: vertices already carrying the meme are the roots.
+        for (const VertexIndex v : sg.vertices) {
+          if (hasMeme(v)) {
+            color(v);
+            enqueueRoot(v);
+          }
+        }
+      } else {
+        // Alg. 1 line 6: C* arrives from this subgraph's previous instance.
+        for (const Message& msg : ctx.messages()) {
+          for (const VertexIndex v : decodeVertexList(msg.payload)) {
+            enqueueRoot(v);
+          }
+        }
+      }
+    } else {
+      // Alg. 1 line 8: remote notifications — accept only carriers.
+      for (const Message& msg : ctx.messages()) {
+        for (const VertexIndex v : decodeVertexList(msg.payload)) {
+          if (hasMeme(v)) {
+            color(v);
+            enqueueRoot(v);
+          }
+        }
+      }
+    }
+
+    // MemeBFS (Alg. 1 line 10): traverse contiguous meme carriers; remote
+    // edges produce notifications batched per destination subgraph.
+    std::unordered_map<SubgraphId, std::vector<VertexIndex>> remote_touched;
+    const auto& pg = ctx.partitionedGraph();
+    while (!queue.empty()) {
+      const VertexIndex v = queue.front();
+      queue.pop_front();
+      for (const auto& oe : ctx.graphTemplate().outEdges(v)) {
+        const SubgraphId dst_sg = pg.subgraphOfVertex(oe.dst);
+        if (dst_sg == sg.id) {
+          if (visited_at_[oe.dst] != t && hasMeme(oe.dst)) {
+            visited_at_[oe.dst] = t;
+            color(oe.dst);
+            queue.push_back(oe.dst);
+          }
+        } else if (remote_sent_at_[oe.dst] != t) {
+          remote_sent_at_[oe.dst] = t;
+          remote_touched[dst_sg].push_back(oe.dst);
+        }
+      }
+    }
+    for (auto& [dst_sg, vertices] : remote_touched) {
+      ctx.sendToSubgraph(dst_sg, encodeVertexList(vertices));
+    }
+    ctx.voteToHalt();
+  }
+
+  void endOfTimestep(SubgraphContext& ctx) override {
+    const Subgraph& sg = ctx.subgraph();
+    const Timestep t = ctx.timestep();
+    const std::uint64_t newly =
+        std::exchange(newly_colored_[sg.id], 0);
+    ctx.addCounter(kMemeColoredCounter, newly);
+    if (options_.emit_outputs && newly > 0) {
+      // The paper prints the frontier Cₜ (Alg. 1 line 18); newly colored
+      // vertices are the tail of the accumulated list.
+      const auto& colored = coloredOf(sg);
+      for (std::size_t i = colored.size() - newly; i < colored.size(); ++i) {
+        ctx.output("meme," +
+                   std::to_string(ctx.graphTemplate().vertexId(colored[i])) +
+                   "," + std::to_string(t));
+      }
+    }
+    // Alg. 1 line 19-20: pass C* to the next instance of this subgraph.
+    const bool last_planned =
+        t + 1 >= options_.first_timestep +
+                     static_cast<Timestep>(ctx.numTimestepsPlanned());
+    const auto& colored = coloredOf(sg);
+    if (!colored.empty() && !last_planned) {
+      ctx.sendToNextTimestep(encodeVertexList(colored));
+    }
+  }
+
+ private:
+  std::vector<VertexIndex>& coloredOf(const Subgraph& sg) {
+    return colored_by_sg_[sg.id];
+  }
+
+  const MemeOptions& options_;
+  std::vector<Timestep>& colored_at_;       // shared result (own vertices)
+  std::vector<Timestep> visited_at_;        // BFS stamp per timestep
+  std::vector<Timestep> remote_sent_at_;    // dedup of remote notifications
+  std::unordered_map<SubgraphId, std::vector<VertexIndex>> colored_by_sg_;
+  std::unordered_map<SubgraphId, std::uint64_t> newly_colored_;
+};
+
+}  // namespace
+
+MemeRun runMemeTracking(const PartitionedGraph& pg, InstanceProvider& provider,
+                        const MemeOptions& options) {
+  MemeRun run;
+  run.colored_at.assign(pg.graphTemplate().numVertices(), -1);
+
+  TiBspConfig config;
+  config.pattern = Pattern::kSequentiallyDependent;
+  config.first_timestep = options.first_timestep;
+  config.num_timesteps = options.num_timesteps;
+  config.maintenance_period = options.maintenance_period;
+
+  TiBspEngine engine(pg, provider);
+  run.exec = engine.run(
+      [&](PartitionId) {
+        return std::make_unique<MemeProgram>(pg, options, run.colored_at);
+      },
+      config);
+  return run;
+}
+
+}  // namespace tsg

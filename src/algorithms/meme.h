@@ -1,0 +1,43 @@
+// Meme Tracking — Algorithm 1 of the paper (sequentially dependent
+// pattern, §III-B): a temporal BFS for a meme µ over space and time.
+//
+// At t=0 the roots are the vertices whose tweets contain µ; the BFS then
+// traverses contiguous meme-carrying vertices inside each subgraph,
+// notifying neighbor subgraphs across remote edges. The accumulated colored
+// set C* is passed to the same subgraph in the next timestep and seeds the
+// next instance's traversal, so each timestep only explores the new
+// frontier rather than the whole graph.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace tsg {
+
+struct MemeOptions {
+  std::string meme = "#meme";
+  std::size_t tweets_attr = 0;
+  Timestep first_timestep = 0;
+  std::int32_t num_timesteps = -1;  // -1 = all instances
+  std::int32_t maintenance_period = 0;
+  // Emit "meme,<vertex_id>,<timestep>" per newly colored vertex (the
+  // paper's PrintHorizon; off by default).
+  bool emit_outputs = false;
+};
+
+struct MemeRun {
+  // First timestep each vertex was colored; -1 = never reached.
+  std::vector<Timestep> colored_at;
+  TiBspResult exec;
+};
+
+// Counter name: newly colored vertices per (timestep, partition) — Fig 7c.
+inline constexpr const char* kMemeColoredCounter = "meme_colored";
+
+MemeRun runMemeTracking(const PartitionedGraph& pg, InstanceProvider& provider,
+                        const MemeOptions& options);
+
+}  // namespace tsg

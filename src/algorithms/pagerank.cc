@@ -1,0 +1,136 @@
+#include "algorithms/pagerank.h"
+
+#include <unordered_map>
+
+#include "algorithms/codec.h"
+
+namespace tsg {
+namespace {
+
+class PageRankProgram final : public TiBspProgram {
+ public:
+  PageRankProgram(const PartitionedGraph& pg, const PageRankOptions& options,
+                  std::vector<double>& ranks)
+      : options_(options),
+        ranks_(ranks),
+        acc_(pg.graphTemplate().numVertices(), 0.0) {}
+
+  void compute(SubgraphContext& ctx) override {
+    const Subgraph& sg = ctx.subgraph();
+    const GraphTemplate& tmpl = ctx.graphTemplate();
+    const auto n = static_cast<double>(tmpl.numVertices());
+    const std::int32_t s = ctx.superstep();
+
+    if (s == 0) {
+      for (const VertexIndex v : sg.vertices) {
+        ranks_[v] = 1.0 / n;
+        acc_[v] = 0.0;
+      }
+    } else {
+      // Fold remote contributions into the accumulator (local ones were
+      // added by the emitting pass of the previous superstep).
+      for (const Message& msg : ctx.messages()) {
+        for (const auto& item : decodeVertexLabels(msg.payload)) {
+          acc_[item.vertex] += item.label;
+        }
+      }
+      for (const VertexIndex v : sg.vertices) {
+        ranks_[v] = (1.0 - options_.damping) / n + options_.damping * acc_[v];
+        acc_[v] = 0.0;  // ready for the next iteration's contributions
+      }
+    }
+
+    if (s < options_.iterations) {
+      // Emit this iteration's contributions: local neighbors accumulate
+      // directly, remote ones are summed per (subgraph, vertex) and sent.
+      const auto& pg = ctx.partitionedGraph();
+      std::unordered_map<SubgraphId, std::unordered_map<VertexIndex, double>>
+          remote_sum;
+      for (const VertexIndex v : sg.vertices) {
+        const auto degree = tmpl.outDegree(v);
+        if (degree == 0) {
+          continue;  // dangling mass is dropped (matches the reference)
+        }
+        const double contribution =
+            ranks_[v] / static_cast<double>(degree);
+        for (const auto& oe : tmpl.outEdges(v)) {
+          const SubgraphId dst_sg = pg.subgraphOfVertex(oe.dst);
+          if (dst_sg == sg.id) {
+            acc_[oe.dst] += contribution;
+          } else {
+            remote_sum[dst_sg][oe.dst] += contribution;
+          }
+        }
+      }
+      for (const auto& [dst_sg, items] : remote_sum) {
+        std::vector<VertexLabel> batch;
+        batch.reserve(items.size());
+        for (const auto& [v, c] : items) {
+          batch.push_back({v, c});
+        }
+        ctx.sendToSubgraph(dst_sg, encodeVertexLabels(batch));
+      }
+      // Stay active: the next superstep applies what we just emitted.
+    } else {
+      ctx.voteToHalt();
+    }
+  }
+
+ private:
+  const PageRankOptions& options_;
+  std::vector<double>& ranks_;  // shared result (own vertices only)
+  std::vector<double> acc_;     // next iteration's incoming contributions
+};
+
+}  // namespace
+
+PageRankRun runSubgraphPageRank(const PartitionedGraph& pg,
+                                InstanceProvider& provider,
+                                const PageRankOptions& options) {
+  TSG_CHECK(options.iterations >= 0);
+  PageRankRun run;
+  run.ranks.assign(pg.graphTemplate().numVertices(), 0.0);
+
+  TiBspConfig config;
+  config.pattern = Pattern::kSequentiallyDependent;
+  config.first_timestep = options.timestep;
+  config.num_timesteps = 1;
+
+  TiBspEngine engine(pg, provider);
+  run.exec = engine.run(
+      [&](PartitionId) {
+        return std::make_unique<PageRankProgram>(pg, options, run.ranks);
+      },
+      config);
+  return run;
+}
+
+namespace reference {
+
+std::vector<double> pageRank(const GraphTemplate& tmpl, double damping,
+                             std::int32_t iterations) {
+  const std::size_t n = tmpl.numVertices();
+  std::vector<double> rank(n, n == 0 ? 0.0 : 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (std::int32_t i = 0; i < iterations; ++i) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (VertexIndex v = 0; v < n; ++v) {
+      const auto degree = tmpl.outDegree(v);
+      if (degree == 0) {
+        continue;
+      }
+      const double contribution = rank[v] / static_cast<double>(degree);
+      for (const auto& oe : tmpl.outEdges(v)) {
+        next[oe.dst] += contribution;
+      }
+    }
+    for (VertexIndex v = 0; v < n; ++v) {
+      rank[v] = (1.0 - damping) / static_cast<double>(n) +
+                damping * next[v];
+    }
+  }
+  return rank;
+}
+
+}  // namespace reference
+}  // namespace tsg

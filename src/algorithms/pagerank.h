@@ -1,0 +1,44 @@
+// Subgraph-centric PageRank over the graph template ("SubgraphRank", the
+// companion algorithm the paper cites as [12]).
+//
+// Each superstep is one PageRank iteration: a subgraph updates the ranks of
+// all its vertices from the incoming contributions, then ships the
+// contributions that cross remote edges, batched per destination subgraph.
+// Because a subgraph applies contributions from its own vertices in the
+// same pass, intra-subgraph propagation costs no messages — the
+// subgraph-centric win over per-vertex PageRank.
+//
+// Runs as a single-timestep TI-BSP application on the topology (instance
+// values are not consulted); per-instance rank analyses can run it under
+// the independent pattern once per timestep.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace tsg {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  std::int32_t iterations = 30;
+  Timestep timestep = 0;  // instance to bind (topology-only algorithm)
+};
+
+struct PageRankRun {
+  std::vector<double> ranks;  // sums to ~1 over all vertices
+  TiBspResult exec;
+};
+
+PageRankRun runSubgraphPageRank(const PartitionedGraph& pg,
+                                InstanceProvider& provider,
+                                const PageRankOptions& options);
+
+namespace reference {
+// Sequential power iteration with the same dangling-mass redistribution.
+std::vector<double> pageRank(const GraphTemplate& tmpl, double damping,
+                             std::int32_t iterations);
+}  // namespace reference
+
+}  // namespace tsg

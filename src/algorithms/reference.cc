@@ -1,0 +1,235 @@
+#include "algorithms/reference.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "common/status.h"
+
+namespace tsg {
+namespace reference {
+namespace {
+
+using HeapEntry = std::pair<double, VertexIndex>;  // (dist, vertex), min-heap
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+}  // namespace
+
+std::vector<double> dijkstra(const GraphTemplate& tmpl,
+                             const std::vector<double>& edge_weights,
+                             VertexIndex source) {
+  TSG_CHECK(source < tmpl.numVertices());
+  TSG_CHECK(edge_weights.empty() || edge_weights.size() == tmpl.numEdges());
+  std::vector<double> dist(tmpl.numVertices(), kInf);
+  dist[source] = 0.0;
+  MinHeap heap;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) {
+      continue;  // stale entry
+    }
+    for (const auto& oe : tmpl.outEdges(v)) {
+      const double w = edge_weights.empty() ? 1.0 : edge_weights[oe.edge];
+      TSG_CHECK_MSG(w >= 0.0, "negative edge weight");
+      const double candidate = d + w;
+      if (candidate < dist[oe.dst]) {
+        dist[oe.dst] = candidate;
+        heap.push({candidate, oe.dst});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::int32_t> bfsLevels(const GraphTemplate& tmpl,
+                                    VertexIndex source) {
+  TSG_CHECK(source < tmpl.numVertices());
+  std::vector<std::int32_t> level(tmpl.numVertices(), -1);
+  std::deque<VertexIndex> queue;
+  level[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const VertexIndex v = queue.front();
+    queue.pop_front();
+    for (const auto& oe : tmpl.outEdges(v)) {
+      if (level[oe.dst] < 0) {
+        level[oe.dst] = level[v] + 1;
+        queue.push_back(oe.dst);
+      }
+    }
+  }
+  return level;
+}
+
+TdspResult timeDependentShortestPath(const GraphTemplate& tmpl,
+                                     const TimeSeriesCollection& collection,
+                                     std::size_t latency_attr,
+                                     VertexIndex source,
+                                     std::size_t exists_attr) {
+  TSG_CHECK(source < tmpl.numVertices());
+  const std::size_t n = tmpl.numVertices();
+  const auto delta = static_cast<double>(collection.delta());
+
+  TdspResult result;
+  result.tdsp.assign(n, kInf);
+  result.finalized_at.assign(n, kNever);
+
+  for (std::size_t t = 0; t < collection.numInstances(); ++t) {
+    const double horizon = delta * static_cast<double>(t + 1);
+    const auto& inst = collection.instance(static_cast<Timestep>(t));
+    const auto& weights = inst.edgeCol(latency_attr).asDouble();
+    const AttributeColumn::BoolVec* exists =
+        exists_attr == static_cast<std::size_t>(-1)
+            ? nullptr
+            : &inst.edgeCol(exists_attr).asBool();
+
+    // Labels for this timestep's bounded Dijkstra: finalized vertices act as
+    // roots at t*δ (idling), the source at 0 when t == 0.
+    std::vector<double> label(n, kInf);
+    MinHeap heap;
+    auto seed = [&](VertexIndex v, double d) {
+      if (d < label[v]) {
+        label[v] = d;
+        heap.push({d, v});
+      }
+    };
+    if (t == 0) {
+      seed(source, 0.0);
+    }
+    for (VertexIndex v = 0; v < n; ++v) {
+      if (result.finalized_at[v] != kNever) {
+        seed(v, delta * static_cast<double>(t));
+      }
+    }
+
+    while (!heap.empty()) {
+      const auto [d, v] = heap.top();
+      heap.pop();
+      if (d > label[v]) {
+        continue;
+      }
+      if (d > horizon) {
+        break;  // beyond the horizon — discard (unknowable future edges)
+      }
+      if (result.finalized_at[v] == kNever) {
+        result.finalized_at[v] = static_cast<Timestep>(t);
+        result.tdsp[v] = d;
+      }
+      for (const auto& oe : tmpl.outEdges(v)) {
+        if (exists != nullptr && (*exists)[oe.edge] == 0) {
+          continue;  // closed during this instance
+        }
+        const double candidate = d + weights[oe.edge];
+        if (candidate <= horizon && candidate < label[oe.dst]) {
+          label[oe.dst] = candidate;
+          heap.push({candidate, oe.dst});
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<Timestep> memeSpread(const GraphTemplate& tmpl,
+                                 const TimeSeriesCollection& collection,
+                                 std::size_t tweets_attr,
+                                 const std::string& meme) {
+  const std::size_t n = tmpl.numVertices();
+  std::vector<Timestep> colored_at(n, kNever);
+
+  auto hasMeme = [&](const GraphInstance& inst, VertexIndex v) {
+    const auto& tweets = inst.vertexCol(tweets_attr).asStringList()[v];
+    return std::find(tweets.begin(), tweets.end(), meme) != tweets.end();
+  };
+
+  for (std::size_t t = 0; t < collection.numInstances(); ++t) {
+    const auto& inst = collection.instance(static_cast<Timestep>(t));
+    std::deque<VertexIndex> queue;
+    std::vector<std::uint8_t> visited(n, 0);
+
+    // Roots: at t=0, fresh meme carriers; at any t, the colored set.
+    for (VertexIndex v = 0; v < n; ++v) {
+      const bool already_colored = colored_at[v] != kNever;
+      const bool fresh_root = t == 0 && hasMeme(inst, v);
+      if (already_colored || fresh_root) {
+        if (fresh_root && !already_colored) {
+          colored_at[v] = static_cast<Timestep>(t);
+        }
+        visited[v] = 1;
+        queue.push_back(v);
+      }
+    }
+
+    // Traverse only through vertices carrying the meme at t.
+    while (!queue.empty()) {
+      const VertexIndex v = queue.front();
+      queue.pop_front();
+      for (const auto& oe : tmpl.outEdges(v)) {
+        if (visited[oe.dst] == 0 && hasMeme(inst, oe.dst)) {
+          visited[oe.dst] = 1;
+          if (colored_at[oe.dst] == kNever) {
+            colored_at[oe.dst] = static_cast<Timestep>(t);
+          }
+          queue.push_back(oe.dst);
+        }
+      }
+    }
+  }
+  return colored_at;
+}
+
+std::vector<std::uint64_t> hashtagCounts(
+    const TimeSeriesCollection& collection, std::size_t tweets_attr,
+    const std::string& tag) {
+  std::vector<std::uint64_t> counts(collection.numInstances(), 0);
+  for (std::size_t t = 0; t < collection.numInstances(); ++t) {
+    const auto& lists = collection.instance(static_cast<Timestep>(t))
+                            .vertexCol(tweets_attr)
+                            .asStringList();
+    for (const auto& tweets : lists) {
+      for (const auto& tweet : tweets) {
+        if (tweet == tag) {
+          ++counts[t];
+        }
+      }
+    }
+  }
+  return counts;
+}
+
+std::vector<std::vector<VertexIndex>> topActiveVertices(
+    const GraphTemplate& tmpl, const TimeSeriesCollection& collection,
+    std::size_t tweets_attr, std::size_t n) {
+  std::vector<std::vector<VertexIndex>> top(collection.numInstances());
+  for (std::size_t t = 0; t < collection.numInstances(); ++t) {
+    const auto& lists = collection.instance(static_cast<Timestep>(t))
+                            .vertexCol(tweets_attr)
+                            .asStringList();
+    // (activity, vertex): sort descending by activity, ascending by id.
+    std::vector<std::pair<std::uint64_t, VertexIndex>> scored;
+    scored.reserve(tmpl.numVertices());
+    for (VertexIndex v = 0; v < tmpl.numVertices(); ++v) {
+      const std::uint64_t activity =
+          tmpl.outDegree(v) * (1 + lists[v].size());
+      scored.emplace_back(activity, v);
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) {
+                  return a.first > b.first;
+                }
+                return a.second < b.second;
+              });
+    auto& row = top[t];
+    for (std::size_t i = 0; i < std::min(n, scored.size()); ++i) {
+      row.push_back(scored[i].second);
+    }
+  }
+  return top;
+}
+
+}  // namespace reference
+}  // namespace tsg

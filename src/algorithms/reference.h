@@ -1,0 +1,72 @@
+// Sequential single-machine reference implementations.
+//
+// These define the ground-truth semantics the distributed TI-BSP programs
+// must match; the test suite compares both on randomized inputs. They use
+// the same recurrences the paper defines (§III) executed globally, with no
+// partitioning or message passing involved.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "graph/collection.h"
+#include "graph/graph_template.h"
+
+namespace tsg {
+namespace reference {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+inline constexpr Timestep kNever = -1;
+
+// Plain Dijkstra over one set of edge weights (by template edge index).
+// Empty weights = unweighted (1.0 per edge). Unreachable => +inf.
+std::vector<double> dijkstra(const GraphTemplate& tmpl,
+                             const std::vector<double>& edge_weights,
+                             VertexIndex source);
+
+// BFS hop distance; unreachable => -1.
+std::vector<std::int32_t> bfsLevels(const GraphTemplate& tmpl,
+                                    VertexIndex source);
+
+struct TdspResult {
+  std::vector<double> tdsp;            // earliest arrival; +inf = never
+  std::vector<Timestep> finalized_at;  // timestep of finalization; -1 = never
+};
+
+// Discrete-time TDSP (§III-C): per timestep t, run Dijkstra on instance t's
+// latencies from the source (t == 0) plus all previously finalized vertices
+// re-labelled t*δ (the idling edges), settling only vertices with arrival
+// <= (t+1)*δ; tentative labels beyond the horizon are discarded.
+// exists_attr: optional bool edge attribute (isExists); edges false at a
+// timestep are untraversable during it. npos-like SIZE_MAX = all edges open.
+TdspResult timeDependentShortestPath(
+    const GraphTemplate& tmpl, const TimeSeriesCollection& collection,
+    std::size_t latency_attr, VertexIndex source,
+    std::size_t exists_attr = static_cast<std::size_t>(-1));
+
+// Temporal meme BFS (§III-B): colored_at[v] = first timestep at which v is
+// reached. At t=0 the roots are all vertices whose tweets contain the meme.
+// At each t, newly colored vertices are those containing the meme at t and
+// reachable from the colored set through vertices that all contain the meme
+// at t.
+std::vector<Timestep> memeSpread(const GraphTemplate& tmpl,
+                                 const TimeSeriesCollection& collection,
+                                 std::size_t tweets_attr,
+                                 const std::string& meme);
+
+// Per-timestep occurrence counts of a hashtag across all vertices (§III-A):
+// counts[t] = number of tweets at timestep t containing the tag.
+std::vector<std::uint64_t> hashtagCounts(
+    const TimeSeriesCollection& collection, std::size_t tweets_attr,
+    const std::string& tag);
+
+// Per-instance Top-N most active vertices (independent pattern example):
+// activity = out-degree * (1 + tweet count at t); ties by smaller vertex id.
+std::vector<std::vector<VertexIndex>> topActiveVertices(
+    const GraphTemplate& tmpl, const TimeSeriesCollection& collection,
+    std::size_t tweets_attr, std::size_t n);
+
+}  // namespace reference
+}  // namespace tsg

@@ -1,0 +1,35 @@
+// Subgraph-centric single-source shortest path on ONE graph instance.
+//
+// The classic GoFFish SSSP (and our Fig. 5b subject): each superstep runs a
+// full Dijkstra inside every active subgraph, then relaxations that cross
+// remote edges travel as messages. Superstep count scales with the number of
+// partition-boundary hops on shortest paths — far below the graph diameter
+// that a vertex-centric SSSP needs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace tsg {
+
+struct SsspOptions {
+  VertexIndex source = 0;
+  // Edge attribute holding the weight; kUnweighted = every edge costs 1.
+  static constexpr std::size_t kUnweighted = static_cast<std::size_t>(-1);
+  std::size_t latency_attr = kUnweighted;
+  // Which instance to run on.
+  Timestep timestep = 0;
+};
+
+struct SsspRun {
+  // Distance from the source per template vertex; +inf if unreachable.
+  std::vector<double> distances;
+  TiBspResult exec;
+};
+
+SsspRun runSubgraphSssp(const PartitionedGraph& pg, InstanceProvider& provider,
+                        const SsspOptions& options);
+
+}  // namespace tsg

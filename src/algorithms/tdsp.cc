@@ -1,0 +1,213 @@
+#include "algorithms/tdsp.h"
+
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "algorithms/codec.h"
+
+namespace tsg {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr const char* kTotalFinalizedAgg = "tdsp_total_finalized";
+
+using HeapEntry = std::pair<double, VertexIndex>;
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+class TdspProgram final : public TiBspProgram {
+ public:
+  TdspProgram(const PartitionedGraph& pg, PartitionId partition,
+              const TdspOptions& options, std::vector<double>& tdsp,
+              std::vector<Timestep>& finalized_at)
+      : options_(options),
+        tdsp_(tdsp),
+        finalized_at_(finalized_at),
+        label_(pg.graphTemplate().numVertices(), kInf) {
+    (void)partition;
+  }
+
+  void compute(SubgraphContext& ctx) override {
+    const Subgraph& sg = ctx.subgraph();
+    const Timestep t = ctx.timestep();
+    const double delta = static_cast<double>(ctx.delta());
+    const double horizon = delta * static_cast<double>(t + 1);
+    const auto& pg = ctx.partitionedGraph();
+
+    // Global-completion check (While-mode): aggregated total from the
+    // previous timestep covers all vertices -> nothing left to do.
+    if (options_.while_mode && ctx.superstep() == 0 &&
+        ctx.aggregatedU64(kTotalFinalizedAgg) >=
+            ctx.graphTemplate().numVertices()) {
+      done_ = true;
+    }
+    if (done_) {
+      ctx.voteToHaltTimestep();
+      ctx.voteToHalt();
+      return;
+    }
+
+    MinHeap heap;
+    if (ctx.superstep() == 0) {
+      // Fresh tentative labels for this instance; finalized vertices keep
+      // their arrival in tdsp_ and re-enter as roots at t·δ (idling edges).
+      for (const VertexIndex v : sg.vertices) {
+        label_[v] = kInf;
+      }
+      if (t == options_.first_timestep) {
+        if (pg.subgraphOfVertex(options_.source) == sg.id) {
+          label_[options_.source] = 0.0;
+          heap.push({0.0, options_.source});
+        }
+      }
+      // Roots from the previous timestep's frontier (messages carry the
+      // accumulated finalized set F of this subgraph; Alg. 2 line 9-11).
+      const double root_label = delta * static_cast<double>(t);
+      for (const Message& msg : ctx.messages()) {
+        for (const VertexIndex v : decodeVertexList(msg.payload)) {
+          if (root_label < label_[v]) {
+            label_[v] = root_label;
+            heap.push({root_label, v});
+          }
+        }
+      }
+    } else {
+      // Relaxations arriving over remote edges (Alg. 2 line 13-18).
+      for (const Message& msg : ctx.messages()) {
+        for (const auto& item : decodeVertexLabels(msg.payload)) {
+          if (item.label < label_[item.vertex]) {
+            label_[item.vertex] = item.label;
+            heap.push({item.label, item.vertex});
+          }
+        }
+      }
+    }
+
+    // ModifiedSSSP: horizon-bounded Dijkstra inside the subgraph.
+    std::unordered_map<SubgraphId, std::unordered_map<VertexIndex, double>>
+        remote_best;
+    while (!heap.empty()) {
+      const auto [d, v] = heap.top();
+      heap.pop();
+      if (d > label_[v]) {
+        continue;
+      }
+      for (const auto& oe : ctx.graphTemplate().outEdges(v)) {
+        if (options_.exists_attr != TdspOptions::kNoExistsAttr &&
+            !ctx.edgeBool(options_.exists_attr, oe.edge)) {
+          continue;  // road closed during this instance (isExists == false)
+        }
+        const double candidate =
+            d + ctx.edgeDouble(options_.latency_attr, oe.edge);
+        if (candidate > horizon) {
+          continue;  // unknowable beyond this instance's validity window
+        }
+        const SubgraphId dst_sg = pg.subgraphOfVertex(oe.dst);
+        if (dst_sg == sg.id) {
+          if (candidate < label_[oe.dst]) {
+            label_[oe.dst] = candidate;
+            heap.push({candidate, oe.dst});
+          }
+        } else {
+          auto& best = remote_best[dst_sg];
+          const auto it = best.find(oe.dst);
+          if (it == best.end() || candidate < it->second) {
+            best[oe.dst] = candidate;
+          }
+        }
+      }
+    }
+
+    for (const auto& [dst_sg, candidates] : remote_best) {
+      std::vector<VertexLabel> batch;
+      batch.reserve(candidates.size());
+      for (const auto& [v, lbl] : candidates) {
+        batch.push_back({v, lbl});
+      }
+      ctx.sendToSubgraph(dst_sg, encodeVertexLabels(batch));
+    }
+    ctx.voteToHalt();
+  }
+
+  void endOfTimestep(SubgraphContext& ctx) override {
+    const Subgraph& sg = ctx.subgraph();
+    const Timestep t = ctx.timestep();
+
+    if (done_) {
+      // Global completion confirmed last timestep: keep quiet so the
+      // engine's While-loop drains (no F resend; Alg. 2's termination).
+      ctx.aggregate(kTotalFinalizedAgg, finalizedOf(sg).size());
+      return;
+    }
+
+    // Finalize everything that arrived within this timestep's horizon
+    // (Alg. 2 line 27-28) and grow F.
+    auto& finalized = finalizedOf(sg);
+    std::uint64_t newly = 0;
+    for (const VertexIndex v : sg.vertices) {
+      if (finalized_at_[v] < 0 && label_[v] < kInf) {
+        finalized_at_[v] = t;
+        tdsp_[v] = label_[v];
+        finalized.push_back(v);
+        ++newly;
+        if (options_.emit_outputs) {
+          ctx.output("tdsp," +
+                     std::to_string(ctx.graphTemplate().vertexId(v)) + "," +
+                     std::to_string(t) + "," + std::to_string(label_[v]));
+        }
+      }
+    }
+    ctx.addCounter(kTdspFinalizedCounter, newly);
+    ctx.aggregate(kTotalFinalizedAgg, finalized.size());
+
+    // Pass the whole frontier to the same subgraph in the next instance
+    // (Alg. 2 line 29-30), unless this is the final planned timestep.
+    const bool last_planned =
+        t + 1 >= options_.first_timestep +
+                     static_cast<Timestep>(ctx.numTimestepsPlanned());
+    if (!finalized.empty() && !last_planned) {
+      ctx.sendToNextTimestep(encodeVertexList(finalized));
+    }
+  }
+
+ private:
+  std::vector<VertexIndex>& finalizedOf(const Subgraph& sg) {
+    return finalized_by_sg_[sg.id];
+  }
+
+  const TdspOptions& options_;
+  std::vector<double>& tdsp_;
+  std::vector<Timestep>& finalized_at_;
+  std::vector<double> label_;  // tentative labels, this partition's vertices
+  std::unordered_map<SubgraphId, std::vector<VertexIndex>> finalized_by_sg_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+TdspRun runTdsp(const PartitionedGraph& pg, InstanceProvider& provider,
+                const TdspOptions& options) {
+  TSG_CHECK(options.source < pg.graphTemplate().numVertices());
+  TdspRun run;
+  run.tdsp.assign(pg.graphTemplate().numVertices(), kInf);
+  run.finalized_at.assign(pg.graphTemplate().numVertices(), -1);
+
+  TiBspConfig config;
+  config.pattern = Pattern::kSequentiallyDependent;
+  config.first_timestep = options.first_timestep;
+  config.num_timesteps = options.num_timesteps;
+  config.while_mode = options.while_mode;
+  config.maintenance_period = options.maintenance_period;
+
+  TiBspEngine engine(pg, provider);
+  run.exec = engine.run(
+      [&](PartitionId p) {
+        return std::make_unique<TdspProgram>(pg, p, options, run.tdsp,
+                                             run.finalized_at);
+      },
+      config);
+  return run;
+}
+
+}  // namespace tsg

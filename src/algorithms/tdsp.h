@@ -1,0 +1,53 @@
+// Time-Dependent single-source Shortest Path — Algorithm 2 of the paper
+// (sequentially dependent pattern, §III-C).
+//
+// Per timestep t the program runs a horizon-bounded SSSP on instance t's
+// latencies: roots are the source (t == 0) and every already-finalized
+// vertex re-labelled t·δ (the uni-directional "idling" edges); only arrivals
+// ≤ (t+1)·δ may finalize; tentative labels beyond the horizon are discarded
+// because future edge latencies are unknowable. The finalized frontier F is
+// passed to the same subgraph in the next timestep via SendToNextTimestep.
+//
+// While-mode: a global aggregator tracks the total finalized count; once it
+// reaches |V̂| every subgraph votes to halt the timestep loop — this is why
+// the paper's WIKI run converges in 4 timesteps vs 47 for CARN (§IV-B).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace tsg {
+
+struct TdspOptions {
+  static constexpr std::size_t kNoExistsAttr = static_cast<std::size_t>(-1);
+
+  VertexIndex source = 0;
+  std::size_t latency_attr = 0;
+  // Optional bool edge attribute (the paper's isExists convention): edges
+  // whose value is false at a timestep are closed and cannot be traversed
+  // during that instance.
+  std::size_t exists_attr = kNoExistsAttr;
+  Timestep first_timestep = 0;
+  std::int32_t num_timesteps = -1;  // -1 = all instances
+  bool while_mode = true;           // stop once every vertex is finalized
+  std::int32_t maintenance_period = 0;
+  // Emit one "tdsp,<vertex_id>,<timestep>,<arrival>" output line per
+  // finalized vertex (the paper's OUTPUT; off by default — large).
+  bool emit_outputs = false;
+};
+
+struct TdspRun {
+  std::vector<double> tdsp;            // earliest arrival; +inf = never
+  std::vector<Timestep> finalized_at;  // -1 = never
+  TiBspResult exec;
+};
+
+// Counter name: newly finalized vertices per (timestep, partition) — Fig 7a.
+inline constexpr const char* kTdspFinalizedCounter = "tdsp_finalized";
+
+TdspRun runTdsp(const PartitionedGraph& pg, InstanceProvider& provider,
+                const TdspOptions& options);
+
+}  // namespace tsg

@@ -1,0 +1,91 @@
+#include "algorithms/tdsp_vertex.h"
+
+#include <limits>
+
+namespace tsg {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class VertexTdspProgram final : public vertexcentric::TemporalVertexProgram {
+ public:
+  VertexTdspProgram(const VertexTdspOptions& options, std::size_t num_vertices,
+                    std::vector<double>& tdsp,
+                    std::vector<Timestep>& finalized_at)
+      : options_(options),
+        tdsp_(tdsp),
+        finalized_at_(finalized_at),
+        label_(num_vertices, kInf) {}
+
+  void compute(vertexcentric::TemporalVertexContext& ctx) override {
+    const VertexIndex v = ctx.vertex();
+    const Timestep t = ctx.timestep();
+    const auto delta = static_cast<double>(ctx.delta());
+    const double horizon = delta * static_cast<double>(t + 1);
+
+    double best = kInf;
+    if (ctx.superstep() == 0) {
+      // Fresh tentative label; re-seed finalized vertices at t·δ (idling
+      // edges) and the source at 0 in the first timestep.
+      label_[v] = kInf;
+      if (t == options_.first_timestep && v == options_.source) {
+        best = 0.0;
+      } else if (finalized_at_[v] >= 0) {
+        best = delta * static_cast<double>(t);
+      }
+    } else {
+      for (const double m : ctx.messages()) {
+        best = std::min(best, m);
+      }
+    }
+
+    if (best < label_[v] && best <= horizon) {
+      label_[v] = best;
+      for (const auto& oe : ctx.graphTemplate().outEdges(v)) {
+        const double candidate =
+            best + ctx.edgeDouble(options_.latency_attr, oe.edge);
+        if (candidate <= horizon) {
+          ctx.sendTo(oe.dst, candidate);
+        }
+      }
+    }
+    ctx.voteToHalt();
+  }
+
+  void endOfTimestep(VertexIndex v, Timestep t) override {
+    // Disjoint-by-ownership writes: each vertex belongs to one partition.
+    if (finalized_at_[v] < 0 && label_[v] < kInf) {
+      finalized_at_[v] = t;
+      tdsp_[v] = label_[v];
+    }
+  }
+
+ private:
+  const VertexTdspOptions& options_;
+  std::vector<double>& tdsp_;
+  std::vector<Timestep>& finalized_at_;
+  std::vector<double> label_;
+};
+
+}  // namespace
+
+VertexTdspRun runVertexTdsp(const PartitionedGraph& pg,
+                            InstanceProvider& provider,
+                            const VertexTdspOptions& options) {
+  const std::size_t n = pg.graphTemplate().numVertices();
+  TSG_CHECK(options.source < n);
+  VertexTdspRun run;
+  run.tdsp.assign(n, kInf);
+  run.finalized_at.assign(n, -1);
+
+  VertexTdspProgram program(options, n, run.tdsp, run.finalized_at);
+  vertexcentric::TemporalVcConfig config;
+  config.first_timestep = options.first_timestep;
+  config.num_timesteps = options.num_timesteps;
+
+  vertexcentric::TemporalVertexEngine engine(pg, provider);
+  run.exec = engine.run(program, config);
+  return run;
+}
+
+}  // namespace tsg

@@ -1,0 +1,37 @@
+// Vertex-centric TDSP — Algorithm 2 re-expressed for the vertex-centric
+// TI-BSP engine (the "Giraph port" of §IV-C).
+//
+// Semantics are identical to the subgraph-centric runTdsp: per timestep a
+// horizon-bounded relaxation runs from the source (t = first) and from all
+// previously finalized vertices re-labelled t·δ; arrivals ≤ (t+1)·δ
+// finalize at the end of the timestep. The execution differs exactly the
+// way the paper predicts: relaxation proceeds one vertex-hop per superstep
+// (Bellman-Ford) instead of whole-subgraph Dijkstra sweeps, multiplying
+// superstep counts and message volume.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "vertexcentric/ti_engine.h"
+
+namespace tsg {
+
+struct VertexTdspOptions {
+  VertexIndex source = 0;
+  std::size_t latency_attr = 0;
+  Timestep first_timestep = 0;
+  std::int32_t num_timesteps = -1;
+};
+
+struct VertexTdspRun {
+  std::vector<double> tdsp;
+  std::vector<Timestep> finalized_at;
+  vertexcentric::TemporalVcResult exec;
+};
+
+VertexTdspRun runVertexTdsp(const PartitionedGraph& pg,
+                            InstanceProvider& provider,
+                            const VertexTdspOptions& options);
+
+}  // namespace tsg

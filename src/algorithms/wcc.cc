@@ -1,0 +1,111 @@
+#include "algorithms/wcc.h"
+
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "algorithms/codec.h"
+
+namespace tsg {
+namespace {
+
+class WccProgram final : public TiBspProgram {
+ public:
+  WccProgram(std::vector<VertexIndex>& component) : component_(component) {}
+
+  void compute(SubgraphContext& ctx) override {
+    const Subgraph& sg = ctx.subgraph();
+    auto [it, inserted] = label_.try_emplace(sg.id, kInvalidVertexIndex);
+    VertexIndex& label = it->second;
+
+    bool improved = false;
+    if (ctx.superstep() == 0) {
+      // Vertices are ascending, so the subgraph's seed label is the front.
+      label = sg.vertices.front();
+      improved = true;
+    } else {
+      for (const Message& msg : ctx.messages()) {
+        for (const VertexIndex candidate : decodeVertexList(msg.payload)) {
+          if (candidate < label) {
+            label = candidate;
+            improved = true;
+          }
+        }
+      }
+    }
+
+    if (improved) {
+      const auto payload = encodeVertexList({label});
+      for (const SubgraphId neighbor : sg.neighbor_subgraphs) {
+        ctx.sendToSubgraph(neighbor, payload);
+      }
+    }
+    ctx.voteToHalt();
+  }
+
+  void endOfTimestep(SubgraphContext& ctx) override {
+    const Subgraph& sg = ctx.subgraph();
+    const VertexIndex label = label_.at(sg.id);
+    for (const VertexIndex v : sg.vertices) {
+      component_[v] = label;
+    }
+  }
+
+ private:
+  std::vector<VertexIndex>& component_;  // shared result (own vertices)
+  std::unordered_map<SubgraphId, VertexIndex> label_;
+};
+
+}  // namespace
+
+WccRun runSubgraphWcc(const PartitionedGraph& pg, InstanceProvider& provider,
+                      const WccOptions& options) {
+  WccRun run;
+  run.component.assign(pg.graphTemplate().numVertices(), kInvalidVertexIndex);
+
+  TiBspConfig config;
+  config.pattern = Pattern::kSequentiallyDependent;
+  config.first_timestep = options.timestep;
+  config.num_timesteps = 1;
+
+  TiBspEngine engine(pg, provider);
+  run.exec = engine.run(
+      [&](PartitionId) { return std::make_unique<WccProgram>(run.component); },
+      config);
+
+  std::unordered_set<VertexIndex> roots(run.component.begin(),
+                                        run.component.end());
+  roots.erase(kInvalidVertexIndex);
+  run.num_components = roots.size();
+  return run;
+}
+
+namespace reference {
+
+std::vector<VertexIndex> weaklyConnectedComponents(const GraphTemplate& tmpl) {
+  const std::size_t n = tmpl.numVertices();
+  std::vector<VertexIndex> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  const auto find = [&](VertexIndex x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (EdgeIndex e = 0; e < tmpl.numEdges(); ++e) {
+    const VertexIndex a = find(tmpl.edgeSrc(e));
+    const VertexIndex b = find(tmpl.edgeDst(e));
+    if (a != b) {
+      parent[std::max(a, b)] = std::min(a, b);
+    }
+  }
+  std::vector<VertexIndex> component(n);
+  for (VertexIndex v = 0; v < n; ++v) {
+    component[v] = find(v);
+  }
+  return component;
+}
+
+}  // namespace reference
+}  // namespace tsg

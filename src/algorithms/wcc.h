@@ -1,0 +1,37 @@
+// Subgraph-centric weakly connected components on the graph template.
+//
+// The textbook GoFFish example of why coarse granularity wins: every
+// subgraph is internally connected by construction, so it carries ONE
+// component label (the minimum template vertex index seen so far) and the
+// BSP is label propagation over the subgraph meta-graph — supersteps scale
+// with the meta-graph diameter (a handful) instead of the vertex-graph
+// diameter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace tsg {
+
+struct WccOptions {
+  Timestep timestep = 0;  // instance to bind (topology-only algorithm)
+};
+
+struct WccRun {
+  // component[v] = smallest template vertex index in v's weak component.
+  std::vector<VertexIndex> component;
+  std::size_t num_components = 0;
+  TiBspResult exec;
+};
+
+WccRun runSubgraphWcc(const PartitionedGraph& pg, InstanceProvider& provider,
+                      const WccOptions& options = {});
+
+namespace reference {
+// Sequential union-find ground truth (same labeling convention).
+std::vector<VertexIndex> weaklyConnectedComponents(const GraphTemplate& tmpl);
+}  // namespace reference
+
+}  // namespace tsg

@@ -1,0 +1,67 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace tsg {
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_log_mutex;
+
+const char* levelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void setLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel logLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >=
+               g_log_level.load(std::memory_order_relaxed)),
+      level_(level) {
+  if (enabled_) {
+    // Only the basename keeps lines short.
+    std::string_view path(file);
+    const auto slash = path.find_last_of('/');
+    if (slash != std::string_view::npos) {
+      path.remove_prefix(slash + 1);
+    }
+    stream_ << "[" << levelTag(level_) << " " << path << ":" << line << "] ";
+  }
+}
+
+LogLine::~LogLine() {
+  if (!enabled_) {
+    return;
+  }
+  stream_ << '\n';
+  const std::string text = stream_.str();
+  std::lock_guard lock(g_log_mutex);
+  std::fwrite(text.data(), 1, text.size(), stderr);
+  std::fflush(stderr);
+}
+
+}  // namespace detail
+}  // namespace tsg

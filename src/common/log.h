@@ -1,0 +1,47 @@
+// Minimal leveled logger. Thread-safe, writes to stderr.
+//
+// Usage: TSG_LOG(Info) << "loaded " << n << " slices";
+// The stream is buffered per-statement and flushed atomically, so lines from
+// concurrent partition workers never interleave.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace tsg {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global threshold; messages below it are compiled but skipped at runtime.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace tsg
+
+#define TSG_LOG(severity)                                              \
+  ::tsg::detail::LogLine(::tsg::LogLevel::k##severity, __FILE__, __LINE__)

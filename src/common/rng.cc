@@ -1,0 +1,22 @@
+#include "common/rng.h"
+
+namespace tsg {
+
+std::uint64_t Rng::uniformBelow(std::uint64_t bound) {
+  TSG_CHECK(bound > 0);
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (~bound + 1) % bound;  // (2^64 - bound) % bound
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace tsg

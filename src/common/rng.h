@@ -1,0 +1,95 @@
+// Deterministic random number generation.
+//
+// Every generator and randomized algorithm in tsgraph takes an explicit
+// 64-bit seed; there is no global RNG. Xoshiro256** is the workhorse
+// generator, seeded through SplitMix64 (the construction recommended by the
+// xoshiro authors). Both are reproducible across platforms.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace tsg {
+
+// SplitMix64: tiny, fast, used for seeding and hash mixing.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Xoshiro256**: the library-wide PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) {
+      s = sm.next();
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  // Lemire's multiply-shift with rejection for unbiased results.
+  std::uint64_t uniformBelow(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi) {
+    TSG_CHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    uniformBelow(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double uniformDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * uniformDouble();
+  }
+
+  // Bernoulli trial with probability p in [0, 1].
+  bool bernoulli(double p) { return uniformDouble() < p; }
+
+  // A new generator with an independent stream derived from this seed space.
+  Rng fork() { return Rng(next() ^ 0xA02BDBF7BB3C0A7ULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace tsg

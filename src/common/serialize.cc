@@ -1,0 +1,110 @@
+#include "common/serialize.h"
+
+#include <cstdio>
+
+namespace tsg {
+
+void BinaryWriter::writeVarint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buffer_.push_back(static_cast<std::uint8_t>(v | 0x80));
+    v >>= 7;
+  }
+  buffer_.push_back(static_cast<std::uint8_t>(v));
+}
+
+Status BinaryReader::readU8(std::uint8_t& out) {
+  if (remaining() < 1) {
+    return Status::corruptData("u8 read past end of buffer");
+  }
+  out = data_[pos_++];
+  return Status::ok();
+}
+
+Status BinaryReader::readVarint(std::uint64_t& out) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (remaining() < 1) {
+      return Status::corruptData("varint truncated");
+    }
+    if (shift >= 64) {
+      return Status::corruptData("varint too long");
+    }
+    const std::uint8_t byte = data_[pos_++];
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      break;
+    }
+    shift += 7;
+  }
+  out = v;
+  return Status::ok();
+}
+
+Status BinaryReader::readString(std::string& out) {
+  std::uint64_t n = 0;
+  TSG_RETURN_IF_ERROR(readVarint(n));
+  if (remaining() < n) {
+    return Status::corruptData("string truncated");
+  }
+  out.assign(reinterpret_cast<const char*>(data_.data() + pos_),
+             static_cast<std::size_t>(n));
+  pos_ += static_cast<std::size_t>(n);
+  return Status::ok();
+}
+
+Status BinaryReader::readStringVector(std::vector<std::string>& out) {
+  std::uint64_t n = 0;
+  TSG_RETURN_IF_ERROR(readVarint(n));
+  out.clear();
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string s;
+    TSG_RETURN_IF_ERROR(readString(s));
+    out.push_back(std::move(s));
+  }
+  return Status::ok();
+}
+
+Status writeFileBytes(const std::string& path,
+                      std::span<const std::uint8_t> data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::ioError("cannot open for write: " + path);
+  }
+  std::size_t written = 0;
+  if (!data.empty()) {
+    written = std::fwrite(data.data(), 1, data.size(), f);
+  }
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != data.size() || !close_ok) {
+    return Status::ioError("short write: " + path);
+  }
+  return Status::ok();
+}
+
+Result<std::vector<std::uint8_t>> readFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::ioError("cannot open for read: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::ioError("cannot stat: " + path);
+  }
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
+  std::size_t got = 0;
+  if (size > 0) {
+    got = std::fread(data.data(), 1, data.size(), f);
+  }
+  std::fclose(f);
+  if (got != data.size()) {
+    return Status::ioError("short read: " + path);
+  }
+  return data;
+}
+
+}  // namespace tsg

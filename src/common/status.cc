@@ -1,0 +1,54 @@
+#include "common/status.h"
+
+#include <cstdio>
+
+namespace tsg {
+
+std::string_view errorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "Ok";
+    case ErrorCode::kInvalidArgument:
+      return "InvalidArgument";
+    case ErrorCode::kNotFound:
+      return "NotFound";
+    case ErrorCode::kAlreadyExists:
+      return "AlreadyExists";
+    case ErrorCode::kOutOfRange:
+      return "OutOfRange";
+    case ErrorCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case ErrorCode::kInternal:
+      return "Internal";
+    case ErrorCode::kIoError:
+      return "IoError";
+    case ErrorCode::kCorruptData:
+      return "CorruptData";
+    case ErrorCode::kUnimplemented:
+      return "Unimplemented";
+  }
+  return "Unknown";
+}
+
+std::string Status::toString() const {
+  if (isOk()) {
+    return "Ok";
+  }
+  std::string out(errorCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace detail {
+
+void checkFailed(const char* file, int line, const char* expr,
+                 const std::string& extra) {
+  std::fprintf(stderr, "TSG_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               extra.empty() ? "" : " — ", extra.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace tsg

@@ -1,0 +1,168 @@
+// Lightweight status / result types used across the tsgraph library.
+//
+// The library avoids exceptions on hot paths (per-superstep, per-message
+// code); fallible construction and I/O return Status or Result<T>.
+// Programming errors (contract violations) use TSG_CHECK which aborts.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tsg {
+
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+  kCorruptData,
+  kUnimplemented,
+};
+
+// Human-readable name of an error code ("InvalidArgument", ...).
+std::string_view errorCodeName(ErrorCode code);
+
+// A status is either OK or carries an error code plus a message.
+// Cheap to copy in the OK case (empty string).
+class Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+  static Status invalidArgument(std::string msg) {
+    return {ErrorCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status notFound(std::string msg) {
+    return {ErrorCode::kNotFound, std::move(msg)};
+  }
+  static Status alreadyExists(std::string msg) {
+    return {ErrorCode::kAlreadyExists, std::move(msg)};
+  }
+  static Status outOfRange(std::string msg) {
+    return {ErrorCode::kOutOfRange, std::move(msg)};
+  }
+  static Status failedPrecondition(std::string msg) {
+    return {ErrorCode::kFailedPrecondition, std::move(msg)};
+  }
+  static Status internal(std::string msg) {
+    return {ErrorCode::kInternal, std::move(msg)};
+  }
+  static Status ioError(std::string msg) {
+    return {ErrorCode::kIoError, std::move(msg)};
+  }
+  static Status corruptData(std::string msg) {
+    return {ErrorCode::kCorruptData, std::move(msg)};
+  }
+  static Status unimplemented(std::string msg) {
+    return {ErrorCode::kUnimplemented, std::move(msg)};
+  }
+
+  [[nodiscard]] bool isOk() const { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  // "Ok" or "<CodeName>: <message>".
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+// Result<T>: either a value or an error Status. A minimal std::expected
+// stand-in (libstdc++ 12 does not ship <expected>).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    ensureError();
+  }
+
+  [[nodiscard]] bool isOk() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] T& value() & {
+    checkHasValue();
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    checkHasValue();
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    checkHasValue();
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] T valueOr(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void ensureError();
+  void checkHasValue() const;
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace detail {
+[[noreturn]] void checkFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+}  // namespace detail
+
+template <typename T>
+void Result<T>::ensureError() {
+  if (status_.isOk()) {
+    detail::checkFailed(__FILE__, __LINE__, "Result(Status)",
+                        "constructed from an OK status");
+  }
+}
+
+template <typename T>
+void Result<T>::checkHasValue() const {
+  if (!value_.has_value()) {
+    detail::checkFailed(__FILE__, __LINE__, "Result::value()",
+                        status_.toString());
+  }
+}
+
+// Contract check: aborts with file/line on failure. Active in all builds —
+// the invariants it protects (index bounds, BSP protocol state) are cheap
+// relative to the work they guard.
+#define TSG_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) [[unlikely]] {                                        \
+      ::tsg::detail::checkFailed(__FILE__, __LINE__, #expr, "");       \
+    }                                                                  \
+  } while (0)
+
+#define TSG_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) [[unlikely]] {                                        \
+      ::tsg::detail::checkFailed(__FILE__, __LINE__, #expr, (msg));    \
+    }                                                                  \
+  } while (0)
+
+// Propagate a non-OK status from a Status-returning expression.
+#define TSG_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::tsg::Status tsg_status_ = (expr);      \
+    if (!tsg_status_.isOk()) {               \
+      return tsg_status_;                    \
+    }                                        \
+  } while (0)
+
+}  // namespace tsg

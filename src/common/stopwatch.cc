@@ -1,0 +1,26 @@
+#include "common/stopwatch.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <ctime>
+#define TSG_HAVE_THREAD_CPUTIME 1
+#endif
+
+namespace tsg {
+
+std::int64_t threadCpuNowNs() {
+#if defined(TSG_HAVE_THREAD_CPUTIME)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+  }
+#endif
+  return steadyNowNs();
+}
+
+std::int64_t msToNs(double ms) { return static_cast<std::int64_t>(ms * 1e6); }
+
+double nsToMs(std::int64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+double nsToSec(std::int64_t ns) { return static_cast<double>(ns) / 1e9; }
+
+}  // namespace tsg

@@ -1,0 +1,41 @@
+// ASCII table and CSV rendering for the benchmark harness.
+//
+// The bench binaries print paper-style tables/series with this; keeping the
+// formatting in one place makes every bench's output uniform.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsg {
+
+// A simple row/column table. Columns are sized to the widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Adds a row; must have the same arity as the header.
+  void addRow(std::vector<std::string> cells);
+
+  // Convenience cell formatting.
+  static std::string fmtDouble(double v, int precision = 2);
+  static std::string fmtPercent(double fraction, int precision = 2);
+  static std::string fmtCount(std::uint64_t v);
+
+  // Renders with aligned columns and a header separator.
+  [[nodiscard]] std::string render() const;
+
+  // Renders as CSV (header + rows), for machine consumption.
+  [[nodiscard]] std::string renderCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Writes text to a file, creating parent directories as needed.
+// Returns false on I/O failure (already logged).
+bool writeTextFile(const std::string& path, const std::string& text);
+
+}  // namespace tsg

@@ -1,0 +1,51 @@
+// A fixed-size thread pool used for temporal concurrency in the TI-BSP
+// engine (independent / eventually dependent patterns) and by generators.
+//
+// The BSP runtime itself does NOT use this pool: partition workers are
+// long-lived dedicated threads (see runtime/cluster.h) because BSP metering
+// needs a stable thread-per-partition mapping.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tsg {
+
+class ThreadPool {
+ public:
+  // num_threads == 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task; runs as soon as a worker is free.
+  void submit(std::function<void()> task);
+
+  // Blocks until every submitted task has completed.
+  void waitIdle();
+
+  // Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] std::size_t numThreads() const { return threads_.size(); }
+
+ private:
+  void workerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace tsg

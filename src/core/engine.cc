@@ -1,0 +1,807 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#if defined(__GLIBC__) || defined(__linux__)
+#include <malloc.h>
+#define TSG_HAVE_MALLOC_TRIM 1
+#endif
+
+#include "common/log.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "runtime/cluster.h"
+#include "runtime/message_bus.h"
+
+namespace tsg {
+namespace core_detail {
+
+// Per-partition execution state backing SubgraphContext. Each instance is
+// touched only by its partition's worker thread during a round; the
+// coordinator reads/drains it between rounds.
+class WorkerState {
+ public:
+  WorkerState(const PartitionedGraph& pg, PartitionId p, MessageBus& bus,
+              Pattern pattern, std::size_t planned_timesteps, std::int64_t t0,
+              std::int64_t delta)
+      : pg_(pg),
+        partition_(p),
+        bus_(bus),
+        pattern_(pattern),
+        planned_timesteps_(planned_timesteps),
+        t0_(t0),
+        delta_(delta) {
+    const std::size_t n = pg.partition(p).subgraphs.size();
+    sg_inbox.resize(n);
+    halted.assign(n, 0);
+    halt_timestep.assign(n, 0);
+  }
+
+  SubgraphContext makeContext() { return SubgraphContext(*this); }
+
+  // Immutable across the run.
+  const PartitionedGraph& pg_;
+  PartitionId partition_;
+  MessageBus& bus_;
+  Pattern pattern_;
+  std::size_t planned_timesteps_;
+  std::int64_t t0_;
+  std::int64_t delta_;
+
+  TiBspProgram* program = nullptr;
+
+  // Per-timestep / per-superstep.
+  const PartitionInstanceData* instance = nullptr;
+  Timestep timestep = 0;
+  std::int32_t superstep = 0;
+  ExecPhase phase = ExecPhase::kCompute;
+
+  std::vector<std::vector<Message>> sg_inbox;  // by subgraph local index
+  std::vector<std::uint8_t> halted;
+  std::vector<std::uint8_t> halt_timestep;
+
+  // Subgraph currently being served.
+  std::uint32_t cur_local = 0;
+  const Subgraph* cur_sg = nullptr;
+
+  // Outgoing inter-timestep / merge traffic (drained by the coordinator).
+  std::vector<Message> next_msgs;
+  std::vector<Message> merge_msgs;
+
+  // Metering accumulators, drained per superstep.
+  std::int64_t send_ns = 0;
+  std::int64_t load_ns = 0;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t subgraphs_computed = 0;
+
+  // Results.
+  std::vector<std::string> outputs;
+  std::vector<std::pair<std::string, std::uint64_t>> counter_events;
+
+  // Aggregators: events raised this timestep; snapshot of last timestep's
+  // sums (coordinator-maintained; serial temporal mode only).
+  std::vector<std::pair<std::string, std::uint64_t>> agg_events;
+  std::map<std::string, std::uint64_t> agg_prev;
+};
+
+}  // namespace core_detail
+
+using core_detail::WorkerState;
+
+// ---------------------------------------------------------------------------
+// SubgraphContext — thin forwarding layer over WorkerState.
+// ---------------------------------------------------------------------------
+
+SubgraphId SubgraphContext::subgraphId() const {
+  TSG_CHECK(state_.cur_sg != nullptr);
+  return state_.cur_sg->id;
+}
+PartitionId SubgraphContext::partitionId() const { return state_.partition_; }
+Timestep SubgraphContext::timestep() const { return state_.timestep; }
+std::int32_t SubgraphContext::superstep() const { return state_.superstep; }
+ExecPhase SubgraphContext::phase() const { return state_.phase; }
+std::size_t SubgraphContext::numTimestepsPlanned() const {
+  return state_.planned_timesteps_;
+}
+std::int64_t SubgraphContext::delta() const { return state_.delta_; }
+std::int64_t SubgraphContext::timestampOf(Timestep t) const {
+  return state_.t0_ + static_cast<std::int64_t>(t) * state_.delta_;
+}
+
+const GraphTemplate& SubgraphContext::graphTemplate() const {
+  return state_.pg_.graphTemplate();
+}
+const PartitionedGraph& SubgraphContext::partitionedGraph() const {
+  return state_.pg_;
+}
+const Subgraph& SubgraphContext::subgraph() const {
+  TSG_CHECK(state_.cur_sg != nullptr);
+  return *state_.cur_sg;
+}
+bool SubgraphContext::ownsVertex(VertexIndex v) const {
+  return state_.pg_.partitionOfVertex(v) == state_.partition_;
+}
+
+namespace {
+
+const PartitionInstanceData& instanceOf(const WorkerState& st) {
+  TSG_CHECK_MSG(st.instance != nullptr,
+                "instance values are unavailable in the Merge phase");
+  return *st.instance;
+}
+
+std::uint32_t vertexSlot(const WorkerState& st, VertexIndex v) {
+  TSG_CHECK_MSG(st.pg_.partitionOfVertex(v) == st.partition_,
+                "vertex not owned by this partition");
+  return st.pg_.localIndexOfVertex(v);
+}
+
+std::uint32_t edgeSlot(const WorkerState& st, EdgeIndex e) {
+  TSG_CHECK_MSG(st.pg_.partitionOfVertex(st.pg_.graphTemplate().edgeSrc(e)) ==
+                    st.partition_,
+                "edge not owned by this partition");
+  return st.pg_.localIndexOfEdge(e);
+}
+
+}  // namespace
+
+std::int64_t SubgraphContext::vertexInt64(std::size_t attr,
+                                          VertexIndex v) const {
+  const auto& inst = instanceOf(state_);
+  TSG_CHECK(attr < inst.vertex_cols.size());
+  return inst.vertex_cols[attr].asInt64()[vertexSlot(state_, v)];
+}
+double SubgraphContext::vertexDouble(std::size_t attr, VertexIndex v) const {
+  const auto& inst = instanceOf(state_);
+  TSG_CHECK(attr < inst.vertex_cols.size());
+  return inst.vertex_cols[attr].asDouble()[vertexSlot(state_, v)];
+}
+bool SubgraphContext::vertexBool(std::size_t attr, VertexIndex v) const {
+  const auto& inst = instanceOf(state_);
+  TSG_CHECK(attr < inst.vertex_cols.size());
+  return inst.vertex_cols[attr].asBool()[vertexSlot(state_, v)] != 0;
+}
+const std::string& SubgraphContext::vertexString(std::size_t attr,
+                                                 VertexIndex v) const {
+  const auto& inst = instanceOf(state_);
+  TSG_CHECK(attr < inst.vertex_cols.size());
+  return inst.vertex_cols[attr].asString()[vertexSlot(state_, v)];
+}
+const std::vector<std::string>& SubgraphContext::vertexStringList(
+    std::size_t attr, VertexIndex v) const {
+  const auto& inst = instanceOf(state_);
+  TSG_CHECK(attr < inst.vertex_cols.size());
+  return inst.vertex_cols[attr].asStringList()[vertexSlot(state_, v)];
+}
+std::int64_t SubgraphContext::edgeInt64(std::size_t attr, EdgeIndex e) const {
+  const auto& inst = instanceOf(state_);
+  TSG_CHECK(attr < inst.edge_cols.size());
+  return inst.edge_cols[attr].asInt64()[edgeSlot(state_, e)];
+}
+double SubgraphContext::edgeDouble(std::size_t attr, EdgeIndex e) const {
+  const auto& inst = instanceOf(state_);
+  TSG_CHECK(attr < inst.edge_cols.size());
+  return inst.edge_cols[attr].asDouble()[edgeSlot(state_, e)];
+}
+bool SubgraphContext::edgeBool(std::size_t attr, EdgeIndex e) const {
+  const auto& inst = instanceOf(state_);
+  TSG_CHECK(attr < inst.edge_cols.size());
+  return inst.edge_cols[attr].asBool()[edgeSlot(state_, e)] != 0;
+}
+
+std::span<const Message> SubgraphContext::messages() const {
+  TSG_CHECK(state_.cur_local < state_.sg_inbox.size());
+  return state_.sg_inbox[state_.cur_local];
+}
+
+void SubgraphContext::sendToSubgraph(SubgraphId dst,
+                                     std::vector<std::uint8_t> payload) {
+  auto& st = state_;
+  TSG_CHECK_MSG(st.phase == ExecPhase::kCompute ||
+                    st.phase == ExecPhase::kMerge,
+                "sendToSubgraph is a Compute/Merge construct");
+  ScopedCpuTimer timer(st.send_ns);
+  Message msg;
+  msg.src = st.cur_sg->id;
+  msg.dst = dst;
+  msg.payload = std::move(payload);
+  ++st.msgs_sent;
+  st.bytes_sent += msg.byteSize();
+  st.bus_.send(st.partition_, st.pg_.partitionOfSubgraph(dst), std::move(msg));
+}
+
+void SubgraphContext::sendToNextTimestep(std::vector<std::uint8_t> payload) {
+  sendToSubgraphInNextTimestep(state_.cur_sg->id, std::move(payload));
+}
+
+void SubgraphContext::sendToSubgraphInNextTimestep(
+    SubgraphId dst, std::vector<std::uint8_t> payload) {
+  auto& st = state_;
+  TSG_CHECK_MSG(st.pattern_ == Pattern::kSequentiallyDependent,
+                "inter-timestep messaging requires the sequentially "
+                "dependent pattern");
+  TSG_CHECK(st.phase != ExecPhase::kMerge);
+  ScopedCpuTimer timer(st.send_ns);
+  Message msg;
+  msg.src = st.cur_sg->id;
+  msg.dst = dst;
+  msg.origin_timestep = st.timestep;
+  msg.payload = std::move(payload);
+  ++st.msgs_sent;
+  st.bytes_sent += msg.byteSize();
+  st.next_msgs.push_back(std::move(msg));
+}
+
+void SubgraphContext::sendMessageToMerge(std::vector<std::uint8_t> payload) {
+  auto& st = state_;
+  TSG_CHECK_MSG(st.pattern_ == Pattern::kEventuallyDependent,
+                "sendMessageToMerge requires the eventually dependent "
+                "pattern");
+  TSG_CHECK(st.phase != ExecPhase::kMerge);
+  ScopedCpuTimer timer(st.send_ns);
+  Message msg;
+  msg.src = st.cur_sg->id;
+  msg.dst = st.cur_sg->id;
+  msg.origin_timestep = st.timestep;
+  msg.payload = std::move(payload);
+  ++st.msgs_sent;
+  st.bytes_sent += msg.byteSize();
+  st.merge_msgs.push_back(std::move(msg));
+}
+
+void SubgraphContext::voteToHalt() {
+  state_.halted[state_.cur_local] = 1;
+}
+
+void SubgraphContext::voteToHaltTimestep() {
+  TSG_CHECK(state_.phase != ExecPhase::kMerge);
+  state_.halt_timestep[state_.cur_local] = 1;
+}
+
+void SubgraphContext::output(std::string line) {
+  state_.outputs.push_back(std::move(line));
+}
+
+void SubgraphContext::addCounter(std::string_view name, std::uint64_t value) {
+  state_.counter_events.emplace_back(std::string(name), value);
+}
+
+void SubgraphContext::aggregate(std::string_view name, std::uint64_t value) {
+  TSG_CHECK(state_.phase != ExecPhase::kMerge);
+  state_.agg_events.emplace_back(std::string(name), value);
+}
+
+std::uint64_t SubgraphContext::aggregatedU64(std::string_view name) const {
+  const auto it = state_.agg_prev.find(std::string(name));
+  return it == state_.agg_prev.end() ? 0 : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Engine internals.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Abstracts how a round is executed across partitions: a Cluster (spatial
+// concurrency) or a sequential loop (inside a temporally concurrent task).
+using RoundRunner = std::function<std::vector<Cluster::RoundTiming>(
+    const std::function<void(PartitionId)>&)>;
+
+RoundRunner makeClusterRunner(Cluster& cluster) {
+  return [&cluster](const std::function<void(PartitionId)>& job) {
+    return cluster.run(job);
+  };
+}
+
+RoundRunner makeSequentialRunner(std::uint32_t num_partitions) {
+  return [num_partitions](const std::function<void(PartitionId)>& job) {
+    std::vector<Cluster::RoundTiming> timings(num_partitions);
+    for (PartitionId p = 0; p < num_partitions; ++p) {
+      const std::int64_t start = steadyNowNs();
+      job(p);
+      timings[p].busy_ns = steadyNowNs() - start;
+      timings[p].sync_ns = 0;
+    }
+    return timings;
+  };
+}
+
+void routeBySubgraphPartition(const PartitionedGraph& pg,
+                              std::vector<Message> msgs, MessageBus& bus) {
+  std::vector<std::vector<Message>> grouped(pg.numPartitions());
+  for (auto& msg : msgs) {
+    TSG_CHECK_MSG(msg.dst < pg.numSubgraphs(), "message to unknown subgraph");
+    grouped[pg.partitionOfSubgraph(msg.dst)].push_back(std::move(msg));
+  }
+  for (PartitionId p = 0; p < grouped.size(); ++p) {
+    if (!grouped[p].empty()) {
+      bus.inject(p, std::move(grouped[p]));
+    }
+  }
+}
+
+void distributeInbox(WorkerState& st) {
+  auto& inbox = st.bus_.inbox(st.partition_);
+  for (auto& msg : inbox) {
+    TSG_CHECK(msg.dst != kInvalidSubgraph);
+    TSG_CHECK(st.pg_.partitionOfSubgraph(msg.dst) == st.partition_);
+    st.sg_inbox[st.pg_.subgraphIndexInPartition(msg.dst)].push_back(
+        std::move(msg));
+  }
+  inbox.clear();
+}
+
+// Drains per-superstep meters from a state into a stats record entry.
+void drainPartitionStats(WorkerState& st, PartitionSuperstepStats& ps,
+                         const Cluster::RoundTiming& timing) {
+  ps.send_ns = std::exchange(st.send_ns, 0);
+  ps.load_ns = std::exchange(st.load_ns, 0);
+  ps.compute_ns =
+      std::max<std::int64_t>(0, timing.busy_ns - ps.send_ns - ps.load_ns);
+  ps.sync_ns = timing.sync_ns;
+  ps.messages_sent = std::exchange(st.msgs_sent, 0);
+  ps.bytes_sent = std::exchange(st.bytes_sent, 0);
+  ps.subgraphs_computed = std::exchange(st.subgraphs_computed, 0);
+}
+
+struct TimestepOutcome {
+  bool all_halt_timestep = false;
+  std::int32_t supersteps = 0;
+};
+
+struct ExecEnv {
+  const PartitionedGraph& pg;
+  InstanceProvider& provider;
+  const TiBspConfig& config;
+  std::vector<std::unique_ptr<WorkerState>>& states;
+  MessageBus& bus;
+  const RoundRunner& round;
+  RunStats& stats;
+  std::mutex* stats_mutex;  // null when single coordinator thread
+};
+
+void commitRecord(ExecEnv& env, SuperstepRecord rec, Timestep counter_t) {
+  // Flush counters alongside the record; the lock covers temporally
+  // concurrent tasks appending out of order.
+  std::unique_lock<std::mutex> lock;
+  if (env.stats_mutex != nullptr) {
+    lock = std::unique_lock(*env.stats_mutex);
+  }
+  for (auto& st_ptr : env.states) {
+    auto& st = *st_ptr;
+    for (const auto& [name, value] : st.counter_events) {
+      env.stats.addCounter(name, counter_t, st.partition_, value);
+    }
+    st.counter_events.clear();
+  }
+  env.stats.addSuperstep(std::move(rec));
+}
+
+// One full BSP over the instance at timestep t. seed_msgs are injected
+// before superstep 0 (inter-timestep or application-input traffic).
+TimestepOutcome runOneTimestep(ExecEnv& env, Timestep t,
+                               std::vector<Message> seed_msgs) {
+  const auto k = static_cast<std::uint32_t>(env.states.size());
+  for (auto& st_ptr : env.states) {
+    auto& st = *st_ptr;
+    st.timestep = t;
+    st.superstep = 0;
+    st.phase = ExecPhase::kCompute;
+    st.instance = nullptr;
+    std::fill(st.halted.begin(), st.halted.end(), 0);
+    std::fill(st.halt_timestep.begin(), st.halt_timestep.end(), 0);
+  }
+  routeBySubgraphPartition(env.pg, std::move(seed_msgs), env.bus);
+
+  TimestepOutcome outcome;
+  std::int32_t s = 0;
+  while (true) {
+    for (auto& st_ptr : env.states) {
+      st_ptr->superstep = s;
+    }
+    const auto& timings = env.round([&env, t, s](PartitionId p) {
+      auto& st = *env.states[p];
+      if (s == 0) {
+        st.instance = &env.provider.instanceFor(p, t);
+        st.load_ns += env.provider.takeLoadNs(p);
+      }
+      distributeInbox(st);
+      const Partition& part = env.pg.partition(p);
+      for (std::uint32_t i = 0; i < part.subgraphs.size(); ++i) {
+        const bool has_msgs = !st.sg_inbox[i].empty();
+        const bool active = s == 0 || has_msgs || st.halted[i] == 0;
+        if (!active) {
+          continue;
+        }
+        st.halted[i] = 0;  // must re-vote to stay halted
+        st.cur_local = i;
+        st.cur_sg = &part.subgraphs[i];
+        auto ctx = st.makeContext();
+        st.program->compute(ctx);
+        ++st.subgraphs_computed;
+        st.sg_inbox[i].clear();
+      }
+    });
+
+    SuperstepRecord rec;
+    rec.timestep = t;
+    rec.superstep = s;
+    rec.parts.resize(k);
+    bool all_halted = true;
+    for (PartitionId p = 0; p < k; ++p) {
+      auto& st = *env.states[p];
+      drainPartitionStats(st, rec.parts[p], timings[p]);
+      all_halted = all_halted &&
+                   std::all_of(st.halted.begin(), st.halted.end(),
+                               [](std::uint8_t h) { return h != 0; });
+    }
+    const auto delivery = env.bus.deliver();
+    rec.delivered_messages = delivery.messages;
+    rec.delivered_bytes = delivery.bytes;
+    rec.cross_partition_messages = delivery.cross_partition_messages;
+    rec.cross_partition_bytes = delivery.cross_partition_bytes;
+    commitRecord(env, std::move(rec), t);
+
+    ++s;
+    if (all_halted && delivery.messages == 0) {
+      break;
+    }
+    if (s >= env.config.max_supersteps_per_timestep) {
+      TSG_LOG(Warn) << "timestep " << t << " hit the superstep cap ("
+                    << s << "); aborting its BSP";
+      env.bus.clearAll();
+      break;
+    }
+  }
+  outcome.supersteps = s;
+
+  // EndOfTimestep hook: every subgraph, one round (metered like a superstep).
+  for (auto& st_ptr : env.states) {
+    st_ptr->superstep = s;
+    st_ptr->phase = ExecPhase::kEndOfTimestep;
+  }
+  const auto& eot_timings = env.round([&env](PartitionId p) {
+    auto& st = *env.states[p];
+    const Partition& part = env.pg.partition(p);
+    for (std::uint32_t i = 0; i < part.subgraphs.size(); ++i) {
+      st.cur_local = i;
+      st.cur_sg = &part.subgraphs[i];
+      auto ctx = st.makeContext();
+      st.program->endOfTimestep(ctx);
+    }
+  });
+  SuperstepRecord eot_rec;
+  eot_rec.timestep = t;
+  eot_rec.superstep = s;
+  eot_rec.parts.resize(k);
+  bool all_halt_timestep = true;
+  for (PartitionId p = 0; p < k; ++p) {
+    auto& st = *env.states[p];
+    drainPartitionStats(st, eot_rec.parts[p], eot_timings[p]);
+    all_halt_timestep =
+        all_halt_timestep &&
+        std::all_of(st.halt_timestep.begin(), st.halt_timestep.end(),
+                    [](std::uint8_t h) { return h != 0; });
+  }
+  commitRecord(env, std::move(eot_rec), t);
+  outcome.all_halt_timestep = all_halt_timestep;
+  return outcome;
+}
+
+// The Merge BSP of the eventually dependent pattern (§II-D). Runs over the
+// subgraph templates; instance values are unavailable.
+void runMergePhase(ExecEnv& env, std::vector<Message> merge_pool,
+                   Timestep stats_timestep) {
+  const auto k = static_cast<std::uint32_t>(env.states.size());
+  for (auto& st_ptr : env.states) {
+    auto& st = *st_ptr;
+    st.timestep = stats_timestep;
+    st.phase = ExecPhase::kMerge;
+    st.instance = nullptr;
+    std::fill(st.halted.begin(), st.halted.end(), 0);
+  }
+  routeBySubgraphPartition(env.pg, std::move(merge_pool), env.bus);
+
+  std::int32_t s = 0;
+  while (true) {
+    for (auto& st_ptr : env.states) {
+      st_ptr->superstep = s;
+    }
+    const auto& timings = env.round([&env, s](PartitionId p) {
+      auto& st = *env.states[p];
+      distributeInbox(st);
+      const Partition& part = env.pg.partition(p);
+      for (std::uint32_t i = 0; i < part.subgraphs.size(); ++i) {
+        const bool has_msgs = !st.sg_inbox[i].empty();
+        const bool active = s == 0 || has_msgs || st.halted[i] == 0;
+        if (!active) {
+          continue;
+        }
+        st.halted[i] = 0;
+        st.cur_local = i;
+        st.cur_sg = &part.subgraphs[i];
+        auto ctx = st.makeContext();
+        st.program->merge(ctx);
+        ++st.subgraphs_computed;
+        st.sg_inbox[i].clear();
+      }
+    });
+
+    SuperstepRecord rec;
+    rec.timestep = stats_timestep;
+    rec.superstep = s;
+    rec.is_merge_phase = true;
+    rec.parts.resize(k);
+    bool all_halted = true;
+    for (PartitionId p = 0; p < k; ++p) {
+      auto& st = *env.states[p];
+      drainPartitionStats(st, rec.parts[p], timings[p]);
+      all_halted = all_halted &&
+                   std::all_of(st.halted.begin(), st.halted.end(),
+                               [](std::uint8_t h) { return h != 0; });
+    }
+    const auto delivery = env.bus.deliver();
+    rec.delivered_messages = delivery.messages;
+    rec.delivered_bytes = delivery.bytes;
+    rec.cross_partition_messages = delivery.cross_partition_messages;
+    rec.cross_partition_bytes = delivery.cross_partition_bytes;
+    commitRecord(env, std::move(rec), stats_timestep);
+
+    ++s;
+    if (all_halted && delivery.messages == 0) {
+      break;
+    }
+    if (s >= env.config.max_supersteps_per_timestep) {
+      TSG_LOG(Warn) << "merge phase hit the superstep cap; aborting";
+      env.bus.clearAll();
+      break;
+    }
+  }
+}
+
+// Synchronized maintenance pause: the structural stand-in for the paper's
+// forced System.gc() every 20 timesteps (§IV-D). Each partition trims its
+// allocator arenas; the round is recorded so it shows in per-timestep time.
+void runMaintenance(ExecEnv& env, Timestep t) {
+  const auto k = static_cast<std::uint32_t>(env.states.size());
+  const auto& timings = env.round([](PartitionId) {
+#if defined(TSG_HAVE_MALLOC_TRIM)
+    malloc_trim(0);
+#endif
+  });
+  SuperstepRecord rec;
+  rec.timestep = t;
+  rec.superstep = -1;  // marks a maintenance round
+  rec.parts.resize(k);
+  for (PartitionId p = 0; p < k; ++p) {
+    rec.parts[p].compute_ns = timings[p].busy_ns;
+    rec.parts[p].sync_ns = timings[p].sync_ns;
+  }
+  commitRecord(env, std::move(rec), t);
+}
+
+std::vector<std::unique_ptr<WorkerState>> makeStates(
+    const PartitionedGraph& pg, MessageBus& bus, Pattern pattern,
+    std::size_t planned, std::int64_t t0, std::int64_t delta) {
+  std::vector<std::unique_ptr<WorkerState>> states;
+  states.reserve(pg.numPartitions());
+  for (PartitionId p = 0; p < pg.numPartitions(); ++p) {
+    states.push_back(std::make_unique<WorkerState>(pg, p, bus, pattern,
+                                                   planned, t0, delta));
+  }
+  return states;
+}
+
+}  // namespace
+
+TiBspEngine::TiBspEngine(const PartitionedGraph& pg,
+                         InstanceProvider& provider)
+    : pg_(pg), provider_(provider) {}
+
+TiBspResult TiBspEngine::run(const ProgramFactory& factory,
+                             const TiBspConfig& config) {
+  const Timestep first = config.first_timestep;
+  TSG_CHECK(first >= 0);
+  const auto available =
+      static_cast<std::int64_t>(provider_.numInstances()) - first;
+  TSG_CHECK_MSG(available >= 0, "first_timestep beyond available instances");
+  const auto count = static_cast<std::int32_t>(
+      config.num_timesteps < 0
+          ? available
+          : std::min<std::int64_t>(config.num_timesteps, available));
+  const auto k = pg_.numPartitions();
+
+  TiBspResult result;
+  result.stats = RunStats(k);
+  Stopwatch wall;
+
+  const bool concurrent =
+      config.temporal_mode == TemporalMode::kConcurrent &&
+      config.pattern != Pattern::kSequentiallyDependent;
+
+  if (!concurrent) {
+    Cluster cluster(k);
+    MessageBus bus(k);
+    auto states = makeStates(pg_, bus, config.pattern,
+                             static_cast<std::size_t>(count), provider_.t0(),
+                             provider_.delta());
+    std::vector<std::unique_ptr<TiBspProgram>> programs;
+    programs.reserve(k);
+    for (PartitionId p = 0; p < k; ++p) {
+      programs.push_back(factory(p));
+      TSG_CHECK(programs.back() != nullptr);
+      states[p]->program = programs.back().get();
+    }
+    const RoundRunner round = makeClusterRunner(cluster);
+    ExecEnv env{pg_,  provider_,   config, states,
+                bus,  round,       result.stats, nullptr};
+
+    std::vector<Message> pending_next;
+    std::vector<Message> merge_pool;
+    for (std::int32_t i = 0; i < count; ++i) {
+      const Timestep t = first + i;
+      if (config.maintenance_period > 0 && i > 0 &&
+          i % config.maintenance_period == 0) {
+        runMaintenance(env, t);
+      }
+      std::vector<Message> seed;
+      if (config.pattern == Pattern::kSequentiallyDependent) {
+        seed = std::move(pending_next);
+        pending_next.clear();
+        if (i == 0) {
+          seed.insert(seed.end(), config.input_messages.begin(),
+                      config.input_messages.end());
+        }
+      } else {
+        seed = config.input_messages;  // every instance gets the inputs
+      }
+      const auto outcome = runOneTimestep(env, t, std::move(seed));
+      ++result.timesteps_executed;
+
+      std::map<std::string, std::uint64_t> agg_now;
+      for (auto& st_ptr : states) {
+        auto& st = *st_ptr;
+        std::move(st.next_msgs.begin(), st.next_msgs.end(),
+                  std::back_inserter(pending_next));
+        st.next_msgs.clear();
+        std::move(st.merge_msgs.begin(), st.merge_msgs.end(),
+                  std::back_inserter(merge_pool));
+        st.merge_msgs.clear();
+        for (const auto& [name, value] : st.agg_events) {
+          agg_now[name] += value;
+        }
+        st.agg_events.clear();
+      }
+      for (auto& st_ptr : states) {
+        st_ptr->agg_prev = agg_now;
+      }
+
+      if (config.pattern == Pattern::kSequentiallyDependent &&
+          config.while_mode && outcome.all_halt_timestep &&
+          pending_next.empty()) {
+        break;
+      }
+    }
+
+    if (config.pattern == Pattern::kEventuallyDependent) {
+      runMergePhase(env, std::move(merge_pool), first + count);
+    }
+    for (const auto& st_ptr : states) {
+      result.outputs.insert(result.outputs.end(), st_ptr->outputs.begin(),
+                            st_ptr->outputs.end());
+    }
+  } else {
+    // Temporal concurrency: each timestep runs as one task with its own
+    // states, programs and bus; spatial execution inside a task is
+    // sequential. Merge (if any) runs afterwards on a spatial cluster.
+    std::mutex stats_mutex;
+    std::vector<std::vector<std::string>> outputs_by_t(
+        static_cast<std::size_t>(count));
+    std::vector<std::vector<Message>> merge_by_t(
+        static_cast<std::size_t>(count));
+    std::mutex provider_mutex;  // providers are not concurrent-safe
+
+    // A private provider view is not available per task; serialize access
+    // and copy the data out under the lock.
+    ThreadPool pool(k);
+    pool.parallelFor(static_cast<std::size_t>(count), [&](std::size_t i) {
+      const Timestep t = first + static_cast<Timestep>(i);
+      MessageBus bus(k);
+      auto states = makeStates(pg_, bus, config.pattern,
+                               static_cast<std::size_t>(count),
+                               provider_.t0(), provider_.delta());
+      std::vector<std::unique_ptr<TiBspProgram>> programs;
+      programs.reserve(k);
+      for (PartitionId p = 0; p < k; ++p) {
+        programs.push_back(factory(p));
+        states[p]->program = programs.back().get();
+      }
+      // Copy this timestep's partition data under the provider lock, then
+      // serve it from the copy.
+      std::vector<PartitionInstanceData> local_data(k);
+      {
+        std::lock_guard lock(provider_mutex);
+        for (PartitionId p = 0; p < k; ++p) {
+          local_data[p] = provider_.instanceFor(p, t);
+          (void)provider_.takeLoadNs(p);
+        }
+      }
+      struct LocalProvider final : InstanceProvider {
+        std::vector<PartitionInstanceData>* data;
+        std::size_t n;
+        std::int64_t t0_v, delta_v;
+        std::size_t numInstances() const override { return n; }
+        std::int64_t t0() const override { return t0_v; }
+        std::int64_t delta() const override { return delta_v; }
+        const PartitionInstanceData& instanceFor(PartitionId p,
+                                                 Timestep) override {
+          return (*data)[p];
+        }
+        std::int64_t takeLoadNs(PartitionId) override { return 0; }
+      };
+      LocalProvider local;
+      local.data = &local_data;
+      local.n = provider_.numInstances();
+      local.t0_v = provider_.t0();
+      local.delta_v = provider_.delta();
+
+      const RoundRunner round = makeSequentialRunner(k);
+      ExecEnv env{pg_, local,  config,       states,
+                  bus, round,  result.stats, &stats_mutex};
+      (void)runOneTimestep(env, t, config.input_messages);
+
+      auto& out = outputs_by_t[i];
+      for (auto& st_ptr : states) {
+        auto& st = *st_ptr;
+        std::move(st.outputs.begin(), st.outputs.end(),
+                  std::back_inserter(out));
+        std::move(st.merge_msgs.begin(), st.merge_msgs.end(),
+                  std::back_inserter(merge_by_t[i]));
+        TSG_CHECK_MSG(st.next_msgs.empty(),
+                      "inter-timestep messages in a temporally concurrent run");
+        TSG_CHECK_MSG(st.agg_events.empty(),
+                      "aggregators require the serial temporal mode");
+      }
+    });
+    result.timesteps_executed = count;
+    for (auto& out : outputs_by_t) {
+      std::move(out.begin(), out.end(), std::back_inserter(result.outputs));
+    }
+
+    if (config.pattern == Pattern::kEventuallyDependent) {
+      std::vector<Message> merge_pool;
+      for (auto& msgs : merge_by_t) {
+        std::move(msgs.begin(), msgs.end(), std::back_inserter(merge_pool));
+      }
+      Cluster cluster(k);
+      MessageBus bus(k);
+      auto states = makeStates(pg_, bus, config.pattern,
+                               static_cast<std::size_t>(count),
+                               provider_.t0(), provider_.delta());
+      std::vector<std::unique_ptr<TiBspProgram>> programs;
+      programs.reserve(k);
+      for (PartitionId p = 0; p < k; ++p) {
+        programs.push_back(factory(p));
+        states[p]->program = programs.back().get();
+      }
+      const RoundRunner round = makeClusterRunner(cluster);
+      ExecEnv env{pg_, provider_, config,       states,
+                  bus, round,     result.stats, nullptr};
+      runMergePhase(env, std::move(merge_pool), first + count);
+      for (const auto& st_ptr : states) {
+        result.outputs.insert(result.outputs.end(), st_ptr->outputs.begin(),
+                              st_ptr->outputs.end());
+      }
+    }
+  }
+
+  result.stats.setWallClockNs(wall.elapsedNs());
+  return result;
+}
+
+}  // namespace tsg

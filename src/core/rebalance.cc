@@ -1,0 +1,134 @@
+#include "core/rebalance.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tsg {
+namespace {
+
+double imbalanceOf(const std::vector<double>& loads) {
+  if (loads.empty()) {
+    return 1.0;
+  }
+  const double total = std::accumulate(loads.begin(), loads.end(), 0.0);
+  const double mean = total / static_cast<double>(loads.size());
+  if (mean <= 0.0) {
+    return 1.0;
+  }
+  return *std::max_element(loads.begin(), loads.end()) / mean;
+}
+
+}  // namespace
+
+Result<RebalancePlan> planRebalance(const PartitionedGraph& pg,
+                                    const RunStats& stats,
+                                    const RebalanceOptions& options) {
+  const auto k = pg.numPartitions();
+  if (stats.numPartitions() != k) {
+    return Status::invalidArgument(
+        "stats partition count does not match the graph");
+  }
+
+  RebalancePlan plan;
+  plan.new_assignment = pg.assignment();
+
+  // Observed per-partition load: compute + send time across the run.
+  const auto utilization = stats.partitionUtilization();
+  std::vector<double> load(k, 0.0);
+  for (PartitionId p = 0; p < k; ++p) {
+    load[p] = static_cast<double>(utilization[p].compute_ns +
+                                  utilization[p].send_ns);
+  }
+  plan.imbalance_before = imbalanceOf(load);
+  plan.imbalance_after = plan.imbalance_before;
+  plan.cut_fraction_before =
+      evaluatePartition(pg.graphTemplate(), pg.assignment(), k).cut_fraction;
+  plan.cut_fraction_after = plan.cut_fraction_before;
+  if (k < 2) {
+    return plan;
+  }
+
+  // Estimated load per subgraph: its partition's load apportioned by
+  // vertex count (the runtime meters per partition, not per subgraph).
+  struct Candidate {
+    SubgraphId sg;
+    PartitionId home;
+    double load;
+    std::size_t vertices;
+  };
+  std::vector<std::vector<Candidate>> movable(k);  // per partition, tail only
+  for (PartitionId p = 0; p < k; ++p) {
+    const Partition& part = pg.partition(p);
+    const auto part_vertices = static_cast<double>(part.numVertices());
+    if (part_vertices == 0 || part.subgraphs.size() < 2) {
+      continue;  // never move a partition's only (or largest) subgraph
+    }
+    // Subgraphs are ordered largest-first; the tail after index 0 moves.
+    for (std::size_t i = 1; i < part.subgraphs.size(); ++i) {
+      const Subgraph& sg = part.subgraphs[i];
+      movable[p].push_back(
+          {sg.id, p,
+           load[p] * static_cast<double>(sg.numVertices()) / part_vertices,
+           sg.numVertices()});
+    }
+    // Biggest movable first: each move closes the largest possible gap.
+    std::sort(movable[p].begin(), movable[p].end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.load > b.load;
+              });
+  }
+
+  const double total_load = std::accumulate(load.begin(), load.end(), 0.0);
+  const double mean_load = total_load / static_cast<double>(k);
+
+  for (std::uint32_t step = 0; step < options.max_moves; ++step) {
+    if (imbalanceOf(load) <= options.target_imbalance) {
+      break;
+    }
+    const auto hottest = static_cast<PartitionId>(
+        std::max_element(load.begin(), load.end()) - load.begin());
+    const auto coolest = static_cast<PartitionId>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    if (hottest == coolest || movable[hottest].empty()) {
+      break;
+    }
+    // Largest candidate that does not overshoot: moving it must not push
+    // the coolest partition above the mean by more than it relieves.
+    const double gap = load[hottest] - load[coolest];
+    auto& pool = movable[hottest];
+    auto chosen = pool.end();
+    for (auto it = pool.begin(); it != pool.end(); ++it) {
+      if (it->load <= gap / 2.0 || chosen == pool.end()) {
+        chosen = it;
+        if (it->load <= gap / 2.0) {
+          break;  // pool is sorted descending: first fit is the best fit
+        }
+      }
+    }
+    if (chosen == pool.end() || chosen->load >= gap) {
+      break;  // any remaining move would worsen the balance
+    }
+    (void)mean_load;
+
+    RebalanceMove move;
+    move.subgraph = chosen->sg;
+    move.from = hottest;
+    move.to = coolest;
+    move.load = chosen->load;
+    plan.moves.push_back(move);
+    load[hottest] -= chosen->load;
+    load[coolest] += chosen->load;
+    for (const VertexIndex v : pg.subgraph(chosen->sg).vertices) {
+      plan.new_assignment[v] = coolest;
+    }
+    pool.erase(chosen);
+  }
+
+  plan.imbalance_after = imbalanceOf(load);
+  plan.cut_fraction_after =
+      evaluatePartition(pg.graphTemplate(), plan.new_assignment, k)
+          .cut_fraction;
+  return plan;
+}
+
+}  // namespace tsg

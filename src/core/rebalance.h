@@ -1,0 +1,55 @@
+// Subgraph rebalancing — the research direction the paper sketches in
+// §IV-E: "Partitions which are active at a given timestep can pass some of
+// their subgraphs to an idle partition if the potential improvements in
+// average CPU utilization outweigh the cost of rebalancing. ... these small
+// subgraphs could be candidates for moving."
+//
+// planRebalance() turns a finished run's metering into a migration plan:
+// per-partition load comes from the observed compute time, per-subgraph
+// load is apportioned by vertex count, and a greedy pass moves tail
+// subgraphs (never a partition's largest) from the hottest partition to the
+// coolest while the predicted imbalance improves. The plan reports the
+// predicted imbalance and the edge-cut cost of the move so callers can
+// apply the paper's "improvement vs rebalancing cost" judgement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "partition/partitioned_graph.h"
+#include "runtime/stats.h"
+
+namespace tsg {
+
+struct RebalanceOptions {
+  std::uint32_t max_moves = 16;
+  // Stop when predicted (max load / mean load) falls below this.
+  double target_imbalance = 1.05;
+};
+
+struct RebalanceMove {
+  SubgraphId subgraph = kInvalidSubgraph;
+  PartitionId from = kInvalidPartition;
+  PartitionId to = kInvalidPartition;
+  double load = 0.0;  // estimated share of compute time moved
+};
+
+struct RebalancePlan {
+  PartitionAssignment new_assignment;
+  std::vector<RebalanceMove> moves;
+  double imbalance_before = 1.0;  // max partition load / mean load
+  double imbalance_after = 1.0;   // predicted after the moves
+  double cut_fraction_before = 0.0;
+  double cut_fraction_after = 0.0;
+
+  [[nodiscard]] bool hasMoves() const { return !moves.empty(); }
+};
+
+// Builds a migration plan from observed per-partition compute time.
+// Requires stats recorded over the same partitioned graph.
+Result<RebalancePlan> planRebalance(const PartitionedGraph& pg,
+                                    const RunStats& stats,
+                                    const RebalanceOptions& options = {});
+
+}  // namespace tsg

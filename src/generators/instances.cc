@@ -1,0 +1,137 @@
+#include "generators/instances.h"
+
+#include <vector>
+
+#include "common/rng.h"
+#include "generators/topology.h"
+
+namespace tsg {
+
+Result<TimeSeriesCollection> makeRoadInstances(
+    GraphTemplatePtr tmpl, const RoadInstanceOptions& options) {
+  if (tmpl == nullptr) {
+    return Status::invalidArgument("null template");
+  }
+  const std::size_t latency_attr = tmpl->edgeSchema().indexOf(kLatencyAttr);
+  if (latency_attr == AttributeSchema::npos ||
+      tmpl->edgeSchema().at(latency_attr).type != AttrType::kDouble) {
+    return Status::invalidArgument(
+        "template lacks a double edge attribute 'latency'");
+  }
+  if (options.min_latency <= 0.0 ||
+      options.max_latency < options.min_latency) {
+    return Status::invalidArgument("bad latency range");
+  }
+
+  const GraphTemplate& graph = *tmpl;
+  const std::size_t exists_attr = graph.edgeSchema().indexOf(kExistsAttr);
+  if (exists_attr != AttributeSchema::npos &&
+      graph.edgeSchema().at(exists_attr).type != AttrType::kBool) {
+    return Status::invalidArgument("'exists' edge attribute must be bool");
+  }
+  if (options.closure_probability < 0.0 ||
+      options.closure_probability > 1.0) {
+    return Status::invalidArgument("closure probability outside [0, 1]");
+  }
+
+  TimeSeriesCollection collection(std::move(tmpl), options.t0, options.delta);
+  Rng rng(options.seed);
+  for (std::uint32_t t = 0; t < options.num_timesteps; ++t) {
+    GraphInstance& inst = collection.appendInstance();
+    auto& latencies = inst.edgeCol(latency_attr).asDouble();
+    for (auto& latency : latencies) {
+      latency = rng.uniformDouble(options.min_latency, options.max_latency);
+    }
+    if (exists_attr != AttributeSchema::npos) {
+      auto& exists = inst.edgeCol(exists_attr).asBool();
+      for (auto& flag : exists) {
+        flag = rng.bernoulli(options.closure_probability) ? 0 : 1;
+      }
+    }
+  }
+  return collection;
+}
+
+Result<TimeSeriesCollection> makeSirTweetInstances(
+    GraphTemplatePtr tmpl, const SirTweetOptions& options) {
+  if (tmpl == nullptr) {
+    return Status::invalidArgument("null template");
+  }
+  const std::size_t tweets_attr = tmpl->vertexSchema().indexOf(kTweetsAttr);
+  if (tweets_attr == AttributeSchema::npos ||
+      tmpl->vertexSchema().at(tweets_attr).type != AttrType::kStringList) {
+    return Status::invalidArgument(
+        "template lacks a string-list vertex attribute 'tweets'");
+  }
+  if (options.hit_probability < 0.0 || options.hit_probability > 1.0) {
+    return Status::invalidArgument("hit probability outside [0, 1]");
+  }
+  const GraphTemplate& g = *tmpl;
+  const std::size_t n = g.numVertices();
+  if (options.num_seed_vertices == 0 || options.num_seed_vertices > n) {
+    return Status::invalidArgument("bad seed vertex count");
+  }
+
+  TimeSeriesCollection collection(std::move(tmpl), options.t0, options.delta);
+  Rng rng(options.seed);
+
+  // SIR state. remaining[v] > 0 means infectious for that many more steps;
+  // recovered[v] means immune forever.
+  std::vector<std::uint32_t> remaining(n, 0);
+  std::vector<std::uint8_t> recovered(n, 0);
+  for (std::uint32_t s = 0; s < options.num_seed_vertices; ++s) {
+    // Rejection-free spread of distinct seeds.
+    VertexIndex v = static_cast<VertexIndex>(rng.uniformBelow(n));
+    while (remaining[v] != 0) {
+      v = static_cast<VertexIndex>(rng.uniformBelow(n));
+    }
+    remaining[v] = options.infectious_timesteps;
+  }
+
+  std::vector<VertexIndex> newly_infected;
+  for (std::uint32_t t = 0; t < options.num_timesteps; ++t) {
+    GraphInstance& inst = collection.appendInstance();
+    auto& tweets = inst.vertexCol(tweets_attr).asStringList();
+
+    // Infectious vertices tweet the meme this timestep.
+    for (VertexIndex v = 0; v < n; ++v) {
+      if (remaining[v] > 0) {
+        tweets[v].push_back(options.meme);
+      }
+      if (options.background_probability > 0.0 &&
+          rng.bernoulli(options.background_probability)) {
+        tweets[v].push_back("#bg" + std::to_string(rng.uniformBelow(32)));
+      }
+    }
+
+    // Spread: infectious vertices infect susceptible neighbors with the hit
+    // probability; infections take effect in the NEXT instance, which makes
+    // the meme spread one (spatial) hop per timestep like the paper's Fig. 4.
+    newly_infected.clear();
+    for (VertexIndex v = 0; v < n; ++v) {
+      if (remaining[v] == 0) {
+        continue;
+      }
+      for (const auto& oe : g.outEdges(v)) {
+        if (remaining[oe.dst] == 0 && recovered[oe.dst] == 0 &&
+            rng.bernoulli(options.hit_probability)) {
+          newly_infected.push_back(oe.dst);
+        }
+      }
+    }
+    // Age the infections, then apply new ones.
+    for (VertexIndex v = 0; v < n; ++v) {
+      if (remaining[v] > 0 && --remaining[v] == 0) {
+        recovered[v] = 1;
+      }
+    }
+    for (const VertexIndex v : newly_infected) {
+      if (recovered[v] == 0 && remaining[v] == 0) {
+        remaining[v] = options.infectious_timesteps;
+      }
+    }
+  }
+  return collection;
+}
+
+}  // namespace tsg

@@ -1,0 +1,57 @@
+// Synthetic instance-data generators (the paper's §IV-A methodology).
+//
+//  * makeRoadInstances — "a random value for travel latency for each edge of
+//    the graph, and across timesteps. There is no correlation between the
+//    values in space or time."
+//  * makeSirTweetInstances — "the SIR model of epidemiology for generating
+//    tweets containing memes (#hashtags) ... propagate from vertices across
+//    instances with a hit probability" (30% CARN, 2% WIKI in the paper).
+//
+// Both are deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/collection.h"
+
+namespace tsg {
+
+struct RoadInstanceOptions {
+  std::uint32_t num_timesteps = 50;
+  double min_latency = 1.0;
+  double max_latency = 10.0;
+  std::int64_t t0 = 0;
+  std::int64_t delta = 5;  // minutes per timestep, like the paper's example
+  std::uint64_t seed = 7;
+  // If the template declares the bool edge attribute "exists" (the paper's
+  // isExists convention for slow topology change), each directed edge is
+  // closed for a timestep with this probability.
+  double closure_probability = 0.05;
+};
+
+// Fills the "latency" edge attribute with i.i.d. uniform values.
+Result<TimeSeriesCollection> makeRoadInstances(
+    GraphTemplatePtr tmpl, const RoadInstanceOptions& options);
+
+struct SirTweetOptions {
+  std::uint32_t num_timesteps = 50;
+  std::string meme = "#meme";
+  double hit_probability = 0.3;   // per infectious neighbor, per timestep
+  std::uint32_t num_seed_vertices = 4;
+  std::uint32_t infectious_timesteps = 3;  // I -> R after this many steps
+  // Background chatter: probability a vertex emits an unrelated hashtag in a
+  // timestep (keeps the tweet columns from being trivially sparse).
+  double background_probability = 0.01;
+  std::int64_t t0 = 0;
+  std::int64_t delta = 5;
+  std::uint64_t seed = 7;
+};
+
+// Fills the "tweets" vertex attribute with SIR-propagated meme tweets.
+// Every currently infectious vertex emits one tweet containing the meme in
+// each timestep while infectious.
+Result<TimeSeriesCollection> makeSirTweetInstances(
+    GraphTemplatePtr tmpl, const SirTweetOptions& options);
+
+}  // namespace tsg

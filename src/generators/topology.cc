@@ -1,0 +1,201 @@
+#include "generators/topology.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tsg {
+namespace {
+
+// Union-find used to stitch disconnected remainders back together.
+class Stitcher {
+ public:
+  explicit Stitcher(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) {
+      return false;
+    }
+    parent_[std::max(a, b)] = std::min(a, b);
+    return true;
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+}  // namespace
+
+AttributeSchema roadEdgeSchema() {
+  AttributeSchema schema;
+  schema.add(kLatencyAttr, AttrType::kDouble);
+  return schema;
+}
+
+AttributeSchema roadEdgeSchemaWithClosures() {
+  AttributeSchema schema = roadEdgeSchema();
+  schema.add(kExistsAttr, AttrType::kBool);
+  return schema;
+}
+
+AttributeSchema tweetVertexSchema() {
+  AttributeSchema schema;
+  schema.add(kTweetsAttr, AttrType::kStringList);
+  return schema;
+}
+
+Result<GraphTemplate> makeRoadNetwork(const RoadNetworkOptions& options,
+                                      AttributeSchema vertex_schema,
+                                      AttributeSchema edge_schema) {
+  if (options.width == 0 || options.height == 0) {
+    return Status::invalidArgument("road network needs positive dimensions");
+  }
+  const std::uint64_t n =
+      static_cast<std::uint64_t>(options.width) * options.height;
+  Rng rng(options.seed);
+  GraphTemplateBuilder builder(/*directed=*/false);
+  builder.vertexSchema() = std::move(vertex_schema);
+  builder.edgeSchema() = std::move(edge_schema);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    builder.addVertex(v);
+  }
+
+  Stitcher stitcher(n);
+  EdgeId next_edge = 0;
+  auto vertexAt = [&](std::uint32_t x, std::uint32_t y) -> std::uint64_t {
+    return static_cast<std::uint64_t>(y) * options.width + x;
+  };
+  auto addRoad = [&](std::uint64_t a, std::uint64_t b) {
+    builder.addUndirectedEdge(next_edge++, a, b);
+    stitcher.unite(static_cast<std::uint32_t>(a),
+                   static_cast<std::uint32_t>(b));
+  };
+
+  for (std::uint32_t y = 0; y < options.height; ++y) {
+    for (std::uint32_t x = 0; x < options.width; ++x) {
+      const std::uint64_t v = vertexAt(x, y);
+      if (x + 1 < options.width && rng.bernoulli(options.keep_probability)) {
+        addRoad(v, vertexAt(x + 1, y));
+      }
+      if (y + 1 < options.height && rng.bernoulli(options.keep_probability)) {
+        addRoad(v, vertexAt(x, y + 1));
+      }
+      if (x + 1 < options.width && y + 1 < options.height &&
+          rng.bernoulli(options.diagonal_probability)) {
+        addRoad(v, vertexAt(x + 1, y + 1));
+      }
+    }
+  }
+
+  // Stitch stranded fragments to a lattice neighbor so the network is
+  // connected (real road networks are one giant component).
+  for (std::uint64_t v = 1; v < n; ++v) {
+    const auto x = static_cast<std::uint32_t>(v % options.width);
+    const std::uint64_t neighbor = x > 0 ? v - 1 : v - options.width;
+    if (stitcher.find(static_cast<std::uint32_t>(v)) !=
+        stitcher.find(static_cast<std::uint32_t>(neighbor))) {
+      addRoad(v, neighbor);
+    }
+  }
+  return builder.build();
+}
+
+Result<GraphTemplate> makePreferentialAttachment(
+    const PreferentialAttachmentOptions& options,
+    AttributeSchema vertex_schema, AttributeSchema edge_schema) {
+  const std::uint32_t m = options.edges_per_vertex;
+  if (options.num_vertices < m + 1 || m == 0) {
+    return Status::invalidArgument(
+        "preferential attachment needs n > m >= 1");
+  }
+  Rng rng(options.seed);
+  GraphTemplateBuilder builder(/*directed=*/false);
+  builder.vertexSchema() = std::move(vertex_schema);
+  builder.edgeSchema() = std::move(edge_schema);
+  for (std::uint64_t v = 0; v < options.num_vertices; ++v) {
+    builder.addVertex(v);
+  }
+
+  // Repeated-endpoint list: sampling uniformly from it is sampling
+  // proportionally to degree (the standard BA construction).
+  std::vector<std::uint64_t> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(options.num_vertices) * 2 * m);
+  EdgeId next_edge = 0;
+
+  // Seed clique over the first m+1 vertices.
+  for (std::uint32_t a = 0; a <= m; ++a) {
+    for (std::uint32_t b = a + 1; b <= m; ++b) {
+      builder.addUndirectedEdge(next_edge++, a, b);
+      endpoints.push_back(a);
+      endpoints.push_back(b);
+    }
+  }
+
+  std::vector<std::uint64_t> targets;
+  for (std::uint64_t v = m + 1; v < options.num_vertices; ++v) {
+    targets.clear();
+    while (targets.size() < static_cast<std::size_t>(m)) {
+      const std::uint64_t candidate =
+          endpoints[rng.uniformBelow(endpoints.size())];
+      if (candidate != v &&
+          std::find(targets.begin(), targets.end(), candidate) ==
+              targets.end()) {
+        targets.push_back(candidate);
+      }
+    }
+    for (const std::uint64_t u : targets) {
+      builder.addUndirectedEdge(next_edge++, v, u);
+      endpoints.push_back(v);
+      endpoints.push_back(u);
+    }
+  }
+  return builder.build();
+}
+
+Result<GraphTemplate> makeWattsStrogatz(const WattsStrogatzOptions& options,
+                                        AttributeSchema vertex_schema,
+                                        AttributeSchema edge_schema) {
+  const std::uint32_t n = options.num_vertices;
+  const std::uint32_t k = options.neighbors;
+  if (n < k + 2 || k < 2 || k % 2 != 0) {
+    return Status::invalidArgument(
+        "watts-strogatz needs n > k + 1, even k >= 2");
+  }
+  Rng rng(options.seed);
+  GraphTemplateBuilder builder(/*directed=*/false);
+  builder.vertexSchema() = std::move(vertex_schema);
+  builder.edgeSchema() = std::move(edge_schema);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    builder.addVertex(v);
+  }
+  EdgeId next_edge = 0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (std::uint32_t j = 1; j <= k / 2; ++j) {
+      std::uint64_t target = (v + j) % n;
+      if (rng.bernoulli(options.rewire_probability)) {
+        // Rewire to a uniform non-self target; parallel edges tolerated
+        // (they model multi-lane links and keep the construction simple).
+        target = rng.uniformBelow(n);
+        if (target == v) {
+          target = (v + 1) % n;
+        }
+      }
+      builder.addUndirectedEdge(next_edge++, v, target);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace tsg

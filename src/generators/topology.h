@@ -1,0 +1,73 @@
+// Synthetic graph template generators.
+//
+// The paper evaluates on two SNAP graphs chosen for their structural
+// contrast (§IV-A): the California road network (CARN: ~2M vertices, large
+// diameter 849, near-uniform small degree) and the Wikipedia talk network
+// (WIKI: ~2.4M vertices, power-law degree, diameter 9). Real SNAP dumps are
+// not available offline, so these generators produce graphs with the same
+// structural signatures at a configurable scale:
+//   * makeRoadNetwork — perturbed 2-D lattice: planar-ish, large diameter,
+//     degree ≤ 4 + occasional diagonals ("CARN-like").
+//   * makePreferentialAttachment — Barabási–Albert: power-law degree,
+//     small-world diameter ("WIKI-like").
+//   * makeWattsStrogatz — ring + rewiring; used by property tests for a
+//     third structural regime.
+//
+// All emit symmetric (undirected) edge pairs, deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph_template.h"
+
+namespace tsg {
+
+struct RoadNetworkOptions {
+  std::uint32_t width = 100;
+  std::uint32_t height = 100;
+  double keep_probability = 0.94;     // lattice edges that survive
+  double diagonal_probability = 0.02; // extra shortcut diagonals
+  std::uint64_t seed = 1;
+};
+
+struct PreferentialAttachmentOptions {
+  std::uint32_t num_vertices = 10000;
+  std::uint32_t edges_per_vertex = 2;  // BA attachment count m
+  std::uint64_t seed = 1;
+};
+
+struct WattsStrogatzOptions {
+  std::uint32_t num_vertices = 10000;
+  std::uint32_t neighbors = 4;        // ring degree k (even)
+  double rewire_probability = 0.05;
+  std::uint64_t seed = 1;
+};
+
+// Each generator attaches the given attribute schemas to the template.
+Result<GraphTemplate> makeRoadNetwork(const RoadNetworkOptions& options,
+                                      AttributeSchema vertex_schema,
+                                      AttributeSchema edge_schema);
+
+Result<GraphTemplate> makePreferentialAttachment(
+    const PreferentialAttachmentOptions& options,
+    AttributeSchema vertex_schema, AttributeSchema edge_schema);
+
+Result<GraphTemplate> makeWattsStrogatz(const WattsStrogatzOptions& options,
+                                        AttributeSchema vertex_schema,
+                                        AttributeSchema edge_schema);
+
+// Canonical schemas for the paper's two workloads.
+// Road datasets: one double edge attribute "latency" (travel time).
+AttributeSchema roadEdgeSchema();
+// Road datasets with dynamic closures: latency + the paper's isExists
+// convention (§II-A) as a bool edge attribute "exists".
+AttributeSchema roadEdgeSchemaWithClosures();
+// Tweet datasets: one string-list vertex attribute "tweets".
+AttributeSchema tweetVertexSchema();
+
+// Attribute names used across algorithms and benches.
+inline constexpr const char* kLatencyAttr = "latency";
+inline constexpr const char* kTweetsAttr = "tweets";
+inline constexpr const char* kExistsAttr = "exists";
+
+}  // namespace tsg

@@ -1,0 +1,461 @@
+#include "gofs/dataset.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "common/log.h"
+#include "common/serialize.h"
+#include "common/stopwatch.h"
+
+namespace tsg {
+namespace {
+
+constexpr std::uint32_t kManifestMagic = 0x4753464D;  // "MFSG"
+constexpr std::uint32_t kSliceMagic = 0x474C5354;     // "TSLG"
+constexpr std::uint8_t kFormatVersion = 1;
+
+// Edges owned by a subgraph: the out-edges of its vertices, in vertex order.
+// This order is a deterministic function of the topology, so writer and
+// reader recompute it identically instead of storing it.
+std::vector<EdgeIndex> subgraphOwnedEdges(const GraphTemplate& tmpl,
+                                          const Subgraph& sg) {
+  std::vector<EdgeIndex> edges;
+  for (const VertexIndex v : sg.vertices) {
+    for (const auto& oe : tmpl.outEdges(v)) {
+      edges.push_back(oe.edge);
+    }
+  }
+  return edges;
+}
+
+std::uint32_t numBins(const Partition& part, std::uint32_t binning) {
+  return static_cast<std::uint32_t>(
+      (part.subgraphs.size() + binning - 1) / binning);
+}
+
+}  // namespace
+
+std::string slicePath(const std::string& dir, PartitionId p,
+                      std::uint32_t pack_index, std::uint32_t bin_index) {
+  return dir + "/part" + std::to_string(p) + "/slice_p" +
+         std::to_string(pack_index) + "_b" + std::to_string(bin_index) +
+         ".bin";
+}
+
+Status writeGofsDataset(const std::string& dir, const std::string& name,
+                        const PartitionedGraph& pg,
+                        const TimeSeriesCollection& collection,
+                        const GofsOptions& options) {
+  if (options.temporal_packing == 0 || options.subgraph_binning == 0) {
+    return Status::invalidArgument("packing and binning must be positive");
+  }
+  if (collection.templatePtr().get() != &pg.graphTemplate() &&
+      !(collection.graphTemplate() == pg.graphTemplate())) {
+    return Status::invalidArgument(
+        "collection and partitioned graph use different templates");
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::ioError("cannot create dataset dir: " + dir);
+  }
+
+  const GraphTemplate& tmpl = pg.graphTemplate();
+  const auto num_instances =
+      static_cast<std::uint32_t>(collection.numInstances());
+
+  // manifest.bin
+  {
+    BinaryWriter w;
+    w.writeU32(kManifestMagic);
+    w.writeU8(kFormatVersion);
+    w.writeString(name);
+    w.writeI64(collection.t0());
+    w.writeI64(collection.delta());
+    w.writeU32(num_instances);
+    w.writeU32(pg.numPartitions());
+    w.writeU32(options.temporal_packing);
+    w.writeU32(options.subgraph_binning);
+    TSG_RETURN_IF_ERROR(writeFileBytes(dir + "/manifest.bin", w.buffer()));
+  }
+  // template.bin
+  {
+    BinaryWriter w;
+    tmpl.serialize(w);
+    TSG_RETURN_IF_ERROR(writeFileBytes(dir + "/template.bin", w.buffer()));
+  }
+  // assignment.bin
+  {
+    BinaryWriter w;
+    w.writeU32(pg.numPartitions());
+    w.writePodVector(pg.assignment());
+    TSG_RETURN_IF_ERROR(writeFileBytes(dir + "/assignment.bin", w.buffer()));
+  }
+
+  // Slices.
+  const std::uint32_t packing = options.temporal_packing;
+  const std::uint32_t binning = options.subgraph_binning;
+  const std::uint32_t num_packs = (num_instances + packing - 1) / packing;
+
+  for (PartitionId p = 0; p < pg.numPartitions(); ++p) {
+    const Partition& part = pg.partition(p);
+    std::filesystem::create_directories(dir + "/part" + std::to_string(p), ec);
+    if (ec) {
+      return Status::ioError("cannot create partition dir");
+    }
+    const std::uint32_t bins = numBins(part, binning);
+    // Per-subgraph owned-edge lists, reused across packs.
+    std::vector<std::vector<EdgeIndex>> owned_edges(part.subgraphs.size());
+    for (std::size_t s = 0; s < part.subgraphs.size(); ++s) {
+      owned_edges[s] = subgraphOwnedEdges(tmpl, part.subgraphs[s]);
+    }
+
+    for (std::uint32_t pack = 0; pack < num_packs; ++pack) {
+      const std::uint32_t t_begin = pack * packing;
+      const std::uint32_t t_end = std::min(num_instances, t_begin + packing);
+      for (std::uint32_t bin = 0; bin < bins; ++bin) {
+        const std::size_t sg_begin = static_cast<std::size_t>(bin) * binning;
+        const std::size_t sg_end =
+            std::min(part.subgraphs.size(), sg_begin + binning);
+
+        BinaryWriter w;
+        w.writeU32(kSliceMagic);
+        w.writeU8(kFormatVersion);
+        w.writeU32(p);
+        w.writeU32(pack);
+        w.writeU32(bin);
+        w.writeU32(t_begin);
+        w.writeU32(t_end - t_begin);
+        w.writeVarint(sg_end - sg_begin);
+        for (std::size_t s = sg_begin; s < sg_end; ++s) {
+          w.writeU32(part.subgraphs[s].id);
+        }
+        for (std::uint32_t t = t_begin; t < t_end; ++t) {
+          const GraphInstance& inst =
+              collection.instance(static_cast<Timestep>(t));
+          w.writeI32(inst.timestep());
+          w.writeI64(inst.timestamp());
+          for (std::size_t s = sg_begin; s < sg_end; ++s) {
+            const Subgraph& sg = part.subgraphs[s];
+            w.writeVarint(inst.numVertexAttrs());
+            for (std::size_t a = 0; a < inst.numVertexAttrs(); ++a) {
+              inst.vertexCol(a).gather(sg.vertices).serialize(w);
+            }
+            w.writeVarint(inst.numEdgeAttrs());
+            for (std::size_t a = 0; a < inst.numEdgeAttrs(); ++a) {
+              inst.edgeCol(a).gather(owned_edges[s]).serialize(w);
+            }
+          }
+        }
+        TSG_RETURN_IF_ERROR(
+            writeFileBytes(slicePath(dir, p, pack, bin), w.buffer()));
+      }
+    }
+  }
+  return Status::ok();
+}
+
+Result<GofsDataset> GofsDataset::open(const std::string& dir) {
+  GofsDataset ds;
+  ds.dir_ = dir;
+
+  // manifest.bin
+  {
+    auto bytes = readFileBytes(dir + "/manifest.bin");
+    if (!bytes.isOk()) {
+      return bytes.status();
+    }
+    BinaryReader r(bytes.value());
+    std::uint32_t magic = 0;
+    TSG_RETURN_IF_ERROR(r.readU32(magic));
+    if (magic != kManifestMagic) {
+      return Status::corruptData("bad manifest magic");
+    }
+    std::uint8_t version = 0;
+    TSG_RETURN_IF_ERROR(r.readU8(version));
+    if (version != kFormatVersion) {
+      return Status::corruptData("unsupported manifest version");
+    }
+    TSG_RETURN_IF_ERROR(r.readString(ds.manifest_.name));
+    TSG_RETURN_IF_ERROR(r.readI64(ds.manifest_.t0));
+    TSG_RETURN_IF_ERROR(r.readI64(ds.manifest_.delta));
+    TSG_RETURN_IF_ERROR(r.readU32(ds.manifest_.num_instances));
+    TSG_RETURN_IF_ERROR(r.readU32(ds.manifest_.num_partitions));
+    TSG_RETURN_IF_ERROR(r.readU32(ds.manifest_.options.temporal_packing));
+    TSG_RETURN_IF_ERROR(r.readU32(ds.manifest_.options.subgraph_binning));
+    if (ds.manifest_.options.temporal_packing == 0 ||
+        ds.manifest_.options.subgraph_binning == 0) {
+      return Status::corruptData("zero packing/binning in manifest");
+    }
+  }
+  // template.bin
+  GraphTemplatePtr tmpl;
+  {
+    auto bytes = readFileBytes(dir + "/template.bin");
+    if (!bytes.isOk()) {
+      return bytes.status();
+    }
+    BinaryReader r(bytes.value());
+    auto parsed = GraphTemplate::deserialize(r);
+    if (!parsed.isOk()) {
+      return parsed.status();
+    }
+    tmpl = std::make_shared<GraphTemplate>(std::move(parsed).value());
+  }
+  // assignment.bin
+  {
+    auto bytes = readFileBytes(dir + "/assignment.bin");
+    if (!bytes.isOk()) {
+      return bytes.status();
+    }
+    BinaryReader r(bytes.value());
+    std::uint32_t k = 0;
+    TSG_RETURN_IF_ERROR(r.readU32(k));
+    if (k != ds.manifest_.num_partitions) {
+      return Status::corruptData("assignment/manifest partition mismatch");
+    }
+    PartitionAssignment assignment;
+    TSG_RETURN_IF_ERROR(r.readPodVector(assignment));
+    auto pg = PartitionedGraph::build(tmpl, assignment, k);
+    if (!pg.isOk()) {
+      return pg.status();
+    }
+    ds.pg_ = std::make_shared<PartitionedGraph>(std::move(pg).value());
+  }
+  return ds;
+}
+
+Result<GofsDataset::StorageStats> GofsDataset::storageStats() const {
+  StorageStats stats;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir_, ec)) {
+    if (entry.is_regular_file() &&
+        entry.path().filename().string().starts_with("slice_")) {
+      ++stats.slice_files;
+      stats.slice_bytes += entry.file_size();
+    }
+  }
+  if (ec) {
+    return Status::ioError("cannot walk dataset dir: " + dir_);
+  }
+  return stats;
+}
+
+namespace {
+
+// Lazy slice-backed provider. Caches one pack per partition; asking for a
+// timestep outside the cached pack loads (and meters) the new pack.
+class GofsInstanceProvider final : public InstanceProvider {
+ public:
+  GofsInstanceProvider(std::string dir, GofsManifest manifest,
+                       std::shared_ptr<PartitionedGraph> pg)
+      : dir_(std::move(dir)),
+        manifest_(std::move(manifest)),
+        pg_(std::move(pg)),
+        states_(pg_->numPartitions()) {}
+
+  [[nodiscard]] std::size_t numInstances() const override {
+    return manifest_.num_instances;
+  }
+  [[nodiscard]] std::int64_t t0() const override { return manifest_.t0; }
+  [[nodiscard]] std::int64_t delta() const override { return manifest_.delta; }
+
+  const PartitionInstanceData& instanceFor(PartitionId p,
+                                           Timestep t) override {
+    TSG_CHECK(p < states_.size());
+    TSG_CHECK(t >= 0 &&
+              static_cast<std::uint32_t>(t) < manifest_.num_instances);
+    auto& state = states_[p];
+    const std::uint32_t packing = manifest_.options.temporal_packing;
+    const auto pack = static_cast<std::uint32_t>(t) / packing;
+    if (state.cached_pack != static_cast<std::int64_t>(pack)) {
+      ScopedCpuTimer timer(state.load_ns);
+      loadPack(p, pack, state);
+      state.cached_pack = pack;
+    }
+    const std::size_t offset = static_cast<std::uint32_t>(t) % packing;
+    TSG_CHECK(offset < state.pack_data.size());
+    return state.pack_data[offset];
+  }
+
+  std::int64_t takeLoadNs(PartitionId p) override {
+    TSG_CHECK(p < states_.size());
+    return std::exchange(states_[p].load_ns, 0);
+  }
+
+ private:
+  struct PartitionState {
+    std::int64_t cached_pack = -1;
+    std::vector<PartitionInstanceData> pack_data;
+    std::int64_t load_ns = 0;
+    // Scatter maps, built on first load: partition-local positions of each
+    // subgraph's vertices and owned edges.
+    bool maps_ready = false;
+    std::vector<std::vector<std::uint32_t>> sg_vertex_pos;
+    std::vector<std::vector<std::uint32_t>> sg_edge_pos;
+  };
+
+  void buildScatterMaps(PartitionId p, PartitionState& state) {
+    const Partition& part = pg_->partition(p);
+    const GraphTemplate& tmpl = pg_->graphTemplate();
+    state.sg_vertex_pos.resize(part.subgraphs.size());
+    state.sg_edge_pos.resize(part.subgraphs.size());
+    for (std::size_t s = 0; s < part.subgraphs.size(); ++s) {
+      const Subgraph& sg = part.subgraphs[s];
+      auto& vpos = state.sg_vertex_pos[s];
+      vpos.reserve(sg.vertices.size());
+      for (const VertexIndex v : sg.vertices) {
+        vpos.push_back(pg_->localIndexOfVertex(v));
+      }
+      auto& epos = state.sg_edge_pos[s];
+      for (const EdgeIndex e : subgraphOwnedEdges(tmpl, sg)) {
+        epos.push_back(pg_->localIndexOfEdge(e));
+      }
+    }
+    state.maps_ready = true;
+  }
+
+  void loadPack(PartitionId p, std::uint32_t pack, PartitionState& state) {
+    if (!state.maps_ready) {
+      buildScatterMaps(p, state);
+    }
+    const Partition& part = pg_->partition(p);
+    const GraphTemplate& tmpl = pg_->graphTemplate();
+    const std::uint32_t packing = manifest_.options.temporal_packing;
+    const std::uint32_t binning = manifest_.options.subgraph_binning;
+    const std::uint32_t t_begin = pack * packing;
+    const std::uint32_t t_end =
+        std::min(manifest_.num_instances, t_begin + packing);
+    const std::uint32_t steps = t_end - t_begin;
+
+    // Fresh, fully allocated partition columns for every step in the pack.
+    state.pack_data.assign(steps, PartitionInstanceData{});
+    for (std::uint32_t i = 0; i < steps; ++i) {
+      auto& data = state.pack_data[i];
+      data.timestep = static_cast<Timestep>(t_begin + i);
+      data.timestamp =
+          manifest_.t0 + static_cast<std::int64_t>(t_begin + i) *
+                             manifest_.delta;
+      for (const auto& def : tmpl.vertexSchema().defs()) {
+        data.vertex_cols.push_back(
+            AttributeColumn::make(def.type, part.vertices.size()));
+      }
+      for (const auto& def : tmpl.edgeSchema().defs()) {
+        data.edge_cols.push_back(
+            AttributeColumn::make(def.type, part.edges.size()));
+      }
+    }
+
+    const std::uint32_t bins = numBins(part, binning);
+    for (std::uint32_t bin = 0; bin < bins; ++bin) {
+      const Status s = loadSlice(p, pack, bin, t_begin, steps, state);
+      TSG_CHECK_MSG(s.isOk(), s.toString());
+    }
+  }
+
+  Status loadSlice(PartitionId p, std::uint32_t pack, std::uint32_t bin,
+                   std::uint32_t t_begin, std::uint32_t steps,
+                   PartitionState& state) {
+    const std::string path = slicePath(dir_, p, pack, bin);
+    auto bytes = readFileBytes(path);
+    if (!bytes.isOk()) {
+      return bytes.status();
+    }
+    BinaryReader r(bytes.value());
+    std::uint32_t magic = 0;
+    TSG_RETURN_IF_ERROR(r.readU32(magic));
+    if (magic != kSliceMagic) {
+      return Status::corruptData("bad slice magic: " + path);
+    }
+    std::uint8_t version = 0;
+    TSG_RETURN_IF_ERROR(r.readU8(version));
+    if (version != kFormatVersion) {
+      return Status::corruptData("unsupported slice version: " + path);
+    }
+    std::uint32_t file_p = 0;
+    std::uint32_t file_pack = 0;
+    std::uint32_t file_bin = 0;
+    std::uint32_t file_t_begin = 0;
+    std::uint32_t file_steps = 0;
+    TSG_RETURN_IF_ERROR(r.readU32(file_p));
+    TSG_RETURN_IF_ERROR(r.readU32(file_pack));
+    TSG_RETURN_IF_ERROR(r.readU32(file_bin));
+    TSG_RETURN_IF_ERROR(r.readU32(file_t_begin));
+    TSG_RETURN_IF_ERROR(r.readU32(file_steps));
+    if (file_p != p || file_pack != pack || file_bin != bin ||
+        file_t_begin != t_begin || file_steps != steps) {
+      return Status::corruptData("slice header mismatch: " + path);
+    }
+    std::uint64_t sg_count = 0;
+    TSG_RETURN_IF_ERROR(r.readVarint(sg_count));
+    const std::size_t sg_begin =
+        static_cast<std::size_t>(bin) * manifest_.options.subgraph_binning;
+    for (std::uint64_t s = 0; s < sg_count; ++s) {
+      std::uint32_t sg_id = 0;
+      TSG_RETURN_IF_ERROR(r.readU32(sg_id));
+      const Partition& part = pg_->partition(p);
+      if (sg_begin + s >= part.subgraphs.size() ||
+          part.subgraphs[sg_begin + s].id != sg_id) {
+        return Status::corruptData("slice subgraph id mismatch: " + path);
+      }
+    }
+    for (std::uint32_t i = 0; i < steps; ++i) {
+      auto& data = state.pack_data[i];
+      Timestep ts = 0;
+      std::int64_t stamp = 0;
+      TSG_RETURN_IF_ERROR(r.readI32(ts));
+      TSG_RETURN_IF_ERROR(r.readI64(stamp));
+      if (ts != data.timestep) {
+        return Status::corruptData("slice timestep mismatch: " + path);
+      }
+      for (std::uint64_t s = 0; s < sg_count; ++s) {
+        const std::size_t sg_index = sg_begin + s;
+        std::uint64_t num_vattrs = 0;
+        TSG_RETURN_IF_ERROR(r.readVarint(num_vattrs));
+        if (num_vattrs != data.vertex_cols.size()) {
+          return Status::corruptData("slice vertex attr count mismatch");
+        }
+        for (std::uint64_t a = 0; a < num_vattrs; ++a) {
+          auto col = AttributeColumn::deserialize(r);
+          if (!col.isOk()) {
+            return col.status();
+          }
+          data.vertex_cols[a].scatterFrom(col.value(),
+                                          state.sg_vertex_pos[sg_index]);
+        }
+        std::uint64_t num_eattrs = 0;
+        TSG_RETURN_IF_ERROR(r.readVarint(num_eattrs));
+        if (num_eattrs != data.edge_cols.size()) {
+          return Status::corruptData("slice edge attr count mismatch");
+        }
+        for (std::uint64_t a = 0; a < num_eattrs; ++a) {
+          auto col = AttributeColumn::deserialize(r);
+          if (!col.isOk()) {
+            return col.status();
+          }
+          data.edge_cols[a].scatterFrom(col.value(),
+                                        state.sg_edge_pos[sg_index]);
+        }
+      }
+    }
+    if (!r.atEnd()) {
+      return Status::corruptData("trailing bytes in slice: " + path);
+    }
+    return Status::ok();
+  }
+
+  std::string dir_;
+  GofsManifest manifest_;
+  std::shared_ptr<PartitionedGraph> pg_;
+  std::vector<PartitionState> states_;
+};
+
+}  // namespace
+
+std::unique_ptr<InstanceProvider> GofsDataset::makeProvider() const {
+  return std::make_unique<GofsInstanceProvider>(dir_, manifest_, pg_);
+}
+
+}  // namespace tsg

@@ -1,0 +1,56 @@
+#include "gofs/instance_provider.h"
+
+#include "common/stopwatch.h"
+
+namespace tsg {
+
+PartitionInstanceData gatherPartitionInstance(const PartitionedGraph& pg,
+                                              PartitionId p,
+                                              const GraphInstance& instance) {
+  const Partition& part = pg.partition(p);
+  PartitionInstanceData data;
+  data.timestep = instance.timestep();
+  data.timestamp = instance.timestamp();
+  data.vertex_cols.reserve(instance.numVertexAttrs());
+  for (std::size_t a = 0; a < instance.numVertexAttrs(); ++a) {
+    data.vertex_cols.push_back(instance.vertexCol(a).gather(part.vertices));
+  }
+  data.edge_cols.reserve(instance.numEdgeAttrs());
+  for (std::size_t a = 0; a < instance.numEdgeAttrs(); ++a) {
+    data.edge_cols.push_back(instance.edgeCol(a).gather(part.edges));
+  }
+  return data;
+}
+
+DirectInstanceProvider::DirectInstanceProvider(
+    const PartitionedGraph& pg, const TimeSeriesCollection& collection)
+    : pg_(pg), collection_(collection), states_(pg.numPartitions()) {}
+
+std::size_t DirectInstanceProvider::numInstances() const {
+  return collection_.numInstances();
+}
+
+std::int64_t DirectInstanceProvider::t0() const { return collection_.t0(); }
+
+std::int64_t DirectInstanceProvider::delta() const {
+  return collection_.delta();
+}
+
+const PartitionInstanceData& DirectInstanceProvider::instanceFor(PartitionId p,
+                                                                 Timestep t) {
+  TSG_CHECK(p < states_.size());
+  auto& state = states_[p];
+  if (state.cached_timestep != t) {
+    ScopedCpuTimer timer(state.load_ns);
+    state.data = gatherPartitionInstance(pg_, p, collection_.instance(t));
+    state.cached_timestep = t;
+  }
+  return state.data;
+}
+
+std::int64_t DirectInstanceProvider::takeLoadNs(PartitionId p) {
+  TSG_CHECK(p < states_.size());
+  return std::exchange(states_[p].load_ns, 0);
+}
+
+}  // namespace tsg

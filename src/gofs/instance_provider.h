@@ -1,0 +1,87 @@
+// InstanceProvider — the runtime's source of per-partition instance data.
+//
+// A TI-BSP worker for partition p asks for the attribute values of its own
+// vertices/edges at timestep t. Two implementations exist:
+//  * DirectInstanceProvider — wraps an in-memory TimeSeriesCollection
+//    (everything resident; no load spikes).
+//  * GofsInstanceProvider (gofs/dataset.h) — lazily loads slice files with
+//    temporal packing, reproducing the paper's every-10th-timestep load
+//    spikes (Fig. 6).
+//
+// Threading contract: instanceFor(p, t) is only ever called by the worker
+// thread of partition p; implementations keep per-partition state with no
+// cross-partition sharing, so no locks are needed on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/attribute.h"
+#include "graph/collection.h"
+#include "graph/types.h"
+#include "partition/partitioned_graph.h"
+
+namespace tsg {
+
+// Attribute values of one timestep restricted to one partition.
+// Columns are indexed by the partition-local dense indices
+// (PartitionedGraph::localIndexOfVertex / localIndexOfEdge).
+struct PartitionInstanceData {
+  Timestep timestep = 0;
+  std::int64_t timestamp = 0;
+  std::vector<AttributeColumn> vertex_cols;
+  std::vector<AttributeColumn> edge_cols;
+};
+
+class InstanceProvider {
+ public:
+  virtual ~InstanceProvider() = default;
+
+  [[nodiscard]] virtual std::size_t numInstances() const = 0;
+  [[nodiscard]] virtual std::int64_t t0() const = 0;
+  [[nodiscard]] virtual std::int64_t delta() const = 0;
+
+  // Returns partition p's view of timestep t, loading it if necessary.
+  // The reference stays valid until the next instanceFor(p, ...) call.
+  virtual const PartitionInstanceData& instanceFor(PartitionId p,
+                                                   Timestep t) = 0;
+
+  // Nanoseconds spent loading (I/O + decode) during calls for partition p
+  // since the last takeLoadNs(p); resets the counter. Used for Fig. 6.
+  virtual std::int64_t takeLoadNs(PartitionId p) = 0;
+};
+
+// Serves instances from a resident TimeSeriesCollection by gathering each
+// partition's values on first access (cached per partition+timestep window).
+class DirectInstanceProvider final : public InstanceProvider {
+ public:
+  // Both referents must outlive the provider.
+  DirectInstanceProvider(const PartitionedGraph& pg,
+                         const TimeSeriesCollection& collection);
+
+  [[nodiscard]] std::size_t numInstances() const override;
+  [[nodiscard]] std::int64_t t0() const override;
+  [[nodiscard]] std::int64_t delta() const override;
+  const PartitionInstanceData& instanceFor(PartitionId p, Timestep t) override;
+  std::int64_t takeLoadNs(PartitionId p) override;
+
+ private:
+  struct PartitionState {
+    Timestep cached_timestep = -1;
+    PartitionInstanceData data;
+    std::int64_t load_ns = 0;
+  };
+
+  const PartitionedGraph& pg_;
+  const TimeSeriesCollection& collection_;
+  std::vector<PartitionState> states_;
+};
+
+// Gathers partition p's columns out of a full GraphInstance (shared by the
+// direct provider and the GoFS writer).
+PartitionInstanceData gatherPartitionInstance(const PartitionedGraph& pg,
+                                              PartitionId p,
+                                              const GraphInstance& instance);
+
+}  // namespace tsg

@@ -1,0 +1,275 @@
+#include "graph/attribute.h"
+
+#include <algorithm>
+
+namespace tsg {
+
+std::string_view attrTypeName(AttrType type) {
+  switch (type) {
+    case AttrType::kInt64:
+      return "int64";
+    case AttrType::kDouble:
+      return "double";
+    case AttrType::kBool:
+      return "bool";
+    case AttrType::kString:
+      return "string";
+    case AttrType::kStringList:
+      return "string_list";
+  }
+  return "unknown";
+}
+
+AttributeSchema::AttributeSchema(std::vector<AttrDef> defs)
+    : defs_(std::move(defs)) {
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    for (std::size_t j = i + 1; j < defs_.size(); ++j) {
+      TSG_CHECK_MSG(defs_[i].name != defs_[j].name,
+                    "duplicate attribute name: " + defs_[i].name);
+    }
+  }
+}
+
+std::size_t AttributeSchema::add(std::string name, AttrType type) {
+  TSG_CHECK_MSG(indexOf(name) == npos, "duplicate attribute name: " + name);
+  defs_.push_back({std::move(name), type});
+  return defs_.size() - 1;
+}
+
+const AttrDef& AttributeSchema::at(std::size_t i) const {
+  TSG_CHECK(i < defs_.size());
+  return defs_[i];
+}
+
+std::size_t AttributeSchema::indexOf(std::string_view name) const {
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    if (defs_[i].name == name) {
+      return i;
+    }
+  }
+  return npos;
+}
+
+std::size_t AttributeSchema::requireIndex(std::string_view name) const {
+  const std::size_t i = indexOf(name);
+  TSG_CHECK_MSG(i != npos, "missing required attribute: " + std::string(name));
+  return i;
+}
+
+void AttributeSchema::serialize(BinaryWriter& writer) const {
+  writer.writeVarint(defs_.size());
+  for (const auto& def : defs_) {
+    writer.writeString(def.name);
+    writer.writeU8(static_cast<std::uint8_t>(def.type));
+  }
+}
+
+Result<AttributeSchema> AttributeSchema::deserialize(BinaryReader& reader) {
+  std::uint64_t n = 0;
+  TSG_RETURN_IF_ERROR(reader.readVarint(n));
+  std::vector<AttrDef> defs;
+  defs.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    AttrDef def;
+    TSG_RETURN_IF_ERROR(reader.readString(def.name));
+    std::uint8_t type_raw = 0;
+    TSG_RETURN_IF_ERROR(reader.readU8(type_raw));
+    if (type_raw > static_cast<std::uint8_t>(AttrType::kStringList)) {
+      return Status::corruptData("bad attribute type tag");
+    }
+    def.type = static_cast<AttrType>(type_raw);
+    defs.push_back(std::move(def));
+  }
+  return AttributeSchema(std::move(defs));
+}
+
+AttributeColumn AttributeColumn::make(AttrType type, std::size_t count) {
+  AttributeColumn col;
+  switch (type) {
+    case AttrType::kInt64:
+      col.data_ = Int64Vec(count, 0);
+      break;
+    case AttrType::kDouble:
+      col.data_ = DoubleVec(count, 0.0);
+      break;
+    case AttrType::kBool:
+      col.data_ = BoolVec(count, 0);
+      break;
+    case AttrType::kString:
+      col.data_ = StringVec(count);
+      break;
+    case AttrType::kStringList:
+      col.data_ = StringListVec(count);
+      break;
+  }
+  return col;
+}
+
+AttrType AttributeColumn::type() const {
+  return static_cast<AttrType>(data_.index());
+}
+
+std::size_t AttributeColumn::size() const {
+  return std::visit([](const auto& vec) { return vec.size(); }, data_);
+}
+
+AttributeColumn::Int64Vec& AttributeColumn::asInt64() {
+  TSG_CHECK(type() == AttrType::kInt64);
+  return std::get<Int64Vec>(data_);
+}
+const AttributeColumn::Int64Vec& AttributeColumn::asInt64() const {
+  TSG_CHECK(type() == AttrType::kInt64);
+  return std::get<Int64Vec>(data_);
+}
+AttributeColumn::DoubleVec& AttributeColumn::asDouble() {
+  TSG_CHECK(type() == AttrType::kDouble);
+  return std::get<DoubleVec>(data_);
+}
+const AttributeColumn::DoubleVec& AttributeColumn::asDouble() const {
+  TSG_CHECK(type() == AttrType::kDouble);
+  return std::get<DoubleVec>(data_);
+}
+AttributeColumn::BoolVec& AttributeColumn::asBool() {
+  TSG_CHECK(type() == AttrType::kBool);
+  return std::get<BoolVec>(data_);
+}
+const AttributeColumn::BoolVec& AttributeColumn::asBool() const {
+  TSG_CHECK(type() == AttrType::kBool);
+  return std::get<BoolVec>(data_);
+}
+AttributeColumn::StringVec& AttributeColumn::asString() {
+  TSG_CHECK(type() == AttrType::kString);
+  return std::get<StringVec>(data_);
+}
+const AttributeColumn::StringVec& AttributeColumn::asString() const {
+  TSG_CHECK(type() == AttrType::kString);
+  return std::get<StringVec>(data_);
+}
+AttributeColumn::StringListVec& AttributeColumn::asStringList() {
+  TSG_CHECK(type() == AttrType::kStringList);
+  return std::get<StringListVec>(data_);
+}
+const AttributeColumn::StringListVec& AttributeColumn::asStringList() const {
+  TSG_CHECK(type() == AttrType::kStringList);
+  return std::get<StringListVec>(data_);
+}
+
+AttributeColumn AttributeColumn::gather(
+    std::span<const std::uint32_t> indices) const {
+  AttributeColumn out;
+  std::visit(
+      [&](const auto& vec) {
+        std::decay_t<decltype(vec)> gathered;
+        gathered.reserve(indices.size());
+        for (const std::uint32_t i : indices) {
+          TSG_CHECK(i < vec.size());
+          gathered.push_back(vec[i]);
+        }
+        out.data_ = std::move(gathered);
+      },
+      data_);
+  return out;
+}
+
+void AttributeColumn::scatterFrom(const AttributeColumn& src,
+                                  std::span<const std::uint32_t> indices) {
+  TSG_CHECK(src.type() == type());
+  TSG_CHECK(src.size() == indices.size());
+  std::visit(
+      [&](auto& dst_vec) {
+        const auto& src_vec =
+            std::get<std::decay_t<decltype(dst_vec)>>(src.data_);
+        for (std::size_t i = 0; i < indices.size(); ++i) {
+          TSG_CHECK(indices[i] < dst_vec.size());
+          dst_vec[indices[i]] = src_vec[i];
+        }
+      },
+      data_);
+}
+
+namespace {
+
+constexpr std::uint8_t kColumnFormatVersion = 1;
+
+}  // namespace
+
+void AttributeColumn::serialize(BinaryWriter& writer) const {
+  writer.writeU8(kColumnFormatVersion);
+  writer.writeU8(static_cast<std::uint8_t>(type()));
+  switch (type()) {
+    case AttrType::kInt64:
+      writer.writePodVector(asInt64());
+      break;
+    case AttrType::kDouble:
+      writer.writePodVector(asDouble());
+      break;
+    case AttrType::kBool:
+      writer.writePodVector(asBool());
+      break;
+    case AttrType::kString:
+      writer.writeStringVector(asString());
+      break;
+    case AttrType::kStringList: {
+      const auto& lists = asStringList();
+      writer.writeVarint(lists.size());
+      for (const auto& list : lists) {
+        writer.writeStringVector(list);
+      }
+      break;
+    }
+  }
+}
+
+Result<AttributeColumn> AttributeColumn::deserialize(BinaryReader& reader) {
+  std::uint8_t version = 0;
+  TSG_RETURN_IF_ERROR(reader.readU8(version));
+  if (version != kColumnFormatVersion) {
+    return Status::corruptData("unsupported column format version");
+  }
+  std::uint8_t type_raw = 0;
+  TSG_RETURN_IF_ERROR(reader.readU8(type_raw));
+  if (type_raw > static_cast<std::uint8_t>(AttrType::kStringList)) {
+    return Status::corruptData("bad column type tag");
+  }
+  const auto type = static_cast<AttrType>(type_raw);
+  AttributeColumn col;
+  switch (type) {
+    case AttrType::kInt64: {
+      Int64Vec v;
+      TSG_RETURN_IF_ERROR(reader.readPodVector(v));
+      col.data_ = std::move(v);
+      break;
+    }
+    case AttrType::kDouble: {
+      DoubleVec v;
+      TSG_RETURN_IF_ERROR(reader.readPodVector(v));
+      col.data_ = std::move(v);
+      break;
+    }
+    case AttrType::kBool: {
+      BoolVec v;
+      TSG_RETURN_IF_ERROR(reader.readPodVector(v));
+      col.data_ = std::move(v);
+      break;
+    }
+    case AttrType::kString: {
+      StringVec v;
+      TSG_RETURN_IF_ERROR(reader.readStringVector(v));
+      col.data_ = std::move(v);
+      break;
+    }
+    case AttrType::kStringList: {
+      std::uint64_t n = 0;
+      TSG_RETURN_IF_ERROR(reader.readVarint(n));
+      StringListVec lists(static_cast<std::size_t>(n));
+      for (auto& list : lists) {
+        TSG_RETURN_IF_ERROR(reader.readStringVector(list));
+      }
+      col.data_ = std::move(lists);
+      break;
+    }
+  }
+  return col;
+}
+
+}  // namespace tsg

@@ -1,0 +1,50 @@
+#include "graph/collection.h"
+
+namespace tsg {
+
+GraphInstance& TimeSeriesCollection::appendInstance() {
+  const auto t = static_cast<Timestep>(instances_.size());
+  instances_.emplace_back(*template_, t, t0_ + static_cast<std::int64_t>(t) * delta_);
+  return instances_.back();
+}
+
+Status TimeSeriesCollection::appendInstance(GraphInstance instance) {
+  const auto t = static_cast<Timestep>(instances_.size());
+  if (instance.timestep() != t) {
+    return Status::invalidArgument(
+        "instance timestep " + std::to_string(instance.timestep()) +
+        " does not match next slot " + std::to_string(t));
+  }
+  const std::int64_t expected_ts = t0_ + static_cast<std::int64_t>(t) * delta_;
+  if (instance.timestamp() != expected_ts) {
+    return Status::invalidArgument(
+        "instance timestamp " + std::to_string(instance.timestamp()) +
+        " breaks the period; expected " + std::to_string(expected_ts));
+  }
+  TSG_RETURN_IF_ERROR(instance.validateAgainst(*template_));
+  instances_.push_back(std::move(instance));
+  return Status::ok();
+}
+
+Status TimeSeriesCollection::validate() const {
+  if (template_ == nullptr) {
+    return Status::failedPrecondition("collection has no template");
+  }
+  for (std::size_t t = 0; t < instances_.size(); ++t) {
+    const auto& inst = instances_[t];
+    if (inst.timestep() != static_cast<Timestep>(t)) {
+      return Status::invalidArgument("instance out of order at slot " +
+                                     std::to_string(t));
+    }
+    const std::int64_t expected_ts =
+        t0_ + static_cast<std::int64_t>(t) * delta_;
+    if (inst.timestamp() != expected_ts) {
+      return Status::invalidArgument("instance timestamp breaks period at " +
+                                     std::to_string(t));
+    }
+    TSG_RETURN_IF_ERROR(inst.validateAgainst(*template_));
+  }
+  return Status::ok();
+}
+
+}  // namespace tsg

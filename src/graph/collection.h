@@ -1,0 +1,65 @@
+// TimeSeriesCollection — Γ = ⟨Ĝ, G, t₀, δ⟩ (§II-A).
+//
+// A template plus a time-ordered list of instances captured at period δ.
+// This is the in-memory ("direct") representation; GoFS (src/gofs) is the
+// on-disk, partitioned, lazily-loaded representation of the same data.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph_instance.h"
+#include "graph/graph_template.h"
+
+namespace tsg {
+
+class TimeSeriesCollection {
+ public:
+  TimeSeriesCollection() = default;
+  TimeSeriesCollection(GraphTemplatePtr tmpl, std::int64_t t0,
+                       std::int64_t delta)
+      : template_(std::move(tmpl)), t0_(t0), delta_(delta) {
+    TSG_CHECK(template_ != nullptr);
+    TSG_CHECK_MSG(delta_ > 0, "period delta must be positive");
+  }
+
+  [[nodiscard]] const GraphTemplate& graphTemplate() const {
+    TSG_CHECK(template_ != nullptr);
+    return *template_;
+  }
+  [[nodiscard]] const GraphTemplatePtr& templatePtr() const {
+    return template_;
+  }
+
+  [[nodiscard]] std::int64_t t0() const { return t0_; }
+  [[nodiscard]] std::int64_t delta() const { return delta_; }
+
+  [[nodiscard]] std::size_t numInstances() const { return instances_.size(); }
+  [[nodiscard]] const GraphInstance& instance(Timestep t) const {
+    TSG_CHECK(t >= 0 && static_cast<std::size_t>(t) < instances_.size());
+    return instances_[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] GraphInstance& mutableInstance(Timestep t) {
+    TSG_CHECK(t >= 0 && static_cast<std::size_t>(t) < instances_.size());
+    return instances_[static_cast<std::size_t>(t)];
+  }
+
+  // Appends a zero-initialized instance at the next timestep and returns it.
+  GraphInstance& appendInstance();
+
+  // Appends an externally built instance; its timestep/timestamp must match
+  // the next slot (periodicity invariant t_{i+1} - t_i = δ).
+  Status appendInstance(GraphInstance instance);
+
+  // Validates every instance against the template and the timestamp series.
+  [[nodiscard]] Status validate() const;
+
+ private:
+  GraphTemplatePtr template_;
+  std::int64_t t0_ = 0;
+  std::int64_t delta_ = 1;
+  std::vector<GraphInstance> instances_;
+};
+
+}  // namespace tsg

@@ -1,0 +1,88 @@
+#include "graph/graph_instance.h"
+
+namespace tsg {
+
+GraphInstance::GraphInstance(const GraphTemplate& tmpl, Timestep timestep,
+                             std::int64_t timestamp)
+    : timestep_(timestep), timestamp_(timestamp) {
+  vertex_cols_.reserve(tmpl.vertexSchema().size());
+  for (const auto& def : tmpl.vertexSchema().defs()) {
+    vertex_cols_.push_back(AttributeColumn::make(def.type, tmpl.numVertices()));
+  }
+  edge_cols_.reserve(tmpl.edgeSchema().size());
+  for (const auto& def : tmpl.edgeSchema().defs()) {
+    edge_cols_.push_back(AttributeColumn::make(def.type, tmpl.numEdges()));
+  }
+}
+
+Status GraphInstance::validateAgainst(const GraphTemplate& tmpl) const {
+  if (vertex_cols_.size() != tmpl.vertexSchema().size()) {
+    return Status::invalidArgument("vertex attribute count mismatch");
+  }
+  if (edge_cols_.size() != tmpl.edgeSchema().size()) {
+    return Status::invalidArgument("edge attribute count mismatch");
+  }
+  for (std::size_t a = 0; a < vertex_cols_.size(); ++a) {
+    if (vertex_cols_[a].type() != tmpl.vertexSchema().at(a).type) {
+      return Status::invalidArgument("vertex attribute type mismatch: " +
+                                     tmpl.vertexSchema().at(a).name);
+    }
+    if (vertex_cols_[a].size() != tmpl.numVertices()) {
+      return Status::invalidArgument("vertex column size mismatch: " +
+                                     tmpl.vertexSchema().at(a).name);
+    }
+  }
+  for (std::size_t a = 0; a < edge_cols_.size(); ++a) {
+    if (edge_cols_[a].type() != tmpl.edgeSchema().at(a).type) {
+      return Status::invalidArgument("edge attribute type mismatch: " +
+                                     tmpl.edgeSchema().at(a).name);
+    }
+    if (edge_cols_[a].size() != tmpl.numEdges()) {
+      return Status::invalidArgument("edge column size mismatch: " +
+                                     tmpl.edgeSchema().at(a).name);
+    }
+  }
+  return Status::ok();
+}
+
+void GraphInstance::serialize(BinaryWriter& writer) const {
+  writer.writeI32(timestep_);
+  writer.writeI64(timestamp_);
+  writer.writeVarint(vertex_cols_.size());
+  for (const auto& col : vertex_cols_) {
+    col.serialize(writer);
+  }
+  writer.writeVarint(edge_cols_.size());
+  for (const auto& col : edge_cols_) {
+    col.serialize(writer);
+  }
+}
+
+Result<GraphInstance> GraphInstance::deserialize(BinaryReader& reader) {
+  GraphInstance inst;
+  TSG_RETURN_IF_ERROR(reader.readI32(inst.timestep_));
+  TSG_RETURN_IF_ERROR(reader.readI64(inst.timestamp_));
+  std::uint64_t num_vertex_cols = 0;
+  TSG_RETURN_IF_ERROR(reader.readVarint(num_vertex_cols));
+  inst.vertex_cols_.reserve(static_cast<std::size_t>(num_vertex_cols));
+  for (std::uint64_t i = 0; i < num_vertex_cols; ++i) {
+    auto col = AttributeColumn::deserialize(reader);
+    if (!col.isOk()) {
+      return col.status();
+    }
+    inst.vertex_cols_.push_back(std::move(col).value());
+  }
+  std::uint64_t num_edge_cols = 0;
+  TSG_RETURN_IF_ERROR(reader.readVarint(num_edge_cols));
+  inst.edge_cols_.reserve(static_cast<std::size_t>(num_edge_cols));
+  for (std::uint64_t i = 0; i < num_edge_cols; ++i) {
+    auto col = AttributeColumn::deserialize(reader);
+    if (!col.isOk()) {
+      return col.status();
+    }
+    inst.edge_cols_.push_back(std::move(col).value());
+  }
+  return inst;
+}
+
+}  // namespace tsg

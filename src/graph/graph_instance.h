@@ -1,0 +1,64 @@
+// GraphInstance — the attribute values of one timestep gᵗ = ⟨Vᵗ, Eᵗ, t⟩.
+//
+// An instance owns one column per vertex attribute and one per edge
+// attribute of the template schema, each sized |V̂| / |Ê|. The topology is
+// NOT duplicated here; it lives in the shared GraphTemplate.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/attribute.h"
+#include "graph/graph_template.h"
+#include "graph/types.h"
+
+namespace tsg {
+
+class GraphInstance {
+ public:
+  GraphInstance() = default;
+
+  // Zero/empty-initialized instance for one timestep of `tmpl`.
+  GraphInstance(const GraphTemplate& tmpl, Timestep timestep,
+                std::int64_t timestamp);
+
+  [[nodiscard]] Timestep timestep() const { return timestep_; }
+  [[nodiscard]] std::int64_t timestamp() const { return timestamp_; }
+
+  [[nodiscard]] std::size_t numVertexAttrs() const {
+    return vertex_cols_.size();
+  }
+  [[nodiscard]] std::size_t numEdgeAttrs() const { return edge_cols_.size(); }
+
+  [[nodiscard]] AttributeColumn& vertexCol(std::size_t attr) {
+    TSG_CHECK(attr < vertex_cols_.size());
+    return vertex_cols_[attr];
+  }
+  [[nodiscard]] const AttributeColumn& vertexCol(std::size_t attr) const {
+    TSG_CHECK(attr < vertex_cols_.size());
+    return vertex_cols_[attr];
+  }
+  [[nodiscard]] AttributeColumn& edgeCol(std::size_t attr) {
+    TSG_CHECK(attr < edge_cols_.size());
+    return edge_cols_[attr];
+  }
+  [[nodiscard]] const AttributeColumn& edgeCol(std::size_t attr) const {
+    TSG_CHECK(attr < edge_cols_.size());
+    return edge_cols_[attr];
+  }
+
+  // Validates column types/sizes against the template schema.
+  [[nodiscard]] Status validateAgainst(const GraphTemplate& tmpl) const;
+
+  void serialize(BinaryWriter& writer) const;
+  static Result<GraphInstance> deserialize(BinaryReader& reader);
+
+  bool operator==(const GraphInstance&) const = default;
+
+ private:
+  Timestep timestep_ = 0;
+  std::int64_t timestamp_ = 0;
+  std::vector<AttributeColumn> vertex_cols_;
+  std::vector<AttributeColumn> edge_cols_;
+};
+
+}  // namespace tsg

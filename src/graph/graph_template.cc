@@ -1,0 +1,218 @@
+#include "graph/graph_template.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace tsg {
+
+std::optional<VertexIndex> GraphTemplate::indexOfVertex(VertexId id) const {
+  const auto it = id_to_index_.find(id);
+  if (it == id_to_index_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+namespace {
+
+// Single BFS; returns (farthest vertex, eccentricity from start).
+std::pair<VertexIndex, std::size_t> bfsFarthest(const GraphTemplate& g,
+                                                VertexIndex start) {
+  std::vector<std::uint32_t> dist(g.numVertices(), ~0U);
+  std::deque<VertexIndex> queue;
+  dist[start] = 0;
+  queue.push_back(start);
+  VertexIndex farthest = start;
+  std::size_t max_dist = 0;
+  while (!queue.empty()) {
+    const VertexIndex v = queue.front();
+    queue.pop_front();
+    for (const auto& oe : g.outEdges(v)) {
+      if (dist[oe.dst] == ~0U) {
+        dist[oe.dst] = dist[v] + 1;
+        if (dist[oe.dst] > max_dist) {
+          max_dist = dist[oe.dst];
+          farthest = oe.dst;
+        }
+        queue.push_back(oe.dst);
+      }
+    }
+  }
+  return {farthest, max_dist};
+}
+
+}  // namespace
+
+std::size_t GraphTemplate::estimateDiameter(VertexIndex start) const {
+  if (numVertices() == 0) {
+    return 0;
+  }
+  TSG_CHECK(start < numVertices());
+  const auto [far_vertex, d1] = bfsFarthest(*this, start);
+  const auto [unused, d2] = bfsFarthest(*this, far_vertex);
+  (void)unused;
+  return std::max(d1, d2);
+}
+
+namespace {
+
+constexpr std::uint32_t kTemplateMagic = 0x54534754;  // "TSGT"
+constexpr std::uint8_t kTemplateVersion = 1;
+
+}  // namespace
+
+void GraphTemplate::serialize(BinaryWriter& writer) const {
+  writer.writeU32(kTemplateMagic);
+  writer.writeU8(kTemplateVersion);
+  writer.writeBool(directed_);
+  writer.writePodVector(vertex_ids_);
+  writer.writePodVector(out_offsets_);
+  writer.writePodVector(edge_ids_);
+  writer.writePodVector(edge_src_);
+  writer.writePodVector(edge_dst_);
+  vertex_schema_.serialize(writer);
+  edge_schema_.serialize(writer);
+}
+
+Result<GraphTemplate> GraphTemplate::deserialize(BinaryReader& reader) {
+  std::uint32_t magic = 0;
+  TSG_RETURN_IF_ERROR(reader.readU32(magic));
+  if (magic != kTemplateMagic) {
+    return Status::corruptData("bad graph template magic");
+  }
+  std::uint8_t version = 0;
+  TSG_RETURN_IF_ERROR(reader.readU8(version));
+  if (version != kTemplateVersion) {
+    return Status::corruptData("unsupported graph template version");
+  }
+  GraphTemplate g;
+  TSG_RETURN_IF_ERROR(reader.readBool(g.directed_));
+  TSG_RETURN_IF_ERROR(reader.readPodVector(g.vertex_ids_));
+  TSG_RETURN_IF_ERROR(reader.readPodVector(g.out_offsets_));
+  TSG_RETURN_IF_ERROR(reader.readPodVector(g.edge_ids_));
+  TSG_RETURN_IF_ERROR(reader.readPodVector(g.edge_src_));
+  TSG_RETURN_IF_ERROR(reader.readPodVector(g.edge_dst_));
+  {
+    auto schema = AttributeSchema::deserialize(reader);
+    if (!schema.isOk()) {
+      return schema.status();
+    }
+    g.vertex_schema_ = std::move(schema).value();
+  }
+  {
+    auto schema = AttributeSchema::deserialize(reader);
+    if (!schema.isOk()) {
+      return schema.status();
+    }
+    g.edge_schema_ = std::move(schema).value();
+  }
+  // Rebuild derived structures and validate integrity.
+  const std::size_t num_vertices = g.vertex_ids_.size();
+  const std::size_t num_edges = g.edge_dst_.size();
+  if (g.out_offsets_.size() != num_vertices + 1 ||
+      g.edge_ids_.size() != num_edges || g.edge_src_.size() != num_edges ||
+      g.out_offsets_.front() != 0 || g.out_offsets_.back() != num_edges) {
+    return Status::corruptData("inconsistent graph template arrays");
+  }
+  g.id_to_index_.reserve(num_vertices);
+  for (std::size_t i = 0; i < num_vertices; ++i) {
+    const auto [it, inserted] =
+        g.id_to_index_.emplace(g.vertex_ids_[i], static_cast<VertexIndex>(i));
+    (void)it;
+    if (!inserted) {
+      return Status::corruptData("duplicate vertex id in template");
+    }
+  }
+  g.out_edges_.resize(num_edges);
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    if (g.edge_src_[e] >= num_vertices || g.edge_dst_[e] >= num_vertices) {
+      return Status::corruptData("edge endpoint out of range");
+    }
+    g.out_edges_[e] = {g.edge_dst_[e], static_cast<EdgeIndex>(e)};
+  }
+  for (std::size_t v = 0; v < num_vertices; ++v) {
+    if (g.out_offsets_[v] > g.out_offsets_[v + 1]) {
+      return Status::corruptData("non-monotone CSR offsets");
+    }
+    for (std::uint64_t e = g.out_offsets_[v]; e < g.out_offsets_[v + 1]; ++e) {
+      if (g.edge_src_[e] != v) {
+        return Status::corruptData("edge source disagrees with CSR bucket");
+      }
+    }
+  }
+  return g;
+}
+
+bool GraphTemplate::operator==(const GraphTemplate& other) const {
+  return directed_ == other.directed_ && vertex_ids_ == other.vertex_ids_ &&
+         out_offsets_ == other.out_offsets_ && edge_ids_ == other.edge_ids_ &&
+         edge_src_ == other.edge_src_ && edge_dst_ == other.edge_dst_ &&
+         vertex_schema_ == other.vertex_schema_ &&
+         edge_schema_ == other.edge_schema_;
+}
+
+Result<GraphTemplate> GraphTemplateBuilder::build() {
+  GraphTemplate g;
+  g.directed_ = directed_;
+  g.vertex_schema_ = std::move(vertex_schema_);
+  g.edge_schema_ = std::move(edge_schema_);
+  g.vertex_ids_ = std::move(vertices_);
+
+  const std::size_t num_vertices = g.vertex_ids_.size();
+  g.id_to_index_.reserve(num_vertices);
+  for (std::size_t i = 0; i < num_vertices; ++i) {
+    const auto [it, inserted] =
+        g.id_to_index_.emplace(g.vertex_ids_[i], static_cast<VertexIndex>(i));
+    (void)it;
+    if (!inserted) {
+      return Status::invalidArgument("duplicate vertex id " +
+                                     std::to_string(g.vertex_ids_[i]));
+    }
+  }
+
+  // Count degrees, then place edges into CSR buckets.
+  std::vector<std::uint64_t> degree(num_vertices, 0);
+  struct ResolvedEdge {
+    EdgeId id;
+    VertexIndex src;
+    VertexIndex dst;
+  };
+  std::vector<ResolvedEdge> resolved;
+  resolved.reserve(edges_.size());
+  for (const auto& e : edges_) {
+    const auto src = g.indexOfVertex(e.src);
+    const auto dst = g.indexOfVertex(e.dst);
+    if (!src.has_value() || !dst.has_value()) {
+      return Status::invalidArgument(
+          "edge " + std::to_string(e.id) + " references unknown vertex " +
+          std::to_string(src.has_value() ? e.dst : e.src));
+    }
+    resolved.push_back({e.id, *src, *dst});
+    ++degree[*src];
+  }
+  edges_.clear();
+
+  g.out_offsets_.assign(num_vertices + 1, 0);
+  for (std::size_t v = 0; v < num_vertices; ++v) {
+    g.out_offsets_[v + 1] = g.out_offsets_[v] + degree[v];
+  }
+
+  const std::size_t num_edges = resolved.size();
+  g.out_edges_.resize(num_edges);
+  g.edge_ids_.resize(num_edges);
+  g.edge_src_.resize(num_edges);
+  g.edge_dst_.resize(num_edges);
+  std::vector<std::uint64_t> cursor(g.out_offsets_.begin(),
+                                    g.out_offsets_.end() - 1);
+  for (const auto& e : resolved) {
+    const std::uint64_t slot = cursor[e.src]++;
+    const auto edge_index = static_cast<EdgeIndex>(slot);
+    g.out_edges_[slot] = {e.dst, edge_index};
+    g.edge_ids_[slot] = e.id;
+    g.edge_src_[slot] = e.src;
+    g.edge_dst_[slot] = e.dst;
+  }
+  return g;
+}
+
+}  // namespace tsg

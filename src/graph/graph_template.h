@@ -1,0 +1,155 @@
+// GraphTemplate — the time-invariant topology Ĝ = ⟨V̂, Ê⟩ of a time-series
+// graph collection (§II-A of the paper), plus the typed attribute schemas
+// shared by every instance.
+//
+// Storage is CSR over dense indices. All edges are directed slots; an
+// undirected graph (e.g. a road network) is represented as symmetric pairs,
+// which is also how the generators emit them. Edge attribute values are per
+// directed slot.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "graph/attribute.h"
+#include "graph/types.h"
+
+namespace tsg {
+
+class GraphTemplate {
+ public:
+  // One outgoing edge as seen from its source vertex.
+  struct OutEdge {
+    VertexIndex dst;
+    EdgeIndex edge;
+  };
+
+  GraphTemplate() = default;
+
+  // --- topology ---
+  [[nodiscard]] std::size_t numVertices() const { return vertex_ids_.size(); }
+  [[nodiscard]] std::size_t numEdges() const { return edge_dst_.size(); }
+  [[nodiscard]] bool directed() const { return directed_; }
+
+  [[nodiscard]] VertexId vertexId(VertexIndex v) const {
+    TSG_CHECK(v < vertex_ids_.size());
+    return vertex_ids_[v];
+  }
+  [[nodiscard]] std::optional<VertexIndex> indexOfVertex(VertexId id) const;
+
+  [[nodiscard]] EdgeId edgeId(EdgeIndex e) const {
+    TSG_CHECK(e < edge_ids_.size());
+    return edge_ids_[e];
+  }
+  [[nodiscard]] VertexIndex edgeSrc(EdgeIndex e) const {
+    TSG_CHECK(e < edge_src_.size());
+    return edge_src_[e];
+  }
+  [[nodiscard]] VertexIndex edgeDst(EdgeIndex e) const {
+    TSG_CHECK(e < edge_dst_.size());
+    return edge_dst_[e];
+  }
+
+  [[nodiscard]] std::size_t outDegree(VertexIndex v) const {
+    TSG_CHECK(v + 1 < out_offsets_.size());
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+
+  // Outgoing edges of v. Edge indices are CSR positions, so the edge list of
+  // a vertex is contiguous: edge index out_offsets_[v] + i for neighbor i.
+  [[nodiscard]] std::span<const OutEdge> outEdges(VertexIndex v) const {
+    TSG_CHECK(v + 1 < out_offsets_.size());
+    return {out_edges_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+
+  // --- schemas ---
+  [[nodiscard]] const AttributeSchema& vertexSchema() const {
+    return vertex_schema_;
+  }
+  [[nodiscard]] const AttributeSchema& edgeSchema() const {
+    return edge_schema_;
+  }
+
+  // --- whole-graph statistics (used by Table I) ---
+  // Lower bound on diameter via a double-sweep BFS from `start`. Exact on
+  // trees; a tight heuristic on road-like graphs.
+  [[nodiscard]] std::size_t estimateDiameter(VertexIndex start = 0) const;
+
+  // --- persistence ---
+  void serialize(BinaryWriter& writer) const;
+  static Result<GraphTemplate> deserialize(BinaryReader& reader);
+
+  bool operator==(const GraphTemplate& other) const;
+
+ private:
+  friend class GraphTemplateBuilder;
+
+  bool directed_ = true;
+  std::vector<VertexId> vertex_ids_;
+  std::unordered_map<VertexId, VertexIndex> id_to_index_;
+
+  // CSR. edge index e lives at position e in edge_* arrays; out_edges_ is
+  // ordered so that edges of vertex v occupy [out_offsets_[v], out_offsets_[v+1]).
+  std::vector<std::uint64_t> out_offsets_;  // |V|+1
+  std::vector<OutEdge> out_edges_;          // |E|
+  std::vector<EdgeId> edge_ids_;            // |E|, by edge index
+  std::vector<VertexIndex> edge_src_;       // |E|
+  std::vector<VertexIndex> edge_dst_;       // |E|
+
+  AttributeSchema vertex_schema_;
+  AttributeSchema edge_schema_;
+};
+
+using GraphTemplatePtr = std::shared_ptr<const GraphTemplate>;
+
+// Incremental builder. Vertices and edges may be added in any order;
+// build() lays out the CSR and validates referential integrity.
+class GraphTemplateBuilder {
+ public:
+  explicit GraphTemplateBuilder(bool directed = true) : directed_(directed) {}
+
+  // Declares a vertex. Duplicate ids are rejected at build().
+  void addVertex(VertexId id) { vertices_.push_back(id); }
+
+  // Declares a directed edge src -> dst (by external vertex id).
+  void addEdge(EdgeId id, VertexId src, VertexId dst) {
+    edges_.push_back({id, src, dst});
+  }
+
+  // For undirected graphs: adds both directions sharing the same edge id.
+  void addUndirectedEdge(EdgeId id, VertexId a, VertexId b) {
+    edges_.push_back({id, a, b});
+    edges_.push_back({id, b, a});
+  }
+
+  AttributeSchema& vertexSchema() { return vertex_schema_; }
+  AttributeSchema& edgeSchema() { return edge_schema_; }
+
+  [[nodiscard]] std::size_t numVertices() const { return vertices_.size(); }
+  [[nodiscard]] std::size_t numEdges() const { return edges_.size(); }
+
+  // Consumes the builder's staged data.
+  Result<GraphTemplate> build();
+
+ private:
+  struct StagedEdge {
+    EdgeId id;
+    VertexId src;
+    VertexId dst;
+  };
+
+  bool directed_;
+  std::vector<VertexId> vertices_;
+  std::vector<StagedEdge> edges_;
+  AttributeSchema vertex_schema_;
+  AttributeSchema edge_schema_;
+};
+
+}  // namespace tsg

@@ -1,0 +1,37 @@
+// Fundamental identifier and index types of the time-series graph model.
+//
+// Template vertices/edges carry 64-bit external ids (the paper's "Long" id
+// attribute); all in-memory hot paths use dense 32-bit indices assigned by
+// GraphTemplate at finalize time.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tsg {
+
+// External, stable identifiers (set in the graph template).
+using VertexId = std::uint64_t;
+using EdgeId = std::uint64_t;
+
+// Dense internal indices (positions in CSR arrays).
+using VertexIndex = std::uint32_t;
+using EdgeIndex = std::uint32_t;
+
+// Partition and subgraph identities.
+using PartitionId = std::uint32_t;
+using SubgraphId = std::uint32_t;  // globally unique across partitions
+
+// Timestep index within a collection (0-based relative to t0).
+using Timestep = std::int32_t;
+
+inline constexpr VertexIndex kInvalidVertexIndex =
+    std::numeric_limits<VertexIndex>::max();
+inline constexpr EdgeIndex kInvalidEdgeIndex =
+    std::numeric_limits<EdgeIndex>::max();
+inline constexpr SubgraphId kInvalidSubgraph =
+    std::numeric_limits<SubgraphId>::max();
+inline constexpr PartitionId kInvalidPartition =
+    std::numeric_limits<PartitionId>::max();
+
+}  // namespace tsg

@@ -1,0 +1,92 @@
+#include "metrics/report.h"
+
+#include <sstream>
+
+#include "common/stopwatch.h"
+#include "common/table.h"
+
+namespace tsg {
+
+std::string renderTimestepSeries(const RunStats& stats,
+                                 const std::string& label,
+                                 const NetworkModel& net) {
+  TextTable table({"timestep", "modelled_ms"});
+  const std::int32_t timesteps = stats.numTimesteps();
+  for (Timestep t = 0; t < timesteps; ++t) {
+    const std::int64_t ns = stats.modelledTimestepNs(t, net);
+    if (ns == 0) {
+      continue;  // timestep not executed (e.g. early While-mode stop)
+    }
+    table.addRow({std::to_string(t), TextTable::fmtDouble(nsToMs(ns), 3)});
+  }
+  std::ostringstream out;
+  out << "== per-timestep time: " << label << " ==\n" << table.render();
+  return out.str();
+}
+
+std::string renderCounterSeries(const RunStats& stats,
+                                const std::string& counter,
+                                const std::string& label) {
+  std::ostringstream out;
+  out << "== counter '" << counter << "': " << label << " ==\n";
+  const auto it = stats.counters().find(counter);
+  if (it == stats.counters().end()) {
+    out << "(no data)\n";
+    return out.str();
+  }
+  std::vector<std::string> header{"timestep"};
+  for (PartitionId p = 0; p < stats.numPartitions(); ++p) {
+    header.push_back("part" + std::to_string(p));
+  }
+  header.push_back("total");
+  TextTable table(std::move(header));
+  for (std::size_t t = 0; t < it->second.size(); ++t) {
+    const auto& row = it->second[t];
+    std::vector<std::string> cells{std::to_string(t)};
+    std::uint64_t total = 0;
+    for (const auto v : row) {
+      cells.push_back(std::to_string(v));
+      total += v;
+    }
+    cells.push_back(std::to_string(total));
+    table.addRow(std::move(cells));
+  }
+  out << table.render();
+  return out.str();
+}
+
+std::string renderUtilization(const RunStats& stats,
+                              const std::string& label) {
+  TextTable table(
+      {"partition", "compute", "partition_oh", "sync_oh", "load"});
+  const auto util = stats.partitionUtilization();
+  for (PartitionId p = 0; p < util.size(); ++p) {
+    const auto& u = util[p];
+    const auto total = static_cast<double>(u.totalNs());
+    auto pct = [&](std::int64_t ns) {
+      return total == 0.0
+                 ? std::string("0%")
+                 : TextTable::fmtPercent(static_cast<double>(ns) / total, 1);
+    };
+    table.addRow({std::to_string(p), pct(u.compute_ns), pct(u.send_ns),
+                  pct(u.sync_ns), pct(u.load_ns)});
+  }
+  std::ostringstream out;
+  out << "== utilization split: " << label << " ==\n" << table.render();
+  return out.str();
+}
+
+std::string summarizeRun(const RunStats& stats, const std::string& label,
+                         const NetworkModel& net) {
+  std::ostringstream out;
+  out << label << ": wall=" << TextTable::fmtDouble(
+             nsToSec(stats.wallClockNs()), 3)
+      << "s modelled=" << TextTable::fmtDouble(
+             nsToSec(stats.modelledParallelNs(net)), 3)
+      << "s supersteps=" << stats.totalSupersteps()
+      << " messages=" << stats.totalMessages()
+      << " bytes=" << stats.totalBytes();
+  return out.str();
+}
+
+}  // namespace tsg

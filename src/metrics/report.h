@@ -1,0 +1,31 @@
+// Paper-style reporting helpers shared by the benchmark binaries: they turn
+// RunStats into the tables and series the evaluation section presents.
+#pragma once
+
+#include <string>
+
+#include "runtime/stats.h"
+
+namespace tsg {
+
+// Fig. 6: "time per timestep" series. One line per timestep with the
+// modelled parallel time (ms); maintenance rounds are folded into their
+// timestep like the paper's synchronized GC is.
+std::string renderTimestepSeries(const RunStats& stats,
+                                 const std::string& label,
+                                 const NetworkModel& net = {});
+
+// Fig. 7a/7c: a per-(timestep, partition) counter as a table.
+std::string renderCounterSeries(const RunStats& stats,
+                                const std::string& counter,
+                                const std::string& label);
+
+// Fig. 7b/7d: per-partition compute / partition-overhead / sync-overhead /
+// load split as percentages of that partition's total.
+std::string renderUtilization(const RunStats& stats, const std::string& label);
+
+// One-line run summary: wall clock, modelled time, supersteps, messages.
+std::string summarizeRun(const RunStats& stats, const std::string& label,
+                         const NetworkModel& net = {});
+
+}  // namespace tsg

@@ -1,0 +1,210 @@
+#include "partition/partitioned_graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tsg {
+namespace {
+
+// Union-find over template vertex indices, restricted to one partition's
+// vertices by only ever uniting local-edge endpoints.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) {
+      // Union by index keeps it deterministic.
+      if (a < b) {
+        parent_[b] = a;
+      } else {
+        parent_[a] = b;
+      }
+    }
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+}  // namespace
+
+Result<PartitionedGraph> PartitionedGraph::build(
+    GraphTemplatePtr tmpl, const PartitionAssignment& assignment,
+    std::uint32_t num_partitions) {
+  if (tmpl == nullptr) {
+    return Status::invalidArgument("null template");
+  }
+  const std::size_t n = tmpl->numVertices();
+  if (assignment.size() != n) {
+    return Status::invalidArgument("assignment size != vertex count");
+  }
+  for (const PartitionId p : assignment) {
+    if (p >= num_partitions) {
+      return Status::invalidArgument("assignment references partition " +
+                                     std::to_string(p) + " >= k");
+    }
+  }
+
+  PartitionedGraph pg;
+  pg.tmpl_ = std::move(tmpl);
+  pg.assignment_ = assignment;
+  pg.vertex_partition_ = assignment;
+  const GraphTemplate& g = *pg.tmpl_;
+
+  // Partition membership lists (ascending template index by construction).
+  pg.partitions_.resize(num_partitions);
+  for (std::uint32_t p = 0; p < num_partitions; ++p) {
+    pg.partitions_[p].id = p;
+  }
+  pg.vertex_local_index_.resize(n);
+  for (VertexIndex v = 0; v < n; ++v) {
+    auto& part = pg.partitions_[assignment[v]];
+    pg.vertex_local_index_[v] = static_cast<std::uint32_t>(part.vertices.size());
+    part.vertices.push_back(v);
+  }
+
+  // Edge ownership: an edge belongs to the partition of its source.
+  pg.edge_local_index_.resize(g.numEdges());
+  for (VertexIndex v = 0; v < n; ++v) {
+    auto& part = pg.partitions_[assignment[v]];
+    for (const auto& oe : g.outEdges(v)) {
+      pg.edge_local_index_[oe.edge] =
+          static_cast<std::uint32_t>(part.edges.size());
+      part.edges.push_back(oe.edge);
+    }
+  }
+
+  // Weakly connected components per partition over local edges only.
+  // Direction is ignored: weak connectivity (§II-C).
+  UnionFind uf(n);
+  for (EdgeIndex e = 0; e < g.numEdges(); ++e) {
+    const VertexIndex src = g.edgeSrc(e);
+    const VertexIndex dst = g.edgeDst(e);
+    if (assignment[src] == assignment[dst]) {
+      uf.unite(src, dst);
+    }
+  }
+
+  // Group each partition's vertices by component root, build subgraphs
+  // ordered largest-first, and assign globally sequential subgraph ids.
+  pg.vertex_subgraph_.assign(n, kInvalidSubgraph);
+  SubgraphId next_id = 0;
+  for (auto& part : pg.partitions_) {
+    std::vector<std::pair<std::uint32_t, VertexIndex>> rooted;
+    rooted.reserve(part.vertices.size());
+    for (const VertexIndex v : part.vertices) {
+      rooted.emplace_back(uf.find(v), v);
+    }
+    std::sort(rooted.begin(), rooted.end());
+
+    // Materialize components (contiguous runs of equal root).
+    std::vector<Subgraph> components;
+    std::size_t i = 0;
+    while (i < rooted.size()) {
+      std::size_t j = i;
+      while (j < rooted.size() && rooted[j].first == rooted[i].first) {
+        ++j;
+      }
+      Subgraph sg;
+      sg.partition = part.id;
+      sg.vertices.reserve(j - i);
+      for (std::size_t k = i; k < j; ++k) {
+        sg.vertices.push_back(rooted[k].second);
+      }
+      std::sort(sg.vertices.begin(), sg.vertices.end());
+      components.push_back(std::move(sg));
+      i = j;
+    }
+    // Largest-first, ties by first vertex for determinism. This is the
+    // "one large subgraph dominates, long tail of small ones" ordering the
+    // paper observes (§IV-E).
+    std::sort(components.begin(), components.end(),
+              [](const Subgraph& a, const Subgraph& b) {
+                if (a.vertices.size() != b.vertices.size()) {
+                  return a.vertices.size() > b.vertices.size();
+                }
+                return a.vertices.front() < b.vertices.front();
+              });
+    for (auto& sg : components) {
+      sg.id = next_id++;
+      for (const VertexIndex v : sg.vertices) {
+        pg.vertex_subgraph_[v] = sg.id;
+      }
+    }
+    part.subgraphs = std::move(components);
+  }
+
+  // Locator and remote edges (need vertex_subgraph_ complete first).
+  pg.subgraph_locator_.resize(next_id);
+  for (const auto& part : pg.partitions_) {
+    for (std::uint32_t idx = 0; idx < part.subgraphs.size(); ++idx) {
+      const auto& sg = part.subgraphs[idx];
+      pg.subgraph_locator_[sg.id] = {part.id, idx};
+    }
+  }
+  for (auto& part : pg.partitions_) {
+    for (auto& sg : part.subgraphs) {
+      for (const VertexIndex v : sg.vertices) {
+        for (const auto& oe : g.outEdges(v)) {
+          if (assignment[oe.dst] == part.id) {
+            ++sg.num_local_edges;
+          } else {
+            sg.remote_edges.push_back(
+                {v, oe.edge, oe.dst, assignment[oe.dst],
+                 pg.vertex_subgraph_[oe.dst]});
+          }
+        }
+      }
+      std::sort(sg.remote_edges.begin(), sg.remote_edges.end(),
+                [](const RemoteEdge& a, const RemoteEdge& b) {
+                  return std::tie(a.src, a.edge) < std::tie(b.src, b.edge);
+                });
+    }
+  }
+
+  // Symmetric subgraph adjacency: a remote edge a→b makes a and b mutual
+  // neighbors (weak connectivity at the meta-vertex level).
+  {
+    std::vector<std::vector<SubgraphId>> neighbors(next_id);
+    for (const auto& part : pg.partitions_) {
+      for (const auto& sg : part.subgraphs) {
+        for (const auto& re : sg.remote_edges) {
+          neighbors[sg.id].push_back(re.dst_subgraph);
+          neighbors[re.dst_subgraph].push_back(sg.id);
+        }
+      }
+    }
+    for (auto& part : pg.partitions_) {
+      for (auto& sg : part.subgraphs) {
+        auto& list = neighbors[sg.id];
+        std::sort(list.begin(), list.end());
+        list.erase(std::unique(list.begin(), list.end()), list.end());
+        sg.neighbor_subgraphs = std::move(list);
+      }
+    }
+  }
+  return pg;
+}
+
+SubgraphId PartitionedGraph::largestSubgraphOf(PartitionId p) const {
+  TSG_CHECK(p < partitions_.size());
+  TSG_CHECK_MSG(!partitions_[p].subgraphs.empty(),
+                "partition has no subgraphs");
+  // Subgraphs are ordered largest-first.
+  return partitions_[p].subgraphs.front().id;
+}
+
+}  // namespace tsg

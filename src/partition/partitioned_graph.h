@@ -1,0 +1,144 @@
+// PartitionedGraph — a GraphTemplate distributed over k partitions and
+// decomposed into subgraphs (§II-C).
+//
+// A subgraph is a maximal set of a partition's vertices weakly connected
+// through local edges (both endpoints in the partition). Edges owned by a
+// partition (source vertex inside) whose destination lies in another
+// partition are "remote edges"; subgraph-centric programs message the
+// destination subgraph across them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph_template.h"
+#include "graph/types.h"
+#include "partition/partitioner.h"
+
+namespace tsg {
+
+// A remote (cut) edge from a vertex in this subgraph to a vertex owned by
+// another partition. All indices are template indices.
+struct RemoteEdge {
+  VertexIndex src;
+  EdgeIndex edge;
+  VertexIndex dst;
+  PartitionId dst_partition;
+  SubgraphId dst_subgraph;
+};
+
+// One subgraph: topology references into the shared template.
+class Subgraph {
+ public:
+  SubgraphId id = kInvalidSubgraph;
+  PartitionId partition = kInvalidPartition;
+  std::vector<VertexIndex> vertices;     // template indices, ascending
+  std::vector<RemoteEdge> remote_edges;  // sorted by (src, edge)
+  // Subgraphs connected to this one by a remote edge in EITHER direction
+  // (sorted, unique) — the meta-vertex adjacency used by algorithms that
+  // need symmetric propagation (e.g. weakly connected components).
+  std::vector<SubgraphId> neighbor_subgraphs;
+  std::uint64_t num_local_edges = 0;
+
+  [[nodiscard]] std::size_t numVertices() const { return vertices.size(); }
+};
+
+// One partition: its vertices, owned edges and subgraphs.
+class Partition {
+ public:
+  PartitionId id = kInvalidPartition;
+  std::vector<VertexIndex> vertices;  // template indices, ascending
+  std::vector<EdgeIndex> edges;       // owned edges, ascending
+  std::vector<Subgraph> subgraphs;    // ordered by descending vertex count
+
+  [[nodiscard]] std::size_t numVertices() const { return vertices.size(); }
+  [[nodiscard]] std::size_t numEdges() const { return edges.size(); }
+};
+
+// The full decomposition. Provides O(1) lookups from template vertex/edge
+// indices to their partition, subgraph, and partition-local dense index —
+// the mappings instance loaders and algorithm contexts live on.
+class PartitionedGraph {
+ public:
+  // Builds partitions and subgraphs from an assignment. The assignment must
+  // cover every vertex with a partition id < num_partitions.
+  static Result<PartitionedGraph> build(GraphTemplatePtr tmpl,
+                                        const PartitionAssignment& assignment,
+                                        std::uint32_t num_partitions);
+
+  [[nodiscard]] const GraphTemplate& graphTemplate() const { return *tmpl_; }
+  [[nodiscard]] const GraphTemplatePtr& templatePtr() const { return tmpl_; }
+
+  [[nodiscard]] std::uint32_t numPartitions() const {
+    return static_cast<std::uint32_t>(partitions_.size());
+  }
+  [[nodiscard]] const Partition& partition(PartitionId p) const {
+    TSG_CHECK(p < partitions_.size());
+    return partitions_[p];
+  }
+  [[nodiscard]] std::size_t numSubgraphs() const {
+    return subgraph_locator_.size();
+  }
+
+  // --- vertex lookups (template vertex index -> placement) ---
+  [[nodiscard]] PartitionId partitionOfVertex(VertexIndex v) const {
+    TSG_CHECK(v < vertex_partition_.size());
+    return vertex_partition_[v];
+  }
+  [[nodiscard]] SubgraphId subgraphOfVertex(VertexIndex v) const {
+    TSG_CHECK(v < vertex_subgraph_.size());
+    return vertex_subgraph_[v];
+  }
+  // Dense index of v within its partition's `vertices` list.
+  [[nodiscard]] std::uint32_t localIndexOfVertex(VertexIndex v) const {
+    TSG_CHECK(v < vertex_local_index_.size());
+    return vertex_local_index_[v];
+  }
+  // Dense index of e within its owning partition's `edges` list.
+  [[nodiscard]] std::uint32_t localIndexOfEdge(EdgeIndex e) const {
+    TSG_CHECK(e < edge_local_index_.size());
+    return edge_local_index_[e];
+  }
+
+  // --- subgraph lookups ---
+  [[nodiscard]] const Subgraph& subgraph(SubgraphId sg) const {
+    TSG_CHECK(sg < subgraph_locator_.size());
+    const auto& loc = subgraph_locator_[sg];
+    return partitions_[loc.partition].subgraphs[loc.index_in_partition];
+  }
+  [[nodiscard]] PartitionId partitionOfSubgraph(SubgraphId sg) const {
+    TSG_CHECK(sg < subgraph_locator_.size());
+    return subgraph_locator_[sg].partition;
+  }
+  // Position of subgraph sg within its partition's `subgraphs` list.
+  [[nodiscard]] std::uint32_t subgraphIndexInPartition(SubgraphId sg) const {
+    TSG_CHECK(sg < subgraph_locator_.size());
+    return subgraph_locator_[sg].index_in_partition;
+  }
+
+  // The subgraph with the most vertices in partition p ("largest subgraph in
+  // the 1st partition" plays master in the Hashtag Merge; §III-A).
+  [[nodiscard]] SubgraphId largestSubgraphOf(PartitionId p) const;
+
+  [[nodiscard]] const PartitionAssignment& assignment() const {
+    return assignment_;
+  }
+
+ private:
+  struct SubgraphLocator {
+    PartitionId partition;
+    std::uint32_t index_in_partition;
+  };
+
+  GraphTemplatePtr tmpl_;
+  PartitionAssignment assignment_;
+  std::vector<Partition> partitions_;
+  std::vector<PartitionId> vertex_partition_;
+  std::vector<SubgraphId> vertex_subgraph_;
+  std::vector<std::uint32_t> vertex_local_index_;
+  std::vector<std::uint32_t> edge_local_index_;
+  std::vector<SubgraphLocator> subgraph_locator_;
+};
+
+}  // namespace tsg

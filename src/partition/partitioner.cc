@@ -1,0 +1,238 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace tsg {
+
+PartitionAssignment HashPartitioner::assign(
+    const GraphTemplate& tmpl, std::uint32_t num_partitions) const {
+  TSG_CHECK(num_partitions > 0);
+  PartitionAssignment assignment(tmpl.numVertices());
+  for (VertexIndex v = 0; v < tmpl.numVertices(); ++v) {
+    // Mix the external id so consecutive ids spread across partitions.
+    SplitMix64 mixer(tmpl.vertexId(v));
+    assignment[v] = static_cast<PartitionId>(mixer.next() % num_partitions);
+  }
+  return assignment;
+}
+
+namespace {
+
+// Farthest-point seed spreading: first seed random, each next seed is the
+// unassigned vertex farthest (BFS hops) from all chosen seeds.
+std::vector<VertexIndex> spreadSeeds(const GraphTemplate& tmpl,
+                                     std::uint32_t k, Rng& rng) {
+  const std::size_t n = tmpl.numVertices();
+  std::vector<VertexIndex> seeds;
+  seeds.reserve(k);
+  seeds.push_back(static_cast<VertexIndex>(rng.uniformBelow(n)));
+
+  std::vector<std::uint32_t> dist(n, ~0U);
+  std::deque<VertexIndex> queue;
+  auto relaxFrom = [&](VertexIndex s) {
+    dist[s] = 0;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const VertexIndex v = queue.front();
+      queue.pop_front();
+      for (const auto& oe : tmpl.outEdges(v)) {
+        if (dist[oe.dst] == ~0U || dist[oe.dst] > dist[v] + 1) {
+          dist[oe.dst] = dist[v] + 1;
+          queue.push_back(oe.dst);
+        }
+      }
+    }
+  };
+
+  relaxFrom(seeds[0]);
+  while (seeds.size() < k) {
+    // Farthest vertex; unreachable vertices (dist == ~0U) win outright,
+    // which naturally seeds other connected components.
+    VertexIndex best = seeds[0];
+    std::uint32_t best_dist = 0;
+    for (VertexIndex v = 0; v < n; ++v) {
+      if (dist[v] == ~0U) {
+        best = v;
+        best_dist = ~0U;
+        break;
+      }
+      if (dist[v] > best_dist) {
+        best_dist = dist[v];
+        best = v;
+      }
+    }
+    seeds.push_back(best);
+    relaxFrom(best);
+  }
+  return seeds;
+}
+
+}  // namespace
+
+PartitionAssignment BfsPartitioner::assign(const GraphTemplate& tmpl,
+                                           std::uint32_t num_partitions) const {
+  TSG_CHECK(num_partitions > 0);
+  const std::size_t n = tmpl.numVertices();
+  PartitionAssignment assignment(n, kInvalidPartition);
+  if (n == 0) {
+    return assignment;
+  }
+  if (num_partitions == 1) {
+    std::fill(assignment.begin(), assignment.end(), 0);
+    return assignment;
+  }
+
+  Rng rng(seed_);
+  const auto seeds = spreadSeeds(tmpl, num_partitions, rng);
+  const auto capacity = static_cast<std::uint64_t>(
+      static_cast<double>(n) / num_partitions * balance_factor_ + 1.0);
+
+  std::vector<std::deque<VertexIndex>> frontiers(num_partitions);
+  std::vector<std::uint64_t> sizes(num_partitions, 0);
+  for (std::uint32_t p = 0; p < num_partitions; ++p) {
+    const VertexIndex s = seeds[p];
+    if (assignment[s] == kInvalidPartition) {
+      assignment[s] = p;
+      ++sizes[p];
+      frontiers[p].push_back(s);
+    }
+  }
+
+  // Round-robin growth: each partition claims one frontier vertex's
+  // unclaimed neighbors per turn, keeping regions contiguous and balanced.
+  bool any_active = true;
+  while (any_active) {
+    any_active = false;
+    for (std::uint32_t p = 0; p < num_partitions; ++p) {
+      if (frontiers[p].empty() || sizes[p] >= capacity) {
+        continue;
+      }
+      any_active = true;
+      const VertexIndex v = frontiers[p].front();
+      frontiers[p].pop_front();
+      for (const auto& oe : tmpl.outEdges(v)) {
+        if (assignment[oe.dst] == kInvalidPartition && sizes[p] < capacity) {
+          assignment[oe.dst] = p;
+          ++sizes[p];
+          frontiers[p].push_back(oe.dst);
+        }
+      }
+    }
+  }
+
+  // Leftovers: capacity-capped growth can strand vertices (and directed
+  // graphs may have vertices unreachable from any seed). Attach each to the
+  // least-loaded partition, preferring one that owns a neighbor.
+  for (VertexIndex v = 0; v < n; ++v) {
+    if (assignment[v] != kInvalidPartition) {
+      continue;
+    }
+    PartitionId best = kInvalidPartition;
+    for (const auto& oe : tmpl.outEdges(v)) {
+      const PartitionId q = assignment[oe.dst];
+      if (q != kInvalidPartition &&
+          (best == kInvalidPartition || sizes[q] < sizes[best])) {
+        best = q;
+      }
+    }
+    if (best == kInvalidPartition) {
+      best = static_cast<PartitionId>(
+          std::min_element(sizes.begin(), sizes.end()) - sizes.begin());
+    }
+    assignment[v] = best;
+    ++sizes[best];
+  }
+  return assignment;
+}
+
+PartitionAssignment LdgPartitioner::assign(const GraphTemplate& tmpl,
+                                           std::uint32_t num_partitions) const {
+  TSG_CHECK(num_partitions > 0);
+  const std::size_t n = tmpl.numVertices();
+  PartitionAssignment assignment(n, kInvalidPartition);
+  if (n == 0) {
+    return assignment;
+  }
+
+  const double capacity = static_cast<double>(n) / num_partitions *
+                          balance_factor_;
+  std::vector<std::uint64_t> sizes(num_partitions, 0);
+  std::vector<double> score(num_partitions);
+
+  // Seeded random stream order (Fisher–Yates).
+  std::vector<VertexIndex> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed_);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.uniformBelow(i)]);
+  }
+
+  for (const VertexIndex v : order) {
+    std::fill(score.begin(), score.end(), 0.0);
+    for (const auto& oe : tmpl.outEdges(v)) {
+      const PartitionId q = assignment[oe.dst];
+      if (q != kInvalidPartition) {
+        score[q] += 1.0;
+      }
+    }
+    PartitionId best = 0;
+    double best_score = -1.0;
+    for (std::uint32_t p = 0; p < num_partitions; ++p) {
+      const double slack =
+          1.0 - static_cast<double>(sizes[p]) / capacity;
+      if (slack <= 0.0) {
+        continue;
+      }
+      // +1 so isolated vertices still prefer emptier partitions.
+      const double s = (score[p] + 1.0) * slack;
+      if (s > best_score) {
+        best_score = s;
+        best = p;
+      }
+    }
+    if (best_score < 0.0) {
+      // Every partition at capacity (rounding); least-loaded wins.
+      best = static_cast<PartitionId>(
+          std::min_element(sizes.begin(), sizes.end()) - sizes.begin());
+    }
+    assignment[v] = best;
+    ++sizes[best];
+  }
+  return assignment;
+}
+
+PartitionMetrics evaluatePartition(const GraphTemplate& tmpl,
+                                   const PartitionAssignment& assignment,
+                                   std::uint32_t num_partitions) {
+  TSG_CHECK(assignment.size() == tmpl.numVertices());
+  PartitionMetrics m;
+  m.num_edges = tmpl.numEdges();
+  m.part_sizes.assign(num_partitions, 0);
+  for (VertexIndex v = 0; v < tmpl.numVertices(); ++v) {
+    TSG_CHECK(assignment[v] < num_partitions);
+    ++m.part_sizes[assignment[v]];
+  }
+  for (EdgeIndex e = 0; e < tmpl.numEdges(); ++e) {
+    if (assignment[tmpl.edgeSrc(e)] != assignment[tmpl.edgeDst(e)]) {
+      ++m.cut_edges;
+    }
+  }
+  m.cut_fraction = m.num_edges == 0
+                       ? 0.0
+                       : static_cast<double>(m.cut_edges) /
+                             static_cast<double>(m.num_edges);
+  const double ideal =
+      static_cast<double>(tmpl.numVertices()) / num_partitions;
+  std::uint64_t max_size = 0;
+  for (const auto s : m.part_sizes) {
+    max_size = std::max(max_size, s);
+  }
+  m.balance = ideal == 0.0 ? 1.0 : static_cast<double>(max_size) / ideal;
+  return m;
+}
+
+}  // namespace tsg

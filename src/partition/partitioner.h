@@ -1,0 +1,93 @@
+// Graph partitioners (the paper used METIS k-way; §IV-A).
+//
+// Three implementations with different quality/cost points:
+//  * HashPartitioner — id-hash placement; worst-case edge cut, O(V).
+//  * BfsPartitioner  — balanced multi-seed region growing; near-METIS cut on
+//    road-like graphs (contiguous regions), the default for experiments.
+//  * LdgPartitioner  — linear deterministic greedy streaming placement.
+//
+// An assignment maps every template vertex index to a partition id. Edges
+// are owned by the partition of their source vertex.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph_template.h"
+#include "graph/types.h"
+
+namespace tsg {
+
+using PartitionAssignment = std::vector<PartitionId>;
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  // Partitions `tmpl` into `num_partitions` parts. Deterministic for a
+  // given (graph, num_partitions, seed).
+  [[nodiscard]] virtual PartitionAssignment assign(
+      const GraphTemplate& tmpl, std::uint32_t num_partitions) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+// Places vertex v in partition hash(id(v)) % k.
+class HashPartitioner final : public Partitioner {
+ public:
+  [[nodiscard]] PartitionAssignment assign(
+      const GraphTemplate& tmpl, std::uint32_t num_partitions) const override;
+  [[nodiscard]] std::string name() const override { return "hash"; }
+};
+
+// Balanced multi-seed BFS region growing. Seeds are spread with a
+// farthest-point heuristic; partitions claim frontier vertices round-robin
+// under a capacity cap of ceil(|V|/k * balance_factor); leftover vertices
+// (disconnected remainders) go to the least-loaded partition.
+class BfsPartitioner final : public Partitioner {
+ public:
+  explicit BfsPartitioner(std::uint64_t seed = 17, double balance_factor = 1.03)
+      : seed_(seed), balance_factor_(balance_factor) {}
+
+  [[nodiscard]] PartitionAssignment assign(
+      const GraphTemplate& tmpl, std::uint32_t num_partitions) const override;
+  [[nodiscard]] std::string name() const override { return "bfs"; }
+
+ private:
+  std::uint64_t seed_;
+  double balance_factor_;
+};
+
+// Linear Deterministic Greedy (Stanton & Kliot): stream vertices in a
+// seeded random order; place each where it has most already-placed
+// neighbors, weighted by remaining capacity.
+class LdgPartitioner final : public Partitioner {
+ public:
+  explicit LdgPartitioner(std::uint64_t seed = 17, double balance_factor = 1.03)
+      : seed_(seed), balance_factor_(balance_factor) {}
+
+  [[nodiscard]] PartitionAssignment assign(
+      const GraphTemplate& tmpl, std::uint32_t num_partitions) const override;
+  [[nodiscard]] std::string name() const override { return "ldg"; }
+
+ private:
+  std::uint64_t seed_;
+  double balance_factor_;
+};
+
+// --- quality metrics (Table II) ---
+
+struct PartitionMetrics {
+  std::uint64_t num_edges = 0;
+  std::uint64_t cut_edges = 0;       // directed edges crossing partitions
+  double cut_fraction = 0.0;         // cut_edges / num_edges
+  double balance = 0.0;              // max part size / ideal part size
+  std::vector<std::uint64_t> part_sizes;
+};
+
+PartitionMetrics evaluatePartition(const GraphTemplate& tmpl,
+                                   const PartitionAssignment& assignment,
+                                   std::uint32_t num_partitions);
+
+}  // namespace tsg

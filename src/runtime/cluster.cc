@@ -1,0 +1,87 @@
+#include "runtime/cluster.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace tsg {
+
+Cluster::Cluster(std::uint32_t num_partitions)
+    : start_ns_(num_partitions, 0),
+      end_ns_(num_partitions, 0),
+      cpu_busy_ns_(num_partitions, 0),
+      timings_(num_partitions) {
+  TSG_CHECK(num_partitions > 0);
+  workers_.reserve(num_partitions);
+  for (PartitionId p = 0; p < num_partitions; ++p) {
+    workers_.emplace_back([this, p] { workerLoop(p); });
+  }
+}
+
+Cluster::~Cluster() {
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+  }
+  round_start_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+const std::vector<Cluster::RoundTiming>& Cluster::run(
+    const std::function<void(PartitionId)>& job) {
+  {
+    std::unique_lock lock(mutex_);
+    TSG_CHECK_MSG(remaining_ == 0, "run() re-entered mid-round");
+    job_ = &job;
+    remaining_ = static_cast<std::uint32_t>(workers_.size());
+    ++round_;
+    round_start_.notify_all();
+    round_done_.wait(lock, [this] { return remaining_ == 0; });
+    job_ = nullptr;
+  }
+  // All end_ns_ are final now; the slowest worker defines the barrier time.
+  const std::int64_t round_end =
+      *std::max_element(end_ns_.begin(), end_ns_.end());
+  for (PartitionId p = 0; p < timings_.size(); ++p) {
+    timings_[p].busy_ns = cpu_busy_ns_[p];
+    timings_[p].sync_ns = round_end - end_ns_[p];
+  }
+  return timings_;
+}
+
+void Cluster::workerLoop(PartitionId p) {
+  std::uint64_t seen_round = 0;
+  while (true) {
+    const std::function<void(PartitionId)>* job = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      round_start_.wait(lock, [&] {
+        return shutting_down_ || round_ != seen_round;
+      });
+      if (shutting_down_) {
+        return;
+      }
+      seen_round = round_;
+      job = job_;
+    }
+    // Busy = CPU time (workers share cores; wall time would charge a worker
+    // for time spent descheduled while peers ran). End timestamps stay on
+    // the wall clock for barrier-wait (sync) computation.
+    start_ns_[p] = steadyNowNs();
+    const std::int64_t cpu_start = threadCpuNowNs();
+    (*job)(p);
+    cpu_busy_ns_[p] = threadCpuNowNs() - cpu_start;
+    end_ns_[p] = steadyNowNs();
+    {
+      std::lock_guard lock(mutex_);
+      if (--remaining_ == 0) {
+        round_done_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace tsg

@@ -1,0 +1,63 @@
+// Cluster — the simulated distributed substrate.
+//
+// One long-lived worker thread per partition stands in for the paper's one
+// EC2 VM per partition. The coordinator drives rounds: run(job) executes
+// job(p) on every worker concurrently and blocks until all finish, like a
+// BSP compute phase ending at a barrier.
+//
+// Per round and per partition the cluster records busy time and barrier
+// (sync) wait — the raw series behind Fig. 7b/7d's compute / sync split.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace tsg {
+
+class Cluster {
+ public:
+  explicit Cluster(std::uint32_t num_partitions);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  struct RoundTiming {
+    std::int64_t busy_ns = 0;  // CPU time consumed by job(p)
+    std::int64_t sync_ns = 0;  // own finish -> slowest worker's finish (wall)
+  };
+
+  // Runs job(p) on every partition worker; blocks until the round ends.
+  // The returned reference is valid until the next run() call.
+  const std::vector<RoundTiming>& run(
+      const std::function<void(PartitionId)>& job);
+
+  [[nodiscard]] std::uint32_t numPartitions() const {
+    return static_cast<std::uint32_t>(timings_.size());
+  }
+
+ private:
+  void workerLoop(PartitionId p);
+
+  std::mutex mutex_;
+  std::condition_variable round_start_;
+  std::condition_variable round_done_;
+  const std::function<void(PartitionId)>* job_ = nullptr;
+  std::uint64_t round_ = 0;
+  std::uint32_t remaining_ = 0;
+  bool shutting_down_ = false;
+
+  std::vector<std::int64_t> start_ns_;
+  std::vector<std::int64_t> end_ns_;
+  std::vector<std::int64_t> cpu_busy_ns_;
+  std::vector<RoundTiming> timings_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tsg

@@ -1,0 +1,27 @@
+// Messages exchanged between subgraphs (and, in the vertex-centric baseline,
+// between vertices). Payloads are opaque byte strings; programs encode and
+// decode them with BinaryWriter/BinaryReader.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace tsg {
+
+struct Message {
+  SubgraphId src = kInvalidSubgraph;  // sender; kInvalidSubgraph = app input
+  SubgraphId dst = kInvalidSubgraph;
+  // Timestep the message was sent from. Set by the TI-BSP engine for
+  // inter-timestep and merge messages (Merge interprets its inbox by origin
+  // timestep; §III-A), -1 for intra-BSP and application-input messages.
+  Timestep origin_timestep = -1;
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] std::size_t byteSize() const {
+    return payload.size() + 2 * sizeof(SubgraphId);
+  }
+};
+
+}  // namespace tsg

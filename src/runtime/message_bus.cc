@@ -1,0 +1,84 @@
+#include "runtime/message_bus.h"
+
+#include "common/status.h"
+
+namespace tsg {
+
+MessageBus::MessageBus(std::uint32_t num_partitions)
+    : outboxes_(num_partitions), inboxes_(num_partitions) {
+  TSG_CHECK(num_partitions > 0);
+  for (auto& row : outboxes_) {
+    row.resize(num_partitions);
+  }
+}
+
+void MessageBus::send(PartitionId from, PartitionId to, Message msg) {
+  TSG_CHECK(from < outboxes_.size());
+  TSG_CHECK(to < outboxes_.size());
+  outboxes_[from][to].push_back(std::move(msg));
+}
+
+MessageBus::DeliveryStats MessageBus::deliver() {
+  DeliveryStats stats;
+  for (auto& inbox : inboxes_) {
+    inbox.clear();
+  }
+  for (PartitionId from = 0; from < outboxes_.size(); ++from) {
+    for (PartitionId to = 0; to < outboxes_.size(); ++to) {
+      auto& box = outboxes_[from][to];
+      for (auto& msg : box) {
+        const std::uint64_t size = msg.byteSize();
+        ++stats.messages;
+        stats.bytes += size;
+        if (from != to) {
+          ++stats.cross_partition_messages;
+          stats.cross_partition_bytes += size;
+        }
+        inboxes_[to].push_back(std::move(msg));
+      }
+      box.clear();
+    }
+  }
+  return stats;
+}
+
+std::vector<Message>& MessageBus::inbox(PartitionId p) {
+  TSG_CHECK(p < inboxes_.size());
+  return inboxes_[p];
+}
+
+void MessageBus::inject(PartitionId to, std::vector<Message> msgs) {
+  TSG_CHECK(to < inboxes_.size());
+  auto& inbox = inboxes_[to];
+  inbox.insert(inbox.end(), std::make_move_iterator(msgs.begin()),
+               std::make_move_iterator(msgs.end()));
+}
+
+bool MessageBus::anyPending() const {
+  for (const auto& row : outboxes_) {
+    for (const auto& box : row) {
+      if (!box.empty()) {
+        return true;
+      }
+    }
+  }
+  for (const auto& inbox : inboxes_) {
+    if (!inbox.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void MessageBus::clearAll() {
+  for (auto& row : outboxes_) {
+    for (auto& box : row) {
+      box.clear();
+    }
+  }
+  for (auto& inbox : inboxes_) {
+    inbox.clear();
+  }
+}
+
+}  // namespace tsg

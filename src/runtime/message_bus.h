@@ -1,0 +1,57 @@
+// MessageBus — bulk message exchange between partitions, BSP style.
+//
+// During a superstep, worker p enqueues into its own outbox row
+// (outbox[p][dst_partition]); rows are thread-confined so sends are
+// lock-free. Between supersteps the coordinator calls deliver(), which moves
+// everything into per-partition inboxes and returns traffic stats — the
+// "bulk" transmission of Valiant's model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "runtime/message.h"
+
+namespace tsg {
+
+class MessageBus {
+ public:
+  explicit MessageBus(std::uint32_t num_partitions);
+
+  // Called by worker `from` only (thread-confinement contract).
+  void send(PartitionId from, PartitionId to, Message msg);
+
+  struct DeliveryStats {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t cross_partition_messages = 0;
+    std::uint64_t cross_partition_bytes = 0;
+  };
+
+  // Coordinator-only, between supersteps: moves outboxes to inboxes.
+  DeliveryStats deliver();
+
+  // Worker p's inbox for the current superstep (valid until next deliver()).
+  [[nodiscard]] std::vector<Message>& inbox(PartitionId p);
+
+  // Injects messages directly into an inbox (application inputs and
+  // next-timestep messages are seeded this way before superstep 0).
+  void inject(PartitionId to, std::vector<Message> msgs);
+
+  // True if any outbox or inbox still holds messages.
+  [[nodiscard]] bool anyPending() const;
+
+  void clearAll();
+
+  [[nodiscard]] std::uint32_t numPartitions() const {
+    return static_cast<std::uint32_t>(inboxes_.size());
+  }
+
+ private:
+  // outboxes_[from][to]
+  std::vector<std::vector<std::vector<Message>>> outboxes_;
+  std::vector<std::vector<Message>> inboxes_;
+};
+
+}  // namespace tsg

@@ -1,0 +1,123 @@
+// RunStats — execution metering for TI-BSP and vertex-centric runs.
+//
+// The engine appends one SuperstepRecord per (timestep, superstep) with the
+// per-partition breakdown the paper analyses: compute time, message send
+// time ("partition overhead"), barrier wait ("sync overhead") and instance
+// load time. Aggregations reproduce the evaluation's derived series:
+//   * per-timestep time (Fig. 6),
+//   * per-partition utilization split (Fig. 7b/7d),
+//   * modelled parallel time — the critical-path wall-clock a real k-VM
+//     deployment would see (this host has one core, so partitions
+//     time-slice; see DESIGN.md §1).
+//
+// User counters (e.g. "vertices finalized") are accumulated per
+// (counter, timestep, partition) for Fig. 7a/7c.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace tsg {
+
+struct PartitionSuperstepStats {
+  std::int64_t compute_ns = 0;
+  std::int64_t send_ns = 0;
+  std::int64_t sync_ns = 0;
+  std::int64_t load_ns = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t subgraphs_computed = 0;
+};
+
+struct SuperstepRecord {
+  Timestep timestep = 0;
+  std::int32_t superstep = 0;
+  bool is_merge_phase = false;
+  std::vector<PartitionSuperstepStats> parts;
+  std::uint64_t delivered_messages = 0;
+  std::uint64_t delivered_bytes = 0;
+  std::uint64_t cross_partition_bytes = 0;
+  std::uint64_t cross_partition_messages = 0;
+};
+
+// Network model used ONLY for modelled parallel time: approximates the
+// paper's 1 GbE interconnect between partition VMs.
+struct NetworkModel {
+  double bandwidth_bytes_per_sec = 125e6;  // 1 Gb/s
+  std::int64_t per_message_ns = 2'000;     // serialization + framing
+  std::int64_t per_superstep_barrier_ns = 500'000;  // 0.5 ms sync round
+};
+
+class RunStats {
+ public:
+  explicit RunStats(std::uint32_t num_partitions = 0)
+      : num_partitions_(num_partitions) {}
+
+  [[nodiscard]] std::uint32_t numPartitions() const { return num_partitions_; }
+
+  void addSuperstep(SuperstepRecord record) {
+    records_.push_back(std::move(record));
+  }
+  [[nodiscard]] const std::vector<SuperstepRecord>& supersteps() const {
+    return records_;
+  }
+
+  void addCounter(const std::string& name, Timestep t, PartitionId p,
+                  std::uint64_t value);
+  // counters()[name][timestep][partition]; rows are sized lazily.
+  [[nodiscard]] const std::map<std::string,
+                               std::vector<std::vector<std::uint64_t>>>&
+  counters() const {
+    return counters_;
+  }
+  [[nodiscard]] std::uint64_t counterTotal(const std::string& name) const;
+
+  void setWallClockNs(std::int64_t ns) { wall_clock_ns_ = ns; }
+  [[nodiscard]] std::int64_t wallClockNs() const { return wall_clock_ns_; }
+
+  // --- aggregations ---
+
+  [[nodiscard]] std::int32_t numTimesteps() const;
+  [[nodiscard]] std::uint64_t totalSupersteps() const {
+    return records_.size();
+  }
+  [[nodiscard]] std::uint64_t totalMessages() const;
+  [[nodiscard]] std::uint64_t totalBytes() const;
+
+  // Critical-path time of superstep records in [t, t] or all of them:
+  // sum over supersteps of (max over partitions of busy) + modelled comms.
+  [[nodiscard]] std::int64_t modelledParallelNs(
+      const NetworkModel& net = {}) const;
+  [[nodiscard]] std::int64_t modelledTimestepNs(
+      Timestep t, const NetworkModel& net = {}) const;
+
+  // Per-partition totals across the run (Fig. 7b/7d).
+  struct PartitionUtilization {
+    std::int64_t compute_ns = 0;
+    std::int64_t send_ns = 0;   // partition overhead
+    std::int64_t sync_ns = 0;   // sync overhead (incl. idle at barrier)
+    std::int64_t load_ns = 0;
+    [[nodiscard]] std::int64_t totalNs() const {
+      return compute_ns + send_ns + sync_ns + load_ns;
+    }
+    [[nodiscard]] double computeFraction() const {
+      const auto total = totalNs();
+      return total == 0 ? 0.0
+                        : static_cast<double>(compute_ns) /
+                              static_cast<double>(total);
+    }
+  };
+  [[nodiscard]] std::vector<PartitionUtilization> partitionUtilization() const;
+
+ private:
+  std::uint32_t num_partitions_;
+  std::vector<SuperstepRecord> records_;
+  std::map<std::string, std::vector<std::vector<std::uint64_t>>> counters_;
+  std::int64_t wall_clock_ns_ = 0;
+};
+
+}  // namespace tsg

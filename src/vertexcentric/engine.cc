@@ -1,0 +1,171 @@
+#include "vertexcentric/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "runtime/cluster.h"
+
+namespace tsg {
+namespace vertexcentric {
+
+struct VertexMessage {
+  VertexIndex dst;
+  double value;
+};
+
+// Per-partition worker state; thread-confined during a round, drained by
+// the coordinator between rounds.
+struct VcWorker {
+  const PartitionedGraph* pg = nullptr;
+  PartitionId partition = 0;
+  std::vector<std::vector<VertexMessage>> outbox;  // by destination partition
+  std::vector<VertexMessage> incoming;
+  // Messages per local vertex for the current superstep.
+  std::vector<std::vector<double>> vertex_msgs;
+  std::vector<std::uint8_t> has_msgs;
+  std::int64_t send_ns = 0;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t vertices_computed = 0;
+};
+
+void VertexContext::sendTo(VertexIndex dst, double value) {
+  auto& worker = *worker_;
+  ScopedCpuTimer timer(worker.send_ns);
+  const PartitionId to = worker.pg->partitionOfVertex(dst);
+  worker.outbox[to].push_back({dst, value});
+  ++worker.msgs_sent;
+  worker.bytes_sent += sizeof(VertexMessage);
+}
+
+VertexCentricEngine::VertexCentricEngine(const PartitionedGraph& pg)
+    : pg_(pg) {}
+
+VcResult VertexCentricEngine::run(
+    VertexProgram& program, const VcConfig& config,
+    const std::function<double(VertexIndex)>& initial_value) {
+  const GraphTemplate& tmpl = pg_.graphTemplate();
+  const auto k = pg_.numPartitions();
+  const std::size_t n = tmpl.numVertices();
+  TSG_CHECK(config.edge_weights.empty() ||
+            config.edge_weights.size() == tmpl.numEdges());
+
+  std::vector<double> values(n);
+  std::vector<std::uint8_t> halted(n, 0);
+  for (VertexIndex v = 0; v < n; ++v) {
+    values[v] = initial_value(v);
+  }
+
+  std::vector<VcWorker> workers(k);
+  for (PartitionId p = 0; p < k; ++p) {
+    auto& w = workers[p];
+    w.pg = &pg_;
+    w.partition = p;
+    w.outbox.resize(k);
+    const std::size_t local = pg_.partition(p).vertices.size();
+    w.vertex_msgs.resize(local);
+    w.has_msgs.assign(local, 0);
+  }
+
+  VcResult result;
+  result.stats = RunStats(k);
+  Stopwatch wall;
+  Cluster cluster(k);
+
+  std::int32_t s = 0;
+  while (true) {
+    const auto& timings = cluster.run([&, s](PartitionId p) {
+      auto& w = workers[p];
+      const Partition& part = pg_.partition(p);
+      // Distribute incoming messages to per-vertex lists, combining if
+      // configured (Giraph's MinimumDoubleCombiner analog).
+      for (const auto& msg : w.incoming) {
+        const std::uint32_t local = pg_.localIndexOfVertex(msg.dst);
+        auto& list = w.vertex_msgs[local];
+        if (config.combiner == Combiner::kMin && !list.empty()) {
+          list[0] = std::min(list[0], msg.value);
+        } else {
+          list.push_back(msg.value);
+        }
+        w.has_msgs[local] = 1;
+      }
+      w.incoming.clear();
+
+      VertexContext ctx;
+      ctx.superstep_ = s;
+      ctx.tmpl_ = &tmpl;
+      ctx.edge_weights_ = &config.edge_weights;
+      ctx.worker_ = &w;
+      for (std::uint32_t i = 0; i < part.vertices.size(); ++i) {
+        const VertexIndex v = part.vertices[i];
+        const bool active = s == 0 || w.has_msgs[i] != 0 || halted[v] == 0;
+        if (!active) {
+          continue;
+        }
+        halted[v] = 0;  // must re-vote to stay halted
+        ctx.vertex_ = v;
+        ctx.value_ = &values[v];
+        ctx.halted_ = &halted[v];
+        ctx.messages_ = w.vertex_msgs[i];
+        program.compute(ctx);
+        ++w.vertices_computed;
+        w.vertex_msgs[i].clear();
+        w.has_msgs[i] = 0;
+      }
+    });
+
+    // Coordinator: build the record and exchange outboxes.
+    SuperstepRecord rec;
+    rec.timestep = 0;
+    rec.superstep = s;
+    rec.parts.resize(k);
+    for (PartitionId p = 0; p < k; ++p) {
+      auto& w = workers[p];
+      auto& ps = rec.parts[p];
+      ps.send_ns = std::exchange(w.send_ns, 0);
+      ps.compute_ns =
+          std::max<std::int64_t>(0, timings[p].busy_ns - ps.send_ns);
+      ps.sync_ns = timings[p].sync_ns;
+      ps.messages_sent = std::exchange(w.msgs_sent, 0);
+      ps.bytes_sent = std::exchange(w.bytes_sent, 0);
+      ps.subgraphs_computed = std::exchange(w.vertices_computed, 0);
+    }
+    std::uint64_t delivered = 0;
+    for (PartitionId p = 0; p < k; ++p) {
+      for (PartitionId q = 0; q < k; ++q) {
+        auto& box = workers[p].outbox[q];
+        delivered += box.size();
+        rec.delivered_bytes += box.size() * sizeof(VertexMessage);
+        if (p != q) {
+          rec.cross_partition_messages += box.size();
+          rec.cross_partition_bytes += box.size() * sizeof(VertexMessage);
+        }
+        auto& inbox = workers[q].incoming;
+        inbox.insert(inbox.end(), box.begin(), box.end());
+        box.clear();
+      }
+    }
+    rec.delivered_messages = delivered;
+    result.stats.addSuperstep(std::move(rec));
+
+    const bool all_halted =
+        std::all_of(halted.begin(), halted.end(),
+                    [](std::uint8_t h) { return h != 0; });
+    ++s;
+    if (all_halted && delivered == 0) {
+      break;
+    }
+    if (s >= config.max_supersteps) {
+      break;
+    }
+  }
+
+  result.stats.setWallClockNs(wall.elapsedNs());
+  result.values = std::move(values);
+  result.supersteps = s;
+  return result;
+}
+
+}  // namespace vertexcentric
+}  // namespace tsg

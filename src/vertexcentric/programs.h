@@ -1,0 +1,79 @@
+// Standard vertex-centric programs (Pregel's canonical examples), used as
+// the Giraph baseline in Fig. 5b and in cross-engine correctness tests.
+#pragma once
+
+#include <limits>
+
+#include "vertexcentric/engine.h"
+
+namespace tsg {
+namespace vertexcentric {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Single-source shortest path: value = best known distance; relax incoming
+// messages, propagate value + w(e) along out-edges. On an unweighted graph
+// this degenerates to BFS, as the paper notes for its Giraph runs (§IV-C).
+class SsspVertexProgram final : public VertexProgram {
+ public:
+  explicit SsspVertexProgram(VertexIndex source) : source_(source) {}
+
+  void compute(VertexContext& ctx) override {
+    double best = ctx.value();
+    if (ctx.superstep() == 0) {
+      best = ctx.vertex() == source_ ? 0.0 : kInf;
+      ctx.setValue(best);
+    }
+    bool improved = ctx.superstep() == 0 && best < kInf;
+    for (const double m : ctx.messages()) {
+      if (m < best) {
+        best = m;
+        improved = true;
+      }
+    }
+    if (improved) {
+      ctx.setValue(best);
+      for (const auto& oe : ctx.graphTemplate().outEdges(ctx.vertex())) {
+        ctx.sendTo(oe.dst, best + ctx.edgeWeight(oe.edge));
+      }
+    }
+    ctx.voteToHalt();
+  }
+
+ private:
+  VertexIndex source_;
+};
+
+// Breadth-first level assignment from a source vertex.
+class BfsVertexProgram final : public VertexProgram {
+ public:
+  explicit BfsVertexProgram(VertexIndex source) : source_(source) {}
+
+  void compute(VertexContext& ctx) override {
+    const bool unreached = ctx.superstep() == 0 || ctx.value() >= kInf;
+    bool discovered = false;
+    if (ctx.superstep() == 0) {
+      ctx.setValue(ctx.vertex() == source_ ? 0.0 : kInf);
+      discovered = ctx.vertex() == source_;
+    } else if (unreached && !ctx.messages().empty()) {
+      double level = kInf;
+      for (const double m : ctx.messages()) {
+        level = std::min(level, m);
+      }
+      ctx.setValue(level);
+      discovered = true;
+    }
+    if (discovered) {
+      for (const auto& oe : ctx.graphTemplate().outEdges(ctx.vertex())) {
+        ctx.sendTo(oe.dst, ctx.value() + 1.0);
+      }
+    }
+    ctx.voteToHalt();
+  }
+
+ private:
+  VertexIndex source_;
+};
+
+}  // namespace vertexcentric
+}  // namespace tsg

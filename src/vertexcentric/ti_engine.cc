@@ -1,0 +1,217 @@
+#include "vertexcentric/ti_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "runtime/cluster.h"
+
+namespace tsg {
+namespace vertexcentric {
+
+namespace {
+struct TvMessage {
+  VertexIndex dst;
+  double value;
+};
+}  // namespace
+
+// Per-partition worker state; thread-confined during a round.
+struct TvWorker {
+  const PartitionedGraph* pg = nullptr;
+  const PartitionInstanceData* instance = nullptr;
+  PartitionId partition = 0;
+  std::vector<std::vector<TvMessage>> outbox;  // by destination partition
+  std::vector<TvMessage> incoming;
+  std::vector<TvMessage> next_timestep;  // deferred to t+1
+  std::vector<std::vector<double>> vertex_msgs;  // by local vertex index
+  std::vector<std::uint8_t> has_msgs;
+  std::int64_t send_ns = 0;
+  std::int64_t load_ns = 0;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t vertices_computed = 0;
+};
+
+double TemporalVertexContext::edgeDouble(std::size_t attr,
+                                         EdgeIndex e) const {
+  const auto& worker = *worker_;
+  TSG_CHECK(worker.instance != nullptr);
+  TSG_CHECK(attr < worker.instance->edge_cols.size());
+  TSG_CHECK(worker.pg->partitionOfVertex(tmpl_->edgeSrc(e)) ==
+            worker.partition);
+  return worker.instance->edge_cols[attr]
+      .asDouble()[worker.pg->localIndexOfEdge(e)];
+}
+
+void TemporalVertexContext::sendTo(VertexIndex dst, double value) {
+  auto& worker = *worker_;
+  ScopedCpuTimer timer(worker.send_ns);
+  worker.outbox[worker.pg->partitionOfVertex(dst)].push_back({dst, value});
+  ++worker.msgs_sent;
+  worker.bytes_sent += sizeof(TvMessage);
+}
+
+void TemporalVertexContext::sendToNextTimestep(VertexIndex dst,
+                                               double value) {
+  auto& worker = *worker_;
+  ScopedCpuTimer timer(worker.send_ns);
+  worker.next_timestep.push_back({dst, value});
+  ++worker.msgs_sent;
+  worker.bytes_sent += sizeof(TvMessage);
+}
+
+TemporalVertexEngine::TemporalVertexEngine(const PartitionedGraph& pg,
+                                           InstanceProvider& provider)
+    : pg_(pg), provider_(provider) {}
+
+TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
+                                           const TemporalVcConfig& config) {
+  const GraphTemplate& tmpl = pg_.graphTemplate();
+  const auto k = pg_.numPartitions();
+  const std::size_t n = tmpl.numVertices();
+
+  const Timestep first = config.first_timestep;
+  TSG_CHECK(first >= 0);
+  const auto available =
+      static_cast<std::int64_t>(provider_.numInstances()) - first;
+  TSG_CHECK(available >= 0);
+  const auto count = static_cast<std::int32_t>(
+      config.num_timesteps < 0
+          ? available
+          : std::min<std::int64_t>(config.num_timesteps, available));
+
+  std::vector<std::uint8_t> halted(n, 0);
+  std::vector<TvWorker> workers(k);
+  for (PartitionId p = 0; p < k; ++p) {
+    auto& w = workers[p];
+    w.pg = &pg_;
+    w.partition = p;
+    w.outbox.resize(k);
+    const std::size_t local = pg_.partition(p).vertices.size();
+    w.vertex_msgs.resize(local);
+    w.has_msgs.assign(local, 0);
+  }
+
+  TemporalVcResult result;
+  result.stats = RunStats(k);
+  Stopwatch wall;
+  Cluster cluster(k);
+
+  // Deferred messages from timestep t, routed before t+1's superstep 0.
+  std::vector<TvMessage> pending_next;
+
+  for (std::int32_t i = 0; i < count; ++i) {
+    const Timestep t = first + i;
+    // Seed inter-timestep messages into the owning partitions' inboxes.
+    for (auto& msg : pending_next) {
+      workers[pg_.partitionOfVertex(msg.dst)].incoming.push_back(msg);
+    }
+    pending_next.clear();
+    std::fill(halted.begin(), halted.end(), 0);
+
+    std::int32_t s = 0;
+    while (true) {
+      const auto& timings = cluster.run([&, s, t](PartitionId p) {
+        auto& w = workers[p];
+        if (s == 0) {
+          w.instance = &provider_.instanceFor(p, t);
+          w.load_ns += provider_.takeLoadNs(p);
+        }
+        const Partition& part = pg_.partition(p);
+        for (const auto& msg : w.incoming) {
+          const std::uint32_t local = pg_.localIndexOfVertex(msg.dst);
+          w.vertex_msgs[local].push_back(msg.value);
+          w.has_msgs[local] = 1;
+        }
+        w.incoming.clear();
+
+        TemporalVertexContext ctx;
+        ctx.timestep_ = t;
+        ctx.superstep_ = s;
+        ctx.tmpl_ = &tmpl;
+        ctx.delta_ = provider_.delta();
+        ctx.worker_ = &w;
+        for (std::uint32_t l = 0; l < part.vertices.size(); ++l) {
+          const VertexIndex v = part.vertices[l];
+          const bool active = s == 0 || w.has_msgs[l] != 0 || halted[v] == 0;
+          if (!active) {
+            continue;
+          }
+          halted[v] = 0;
+          ctx.vertex_ = v;
+          ctx.halted_ = &halted[v];
+          ctx.messages_ = w.vertex_msgs[l];
+          program.compute(ctx);
+          ++w.vertices_computed;
+          w.vertex_msgs[l].clear();
+          w.has_msgs[l] = 0;
+        }
+      });
+
+      SuperstepRecord rec;
+      rec.timestep = t;
+      rec.superstep = s;
+      rec.parts.resize(k);
+      std::uint64_t delivered = 0;
+      for (PartitionId p = 0; p < k; ++p) {
+        auto& w = workers[p];
+        auto& ps = rec.parts[p];
+        ps.send_ns = std::exchange(w.send_ns, 0);
+        ps.load_ns = std::exchange(w.load_ns, 0);
+        ps.compute_ns = std::max<std::int64_t>(
+            0, timings[p].busy_ns - ps.send_ns - ps.load_ns);
+        ps.sync_ns = timings[p].sync_ns;
+        ps.messages_sent = std::exchange(w.msgs_sent, 0);
+        ps.bytes_sent = std::exchange(w.bytes_sent, 0);
+        ps.subgraphs_computed = std::exchange(w.vertices_computed, 0);
+      }
+      for (PartitionId p = 0; p < k; ++p) {
+        for (PartitionId q = 0; q < k; ++q) {
+          auto& box = workers[p].outbox[q];
+          delivered += box.size();
+          rec.delivered_bytes += box.size() * sizeof(TvMessage);
+          if (p != q) {
+            rec.cross_partition_messages += box.size();
+            rec.cross_partition_bytes += box.size() * sizeof(TvMessage);
+          }
+          auto& inbox = workers[q].incoming;
+          inbox.insert(inbox.end(), box.begin(), box.end());
+          box.clear();
+        }
+      }
+      rec.delivered_messages = delivered;
+      result.stats.addSuperstep(std::move(rec));
+
+      const bool all_halted =
+          std::all_of(halted.begin(), halted.end(),
+                      [](std::uint8_t h) { return h != 0; });
+      ++s;
+      if (all_halted && delivered == 0) {
+        break;
+      }
+      if (s >= config.max_supersteps_per_timestep) {
+        break;
+      }
+    }
+
+    // End of timestep: per-vertex hook, then collect deferred messages.
+    cluster.run([&, t](PartitionId p) {
+      for (const VertexIndex v : pg_.partition(p).vertices) {
+        program.endOfTimestep(v, t);
+      }
+    });
+    for (auto& w : workers) {
+      std::move(w.next_timestep.begin(), w.next_timestep.end(),
+                std::back_inserter(pending_next));
+      w.next_timestep.clear();
+    }
+    ++result.timesteps_executed;
+  }
+
+  result.stats.setWallClockNs(wall.elapsedNs());
+  return result;
+}
+
+}  // namespace vertexcentric
+}  // namespace tsg

@@ -1,0 +1,102 @@
+// Vertex-centric TI-BSP — the re-engineering the paper hypothesizes about
+// in §IV-C ("Giraph does not natively support the TI-BSP model or message
+// passing between instances, though with a fair bit of engineering, it is
+// possible") and §VI ("these abstractions can be extended to other
+// partition- and vertex-centric programming frameworks too").
+//
+// The outer loop iterates graph instances exactly like the subgraph-centric
+// TiBspEngine (sequentially dependent pattern); the inner BSP runs per
+// VERTEX with double-valued messages. Per-vertex algorithm state persists
+// across timesteps inside the program (vertices are owned by fixed
+// partitions, so shared arrays are race-free), and per-vertex messages can
+// be deferred to the next timestep with sendToNextTimestep.
+//
+// The paper bounds a TI-BSP Giraph port at [τ, n·τ] where τ is one
+// vertex-centric SSSP; bench_fig5b_giraph measures our port against that
+// prediction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "gofs/instance_provider.h"
+#include "partition/partitioned_graph.h"
+#include "runtime/stats.h"
+
+namespace tsg {
+namespace vertexcentric {
+
+class TemporalVertexContext;
+
+// User logic invoked per active vertex, per superstep, per timestep.
+class TemporalVertexProgram {
+ public:
+  virtual ~TemporalVertexProgram() = default;
+  virtual void compute(TemporalVertexContext& ctx) = 0;
+  // Invoked once per owned vertex when a timestep's BSP quiesces.
+  virtual void endOfTimestep(VertexIndex v, Timestep t) {
+    (void)v;
+    (void)t;
+  }
+};
+
+struct TemporalVcConfig {
+  Timestep first_timestep = 0;
+  std::int32_t num_timesteps = -1;  // -1 = all instances
+  std::int32_t max_supersteps_per_timestep = 100000;
+};
+
+struct TemporalVcResult {
+  RunStats stats;
+  Timestep timesteps_executed = 0;
+};
+
+class TemporalVertexEngine {
+ public:
+  TemporalVertexEngine(const PartitionedGraph& pg, InstanceProvider& provider);
+
+  TemporalVcResult run(TemporalVertexProgram& program,
+                       const TemporalVcConfig& config);
+
+ private:
+  const PartitionedGraph& pg_;
+  InstanceProvider& provider_;
+};
+
+class TemporalVertexContext {
+ public:
+  [[nodiscard]] VertexIndex vertex() const { return vertex_; }
+  [[nodiscard]] Timestep timestep() const { return timestep_; }
+  [[nodiscard]] std::int32_t superstep() const { return superstep_; }
+  [[nodiscard]] const GraphTemplate& graphTemplate() const { return *tmpl_; }
+  [[nodiscard]] std::int64_t delta() const { return delta_; }
+
+  [[nodiscard]] std::span<const double> messages() const { return messages_; }
+
+  // Instance edge attribute value (edge must leave an owned vertex).
+  [[nodiscard]] double edgeDouble(std::size_t attr, EdgeIndex e) const;
+
+  // Within this timestep's BSP.
+  void sendTo(VertexIndex dst, double value);
+  // To a vertex at superstep 0 of the next timestep.
+  void sendToNextTimestep(VertexIndex dst, double value);
+  void voteToHalt() { *halted_ = 1; }
+
+ private:
+  friend class TemporalVertexEngine;
+  friend struct TvWorker;
+
+  VertexIndex vertex_ = 0;
+  Timestep timestep_ = 0;
+  std::int32_t superstep_ = 0;
+  const GraphTemplate* tmpl_ = nullptr;
+  std::int64_t delta_ = 1;
+  std::uint8_t* halted_ = nullptr;
+  std::span<const double> messages_;
+  struct TvWorker* worker_ = nullptr;
+};
+
+}  // namespace vertexcentric
+}  // namespace tsg

@@ -1,0 +1,160 @@
+#include "graph/attribute.h"
+
+#include <gtest/gtest.h>
+
+namespace tsg {
+namespace {
+
+TEST(AttributeSchema, AddAndLookup) {
+  AttributeSchema schema;
+  EXPECT_TRUE(schema.empty());
+  const auto latency = schema.add("latency", AttrType::kDouble);
+  const auto tweets = schema.add("tweets", AttrType::kStringList);
+  EXPECT_EQ(schema.size(), 2u);
+  EXPECT_EQ(schema.indexOf("latency"), latency);
+  EXPECT_EQ(schema.indexOf("tweets"), tweets);
+  EXPECT_EQ(schema.indexOf("nope"), AttributeSchema::npos);
+  EXPECT_EQ(schema.requireIndex("latency"), latency);
+  EXPECT_EQ(schema.at(latency).type, AttrType::kDouble);
+}
+
+TEST(AttributeSchema, DuplicateNameAborts) {
+  AttributeSchema schema;
+  schema.add("x", AttrType::kInt64);
+  EXPECT_DEATH(schema.add("x", AttrType::kDouble), "duplicate attribute");
+}
+
+TEST(AttributeSchema, RequireMissingAborts) {
+  AttributeSchema schema;
+  EXPECT_DEATH((void)schema.requireIndex("ghost"), "missing required");
+}
+
+TEST(AttributeSchema, SerializeRoundtrip) {
+  AttributeSchema schema;
+  schema.add("a", AttrType::kInt64);
+  schema.add("b", AttrType::kDouble);
+  schema.add("c", AttrType::kBool);
+  schema.add("d", AttrType::kString);
+  schema.add("e", AttrType::kStringList);
+  BinaryWriter w;
+  schema.serialize(w);
+  BinaryReader r(w.buffer());
+  auto parsed = AttributeSchema::deserialize(r);
+  ASSERT_TRUE(parsed.isOk());
+  EXPECT_EQ(parsed.value(), schema);
+}
+
+TEST(AttributeColumn, MakeInitializesByType) {
+  auto ints = AttributeColumn::make(AttrType::kInt64, 4);
+  EXPECT_EQ(ints.type(), AttrType::kInt64);
+  EXPECT_EQ(ints.size(), 4u);
+  EXPECT_EQ(ints.asInt64()[3], 0);
+
+  auto doubles = AttributeColumn::make(AttrType::kDouble, 2);
+  EXPECT_DOUBLE_EQ(doubles.asDouble()[0], 0.0);
+
+  auto bools = AttributeColumn::make(AttrType::kBool, 2);
+  EXPECT_EQ(bools.asBool()[1], 0);
+
+  auto strings = AttributeColumn::make(AttrType::kString, 2);
+  EXPECT_TRUE(strings.asString()[0].empty());
+
+  auto lists = AttributeColumn::make(AttrType::kStringList, 2);
+  EXPECT_TRUE(lists.asStringList()[1].empty());
+}
+
+TEST(AttributeColumn, TypeMismatchAborts) {
+  auto col = AttributeColumn::make(AttrType::kDouble, 2);
+  EXPECT_DEATH((void)col.asInt64(), "TSG_CHECK");
+}
+
+TEST(AttributeColumn, GatherSelectsByIndex) {
+  auto col = AttributeColumn::make(AttrType::kInt64, 5);
+  for (int i = 0; i < 5; ++i) {
+    col.asInt64()[i] = 10 * i;
+  }
+  const std::vector<std::uint32_t> indices{4, 0, 2};
+  const auto gathered = col.gather(indices);
+  ASSERT_EQ(gathered.size(), 3u);
+  EXPECT_EQ(gathered.asInt64()[0], 40);
+  EXPECT_EQ(gathered.asInt64()[1], 0);
+  EXPECT_EQ(gathered.asInt64()[2], 20);
+}
+
+TEST(AttributeColumn, GatherOutOfRangeAborts) {
+  auto col = AttributeColumn::make(AttrType::kInt64, 2);
+  const std::vector<std::uint32_t> bad{5};
+  EXPECT_DEATH((void)col.gather(bad), "TSG_CHECK");
+}
+
+TEST(AttributeColumn, ScatterInvertsGather) {
+  auto col = AttributeColumn::make(AttrType::kStringList, 6);
+  for (int i = 0; i < 6; ++i) {
+    col.asStringList()[i] = {"#tag" + std::to_string(i)};
+  }
+  const std::vector<std::uint32_t> indices{5, 1, 3};
+  const auto gathered = col.gather(indices);
+
+  auto restored = AttributeColumn::make(AttrType::kStringList, 6);
+  restored.scatterFrom(gathered, indices);
+  for (const auto i : indices) {
+    EXPECT_EQ(restored.asStringList()[i], col.asStringList()[i]);
+  }
+  EXPECT_TRUE(restored.asStringList()[0].empty());  // untouched slot
+}
+
+TEST(AttributeColumn, ScatterSizeMismatchAborts) {
+  auto dst = AttributeColumn::make(AttrType::kDouble, 4);
+  auto src = AttributeColumn::make(AttrType::kDouble, 2);
+  const std::vector<std::uint32_t> indices{0, 1, 2};
+  EXPECT_DEATH(dst.scatterFrom(src, indices), "TSG_CHECK");
+}
+
+TEST(AttributeColumn, SerializeRoundtripAllTypes) {
+  for (const auto type :
+       {AttrType::kInt64, AttrType::kDouble, AttrType::kBool,
+        AttrType::kString, AttrType::kStringList}) {
+    auto col = AttributeColumn::make(type, 3);
+    switch (type) {
+      case AttrType::kInt64:
+        col.asInt64() = {-1, 0, 42};
+        break;
+      case AttrType::kDouble:
+        col.asDouble() = {1.5, -2.5, 0.0};
+        break;
+      case AttrType::kBool:
+        col.asBool() = {1, 0, 1};
+        break;
+      case AttrType::kString:
+        col.asString() = {"a", "", "c"};
+        break;
+      case AttrType::kStringList:
+        col.asStringList() = {{"#a", "#b"}, {}, {"#c"}};
+        break;
+    }
+    BinaryWriter w;
+    col.serialize(w);
+    BinaryReader r(w.buffer());
+    auto parsed = AttributeColumn::deserialize(r);
+    ASSERT_TRUE(parsed.isOk()) << attrTypeName(type);
+    EXPECT_EQ(parsed.value(), col) << attrTypeName(type);
+    EXPECT_TRUE(r.atEnd());
+  }
+}
+
+TEST(AttributeColumn, DeserializeRejectsBadTypeTag) {
+  BinaryWriter w;
+  w.writeU8(1);    // version
+  w.writeU8(200);  // bogus type
+  BinaryReader r(w.buffer());
+  auto parsed = AttributeColumn::deserialize(r);
+  EXPECT_FALSE(parsed.isOk());
+}
+
+TEST(AttrTypeName, AllNamed) {
+  EXPECT_EQ(attrTypeName(AttrType::kInt64), "int64");
+  EXPECT_EQ(attrTypeName(AttrType::kStringList), "string_list");
+}
+
+}  // namespace
+}  // namespace tsg

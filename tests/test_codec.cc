@@ -1,0 +1,68 @@
+#include "algorithms/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tsg {
+namespace {
+
+TEST(Codec, VertexListRoundtrip) {
+  const std::vector<VertexIndex> vertices{0, 5, 1u << 30, 42};
+  const auto payload = encodeVertexList(vertices);
+  EXPECT_EQ(decodeVertexList(payload), vertices);
+}
+
+TEST(Codec, EmptyVertexList) {
+  const auto payload = encodeVertexList({});
+  EXPECT_TRUE(decodeVertexList(payload).empty());
+}
+
+TEST(Codec, VertexLabelsRoundtrip) {
+  const std::vector<VertexLabel> items{
+      {0, 0.0}, {7, -1.5}, {1u << 20, 1e300}};
+  const auto payload = encodeVertexLabels(items);
+  const auto decoded = decodeVertexLabels(payload);
+  ASSERT_EQ(decoded.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(decoded[i].vertex, items[i].vertex);
+    EXPECT_DOUBLE_EQ(decoded[i].label, items[i].label);
+  }
+}
+
+TEST(Codec, U64Roundtrip) {
+  for (const std::uint64_t v : {0ull, 1ull, ~0ull}) {
+    EXPECT_EQ(decodeU64(encodeU64(v)), v);
+  }
+}
+
+TEST(Codec, U64ListRoundtrip) {
+  const std::vector<std::uint64_t> values{1, 0, 999999999999ull};
+  EXPECT_EQ(decodeU64List(encodeU64List(values)), values);
+}
+
+TEST(Codec, RandomizedVertexLabelFuzz) {
+  Rng rng(77);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<VertexLabel> items(rng.uniformBelow(64));
+    for (auto& item : items) {
+      item.vertex = static_cast<VertexIndex>(rng.next());
+      item.label = rng.uniformDouble(-1e6, 1e6);
+    }
+    const auto decoded = decodeVertexLabels(encodeVertexLabels(items));
+    ASSERT_EQ(decoded.size(), items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      EXPECT_EQ(decoded[i].vertex, items[i].vertex);
+      EXPECT_DOUBLE_EQ(decoded[i].label, items[i].label);
+    }
+  }
+}
+
+TEST(Codec, TruncatedPayloadAborts) {
+  auto payload = encodeVertexLabels({{1, 2.0}, {3, 4.0}});
+  payload.resize(payload.size() / 2);
+  EXPECT_DEATH((void)decodeVertexLabels(payload), "TSG_CHECK");
+}
+
+}  // namespace
+}  // namespace tsg

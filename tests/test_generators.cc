@@ -1,0 +1,245 @@
+#include "generators/instances.h"
+#include "generators/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algorithms/reference.h"
+#include "test_util.h"
+
+namespace tsg {
+namespace {
+
+using testing::share;
+using testing::unwrap;
+
+TEST(RoadGenerator, ConnectedLargeDiameterLowDegree) {
+  RoadNetworkOptions options;
+  options.width = 30;
+  options.height = 30;
+  options.seed = 2;
+  const auto g = unwrap(
+      makeRoadNetwork(options, AttributeSchema{}, roadEdgeSchema()));
+  EXPECT_EQ(g.numVertices(), 900u);
+
+  // Connected: BFS reaches everything.
+  const auto levels = reference::bfsLevels(g, 0);
+  EXPECT_TRUE(std::all_of(levels.begin(), levels.end(),
+                          [](std::int32_t l) { return l >= 0; }));
+
+  // Large diameter (lattice-like: at least width).
+  EXPECT_GE(g.estimateDiameter(), 30u);
+
+  // Low, near-uniform degree (<= 4 lattice + diagonals + stitches).
+  std::size_t max_degree = 0;
+  for (VertexIndex v = 0; v < g.numVertices(); ++v) {
+    max_degree = std::max(max_degree, g.outDegree(v));
+  }
+  EXPECT_LE(max_degree, 10u);
+}
+
+TEST(RoadGenerator, DeterministicForSeed) {
+  RoadNetworkOptions options;
+  options.width = 10;
+  options.height = 10;
+  options.seed = 42;
+  const auto a = unwrap(
+      makeRoadNetwork(options, AttributeSchema{}, roadEdgeSchema()));
+  const auto b = unwrap(
+      makeRoadNetwork(options, AttributeSchema{}, roadEdgeSchema()));
+  EXPECT_TRUE(a == b);
+  options.seed = 43;
+  const auto c = unwrap(
+      makeRoadNetwork(options, AttributeSchema{}, roadEdgeSchema()));
+  EXPECT_FALSE(a == c);
+}
+
+TEST(RoadGenerator, ZeroDimensionRejected) {
+  RoadNetworkOptions options;
+  options.width = 0;
+  EXPECT_FALSE(
+      makeRoadNetwork(options, AttributeSchema{}, AttributeSchema{}).isOk());
+}
+
+TEST(PowerLawGenerator, SmallDiameterSkewedDegrees) {
+  PreferentialAttachmentOptions options;
+  options.num_vertices = 2000;
+  options.edges_per_vertex = 2;
+  options.seed = 3;
+  const auto g = unwrap(makePreferentialAttachment(
+      options, tweetVertexSchema(), AttributeSchema{}));
+  EXPECT_EQ(g.numVertices(), 2000u);
+
+  // Connected by construction; small-world diameter.
+  const auto levels = reference::bfsLevels(g, 0);
+  EXPECT_TRUE(std::all_of(levels.begin(), levels.end(),
+                          [](std::int32_t l) { return l >= 0; }));
+  EXPECT_LE(g.estimateDiameter(), 15u);
+
+  // Power-law signature: max degree far above the mean.
+  std::size_t max_degree = 0;
+  for (VertexIndex v = 0; v < g.numVertices(); ++v) {
+    max_degree = std::max(max_degree, g.outDegree(v));
+  }
+  const double mean_degree =
+      static_cast<double>(g.numEdges()) / static_cast<double>(g.numVertices());
+  EXPECT_GT(static_cast<double>(max_degree), 10.0 * mean_degree);
+}
+
+TEST(PowerLawGenerator, ParameterValidation) {
+  PreferentialAttachmentOptions options;
+  options.num_vertices = 2;
+  options.edges_per_vertex = 2;
+  EXPECT_FALSE(makePreferentialAttachment(options, AttributeSchema{},
+                                          AttributeSchema{})
+                   .isOk());
+}
+
+TEST(WattsStrogatz, RingPlusRewiring) {
+  WattsStrogatzOptions options;
+  options.num_vertices = 200;
+  options.neighbors = 4;
+  options.rewire_probability = 0.1;
+  options.seed = 9;
+  const auto g = unwrap(
+      makeWattsStrogatz(options, AttributeSchema{}, AttributeSchema{}));
+  EXPECT_EQ(g.numVertices(), 200u);
+  // n*k/2 undirected edges -> n*k directed slots.
+  EXPECT_EQ(g.numEdges(), 200u * 4);
+}
+
+TEST(WattsStrogatz, OddNeighborsRejected) {
+  WattsStrogatzOptions options;
+  options.neighbors = 3;
+  EXPECT_FALSE(
+      makeWattsStrogatz(options, AttributeSchema{}, AttributeSchema{}).isOk());
+}
+
+TEST(RoadInstances, LatenciesWithinRangeAndDeterministic) {
+  auto tmpl = testing::smallRoad(6, 6);
+  RoadInstanceOptions options;
+  options.num_timesteps = 5;
+  options.min_latency = 2.0;
+  options.max_latency = 9.0;
+  options.seed = 4;
+  const auto coll = unwrap(makeRoadInstances(tmpl, options));
+  ASSERT_EQ(coll.numInstances(), 5u);
+  EXPECT_TRUE(coll.validate().isOk());
+  for (Timestep t = 0; t < 5; ++t) {
+    for (const double latency : coll.instance(t).edgeCol(0).asDouble()) {
+      EXPECT_GE(latency, 2.0);
+      EXPECT_LT(latency, 9.0);
+    }
+  }
+  const auto coll2 = unwrap(makeRoadInstances(tmpl, options));
+  EXPECT_EQ(coll.instance(3).edgeCol(0), coll2.instance(3).edgeCol(0));
+}
+
+TEST(RoadInstances, RequiresLatencyAttribute) {
+  auto tmpl = testing::smallSocial(20);  // tweet schema, no latency
+  EXPECT_FALSE(makeRoadInstances(tmpl, {}).isOk());
+}
+
+TEST(SirInstances, MemeSpreadsMonotonicallyFromSeeds) {
+  auto tmpl = testing::smallSocial(200);
+  SirTweetOptions options;
+  options.num_timesteps = 20;
+  options.hit_probability = 0.5;
+  options.num_seed_vertices = 3;
+  options.seed = 6;
+  const auto coll = unwrap(makeSirTweetInstances(tmpl, options));
+  ASSERT_EQ(coll.numInstances(), 20u);
+
+  // t=0 has exactly the seed carriers.
+  std::size_t carriers_t0 = 0;
+  for (const auto& tweets : coll.instance(0).vertexCol(0).asStringList()) {
+    carriers_t0 +=
+        std::count(tweets.begin(), tweets.end(), options.meme) > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(carriers_t0, options.num_seed_vertices);
+
+  // Cumulative carrier set only grows (SIR: infected then recovered).
+  std::vector<bool> ever(tmpl->numVertices(), false);
+  std::size_t prev_total = 0;
+  for (Timestep t = 0; t < 20; ++t) {
+    const auto& lists = coll.instance(t).vertexCol(0).asStringList();
+    for (VertexIndex v = 0; v < tmpl->numVertices(); ++v) {
+      if (std::count(lists[v].begin(), lists[v].end(), options.meme) > 0) {
+        ever[v] = true;
+      }
+    }
+    const auto total =
+        static_cast<std::size_t>(std::count(ever.begin(), ever.end(), true));
+    EXPECT_GE(total, prev_total);
+    prev_total = total;
+  }
+  EXPECT_GT(prev_total, options.num_seed_vertices);
+}
+
+TEST(SirInstances, HigherHitProbabilitySpreadsFurther) {
+  auto tmpl = testing::smallSocial(300);
+  auto carriersAfter = [&](double hit) {
+    SirTweetOptions options;
+    options.num_timesteps = 15;
+    options.hit_probability = hit;
+    options.seed = 8;
+    const auto coll = unwrap(makeSirTweetInstances(tmpl, options));
+    std::vector<bool> ever(tmpl->numVertices(), false);
+    for (Timestep t = 0; t < 15; ++t) {
+      const auto& lists = coll.instance(t).vertexCol(0).asStringList();
+      for (VertexIndex v = 0; v < tmpl->numVertices(); ++v) {
+        if (!lists[v].empty() &&
+            std::count(lists[v].begin(), lists[v].end(), options.meme) > 0) {
+          ever[v] = true;
+        }
+      }
+    }
+    return std::count(ever.begin(), ever.end(), true);
+  };
+  EXPECT_GT(carriersAfter(0.6), carriersAfter(0.05));
+}
+
+TEST(SirInstances, InfectiousVerticesTweetEveryInfectedStep) {
+  auto tmpl = testing::smallSocial(50);
+  SirTweetOptions options;
+  options.num_timesteps = 6;
+  options.hit_probability = 0.0;  // no spread: only seeds tweet
+  options.num_seed_vertices = 2;
+  options.infectious_timesteps = 3;
+  options.background_probability = 0.0;
+  options.seed = 10;
+  const auto coll = unwrap(makeSirTweetInstances(tmpl, options));
+  // Seeds tweet for exactly infectious_timesteps steps.
+  std::vector<std::size_t> tweeting(6, 0);
+  for (Timestep t = 0; t < 6; ++t) {
+    for (const auto& tweets : coll.instance(t).vertexCol(0).asStringList()) {
+      tweeting[t] += tweets.empty() ? 0 : 1;
+    }
+  }
+  EXPECT_EQ(tweeting[0], 2u);
+  EXPECT_EQ(tweeting[1], 2u);
+  EXPECT_EQ(tweeting[2], 2u);
+  EXPECT_EQ(tweeting[3], 0u);
+  EXPECT_EQ(tweeting[4], 0u);
+}
+
+TEST(SirInstances, BadParametersRejected) {
+  auto tmpl = testing::smallSocial(20);
+  SirTweetOptions options;
+  options.hit_probability = 1.5;
+  EXPECT_FALSE(makeSirTweetInstances(tmpl, options).isOk());
+  options.hit_probability = 0.5;
+  options.num_seed_vertices = 0;
+  EXPECT_FALSE(makeSirTweetInstances(tmpl, options).isOk());
+  options.num_seed_vertices = 100;  // more than vertices
+  EXPECT_FALSE(makeSirTweetInstances(tmpl, options).isOk());
+}
+
+TEST(SirInstances, RequiresTweetsAttribute) {
+  auto tmpl = testing::smallRoad(4, 4);  // road schema
+  EXPECT_FALSE(makeSirTweetInstances(tmpl, {}).isOk());
+}
+
+}  // namespace
+}  // namespace tsg

@@ -1,0 +1,254 @@
+#include "gofs/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/table.h"
+#include "test_util.h"
+
+namespace tsg {
+namespace {
+
+using testing::partitionGraph;
+using testing::roadCollection;
+using testing::smallRoad;
+using testing::smallSocial;
+using testing::tweetCollection;
+using testing::unwrap;
+
+class GofsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("tsg_gofs_" + std::to_string(counter_++)))
+               .string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  static inline int counter_ = 0;
+};
+
+// Reads every instance through both providers and compares all columns.
+void expectProvidersAgree(const PartitionedGraph& pg,
+                          const TimeSeriesCollection& coll,
+                          InstanceProvider& lazy) {
+  DirectInstanceProvider direct(pg, coll);
+  ASSERT_EQ(lazy.numInstances(), coll.numInstances());
+  EXPECT_EQ(lazy.t0(), coll.t0());
+  EXPECT_EQ(lazy.delta(), coll.delta());
+  for (PartitionId p = 0; p < pg.numPartitions(); ++p) {
+    for (Timestep t = 0; t < static_cast<Timestep>(coll.numInstances());
+         ++t) {
+      const auto& a = direct.instanceFor(p, t);
+      const auto& b = lazy.instanceFor(p, t);
+      ASSERT_EQ(a.timestep, b.timestep);
+      ASSERT_EQ(a.timestamp, b.timestamp);
+      ASSERT_EQ(a.vertex_cols.size(), b.vertex_cols.size());
+      ASSERT_EQ(a.edge_cols.size(), b.edge_cols.size());
+      for (std::size_t c = 0; c < a.vertex_cols.size(); ++c) {
+        EXPECT_EQ(a.vertex_cols[c], b.vertex_cols[c])
+            << "p=" << p << " t=" << t << " vcol=" << c;
+      }
+      for (std::size_t c = 0; c < a.edge_cols.size(); ++c) {
+        EXPECT_EQ(a.edge_cols[c], b.edge_cols[c])
+            << "p=" << p << " t=" << t << " ecol=" << c;
+      }
+    }
+  }
+}
+
+TEST_F(GofsTest, RoundtripRoadDataset) {
+  auto tmpl = smallRoad(8, 8);
+  const auto pg = partitionGraph(tmpl, 3);
+  const auto coll = roadCollection(tmpl, 12);
+
+  GofsOptions options;
+  options.temporal_packing = 5;
+  options.subgraph_binning = 2;
+  ASSERT_TRUE(writeGofsDataset(dir_, "road", pg, coll, options).isOk());
+
+  auto ds = unwrap(GofsDataset::open(dir_));
+  EXPECT_EQ(ds.manifest().name, "road");
+  EXPECT_EQ(ds.manifest().num_instances, 12u);
+  EXPECT_EQ(ds.manifest().num_partitions, 3u);
+  EXPECT_EQ(ds.manifest().options.temporal_packing, 5u);
+
+  // The reopened partitioned graph must match the original decomposition.
+  EXPECT_EQ(ds.partitionedGraph().numSubgraphs(), pg.numSubgraphs());
+  EXPECT_EQ(ds.partitionedGraph().assignment(), pg.assignment());
+
+  auto provider = ds.makeProvider();
+  expectProvidersAgree(ds.partitionedGraph(), coll, *provider);
+}
+
+TEST_F(GofsTest, RoundtripTweetDatasetWithStringLists) {
+  auto tmpl = smallSocial(80);
+  const auto pg = partitionGraph(tmpl, 2);
+  const auto coll = tweetCollection(tmpl, 7);
+  ASSERT_TRUE(writeGofsDataset(dir_, "tweets", pg, coll, {}).isOk());
+  auto ds = unwrap(GofsDataset::open(dir_));
+  auto provider = ds.makeProvider();
+  expectProvidersAgree(ds.partitionedGraph(), coll, *provider);
+}
+
+TEST_F(GofsTest, PackingEdgeCases) {
+  auto tmpl = smallRoad(5, 5);
+  const auto pg = partitionGraph(tmpl, 2);
+  // 7 instances, packing 3 -> packs of 3,3,1. Binning 1 -> one subgraph per
+  // slice file.
+  const auto coll = roadCollection(tmpl, 7);
+  GofsOptions options;
+  options.temporal_packing = 3;
+  options.subgraph_binning = 1;
+  ASSERT_TRUE(writeGofsDataset(dir_, "edge", pg, coll, options).isOk());
+  auto ds = unwrap(GofsDataset::open(dir_));
+  auto provider = ds.makeProvider();
+  expectProvidersAgree(ds.partitionedGraph(), coll, *provider);
+}
+
+TEST_F(GofsTest, PackingLargerThanSeries) {
+  auto tmpl = smallRoad(4, 4);
+  const auto pg = partitionGraph(tmpl, 2);
+  const auto coll = roadCollection(tmpl, 3);
+  GofsOptions options;
+  options.temporal_packing = 10;  // single partial pack
+  ASSERT_TRUE(writeGofsDataset(dir_, "short", pg, coll, options).isOk());
+  auto ds = unwrap(GofsDataset::open(dir_));
+  auto provider = ds.makeProvider();
+  expectProvidersAgree(ds.partitionedGraph(), coll, *provider);
+}
+
+TEST_F(GofsTest, LoadNsMeteredAtPackBoundaries) {
+  auto tmpl = smallRoad(6, 6);
+  const auto pg = partitionGraph(tmpl, 2);
+  const auto coll = roadCollection(tmpl, 10);
+  GofsOptions options;
+  options.temporal_packing = 5;
+  ASSERT_TRUE(writeGofsDataset(dir_, "meter", pg, coll, options).isOk());
+  auto ds = unwrap(GofsDataset::open(dir_));
+  auto provider = ds.makeProvider();
+
+  // First access of a pack loads (nonzero time); in-pack accesses are free.
+  (void)provider->instanceFor(0, 0);
+  EXPECT_GT(provider->takeLoadNs(0), 0);
+  (void)provider->instanceFor(0, 1);
+  (void)provider->instanceFor(0, 4);
+  EXPECT_EQ(provider->takeLoadNs(0), 0);
+  (void)provider->instanceFor(0, 5);  // next pack
+  EXPECT_GT(provider->takeLoadNs(0), 0);
+  // takeLoadNs resets.
+  EXPECT_EQ(provider->takeLoadNs(0), 0);
+}
+
+TEST_F(GofsTest, StorageStatsCountSliceFiles) {
+  auto tmpl = smallRoad(5, 5);
+  const auto pg = partitionGraph(tmpl, 2);
+  const auto coll = roadCollection(tmpl, 6);
+  GofsOptions options;
+  options.temporal_packing = 3;
+  options.subgraph_binning = 100;  // one bin per partition
+  ASSERT_TRUE(writeGofsDataset(dir_, "stats", pg, coll, options).isOk());
+  auto ds = unwrap(GofsDataset::open(dir_));
+  const auto stats = unwrap(ds.storageStats());
+  // 2 partitions x 2 packs x 1 bin = 4 slice files.
+  EXPECT_EQ(stats.slice_files, 4u);
+  EXPECT_GT(stats.slice_bytes, 0u);
+}
+
+TEST_F(GofsTest, OpenMissingDirectoryFails) {
+  auto ds = GofsDataset::open(dir_ + "/does_not_exist");
+  ASSERT_FALSE(ds.isOk());
+  EXPECT_EQ(ds.status().code(), ErrorCode::kIoError);
+}
+
+TEST_F(GofsTest, CorruptManifestRejected) {
+  std::filesystem::create_directories(dir_);
+  ASSERT_TRUE(writeTextFile(dir_ + "/manifest.bin", "garbage"));
+  auto ds = GofsDataset::open(dir_);
+  EXPECT_FALSE(ds.isOk());
+}
+
+TEST_F(GofsTest, ZeroPackingRejected) {
+  auto tmpl = smallRoad(4, 4);
+  const auto pg = partitionGraph(tmpl, 2);
+  const auto coll = roadCollection(tmpl, 2);
+  GofsOptions options;
+  options.temporal_packing = 0;
+  EXPECT_FALSE(writeGofsDataset(dir_, "bad", pg, coll, options).isOk());
+}
+
+TEST_F(GofsTest, CorruptSliceFailsStopWithPath) {
+  auto tmpl = smallRoad(5, 5);
+  const auto pg = partitionGraph(tmpl, 2);
+  const auto coll = roadCollection(tmpl, 4);
+  GofsOptions options;
+  options.temporal_packing = 2;
+  ASSERT_TRUE(writeGofsDataset(dir_, "corrupt", pg, coll, options).isOk());
+
+  // Flip bytes in the middle of one slice file (header survives, payload
+  // doesn't): the lazy loader must fail-stop with the offending path.
+  const std::string victim = slicePath(dir_, 0, 0, 0);
+  auto bytes = readFileBytes(victim);
+  ASSERT_TRUE(bytes.isOk());
+  auto data = std::move(bytes).value();
+  ASSERT_GT(data.size(), 64u);
+  for (std::size_t i = data.size() / 2; i < data.size() / 2 + 16; ++i) {
+    data[i] ^= 0xFF;
+  }
+  ASSERT_TRUE(writeFileBytes(victim, data).isOk());
+
+  auto ds = unwrap(GofsDataset::open(dir_));
+  auto provider = ds.makeProvider();
+  EXPECT_DEATH((void)provider->instanceFor(0, 0), "slice");
+}
+
+TEST_F(GofsTest, TruncatedSliceRejected) {
+  auto tmpl = smallRoad(4, 4);
+  const auto pg = partitionGraph(tmpl, 2);
+  const auto coll = roadCollection(tmpl, 2);
+  ASSERT_TRUE(writeGofsDataset(dir_, "trunc", pg, coll, {}).isOk());
+  const std::string victim = slicePath(dir_, 1, 0, 0);
+  auto bytes = readFileBytes(victim);
+  ASSERT_TRUE(bytes.isOk());
+  auto data = std::move(bytes).value();
+  data.resize(data.size() / 3);
+  ASSERT_TRUE(writeFileBytes(victim, data).isOk());
+
+  auto ds = unwrap(GofsDataset::open(dir_));
+  auto provider = ds.makeProvider();
+  // Partition 0 is intact and loads fine; partition 1 fail-stops.
+  (void)provider->instanceFor(0, 0);
+  EXPECT_DEATH((void)provider->instanceFor(1, 0), "TSG_CHECK");
+}
+
+TEST_F(GofsTest, MissingSliceFileReported) {
+  auto tmpl = smallRoad(4, 4);
+  const auto pg = partitionGraph(tmpl, 2);
+  const auto coll = roadCollection(tmpl, 2);
+  ASSERT_TRUE(writeGofsDataset(dir_, "missing", pg, coll, {}).isOk());
+  std::filesystem::remove(slicePath(dir_, 0, 0, 0));
+  auto ds = unwrap(GofsDataset::open(dir_));
+  auto provider = ds.makeProvider();
+  EXPECT_DEATH((void)provider->instanceFor(0, 0), "cannot open");
+}
+
+TEST_F(GofsTest, TemplateAssignmentMismatchRejected) {
+  // Writing one dataset then replacing assignment.bin with another
+  // cardinality must fail at open().
+  auto tmpl = smallRoad(4, 4);
+  const auto pg = partitionGraph(tmpl, 2);
+  const auto coll = roadCollection(tmpl, 2);
+  ASSERT_TRUE(writeGofsDataset(dir_, "mismatch", pg, coll, {}).isOk());
+  BinaryWriter w;
+  w.writeU32(5);  // claims 5 partitions; manifest says 2
+  w.writePodVector(pg.assignment());
+  ASSERT_TRUE(writeFileBytes(dir_ + "/assignment.bin", w.buffer()).isOk());
+  auto ds = GofsDataset::open(dir_);
+  ASSERT_FALSE(ds.isOk());
+  EXPECT_EQ(ds.status().code(), ErrorCode::kCorruptData);
+}
+
+}  // namespace
+}  // namespace tsg

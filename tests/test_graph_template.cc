@@ -1,0 +1,165 @@
+#include "graph/graph_template.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace tsg {
+namespace {
+
+GraphTemplate buildDiamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 (external ids 10x)
+  GraphTemplateBuilder builder(/*directed=*/true);
+  builder.addVertex(10);
+  builder.addVertex(20);
+  builder.addVertex(30);
+  builder.addVertex(40);
+  builder.addEdge(1, 10, 20);
+  builder.addEdge(2, 10, 30);
+  builder.addEdge(3, 20, 40);
+  builder.addEdge(4, 30, 40);
+  return testing::unwrap(builder.build());
+}
+
+TEST(Builder, BuildsCsrTopology) {
+  const auto g = buildDiamond();
+  EXPECT_EQ(g.numVertices(), 4u);
+  EXPECT_EQ(g.numEdges(), 4u);
+  EXPECT_TRUE(g.directed());
+
+  const auto v0 = g.indexOfVertex(10);
+  ASSERT_TRUE(v0.has_value());
+  EXPECT_EQ(g.outDegree(*v0), 2u);
+  EXPECT_EQ(g.vertexId(*v0), 10u);
+
+  // CSR bucket integrity: each out-edge's recorded src matches the bucket.
+  for (VertexIndex v = 0; v < g.numVertices(); ++v) {
+    for (const auto& oe : g.outEdges(v)) {
+      EXPECT_EQ(g.edgeSrc(oe.edge), v);
+      EXPECT_EQ(g.edgeDst(oe.edge), oe.dst);
+    }
+  }
+}
+
+TEST(Builder, DuplicateVertexIdRejected) {
+  GraphTemplateBuilder builder;
+  builder.addVertex(1);
+  builder.addVertex(1);
+  auto result = builder.build();
+  ASSERT_FALSE(result.isOk());
+  EXPECT_EQ(result.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Builder, UnknownEndpointRejected) {
+  GraphTemplateBuilder builder;
+  builder.addVertex(1);
+  builder.addEdge(1, 1, 99);
+  auto result = builder.build();
+  ASSERT_FALSE(result.isOk());
+  EXPECT_NE(result.status().message().find("unknown vertex"),
+            std::string::npos);
+}
+
+TEST(Builder, UndirectedEdgeAddsBothDirections) {
+  GraphTemplateBuilder builder(/*directed=*/false);
+  builder.addVertex(1);
+  builder.addVertex(2);
+  builder.addUndirectedEdge(7, 1, 2);
+  const auto g = testing::unwrap(builder.build());
+  EXPECT_EQ(g.numEdges(), 2u);
+  // Both slots share the external edge id.
+  EXPECT_EQ(g.edgeId(0), 7u);
+  EXPECT_EQ(g.edgeId(1), 7u);
+  EXPECT_FALSE(g.directed());
+}
+
+TEST(Builder, EmptyGraph) {
+  GraphTemplateBuilder builder;
+  const auto g = testing::unwrap(builder.build());
+  EXPECT_EQ(g.numVertices(), 0u);
+  EXPECT_EQ(g.numEdges(), 0u);
+  EXPECT_EQ(g.estimateDiameter(), 0u);
+}
+
+TEST(Builder, SelfLoopAndParallelEdgesAllowed) {
+  GraphTemplateBuilder builder;
+  builder.addVertex(1);
+  builder.addVertex(2);
+  builder.addEdge(1, 1, 1);  // self loop
+  builder.addEdge(2, 1, 2);
+  builder.addEdge(3, 1, 2);  // parallel
+  const auto g = testing::unwrap(builder.build());
+  EXPECT_EQ(g.numEdges(), 3u);
+  EXPECT_EQ(g.outDegree(*g.indexOfVertex(1)), 3u);
+}
+
+TEST(Lookup, MissingVertexIdReturnsNullopt) {
+  const auto g = buildDiamond();
+  EXPECT_FALSE(g.indexOfVertex(999).has_value());
+}
+
+TEST(Diameter, PathGraphExact) {
+  GraphTemplateBuilder builder(/*directed=*/false);
+  const int n = 10;
+  for (int i = 0; i < n; ++i) {
+    builder.addVertex(i);
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    builder.addUndirectedEdge(i, i, i + 1);
+  }
+  const auto g = testing::unwrap(builder.build());
+  EXPECT_EQ(g.estimateDiameter(), static_cast<std::size_t>(n - 1));
+  // Double sweep finds the true diameter from any start on a path.
+  EXPECT_EQ(g.estimateDiameter(5), static_cast<std::size_t>(n - 1));
+}
+
+TEST(Serialize, RoundtripPreservesEverything) {
+  GraphTemplateBuilder builder(/*directed=*/false);
+  builder.vertexSchema().add("tweets", AttrType::kStringList);
+  builder.edgeSchema().add("latency", AttrType::kDouble);
+  builder.addVertex(100);
+  builder.addVertex(200);
+  builder.addVertex(300);
+  builder.addUndirectedEdge(1, 100, 200);
+  builder.addUndirectedEdge(2, 200, 300);
+  const auto g = testing::unwrap(builder.build());
+
+  BinaryWriter w;
+  g.serialize(w);
+  BinaryReader r(w.buffer());
+  auto parsed = GraphTemplate::deserialize(r);
+  ASSERT_TRUE(parsed.isOk()) << parsed.status().toString();
+  EXPECT_TRUE(parsed.value() == g);
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Serialize, CorruptMagicRejected) {
+  std::vector<std::uint8_t> junk{1, 2, 3, 4, 5, 6, 7, 8};
+  BinaryReader r(junk);
+  auto parsed = GraphTemplate::deserialize(r);
+  ASSERT_FALSE(parsed.isOk());
+  EXPECT_EQ(parsed.status().code(), ErrorCode::kCorruptData);
+}
+
+TEST(Serialize, TruncationDetected) {
+  const auto g = buildDiamond();
+  BinaryWriter w;
+  g.serialize(w);
+  const auto& full = w.buffer();
+  // Any sizable truncation must be rejected, never crash.
+  for (const std::size_t cut : {5ul, full.size() / 2, full.size() - 1}) {
+    BinaryReader r(std::span(full.data(), cut));
+    auto parsed = GraphTemplate::deserialize(r);
+    EXPECT_FALSE(parsed.isOk()) << cut;
+  }
+}
+
+TEST(Accessors, OutOfRangeAborts) {
+  const auto g = buildDiamond();
+  EXPECT_DEATH((void)g.vertexId(99), "TSG_CHECK");
+  EXPECT_DEATH((void)g.edgeId(99), "TSG_CHECK");
+  EXPECT_DEATH((void)g.outEdges(99), "TSG_CHECK");
+}
+
+}  // namespace
+}  // namespace tsg

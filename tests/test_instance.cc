@@ -1,0 +1,102 @@
+#include "graph/graph_instance.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/collection.h"
+#include "test_util.h"
+
+namespace tsg {
+namespace {
+
+GraphTemplatePtr tinyTemplate() {
+  GraphTemplateBuilder builder(/*directed=*/false);
+  builder.vertexSchema().add("tweets", AttrType::kStringList);
+  builder.vertexSchema().add("active", AttrType::kBool);
+  builder.edgeSchema().add("latency", AttrType::kDouble);
+  builder.addVertex(1);
+  builder.addVertex(2);
+  builder.addUndirectedEdge(0, 1, 2);
+  return testing::share(testing::unwrap(builder.build()));
+}
+
+TEST(GraphInstance, ConstructedColumnsMatchSchema) {
+  const auto tmpl = tinyTemplate();
+  GraphInstance inst(*tmpl, 3, 15);
+  EXPECT_EQ(inst.timestep(), 3);
+  EXPECT_EQ(inst.timestamp(), 15);
+  EXPECT_EQ(inst.numVertexAttrs(), 2u);
+  EXPECT_EQ(inst.numEdgeAttrs(), 1u);
+  EXPECT_EQ(inst.vertexCol(0).type(), AttrType::kStringList);
+  EXPECT_EQ(inst.vertexCol(0).size(), tmpl->numVertices());
+  EXPECT_EQ(inst.edgeCol(0).type(), AttrType::kDouble);
+  EXPECT_EQ(inst.edgeCol(0).size(), tmpl->numEdges());
+  EXPECT_TRUE(inst.validateAgainst(*tmpl).isOk());
+}
+
+TEST(GraphInstance, ValidateCatchesWrongShape) {
+  const auto tmpl = tinyTemplate();
+  GraphInstance inst(*tmpl, 0, 0);
+  // Build a second, different template and validate against it.
+  GraphTemplateBuilder builder;
+  builder.vertexSchema().add("other", AttrType::kInt64);
+  builder.addVertex(9);
+  const auto other = testing::unwrap(builder.build());
+  EXPECT_FALSE(inst.validateAgainst(other).isOk());
+}
+
+TEST(GraphInstance, SerializeRoundtrip) {
+  const auto tmpl = tinyTemplate();
+  GraphInstance inst(*tmpl, 2, 10);
+  inst.vertexCol(0).asStringList()[0] = {"#x", "#y"};
+  inst.vertexCol(1).asBool()[1] = 1;
+  inst.edgeCol(0).asDouble()[0] = 4.25;
+
+  BinaryWriter w;
+  inst.serialize(w);
+  BinaryReader r(w.buffer());
+  auto parsed = GraphInstance::deserialize(r);
+  ASSERT_TRUE(parsed.isOk());
+  EXPECT_EQ(parsed.value(), inst);
+}
+
+TEST(Collection, AppendMaintainsPeriodicity) {
+  const auto tmpl = tinyTemplate();
+  TimeSeriesCollection coll(tmpl, /*t0=*/100, /*delta=*/5);
+  auto& inst0 = coll.appendInstance();
+  EXPECT_EQ(inst0.timestep(), 0);
+  EXPECT_EQ(inst0.timestamp(), 100);
+  auto& inst1 = coll.appendInstance();
+  EXPECT_EQ(inst1.timestep(), 1);
+  EXPECT_EQ(inst1.timestamp(), 105);
+  EXPECT_EQ(coll.numInstances(), 2u);
+  EXPECT_TRUE(coll.validate().isOk());
+}
+
+TEST(Collection, AppendExternallyBuiltInstanceValidated) {
+  const auto tmpl = tinyTemplate();
+  TimeSeriesCollection coll(tmpl, 0, 5);
+  GraphInstance good(*tmpl, 0, 0);
+  EXPECT_TRUE(coll.appendInstance(std::move(good)).isOk());
+  // Wrong timestep for the next slot.
+  GraphInstance bad_step(*tmpl, 5, 25);
+  EXPECT_FALSE(coll.appendInstance(std::move(bad_step)).isOk());
+  // Wrong timestamp (breaks δ periodicity).
+  GraphInstance bad_stamp(*tmpl, 1, 7);
+  EXPECT_FALSE(coll.appendInstance(std::move(bad_stamp)).isOk());
+}
+
+TEST(Collection, ZeroDeltaRejected) {
+  const auto tmpl = tinyTemplate();
+  EXPECT_DEATH(TimeSeriesCollection(tmpl, 0, 0), "delta");
+}
+
+TEST(Collection, InstanceAccessorBoundsChecked) {
+  const auto tmpl = tinyTemplate();
+  TimeSeriesCollection coll(tmpl, 0, 1);
+  coll.appendInstance();
+  EXPECT_DEATH((void)coll.instance(5), "TSG_CHECK");
+  EXPECT_DEATH((void)coll.instance(-1), "TSG_CHECK");
+}
+
+}  // namespace
+}  // namespace tsg

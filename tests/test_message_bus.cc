@@ -1,0 +1,105 @@
+#include "runtime/message_bus.h"
+
+#include <gtest/gtest.h>
+
+namespace tsg {
+namespace {
+
+Message makeMsg(SubgraphId src, SubgraphId dst, std::uint8_t tag) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.payload = {tag};
+  return m;
+}
+
+TEST(MessageBus, DeliverMovesOutboxesToInboxes) {
+  MessageBus bus(3);
+  bus.send(0, 1, makeMsg(10, 11, 1));
+  bus.send(0, 2, makeMsg(10, 12, 2));
+  bus.send(2, 0, makeMsg(12, 10, 3));
+  EXPECT_TRUE(bus.anyPending());
+
+  const auto stats = bus.deliver();
+  EXPECT_EQ(stats.messages, 3u);
+  EXPECT_EQ(stats.cross_partition_messages, 3u);
+  EXPECT_GT(stats.bytes, 0u);
+
+  EXPECT_EQ(bus.inbox(0).size(), 1u);
+  EXPECT_EQ(bus.inbox(1).size(), 1u);
+  EXPECT_EQ(bus.inbox(2).size(), 1u);
+  EXPECT_EQ(bus.inbox(1)[0].payload[0], 1);
+  EXPECT_EQ(bus.inbox(2)[0].payload[0], 2);
+  EXPECT_EQ(bus.inbox(0)[0].payload[0], 3);
+}
+
+TEST(MessageBus, SelfSendIsNotCrossPartition) {
+  MessageBus bus(2);
+  bus.send(1, 1, makeMsg(5, 5, 9));
+  const auto stats = bus.deliver();
+  EXPECT_EQ(stats.messages, 1u);
+  EXPECT_EQ(stats.cross_partition_messages, 0u);
+  EXPECT_EQ(stats.cross_partition_bytes, 0u);
+  EXPECT_EQ(bus.inbox(1).size(), 1u);
+}
+
+TEST(MessageBus, DeliverClearsPreviousInboxes) {
+  MessageBus bus(2);
+  bus.send(0, 1, makeMsg(0, 1, 1));
+  bus.deliver();
+  EXPECT_EQ(bus.inbox(1).size(), 1u);
+  // Second superstep: nothing sent; inboxes must be emptied.
+  const auto stats = bus.deliver();
+  EXPECT_EQ(stats.messages, 0u);
+  EXPECT_TRUE(bus.inbox(1).empty());
+  EXPECT_FALSE(bus.anyPending());
+}
+
+TEST(MessageBus, InjectSeedsInboxDirectly) {
+  MessageBus bus(2);
+  std::vector<Message> seed;
+  seed.push_back(makeMsg(kInvalidSubgraph, 3, 7));
+  bus.inject(1, std::move(seed));
+  EXPECT_EQ(bus.inbox(1).size(), 1u);
+  EXPECT_TRUE(bus.anyPending());
+  // Injected messages survive until the next deliver().
+  bus.deliver();
+  EXPECT_TRUE(bus.inbox(1).empty());
+}
+
+TEST(MessageBus, ClearAllDropsEverything) {
+  MessageBus bus(2);
+  bus.send(0, 1, makeMsg(0, 1, 1));
+  bus.inject(0, {makeMsg(kInvalidSubgraph, 0, 2)});
+  bus.clearAll();
+  EXPECT_FALSE(bus.anyPending());
+  const auto stats = bus.deliver();
+  EXPECT_EQ(stats.messages, 0u);
+}
+
+TEST(MessageBus, PreservesMessageOrderPerSenderPair) {
+  MessageBus bus(2);
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    bus.send(0, 1, makeMsg(0, 1, i));
+  }
+  bus.deliver();
+  const auto& inbox = bus.inbox(1);
+  ASSERT_EQ(inbox.size(), 10u);
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(inbox[i].payload[0], i);
+  }
+}
+
+TEST(MessageBus, OutOfRangePartitionAborts) {
+  MessageBus bus(2);
+  EXPECT_DEATH(bus.send(0, 5, Message{}), "TSG_CHECK");
+  EXPECT_DEATH((void)bus.inbox(5), "TSG_CHECK");
+}
+
+TEST(Message, ByteSizeIncludesHeaderAndPayload) {
+  Message m = makeMsg(1, 2, 0);
+  EXPECT_EQ(m.byteSize(), 1u + 2 * sizeof(SubgraphId));
+}
+
+}  // namespace
+}  // namespace tsg

@@ -1,0 +1,145 @@
+#include "core/rebalance.h"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/tdsp.h"
+#include "test_util.h"
+
+namespace tsg {
+namespace {
+
+using testing::partitionGraph;
+using testing::roadCollection;
+using testing::smallRoad;
+using testing::unwrap;
+
+// Synthesizes stats with a chosen per-partition compute-time profile.
+RunStats statsWithLoads(const std::vector<std::int64_t>& loads) {
+  RunStats stats(static_cast<std::uint32_t>(loads.size()));
+  SuperstepRecord rec;
+  rec.timestep = 0;
+  rec.superstep = 0;
+  for (const auto load : loads) {
+    PartitionSuperstepStats ps;
+    ps.compute_ns = load;
+    rec.parts.push_back(ps);
+  }
+  stats.addSuperstep(std::move(rec));
+  return stats;
+}
+
+TEST(Rebalance, SkewedLoadProducesImprovingMoves) {
+  // Hash partitioning shatters the lattice into many subgraphs per
+  // partition, so there is plenty of movable tail.
+  auto tmpl = smallRoad(12, 12);
+  const auto assignment = HashPartitioner().assign(*tmpl, 3);
+  const auto pg = unwrap(PartitionedGraph::build(tmpl, assignment, 3));
+
+  const auto stats = statsWithLoads({9'000'000, 1'000'000, 1'000'000});
+  const auto plan = unwrap(planRebalance(pg, stats));
+
+  EXPECT_TRUE(plan.hasMoves());
+  EXPECT_LT(plan.imbalance_after, plan.imbalance_before);
+  // Moves flow from the hot partition.
+  for (const auto& move : plan.moves) {
+    EXPECT_EQ(move.from, 0u);
+    EXPECT_EQ(pg.partitionOfSubgraph(move.subgraph), 0u);
+  }
+  // The new assignment is a valid relocation of exactly the moved
+  // subgraphs' vertices.
+  ASSERT_EQ(plan.new_assignment.size(), tmpl->numVertices());
+  for (VertexIndex v = 0; v < tmpl->numVertices(); ++v) {
+    bool moved = false;
+    for (const auto& move : plan.moves) {
+      if (pg.subgraphOfVertex(v) == move.subgraph) {
+        EXPECT_EQ(plan.new_assignment[v], move.to);
+        moved = true;
+      }
+    }
+    if (!moved) {
+      EXPECT_EQ(plan.new_assignment[v], assignment[v]);
+    }
+  }
+  // The rebuilt decomposition must be valid.
+  const auto rebuilt =
+      PartitionedGraph::build(tmpl, plan.new_assignment, 3);
+  EXPECT_TRUE(rebuilt.isOk());
+}
+
+TEST(Rebalance, UniformLoadNeedsNoMoves) {
+  auto tmpl = smallRoad(8, 8);
+  const auto pg = partitionGraph(tmpl, 4);
+  const auto stats =
+      statsWithLoads({1'000'000, 1'000'000, 1'000'000, 1'000'000});
+  const auto plan = unwrap(planRebalance(pg, stats));
+  EXPECT_FALSE(plan.hasMoves());
+  EXPECT_EQ(plan.new_assignment, pg.assignment());
+  EXPECT_DOUBLE_EQ(plan.imbalance_after, plan.imbalance_before);
+}
+
+TEST(Rebalance, SinglePartitionIsNoop) {
+  auto tmpl = smallRoad(5, 5);
+  const auto pg = partitionGraph(tmpl, 1);
+  const auto plan = unwrap(planRebalance(pg, statsWithLoads({5'000'000})));
+  EXPECT_FALSE(plan.hasMoves());
+}
+
+TEST(Rebalance, NeverMovesTheLargestSubgraph) {
+  auto tmpl = smallRoad(10, 10);
+  const auto assignment = HashPartitioner().assign(*tmpl, 3);
+  const auto pg = unwrap(PartitionedGraph::build(tmpl, assignment, 3));
+  const auto plan = unwrap(
+      planRebalance(pg, statsWithLoads({50'000'000, 1'000'000, 1'000'000})));
+  for (const auto& move : plan.moves) {
+    EXPECT_NE(move.subgraph, pg.largestSubgraphOf(move.from));
+  }
+}
+
+TEST(Rebalance, MismatchedStatsRejected) {
+  auto tmpl = smallRoad(5, 5);
+  const auto pg = partitionGraph(tmpl, 2);
+  const auto result = planRebalance(pg, statsWithLoads({1, 2, 3}));
+  ASSERT_FALSE(result.isOk());
+  EXPECT_EQ(result.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Rebalance, RespectsMaxMoves) {
+  auto tmpl = smallRoad(12, 12);
+  const auto assignment = HashPartitioner().assign(*tmpl, 3);
+  const auto pg = unwrap(PartitionedGraph::build(tmpl, assignment, 3));
+  RebalanceOptions options;
+  options.max_moves = 2;
+  options.target_imbalance = 1.0;  // unreachable -> bounded by max_moves
+  const auto plan = unwrap(planRebalance(
+      pg, statsWithLoads({90'000'000, 1'000'000, 1'000'000}), options));
+  EXPECT_LE(plan.moves.size(), 2u);
+}
+
+TEST(Rebalance, EndToEndAfterRealRun) {
+  // Run TDSP from a corner: the source partition works first and hardest;
+  // replanning must not crash and must keep results reproducible.
+  auto tmpl = smallRoad(10, 10);
+  const auto pg = partitionGraph(tmpl, 4);
+  const auto coll = roadCollection(tmpl, 10);
+  DirectInstanceProvider provider(pg, coll);
+  TdspOptions options;
+  options.source = 0;
+  options.latency_attr = 0;
+  const auto run = runTdsp(pg, provider, options);
+
+  const auto plan = unwrap(planRebalance(pg, run.exec.stats));
+  EXPECT_GE(plan.imbalance_before, plan.imbalance_after);
+  // If it proposed moves, applying them must yield identical algorithm
+  // results (placement is semantically transparent).
+  if (plan.hasMoves()) {
+    auto pg2 = unwrap(
+        PartitionedGraph::build(tmpl, plan.new_assignment, 4));
+    DirectInstanceProvider provider2(pg2, coll);
+    const auto run2 = runTdsp(pg2, provider2, options);
+    EXPECT_EQ(run.finalized_at, run2.finalized_at);
+    EXPECT_EQ(run.tdsp, run2.tdsp);
+  }
+}
+
+}  // namespace
+}  // namespace tsg

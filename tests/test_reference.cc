@@ -1,0 +1,213 @@
+// Sanity tests for the sequential reference implementations themselves —
+// they are the ground truth for the distributed algorithms, so they get
+// their own direct checks on hand-computable graphs.
+#include "algorithms/reference.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+
+namespace tsg {
+namespace {
+
+using testing::share;
+using testing::unwrap;
+
+GraphTemplatePtr pathGraph(int n, AttributeSchema edge_schema = {}) {
+  GraphTemplateBuilder builder(/*directed=*/false);
+  builder.edgeSchema() = std::move(edge_schema);
+  for (int i = 0; i < n; ++i) {
+    builder.addVertex(i);
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    builder.addUndirectedEdge(i, i, i + 1);
+  }
+  return share(unwrap(builder.build()));
+}
+
+TEST(Dijkstra, PathGraphDistancesAreCumulative) {
+  const auto tmpl = pathGraph(5);
+  // Directed slots alternate (i->i+1, i+1->i); weight both 1.5.
+  std::vector<double> weights(tmpl->numEdges(), 1.5);
+  const auto dist = reference::dijkstra(*tmpl, weights, 0);
+  for (int v = 0; v < 5; ++v) {
+    EXPECT_DOUBLE_EQ(dist[v], 1.5 * v);
+  }
+}
+
+TEST(Dijkstra, UnweightedDefaultsToHopCount) {
+  const auto tmpl = pathGraph(4);
+  const auto dist = reference::dijkstra(*tmpl, {}, 3);
+  EXPECT_DOUBLE_EQ(dist[0], 3.0);
+  EXPECT_DOUBLE_EQ(dist[3], 0.0);
+}
+
+TEST(Dijkstra, UnreachableIsInfinity) {
+  GraphTemplateBuilder builder;
+  builder.addVertex(0);
+  builder.addVertex(1);
+  const auto tmpl = share(unwrap(builder.build()));
+  const auto dist = reference::dijkstra(*tmpl, {}, 0);
+  EXPECT_TRUE(std::isinf(dist[1]));
+}
+
+TEST(Dijkstra, NegativeWeightAborts) {
+  const auto tmpl = pathGraph(3);
+  std::vector<double> weights(tmpl->numEdges(), -1.0);
+  EXPECT_DEATH((void)reference::dijkstra(*tmpl, weights, 0), "negative");
+}
+
+TEST(BfsLevels, MatchesManualLevels) {
+  const auto tmpl = pathGraph(6);
+  const auto levels = reference::bfsLevels(*tmpl, 2);
+  EXPECT_EQ(levels[0], 2);
+  EXPECT_EQ(levels[2], 0);
+  EXPECT_EQ(levels[5], 3);
+}
+
+TEST(TdspReference, WaitingBeatsGreedyTraversal) {
+  // Two-vertex graph: edge is slow at t0, fast at t1. TDSP should wait.
+  AttributeSchema es;
+  es.add("latency", AttrType::kDouble);
+  const auto tmpl = pathGraph(2, es);
+  TimeSeriesCollection coll(tmpl, 0, 5);
+  coll.appendInstance().edgeCol(0).asDouble() = {100.0, 100.0};
+  coll.appendInstance().edgeCol(0).asDouble() = {3.0, 3.0};
+
+  const auto result =
+      reference::timeDependentShortestPath(*tmpl, coll, 0, 0);
+  EXPECT_DOUBLE_EQ(result.tdsp[0], 0.0);
+  EXPECT_EQ(result.finalized_at[0], 0);
+  // Depart at t1 (label 5), arrive 8 <= horizon 10.
+  EXPECT_DOUBLE_EQ(result.tdsp[1], 8.0);
+  EXPECT_EQ(result.finalized_at[1], 1);
+}
+
+TEST(TdspReference, HorizonDiscardsPartialProgress) {
+  // Chain 0-1-2 with latencies that only let one hop finalize per timestep.
+  AttributeSchema es;
+  es.add("latency", AttrType::kDouble);
+  const auto tmpl = pathGraph(3, es);
+  TimeSeriesCollection coll(tmpl, 0, 5);
+  for (int t = 0; t < 3; ++t) {
+    coll.appendInstance().edgeCol(0).asDouble() =
+        std::vector<double>(tmpl->numEdges(), 4.0);
+  }
+  const auto result =
+      reference::timeDependentShortestPath(*tmpl, coll, 0, 0);
+  EXPECT_DOUBLE_EQ(result.tdsp[1], 4.0);   // within horizon 5 at t0
+  EXPECT_EQ(result.finalized_at[1], 0);
+  // 0->1->2 would be 8 > 5 at t0; at t1, restart from 1 at label 5: 5+4=9
+  // <= 10.
+  EXPECT_DOUBLE_EQ(result.tdsp[2], 9.0);
+  EXPECT_EQ(result.finalized_at[2], 1);
+}
+
+TEST(TdspReference, UnreachableVertexNeverFinalized) {
+  AttributeSchema es;
+  es.add("latency", AttrType::kDouble);
+  GraphTemplateBuilder builder(false);
+  builder.edgeSchema() = es;
+  builder.addVertex(0);
+  builder.addVertex(1);
+  builder.addVertex(2);
+  builder.addUndirectedEdge(0, 0, 1);  // vertex 2 isolated
+  const auto tmpl = share(unwrap(builder.build()));
+  TimeSeriesCollection coll(tmpl, 0, 5);
+  coll.appendInstance().edgeCol(0).asDouble() = {1.0, 1.0};
+  const auto result =
+      reference::timeDependentShortestPath(*tmpl, coll, 0, 0);
+  EXPECT_EQ(result.finalized_at[2], reference::kNever);
+  EXPECT_TRUE(std::isinf(result.tdsp[2]));
+}
+
+TEST(MemeSpreadReference, GapInCarriersBlocksTraversal) {
+  // 0-1-2 path; 0 and 2 carry the meme at t0 but 1 never does: 2 must stay
+  // uncolored despite carrying the meme (no contiguous path).
+  AttributeSchema vs;
+  vs.add("tweets", AttrType::kStringList);
+  GraphTemplateBuilder builder(false);
+  builder.vertexSchema() = vs;
+  for (int i = 0; i < 3; ++i) {
+    builder.addVertex(i);
+  }
+  builder.addUndirectedEdge(0, 0, 1);
+  builder.addUndirectedEdge(1, 1, 2);
+  const auto tmpl = share(unwrap(builder.build()));
+  TimeSeriesCollection coll(tmpl, 0, 5);
+  auto& inst = coll.appendInstance();
+  inst.vertexCol(0).asStringList()[0] = {"#m"};
+  inst.vertexCol(0).asStringList()[2] = {"#m"};
+
+  const auto colored = reference::memeSpread(*tmpl, coll, 0, "#m");
+  EXPECT_EQ(colored[0], 0);
+  EXPECT_EQ(colored[1], reference::kNever);
+  // Vertex 2 carries the meme at t0, so it roots its own traversal.
+  EXPECT_EQ(colored[2], 0);
+}
+
+TEST(MemeSpreadReference, BridgeAppearingLaterConnects) {
+  // Same path; at t1 vertex 1 tweets, bridging 0's colored status to 2.
+  AttributeSchema vs;
+  vs.add("tweets", AttrType::kStringList);
+  GraphTemplateBuilder builder(false);
+  builder.vertexSchema() = vs;
+  for (int i = 0; i < 3; ++i) {
+    builder.addVertex(i);
+  }
+  builder.addUndirectedEdge(0, 0, 1);
+  builder.addUndirectedEdge(1, 1, 2);
+  const auto tmpl = share(unwrap(builder.build()));
+  TimeSeriesCollection coll(tmpl, 0, 5);
+  auto& g0 = coll.appendInstance();
+  g0.vertexCol(0).asStringList()[0] = {"#m"};
+  auto& g1 = coll.appendInstance();
+  g1.vertexCol(0).asStringList()[1] = {"#m"};
+  g1.vertexCol(0).asStringList()[2] = {"#m"};
+
+  const auto colored = reference::memeSpread(*tmpl, coll, 0, "#m");
+  EXPECT_EQ(colored[0], 0);
+  EXPECT_EQ(colored[1], 1);
+  EXPECT_EQ(colored[2], 1);
+}
+
+TEST(HashtagCountsReference, CountsDuplicateTweetsWithinVertex) {
+  AttributeSchema vs;
+  vs.add("tweets", AttrType::kStringList);
+  GraphTemplateBuilder builder;
+  builder.vertexSchema() = vs;
+  builder.addVertex(0);
+  const auto tmpl = share(unwrap(builder.build()));
+  TimeSeriesCollection coll(tmpl, 0, 1);
+  auto& inst = coll.appendInstance();
+  inst.vertexCol(0).asStringList()[0] = {"#a", "#a", "#b"};
+  const auto counts = reference::hashtagCounts(coll, 0, "#a");
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts[0], 2u);
+}
+
+TEST(TopActiveReference, TieBreaksByVertexIndex) {
+  AttributeSchema vs;
+  vs.add("tweets", AttrType::kStringList);
+  GraphTemplateBuilder builder(false);
+  builder.vertexSchema() = vs;
+  for (int i = 0; i < 4; ++i) {
+    builder.addVertex(i);
+  }
+  // Square: all degree 2.
+  builder.addUndirectedEdge(0, 0, 1);
+  builder.addUndirectedEdge(1, 1, 2);
+  builder.addUndirectedEdge(2, 2, 3);
+  builder.addUndirectedEdge(3, 3, 0);
+  const auto tmpl = share(unwrap(builder.build()));
+  TimeSeriesCollection coll(tmpl, 0, 1);
+  coll.appendInstance();
+  const auto top = reference::topActiveVertices(*tmpl, coll, 0, 2);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], (std::vector<VertexIndex>{0, 1}));
+}
+
+}  // namespace
+}  // namespace tsg

@@ -1,0 +1,74 @@
+#include "metrics/report.h"
+
+#include <gtest/gtest.h>
+
+namespace tsg {
+namespace {
+
+RunStats sampleStats() {
+  RunStats stats(2);
+  SuperstepRecord rec;
+  rec.timestep = 0;
+  rec.superstep = 0;
+  rec.parts.resize(2);
+  rec.parts[0].compute_ns = 4'000'000;
+  rec.parts[0].sync_ns = 1'000'000;
+  rec.parts[1].compute_ns = 2'000'000;
+  rec.parts[1].send_ns = 500'000;
+  rec.delivered_messages = 3;
+  rec.delivered_bytes = 96;
+  stats.addSuperstep(rec);
+  rec.timestep = 1;
+  stats.addSuperstep(rec);
+  stats.addCounter("finalized", 0, 0, 10);
+  stats.addCounter("finalized", 1, 1, 4);
+  stats.setWallClockNs(12'000'000);
+  return stats;
+}
+
+TEST(Report, TimestepSeriesListsEachExecutedTimestep) {
+  const auto text = renderTimestepSeries(sampleStats(), "demo");
+  EXPECT_NE(text.find("per-timestep time: demo"), std::string::npos);
+  EXPECT_NE(text.find("| 0"), std::string::npos);
+  EXPECT_NE(text.find("| 1"), std::string::npos);
+}
+
+TEST(Report, CounterSeriesRendersPerPartitionColumnsAndTotals) {
+  const auto text =
+      renderCounterSeries(sampleStats(), "finalized", "demo");
+  EXPECT_NE(text.find("part0"), std::string::npos);
+  EXPECT_NE(text.find("part1"), std::string::npos);
+  EXPECT_NE(text.find("| 10"), std::string::npos);  // t0 p0
+  EXPECT_NE(text.find("| 4"), std::string::npos);   // t1 p1
+}
+
+TEST(Report, CounterSeriesHandlesMissingCounter) {
+  const auto text = renderCounterSeries(sampleStats(), "ghost", "demo");
+  EXPECT_NE(text.find("(no data)"), std::string::npos);
+}
+
+TEST(Report, UtilizationPercentagesSumNearHundred) {
+  const auto text = renderUtilization(sampleStats(), "demo");
+  EXPECT_NE(text.find("compute"), std::string::npos);
+  EXPECT_NE(text.find("sync_oh"), std::string::npos);
+  // Partition 0: 4ms compute of 5ms total = 80%.
+  EXPECT_NE(text.find("80.0%"), std::string::npos);
+}
+
+TEST(Report, SummaryIncludesWallAndModelled) {
+  const auto text = summarizeRun(sampleStats(), "demo");
+  EXPECT_NE(text.find("demo:"), std::string::npos);
+  EXPECT_NE(text.find("wall=0.012s"), std::string::npos);
+  EXPECT_NE(text.find("supersteps=2"), std::string::npos);
+  EXPECT_NE(text.find("messages=6"), std::string::npos);
+}
+
+TEST(Report, EmptyStatsDoNotCrash) {
+  RunStats stats(0);
+  EXPECT_FALSE(renderTimestepSeries(stats, "x").empty());
+  EXPECT_FALSE(renderUtilization(stats, "x").empty());
+  EXPECT_FALSE(summarizeRun(stats, "x").empty());
+}
+
+}  // namespace
+}  // namespace tsg

@@ -1,0 +1,81 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace tsg {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.isOk());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.toString(), "Ok");
+}
+
+TEST(Status, FactoryFunctionsCarryCodeAndMessage) {
+  const auto s = Status::invalidArgument("bad k");
+  EXPECT_FALSE(s.isOk());
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.toString(), "InvalidArgument: bad k");
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kUnimplemented); ++c) {
+    EXPECT_NE(errorCodeName(static_cast<ErrorCode>(c)), "Unknown");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.isOk());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.valueOr(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::notFound("missing"));
+  ASSERT_FALSE(r.isOk());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.valueOr(7), 7);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(Result, ConstructingFromOkStatusAborts) {
+  EXPECT_DEATH((void)Result<int>(Status::ok()), "OK status");
+}
+
+TEST(Result, ValueOnErrorAborts) {
+  Result<int> r(Status::internal("boom"));
+  EXPECT_DEATH((void)r.value(), "boom");
+}
+
+TEST(CheckMacro, PassesOnTrue) {
+  TSG_CHECK(1 + 1 == 2);  // must not abort
+}
+
+TEST(CheckMacro, AbortsOnFalse) {
+  EXPECT_DEATH(TSG_CHECK(false), "TSG_CHECK failed");
+}
+
+TEST(CheckMacro, MessageIncluded) {
+  EXPECT_DEATH(TSG_CHECK_MSG(false, "context here"), "context here");
+}
+
+Status helperReturnsEarly(bool fail) {
+  TSG_RETURN_IF_ERROR(fail ? Status::ioError("disk") : Status::ok());
+  return Status::alreadyExists("fellthrough");
+}
+
+TEST(ReturnIfError, PropagatesError) {
+  EXPECT_EQ(helperReturnsEarly(true).code(), ErrorCode::kIoError);
+  EXPECT_EQ(helperReturnsEarly(false).code(), ErrorCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace tsg

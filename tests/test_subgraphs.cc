@@ -1,0 +1,181 @@
+#include "partition/partitioned_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "test_util.h"
+
+namespace tsg {
+namespace {
+
+using testing::partitionGraph;
+using testing::smallRoad;
+using testing::smallSocial;
+using testing::unwrap;
+
+TEST(PartitionedGraph, RejectsBadAssignments) {
+  auto tmpl = smallRoad(4, 4);
+  PartitionAssignment wrong_size(3, 0);
+  EXPECT_FALSE(PartitionedGraph::build(tmpl, wrong_size, 2).isOk());
+
+  PartitionAssignment out_of_range(tmpl->numVertices(), 0);
+  out_of_range[0] = 7;
+  EXPECT_FALSE(PartitionedGraph::build(tmpl, out_of_range, 2).isOk());
+
+  EXPECT_FALSE(
+      PartitionedGraph::build(nullptr, PartitionAssignment{}, 1).isOk());
+}
+
+TEST(PartitionedGraph, PartitionsCoverVerticesAndEdgesDisjointly) {
+  auto tmpl = smallRoad(10, 10);
+  const auto pg = partitionGraph(tmpl, 3);
+
+  std::vector<int> vertex_seen(tmpl->numVertices(), 0);
+  std::vector<int> edge_seen(tmpl->numEdges(), 0);
+  for (PartitionId p = 0; p < pg.numPartitions(); ++p) {
+    for (const auto v : pg.partition(p).vertices) {
+      ++vertex_seen[v];
+      EXPECT_EQ(pg.partitionOfVertex(v), p);
+    }
+    for (const auto e : pg.partition(p).edges) {
+      ++edge_seen[e];
+      // Edge ownership = partition of its source.
+      EXPECT_EQ(pg.partitionOfVertex(tmpl->edgeSrc(e)), p);
+    }
+  }
+  for (const auto count : vertex_seen) {
+    EXPECT_EQ(count, 1);
+  }
+  for (const auto count : edge_seen) {
+    EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(PartitionedGraph, LocalIndicesAreDenseInverses) {
+  auto tmpl = smallSocial(200);
+  const auto pg = partitionGraph(tmpl, 4);
+  for (PartitionId p = 0; p < pg.numPartitions(); ++p) {
+    const auto& part = pg.partition(p);
+    for (std::uint32_t i = 0; i < part.vertices.size(); ++i) {
+      EXPECT_EQ(pg.localIndexOfVertex(part.vertices[i]), i);
+    }
+    for (std::uint32_t i = 0; i < part.edges.size(); ++i) {
+      EXPECT_EQ(pg.localIndexOfEdge(part.edges[i]), i);
+    }
+  }
+}
+
+TEST(PartitionedGraph, SubgraphsPartitionTheirPartition) {
+  auto tmpl = smallRoad(10, 10);
+  const auto pg = partitionGraph(tmpl, 3);
+  for (PartitionId p = 0; p < pg.numPartitions(); ++p) {
+    const auto& part = pg.partition(p);
+    std::set<VertexIndex> in_subgraphs;
+    for (const auto& sg : part.subgraphs) {
+      EXPECT_EQ(sg.partition, p);
+      for (const auto v : sg.vertices) {
+        EXPECT_TRUE(in_subgraphs.insert(v).second)
+            << "vertex in two subgraphs";
+        EXPECT_EQ(pg.subgraphOfVertex(v), sg.id);
+      }
+    }
+    EXPECT_EQ(in_subgraphs.size(), part.vertices.size());
+  }
+}
+
+TEST(PartitionedGraph, SubgraphsAreWeaklyConnectedAndMaximal) {
+  auto tmpl = smallSocial(300);
+  const auto pg = partitionGraph(tmpl, 3);
+  const auto& g = *tmpl;
+  // Two vertices in the same partition connected by a local edge must share
+  // a subgraph (maximality); vertices of one subgraph must be reachable
+  // within it (connectivity follows from the union-find construction, so we
+  // verify the edge-level invariant both ways).
+  for (EdgeIndex e = 0; e < g.numEdges(); ++e) {
+    const auto src = g.edgeSrc(e);
+    const auto dst = g.edgeDst(e);
+    if (pg.partitionOfVertex(src) == pg.partitionOfVertex(dst)) {
+      EXPECT_EQ(pg.subgraphOfVertex(src), pg.subgraphOfVertex(dst));
+    } else {
+      EXPECT_NE(pg.subgraphOfVertex(src), pg.subgraphOfVertex(dst));
+    }
+  }
+}
+
+TEST(PartitionedGraph, RemoteEdgesExactlyTheCutEdges) {
+  auto tmpl = smallRoad(8, 8);
+  const auto pg = partitionGraph(tmpl, 4);
+  const auto& g = *tmpl;
+
+  std::set<EdgeIndex> expected_cut;
+  for (EdgeIndex e = 0; e < g.numEdges(); ++e) {
+    if (pg.partitionOfVertex(g.edgeSrc(e)) !=
+        pg.partitionOfVertex(g.edgeDst(e))) {
+      expected_cut.insert(e);
+    }
+  }
+
+  std::set<EdgeIndex> found;
+  std::uint64_t local_total = 0;
+  for (PartitionId p = 0; p < pg.numPartitions(); ++p) {
+    for (const auto& sg : pg.partition(p).subgraphs) {
+      local_total += sg.num_local_edges;
+      for (const auto& re : sg.remote_edges) {
+        EXPECT_TRUE(found.insert(re.edge).second) << "remote edge duplicated";
+        EXPECT_EQ(g.edgeSrc(re.edge), re.src);
+        EXPECT_EQ(g.edgeDst(re.edge), re.dst);
+        EXPECT_EQ(pg.partitionOfVertex(re.dst), re.dst_partition);
+        EXPECT_EQ(pg.subgraphOfVertex(re.dst), re.dst_subgraph);
+        EXPECT_NE(re.dst_partition, p);
+      }
+    }
+  }
+  EXPECT_EQ(found, expected_cut);
+  EXPECT_EQ(local_total + found.size(), g.numEdges());
+}
+
+TEST(PartitionedGraph, SubgraphIdsAreGloballySequentialLargestFirst) {
+  auto tmpl = smallSocial(200);
+  const auto pg = partitionGraph(tmpl, 3);
+  SubgraphId expected = 0;
+  for (PartitionId p = 0; p < pg.numPartitions(); ++p) {
+    const auto& subgraphs = pg.partition(p).subgraphs;
+    for (std::size_t i = 0; i < subgraphs.size(); ++i) {
+      EXPECT_EQ(subgraphs[i].id, expected);
+      EXPECT_EQ(pg.partitionOfSubgraph(expected), p);
+      EXPECT_EQ(pg.subgraphIndexInPartition(expected),
+                static_cast<std::uint32_t>(i));
+      if (i > 0) {
+        EXPECT_GE(subgraphs[i - 1].vertices.size(),
+                  subgraphs[i].vertices.size());
+      }
+      ++expected;
+    }
+  }
+  EXPECT_EQ(pg.numSubgraphs(), expected);
+}
+
+TEST(PartitionedGraph, LargestSubgraphOfReturnsHead) {
+  auto tmpl = smallRoad(8, 8);
+  const auto pg = partitionGraph(tmpl, 2);
+  for (PartitionId p = 0; p < pg.numPartitions(); ++p) {
+    const auto sg = pg.largestSubgraphOf(p);
+    EXPECT_EQ(sg, pg.partition(p).subgraphs.front().id);
+  }
+}
+
+TEST(PartitionedGraph, SubgraphCountsParamSweep) {
+  // The subgraph-centric premise: the number of subgraphs stays modest
+  // (one giant component per partition plus a tail).
+  for (const std::uint32_t k : {2u, 3u, 6u}) {
+    auto tmpl = smallRoad(12, 12);
+    const auto pg = partitionGraph(tmpl, k);
+    EXPECT_GE(pg.numSubgraphs(), k);
+    EXPECT_LE(pg.numSubgraphs(), tmpl->numVertices());
+  }
+}
+
+}  // namespace
+}  // namespace tsg

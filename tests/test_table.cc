@@ -1,0 +1,56 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace tsg {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "count"});
+  table.addRow({"a", "1"});
+  table.addRow({"longer", "12345"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| name   | count |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 12345 |"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|--------"), std::string::npos);
+}
+
+TEST(TextTable, CsvEscapesSpecialCharacters) {
+  TextTable table({"k", "v"});
+  table.addRow({"plain", "has,comma"});
+  table.addRow({"quote\"inside", "line\nbreak"});
+  const std::string csv = table.renderCsv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_NE(csv.find("\"line\nbreak\""), std::string::npos);
+}
+
+TEST(TextTable, ArityMismatchAborts) {
+  TextTable table({"a", "b"});
+  EXPECT_DEATH(table.addRow({"only-one"}), "row arity");
+}
+
+TEST(TextTable, Formatters) {
+  EXPECT_EQ(TextTable::fmtDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmtDouble(2.0, 0), "2");
+  EXPECT_EQ(TextTable::fmtPercent(0.1075, 2), "10.75%");
+  EXPECT_EQ(TextTable::fmtCount(0), "0");
+  EXPECT_EQ(TextTable::fmtCount(999), "999");
+  EXPECT_EQ(TextTable::fmtCount(1000), "1,000");
+  EXPECT_EQ(TextTable::fmtCount(1965206), "1,965,206");
+}
+
+TEST(WriteTextFile, CreatesParentDirectories) {
+  const auto dir = std::filesystem::temp_directory_path() / "tsg_table_test";
+  std::filesystem::remove_all(dir);
+  const std::string path = (dir / "nested" / "out.txt").string();
+  ASSERT_TRUE(writeTextFile(path, "content"));
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace tsg

@@ -1,0 +1,93 @@
+// Shared fixtures and helpers for the tsgraph test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "generators/instances.h"
+#include "generators/topology.h"
+#include "gofs/instance_provider.h"
+#include "graph/collection.h"
+#include "graph/graph_template.h"
+#include "partition/partitioned_graph.h"
+#include "partition/partitioner.h"
+
+namespace tsg::testing {
+
+// Unwraps a Result<T>, failing the test with the status message otherwise.
+template <typename T>
+T unwrap(Result<T> result) {
+  if (!result.isOk()) {
+    ADD_FAILURE() << "Result error: " << result.status().toString();
+    abort();
+  }
+  return std::move(result).value();
+}
+
+inline GraphTemplatePtr share(GraphTemplate tmpl) {
+  return std::make_shared<GraphTemplate>(std::move(tmpl));
+}
+
+// A small connected road-like template with a "latency" edge attribute.
+inline GraphTemplatePtr smallRoad(std::uint32_t width = 8,
+                                  std::uint32_t height = 8,
+                                  std::uint64_t seed = 3) {
+  RoadNetworkOptions options;
+  options.width = width;
+  options.height = height;
+  options.seed = seed;
+  return share(
+      unwrap(makeRoadNetwork(options, AttributeSchema{}, roadEdgeSchema())));
+}
+
+// A small power-law template with a "tweets" vertex attribute.
+inline GraphTemplatePtr smallSocial(std::uint32_t n = 64,
+                                    std::uint64_t seed = 3) {
+  PreferentialAttachmentOptions options;
+  options.num_vertices = n;
+  options.edges_per_vertex = 2;
+  options.seed = seed;
+  return share(unwrap(makePreferentialAttachment(
+      options, tweetVertexSchema(), AttributeSchema{})));
+}
+
+inline PartitionedGraph partitionGraph(GraphTemplatePtr tmpl,
+                                       std::uint32_t k,
+                                       std::uint64_t seed = 11) {
+  const BfsPartitioner partitioner(seed);
+  const auto assignment = partitioner.assign(*tmpl, k);
+  return unwrap(PartitionedGraph::build(std::move(tmpl), assignment, k));
+}
+
+// Road collection with uniform random latencies.
+inline TimeSeriesCollection roadCollection(GraphTemplatePtr tmpl,
+                                           std::uint32_t timesteps,
+                                           std::uint64_t seed = 5,
+                                           std::int64_t delta = 5) {
+  RoadInstanceOptions options;
+  options.num_timesteps = timesteps;
+  options.seed = seed;
+  options.delta = delta;
+  options.min_latency = 1.0;
+  options.max_latency = 10.0;
+  return unwrap(makeRoadInstances(std::move(tmpl), options));
+}
+
+// Tweet collection with SIR meme propagation.
+inline TimeSeriesCollection tweetCollection(GraphTemplatePtr tmpl,
+                                            std::uint32_t timesteps,
+                                            double hit_probability = 0.3,
+                                            std::uint64_t seed = 5) {
+  SirTweetOptions options;
+  options.num_timesteps = timesteps;
+  options.hit_probability = hit_probability;
+  options.seed = seed;
+  options.num_seed_vertices = 2;
+  return unwrap(makeSirTweetInstances(std::move(tmpl), options));
+}
+
+}  // namespace tsg::testing

@@ -1,0 +1,466 @@
+// tsgcli — command-line front end for the tsgraph library.
+//
+//   tsgcli generate --out=DIR [--kind=road|social] [--vertices=N]
+//          [--timesteps=T] [--partitions=K] [--workload=road|tweet]
+//          [--seed=S] [--closures=P] [--hit=P] [--packing=N] [--binning=N]
+//   tsgcli inspect DIR
+//   tsgcli tdsp DIR [--source=V] [--no-while] [--closures] [--outputs]
+//   tsgcli meme DIR [--tag=#meme] [--outputs]
+//   tsgcli hashtag DIR [--tag=#meme]
+//   tsgcli pagerank DIR [--iters=N] [--top=N]
+//   tsgcli wcc DIR
+//
+// Every analysis command prints the result summary plus the run's
+// utilization split (the Fig. 7b-style table).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algorithms/hashtag.h"
+#include "algorithms/meme.h"
+#include "algorithms/pagerank.h"
+#include "algorithms/tdsp.h"
+#include "algorithms/wcc.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+#include "generators/instances.h"
+#include "generators/topology.h"
+#include "gofs/dataset.h"
+#include "metrics/report.h"
+#include "partition/partitioner.h"
+
+namespace {
+
+using namespace tsg;
+
+// --key=value / --flag argument map plus positional arguments.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  [[nodiscard]] std::int64_t getInt(const std::string& key,
+                                    std::int64_t fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  [[nodiscard]] double getDouble(const std::string& key,
+                                 double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::atof(it->second.c_str());
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return options.count(key) > 0;
+  }
+};
+
+Args parseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        args.options[arg.substr(2)] = "1";
+      } else {
+        args.options[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      args.positional.push_back(std::move(arg));
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::fputs(
+      "usage: tsgcli <command> [args]\n"
+      "  generate --out=DIR [--kind=road|social] [--vertices=N]\n"
+      "           [--timesteps=T] [--partitions=K] [--workload=road|tweet]\n"
+      "           [--seed=S] [--closures=P] [--hit=P] [--packing=N]\n"
+      "           [--binning=N]\n"
+      "  inspect  DIR\n"
+      "  tdsp     DIR [--source=V] [--no-while] [--closures] [--outputs]\n"
+      "  meme     DIR [--tag=#meme] [--outputs]\n"
+      "  hashtag  DIR [--tag=#meme]\n"
+      "  pagerank DIR [--iters=N] [--top=N]\n"
+      "  wcc      DIR\n",
+      stderr);
+  return 2;
+}
+
+int fail(const Status& status) {
+  std::fprintf(stderr, "tsgcli: %s\n", status.toString().c_str());
+  return 1;
+}
+
+// Opens the dataset named by the first positional argument.
+Result<GofsDataset> openFrom(const Args& args) {
+  if (args.positional.empty()) {
+    return Status::invalidArgument("missing dataset directory argument");
+  }
+  return GofsDataset::open(args.positional[0]);
+}
+
+void printRunFooter(const RunStats& stats) {
+  std::fputs(summarizeRun(stats, "run").c_str(), stdout);
+  std::fputc('\n', stdout);
+  std::fputs(renderUtilization(stats, "per-partition split").c_str(), stdout);
+}
+
+int cmdGenerate(const Args& args) {
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    std::fputs("tsgcli generate: --out=DIR is required\n", stderr);
+    return 2;
+  }
+  const std::string kind = args.get("kind", "road");
+  const std::string workload =
+      args.get("workload", kind == "road" ? "road" : "tweet");
+  const auto vertices =
+      static_cast<std::uint32_t>(args.getInt("vertices", 10000));
+  const auto timesteps =
+      static_cast<std::uint32_t>(args.getInt("timesteps", 50));
+  const auto partitions =
+      static_cast<std::uint32_t>(args.getInt("partitions", 4));
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+  const double closures = args.getDouble("closures", 0.0);
+
+  AttributeSchema vertex_schema;
+  AttributeSchema edge_schema;
+  if (workload == "road") {
+    edge_schema =
+        closures > 0.0 ? roadEdgeSchemaWithClosures() : roadEdgeSchema();
+  } else {
+    vertex_schema = tweetVertexSchema();
+  }
+
+  GraphTemplatePtr tmpl;
+  if (kind == "road") {
+    RoadNetworkOptions options;
+    options.width = options.height = static_cast<std::uint32_t>(
+        std::max(2.0, std::sqrt(static_cast<double>(vertices))));
+    options.seed = seed;
+    auto built = makeRoadNetwork(options, std::move(vertex_schema),
+                                 std::move(edge_schema));
+    if (!built.isOk()) {
+      return fail(built.status());
+    }
+    tmpl = std::make_shared<GraphTemplate>(std::move(built).value());
+  } else if (kind == "social") {
+    PreferentialAttachmentOptions options;
+    options.num_vertices = vertices;
+    options.seed = seed;
+    auto built = makePreferentialAttachment(options, std::move(vertex_schema),
+                                            std::move(edge_schema));
+    if (!built.isOk()) {
+      return fail(built.status());
+    }
+    tmpl = std::make_shared<GraphTemplate>(std::move(built).value());
+  } else {
+    std::fprintf(stderr, "tsgcli generate: unknown --kind=%s\n", kind.c_str());
+    return 2;
+  }
+
+  Result<TimeSeriesCollection> collection =
+      Status::internal("unset");
+  if (workload == "road") {
+    RoadInstanceOptions options;
+    options.num_timesteps = timesteps;
+    options.seed = seed + 1;
+    options.closure_probability = closures;
+    collection = makeRoadInstances(tmpl, options);
+  } else {
+    SirTweetOptions options;
+    options.num_timesteps = timesteps;
+    options.seed = seed + 1;
+    options.hit_probability = args.getDouble("hit", 0.1);
+    collection = makeSirTweetInstances(tmpl, options);
+  }
+  if (!collection.isOk()) {
+    return fail(collection.status());
+  }
+
+  const BfsPartitioner partitioner(seed + 2);
+  auto pg = PartitionedGraph::build(tmpl, partitioner.assign(*tmpl, partitions),
+                                    partitions);
+  if (!pg.isOk()) {
+    return fail(pg.status());
+  }
+
+  GofsOptions gofs;
+  gofs.temporal_packing = static_cast<std::uint32_t>(args.getInt("packing", 10));
+  gofs.subgraph_binning = static_cast<std::uint32_t>(args.getInt("binning", 5));
+  Stopwatch sw;
+  const Status status =
+      writeGofsDataset(out, kind, pg.value(), collection.value(), gofs);
+  if (!status.isOk()) {
+    return fail(status);
+  }
+  std::printf(
+      "wrote %s: %zu vertices, %zu edges, %u instances, %u partitions "
+      "(%.1f s)\n",
+      out.c_str(), tmpl->numVertices(), tmpl->numEdges(), timesteps,
+      partitions, sw.elapsedSec());
+  return 0;
+}
+
+int cmdInspect(const Args& args) {
+  auto ds = openFrom(args);
+  if (!ds.isOk()) {
+    return fail(ds.status());
+  }
+  const auto& manifest = ds.value().manifest();
+  const auto& pg = ds.value().partitionedGraph();
+  const auto& tmpl = pg.graphTemplate();
+
+  std::printf("dataset:    %s\n", manifest.name.c_str());
+  std::printf("instances:  %u (t0=%lld, delta=%lld)\n", manifest.num_instances,
+              static_cast<long long>(manifest.t0),
+              static_cast<long long>(manifest.delta));
+  std::printf("packing:    %u temporal x %u subgraph bins\n",
+              manifest.options.temporal_packing,
+              manifest.options.subgraph_binning);
+  std::printf("topology:   %zu vertices, %zu directed edges, %s\n",
+              tmpl.numVertices(), tmpl.numEdges(),
+              tmpl.directed() ? "directed" : "undirected pairs");
+  auto schemaLine = [](const AttributeSchema& schema) {
+    std::string line;
+    for (const auto& def : schema.defs()) {
+      if (!line.empty()) {
+        line += ", ";
+      }
+      line += def.name + ":" + std::string(attrTypeName(def.type));
+    }
+    return line.empty() ? std::string("(none)") : line;
+  };
+  std::printf("vertex attrs: %s\n", schemaLine(tmpl.vertexSchema()).c_str());
+  std::printf("edge attrs:   %s\n", schemaLine(tmpl.edgeSchema()).c_str());
+
+  const auto metrics =
+      evaluatePartition(tmpl, pg.assignment(), pg.numPartitions());
+  TextTable table({"partition", "vertices", "edges", "subgraphs",
+                   "largest sg"});
+  for (PartitionId p = 0; p < pg.numPartitions(); ++p) {
+    const auto& part = pg.partition(p);
+    table.addRow({std::to_string(p), TextTable::fmtCount(part.numVertices()),
+                  TextTable::fmtCount(part.numEdges()),
+                  std::to_string(part.subgraphs.size()),
+                  part.subgraphs.empty()
+                      ? "-"
+                      : TextTable::fmtCount(
+                            part.subgraphs.front().numVertices())});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("edge cut:   %s (%llu of %llu)\n",
+              TextTable::fmtPercent(metrics.cut_fraction, 3).c_str(),
+              static_cast<unsigned long long>(metrics.cut_edges),
+              static_cast<unsigned long long>(metrics.num_edges));
+  const auto storage = ds.value().storageStats();
+  if (storage.isOk()) {
+    std::printf("on disk:    %llu slice files, %.1f MB\n",
+                static_cast<unsigned long long>(storage.value().slice_files),
+                static_cast<double>(storage.value().slice_bytes) / 1e6);
+  }
+  return 0;
+}
+
+int cmdTdsp(const Args& args) {
+  auto ds = openFrom(args);
+  if (!ds.isOk()) {
+    return fail(ds.status());
+  }
+  const auto& pg = ds.value().partitionedGraph();
+  const auto& schema = pg.graphTemplate().edgeSchema();
+  if (schema.indexOf(kLatencyAttr) == AttributeSchema::npos) {
+    return fail(Status::failedPrecondition(
+        "dataset has no 'latency' edge attribute — generate with "
+        "--workload=road"));
+  }
+  auto provider = ds.value().makeProvider();
+  TdspOptions options;
+  options.source = static_cast<VertexIndex>(args.getInt("source", 0));
+  options.latency_attr = schema.requireIndex(kLatencyAttr);
+  options.while_mode = !args.has("no-while");
+  options.emit_outputs = args.has("outputs");
+  if (args.has("closures")) {
+    if (schema.indexOf(kExistsAttr) == AttributeSchema::npos) {
+      return fail(Status::failedPrecondition(
+          "dataset has no 'exists' edge attribute — generate with "
+          "--closures=P"));
+    }
+    options.exists_attr = schema.requireIndex(kExistsAttr);
+  }
+  const auto run = runTdsp(pg, *provider, options);
+
+  std::uint64_t reached = 0;
+  double worst = 0;
+  for (VertexIndex v = 0; v < run.tdsp.size(); ++v) {
+    if (run.finalized_at[v] >= 0) {
+      ++reached;
+      worst = std::max(worst, run.tdsp[v]);
+    }
+  }
+  std::printf("tdsp: reached %llu / %zu vertices in %d timesteps; latest "
+              "arrival %.2f\n",
+              static_cast<unsigned long long>(reached), run.tdsp.size(),
+              run.exec.timesteps_executed, worst);
+  for (const auto& line : run.exec.outputs) {
+    std::puts(line.c_str());
+  }
+  printRunFooter(run.exec.stats);
+  return 0;
+}
+
+int cmdMeme(const Args& args) {
+  auto ds = openFrom(args);
+  if (!ds.isOk()) {
+    return fail(ds.status());
+  }
+  const auto& pg = ds.value().partitionedGraph();
+  const auto& schema = pg.graphTemplate().vertexSchema();
+  if (schema.indexOf(kTweetsAttr) == AttributeSchema::npos) {
+    return fail(Status::failedPrecondition(
+        "dataset has no 'tweets' vertex attribute — generate with "
+        "--workload=tweet"));
+  }
+  auto provider = ds.value().makeProvider();
+  MemeOptions options;
+  options.meme = args.get("tag", "#meme");
+  options.tweets_attr = schema.requireIndex(kTweetsAttr);
+  options.emit_outputs = args.has("outputs");
+  const auto run = runMemeTracking(pg, *provider, options);
+
+  std::uint64_t colored = 0;
+  for (const auto t : run.colored_at) {
+    colored += t >= 0 ? 1 : 0;
+  }
+  std::printf("meme %s: reached %llu / %zu vertices over %d timesteps\n",
+              options.meme.c_str(),
+              static_cast<unsigned long long>(colored), run.colored_at.size(),
+              run.exec.timesteps_executed);
+  std::fputs(renderCounterSeries(run.exec.stats, kMemeColoredCounter,
+                                 "newly colored")
+                 .c_str(),
+             stdout);
+  for (const auto& line : run.exec.outputs) {
+    std::puts(line.c_str());
+  }
+  printRunFooter(run.exec.stats);
+  return 0;
+}
+
+int cmdHashtag(const Args& args) {
+  auto ds = openFrom(args);
+  if (!ds.isOk()) {
+    return fail(ds.status());
+  }
+  const auto& pg = ds.value().partitionedGraph();
+  const auto& schema = pg.graphTemplate().vertexSchema();
+  if (schema.indexOf(kTweetsAttr) == AttributeSchema::npos) {
+    return fail(Status::failedPrecondition(
+        "dataset has no 'tweets' vertex attribute"));
+  }
+  auto provider = ds.value().makeProvider();
+  HashtagOptions options;
+  options.tag = args.get("tag", "#meme");
+  options.tweets_attr = schema.requireIndex(kTweetsAttr);
+  const auto run = runHashtagAggregation(pg, *provider, options);
+
+  TextTable table({"timestep", "count", "rate of change"});
+  for (std::size_t t = 0; t < run.counts.size(); ++t) {
+    table.addRow({std::to_string(t), std::to_string(run.counts[t]),
+                  std::to_string(run.rate_of_change[t])});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  printRunFooter(run.exec.stats);
+  return 0;
+}
+
+int cmdPageRank(const Args& args) {
+  auto ds = openFrom(args);
+  if (!ds.isOk()) {
+    return fail(ds.status());
+  }
+  const auto& pg = ds.value().partitionedGraph();
+  auto provider = ds.value().makeProvider();
+  PageRankOptions options;
+  options.iterations = static_cast<std::int32_t>(args.getInt("iters", 30));
+  const auto run = runSubgraphPageRank(pg, *provider, options);
+
+  const auto top_n = static_cast<std::size_t>(args.getInt("top", 10));
+  std::vector<VertexIndex> order(run.ranks.size());
+  for (VertexIndex v = 0; v < order.size(); ++v) {
+    order[v] = v;
+  }
+  const std::size_t keep = std::min(top_n, order.size());
+  std::partial_sort(order.begin(), order.begin() + keep, order.end(),
+                    [&](VertexIndex a, VertexIndex b) {
+                      return run.ranks[a] > run.ranks[b];
+                    });
+  TextTable table({"rank", "vertex id", "pagerank"});
+  for (std::size_t i = 0; i < keep; ++i) {
+    table.addRow({std::to_string(i + 1),
+                  std::to_string(pg.graphTemplate().vertexId(order[i])),
+                  TextTable::fmtDouble(run.ranks[order[i]], 6)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  printRunFooter(run.exec.stats);
+  return 0;
+}
+
+int cmdWcc(const Args& args) {
+  auto ds = openFrom(args);
+  if (!ds.isOk()) {
+    return fail(ds.status());
+  }
+  const auto& pg = ds.value().partitionedGraph();
+  auto provider = ds.value().makeProvider();
+  const auto run = runSubgraphWcc(pg, *provider);
+  std::printf("weakly connected components: %zu (over %zu vertices)\n",
+              run.num_components, run.component.size());
+  printRunFooter(run.exec.stats);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string command = argv[1];
+  const Args args = parseArgs(argc, argv);
+  if (command == "generate") {
+    return cmdGenerate(args);
+  }
+  if (command == "inspect") {
+    return cmdInspect(args);
+  }
+  if (command == "tdsp") {
+    return cmdTdsp(args);
+  }
+  if (command == "meme") {
+    return cmdMeme(args);
+  }
+  if (command == "hashtag") {
+    return cmdHashtag(args);
+  }
+  if (command == "pagerank") {
+    return cmdPageRank(args);
+  }
+  if (command == "wcc") {
+    return cmdWcc(args);
+  }
+  std::fprintf(stderr, "tsgcli: unknown command '%s'\n", command.c_str());
+  return usage();
+}
