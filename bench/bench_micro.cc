@@ -86,17 +86,23 @@ void BM_GatherScatter(benchmark::State& state) {
 }
 BENCHMARK(BM_GatherScatter)->Arg(65536);
 
-void BM_MessageBusDelivery(benchmark::State& state) {
-  const auto k = static_cast<std::uint32_t>(state.range(0));
+// Measures the coordinator's between-superstep deliver() — the serial
+// barrier cost. Inbox draining and sending happen in the paused region, as
+// in the engine, where partition workers do both on their own threads.
+void runMessageBusDelivery(benchmark::State& state, std::uint32_t k,
+                           std::size_t payload_size) {
   MessageBus bus(k);
   for (auto _ : state) {
     state.PauseTiming();
+    for (PartitionId p = 0; p < k; ++p) {
+      bus.inbox(p).clear();
+    }
     for (PartitionId from = 0; from < k; ++from) {
       for (int i = 0; i < 100; ++i) {
         Message msg;
         msg.src = from;
         msg.dst = (from + i) % k;
-        msg.payload.assign(64, 7);
+        msg.payload.assign(payload_size, 7);
         bus.send(from, msg.dst % k, std::move(msg));
       }
     }
@@ -104,10 +110,31 @@ void BM_MessageBusDelivery(benchmark::State& state) {
     const auto stats = bus.deliver();
     benchmark::DoNotOptimize(stats);
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(100 * state.range(0)));
+  state.SetItemsProcessed(state.iterations() * 100 * k);
+}
+
+void BM_MessageBusDelivery(benchmark::State& state) {
+  runMessageBusDelivery(state, static_cast<std::uint32_t>(state.range(0)), 64);
 }
 BENCHMARK(BM_MessageBusDelivery)->Arg(3)->Arg(9);
+
+// Sweep: partition count × payload size (0 = empty, 16 = inline SBO,
+// 64/1024 = refcounted heap block).
+void BM_MessageBusDeliverySweep(benchmark::State& state) {
+  runMessageBusDelivery(state, static_cast<std::uint32_t>(state.range(0)),
+                        static_cast<std::size_t>(state.range(1)));
+}
+BENCHMARK(BM_MessageBusDeliverySweep)
+    ->ArgNames({"parts", "payload"})
+    ->Args({3, 0})
+    ->Args({3, 16})
+    ->Args({3, 64})
+    ->Args({3, 1024})
+    ->Args({9, 0})
+    ->Args({9, 16})
+    ->Args({9, 64})
+    ->Args({9, 1024})
+    ->Args({27, 64});
 
 void BM_Xoshiro(benchmark::State& state) {
   Rng rng(3);

@@ -12,11 +12,12 @@
 
 #include "common/serialize.h"
 #include "graph/types.h"
+#include "runtime/payload_buffer.h"
 
 namespace tsg {
 
 // [count][vertex]... — e.g. the colored set C* passed between timesteps.
-inline std::vector<std::uint8_t> encodeVertexList(
+inline PayloadBuffer encodeVertexList(
     const std::vector<VertexIndex>& vertices) {
   BinaryWriter w(vertices.size() * 5 + 4);
   w.writePodVector(vertices);
@@ -38,7 +39,7 @@ struct VertexLabel {
   double label;
 };
 
-inline std::vector<std::uint8_t> encodeVertexLabels(
+inline PayloadBuffer encodeVertexLabels(
     const std::vector<VertexLabel>& items) {
   BinaryWriter w(items.size() * 12 + 4);
   w.writeVarint(items.size());
@@ -66,7 +67,7 @@ inline std::vector<VertexLabel> decodeVertexLabels(
 }
 
 // A single unsigned counter (hashtag per-timestep counts).
-inline std::vector<std::uint8_t> encodeU64(std::uint64_t value) {
+inline PayloadBuffer encodeU64(std::uint64_t value) {
   BinaryWriter w(9);
   w.writeVarint(value);
   return w.takeBuffer();
@@ -81,7 +82,7 @@ inline std::uint64_t decodeU64(std::span<const std::uint8_t> payload) {
 }
 
 // [count][u64]... — aggregated per-timestep series in the Hashtag Merge.
-inline std::vector<std::uint8_t> encodeU64List(
+inline PayloadBuffer encodeU64List(
     const std::vector<std::uint64_t>& values) {
   BinaryWriter w(values.size() * 9 + 4);
   w.writePodVector(values);

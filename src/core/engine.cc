@@ -37,6 +37,7 @@ class WorkerState {
         delta_(delta) {
     const std::size_t n = pg.partition(p).subgraphs.size();
     sg_inbox.resize(n);
+    route_counts.assign(n, 0);
     halted.assign(n, 0);
     halt_timestep.assign(n, 0);
   }
@@ -61,6 +62,7 @@ class WorkerState {
   ExecPhase phase = ExecPhase::kCompute;
 
   std::vector<std::vector<Message>> sg_inbox;  // by subgraph local index
+  std::vector<std::uint32_t> route_counts;     // inbox-routing scratch
   std::vector<std::uint8_t> halted;
   std::vector<std::uint8_t> halt_timestep;
 
@@ -199,8 +201,7 @@ std::span<const Message> SubgraphContext::messages() const {
   return state_.sg_inbox[state_.cur_local];
 }
 
-void SubgraphContext::sendToSubgraph(SubgraphId dst,
-                                     std::vector<std::uint8_t> payload) {
+void SubgraphContext::sendToSubgraph(SubgraphId dst, PayloadBuffer payload) {
   auto& st = state_;
   TSG_CHECK_MSG(st.phase == ExecPhase::kCompute ||
                     st.phase == ExecPhase::kMerge,
@@ -215,12 +216,12 @@ void SubgraphContext::sendToSubgraph(SubgraphId dst,
   st.bus_.send(st.partition_, st.pg_.partitionOfSubgraph(dst), std::move(msg));
 }
 
-void SubgraphContext::sendToNextTimestep(std::vector<std::uint8_t> payload) {
+void SubgraphContext::sendToNextTimestep(PayloadBuffer payload) {
   sendToSubgraphInNextTimestep(state_.cur_sg->id, std::move(payload));
 }
 
-void SubgraphContext::sendToSubgraphInNextTimestep(
-    SubgraphId dst, std::vector<std::uint8_t> payload) {
+void SubgraphContext::sendToSubgraphInNextTimestep(SubgraphId dst,
+                                                   PayloadBuffer payload) {
   auto& st = state_;
   TSG_CHECK_MSG(st.pattern_ == Pattern::kSequentiallyDependent,
                 "inter-timestep messaging requires the sequentially "
@@ -237,7 +238,7 @@ void SubgraphContext::sendToSubgraphInNextTimestep(
   st.next_msgs.push_back(std::move(msg));
 }
 
-void SubgraphContext::sendMessageToMerge(std::vector<std::uint8_t> payload) {
+void SubgraphContext::sendMessageToMerge(PayloadBuffer payload) {
   auto& st = state_;
   TSG_CHECK_MSG(st.pattern_ == Pattern::kEventuallyDependent,
                 "sendMessageToMerge requires the eventually dependent "
@@ -325,13 +326,34 @@ void routeBySubgraphPartition(const PartitionedGraph& pg,
   }
 }
 
+// Routes the partition's inbox batches into per-subgraph queues. Runs on the
+// partition's worker thread at the start of the round (not on the serial
+// coordinator path): first a counting pass so every destination bucket is
+// reserve()d exactly once, then a move pass.
 void distributeInbox(WorkerState& st) {
   auto& inbox = st.bus_.inbox(st.partition_);
-  for (auto& msg : inbox) {
-    TSG_CHECK(msg.dst != kInvalidSubgraph);
-    TSG_CHECK(st.pg_.partitionOfSubgraph(msg.dst) == st.partition_);
-    st.sg_inbox[st.pg_.subgraphIndexInPartition(msg.dst)].push_back(
-        std::move(msg));
+  if (inbox.empty()) {
+    return;
+  }
+  auto& counts = st.route_counts;  // zeroed outside the hot path
+  for (const auto& batch : inbox.batches()) {
+    for (const auto& msg : batch) {
+      TSG_CHECK(msg.dst != kInvalidSubgraph);
+      TSG_CHECK(st.pg_.partitionOfSubgraph(msg.dst) == st.partition_);
+      ++counts[st.pg_.subgraphIndexInPartition(msg.dst)];
+    }
+  }
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] != 0) {
+      st.sg_inbox[i].reserve(st.sg_inbox[i].size() + counts[i]);
+      counts[i] = 0;
+    }
+  }
+  for (auto& batch : inbox.batches()) {
+    for (auto& msg : batch) {
+      st.sg_inbox[st.pg_.subgraphIndexInPartition(msg.dst)].push_back(
+          std::move(msg));
+    }
   }
   inbox.clear();
 }

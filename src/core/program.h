@@ -78,15 +78,18 @@ class SubgraphContext {
   [[nodiscard]] std::span<const Message> messages() const;
 
   // --- message passing (§II-D constructs) ---
+  // Payloads are PayloadBuffers (see runtime/payload_buffer.h): a byte
+  // vector converts implicitly, small payloads stay inline, and sending the
+  // same buffer to many destinations shares one heap block instead of
+  // deep-copying per destination.
   // Between subgraphs within the current BSP (compute or merge phase).
-  void sendToSubgraph(SubgraphId dst, std::vector<std::uint8_t> payload);
+  void sendToSubgraph(SubgraphId dst, PayloadBuffer payload);
   // To this same subgraph at superstep 0 of the next timestep.
-  void sendToNextTimestep(std::vector<std::uint8_t> payload);
+  void sendToNextTimestep(PayloadBuffer payload);
   // To another subgraph at superstep 0 of the next timestep.
-  void sendToSubgraphInNextTimestep(SubgraphId dst,
-                                    std::vector<std::uint8_t> payload);
+  void sendToSubgraphInNextTimestep(SubgraphId dst, PayloadBuffer payload);
   // To this subgraph's Merge invocation (eventually dependent pattern).
-  void sendMessageToMerge(std::vector<std::uint8_t> payload);
+  void sendMessageToMerge(PayloadBuffer payload);
 
   // --- termination ---
   void voteToHalt();          // end this subgraph's BSP participation

@@ -4,11 +4,17 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "graph/types.h"
+#include "runtime/payload_buffer.h"
 
 namespace tsg {
+
+// Wire-size of the fixed message header: src, dst and origin_timestep all
+// travel with every message (the TI-BSP Merge phase keys on the timestep, so
+// it is part of the header, not an optional extra).
+inline constexpr std::size_t kMessageHeaderBytes =
+    2 * sizeof(SubgraphId) + sizeof(Timestep);
 
 struct Message {
   SubgraphId src = kInvalidSubgraph;  // sender; kInvalidSubgraph = app input
@@ -17,10 +23,10 @@ struct Message {
   // inter-timestep and merge messages (Merge interprets its inbox by origin
   // timestep; §III-A), -1 for intra-BSP and application-input messages.
   Timestep origin_timestep = -1;
-  std::vector<std::uint8_t> payload;
+  PayloadBuffer payload;
 
   [[nodiscard]] std::size_t byteSize() const {
-    return payload.size() + 2 * sizeof(SubgraphId);
+    return payload.size() + kMessageHeaderBytes;
   }
 };
 

@@ -5,65 +5,94 @@
 namespace tsg {
 
 MessageBus::MessageBus(std::uint32_t num_partitions)
-    : outboxes_(num_partitions), inboxes_(num_partitions) {
+    : rows_(num_partitions), inboxes_(num_partitions) {
   TSG_CHECK(num_partitions > 0);
-  for (auto& row : outboxes_) {
-    row.resize(num_partitions);
+  for (auto& row : rows_) {
+    row.boxes.resize(num_partitions);
   }
 }
 
 void MessageBus::send(PartitionId from, PartitionId to, Message msg) {
-  TSG_CHECK(from < outboxes_.size());
-  TSG_CHECK(to < outboxes_.size());
-  outboxes_[from][to].push_back(std::move(msg));
+  TSG_CHECK(from < rows_.size());
+  TSG_CHECK(to < rows_.size());
+  auto& row = rows_[from];
+  const std::uint64_t size = msg.byteSize();
+  ++row.stats.messages;
+  row.stats.bytes += size;
+  if (from != to) {
+    ++row.stats.cross_partition_messages;
+    row.stats.cross_partition_bytes += size;
+  }
+  ++row.pending;
+  row.boxes[to].push_back(std::move(msg));
+}
+
+std::vector<Message> MessageBus::takeSpare() {
+  if (spares_.empty()) {
+    return {};
+  }
+  auto spare = std::move(spares_.back());
+  spares_.pop_back();
+  return spare;
 }
 
 MessageBus::DeliveryStats MessageBus::deliver() {
-  DeliveryStats stats;
+  // Recycle last superstep's batch vectors (consumed or abandoned alike).
   for (auto& inbox : inboxes_) {
-    inbox.clear();
-  }
-  for (PartitionId from = 0; from < outboxes_.size(); ++from) {
-    for (PartitionId to = 0; to < outboxes_.size(); ++to) {
-      auto& box = outboxes_[from][to];
-      for (auto& msg : box) {
-        const std::uint64_t size = msg.byteSize();
-        ++stats.messages;
-        stats.bytes += size;
-        if (from != to) {
-          ++stats.cross_partition_messages;
-          stats.cross_partition_bytes += size;
-        }
-        inboxes_[to].push_back(std::move(msg));
-      }
-      box.clear();
+    for (auto& batch : inbox.batches_) {
+      batch.clear();
+      spares_.push_back(std::move(batch));
     }
+    inbox.batches_.clear();
+    inbox.total_ = 0;
+  }
+
+  DeliveryStats stats;
+  for (PartitionId from = 0; from < rows_.size(); ++from) {
+    auto& row = rows_[from];
+    for (PartitionId to = 0; to < row.boxes.size(); ++to) {
+      auto& box = row.boxes[to];
+      if (box.empty()) {
+        continue;
+      }
+      auto& inbox = inboxes_[to];
+      inbox.total_ += box.size();
+      inbox.batches_.push_back(std::move(box));
+      box = takeSpare();
+    }
+    stats.messages += row.stats.messages;
+    stats.bytes += row.stats.bytes;
+    stats.cross_partition_messages += row.stats.cross_partition_messages;
+    stats.cross_partition_bytes += row.stats.cross_partition_bytes;
+    row.stats = DeliveryStats{};
+    row.pending = 0;
   }
   return stats;
 }
 
-std::vector<Message>& MessageBus::inbox(PartitionId p) {
+MessageBus::Inbox& MessageBus::inbox(PartitionId p) {
   TSG_CHECK(p < inboxes_.size());
   return inboxes_[p];
 }
 
 void MessageBus::inject(PartitionId to, std::vector<Message> msgs) {
   TSG_CHECK(to < inboxes_.size());
+  if (msgs.empty()) {
+    return;
+  }
   auto& inbox = inboxes_[to];
-  inbox.insert(inbox.end(), std::make_move_iterator(msgs.begin()),
-               std::make_move_iterator(msgs.end()));
+  inbox.total_ += msgs.size();
+  inbox.batches_.push_back(std::move(msgs));
 }
 
 bool MessageBus::anyPending() const {
-  for (const auto& row : outboxes_) {
-    for (const auto& box : row) {
-      if (!box.empty()) {
-        return true;
-      }
+  for (const auto& row : rows_) {
+    if (row.pending != 0) {
+      return true;
     }
   }
   for (const auto& inbox : inboxes_) {
-    if (!inbox.empty()) {
+    if (inbox.total_ != 0) {
       return true;
     }
   }
@@ -71,13 +100,20 @@ bool MessageBus::anyPending() const {
 }
 
 void MessageBus::clearAll() {
-  for (auto& row : outboxes_) {
-    for (auto& box : row) {
+  for (auto& row : rows_) {
+    for (auto& box : row.boxes) {
       box.clear();
     }
+    row.stats = DeliveryStats{};
+    row.pending = 0;
   }
   for (auto& inbox : inboxes_) {
-    inbox.clear();
+    for (auto& batch : inbox.batches_) {
+      batch.clear();
+      spares_.push_back(std::move(batch));
+    }
+    inbox.batches_.clear();
+    inbox.total_ = 0;
   }
 }
 

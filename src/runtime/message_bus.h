@@ -1,13 +1,33 @@
 // MessageBus — bulk message exchange between partitions, BSP style.
 //
 // During a superstep, worker p enqueues into its own outbox row
-// (outbox[p][dst_partition]); rows are thread-confined so sends are
-// lock-free. Between supersteps the coordinator calls deliver(), which moves
-// everything into per-partition inboxes and returns traffic stats — the
-// "bulk" transmission of Valiant's model.
+// (row p, destination q); rows are thread-confined so sends are lock-free.
+// Between supersteps the coordinator calls deliver(), which *splices* every
+// non-empty outbox vector into the destination inbox as one batch — O(k²)
+// pointer swaps at the barrier instead of O(messages) per-message moves —
+// and returns traffic stats that were already accumulated at send time on
+// the worker threads, so the coordinator does no per-message work at all.
+// Spent batch vectors are recycled back into outbox slots, making the
+// fabric allocation-free at steady state.
+//
+// Ordering contract (FIFO per sender):
+//   * Messages from sender partition s to receiver r are observed by r in
+//     exactly the order s sent them within a superstep (one outbox vector
+//     becomes one batch, order preserved end to end).
+//   * Batches within an inbox are ordered by sender partition id, injected
+//     batches first (injection only happens before superstep 0). No order is
+//     guaranteed *between* different senders — same as any BSP fabric.
+//
+// Thread-safety contract (phase-confined, deliberately lock-free):
+//   * During a round: worker p may call send(p, …) and consume inbox(p);
+//     no two workers touch the same row or inbox.
+//   * Between rounds (coordinator only, after the barrier): deliver(),
+//     inject(), anyPending(), clearAll(). The barrier provides the
+//     happens-before edge between the two phases.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/types.h"
@@ -17,11 +37,6 @@ namespace tsg {
 
 class MessageBus {
  public:
-  explicit MessageBus(std::uint32_t num_partitions);
-
-  // Called by worker `from` only (thread-confinement contract).
-  void send(PartitionId from, PartitionId to, Message msg);
-
   struct DeliveryStats {
     std::uint64_t messages = 0;
     std::uint64_t bytes = 0;
@@ -29,17 +44,57 @@ class MessageBus {
     std::uint64_t cross_partition_bytes = 0;
   };
 
-  // Coordinator-only, between supersteps: moves outboxes to inboxes.
+  // A worker's inbox: the batches spliced to it by the last deliver() (plus
+  // any injected seeds). The owning worker iterates batches() and moves the
+  // messages out, then calls clear(); batch vectors are recycled by the bus
+  // on the next deliver().
+  class Inbox {
+   public:
+    [[nodiscard]] std::size_t size() const { return total_; }
+    [[nodiscard]] bool empty() const { return total_ == 0; }
+    [[nodiscard]] std::span<std::vector<Message>> batches() {
+      return batches_;
+    }
+    [[nodiscard]] std::span<const std::vector<Message>> batches() const {
+      return batches_;
+    }
+
+    // Drops the messages but keeps the spent batch vectors for recycling.
+    void clear() {
+      for (auto& batch : batches_) {
+        batch.clear();
+      }
+      total_ = 0;
+    }
+
+   private:
+    friend class MessageBus;
+    std::vector<std::vector<Message>> batches_;
+    std::size_t total_ = 0;
+  };
+
+  explicit MessageBus(std::uint32_t num_partitions);
+
+  // Called by worker `from` only (thread-confinement contract). Delivery
+  // stats are accumulated here, on the worker thread.
+  void send(PartitionId from, PartitionId to, Message msg);
+
+  // Coordinator-only, between supersteps: splices outbox vectors into the
+  // destination inboxes and reports the traffic accumulated since the last
+  // deliver(). Undelivered inbox content from the previous superstep is
+  // dropped (the engine has already consumed or abandoned it).
   DeliveryStats deliver();
 
   // Worker p's inbox for the current superstep (valid until next deliver()).
-  [[nodiscard]] std::vector<Message>& inbox(PartitionId p);
+  [[nodiscard]] Inbox& inbox(PartitionId p);
 
-  // Injects messages directly into an inbox (application inputs and
-  // next-timestep messages are seeded this way before superstep 0).
+  // Injects messages directly into an inbox as one batch (application inputs
+  // and next-timestep messages are seeded this way before superstep 0).
+  // Injected traffic is not counted in DeliveryStats.
   void inject(PartitionId to, std::vector<Message> msgs);
 
-  // True if any outbox or inbox still holds messages.
+  // True if any outbox or inbox still holds messages. O(k) — maintained
+  // counters, not a scan of the k² boxes.
   [[nodiscard]] bool anyPending() const;
 
   void clearAll();
@@ -49,9 +104,21 @@ class MessageBus {
   }
 
  private:
-  // outboxes_[from][to]
-  std::vector<std::vector<std::vector<Message>>> outboxes_;
-  std::vector<std::vector<Message>> inboxes_;
+  // One sender's thread-confined state: its k outbox vectors plus the
+  // traffic counters it accumulates at send time.
+  struct SenderRow {
+    std::vector<std::vector<Message>> boxes;  // by destination partition
+    DeliveryStats stats;
+    std::uint64_t pending = 0;
+  };
+
+  std::vector<Message> takeSpare();
+
+  std::vector<SenderRow> rows_;
+  std::vector<Inbox> inboxes_;
+  // Spent batch vectors (coordinator-owned); reused as fresh outbox slots so
+  // steady-state supersteps allocate nothing.
+  std::vector<std::vector<Message>> spares_;
 };
 
 }  // namespace tsg

@@ -1,0 +1,171 @@
+// PayloadBuffer — the byte-string payload of a Message.
+//
+// Two storage modes, chosen at construction:
+//   * inline: payloads of at most kInlineCapacity (24) bytes live directly in
+//     the object — no heap traffic for the small control messages that
+//     dominate BSP exchanges (halting tokens, single counters, short lists);
+//   * shared: larger payloads live in one refcounted heap block. Copying a
+//     PayloadBuffer bumps the refcount instead of deep-copying the bytes, so
+//     fan-out sends of the same encoded payload to many destinations are
+//     O(1) per destination. Adopting a std::vector is zero-copy (the block
+//     steals the vector's buffer).
+//
+// Buffers are immutable after construction (assign() replaces the whole
+// value); concurrent readers of a shared block therefore never race, and the
+// refcount is the only atomic. This is what makes cross-thread payload
+// sharing through the MessageBus safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace tsg {
+
+class PayloadBuffer {
+ public:
+  static constexpr std::size_t kInlineCapacity = 24;
+
+  PayloadBuffer() = default;
+
+  // Implicit on purpose: every legacy call site hands in a byte vector.
+  // Small payloads are copied inline; larger ones adopt the vector's buffer
+  // without copying.
+  PayloadBuffer(std::vector<std::uint8_t> bytes) {  // NOLINT(google-explicit-constructor)
+    if (bytes.size() <= kInlineCapacity) {
+      setInline(bytes.data(), bytes.size());
+    } else {
+      shared_ = new Shared{std::move(bytes)};
+    }
+  }
+
+  PayloadBuffer(std::initializer_list<std::uint8_t> bytes)
+      : PayloadBuffer(bytes.begin(), bytes.size()) {}
+
+  PayloadBuffer(const std::uint8_t* data, std::size_t n) {
+    if (n <= kInlineCapacity) {
+      setInline(data, n);
+    } else {
+      shared_ = new Shared{std::vector<std::uint8_t>(data, data + n)};
+    }
+  }
+
+  PayloadBuffer(const PayloadBuffer& other)
+      : shared_(other.shared_), inline_size_(other.inline_size_) {
+    if (shared_ != nullptr) {
+      shared_->refs.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      std::memcpy(inline_, other.inline_, inline_size_);
+    }
+  }
+
+  PayloadBuffer(PayloadBuffer&& other) noexcept
+      : shared_(std::exchange(other.shared_, nullptr)),
+        inline_size_(std::exchange(other.inline_size_, 0)) {
+    if (shared_ == nullptr) {
+      std::memcpy(inline_, other.inline_, inline_size_);
+    }
+  }
+
+  PayloadBuffer& operator=(const PayloadBuffer& other) {
+    if (this != &other) {
+      PayloadBuffer tmp(other);
+      swap(tmp);
+    }
+    return *this;
+  }
+
+  PayloadBuffer& operator=(PayloadBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      shared_ = std::exchange(other.shared_, nullptr);
+      inline_size_ = std::exchange(other.inline_size_, 0);
+      if (shared_ == nullptr) {
+        std::memcpy(inline_, other.inline_, inline_size_);
+      }
+    }
+    return *this;
+  }
+
+  ~PayloadBuffer() { release(); }
+
+  // Replaces the value with n copies of `value` (std::vector-compatible
+  // helper used by tests and benches).
+  void assign(std::size_t n, std::uint8_t value) {
+    release();
+    shared_ = nullptr;
+    if (n <= kInlineCapacity) {
+      inline_size_ = static_cast<std::uint8_t>(n);
+      std::memset(inline_, value, n);
+    } else {
+      inline_size_ = 0;
+      shared_ = new Shared{std::vector<std::uint8_t>(n, value)};
+    }
+  }
+
+  [[nodiscard]] const std::uint8_t* data() const {
+    return shared_ != nullptr ? shared_->bytes.data() : inline_;
+  }
+  [[nodiscard]] std::size_t size() const {
+    return shared_ != nullptr ? shared_->bytes.size() : inline_size_;
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  const std::uint8_t& operator[](std::size_t i) const { return data()[i]; }
+  [[nodiscard]] const std::uint8_t* begin() const { return data(); }
+  [[nodiscard]] const std::uint8_t* end() const { return data() + size(); }
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const {
+    return {data(), size()};
+  }
+  operator std::span<const std::uint8_t>() const {  // NOLINT
+    return bytes();
+  }
+
+  // Introspection (tests and metering).
+  [[nodiscard]] bool isInline() const { return shared_ == nullptr; }
+  // Number of PayloadBuffers sharing the heap block; 1 for inline buffers.
+  [[nodiscard]] std::uint32_t useCount() const {
+    return shared_ != nullptr
+               ? shared_->refs.load(std::memory_order_relaxed)
+               : 1;
+  }
+
+  void swap(PayloadBuffer& other) noexcept {
+    std::swap(shared_, other.shared_);
+    std::swap(inline_size_, other.inline_size_);
+    std::uint8_t tmp[kInlineCapacity];
+    std::memcpy(tmp, inline_, sizeof(tmp));
+    std::memcpy(inline_, other.inline_, sizeof(tmp));
+    std::memcpy(other.inline_, tmp, sizeof(tmp));
+  }
+
+ private:
+  struct Shared {
+    std::vector<std::uint8_t> bytes;
+    std::atomic<std::uint32_t> refs{1};
+  };
+
+  void setInline(const std::uint8_t* data, std::size_t n) {
+    inline_size_ = static_cast<std::uint8_t>(n);
+    if (n > 0) {
+      std::memcpy(inline_, data, n);
+    }
+  }
+
+  void release() {
+    if (shared_ != nullptr &&
+        shared_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      delete shared_;
+    }
+  }
+
+  Shared* shared_ = nullptr;
+  std::uint8_t inline_[kInlineCapacity] = {};
+  std::uint8_t inline_size_ = 0;
+};
+
+}  // namespace tsg

@@ -142,8 +142,15 @@ VcResult VertexCentricEngine::run(
           rec.cross_partition_bytes += box.size() * sizeof(VertexMessage);
         }
         auto& inbox = workers[q].incoming;
-        inbox.insert(inbox.end(), box.begin(), box.end());
-        box.clear();
+        if (inbox.empty()) {
+          // Whole-vector splice; the swap also recycles the inbox's old
+          // capacity back into the outbox slot.
+          std::swap(inbox, box);
+        } else {
+          inbox.insert(inbox.end(), std::make_move_iterator(box.begin()),
+                       std::make_move_iterator(box.end()));
+          box.clear();
+        }
       }
     }
     rec.delivered_messages = delivered;

@@ -59,9 +59,9 @@ TEST(Codec, RandomizedVertexLabelFuzz) {
 }
 
 TEST(Codec, TruncatedPayloadAborts) {
-  auto payload = encodeVertexLabels({{1, 2.0}, {3, 4.0}});
-  payload.resize(payload.size() / 2);
-  EXPECT_DEATH((void)decodeVertexLabels(payload), "TSG_CHECK");
+  const auto payload = encodeVertexLabels({{1, 2.0}, {3, 4.0}});
+  const PayloadBuffer truncated(payload.data(), payload.size() / 2);
+  EXPECT_DEATH((void)decodeVertexLabels(truncated), "TSG_CHECK");
 }
 
 }  // namespace

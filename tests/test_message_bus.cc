@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <numeric>
+#include <thread>
+#include <vector>
+
 namespace tsg {
 namespace {
 
@@ -11,6 +15,18 @@ Message makeMsg(SubgraphId src, SubgraphId dst, std::uint8_t tag) {
   m.dst = dst;
   m.payload = {tag};
   return m;
+}
+
+// Inbox content in delivery order, copied out for inspection.
+std::vector<Message> flatten(MessageBus::Inbox& inbox) {
+  std::vector<Message> out;
+  out.reserve(inbox.size());
+  for (auto& batch : inbox.batches()) {
+    for (auto& msg : batch) {
+      out.push_back(msg);
+    }
+  }
+  return out;
 }
 
 TEST(MessageBus, DeliverMovesOutboxesToInboxes) {
@@ -28,9 +44,9 @@ TEST(MessageBus, DeliverMovesOutboxesToInboxes) {
   EXPECT_EQ(bus.inbox(0).size(), 1u);
   EXPECT_EQ(bus.inbox(1).size(), 1u);
   EXPECT_EQ(bus.inbox(2).size(), 1u);
-  EXPECT_EQ(bus.inbox(1)[0].payload[0], 1);
-  EXPECT_EQ(bus.inbox(2)[0].payload[0], 2);
-  EXPECT_EQ(bus.inbox(0)[0].payload[0], 3);
+  EXPECT_EQ(flatten(bus.inbox(1))[0].payload[0], 1);
+  EXPECT_EQ(flatten(bus.inbox(2))[0].payload[0], 2);
+  EXPECT_EQ(flatten(bus.inbox(0))[0].payload[0], 3);
 }
 
 TEST(MessageBus, SelfSendIsNotCrossPartition) {
@@ -62,19 +78,23 @@ TEST(MessageBus, InjectSeedsInboxDirectly) {
   bus.inject(1, std::move(seed));
   EXPECT_EQ(bus.inbox(1).size(), 1u);
   EXPECT_TRUE(bus.anyPending());
-  // Injected messages survive until the next deliver().
-  bus.deliver();
+  // Injected messages survive until the next deliver(), and are not counted
+  // in delivery stats.
+  const auto stats = bus.deliver();
+  EXPECT_EQ(stats.messages, 0u);
   EXPECT_TRUE(bus.inbox(1).empty());
 }
 
-TEST(MessageBus, ClearAllDropsEverything) {
+TEST(MessageBus, ClearAllDropsEverythingIncludingStats) {
   MessageBus bus(2);
   bus.send(0, 1, makeMsg(0, 1, 1));
   bus.inject(0, {makeMsg(kInvalidSubgraph, 0, 2)});
   bus.clearAll();
   EXPECT_FALSE(bus.anyPending());
+  // Dropped messages must not surface in a later deliver()'s stats.
   const auto stats = bus.deliver();
   EXPECT_EQ(stats.messages, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
 }
 
 TEST(MessageBus, PreservesMessageOrderPerSenderPair) {
@@ -83,11 +103,39 @@ TEST(MessageBus, PreservesMessageOrderPerSenderPair) {
     bus.send(0, 1, makeMsg(0, 1, i));
   }
   bus.deliver();
-  const auto& inbox = bus.inbox(1);
+  const auto inbox = flatten(bus.inbox(1));
   ASSERT_EQ(inbox.size(), 10u);
   for (std::uint8_t i = 0; i < 10; ++i) {
     EXPECT_EQ(inbox[i].payload[0], i);
   }
+}
+
+TEST(MessageBus, BatchesAreSenderOrderedWholeOutboxSplices) {
+  MessageBus bus(3);
+  bus.send(2, 0, makeMsg(20, 0, 2));
+  bus.send(0, 0, makeMsg(1, 0, 0));
+  bus.send(0, 0, makeMsg(1, 0, 1));
+  bus.deliver();
+  auto& inbox = bus.inbox(0);
+  // One batch per sender, ordered by sender partition id; each batch is the
+  // sender's whole outbox vector in send order.
+  ASSERT_EQ(inbox.batches().size(), 2u);
+  EXPECT_EQ(inbox.batches()[0].size(), 2u);
+  EXPECT_EQ(inbox.batches()[0][0].payload[0], 0);
+  EXPECT_EQ(inbox.batches()[0][1].payload[0], 1);
+  EXPECT_EQ(inbox.batches()[1].size(), 1u);
+  EXPECT_EQ(inbox.batches()[1][0].payload[0], 2);
+}
+
+TEST(MessageBus, PendingCountTracksSendConsumeCycle) {
+  MessageBus bus(3);
+  EXPECT_FALSE(bus.anyPending());
+  bus.send(1, 2, makeMsg(1, 2, 1));
+  EXPECT_TRUE(bus.anyPending());
+  bus.deliver();
+  EXPECT_TRUE(bus.anyPending());  // message now sits in inbox 2
+  bus.inbox(2).clear();
+  EXPECT_FALSE(bus.anyPending());
 }
 
 TEST(MessageBus, OutOfRangePartitionAborts) {
@@ -96,9 +144,149 @@ TEST(MessageBus, OutOfRangePartitionAborts) {
   EXPECT_DEATH((void)bus.inbox(5), "TSG_CHECK");
 }
 
-TEST(Message, ByteSizeIncludesHeaderAndPayload) {
+TEST(Message, ByteSizeIncludesFullHeaderAndPayload) {
   Message m = makeMsg(1, 2, 0);
-  EXPECT_EQ(m.byteSize(), 1u + 2 * sizeof(SubgraphId));
+  // Header = src + dst + origin_timestep (the Merge phase keys on it, so it
+  // is part of every message's wire size).
+  EXPECT_EQ(kMessageHeaderBytes, 2 * sizeof(SubgraphId) + sizeof(Timestep));
+  EXPECT_EQ(m.byteSize(), 1u + kMessageHeaderBytes);
+}
+
+TEST(PayloadBuffer, SmallPayloadsStayInline) {
+  PayloadBuffer buf(std::vector<std::uint8_t>(PayloadBuffer::kInlineCapacity, 3));
+  EXPECT_TRUE(buf.isInline());
+  EXPECT_EQ(buf.size(), PayloadBuffer::kInlineCapacity);
+  EXPECT_EQ(buf[0], 3);
+  PayloadBuffer copy = buf;
+  EXPECT_TRUE(copy.isInline());
+  EXPECT_NE(copy.data(), buf.data());  // inline copies are independent
+}
+
+TEST(PayloadBuffer, LargePayloadAdoptsVectorWithoutCopy) {
+  std::vector<std::uint8_t> big(100);
+  std::iota(big.begin(), big.end(), 0);
+  const std::uint8_t* storage = big.data();
+  PayloadBuffer buf(std::move(big));
+  EXPECT_FALSE(buf.isInline());
+  EXPECT_EQ(buf.data(), storage);  // zero-copy adoption
+  EXPECT_EQ(buf.size(), 100u);
+  EXPECT_EQ(buf[42], 42);
+}
+
+TEST(PayloadBuffer, CopiesShareOneHeapBlock) {
+  PayloadBuffer buf(std::vector<std::uint8_t>(64, 7));
+  EXPECT_EQ(buf.useCount(), 1u);
+  PayloadBuffer a = buf;
+  PayloadBuffer b = buf;
+  EXPECT_EQ(buf.useCount(), 3u);
+  EXPECT_EQ(a.data(), buf.data());  // same bytes, not a deep copy
+  EXPECT_EQ(b.data(), buf.data());
+  {
+    PayloadBuffer c = std::move(a);  // move transfers, no refcount change
+    EXPECT_EQ(buf.useCount(), 3u);
+    EXPECT_EQ(c.data(), buf.data());
+  }
+  EXPECT_EQ(buf.useCount(), 2u);
+}
+
+TEST(PayloadBuffer, AssignReplacesValue) {
+  PayloadBuffer buf;
+  EXPECT_TRUE(buf.empty());
+  buf.assign(64, 9);
+  EXPECT_FALSE(buf.isInline());
+  EXPECT_EQ(buf.size(), 64u);
+  EXPECT_EQ(buf[63], 9);
+  buf.assign(4, 1);
+  EXPECT_TRUE(buf.isInline());
+  EXPECT_EQ(buf.size(), 4u);
+}
+
+// Multi-threaded stress: k workers send concurrently (each into its own
+// thread-confined row) across several supersteps while consuming their
+// inboxes from the previous superstep — exactly the engine's phase contract.
+// Asserts delivery-stats invariants, per-sender FIFO order, and payload
+// integrity for both inline and shared heap-block payloads.
+TEST(MessageBus, ConcurrentSendersStress) {
+  constexpr std::uint32_t k = 8;
+  constexpr int kSupersteps = 6;
+  constexpr int kPerDest = 64;
+  constexpr std::size_t kSmallSize = 8;   // inline
+  constexpr std::size_t kLargeSize = 64;  // shared heap block
+  MessageBus bus(k);
+
+  auto fillByte = [](PartitionId from, int superstep) {
+    return static_cast<std::uint8_t>(from * 31 + superstep * 7 + 1);
+  };
+
+  for (int s = 0; s <= kSupersteps; ++s) {
+    std::vector<std::thread> threads;
+    threads.reserve(k);
+    for (PartitionId p = 0; p < k; ++p) {
+      threads.emplace_back([&, p, s] {
+        // Phase 1: consume last superstep's inbox on the worker thread.
+        if (s > 0) {
+          auto& inbox = bus.inbox(p);
+          std::vector<std::int32_t> last_seq(k, -1);
+          std::size_t seen = 0;
+          for (const auto& batch : inbox.batches()) {
+            for (const auto& msg : batch) {
+              ++seen;
+              const PartitionId from = msg.src;
+              ASSERT_LT(from, k);
+              // FIFO per sender: sequence numbers strictly increase.
+              EXPECT_GT(msg.origin_timestep, last_seq[from]);
+              last_seq[from] = msg.origin_timestep;
+              // Payload integrity (the large ones share one heap block
+              // with every other destination's copy).
+              const std::uint8_t want = fillByte(from, s - 1);
+              ASSERT_FALSE(msg.payload.empty());
+              EXPECT_EQ(msg.payload[0], want);
+              EXPECT_EQ(msg.payload[msg.payload.size() - 1], want);
+            }
+          }
+          EXPECT_EQ(seen, inbox.size());
+          EXPECT_EQ(seen, std::size_t{k} * kPerDest);
+          inbox.clear();
+        }
+        // Phase 2: send this superstep's traffic.
+        if (s < kSupersteps) {
+          PayloadBuffer shared(
+              std::vector<std::uint8_t>(kLargeSize, fillByte(p, s)));
+          for (std::int32_t seq = 0; seq < kPerDest; ++seq) {
+            for (PartitionId to = 0; to < k; ++to) {
+              Message msg;
+              msg.src = p;
+              msg.dst = to;
+              msg.origin_timestep = seq;  // sequence number for FIFO checks
+              if (seq % 2 == 0) {
+                msg.payload.assign(kSmallSize, fillByte(p, s));
+              } else {
+                msg.payload = shared;  // refcount bump, no byte copy
+              }
+              bus.send(p, to, std::move(msg));
+            }
+          }
+        }
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+
+    if (s < kSupersteps) {
+      const auto stats = bus.deliver();
+      const std::uint64_t per_pair =
+          (kPerDest / 2) * (kSmallSize + kMessageHeaderBytes) +
+          (kPerDest / 2) * (kLargeSize + kMessageHeaderBytes);
+      EXPECT_EQ(stats.messages, std::uint64_t{k} * k * kPerDest);
+      EXPECT_EQ(stats.bytes, std::uint64_t{k} * k * per_pair);
+      EXPECT_EQ(stats.cross_partition_messages,
+                std::uint64_t{k} * (k - 1) * kPerDest);
+      EXPECT_EQ(stats.cross_partition_bytes,
+                std::uint64_t{k} * (k - 1) * per_pair);
+    }
+  }
+  EXPECT_FALSE(bus.anyPending());
 }
 
 }  // namespace
