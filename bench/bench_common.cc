@@ -8,6 +8,8 @@
 #include "common/log.h"
 #include "common/status.h"
 #include "common/table.h"
+#include "common/trace.h"
+#include "metrics/report.h"
 #include "generators/instances.h"
 #include "generators/topology.h"
 #include "partition/partitioner.h"
@@ -43,12 +45,17 @@ BenchConfig parseArgs(int argc, char** argv) {
           std::atoi(arg.c_str() + 12));
     } else if (arg.rfind("--seed=", 0) == 0) {
       config.seed = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      config.trace_path = arg.substr(8);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      config.json_path = arg.substr(7);
     } else if (arg.rfind("--benchmark", 0) == 0) {
       // Tolerated so `for b in build/bench/*` can pass google-benchmark
       // flags to every binary without breaking the table benches.
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--scale=percent] [--timesteps=N] [--seed=S]\n",
+                   "usage: %s [--scale=percent] [--timesteps=N] [--seed=S]"
+                   " [--trace=PATH] [--json=DIR]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -63,6 +70,11 @@ BenchConfig parseArgs(int argc, char** argv) {
   config.data_dir = env != nullptr ? env : "build/bench_data";
   std::error_code ec;
   std::filesystem::create_directories(config.data_dir, ec);
+  const LogLevel level = initLogLevelFromEnv();
+  TSG_LOG(Info) << "log level: " << logLevelName(level);
+  if (!config.trace_path.empty()) {
+    Tracer::instance().start();
+  }
   return config;
 }
 
@@ -171,6 +183,35 @@ void emit(const BenchConfig& config, const std::string& name,
           const std::string& text) {
   std::cout << text << std::flush;
   writeTextFile(config.data_dir + "/results/" + name + ".txt", text);
+}
+
+void emitRunStatsJson(const BenchConfig& config, const std::string& name,
+                      const RunStats& stats) {
+  if (config.json_path.empty()) {
+    return;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(config.json_path, ec);
+  const std::string path = config.json_path + "/BENCH_" + name + ".json";
+  if (writeTextFile(path, runStatsToJson(stats, name))) {
+    std::printf("wrote run stats: %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+  }
+}
+
+void finishTrace(const BenchConfig& config) {
+  if (config.trace_path.empty()) {
+    return;
+  }
+  Tracer::instance().stop();
+  const Status status = Tracer::instance().writeJson(config.trace_path);
+  if (status.isOk()) {
+    std::printf("wrote trace: %s (%zu events)\n", config.trace_path.c_str(),
+                Tracer::instance().eventCount());
+  } else {
+    std::fprintf(stderr, "bench: %s\n", status.toString().c_str());
+  }
 }
 
 }  // namespace tsg::bench

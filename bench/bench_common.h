@@ -18,6 +18,7 @@
 #include "gofs/dataset.h"
 #include "graph/collection.h"
 #include "partition/partitioned_graph.h"
+#include "runtime/stats.h"
 
 namespace tsg::bench {
 
@@ -32,9 +33,13 @@ struct BenchConfig {
   std::uint32_t timesteps = 50;
   std::uint64_t seed = 2015;  // venue year
   std::string data_dir;       // resolved cache directory
+  std::string trace_path;     // --trace=PATH: Perfetto trace of the run
+  std::string json_path;      // --json=PATH: machine-readable run stats
 };
 
-// Parses --scale=, --timesteps=, --seed= out of argv; resolves data_dir.
+// Parses --scale=, --timesteps=, --seed=, --trace=, --json= out of argv;
+// resolves data_dir, applies TSG_LOG_LEVEL and starts the tracer if
+// --trace was given.
 BenchConfig parseArgs(int argc, char** argv);
 
 // Deterministic templates. CARN default ~22.5k vertices; WIKI ~20k.
@@ -63,5 +68,15 @@ std::string kindName(GraphKind kind);
 // <data_dir>/results/<name>.txt for EXPERIMENTS.md collection.
 void emit(const BenchConfig& config, const std::string& name,
           const std::string& text);
+
+// Writes runStatsToJson(stats, name) to <json_path>/BENCH_<name>.json
+// (--json=DIR names an output directory; it is created if missing). CI
+// uploads the BENCH_*.json files. No-op without --json.
+void emitRunStatsJson(const BenchConfig& config, const std::string& name,
+                      const RunStats& stats);
+
+// Stops the tracer and writes the trace to --trace=PATH (no-op without
+// --trace). Call once at the end of main.
+void finishTrace(const BenchConfig& config);
 
 }  // namespace tsg::bench

@@ -84,6 +84,8 @@ int main(int argc, char** argv) {
         options.maintenance_period = 20;
         const auto run = runTdsp(pg, *provider, options);
         by_k[k] = seriesOf(run.exec.stats, executed);
+        emitRunStatsJson(config, "fig6a_tdsp_carn_k" + std::to_string(k),
+                         run.exec.stats);
       } else {
         MemeOptions options;
         options.tweets_attr =
@@ -91,6 +93,8 @@ int main(int argc, char** argv) {
         options.maintenance_period = 20;
         const auto run = runMemeTracking(pg, *provider, options);
         by_k[k] = seriesOf(run.exec.stats, executed);
+        emitRunStatsJson(config, "fig6b_meme_wiki_k" + std::to_string(k),
+                         run.exec.stats);
       }
     }
 
@@ -114,5 +118,6 @@ int main(int argc, char** argv) {
   out << "expected shape: bumps at every 10th timestep (slice pack load), "
          "spikes at 20/40 (maintenance), 3-partition series above 6 ~= 9\n\n";
   emit(config, "fig6_timesteps", out.str());
+  finishTrace(config);
   return 0;
 }

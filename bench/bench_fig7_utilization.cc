@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
     const auto run = runTdsp(pg, *provider, options);
     out << renderUtilization(run.exec.stats, "7b: TDSP on CARN");
     out << summarizeRun(run.exec.stats, "TDSP/CARN") << "\n";
+    emitRunStatsJson(config, "fig7b_tdsp_carn", run.exec.stats);
   }
   {
     const auto ds = openDataset(GraphKind::kWiki, WorkloadKind::kTweet,
@@ -56,9 +57,11 @@ int main(int argc, char** argv) {
     const auto run = runMemeTracking(pg, *provider, options);
     out << renderUtilization(run.exec.stats, "7d: MEME on WIKI");
     out << summarizeRun(run.exec.stats, "MEME/WIKI") << "\n";
+    emitRunStatsJson(config, "fig7d_meme_wiki", run.exec.stats);
   }
   out << "expected shape: partitions reached late / carrying fewer memes "
          "show low compute share and high sync share\n\n";
   emit(config, "fig7_utilization", out.str());
+  finishTrace(config);
   return 0;
 }

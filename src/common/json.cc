@@ -1,0 +1,109 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tsg {
+
+void appendJsonEscaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void JsonWriter::separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows its key; no comma
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) {
+      out_ += ',';
+    }
+    has_element_.back() = true;
+  }
+}
+
+void JsonWriter::open(char bracket) {
+  separate();
+  out_ += bracket;
+  has_element_.push_back(false);
+}
+
+void JsonWriter::close(char bracket) {
+  has_element_.pop_back();
+  out_ += bracket;
+}
+
+void JsonWriter::key(std::string_view name) {
+  separate();
+  out_ += '"';
+  appendJsonEscaped(out_, name);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view text) {
+  separate();
+  out_ += '"';
+  appendJsonEscaped(out_, text);
+  out_ += '"';
+}
+
+void JsonWriter::value(bool b) {
+  separate();
+  out_ += b ? "true" : "false";
+}
+
+void JsonWriter::value(std::int64_t v) {
+  separate();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  separate();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::rawNumber(std::string_view number) {
+  separate();
+  out_ += number;
+}
+
+void JsonWriter::value(double v) {
+  separate();
+  if (!std::isfinite(v)) {
+    out_ += '0';
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out_ += buf;
+}
+
+}  // namespace tsg

@@ -1,0 +1,67 @@
+// Minimal JSON emission helper shared by the tracer and the metrics
+// exporters. Writes well-formed JSON into one growing string: the writer
+// tracks container nesting and inserts commas itself, so call sites read
+// like the document they produce. No DOM, no parsing — emission only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsg {
+
+// Appends `text` to `out` with JSON string escaping (quotes, backslash,
+// control characters); does NOT add the surrounding quotes.
+void appendJsonEscaped(std::string& out, std::string_view text);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::size_t reserve_bytes = 256) {
+    out_.reserve(reserve_bytes);
+  }
+
+  void beginObject() { open('{'); }
+  void endObject() { close('}'); }
+  void beginArray() { open('['); }
+  void endArray() { close(']'); }
+
+  // Object member key; must be followed by exactly one value or container.
+  void key(std::string_view name);
+
+  void value(std::string_view text);
+  void value(const char* text) { value(std::string_view(text)); }
+  void value(bool b);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(double v);  // finite values only; NaN/inf emit 0
+  void value(std::int32_t v) { value(static_cast<std::int64_t>(v)); }
+  void value(std::uint32_t v) { value(static_cast<std::uint64_t>(v)); }
+
+  // Appends `number` verbatim as a JSON number token (caller guarantees it
+  // is one); used where printf-style formatting must control precision.
+  void rawNumber(std::string_view number);
+
+  // key() + value() in one call.
+  template <typename T>
+  void kv(std::string_view name, const T& v) {
+    key(name);
+    value(v);
+  }
+
+  // The document built so far. Valid JSON once every container is closed.
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  void open(char bracket);
+  void close(char bracket);
+  void separate();  // comma handling before a value/key in a container
+
+  std::string out_;
+  // One entry per open container: true once the first element was written.
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace tsg

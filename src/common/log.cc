@@ -1,9 +1,12 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
+#include <string>
 
 namespace tsg {
 namespace {
@@ -33,6 +36,55 @@ void setLogLevel(LogLevel level) {
 
 LogLevel logLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+const char* logLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "?";
+}
+
+bool parseLogLevel(std::string_view text, LogLevel& out) {
+  std::string lower(text);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug" || lower == "d") {
+    out = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "i") {
+    out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning" || lower == "w") {
+    out = LogLevel::kWarn;
+  } else if (lower == "error" || lower == "e") {
+    out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+LogLevel initLogLevelFromEnv() {
+  const char* env = std::getenv("TSG_LOG_LEVEL");
+  if (env != nullptr && *env != '\0') {
+    LogLevel level = LogLevel::kInfo;
+    if (parseLogLevel(env, level)) {
+      setLogLevel(level);
+    } else {
+      std::fprintf(stderr,
+                   "[W log] ignoring unknown TSG_LOG_LEVEL='%s' "
+                   "(expected debug|info|warn|error)\n",
+                   env);
+    }
+  }
+  return logLevel();
 }
 
 namespace detail {

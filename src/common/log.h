@@ -16,6 +16,19 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void setLogLevel(LogLevel level);
 LogLevel logLevel();
 
+// Short lowercase name ("debug", "info", "warn", "error").
+const char* logLevelName(LogLevel level);
+
+// Parses "debug"/"info"/"warn"/"error" (case-insensitive; "warning" and
+// single-letter forms accepted). Returns false on unknown input.
+bool parseLogLevel(std::string_view text, LogLevel& out);
+
+// Applies the TSG_LOG_LEVEL environment variable (if set) to the global
+// threshold and returns the effective level. Unknown values are reported on
+// stderr and ignored. Entry points (tsgcli, bench binaries) call this once
+// at startup so verbosity is controllable without recompiling.
+LogLevel initLogLevelFromEnv();
+
 namespace detail {
 
 class LogLine {

@@ -1,0 +1,126 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/status.h"
+
+namespace tsg {
+
+struct MetricsRegistry::Cell {
+  std::string name;
+  std::int32_t partition = kNoPartition;
+  bool is_gauge = false;
+  Counter counter;
+  Gauge gauge;
+};
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::~MetricsRegistry() {
+  for (Cell* cell : cells_) {
+    delete cell;
+  }
+}
+
+namespace {
+
+MetricsRegistry::Cell* findCell(
+    const std::vector<MetricsRegistry::Cell*>& cells, std::string_view name,
+    std::int32_t partition) {
+  for (MetricsRegistry::Cell* cell : cells) {
+    if (cell->partition == partition && cell->name == name) {
+      return cell;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+MetricsRegistry::Counter& MetricsRegistry::counter(std::string_view name,
+                                                   std::int32_t partition) {
+  std::lock_guard lock(mutex_);
+  Cell* cell = findCell(cells_, name, partition);
+  if (cell == nullptr) {
+    cell = new Cell{std::string(name), partition, /*is_gauge=*/false, {}, {}};
+    cells_.push_back(cell);
+  }
+  TSG_CHECK_MSG(!cell->is_gauge, "metric registered as a gauge");
+  return cell->counter;
+}
+
+MetricsRegistry::Gauge& MetricsRegistry::gauge(std::string_view name,
+                                               std::int32_t partition) {
+  std::lock_guard lock(mutex_);
+  Cell* cell = findCell(cells_, name, partition);
+  if (cell == nullptr) {
+    cell = new Cell{std::string(name), partition, /*is_gauge=*/true, {}, {}};
+    cells_.push_back(cell);
+  }
+  TSG_CHECK_MSG(cell->is_gauge, "metric registered as a counter");
+  return cell->gauge;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot points;
+  {
+    std::lock_guard lock(mutex_);
+    points.reserve(cells_.size());
+    for (const Cell* cell : cells_) {
+      Point point;
+      point.name = cell->name;
+      point.partition = cell->partition;
+      point.is_gauge = cell->is_gauge;
+      point.value = cell->is_gauge
+                        ? cell->gauge.value()
+                        : static_cast<std::int64_t>(cell->counter.value());
+      points.push_back(std::move(point));
+    }
+  }
+  std::sort(points.begin(), points.end(),
+            [](const Point& a, const Point& b) {
+              return std::tie(a.name, a.partition) <
+                     std::tie(b.name, b.partition);
+            });
+  return points;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (Cell* cell : cells_) {
+    cell->counter.value_.store(0, std::memory_order_relaxed);
+    cell->gauge.value_.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry::Snapshot snapshotDelta(
+    const MetricsRegistry::Snapshot& before,
+    const MetricsRegistry::Snapshot& after) {
+  MetricsRegistry::Snapshot delta;
+  delta.reserve(after.size());
+  for (const auto& point : after) {
+    const auto it = std::lower_bound(
+        before.begin(), before.end(), point,
+        [](const MetricsRegistry::Point& a, const MetricsRegistry::Point& b) {
+          return std::tie(a.name, a.partition) < std::tie(b.name, b.partition);
+        });
+    MetricsRegistry::Point out = point;
+    if (!point.is_gauge) {
+      if (it != before.end() && it->name == point.name &&
+          it->partition == point.partition) {
+        out.value -= it->value;
+      }
+      if (out.value == 0) {
+        continue;
+      }
+    }
+    delta.push_back(std::move(out));
+  }
+  return delta;
+}
+
+}  // namespace tsg

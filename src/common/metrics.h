@@ -1,0 +1,105 @@
+// MetricsRegistry — process-wide counters and gauges for the TI-BSP stack.
+//
+// A metric is (name, optional partition label). Counters accumulate
+// monotonically (messages delivered, packs loaded, barrier-wait ns); gauges
+// hold the latest value (e.g. cached pack index). Cells are atomics, so any
+// thread may bump a metric it holds a handle to; registration (name lookup)
+// takes a mutex, so hot paths look a handle up once and keep it.
+//
+// The registry is process-wide and outlives individual runs: per-run
+// accounting is a snapshot() before and after the run, diffed with
+// snapshotDelta() (see TiBspEngine::run, which attaches the delta to
+// RunStats). Two engines running concurrently in one process share the
+// registry, so their deltas overlap — acceptable for a substrate whose
+// engines run one at a time per process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsg {
+
+class MetricsRegistry {
+ public:
+  // Partition label meaning "not partition-scoped".
+  static constexpr std::int32_t kNoPartition = -1;
+
+  class Counter {
+   public:
+    void add(std::uint64_t delta) {
+      value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    void increment() { add(1); }
+    [[nodiscard]] std::uint64_t value() const {
+      return value_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    friend class MetricsRegistry;
+    std::atomic<std::uint64_t> value_{0};
+  };
+
+  class Gauge {
+   public:
+    void set(std::int64_t value) {
+      value_.store(value, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::int64_t value() const {
+      return value_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    friend class MetricsRegistry;
+    std::atomic<std::int64_t> value_{0};
+  };
+
+  // Implementation detail (one registered metric); public only so the
+  // out-of-line definition and its helpers can name it.
+  struct Cell;
+
+  // The process-wide registry every subsystem feeds.
+  static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Finds or creates the cell. The returned reference stays valid for the
+  // registry's lifetime (reset() zeroes values but keeps cells).
+  Counter& counter(std::string_view name,
+                   std::int32_t partition = kNoPartition);
+  Gauge& gauge(std::string_view name, std::int32_t partition = kNoPartition);
+
+  // One metric value at snapshot time.
+  struct Point {
+    std::string name;
+    std::int32_t partition = kNoPartition;
+    bool is_gauge = false;
+    std::int64_t value = 0;
+    friend bool operator==(const Point&, const Point&) = default;
+  };
+  using Snapshot = std::vector<Point>;  // sorted by (name, partition)
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  // Zeroes every cell (registrations and handles stay valid).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Cell*> cells_;  // owned; freed in the destructor
+};
+
+// Per-run view: counters report after-minus-before; gauges report the
+// `after` value. Points absent from `before` are treated as starting at 0;
+// zero-valued counter deltas are dropped.
+MetricsRegistry::Snapshot snapshotDelta(
+    const MetricsRegistry::Snapshot& before,
+    const MetricsRegistry::Snapshot& after);
+
+}  // namespace tsg

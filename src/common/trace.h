@@ -1,0 +1,116 @@
+// Run tracing — Chrome/Perfetto trace-event capture for the TI-BSP stack.
+//
+// The tracer is a process-wide singleton that buffers events per thread and
+// serializes them as Chrome trace-event JSON ("traceEvents" array), loadable
+// in Perfetto / chrome://tracing. Three event kinds:
+//   * spans    — RAII TraceSpan objects become complete ("X") events with
+//                nested durations (timestep → superstep → partition job);
+//   * instants — point-in-time markers ("i");
+//   * counters — numeric tracks ("C"), e.g. delivered messages per superstep.
+//
+// Cost model: when tracing is disabled (the default), every instrumentation
+// site is one relaxed atomic load and a branch — no allocation, no clock
+// read. When enabled, an event is one clock read plus an append to the
+// calling thread's buffer under that buffer's (uncontended) mutex; hot
+// per-message/per-vertex paths are deliberately NOT instrumented, only
+// structural points (rounds, supersteps, deliveries, pack loads).
+//
+// Event names and arg keys must be string literals (or otherwise outlive the
+// tracer buffers): events store the pointers, not copies.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tsg {
+
+namespace trace_detail {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace trace_detail
+
+// One buffered event (exposed for tests; not part of the stable API).
+struct TraceEvent {
+  const char* category = nullptr;
+  const char* name = nullptr;
+  char phase = 'X';         // 'X' complete, 'i' instant, 'C' counter
+  std::int64_t ts_ns = 0;   // steady-clock nanoseconds
+  std::int64_t dur_ns = 0;  // 'X' only
+  // Up to two integer args ('X'/'i'); 'C' stores the counter value in v1.
+  const char* k1 = nullptr;
+  std::int64_t v1 = 0;
+  const char* k2 = nullptr;
+  std::int64_t v2 = 0;
+};
+
+class Tracer {
+ public:
+  // The process-wide tracer instance.
+  static Tracer& instance();
+
+  // True while events are being collected. The one-branch gate every
+  // instrumentation site checks first.
+  static bool enabled() {
+    return trace_detail::g_trace_enabled.load(std::memory_order_relaxed);
+  }
+
+  // Drops previously buffered events and starts collecting.
+  void start();
+  // Stops collecting; buffered events stay available for export.
+  void stop();
+  // Stops and drops all buffered events and thread registrations.
+  void clear();
+
+  // Names the calling thread in the exported trace ("partition-3", ...).
+  // Safe to call whether or not tracing is enabled; the name sticks across
+  // start()/clear() cycles for the lifetime of the thread.
+  static void setCurrentThreadName(std::string name);
+
+  // Export. Call after the traced work finished (no concurrent spans open).
+  [[nodiscard]] std::string toJson();
+  Status writeJson(const std::string& path);
+
+  // Introspection for tests.
+  [[nodiscard]] std::size_t eventCount();
+  [[nodiscard]] std::vector<TraceEvent> snapshotEvents();
+
+  // Internal: appends to the calling thread's buffer (enabled() was true).
+  void record(const TraceEvent& event);
+
+  // Implementation detail (per-thread event buffer); public only so the
+  // out-of-line definition and its registry can name it.
+  struct ThreadBuffer;
+
+ private:
+  Tracer() = default;
+  ThreadBuffer& threadBuffer();
+};
+
+// RAII scoped span: records one complete event from construction to
+// destruction. Construction with tracing disabled costs one branch.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* category, const char* name,
+                     const char* k1 = nullptr, std::int64_t v1 = 0,
+                     const char* k2 = nullptr, std::int64_t v2 = 0);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool active_;
+  TraceEvent event_;
+};
+
+// Point-in-time marker.
+void traceInstant(const char* category, const char* name,
+                  const char* k1 = nullptr, std::int64_t v1 = 0);
+
+// Counter track sample: `track` becomes a named counter series in Perfetto.
+void traceCounter(const char* track, std::int64_t value);
+
+}  // namespace tsg

@@ -12,8 +12,10 @@
 #endif
 
 #include "common/log.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "runtime/cluster.h"
 #include "runtime/message_bus.h"
 
@@ -335,6 +337,8 @@ void distributeInbox(WorkerState& st) {
   if (inbox.empty()) {
     return;
   }
+  TraceSpan span("bus", "bus.drain", "partition", st.partition_, "messages",
+                 static_cast<std::int64_t>(inbox.size()));
   auto& counts = st.route_counts;  // zeroed outside the hot path
   for (const auto& batch : inbox.batches()) {
     for (const auto& msg : batch) {
@@ -388,6 +392,21 @@ struct ExecEnv {
 };
 
 void commitRecord(ExecEnv& env, SuperstepRecord rec, Timestep counter_t) {
+  // Feed the process-wide registry (atomic cells; no lock needed).
+  auto& registry = MetricsRegistry::global();
+  registry.counter("engine.supersteps").increment();
+  for (PartitionId p = 0; p < rec.parts.size(); ++p) {
+    const auto& ps = rec.parts[p];
+    if (ps.subgraphs_computed != 0) {
+      registry.counter("engine.subgraphs_computed", static_cast<std::int32_t>(p))
+          .add(ps.subgraphs_computed);
+    }
+    if (ps.messages_sent != 0) {
+      registry.counter("engine.messages_sent", static_cast<std::int32_t>(p))
+          .add(ps.messages_sent);
+    }
+  }
+
   // Flush counters alongside the record; the lock covers temporally
   // concurrent tasks appending out of order.
   std::unique_lock<std::mutex> lock;
@@ -408,6 +427,7 @@ void commitRecord(ExecEnv& env, SuperstepRecord rec, Timestep counter_t) {
 // before superstep 0 (inter-timestep or application-input traffic).
 TimestepOutcome runOneTimestep(ExecEnv& env, Timestep t,
                                std::vector<Message> seed_msgs) {
+  TraceSpan timestep_span("tibsp", "tibsp.timestep", "t", t);
   const auto k = static_cast<std::uint32_t>(env.states.size());
   for (auto& st_ptr : env.states) {
     auto& st = *st_ptr;
@@ -423,12 +443,15 @@ TimestepOutcome runOneTimestep(ExecEnv& env, Timestep t,
   TimestepOutcome outcome;
   std::int32_t s = 0;
   while (true) {
+    TraceSpan superstep_span("tibsp", "tibsp.superstep", "t", t, "s", s);
     for (auto& st_ptr : env.states) {
       st_ptr->superstep = s;
     }
     const auto& timings = env.round([&env, t, s](PartitionId p) {
       auto& st = *env.states[p];
       if (s == 0) {
+        TraceSpan load_span("gofs", "gofs.instance_load", "partition", p,
+                            "t", t);
         st.instance = &env.provider.instanceFor(p, t);
         st.load_ns += env.provider.takeLoadNs(p);
       }
@@ -467,6 +490,10 @@ TimestepOutcome runOneTimestep(ExecEnv& env, Timestep t,
     rec.delivered_bytes = delivery.bytes;
     rec.cross_partition_messages = delivery.cross_partition_messages;
     rec.cross_partition_bytes = delivery.cross_partition_bytes;
+    traceCounter("bus.delivered_messages",
+                 static_cast<std::int64_t>(delivery.messages));
+    traceCounter("bus.cross_partition_bytes",
+                 static_cast<std::int64_t>(delivery.cross_partition_bytes));
     commitRecord(env, std::move(rec), t);
 
     ++s;
@@ -483,6 +510,7 @@ TimestepOutcome runOneTimestep(ExecEnv& env, Timestep t,
   outcome.supersteps = s;
 
   // EndOfTimestep hook: every subgraph, one round (metered like a superstep).
+  TraceSpan eot_span("tibsp", "tibsp.end_of_timestep", "t", t);
   for (auto& st_ptr : env.states) {
     st_ptr->superstep = s;
     st_ptr->phase = ExecPhase::kEndOfTimestep;
@@ -519,6 +547,7 @@ TimestepOutcome runOneTimestep(ExecEnv& env, Timestep t,
 // subgraph templates; instance values are unavailable.
 void runMergePhase(ExecEnv& env, std::vector<Message> merge_pool,
                    Timestep stats_timestep) {
+  TraceSpan merge_span("tibsp", "tibsp.merge");
   const auto k = static_cast<std::uint32_t>(env.states.size());
   for (auto& st_ptr : env.states) {
     auto& st = *st_ptr;
@@ -531,6 +560,7 @@ void runMergePhase(ExecEnv& env, std::vector<Message> merge_pool,
 
   std::int32_t s = 0;
   while (true) {
+    TraceSpan superstep_span("tibsp", "tibsp.merge_superstep", "s", s);
     for (auto& st_ptr : env.states) {
       st_ptr->superstep = s;
     }
@@ -590,6 +620,7 @@ void runMergePhase(ExecEnv& env, std::vector<Message> merge_pool,
 // forced System.gc() every 20 timesteps (§IV-D). Each partition trims its
 // allocator arenas; the round is recorded so it shows in per-timestep time.
 void runMaintenance(ExecEnv& env, Timestep t) {
+  TraceSpan span("tibsp", "tibsp.maintenance", "t", t);
   const auto k = static_cast<std::uint32_t>(env.states.size());
   const auto& timings = env.round([](PartitionId) {
 #if defined(TSG_HAVE_MALLOC_TRIM)
@@ -640,6 +671,9 @@ TiBspResult TiBspEngine::run(const ProgramFactory& factory,
 
   TiBspResult result;
   result.stats = RunStats(k);
+  Tracer::setCurrentThreadName("coordinator");
+  TraceSpan run_span("tibsp", "tibsp.run", "timesteps", count);
+  const auto metrics_before = MetricsRegistry::global().snapshot();
   Stopwatch wall;
 
   const bool concurrent =
@@ -823,6 +857,8 @@ TiBspResult TiBspEngine::run(const ProgramFactory& factory,
   }
 
   result.stats.setWallClockNs(wall.elapsedNs());
+  result.stats.setMetrics(
+      snapshotDelta(metrics_before, MetricsRegistry::global().snapshot()));
   return result;
 }
 

@@ -4,8 +4,10 @@
 #include <utility>
 
 #include "common/log.h"
+#include "common/metrics.h"
 #include "common/serialize.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 
 namespace tsg {
 namespace {
@@ -271,9 +273,19 @@ class GofsInstanceProvider final : public InstanceProvider {
     const std::uint32_t packing = manifest_.options.temporal_packing;
     const auto pack = static_cast<std::uint32_t>(t) / packing;
     if (state.cached_pack != static_cast<std::int64_t>(pack)) {
-      ScopedCpuTimer timer(state.load_ns);
-      loadPack(p, pack, state);
+      TraceSpan span("gofs", "gofs.load_pack", "partition", p, "pack",
+                     static_cast<std::int64_t>(pack));
+      const std::int64_t load_ns_before = state.load_ns;
+      {
+        ScopedCpuTimer timer(state.load_ns);
+        loadPack(p, pack, state);
+      }
       state.cached_pack = pack;
+      auto& registry = MetricsRegistry::global();
+      registry.counter("gofs.packs_loaded", static_cast<std::int32_t>(p))
+          .increment();
+      registry.counter("gofs.load_ns", static_cast<std::int32_t>(p))
+          .add(static_cast<std::uint64_t>(state.load_ns - load_ns_before));
     }
     const std::size_t offset = static_cast<std::uint32_t>(t) % packing;
     TSG_CHECK(offset < state.pack_data.size());

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/json.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
 
@@ -85,8 +86,127 @@ std::string summarizeRun(const RunStats& stats, const std::string& label,
              nsToSec(stats.modelledParallelNs(net)), 3)
       << "s supersteps=" << stats.totalSupersteps()
       << " messages=" << stats.totalMessages()
-      << " bytes=" << stats.totalBytes();
+      << " bytes=" << stats.totalBytes()
+      << " xpart_messages=" << stats.totalCrossPartitionMessages()
+      << " xpart_bytes=" << stats.totalCrossPartitionBytes();
   return out.str();
+}
+
+std::string runStatsToJson(const RunStats& stats, const std::string& label,
+                           const NetworkModel& net) {
+  JsonWriter json;
+  json.beginObject();
+  json.kv("label", label);
+  json.kv("num_partitions", stats.numPartitions());
+  json.kv("num_timesteps", stats.numTimesteps());
+  json.kv("wall_clock_ns", stats.wallClockNs());
+  json.kv("modelled_parallel_ns", stats.modelledParallelNs(net));
+
+  json.key("totals");
+  json.beginObject();
+  json.kv("supersteps", stats.totalSupersteps());
+  json.kv("delivered_messages", stats.totalMessages());
+  json.kv("delivered_bytes", stats.totalBytes());
+  json.kv("cross_partition_messages", stats.totalCrossPartitionMessages());
+  json.kv("cross_partition_bytes", stats.totalCrossPartitionBytes());
+  json.endObject();
+
+  // Fig. 6 series: modelled time per executed timestep.
+  json.key("timesteps");
+  json.beginArray();
+  const std::int32_t timesteps = stats.numTimesteps();
+  for (Timestep t = 0; t < timesteps; ++t) {
+    const std::int64_t ns = stats.modelledTimestepNs(t, net);
+    if (ns == 0) {
+      continue;  // timestep not executed (e.g. early While-mode stop)
+    }
+    json.beginObject();
+    json.kv("timestep", t);
+    json.kv("modelled_ns", ns);
+    json.endObject();
+  }
+  json.endArray();
+
+  // Fig. 7b/7d split, in absolute nanoseconds (consumers derive percents).
+  json.key("utilization");
+  json.beginArray();
+  const auto util = stats.partitionUtilization();
+  for (PartitionId p = 0; p < util.size(); ++p) {
+    const auto& u = util[p];
+    json.beginObject();
+    json.kv("partition", p);
+    json.kv("compute_ns", u.compute_ns);
+    json.kv("send_ns", u.send_ns);
+    json.kv("sync_ns", u.sync_ns);
+    json.kv("load_ns", u.load_ns);
+    json.endObject();
+  }
+  json.endArray();
+
+  json.key("supersteps");
+  json.beginArray();
+  for (const auto& rec : stats.supersteps()) {
+    json.beginObject();
+    json.kv("timestep", rec.timestep);
+    json.kv("superstep", rec.superstep);
+    json.kv("is_merge_phase", rec.is_merge_phase);
+    json.kv("delivered_messages", rec.delivered_messages);
+    json.kv("delivered_bytes", rec.delivered_bytes);
+    json.kv("cross_partition_messages", rec.cross_partition_messages);
+    json.kv("cross_partition_bytes", rec.cross_partition_bytes);
+    json.key("parts");
+    json.beginArray();
+    for (const auto& ps : rec.parts) {
+      json.beginObject();
+      json.kv("compute_ns", ps.compute_ns);
+      json.kv("send_ns", ps.send_ns);
+      json.kv("sync_ns", ps.sync_ns);
+      json.kv("load_ns", ps.load_ns);
+      json.kv("messages_sent", ps.messages_sent);
+      json.kv("bytes_sent", ps.bytes_sent);
+      json.kv("subgraphs_computed", ps.subgraphs_computed);
+      json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+  }
+  json.endArray();
+
+  // User counters: counters[name][timestep][partition].
+  json.key("counters");
+  json.beginObject();
+  for (const auto& [name, rows] : stats.counters()) {
+    json.key(name);
+    json.beginArray();
+    for (const auto& row : rows) {
+      json.beginArray();
+      for (const auto v : row) {
+        json.value(v);
+      }
+      json.endArray();
+    }
+    json.endArray();
+  }
+  json.endObject();
+
+  // MetricsRegistry delta attached by the engine (empty for stats built by
+  // hand or by engines predating the registry).
+  json.key("metrics");
+  json.beginArray();
+  for (const auto& point : stats.metrics()) {
+    json.beginObject();
+    json.kv("name", point.name);
+    if (point.partition != MetricsRegistry::kNoPartition) {
+      json.kv("partition", point.partition);
+    }
+    json.kv("kind", point.is_gauge ? "gauge" : "counter");
+    json.kv("value", point.value);
+    json.endObject();
+  }
+  json.endArray();
+
+  json.endObject();
+  return json.take();
 }
 
 }  // namespace tsg

@@ -24,8 +24,16 @@ std::string renderCounterSeries(const RunStats& stats,
 // load split as percentages of that partition's total.
 std::string renderUtilization(const RunStats& stats, const std::string& label);
 
-// One-line run summary: wall clock, modelled time, supersteps, messages.
+// One-line run summary: wall clock, modelled time, supersteps, messages
+// (delivered and cross-partition).
 std::string summarizeRun(const RunStats& stats, const std::string& label,
                          const NetworkModel& net = {});
+
+// Machine-readable export of a full run: totals, per-timestep modelled
+// series, per-partition utilization split, every superstep record and the
+// MetricsRegistry delta captured over the run. The output is a single JSON
+// object (see DESIGN.md "Observability" for the schema).
+std::string runStatsToJson(const RunStats& stats, const std::string& label,
+                           const NetworkModel& net = {});
 
 }  // namespace tsg

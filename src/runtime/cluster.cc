@@ -1,9 +1,12 @@
 #include "runtime/cluster.h"
 
 #include <algorithm>
+#include <string>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 
 namespace tsg {
 
@@ -11,7 +14,10 @@ Cluster::Cluster(std::uint32_t num_partitions)
     : start_ns_(num_partitions, 0),
       end_ns_(num_partitions, 0),
       cpu_busy_ns_(num_partitions, 0),
-      timings_(num_partitions) {
+      timings_(num_partitions),
+      m_rounds_(MetricsRegistry::global().counter("cluster.rounds")),
+      m_barrier_wait_ns_(
+          MetricsRegistry::global().counter("cluster.barrier_wait_ns")) {
   TSG_CHECK(num_partitions > 0);
   workers_.reserve(num_partitions);
   for (PartitionId p = 0; p < num_partitions; ++p) {
@@ -32,6 +38,7 @@ Cluster::~Cluster() {
 
 const std::vector<Cluster::RoundTiming>& Cluster::run(
     const std::function<void(PartitionId)>& job) {
+  TraceSpan span("cluster", "cluster.round");
   {
     std::unique_lock lock(mutex_);
     TSG_CHECK_MSG(remaining_ == 0, "run() re-entered mid-round");
@@ -45,14 +52,19 @@ const std::vector<Cluster::RoundTiming>& Cluster::run(
   // All end_ns_ are final now; the slowest worker defines the barrier time.
   const std::int64_t round_end =
       *std::max_element(end_ns_.begin(), end_ns_.end());
+  std::int64_t sync_total = 0;
   for (PartitionId p = 0; p < timings_.size(); ++p) {
     timings_[p].busy_ns = cpu_busy_ns_[p];
     timings_[p].sync_ns = round_end - end_ns_[p];
+    sync_total += timings_[p].sync_ns;
   }
+  m_rounds_.increment();
+  m_barrier_wait_ns_.add(static_cast<std::uint64_t>(sync_total));
   return timings_;
 }
 
 void Cluster::workerLoop(PartitionId p) {
+  Tracer::setCurrentThreadName("partition-" + std::to_string(p));
   std::uint64_t seen_round = 0;
   while (true) {
     const std::function<void(PartitionId)>* job = nullptr;
@@ -72,7 +84,10 @@ void Cluster::workerLoop(PartitionId p) {
     // the wall clock for barrier-wait (sync) computation.
     start_ns_[p] = steadyNowNs();
     const std::int64_t cpu_start = threadCpuNowNs();
-    (*job)(p);
+    {
+      TraceSpan job_span("cluster", "cluster.job", "partition", p);
+      (*job)(p);
+    }
     cpu_busy_ns_[p] = threadCpuNowNs() - cpu_start;
     end_ns_[p] = steadyNowNs();
     {

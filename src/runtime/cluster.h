@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "graph/types.h"
 
 namespace tsg {
@@ -57,6 +58,10 @@ class Cluster {
   std::vector<std::int64_t> end_ns_;
   std::vector<std::int64_t> cpu_busy_ns_;
   std::vector<RoundTiming> timings_;
+  // Cached handles: run() executes once per superstep, so it bumps the
+  // cells directly instead of re-doing the registry name lookup.
+  MetricsRegistry::Counter& m_rounds_;
+  MetricsRegistry::Counter& m_barrier_wait_ns_;
   std::vector<std::thread> workers_;
 };
 

@@ -1,11 +1,23 @@
 #include "runtime/message_bus.h"
 
 #include "common/status.h"
+#include "common/trace.h"
 
 namespace tsg {
 
 MessageBus::MessageBus(std::uint32_t num_partitions)
-    : rows_(num_partitions), inboxes_(num_partitions) {
+    : rows_(num_partitions),
+      inboxes_(num_partitions),
+      m_messages_(MetricsRegistry::global().counter("bus.messages_delivered")),
+      m_bytes_(MetricsRegistry::global().counter("bus.bytes_delivered")),
+      m_xpart_messages_(
+          MetricsRegistry::global().counter("bus.cross_partition_messages")),
+      m_xpart_bytes_(
+          MetricsRegistry::global().counter("bus.cross_partition_bytes")),
+      m_batches_(MetricsRegistry::global().counter("bus.batches_spliced")),
+      m_spare_hits_(MetricsRegistry::global().counter("bus.spare_pool_hits")),
+      m_spare_misses_(
+          MetricsRegistry::global().counter("bus.spare_pool_misses")) {
   TSG_CHECK(num_partitions > 0);
   for (auto& row : rows_) {
     row.boxes.resize(num_partitions);
@@ -29,14 +41,17 @@ void MessageBus::send(PartitionId from, PartitionId to, Message msg) {
 
 std::vector<Message> MessageBus::takeSpare() {
   if (spares_.empty()) {
+    m_spare_misses_.increment();
     return {};
   }
+  m_spare_hits_.increment();
   auto spare = std::move(spares_.back());
   spares_.pop_back();
   return spare;
 }
 
 MessageBus::DeliveryStats MessageBus::deliver() {
+  TraceSpan span("bus", "bus.deliver");
   // Recycle last superstep's batch vectors (consumed or abandoned alike).
   for (auto& inbox : inboxes_) {
     for (auto& batch : inbox.batches_) {
@@ -48,6 +63,7 @@ MessageBus::DeliveryStats MessageBus::deliver() {
   }
 
   DeliveryStats stats;
+  std::uint64_t batches = 0;
   for (PartitionId from = 0; from < rows_.size(); ++from) {
     auto& row = rows_[from];
     for (PartitionId to = 0; to < row.boxes.size(); ++to) {
@@ -59,6 +75,7 @@ MessageBus::DeliveryStats MessageBus::deliver() {
       inbox.total_ += box.size();
       inbox.batches_.push_back(std::move(box));
       box = takeSpare();
+      ++batches;
     }
     stats.messages += row.stats.messages;
     stats.bytes += row.stats.bytes;
@@ -67,6 +84,11 @@ MessageBus::DeliveryStats MessageBus::deliver() {
     row.stats = DeliveryStats{};
     row.pending = 0;
   }
+  m_messages_.add(stats.messages);
+  m_bytes_.add(stats.bytes);
+  m_xpart_messages_.add(stats.cross_partition_messages);
+  m_xpart_bytes_.add(stats.cross_partition_bytes);
+  m_batches_.add(batches);
   return stats;
 }
 

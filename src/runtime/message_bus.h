@@ -30,6 +30,7 @@
 #include <span>
 #include <vector>
 
+#include "common/metrics.h"
 #include "graph/types.h"
 #include "runtime/message.h"
 
@@ -119,6 +120,16 @@ class MessageBus {
   // Spent batch vectors (coordinator-owned); reused as fresh outbox slots so
   // steady-state supersteps allocate nothing.
   std::vector<std::vector<Message>> spares_;
+
+  // MetricsRegistry handles, resolved once at construction so deliver()'s
+  // feed is a handful of relaxed atomic adds, not name lookups.
+  MetricsRegistry::Counter& m_messages_;
+  MetricsRegistry::Counter& m_bytes_;
+  MetricsRegistry::Counter& m_xpart_messages_;
+  MetricsRegistry::Counter& m_xpart_bytes_;
+  MetricsRegistry::Counter& m_batches_;
+  MetricsRegistry::Counter& m_spare_hits_;
+  MetricsRegistry::Counter& m_spare_misses_;
 };
 
 }  // namespace tsg

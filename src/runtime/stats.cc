@@ -56,6 +56,22 @@ std::uint64_t RunStats::totalBytes() const {
   return total;
 }
 
+std::uint64_t RunStats::totalCrossPartitionMessages() const {
+  std::uint64_t total = 0;
+  for (const auto& rec : records_) {
+    total += rec.cross_partition_messages;
+  }
+  return total;
+}
+
+std::uint64_t RunStats::totalCrossPartitionBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& rec : records_) {
+    total += rec.cross_partition_bytes;
+  }
+  return total;
+}
+
 namespace {
 
 std::int64_t modelledSuperstepNs(const SuperstepRecord& rec,

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "graph/types.h"
 
 namespace tsg {
@@ -79,6 +80,15 @@ class RunStats {
   void setWallClockNs(std::int64_t ns) { wall_clock_ns_ = ns; }
   [[nodiscard]] std::int64_t wallClockNs() const { return wall_clock_ns_; }
 
+  // MetricsRegistry delta captured over this run (bus/cluster/gofs/engine
+  // feeds); attached by the engines, exported by metrics/report JSON.
+  void setMetrics(MetricsRegistry::Snapshot metrics) {
+    metrics_ = std::move(metrics);
+  }
+  [[nodiscard]] const MetricsRegistry::Snapshot& metrics() const {
+    return metrics_;
+  }
+
   // --- aggregations ---
 
   [[nodiscard]] std::int32_t numTimesteps() const;
@@ -87,6 +97,10 @@ class RunStats {
   }
   [[nodiscard]] std::uint64_t totalMessages() const;
   [[nodiscard]] std::uint64_t totalBytes() const;
+  // Cross-partition traffic totals — the paper's key overhead signal
+  // (Fig. 7b/7d); summed from the per-superstep records.
+  [[nodiscard]] std::uint64_t totalCrossPartitionMessages() const;
+  [[nodiscard]] std::uint64_t totalCrossPartitionBytes() const;
 
   // Critical-path time of superstep records in [t, t] or all of them:
   // sum over supersteps of (max over partitions of busy) + modelled comms.
@@ -118,6 +132,7 @@ class RunStats {
   std::vector<SuperstepRecord> records_;
   std::map<std::string, std::vector<std::vector<std::uint64_t>>> counters_;
   std::int64_t wall_clock_ns_ = 0;
+  MetricsRegistry::Snapshot metrics_;
 };
 
 }  // namespace tsg

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/metrics.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "runtime/cluster.h"
 
 namespace tsg {
@@ -70,11 +72,15 @@ VcResult VertexCentricEngine::run(
 
   VcResult result;
   result.stats = RunStats(k);
+  Tracer::setCurrentThreadName("coordinator");
+  TraceSpan run_span("vc", "vc.run");
+  const auto metrics_before = MetricsRegistry::global().snapshot();
   Stopwatch wall;
   Cluster cluster(k);
 
   std::int32_t s = 0;
   while (true) {
+    TraceSpan superstep_span("vc", "vc.superstep", "s", s);
     const auto& timings = cluster.run([&, s](PartitionId p) {
       auto& w = workers[p];
       const Partition& part = pg_.partition(p);
@@ -154,6 +160,17 @@ VcResult VertexCentricEngine::run(
       }
     }
     rec.delivered_messages = delivered;
+    traceCounter("vc.delivered_messages", static_cast<std::int64_t>(delivered));
+    {
+      auto& registry = MetricsRegistry::global();
+      registry.counter("vc.supersteps").increment();
+      std::uint64_t computed = 0;
+      for (const auto& ps : rec.parts) {
+        computed += ps.subgraphs_computed;
+      }
+      registry.counter("vc.vertices_computed").add(computed);
+      registry.counter("vc.messages_delivered").add(delivered);
+    }
     result.stats.addSuperstep(std::move(rec));
 
     const bool all_halted =
@@ -169,6 +186,8 @@ VcResult VertexCentricEngine::run(
   }
 
   result.stats.setWallClockNs(wall.elapsedNs());
+  result.stats.setMetrics(
+      snapshotDelta(metrics_before, MetricsRegistry::global().snapshot()));
   result.values = std::move(values);
   result.supersteps = s;
   return result;

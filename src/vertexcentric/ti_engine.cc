@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/metrics.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "runtime/cluster.h"
 
 namespace tsg {
@@ -95,6 +97,9 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
 
   TemporalVcResult result;
   result.stats = RunStats(k);
+  Tracer::setCurrentThreadName("coordinator");
+  TraceSpan run_span("vc", "tvc.run", "timesteps", count);
+  const auto metrics_before = MetricsRegistry::global().snapshot();
   Stopwatch wall;
   Cluster cluster(k);
 
@@ -103,6 +108,7 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
 
   for (std::int32_t i = 0; i < count; ++i) {
     const Timestep t = first + i;
+    TraceSpan timestep_span("vc", "tvc.timestep", "t", t);
     // Seed inter-timestep messages into the owning partitions' inboxes.
     for (auto& msg : pending_next) {
       workers[pg_.partitionOfVertex(msg.dst)].incoming.push_back(msg);
@@ -112,6 +118,7 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
 
     std::int32_t s = 0;
     while (true) {
+      TraceSpan superstep_span("vc", "tvc.superstep", "t", t, "s", s);
       const auto& timings = cluster.run([&, s, t](PartitionId p) {
         auto& w = workers[p];
         if (s == 0) {
@@ -188,6 +195,18 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
         }
       }
       rec.delivered_messages = delivered;
+      traceCounter("vc.delivered_messages",
+                   static_cast<std::int64_t>(delivered));
+      {
+        auto& registry = MetricsRegistry::global();
+        registry.counter("vc.supersteps").increment();
+        std::uint64_t computed = 0;
+        for (const auto& ps : rec.parts) {
+          computed += ps.subgraphs_computed;
+        }
+        registry.counter("vc.vertices_computed").add(computed);
+        registry.counter("vc.messages_delivered").add(delivered);
+      }
       result.stats.addSuperstep(std::move(rec));
 
       const bool all_halted =
@@ -217,6 +236,8 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
   }
 
   result.stats.setWallClockNs(wall.elapsedNs());
+  result.stats.setMetrics(
+      snapshotDelta(metrics_before, MetricsRegistry::global().snapshot()));
   return result;
 }
 

@@ -20,14 +20,11 @@ using testing::unwrap;
 class GofsTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (std::filesystem::temp_directory_path() /
-            ("tsg_gofs_" + std::to_string(counter_++)))
-               .string();
+    dir_ = testing::uniqueTempDir("tsg_gofs");
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
 
   std::string dir_;
-  static inline int counter_ = 0;
 };
 
 // Reads every instance through both providers and compares all columns.

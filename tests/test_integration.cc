@@ -28,14 +28,11 @@ using testing::unwrap;
 class IntegrationTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (std::filesystem::temp_directory_path() /
-            ("tsg_integration_" + std::to_string(counter_++)))
-               .string();
+    dir_ = testing::uniqueTempDir("tsg_integration");
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
 
   std::string dir_;
-  static inline int counter_ = 0;
 };
 
 TEST_F(IntegrationTest, TdspOverGofsMatchesReference) {

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "core/engine.h"
+#include "gofs/instance_provider.h"
+#include "test_util.h"
+
 namespace tsg {
 namespace {
 
@@ -17,12 +21,17 @@ RunStats sampleStats() {
   rec.parts[1].send_ns = 500'000;
   rec.delivered_messages = 3;
   rec.delivered_bytes = 96;
+  rec.cross_partition_messages = 2;
+  rec.cross_partition_bytes = 64;
   stats.addSuperstep(rec);
   rec.timestep = 1;
   stats.addSuperstep(rec);
   stats.addCounter("finalized", 0, 0, 10);
   stats.addCounter("finalized", 1, 1, 4);
   stats.setWallClockNs(12'000'000);
+  stats.setMetrics({{"bus.messages_delivered", MetricsRegistry::kNoPartition,
+                     false, 6},
+                    {"gofs.packs_loaded", 0, false, 1}});
   return stats;
 }
 
@@ -63,11 +72,79 @@ TEST(Report, SummaryIncludesWallAndModelled) {
   EXPECT_NE(text.find("messages=6"), std::string::npos);
 }
 
+TEST(Report, SummaryIncludesCrossPartitionTotals) {
+  const auto text = summarizeRun(sampleStats(), "demo");
+  // Two records, each 2 messages / 64 bytes across partitions.
+  EXPECT_NE(text.find("xpart_messages=4"), std::string::npos);
+  EXPECT_NE(text.find("xpart_bytes=128"), std::string::npos);
+}
+
 TEST(Report, EmptyStatsDoNotCrash) {
   RunStats stats(0);
   EXPECT_FALSE(renderTimestepSeries(stats, "x").empty());
   EXPECT_FALSE(renderUtilization(stats, "x").empty());
   EXPECT_FALSE(summarizeRun(stats, "x").empty());
+  EXPECT_TRUE(testing::isValidJson(runStatsToJson(stats, "x")));
+}
+
+TEST(Report, RunStatsJsonIsValidAndCoversEverySection) {
+  const auto json = runStatsToJson(sampleStats(), "demo");
+  EXPECT_TRUE(testing::isValidJson(json)) << json;
+  for (const char* needle :
+       {"\"label\":\"demo\"", "\"num_partitions\":2", "\"totals\"",
+        "\"delivered_messages\":6", "\"cross_partition_messages\":4",
+        "\"timesteps\"", "\"utilization\"", "\"supersteps\"",
+        "\"counters\"", "\"finalized\"", "\"metrics\"",
+        "\"bus.messages_delivered\"", "\"gofs.packs_loaded\"",
+        "\"partition\":0"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+}
+
+// End-to-end: a real engine run exports JSON whose totals agree with the
+// RunStats the engine built, including the MetricsRegistry delta.
+TEST(Report, JsonRoundTripsAgainstEngineRun) {
+  auto tmpl = testing::smallRoad(4, 4);
+  auto pg = testing::partitionGraph(tmpl, 2);
+  TimeSeriesCollection collection(tmpl, /*t0=*/0, /*delta=*/5);
+  for (int t = 0; t < 3; ++t) {
+    collection.appendInstance();
+  }
+  DirectInstanceProvider provider(pg, collection);
+
+  struct PingProgram final : TiBspProgram {
+    void compute(SubgraphContext& ctx) override {
+      if (ctx.superstep() == 0) {
+        // One remote-bound message per subgraph keeps the bus busy.
+        ctx.sendToSubgraph(
+            (ctx.subgraphId() + 1) % ctx.partitionedGraph().numSubgraphs(),
+            {1});
+      }
+      ctx.voteToHalt();
+    }
+    void endOfTimestep(SubgraphContext&) override {}
+    void merge(SubgraphContext&) override {}
+  };
+
+  TiBspConfig config;
+  config.pattern = Pattern::kSequentiallyDependent;
+  TiBspEngine engine(pg, provider);
+  const auto result = engine.run(
+      [](PartitionId) { return std::make_unique<PingProgram>(); }, config);
+  const auto json = runStatsToJson(result.stats, "engine");
+  EXPECT_TRUE(testing::isValidJson(json)) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"label\":\"engine\""), std::string::npos);
+  EXPECT_NE(
+      json.find("\"supersteps\":" +
+                std::to_string(result.stats.totalSupersteps())),
+      std::string::npos);
+  EXPECT_NE(json.find("\"delivered_messages\":" +
+                      std::to_string(result.stats.totalMessages())),
+            std::string::npos);
+  // The engine attached a registry delta with the bus feed in it.
+  EXPECT_FALSE(result.stats.metrics().empty());
+  EXPECT_NE(json.find("\"bus.messages_delivered\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine.supersteps\""), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,245 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "test_util.h"
+
+namespace tsg {
+namespace {
+
+// Every test drives the one process-wide tracer, so serialize state resets.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Tracer::instance().clear(); }
+  void TearDown() override { Tracer::instance().clear(); }
+};
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+  ASSERT_FALSE(Tracer::enabled());
+  {
+    TraceSpan span("test", "outer");
+    traceInstant("test", "marker");
+    traceCounter("test.counter", 7);
+  }
+  EXPECT_EQ(Tracer::instance().eventCount(), 0u);
+}
+
+TEST_F(TraceTest, SpansNestByTimestampContainment) {
+  Tracer::instance().start();
+  {
+    TraceSpan outer("test", "outer");
+    {
+      TraceSpan inner("test", "inner", "k", 42);
+    }
+  }
+  Tracer::instance().stop();
+
+  const auto events = Tracer::instance().snapshotEvents();
+  ASSERT_EQ(events.size(), 2u);
+  const auto outer_it =
+      std::find_if(events.begin(), events.end(), [](const TraceEvent& e) {
+        return std::string(e.name) == "outer";
+      });
+  const auto inner_it =
+      std::find_if(events.begin(), events.end(), [](const TraceEvent& e) {
+        return std::string(e.name) == "inner";
+      });
+  ASSERT_NE(outer_it, events.end());
+  ASSERT_NE(inner_it, events.end());
+  EXPECT_EQ(outer_it->phase, 'X');
+  // Inner interval lies inside the outer one.
+  EXPECT_GE(inner_it->ts_ns, outer_it->ts_ns);
+  EXPECT_LE(inner_it->ts_ns + inner_it->dur_ns,
+            outer_it->ts_ns + outer_it->dur_ns);
+  EXPECT_STREQ(inner_it->k1, "k");
+  EXPECT_EQ(inner_it->v1, 42);
+}
+
+TEST_F(TraceTest, InstantAndCounterPhases) {
+  Tracer::instance().start();
+  traceInstant("test", "marker", "n", 3);
+  traceCounter("test.counter", 11);
+  Tracer::instance().stop();
+
+  const auto events = Tracer::instance().snapshotEvents();
+  ASSERT_EQ(events.size(), 2u);
+  const auto instant_it =
+      std::find_if(events.begin(), events.end(),
+                   [](const TraceEvent& e) { return e.phase == 'i'; });
+  const auto counter_it =
+      std::find_if(events.begin(), events.end(),
+                   [](const TraceEvent& e) { return e.phase == 'C'; });
+  ASSERT_NE(instant_it, events.end());
+  ASSERT_NE(counter_it, events.end());
+  EXPECT_EQ(instant_it->v1, 3);
+  EXPECT_EQ(counter_it->v1, 11);
+}
+
+TEST_F(TraceTest, MergesBuffersAcrossThreads) {
+  Tracer::instance().start();
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 25;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([i] {
+      Tracer::setCurrentThreadName("worker-" + std::to_string(i));
+      for (int j = 0; j < kSpansPerThread; ++j) {
+        TraceSpan span("test", "work", "i", i, "j", j);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  Tracer::instance().stop();
+
+  EXPECT_EQ(Tracer::instance().eventCount(),
+            static_cast<std::size_t>(kThreads * kSpansPerThread));
+  const auto json = Tracer::instance().toJson();
+  EXPECT_TRUE(testing::isValidJson(json)) << json.substr(0, 400);
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_NE(json.find("worker-" + std::to_string(i)), std::string::npos);
+  }
+}
+
+TEST_F(TraceTest, JsonExportIsWellFormedAndPerfettoShaped) {
+  Tracer::instance().start();
+  {
+    TraceSpan span("cat", "na\"me\\with\nescapes", "x", -5);
+    traceCounter("msgs", 123);
+  }
+  Tracer::instance().stop();
+
+  const auto json = Tracer::instance().toJson();
+  EXPECT_TRUE(testing::isValidJson(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+}
+
+TEST_F(TraceTest, StartDropsEarlierEvents) {
+  Tracer::instance().start();
+  { TraceSpan span("test", "first"); }
+  ASSERT_EQ(Tracer::instance().eventCount(), 1u);
+  Tracer::instance().start();  // restart clears the first run's events
+  { TraceSpan span("test", "second"); }
+  Tracer::instance().stop();
+  const auto events = Tracer::instance().snapshotEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "second");
+}
+
+TEST_F(TraceTest, StopGatesNewEvents) {
+  Tracer::instance().start();
+  { TraceSpan span("test", "kept"); }
+  Tracer::instance().stop();
+  { TraceSpan span("test", "dropped"); }
+  traceCounter("test.counter", 1);
+  EXPECT_EQ(Tracer::instance().eventCount(), 1u);
+}
+
+// --- MetricsRegistry ----------------------------------------------------
+
+TEST(MetricsRegistry, CounterAndGaugeRoundTrip) {
+  MetricsRegistry registry;
+  auto& c = registry.counter("c");
+  c.increment();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  auto& g = registry.gauge("g");
+  g.set(-3);
+  EXPECT_EQ(g.value(), -3);
+  // Same name resolves to the same cell.
+  registry.counter("c").increment();
+  EXPECT_EQ(c.value(), 6u);
+}
+
+TEST(MetricsRegistry, PartitionLabelsAreDistinctCells) {
+  MetricsRegistry registry;
+  registry.counter("packs", 0).add(2);
+  registry.counter("packs", 1).add(7);
+  registry.counter("packs").add(1);  // kNoPartition is its own cell
+  EXPECT_EQ(registry.counter("packs", 0).value(), 2u);
+  EXPECT_EQ(registry.counter("packs", 1).value(), 7u);
+  EXPECT_EQ(registry.counter("packs").value(), 1u);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.counter("b", 1).add(1);
+  registry.counter("a").add(2);
+  registry.gauge("b", 0).set(9);
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "a");
+  EXPECT_EQ(snap[1].name, "b");
+  EXPECT_EQ(snap[1].partition, 0);
+  EXPECT_TRUE(snap[1].is_gauge);
+  EXPECT_EQ(snap[2].name, "b");
+  EXPECT_EQ(snap[2].partition, 1);
+  EXPECT_EQ(snap[2].value, 1);
+}
+
+TEST(MetricsRegistry, SnapshotDeltaDiffsCountersAndKeepsGauges) {
+  MetricsRegistry registry;
+  registry.counter("msgs").add(10);
+  registry.counter("idle").add(3);
+  registry.gauge("pack").set(1);
+  const auto before = registry.snapshot();
+
+  registry.counter("msgs").add(5);
+  registry.counter("fresh").add(2);  // appears only after `before`
+  registry.gauge("pack").set(4);
+  const auto after = registry.snapshot();
+
+  const auto delta = snapshotDelta(before, after);
+  // "idle" didn't move → dropped; gauges keep the after value.
+  ASSERT_EQ(delta.size(), 3u);
+  EXPECT_EQ(delta[0].name, "fresh");
+  EXPECT_EQ(delta[0].value, 2);
+  EXPECT_EQ(delta[1].name, "msgs");
+  EXPECT_EQ(delta[1].value, 5);
+  EXPECT_EQ(delta[2].name, "pack");
+  EXPECT_EQ(delta[2].value, 4);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsHandles) {
+  MetricsRegistry registry;
+  auto& c = registry.counter("c");
+  c.add(42);
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.increment();
+  EXPECT_EQ(registry.counter("c").value(), 1u);
+}
+
+TEST(MetricsRegistry, ConcurrentFeedsAreLossless) {
+  MetricsRegistry registry;
+  auto& c = registry.counter("hits");
+  constexpr int kThreads = 4;
+  constexpr int kAdds = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&c] {
+      for (int j = 0; j < kAdds; ++j) {
+        c.increment();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+}  // namespace
+}  // namespace tsg

@@ -3,8 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <filesystem>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
@@ -30,6 +36,17 @@ T unwrap(Result<T> result) {
 
 inline GraphTemplatePtr share(GraphTemplate tmpl) {
   return std::make_shared<GraphTemplate>(std::move(tmpl));
+}
+
+// Process-unique scratch directory name. ctest runs every TEST in its own
+// process, so a static counter alone makes concurrent tests (ctest -j)
+// collide on the same path; the pid disambiguates them.
+inline std::string uniqueTempDir(const std::string& prefix) {
+  static std::atomic<int> counter{0};
+  return (std::filesystem::temp_directory_path() /
+          (prefix + "_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter++)))
+      .string();
 }
 
 // A small connected road-like template with a "latency" edge attribute.
@@ -88,6 +105,158 @@ inline TimeSeriesCollection tweetCollection(GraphTemplatePtr tmpl,
   options.seed = seed;
   options.num_seed_vertices = 2;
   return unwrap(makeSirTweetInstances(std::move(tmpl), options));
+}
+
+// --- Minimal JSON validity checker (grammar only, no DOM) ---------------
+// Used to assert that exported traces and stats are well-formed without
+// pulling a JSON library into the build.
+
+namespace json_detail {
+
+inline void skipWs(std::string_view s, std::size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                          s[i] == '\r')) {
+    ++i;
+  }
+}
+
+inline bool parseValue(std::string_view s, std::size_t& i, int depth);
+
+inline bool parseString(std::string_view s, std::size_t& i) {
+  if (i >= s.size() || s[i] != '"') {
+    return false;
+  }
+  ++i;
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '"') {
+      ++i;
+      return true;
+    }
+    if (c == '\\') {
+      ++i;
+      if (i >= s.size()) {
+        return false;
+      }
+      const char esc = s[i];
+      if (esc == 'u') {
+        for (int h = 0; h < 4; ++h) {
+          ++i;
+          if (i >= s.size() || std::isxdigit(static_cast<unsigned char>(
+                                   s[i])) == 0) {
+            return false;
+          }
+        }
+      } else if (std::string_view("\"\\/bfnrt").find(esc) ==
+                 std::string_view::npos) {
+        return false;
+      }
+    }
+    ++i;
+  }
+  return false;  // unterminated
+}
+
+inline bool parseNumber(std::string_view s, std::size_t& i) {
+  const std::size_t start = i;
+  if (i < s.size() && s[i] == '-') {
+    ++i;
+  }
+  while (i < s.size() && (std::isdigit(static_cast<unsigned char>(s[i])) !=
+                              0 ||
+                          s[i] == '.' || s[i] == 'e' || s[i] == 'E' ||
+                          s[i] == '+' || s[i] == '-')) {
+    ++i;
+  }
+  return i > start;
+}
+
+inline bool parseValue(std::string_view s, std::size_t& i, int depth) {
+  if (depth > 128) {
+    return false;
+  }
+  skipWs(s, i);
+  if (i >= s.size()) {
+    return false;
+  }
+  const char c = s[i];
+  if (c == '{') {
+    ++i;
+    skipWs(s, i);
+    if (i < s.size() && s[i] == '}') {
+      ++i;
+      return true;
+    }
+    while (true) {
+      skipWs(s, i);
+      if (!parseString(s, i)) {
+        return false;
+      }
+      skipWs(s, i);
+      if (i >= s.size() || s[i] != ':') {
+        return false;
+      }
+      ++i;
+      if (!parseValue(s, i, depth + 1)) {
+        return false;
+      }
+      skipWs(s, i);
+      if (i < s.size() && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < s.size() && s[i] == '}') {
+        ++i;
+        return true;
+      }
+      return false;
+    }
+  }
+  if (c == '[') {
+    ++i;
+    skipWs(s, i);
+    if (i < s.size() && s[i] == ']') {
+      ++i;
+      return true;
+    }
+    while (true) {
+      if (!parseValue(s, i, depth + 1)) {
+        return false;
+      }
+      skipWs(s, i);
+      if (i < s.size() && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < s.size() && s[i] == ']') {
+        ++i;
+        return true;
+      }
+      return false;
+    }
+  }
+  if (c == '"') {
+    return parseString(s, i);
+  }
+  for (const std::string_view word : {"true", "false", "null"}) {
+    if (s.substr(i, word.size()) == word) {
+      i += word.size();
+      return true;
+    }
+  }
+  return parseNumber(s, i);
+}
+
+}  // namespace json_detail
+
+// True iff `text` is one complete, well-formed JSON value.
+inline bool isValidJson(std::string_view text) {
+  std::size_t i = 0;
+  if (!json_detail::parseValue(text, i, 0)) {
+    return false;
+  }
+  json_detail::skipWs(text, i);
+  return i == text.size();
 }
 
 }  // namespace tsg::testing

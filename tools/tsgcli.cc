@@ -11,7 +11,10 @@
 //   tsgcli wcc DIR
 //
 // Every analysis command prints the result summary plus the run's
-// utilization split (the Fig. 7b-style table).
+// utilization split (the Fig. 7b-style table). All analysis commands also
+// accept --trace=PATH (Perfetto/Chrome trace-event JSON of the run) and
+// --json=PATH (machine-readable RunStats export); the TSG_LOG_LEVEL
+// environment variable (debug|info|warn|error) controls log verbosity.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -26,8 +29,10 @@
 #include "algorithms/pagerank.h"
 #include "algorithms/tdsp.h"
 #include "algorithms/wcc.h"
+#include "common/log.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
+#include "common/trace.h"
 #include "generators/instances.h"
 #include "generators/topology.h"
 #include "gofs/dataset.h"
@@ -93,7 +98,11 @@ int usage() {
       "  meme     DIR [--tag=#meme] [--outputs]\n"
       "  hashtag  DIR [--tag=#meme]\n"
       "  pagerank DIR [--iters=N] [--top=N]\n"
-      "  wcc      DIR\n",
+      "  wcc      DIR\n"
+      "analysis commands also take:\n"
+      "  --trace=PATH   write a Perfetto/Chrome trace of the run\n"
+      "  --json=PATH    write machine-readable run stats (JSON)\n"
+      "environment: TSG_LOG_LEVEL=debug|info|warn|error\n",
       stderr);
   return 2;
 }
@@ -111,10 +120,21 @@ Result<GofsDataset> openFrom(const Args& args) {
   return GofsDataset::open(args.positional[0]);
 }
 
+// Set from --json=PATH before the command runs; printRunFooter exports the
+// run's stats there (every analysis command funnels through it).
+std::string g_json_path;
+
 void printRunFooter(const RunStats& stats) {
   std::fputs(summarizeRun(stats, "run").c_str(), stdout);
   std::fputc('\n', stdout);
   std::fputs(renderUtilization(stats, "per-partition split").c_str(), stdout);
+  if (!g_json_path.empty()) {
+    if (writeTextFile(g_json_path, runStatsToJson(stats, "run"))) {
+      std::printf("wrote run stats: %s\n", g_json_path.c_str());
+    } else {
+      std::fprintf(stderr, "tsgcli: cannot write %s\n", g_json_path.c_str());
+    }
+  }
 }
 
 int cmdGenerate(const Args& args) {
@@ -434,12 +454,7 @@ int cmdWcc(const Args& args) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    return usage();
-  }
-  const std::string command = argv[1];
-  const Args args = parseArgs(argc, argv);
+int dispatch(const std::string& command, const Args& args) {
   if (command == "generate") {
     return cmdGenerate(args);
   }
@@ -463,4 +478,31 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "tsgcli: unknown command '%s'\n", command.c_str());
   return usage();
+}
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  const LogLevel level = initLogLevelFromEnv();
+  TSG_LOG(Info) << "log level: " << logLevelName(level);
+  const std::string command = argv[1];
+  const Args args = parseArgs(argc, argv);
+  g_json_path = args.get("json", "");
+  const std::string trace_path = args.get("trace", "");
+  if (!trace_path.empty()) {
+    Tracer::instance().start();
+  }
+  const int rc = dispatch(command, args);
+  if (!trace_path.empty()) {
+    Tracer::instance().stop();
+    const Status status = Tracer::instance().writeJson(trace_path);
+    if (status.isOk()) {
+      std::printf("wrote trace: %s (%zu events)\n", trace_path.c_str(),
+                  Tracer::instance().eventCount());
+    } else {
+      std::fprintf(stderr, "tsgcli: %s\n", status.toString().c_str());
+    }
+  }
+  return rc;
 }
