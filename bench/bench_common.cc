@@ -36,6 +36,7 @@ std::uint32_t scaled(std::uint32_t base, int percent) {
 
 BenchConfig parseArgs(int argc, char** argv) {
   BenchConfig config;
+  std::string log_level_flag;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--scale=", 0) == 0) {
@@ -49,13 +50,16 @@ BenchConfig parseArgs(int argc, char** argv) {
       config.trace_path = arg.substr(8);
     } else if (arg.rfind("--json=", 0) == 0) {
       config.json_path = arg.substr(7);
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      log_level_flag = arg.substr(12);
     } else if (arg.rfind("--benchmark", 0) == 0) {
       // Tolerated so `for b in build/bench/*` can pass google-benchmark
       // flags to every binary without breaking the table benches.
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale=percent] [--timesteps=N] [--seed=S]"
-                   " [--trace=PATH] [--json=DIR]\n",
+                   " [--trace=PATH] [--json=DIR]"
+                   " [--log-level=debug|info|warn|error]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -70,7 +74,17 @@ BenchConfig parseArgs(int argc, char** argv) {
   config.data_dir = env != nullptr ? env : "build/bench_data";
   std::error_code ec;
   std::filesystem::create_directories(config.data_dir, ec);
-  const LogLevel level = initLogLevelFromEnv();
+  LogLevel level = initLogLevelFromEnv();
+  // --log-level= wins over TSG_LOG_LEVEL.
+  if (!log_level_flag.empty()) {
+    if (parseLogLevel(log_level_flag, level)) {
+      setLogLevel(level);
+    } else {
+      std::fprintf(stderr, "bench: invalid --log-level=%s\n",
+                   log_level_flag.c_str());
+      std::exit(2);
+    }
+  }
   TSG_LOG(Info) << "log level: " << logLevelName(level);
   if (!config.trace_path.empty()) {
     Tracer::instance().start();

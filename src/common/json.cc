@@ -1,7 +1,9 @@
 #include "common/json.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace tsg {
 
@@ -104,6 +106,294 @@ void JsonWriter::value(double v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
   out_ += buf;
+}
+
+// ---------------------------------------------------------------------------
+// JsonValue — recursive-descent parser.
+// ---------------------------------------------------------------------------
+
+// Local analog of TSG_RETURN_IF_ERROR for the parser's Status plumbing.
+#define TSG_JSON_RETURN_IF_ERROR(expr)     \
+  do {                                     \
+    ::tsg::Status s_ = (expr);             \
+    if (!s_.isOk()) {                      \
+      return s_;                           \
+    }                                      \
+  } while (0)
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> parseDocument() {
+    JsonValue value;
+    TSG_JSON_RETURN_IF_ERROR(parseValue(value, /*depth=*/0));
+    skipWhitespace();
+    if (pos_ != text_.size()) {
+      return error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status error(const std::string& what) const {
+    return Status::corruptData(what + " at byte " + std::to_string(pos_));
+  }
+
+  void skipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status expectLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return error("invalid literal");
+    }
+    pos_ += literal.size();
+    return Status::ok();
+  }
+
+  Status parseString(std::string& out) {
+    if (!consume('"')) {
+      return error("expected '\"'");
+    }
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return Status::ok();
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return error("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return error("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // produced by our writer; a lone surrogate encodes as-is).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return error("invalid escape character");
+      }
+    }
+    return error("unterminated string");
+  }
+
+  Status parseNumber(JsonValue& out) {
+    const std::size_t start = pos_;
+    bool is_integer = true;
+    consume('-');
+    while (pos_ < text_.size() &&
+           text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      is_integer = false;
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_integer = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (token.empty() || token == "-") {
+      return error("invalid number");
+    }
+    out.kind_ = JsonValue::Kind::kNumber;
+    errno = 0;
+    char* end = nullptr;
+    out.double_ = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return error("invalid number");
+    }
+    if (is_integer) {
+      errno = 0;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      out.int_ = (errno == ERANGE) ? static_cast<std::int64_t>(out.double_)
+                                   : static_cast<std::int64_t>(v);
+    } else {
+      out.int_ = static_cast<std::int64_t>(out.double_);
+    }
+    return Status::ok();
+  }
+
+  Status parseValue(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) {
+      return error("JSON nesting too deep");
+    }
+    skipWhitespace();
+    if (pos_ >= text_.size()) {
+      return error("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': {
+        ++pos_;
+        out.kind_ = JsonValue::Kind::kObject;
+        skipWhitespace();
+        if (consume('}')) {
+          return Status::ok();
+        }
+        while (true) {
+          skipWhitespace();
+          std::string key;
+          TSG_JSON_RETURN_IF_ERROR(parseString(key));
+          skipWhitespace();
+          if (!consume(':')) {
+            return error("expected ':'");
+          }
+          JsonValue member;
+          TSG_JSON_RETURN_IF_ERROR(parseValue(member, depth + 1));
+          out.object_[std::move(key)] = std::move(member);
+          skipWhitespace();
+          if (consume(',')) {
+            continue;
+          }
+          if (consume('}')) {
+            return Status::ok();
+          }
+          return error("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        ++pos_;
+        out.kind_ = JsonValue::Kind::kArray;
+        skipWhitespace();
+        if (consume(']')) {
+          return Status::ok();
+        }
+        while (true) {
+          JsonValue element;
+          TSG_JSON_RETURN_IF_ERROR(parseValue(element, depth + 1));
+          out.array_.push_back(std::move(element));
+          skipWhitespace();
+          if (consume(',')) {
+            continue;
+          }
+          if (consume(']')) {
+            return Status::ok();
+          }
+          return error("expected ',' or ']'");
+        }
+      }
+      case '"':
+        out.kind_ = JsonValue::Kind::kString;
+        return parseString(out.string_);
+      case 't':
+        out.kind_ = JsonValue::Kind::kBool;
+        out.bool_ = true;
+        return expectLiteral("true");
+      case 'f':
+        out.kind_ = JsonValue::Kind::kBool;
+        out.bool_ = false;
+        return expectLiteral("false");
+      case 'n':
+        out.kind_ = JsonValue::Kind::kNull;
+        return expectLiteral("null");
+      default:
+        return parseNumber(out);
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+#undef TSG_JSON_RETURN_IF_ERROR
+
+Result<JsonValue> JsonValue::parse(std::string_view text) {
+  JsonParser parser(text);
+  return parser.parseDocument();
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) {
+    return nullptr;
+  }
+  const auto it = object_.find(std::string(key));
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::int64_t JsonValue::intOr(std::string_view key,
+                              std::int64_t fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->isNumber() ? v->intValue() : fallback;
+}
+
+double JsonValue::doubleOr(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->isNumber() ? v->doubleValue() : fallback;
+}
+
+std::string JsonValue::stringOr(std::string_view key,
+                                std::string fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->isString() ? v->stringValue()
+                                       : std::move(fallback);
 }
 
 }  // namespace tsg

@@ -1,13 +1,23 @@
-// Minimal JSON emission helper shared by the tracer and the metrics
-// exporters. Writes well-formed JSON into one growing string: the writer
-// tracks container nesting and inserts commas itself, so call sites read
-// like the document they produce. No DOM, no parsing — emission only.
+// Minimal JSON helpers shared by the tracer and the metrics exporters.
+//
+// Emission: JsonWriter writes well-formed JSON into one growing string,
+// tracking container nesting and inserting commas itself, so call sites read
+// like the document they produce.
+//
+// Parsing: JsonValue is a small recursive-descent DOM used by the analysis
+// layer to read runStatsToJson output back (tsgcli analyze / compare). It is
+// a complete JSON reader (objects, arrays, strings with escapes, numbers,
+// booleans, null) but tuned for trusted tool output, not adversarial input:
+// nesting depth is capped, numbers are stored as both int64 and double.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/status.h"
 
 namespace tsg {
 
@@ -62,6 +72,64 @@ class JsonWriter {
   // One entry per open container: true once the first element was written.
   std::vector<bool> has_element_;
   bool pending_key_ = false;
+};
+
+// Parsed JSON document node. Object member order is not preserved (members
+// live in a std::map), which is fine for the schema lookups this backs.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  // Parses one complete JSON document (surrounding whitespace allowed;
+  // trailing garbage is an error). Errors carry a byte offset.
+  static Result<JsonValue> parse(std::string_view text);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool isNull() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool isBool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool isNumber() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool isString() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool isArray() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool isObject() const { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool boolValue() const { return bool_; }
+  // Numbers keep both representations; integer-looking tokens round-trip
+  // exactly through int64 (uint64 totals above 2^63 are not expected in the
+  // schemas this reads).
+  [[nodiscard]] std::int64_t intValue() const { return int_; }
+  [[nodiscard]] double doubleValue() const { return double_; }
+  [[nodiscard]] const std::string& stringValue() const { return string_; }
+  [[nodiscard]] const std::vector<JsonValue>& array() const { return array_; }
+  [[nodiscard]] const std::map<std::string, JsonValue>& object() const {
+    return object_;
+  }
+
+  // Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  // Convenience accessors for "member or default" reads.
+  [[nodiscard]] std::int64_t intOr(std::string_view key,
+                                   std::int64_t fallback) const;
+  [[nodiscard]] double doubleOr(std::string_view key, double fallback) const;
+  [[nodiscard]] std::string stringOr(std::string_view key,
+                                     std::string fallback) const;
+
+ private:
+  friend class JsonParser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
 };
 
 }  // namespace tsg

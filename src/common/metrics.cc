@@ -1,6 +1,7 @@
 #include "common/metrics.h"
 
 #include <algorithm>
+#include <memory>
 #include <tuple>
 
 #include "common/status.h"
@@ -8,11 +9,16 @@
 namespace tsg {
 
 struct MetricsRegistry::Cell {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
   std::string name;
   std::int32_t partition = kNoPartition;
-  bool is_gauge = false;
+  Kind kind = Kind::kCounter;
   Counter counter;
   Gauge gauge;
+  // Histograms are heap-side: they are an atomic array an order of magnitude
+  // bigger than a counter, and most cells are counters.
+  std::unique_ptr<Histogram> histogram;
 };
 
 MetricsRegistry& MetricsRegistry::global() {
@@ -41,28 +47,45 @@ MetricsRegistry::Cell* findCell(
 
 }  // namespace
 
+MetricsRegistry::Cell& MetricsRegistry::findOrCreateCell(
+    std::string_view name, std::int32_t partition, int kind) {
+  const auto want = static_cast<Cell::Kind>(kind);
+  Cell* cell = findCell(cells_, name, partition);
+  if (cell == nullptr) {
+    cell = new Cell();
+    cell->name = std::string(name);
+    cell->partition = partition;
+    cell->kind = want;
+    if (want == Cell::Kind::kHistogram) {
+      cell->histogram = std::make_unique<Histogram>();
+    }
+    cells_.push_back(cell);
+  }
+  TSG_CHECK_MSG(cell->kind == want, "metric registered with a different kind");
+  return *cell;
+}
+
 MetricsRegistry::Counter& MetricsRegistry::counter(std::string_view name,
                                                    std::int32_t partition) {
   std::lock_guard lock(mutex_);
-  Cell* cell = findCell(cells_, name, partition);
-  if (cell == nullptr) {
-    cell = new Cell{std::string(name), partition, /*is_gauge=*/false, {}, {}};
-    cells_.push_back(cell);
-  }
-  TSG_CHECK_MSG(!cell->is_gauge, "metric registered as a gauge");
-  return cell->counter;
+  return findOrCreateCell(name, partition,
+                          static_cast<int>(Cell::Kind::kCounter))
+      .counter;
 }
 
 MetricsRegistry::Gauge& MetricsRegistry::gauge(std::string_view name,
                                                std::int32_t partition) {
   std::lock_guard lock(mutex_);
-  Cell* cell = findCell(cells_, name, partition);
-  if (cell == nullptr) {
-    cell = new Cell{std::string(name), partition, /*is_gauge=*/true, {}, {}};
-    cells_.push_back(cell);
-  }
-  TSG_CHECK_MSG(cell->is_gauge, "metric registered as a counter");
-  return cell->gauge;
+  return findOrCreateCell(name, partition, static_cast<int>(Cell::Kind::kGauge))
+      .gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::int32_t partition) {
+  std::lock_guard lock(mutex_);
+  return *findOrCreateCell(name, partition,
+                           static_cast<int>(Cell::Kind::kHistogram))
+              .histogram;
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
@@ -71,11 +94,14 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
     std::lock_guard lock(mutex_);
     points.reserve(cells_.size());
     for (const Cell* cell : cells_) {
+      if (cell->kind == Cell::Kind::kHistogram) {
+        continue;  // distributions travel via histogramSnapshot()
+      }
       Point point;
       point.name = cell->name;
       point.partition = cell->partition;
-      point.is_gauge = cell->is_gauge;
-      point.value = cell->is_gauge
+      point.is_gauge = cell->kind == Cell::Kind::kGauge;
+      point.value = point.is_gauge
                         ? cell->gauge.value()
                         : static_cast<std::int64_t>(cell->counter.value());
       points.push_back(std::move(point));
@@ -89,11 +115,81 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
   return points;
 }
 
+MetricsRegistry::HistogramSnapshots MetricsRegistry::histogramSnapshot()
+    const {
+  HistogramSnapshots snaps;
+  {
+    std::lock_guard lock(mutex_);
+    for (const Cell* cell : cells_) {
+      if (cell->kind != Cell::Kind::kHistogram) {
+        continue;
+      }
+      const Histogram& h = *cell->histogram;
+      HistogramSnapshot snap;
+      snap.name = cell->name;
+      snap.partition = cell->partition;
+      snap.count = h.count();
+      snap.sum = h.sum();
+      snap.max = h.max();
+      for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+        snap.buckets[static_cast<std::size_t>(i)] =
+            h.buckets_[static_cast<std::size_t>(i)].load(
+                std::memory_order_relaxed);
+      }
+      snaps.push_back(std::move(snap));
+    }
+  }
+  std::sort(snaps.begin(), snaps.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return std::tie(a.name, a.partition) <
+                     std::tie(b.name, b.partition);
+            });
+  return snaps;
+}
+
+std::uint64_t MetricsRegistry::HistogramSnapshot::quantile(double q) const {
+  if (count == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample, 1-based; q=1.0 maps to the last sample.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(count) + 0.5));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    seen += buckets[static_cast<std::size_t>(i)];
+    if (seen >= rank) {
+      // Never report beyond the observed max (the top bucket's upper bound
+      // can be far above it).
+      return std::min(Histogram::bucketUpperBound(i), max);
+    }
+  }
+  return max;
+}
+
+void MetricsRegistry::HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard lock(mutex_);
   for (Cell* cell : cells_) {
     cell->counter.value_.store(0, std::memory_order_relaxed);
     cell->gauge.value_.store(0, std::memory_order_relaxed);
+    if (cell->histogram != nullptr) {
+      Histogram& h = *cell->histogram;
+      for (auto& bucket : h.buckets_) {
+        bucket.store(0, std::memory_order_relaxed);
+      }
+      h.count_.store(0, std::memory_order_relaxed);
+      h.sum_.store(0, std::memory_order_relaxed);
+      h.max_.store(0, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -117,6 +213,37 @@ MetricsRegistry::Snapshot snapshotDelta(
       if (out.value == 0) {
         continue;
       }
+    }
+    delta.push_back(std::move(out));
+  }
+  return delta;
+}
+
+MetricsRegistry::HistogramSnapshots histogramDelta(
+    const MetricsRegistry::HistogramSnapshots& before,
+    const MetricsRegistry::HistogramSnapshots& after) {
+  MetricsRegistry::HistogramSnapshots delta;
+  delta.reserve(after.size());
+  for (const auto& snap : after) {
+    const auto it = std::lower_bound(
+        before.begin(), before.end(), snap,
+        [](const MetricsRegistry::HistogramSnapshot& a,
+           const MetricsRegistry::HistogramSnapshot& b) {
+          return std::tie(a.name, a.partition) < std::tie(b.name, b.partition);
+        });
+    MetricsRegistry::HistogramSnapshot out = snap;
+    if (it != before.end() && it->name == snap.name &&
+        it->partition == snap.partition) {
+      out.count -= it->count;
+      out.sum -= it->sum;
+      for (std::size_t i = 0; i < out.buckets.size(); ++i) {
+        out.buckets[i] -= it->buckets[i];
+      }
+      // `max` keeps the after-value: the true per-run max is not recoverable
+      // from two cumulative snapshots. An upper estimate, like the quantiles.
+    }
+    if (out.count == 0) {
+      continue;
     }
     delta.push_back(std::move(out));
   }

@@ -1,20 +1,25 @@
-// MetricsRegistry — process-wide counters and gauges for the TI-BSP stack.
+// MetricsRegistry — process-wide counters, gauges and histograms for the
+// TI-BSP stack.
 //
 // A metric is (name, optional partition label). Counters accumulate
 // monotonically (messages delivered, packs loaded, barrier-wait ns); gauges
-// hold the latest value (e.g. cached pack index). Cells are atomics, so any
-// thread may bump a metric it holds a handle to; registration (name lookup)
-// takes a mutex, so hot paths look a handle up once and keep it.
+// hold the latest value (e.g. cached pack index); histograms capture value
+// distributions (superstep durations, delivered-batch sizes) in logarithmic
+// buckets. Cells are atomics, so any thread may bump a metric it holds a
+// handle to; registration (name lookup) takes a mutex, so hot paths look a
+// handle up once and keep it.
 //
 // The registry is process-wide and outlives individual runs: per-run
 // accounting is a snapshot() before and after the run, diffed with
-// snapshotDelta() (see TiBspEngine::run, which attaches the delta to
-// RunStats). Two engines running concurrently in one process share the
-// registry, so their deltas overlap — acceptable for a substrate whose
-// engines run one at a time per process.
+// snapshotDelta() / histogramDelta() (see TiBspEngine::run, which attaches
+// the deltas to RunStats). Two engines running concurrently in one process
+// share the registry, so their deltas overlap — acceptable for a substrate
+// whose engines run one at a time per process.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -22,6 +27,58 @@
 #include <vector>
 
 namespace tsg {
+
+// Log-bucketed value distribution. Bucket 0 holds the value 0; bucket i>0
+// holds [2^(i-1), 2^i). record() is lock-free (relaxed atomic adds plus a
+// CAS loop for the max), so workers can feed it from the superstep hot path;
+// readers take a consistent-enough view via MetricsRegistry snapshots
+// (per-bucket counts are exact, cross-bucket skew is bounded by in-flight
+// record() calls, which is fine for the post-run reporting this backs).
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 65;  // 0 plus one per bit width
+
+  static int bucketOf(std::uint64_t value) {
+    return static_cast<int>(std::bit_width(value));
+  }
+  // Inclusive upper bound of a bucket (the value reported for quantiles).
+  static std::uint64_t bucketUpperBound(int bucket) {
+    return bucket >= 64 ? ~std::uint64_t{0}
+                        : (std::uint64_t{1} << bucket) - 1;
+  }
+
+  void record(std::uint64_t value) {
+    buckets_[static_cast<std::size_t>(bucketOf(value))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen && !max_.compare_exchange_weak(
+                               seen, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
 
 class MetricsRegistry {
  public:
@@ -74,6 +131,8 @@ class MetricsRegistry {
   Counter& counter(std::string_view name,
                    std::int32_t partition = kNoPartition);
   Gauge& gauge(std::string_view name, std::int32_t partition = kNoPartition);
+  Histogram& histogram(std::string_view name,
+                       std::int32_t partition = kNoPartition);
 
   // One metric value at snapshot time.
   struct Point {
@@ -87,10 +146,44 @@ class MetricsRegistry {
 
   [[nodiscard]] Snapshot snapshot() const;
 
+  // One histogram's state at snapshot time. Quantiles are resolved to the
+  // inclusive upper bound of the bucket containing the requested rank, so
+  // they are upper estimates within a factor of 2 — plenty for the
+  // straggler/latency reporting this feeds.
+  struct HistogramSnapshot {
+    std::string name;
+    std::int32_t partition = kNoPartition;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    std::array<std::uint64_t, Histogram::kNumBuckets> buckets{};
+
+    // q in [0, 1]; returns 0 for an empty histogram.
+    [[nodiscard]] std::uint64_t quantile(double q) const;
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+    // Accumulates `other` into this snapshot (same metric from another
+    // source, e.g. per-partition shards folded into a run total).
+    void merge(const HistogramSnapshot& other);
+
+    friend bool operator==(const HistogramSnapshot&,
+                           const HistogramSnapshot&) = default;
+  };
+  using HistogramSnapshots =
+      std::vector<HistogramSnapshot>;  // sorted by (name, partition)
+
+  [[nodiscard]] HistogramSnapshots histogramSnapshot() const;
+
   // Zeroes every cell (registrations and handles stay valid).
   void reset();
 
  private:
+  // `kind` is Cell::Kind cast to int (Cell is only defined in the .cc).
+  Cell& findOrCreateCell(std::string_view name, std::int32_t partition,
+                         int kind);
+
   mutable std::mutex mutex_;
   std::vector<Cell*> cells_;  // owned; freed in the destructor
 };
@@ -101,5 +194,13 @@ class MetricsRegistry {
 MetricsRegistry::Snapshot snapshotDelta(
     const MetricsRegistry::Snapshot& before,
     const MetricsRegistry::Snapshot& after);
+
+// Per-run view of histograms: bucket counts, count and sum subtract
+// `before`; max keeps the `after` value (the true per-run max is not
+// recoverable from two snapshots — documented approximation). Histograms
+// whose delta count is zero are dropped.
+MetricsRegistry::HistogramSnapshots histogramDelta(
+    const MetricsRegistry::HistogramSnapshots& before,
+    const MetricsRegistry::HistogramSnapshots& after);
 
 }  // namespace tsg

@@ -133,6 +133,10 @@ void appendTsUs(std::string& out, std::int64_t ns) {
   out += buf;
 }
 
+bool isFlowPhase(char phase) {
+  return phase == 's' || phase == 't' || phase == 'f';
+}
+
 void appendEvent(JsonWriter& json, const TraceEvent& ev, std::uint32_t tid) {
   json.beginObject();
   json.kv("name", ev.name);
@@ -151,6 +155,12 @@ void appendEvent(JsonWriter& json, const TraceEvent& ev, std::uint32_t tid) {
     std::string dur;
     appendTsUs(dur, ev.dur_ns);
     json.rawNumber(dur);
+  }
+  if (isFlowPhase(ev.phase)) {
+    json.kv("id", ev.flow_id);
+    if (ev.phase == 'f') {
+      json.kv("bp", "e");  // bind to the enclosing span
+    }
   }
   json.key("args");
   json.beginObject();
@@ -208,18 +218,18 @@ Status Tracer::writeJson(const std::string& path) {
   return Status::ok();
 }
 
-TraceSpan::TraceSpan(const char* category, const char* name, const char* k1,
-                     std::int64_t v1, const char* k2, std::int64_t v2)
+TraceSpan::TraceSpan(TraceLiteral category, TraceLiteral name, TraceLiteral k1,
+                     std::int64_t v1, TraceLiteral k2, std::int64_t v2)
     : active_(Tracer::enabled()) {
   if (!active_) {
     return;
   }
-  event_.category = category;
-  event_.name = name;
+  event_.category = category.str;
+  event_.name = name.str;
   event_.phase = 'X';
-  event_.k1 = k1;
+  event_.k1 = k1.str;
   event_.v1 = v1;
-  event_.k2 = k2;
+  event_.k2 = k2.str;
   event_.v2 = v2;
   event_.ts_ns = steadyNowNs();
 }
@@ -234,31 +244,70 @@ TraceSpan::~TraceSpan() {
   Tracer::instance().record(event_);
 }
 
-void traceInstant(const char* category, const char* name, const char* k1,
+void traceInstant(TraceLiteral category, TraceLiteral name, TraceLiteral k1,
                   std::int64_t v1) {
   if (!Tracer::enabled()) {
     return;
   }
   TraceEvent ev;
-  ev.category = category;
-  ev.name = name;
+  ev.category = category.str;
+  ev.name = name.str;
   ev.phase = 'i';
   ev.ts_ns = steadyNowNs();
-  ev.k1 = k1;
+  ev.k1 = k1.str;
   ev.v1 = v1;
   Tracer::instance().record(ev);
 }
 
-void traceCounter(const char* track, std::int64_t value) {
+void traceCounter(TraceLiteral track, std::int64_t value) {
   if (!Tracer::enabled()) {
     return;
   }
   TraceEvent ev;
-  ev.name = track;
+  ev.name = track.str;
   ev.phase = 'C';
   ev.ts_ns = steadyNowNs();
   ev.v1 = value;
   Tracer::instance().record(ev);
+}
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_flow_id{1};
+
+void traceFlow(char phase, TraceLiteral category, TraceLiteral name,
+               std::uint64_t flow_id) {
+  if (!Tracer::enabled()) {
+    return;
+  }
+  TraceEvent ev;
+  ev.category = category.str;
+  ev.name = name.str;
+  ev.phase = phase;
+  ev.ts_ns = steadyNowNs();
+  ev.flow_id = flow_id;
+  Tracer::instance().record(ev);
+}
+
+}  // namespace
+
+std::uint64_t nextFlowId() {
+  return g_next_flow_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void traceFlowStart(TraceLiteral category, TraceLiteral name,
+                    std::uint64_t flow_id) {
+  traceFlow('s', category, name, flow_id);
+}
+
+void traceFlowStep(TraceLiteral category, TraceLiteral name,
+                   std::uint64_t flow_id) {
+  traceFlow('t', category, name, flow_id);
+}
+
+void traceFlowFinish(TraceLiteral category, TraceLiteral name,
+                     std::uint64_t flow_id) {
+  traceFlow('f', category, name, flow_id);
 }
 
 }  // namespace tsg

@@ -2,11 +2,16 @@
 //
 // The tracer is a process-wide singleton that buffers events per thread and
 // serializes them as Chrome trace-event JSON ("traceEvents" array), loadable
-// in Perfetto / chrome://tracing. Three event kinds:
+// in Perfetto / chrome://tracing. Four event kinds:
 //   * spans    — RAII TraceSpan objects become complete ("X") events with
 //                nested durations (timestep → superstep → partition job);
 //   * instants — point-in-time markers ("i");
-//   * counters — numeric tracks ("C"), e.g. delivered messages per superstep.
+//   * counters — numeric tracks ("C"), e.g. delivered messages per superstep;
+//   * flows    — "s"/"t"/"f" events sharing a 64-bit flow id, drawn by the
+//                viewer as arrows between the spans that enclose them. The
+//                message fabric uses them to causally link a batch's send
+//                (worker thread) → deliver (coordinator) → drain (receiving
+//                worker) across named threads.
 //
 // Cost model: when tracing is disabled (the default), every instrumentation
 // site is one relaxed atomic load and a branch — no allocation, no clock
@@ -15,11 +20,15 @@
 // per-message/per-vertex paths are deliberately NOT instrumented, only
 // structural points (rounds, supersteps, deliveries, pack loads).
 //
-// Event names and arg keys must be string literals (or otherwise outlive the
-// tracer buffers): events store the pointers, not copies.
+// Event names and arg keys must be string literals: events store the
+// pointers, not copies, and the buffers outlive any call-site scope. The
+// public API enforces this at compile time via TraceLiteral — passing a
+// runtime char* (e.g. std::string::c_str()) is a build error, not a
+// use-after-free at export time.
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -32,13 +41,30 @@ namespace trace_detail {
 extern std::atomic<bool> g_trace_enabled;
 }  // namespace trace_detail
 
+// Compile-time guard for the literal-lifetime contract: only constructible
+// (consteval) from character-array literals or nullptr, so every name /
+// category / arg key handed to the tracer is known to live forever. Used at
+// all instrumentation call sites via the TraceSpan / traceInstant /
+// traceCounter / traceFlow* signatures.
+struct TraceLiteral {
+  template <std::size_t N>
+  consteval TraceLiteral(const char (&literal)[N])  // NOLINT(runtime/explicit)
+      : str(literal) {}
+  consteval TraceLiteral(std::nullptr_t)  // NOLINT(runtime/explicit)
+      : str(nullptr) {}
+
+  const char* str;
+};
+
 // One buffered event (exposed for tests; not part of the stable API).
 struct TraceEvent {
   const char* category = nullptr;
   const char* name = nullptr;
-  char phase = 'X';         // 'X' complete, 'i' instant, 'C' counter
+  char phase = 'X';         // 'X' complete, 'i' instant, 'C' counter,
+                            // 's'/'t'/'f' flow start/step/finish
   std::int64_t ts_ns = 0;   // steady-clock nanoseconds
   std::int64_t dur_ns = 0;  // 'X' only
+  std::uint64_t flow_id = 0;  // 's'/'t'/'f' only; pairs the arrow endpoints
   // Up to two integer args ('X'/'i'); 'C' stores the counter value in v1.
   const char* k1 = nullptr;
   std::int64_t v1 = 0;
@@ -93,9 +119,9 @@ class Tracer {
 // destruction. Construction with tracing disabled costs one branch.
 class TraceSpan {
  public:
-  explicit TraceSpan(const char* category, const char* name,
-                     const char* k1 = nullptr, std::int64_t v1 = 0,
-                     const char* k2 = nullptr, std::int64_t v2 = 0);
+  explicit TraceSpan(TraceLiteral category, TraceLiteral name,
+                     TraceLiteral k1 = nullptr, std::int64_t v1 = 0,
+                     TraceLiteral k2 = nullptr, std::int64_t v2 = 0);
   ~TraceSpan();
 
   TraceSpan(const TraceSpan&) = delete;
@@ -107,10 +133,28 @@ class TraceSpan {
 };
 
 // Point-in-time marker.
-void traceInstant(const char* category, const char* name,
-                  const char* k1 = nullptr, std::int64_t v1 = 0);
+void traceInstant(TraceLiteral category, TraceLiteral name,
+                  TraceLiteral k1 = nullptr, std::int64_t v1 = 0);
 
 // Counter track sample: `track` becomes a named counter series in Perfetto.
-void traceCounter(const char* track, std::int64_t value);
+void traceCounter(TraceLiteral track, std::int64_t value);
+
+// --- Flow events -----------------------------------------------------------
+// A flow is an arrow the viewer draws between the enclosing spans of its
+// start/step/finish events; all three must share the same (category, name)
+// and flow id. Emit the start on the producing thread, optional steps at
+// hand-off points, and the finish on the consuming thread.
+
+// Allocates a process-unique nonzero flow id.
+std::uint64_t nextFlowId();
+
+void traceFlowStart(TraceLiteral category, TraceLiteral name,
+                    std::uint64_t flow_id);
+void traceFlowStep(TraceLiteral category, TraceLiteral name,
+                   std::uint64_t flow_id);
+// Emitted with binding point "enclosing" so the arrow lands on the span
+// that contains the finish, not the next slice on the thread.
+void traceFlowFinish(TraceLiteral category, TraceLiteral name,
+                     std::uint64_t flow_id);
 
 }  // namespace tsg

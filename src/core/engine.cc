@@ -395,8 +395,19 @@ void commitRecord(ExecEnv& env, SuperstepRecord rec, Timestep counter_t) {
   // Feed the process-wide registry (atomic cells; no lock needed).
   auto& registry = MetricsRegistry::global();
   registry.counter("engine.supersteps").increment();
+  // Phase-duration distributions across (superstep × partition) samples —
+  // the spread the straggler analysis quantifies (p50/p99/max).
+  auto& h_compute = registry.histogram("engine.superstep_compute_ns");
+  auto& h_send = registry.histogram("engine.superstep_send_ns");
+  auto& h_sync = registry.histogram("engine.superstep_sync_ns");
   for (PartitionId p = 0; p < rec.parts.size(); ++p) {
     const auto& ps = rec.parts[p];
+    h_compute.record(static_cast<std::uint64_t>(std::max<std::int64_t>(
+        0, ps.compute_ns)));
+    h_send.record(
+        static_cast<std::uint64_t>(std::max<std::int64_t>(0, ps.send_ns)));
+    h_sync.record(
+        static_cast<std::uint64_t>(std::max<std::int64_t>(0, ps.sync_ns)));
     if (ps.subgraphs_computed != 0) {
       registry.counter("engine.subgraphs_computed", static_cast<std::int32_t>(p))
           .add(ps.subgraphs_computed);
@@ -674,6 +685,7 @@ TiBspResult TiBspEngine::run(const ProgramFactory& factory,
   Tracer::setCurrentThreadName("coordinator");
   TraceSpan run_span("tibsp", "tibsp.run", "timesteps", count);
   const auto metrics_before = MetricsRegistry::global().snapshot();
+  const auto hists_before = MetricsRegistry::global().histogramSnapshot();
   Stopwatch wall;
 
   const bool concurrent =
@@ -859,6 +871,8 @@ TiBspResult TiBspEngine::run(const ProgramFactory& factory,
   result.stats.setWallClockNs(wall.elapsedNs());
   result.stats.setMetrics(
       snapshotDelta(metrics_before, MetricsRegistry::global().snapshot()));
+  result.stats.setHistograms(histogramDelta(
+      hists_before, MetricsRegistry::global().histogramSnapshot()));
   return result;
 }
 

@@ -96,6 +96,7 @@ std::string runStatsToJson(const RunStats& stats, const std::string& label,
                            const NetworkModel& net) {
   JsonWriter json;
   json.beginObject();
+  json.kv("schema_version", kRunStatsSchemaVersion);
   json.kv("label", label);
   json.kv("num_partitions", stats.numPartitions());
   json.kv("num_timesteps", stats.numTimesteps());
@@ -205,8 +206,147 @@ std::string runStatsToJson(const RunStats& stats, const std::string& label,
   }
   json.endArray();
 
+  // Histogram deltas (superstep phase durations, batch sizes). Buckets are
+  // exported sparsely as [bucket_index, count] pairs; quantiles are resolved
+  // here so consumers without the bucket math still get p50/p90/p99.
+  json.key("histograms");
+  json.beginArray();
+  for (const auto& h : stats.histograms()) {
+    json.beginObject();
+    json.kv("name", h.name);
+    if (h.partition != MetricsRegistry::kNoPartition) {
+      json.kv("partition", h.partition);
+    }
+    json.kv("count", h.count);
+    json.kv("sum", h.sum);
+    json.kv("max", h.max);
+    json.kv("p50", h.quantile(0.50));
+    json.kv("p90", h.quantile(0.90));
+    json.kv("p99", h.quantile(0.99));
+    json.key("buckets");
+    json.beginArray();
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) {
+        continue;
+      }
+      json.beginArray();
+      json.value(static_cast<std::uint64_t>(i));
+      json.value(h.buckets[i]);
+      json.endArray();
+    }
+    json.endArray();
+    json.endObject();
+  }
+  json.endArray();
+
   json.endObject();
   return json.take();
+}
+
+namespace {
+
+std::uint64_t u64Or(const JsonValue& obj, std::string_view key,
+                    std::uint64_t fallback) {
+  return static_cast<std::uint64_t>(
+      obj.intOr(key, static_cast<std::int64_t>(fallback)));
+}
+
+}  // namespace
+
+Result<LoadedRunStats> runStatsFromJson(std::string_view text) {
+  auto parsed = JsonValue::parse(text);
+  if (!parsed.isOk()) {
+    return Status::corruptData("run stats JSON: " +
+                               parsed.status().message());
+  }
+  const JsonValue& doc = parsed.value();
+  if (!doc.isObject()) {
+    return Status::corruptData("run stats JSON: top level is not an object");
+  }
+  const JsonValue* version = doc.find("schema_version");
+  if (version == nullptr || !version->isNumber()) {
+    return Status::corruptData(
+        "run stats JSON has no \"schema_version\" field (produced by a "
+        "pre-versioning build?)");
+  }
+  if (version->intValue() != kRunStatsSchemaVersion) {
+    return Status::corruptData(
+        "run stats schema_version " + std::to_string(version->intValue()) +
+        " is not supported (this build reads version " +
+        std::to_string(kRunStatsSchemaVersion) + ")");
+  }
+
+  LoadedRunStats loaded;
+  loaded.label = doc.stringOr("label", "");
+  loaded.modelled_parallel_ns = doc.intOr("modelled_parallel_ns", 0);
+  loaded.stats =
+      RunStats(static_cast<std::uint32_t>(doc.intOr("num_partitions", 0)));
+  loaded.stats.setWallClockNs(doc.intOr("wall_clock_ns", 0));
+
+  const JsonValue* supersteps = doc.find("supersteps");
+  if (supersteps == nullptr || !supersteps->isArray()) {
+    return Status::corruptData("run stats JSON: missing \"supersteps\" array");
+  }
+  for (const JsonValue& rec_json : supersteps->array()) {
+    if (!rec_json.isObject()) {
+      return Status::corruptData(
+          "run stats JSON: superstep entry is not an object");
+    }
+    SuperstepRecord rec;
+    rec.timestep = static_cast<Timestep>(rec_json.intOr("timestep", 0));
+    rec.superstep =
+        static_cast<std::int32_t>(rec_json.intOr("superstep", 0));
+    const JsonValue* merge = rec_json.find("is_merge_phase");
+    rec.is_merge_phase = merge != nullptr && merge->isBool() &&
+                         merge->boolValue();
+    rec.delivered_messages = u64Or(rec_json, "delivered_messages", 0);
+    rec.delivered_bytes = u64Or(rec_json, "delivered_bytes", 0);
+    rec.cross_partition_messages =
+        u64Or(rec_json, "cross_partition_messages", 0);
+    rec.cross_partition_bytes = u64Or(rec_json, "cross_partition_bytes", 0);
+    const JsonValue* parts = rec_json.find("parts");
+    if (parts != nullptr && parts->isArray()) {
+      for (const JsonValue& ps_json : parts->array()) {
+        PartitionSuperstepStats ps;
+        ps.compute_ns = ps_json.intOr("compute_ns", 0);
+        ps.send_ns = ps_json.intOr("send_ns", 0);
+        ps.sync_ns = ps_json.intOr("sync_ns", 0);
+        ps.load_ns = ps_json.intOr("load_ns", 0);
+        ps.messages_sent = u64Or(ps_json, "messages_sent", 0);
+        ps.bytes_sent = u64Or(ps_json, "bytes_sent", 0);
+        ps.subgraphs_computed = u64Or(ps_json, "subgraphs_computed", 0);
+        rec.parts.push_back(ps);
+      }
+    }
+    loaded.stats.addSuperstep(std::move(rec));
+  }
+
+  // counters[name][timestep][partition] — needed so counterTotal() and the
+  // counter tables keep working on re-loaded runs.
+  const JsonValue* counters = doc.find("counters");
+  if (counters != nullptr && counters->isObject()) {
+    for (const auto& [name, rows] : counters->object()) {
+      if (!rows.isArray()) {
+        continue;
+      }
+      for (std::size_t t = 0; t < rows.array().size(); ++t) {
+        const JsonValue& row = rows.array()[t];
+        if (!row.isArray()) {
+          continue;
+        }
+        for (std::size_t p = 0; p < row.array().size(); ++p) {
+          const JsonValue& v = row.array()[p];
+          if (v.isNumber() && v.intValue() != 0) {
+            loaded.stats.addCounter(
+                name, static_cast<Timestep>(t), static_cast<PartitionId>(p),
+                static_cast<std::uint64_t>(v.intValue()));
+          }
+        }
+      }
+    }
+  }
+
+  return loaded;
 }
 
 }  // namespace tsg

@@ -3,7 +3,9 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
+#include "common/status.h"
 #include "runtime/stats.h"
 
 namespace tsg {
@@ -29,11 +31,34 @@ std::string renderUtilization(const RunStats& stats, const std::string& label);
 std::string summarizeRun(const RunStats& stats, const std::string& label,
                          const NetworkModel& net = {});
 
+// Version stamped into every runStatsToJson document as "schema_version".
+// Bump on any incompatible change to the exported shape; readers
+// (runStatsFromJson, tsgcli analyze/compare) reject other versions rather
+// than misparse.
+inline constexpr std::int64_t kRunStatsSchemaVersion = 1;
+
 // Machine-readable export of a full run: totals, per-timestep modelled
-// series, per-partition utilization split, every superstep record and the
-// MetricsRegistry delta captured over the run. The output is a single JSON
-// object (see DESIGN.md "Observability" for the schema).
+// series, per-partition utilization split, every superstep record, the
+// MetricsRegistry delta and histogram deltas captured over the run. The
+// output is a single JSON object (see DESIGN.md "Observability" for the
+// schema).
 std::string runStatsToJson(const RunStats& stats, const std::string& label,
                            const NetworkModel& net = {});
+
+// A run re-loaded from a runStatsToJson document. `stats` carries the
+// superstep records, counters and wall clock, so every RunStats aggregation
+// (modelledParallelNs, partitionUtilization, ...) works on it;
+// `modelled_parallel_ns` is the value stamped by the writer (computed under
+// the writer's NetworkModel, which comparisons should trust over a
+// recomputation).
+struct LoadedRunStats {
+  std::string label;
+  RunStats stats;
+  std::int64_t modelled_parallel_ns = 0;
+};
+
+// Parses a runStatsToJson document. Fails with CorruptData on malformed
+// JSON, a missing "schema_version", or a version this reader does not speak.
+Result<LoadedRunStats> runStatsFromJson(std::string_view text);
 
 }  // namespace tsg

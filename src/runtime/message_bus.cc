@@ -1,5 +1,7 @@
 #include "runtime/message_bus.h"
 
+#include <algorithm>
+
 #include "common/status.h"
 #include "common/trace.h"
 
@@ -17,10 +19,13 @@ MessageBus::MessageBus(std::uint32_t num_partitions)
       m_batches_(MetricsRegistry::global().counter("bus.batches_spliced")),
       m_spare_hits_(MetricsRegistry::global().counter("bus.spare_pool_hits")),
       m_spare_misses_(
-          MetricsRegistry::global().counter("bus.spare_pool_misses")) {
+          MetricsRegistry::global().counter("bus.spare_pool_misses")),
+      h_batch_messages_(
+          MetricsRegistry::global().histogram("bus.batch_messages")) {
   TSG_CHECK(num_partitions > 0);
   for (auto& row : rows_) {
     row.boxes.resize(num_partitions);
+    row.flow_ids.resize(num_partitions, 0);
   }
 }
 
@@ -36,7 +41,16 @@ void MessageBus::send(PartitionId from, PartitionId to, Message msg) {
     row.stats.cross_partition_bytes += size;
   }
   ++row.pending;
-  row.boxes[to].push_back(std::move(msg));
+  auto& box = row.boxes[to];
+  // First message into an empty box opens the batch: start its trace flow
+  // here on the sending thread, so the viewer can draw send → deliver →
+  // drain arrows. Per-batch, not per-message — the hot path stays at one
+  // relaxed load and a branch when tracing is off.
+  if (box.empty() && Tracer::enabled()) {
+    row.flow_ids[to] = nextFlowId();
+    traceFlowStart("bus", "bus.batch", row.flow_ids[to]);
+  }
+  box.push_back(std::move(msg));
 }
 
 std::vector<Message> MessageBus::takeSpare() {
@@ -53,12 +67,15 @@ std::vector<Message> MessageBus::takeSpare() {
 MessageBus::DeliveryStats MessageBus::deliver() {
   TraceSpan span("bus", "bus.deliver");
   // Recycle last superstep's batch vectors (consumed or abandoned alike).
+  // Abandoned batches drop their flow ids without a finish event: the arrow
+  // simply ends at its last observed hand-off, which is the truth.
   for (auto& inbox : inboxes_) {
     for (auto& batch : inbox.batches_) {
       batch.clear();
       spares_.push_back(std::move(batch));
     }
     inbox.batches_.clear();
+    inbox.flow_ids_.clear();
     inbox.total_ = 0;
   }
 
@@ -72,8 +89,15 @@ MessageBus::DeliveryStats MessageBus::deliver() {
         continue;
       }
       auto& inbox = inboxes_[to];
+      h_batch_messages_.record(box.size());
+      const std::uint64_t flow_id = row.flow_ids[to];
+      row.flow_ids[to] = 0;
+      if (flow_id != 0) {
+        traceFlowStep("bus", "bus.batch", flow_id);
+      }
       inbox.total_ += box.size();
       inbox.batches_.push_back(std::move(box));
+      inbox.flow_ids_.push_back(flow_id);
       box = takeSpare();
       ++batches;
     }
@@ -105,6 +129,20 @@ void MessageBus::inject(PartitionId to, std::vector<Message> msgs) {
   auto& inbox = inboxes_[to];
   inbox.total_ += msgs.size();
   inbox.batches_.push_back(std::move(msgs));
+  inbox.flow_ids_.push_back(0);  // seeds have no send-side flow
+}
+
+void MessageBus::Inbox::clear() {
+  for (std::size_t i = 0; i < batches_.size(); ++i) {
+    if (i < flow_ids_.size() && flow_ids_[i] != 0) {
+      if (Tracer::enabled()) {
+        traceFlowFinish("bus", "bus.batch", flow_ids_[i]);
+      }
+      flow_ids_[i] = 0;
+    }
+    batches_[i].clear();
+  }
+  total_ = 0;
 }
 
 bool MessageBus::anyPending() const {
@@ -126,6 +164,7 @@ void MessageBus::clearAll() {
     for (auto& box : row.boxes) {
       box.clear();
     }
+    std::fill(row.flow_ids.begin(), row.flow_ids.end(), 0);
     row.stats = DeliveryStats{};
     row.pending = 0;
   }
@@ -135,6 +174,7 @@ void MessageBus::clearAll() {
       spares_.push_back(std::move(batch));
     }
     inbox.batches_.clear();
+    inbox.flow_ids_.clear();
     inbox.total_ = 0;
   }
 }

@@ -59,18 +59,21 @@ class MessageBus {
     [[nodiscard]] std::span<const std::vector<Message>> batches() const {
       return batches_;
     }
+    // Flow ids parallel to batches(): entry i links batch i back to its
+    // send-side trace flow (0 = untracked, e.g. injected seeds).
+    [[nodiscard]] std::span<const std::uint64_t> flowIds() const {
+      return flow_ids_;
+    }
 
     // Drops the messages but keeps the spent batch vectors for recycling.
-    void clear() {
-      for (auto& batch : batches_) {
-        batch.clear();
-      }
-      total_ = 0;
-    }
+    // This is the drain point of a batch's trace flow: with tracing on, each
+    // tracked batch emits its flow-finish here, on the consuming thread.
+    void clear();
 
    private:
     friend class MessageBus;
     std::vector<std::vector<Message>> batches_;
+    std::vector<std::uint64_t> flow_ids_;  // parallel to batches_
     std::size_t total_ = 0;
   };
 
@@ -109,6 +112,9 @@ class MessageBus {
   // traffic counters it accumulates at send time.
   struct SenderRow {
     std::vector<std::vector<Message>> boxes;  // by destination partition
+    // Trace flow id of the batch building in boxes[to] (0 = none). Allocated
+    // on the first send into an empty box, handed to the inbox at deliver().
+    std::vector<std::uint64_t> flow_ids;
     DeliveryStats stats;
     std::uint64_t pending = 0;
   };
@@ -130,6 +136,7 @@ class MessageBus {
   MetricsRegistry::Counter& m_batches_;
   MetricsRegistry::Counter& m_spare_hits_;
   MetricsRegistry::Counter& m_spare_misses_;
+  Histogram& h_batch_messages_;  // messages per spliced batch
 };
 
 }  // namespace tsg

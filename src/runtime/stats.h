@@ -89,6 +89,15 @@ class RunStats {
     return metrics_;
   }
 
+  // Histogram deltas over this run (superstep phase durations,
+  // delivered-batch sizes); attached by the engines alongside metrics().
+  void setHistograms(MetricsRegistry::HistogramSnapshots histograms) {
+    histograms_ = std::move(histograms);
+  }
+  [[nodiscard]] const MetricsRegistry::HistogramSnapshots& histograms() const {
+    return histograms_;
+  }
+
   // --- aggregations ---
 
   [[nodiscard]] std::int32_t numTimesteps() const;
@@ -133,6 +142,7 @@ class RunStats {
   std::map<std::string, std::vector<std::vector<std::uint64_t>>> counters_;
   std::int64_t wall_clock_ns_ = 0;
   MetricsRegistry::Snapshot metrics_;
+  MetricsRegistry::HistogramSnapshots histograms_;
 };
 
 }  // namespace tsg

@@ -100,6 +100,7 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
   Tracer::setCurrentThreadName("coordinator");
   TraceSpan run_span("vc", "tvc.run", "timesteps", count);
   const auto metrics_before = MetricsRegistry::global().snapshot();
+  const auto hists_before = MetricsRegistry::global().histogramSnapshot();
   Stopwatch wall;
   Cluster cluster(k);
 
@@ -173,9 +174,14 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
         ps.bytes_sent = std::exchange(w.bytes_sent, 0);
         ps.subgraphs_computed = std::exchange(w.vertices_computed, 0);
       }
+      auto& registry = MetricsRegistry::global();
+      auto& h_batch = registry.histogram("vc.batch_messages");
       for (PartitionId p = 0; p < k; ++p) {
         for (PartitionId q = 0; q < k; ++q) {
           auto& box = workers[p].outbox[q];
+          if (!box.empty()) {
+            h_batch.record(box.size());
+          }
           delivered += box.size();
           rec.delivered_bytes += box.size() * sizeof(TvMessage);
           if (p != q) {
@@ -198,11 +204,19 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
       traceCounter("vc.delivered_messages",
                    static_cast<std::int64_t>(delivered));
       {
-        auto& registry = MetricsRegistry::global();
         registry.counter("vc.supersteps").increment();
         std::uint64_t computed = 0;
+        auto& h_compute = registry.histogram("vc.superstep_compute_ns");
+        auto& h_send = registry.histogram("vc.superstep_send_ns");
+        auto& h_sync = registry.histogram("vc.superstep_sync_ns");
         for (const auto& ps : rec.parts) {
           computed += ps.subgraphs_computed;
+          h_compute.record(static_cast<std::uint64_t>(
+              std::max<std::int64_t>(0, ps.compute_ns)));
+          h_send.record(static_cast<std::uint64_t>(
+              std::max<std::int64_t>(0, ps.send_ns)));
+          h_sync.record(static_cast<std::uint64_t>(
+              std::max<std::int64_t>(0, ps.sync_ns)));
         }
         registry.counter("vc.vertices_computed").add(computed);
         registry.counter("vc.messages_delivered").add(delivered);
@@ -238,6 +252,8 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
   result.stats.setWallClockNs(wall.elapsedNs());
   result.stats.setMetrics(
       snapshotDelta(metrics_before, MetricsRegistry::global().snapshot()));
+  result.stats.setHistograms(histogramDelta(
+      hists_before, MetricsRegistry::global().histogramSnapshot()));
   return result;
 }
 

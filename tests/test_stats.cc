@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 namespace tsg {
 namespace {
 
@@ -112,6 +114,48 @@ TEST(RunStats, TotalsAggregateDeliveries) {
   EXPECT_EQ(stats.totalMessages(), 15u);
   EXPECT_EQ(stats.totalBytes(), 150u);
   EXPECT_EQ(stats.totalSupersteps(), 2u);
+}
+
+TEST(RunStats, ModelledTimesAreZeroWithoutRecords) {
+  const RunStats stats(4);
+  EXPECT_EQ(stats.modelledParallelNs(), 0);
+  EXPECT_EQ(stats.modelledTimestepNs(0), 0);
+  EXPECT_EQ(stats.modelledTimestepNs(99), 0);
+  EXPECT_EQ(stats.numTimesteps(), 0);
+}
+
+TEST(RunStats, ModelledTimeWithZeroPartitions) {
+  RunStats stats(0);
+  stats.addSuperstep(makeRecord(0, 0, {}));  // a record with no partitions
+  NetworkModel net;
+  net.per_superstep_barrier_ns = 7;
+  net.per_message_ns = 0;
+  // No partitions means no busy time; only the barrier cost remains.
+  EXPECT_EQ(stats.modelledParallelNs(net), 7);
+  EXPECT_EQ(stats.modelledTimestepNs(0, net), 7);
+}
+
+TEST(RunStats, ModelledTimeSinglePartitionSumsBusyComponents) {
+  RunStats stats(1);
+  auto rec = makeRecord(0, 0, {10});
+  rec.parts[0].send_ns = 5;
+  rec.parts[0].load_ns = 2;
+  rec.parts[0].sync_ns = 99;  // barrier wait is never busy time
+  stats.addSuperstep(std::move(rec));
+  NetworkModel net;
+  net.per_superstep_barrier_ns = 0;
+  net.per_message_ns = 0;
+  EXPECT_EQ(stats.modelledParallelNs(net), 17);
+}
+
+TEST(RunStats, StragglerFixtureMatchesHandComputation) {
+  // The fixture's comment in test_util.h derives these numbers by hand;
+  // test_analysis asserts analyzeCriticalPath agrees with the same fixture.
+  const RunStats stats = testing::stragglerFixtureStats();
+  const NetworkModel net = testing::fixtureNetworkModel();
+  EXPECT_EQ(stats.modelledParallelNs(net), 5450);
+  EXPECT_EQ(stats.modelledTimestepNs(0, net), 3950);  // 2550 + 1400
+  EXPECT_EQ(stats.modelledTimestepNs(1, net), 1500);
 }
 
 TEST(RunStats, CounterBadPartitionAborts) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "runtime/message_bus.h"
 #include "test_util.h"
 
 namespace tsg {
@@ -146,6 +147,123 @@ TEST_F(TraceTest, StopGatesNewEvents) {
   EXPECT_EQ(Tracer::instance().eventCount(), 1u);
 }
 
+// --- Flow events --------------------------------------------------------
+
+std::size_t countOccurrences(const std::string& text,
+                             const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + 1)) {
+    ++n;
+  }
+  return n;
+}
+
+TEST_F(TraceTest, FlowEventsShareOneIdAcrossStartStepFinish) {
+  Tracer::instance().start();
+  const std::uint64_t id = nextFlowId();
+  traceFlowStart("test", "flow", id);
+  traceFlowStep("test", "flow", id);
+  traceFlowFinish("test", "flow", id);
+  Tracer::instance().stop();
+
+  const auto events = Tracer::instance().snapshotEvents();
+  ASSERT_EQ(events.size(), 3u);
+  std::string phases;
+  for (const auto& e : events) {
+    EXPECT_EQ(e.flow_id, id);
+    phases += e.phase;
+  }
+  std::sort(phases.begin(), phases.end());
+  EXPECT_EQ(phases, "fst");
+
+  const auto json = Tracer::instance().toJson();
+  EXPECT_TRUE(testing::isValidJson(json)) << json;
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  // The finish binds to its enclosing slice (Perfetto arrow-to-span).
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  // All three endpoints reference the same flow id.
+  EXPECT_EQ(countOccurrences(json, "\"id\":" + std::to_string(id)), 3u);
+}
+
+TEST_F(TraceTest, DisabledTracerEmitsNoFlows) {
+  const std::uint64_t id = nextFlowId();
+  traceFlowStart("test", "flow", id);
+  traceFlowStep("test", "flow", id);
+  traceFlowFinish("test", "flow", id);
+  EXPECT_EQ(Tracer::instance().eventCount(), 0u);
+}
+
+TEST_F(TraceTest, NextFlowIdIsUniqueAndNonzero) {
+  const std::uint64_t a = nextFlowId();
+  const std::uint64_t b = nextFlowId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST_F(TraceTest, BusBatchFlowPairsFromSendToDrain) {
+  Tracer::instance().start();
+  const auto hists_before = MetricsRegistry::global().histogramSnapshot();
+  MessageBus bus(2);
+  bus.send(0, 1, Message{});
+  bus.send(0, 1, Message{});  // second send joins the open batch, same flow
+  bus.deliver();
+
+  auto& inbox = bus.inbox(1);
+  ASSERT_EQ(inbox.batches().size(), 1u);
+  ASSERT_EQ(inbox.flowIds().size(), 1u);
+  const std::uint64_t id = inbox.flowIds()[0];
+  EXPECT_NE(id, 0u);
+  inbox.clear();  // drain point: emits the flow finish
+  Tracer::instance().stop();
+
+  const auto events = Tracer::instance().snapshotEvents();
+  int starts = 0;
+  int steps = 0;
+  int finishes = 0;
+  for (const auto& e : events) {
+    if (e.flow_id != id) {
+      continue;
+    }
+    starts += e.phase == 's';
+    steps += e.phase == 't';
+    finishes += e.phase == 'f';
+  }
+  EXPECT_EQ(starts, 1);    // one batch -> one flow, not one per message
+  EXPECT_EQ(steps, 1);     // the deliver() hand-off
+  EXPECT_EQ(finishes, 1);  // the drain
+
+  const auto json = Tracer::instance().toJson();
+  EXPECT_TRUE(testing::isValidJson(json)) << json.substr(0, 400);
+  EXPECT_EQ(countOccurrences(json, "\"id\":" + std::to_string(id)), 3u);
+
+  // The delivery also feeds the batch-size histogram: one batch, 2 messages.
+  const auto delta = histogramDelta(
+      hists_before, MetricsRegistry::global().histogramSnapshot());
+  const auto it = std::find_if(
+      delta.begin(), delta.end(),
+      [](const auto& h) { return h.name == "bus.batch_messages"; });
+  ASSERT_NE(it, delta.end());
+  EXPECT_EQ(it->count, 1u);
+  EXPECT_EQ(it->sum, 2u);
+}
+
+TEST_F(TraceTest, InjectedBatchesCarryNoFlow) {
+  Tracer::instance().start();
+  MessageBus bus(2);
+  std::vector<Message> seeds(3);
+  bus.inject(1, std::move(seeds));
+  auto& inbox = bus.inbox(1);
+  ASSERT_EQ(inbox.flowIds().size(), 1u);
+  EXPECT_EQ(inbox.flowIds()[0], 0u);
+  inbox.clear();
+  Tracer::instance().stop();
+  EXPECT_EQ(Tracer::instance().eventCount(), 0u);
+}
+
 // --- MetricsRegistry ----------------------------------------------------
 
 TEST(MetricsRegistry, CounterAndGaugeRoundTrip) {
@@ -219,6 +337,125 @@ TEST(MetricsRegistry, ResetZeroesButKeepsHandles) {
   EXPECT_EQ(c.value(), 0u);
   c.increment();
   EXPECT_EQ(registry.counter("c").value(), 1u);
+}
+
+// --- Histogram ----------------------------------------------------------
+
+TEST(Histogram, BucketMappingIsLogarithmic) {
+  EXPECT_EQ(Histogram::bucketOf(0), 0);
+  EXPECT_EQ(Histogram::bucketOf(1), 1);
+  EXPECT_EQ(Histogram::bucketOf(2), 2);
+  EXPECT_EQ(Histogram::bucketOf(3), 2);
+  EXPECT_EQ(Histogram::bucketOf(4), 3);
+  EXPECT_EQ(Histogram::bucketOf(~std::uint64_t{0}), 64);
+  EXPECT_EQ(Histogram::bucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::bucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::bucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::bucketUpperBound(64), ~std::uint64_t{0});
+}
+
+TEST(Histogram, RecordQuantileAndMean) {
+  MetricsRegistry registry;
+  auto& h = registry.histogram("h");
+  h.record(1);
+  h.record(10);
+  h.record(100);
+  h.record(1000);
+  const auto snaps = registry.histogramSnapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  const auto& snap = snaps[0];
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 1111u);
+  EXPECT_EQ(snap.max, 1000u);
+  EXPECT_EQ(snap.quantile(0.0), 1u);   // rank 1 lands in bucket [1, 1]
+  EXPECT_EQ(snap.quantile(0.5), 15u);  // rank 2 lands in bucket [8, 15]
+  // Top bucket's upper bound (1023) is clamped to the observed max.
+  EXPECT_EQ(snap.quantile(1.0), 1000u);
+  EXPECT_NEAR(snap.mean(), 277.75, 1e-9);
+}
+
+TEST(Histogram, EmptyHistogramReportsZero) {
+  MetricsRegistry registry;
+  registry.histogram("h");
+  const auto snaps = registry.histogramSnapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].count, 0u);
+  EXPECT_EQ(snaps[0].quantile(0.5), 0u);
+  EXPECT_EQ(snaps[0].mean(), 0.0);
+}
+
+TEST(Histogram, MergeAccumulatesShards) {
+  MetricsRegistry registry;
+  registry.histogram("a", 0).record(3);
+  registry.histogram("a", 1).record(300);
+  const auto snaps = registry.histogramSnapshot();
+  ASSERT_EQ(snaps.size(), 2u);
+  auto total = snaps[0];
+  total.merge(snaps[1]);
+  EXPECT_EQ(total.count, 2u);
+  EXPECT_EQ(total.sum, 303u);
+  EXPECT_EQ(total.max, 300u);
+  EXPECT_EQ(total.quantile(1.0), 300u);
+}
+
+TEST(Histogram, DeltaSubtractsAndDropsIdleHistograms) {
+  MetricsRegistry registry;
+  registry.histogram("hot").record(2);
+  registry.histogram("idle").record(5);
+  const auto before = registry.histogramSnapshot();
+  registry.histogram("hot").record(40);
+  const auto after = registry.histogramSnapshot();
+  const auto delta = histogramDelta(before, after);
+  ASSERT_EQ(delta.size(), 1u);  // "idle" didn't move -> dropped
+  EXPECT_EQ(delta[0].name, "hot");
+  EXPECT_EQ(delta[0].count, 1u);
+  EXPECT_EQ(delta[0].sum, 40u);
+  EXPECT_EQ(delta[0].max, 40u);  // after-value (documented approximation)
+  const auto bucket_of_2 =
+      static_cast<std::size_t>(Histogram::bucketOf(2));
+  const auto bucket_of_40 =
+      static_cast<std::size_t>(Histogram::bucketOf(40));
+  EXPECT_EQ(delta[0].buckets[bucket_of_2], 0u);
+  EXPECT_EQ(delta[0].buckets[bucket_of_40], 1u);
+}
+
+TEST(Histogram, ResetZeroesButKeepsHandles) {
+  MetricsRegistry registry;
+  auto& h = registry.histogram("h");
+  h.record(9);
+  registry.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  h.record(2);
+  EXPECT_EQ(registry.histogram("h").count(), 1u);
+}
+
+TEST(Histogram, ConcurrentRecordsAreLossless) {
+  MetricsRegistry registry;
+  auto& h = registry.histogram("c");
+  constexpr int kThreads = 4;
+  constexpr int kRecords = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&h] {
+      for (int j = 0; j < kRecords; ++j) {
+        h.record(static_cast<std::uint64_t>(j));
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kRecords);
+  EXPECT_EQ(h.max(), static_cast<std::uint64_t>(kRecords - 1));
+}
+
+TEST(Histogram, KindMismatchAborts) {
+  MetricsRegistry registry;
+  registry.counter("m");
+  EXPECT_DEATH(registry.histogram("m"), "different kind");
 }
 
 TEST(MetricsRegistry, ConcurrentFeedsAreLossless) {

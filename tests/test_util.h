@@ -21,6 +21,7 @@
 #include "graph/graph_template.h"
 #include "partition/partitioned_graph.h"
 #include "partition/partitioner.h"
+#include "runtime/stats.h"
 
 namespace tsg::testing {
 
@@ -105,6 +106,62 @@ inline TimeSeriesCollection tweetCollection(GraphTemplatePtr tmpl,
   options.seed = seed;
   options.num_seed_vertices = 2;
   return unwrap(makeSirTweetInstances(std::move(tmpl), options));
+}
+
+// --- Hand-computed straggler fixture ------------------------------------
+// Shared by test_stats and test_analysis so RunStats::modelledParallelNs and
+// analyzeCriticalPath are checked against the SAME arithmetic. Under
+// fixtureNetworkModel() (1 byte = 8 ns, 100 ns/message, 1000 ns/barrier):
+//
+//   (t0,s0): busy {120, 350}  straggler 1, wait 230, comm 1200 -> 2550
+//   (t0,s1): busy { 50, 400}  straggler 1, wait 350            -> 1400
+//   (t1,s0): busy {500, 100}  straggler 0, wait 400            -> 1500
+//
+// modelledParallelNs = 5450 = critical-path busy 1250 + comm 1200 +
+// barriers 3000; total busy 1520; total barrier wait 980, of which
+// partition 1 is blamed for 580 (~59.2%, the dominant straggler).
+
+inline NetworkModel fixtureNetworkModel() {
+  NetworkModel net;
+  net.bandwidth_bytes_per_sec = 125e6;  // 1 byte = 8 ns
+  net.per_message_ns = 100;
+  net.per_superstep_barrier_ns = 1000;
+  return net;
+}
+
+inline RunStats stragglerFixtureStats() {
+  RunStats stats(2);
+  SuperstepRecord a;
+  a.timestep = 0;
+  a.superstep = 0;
+  a.parts.resize(2);
+  a.parts[0].compute_ns = 100;
+  a.parts[0].send_ns = 20;
+  a.parts[1].compute_ns = 300;
+  a.parts[1].send_ns = 30;
+  a.parts[1].load_ns = 20;
+  a.cross_partition_bytes = 125;   // 1000 ns at 125 MB/s
+  a.cross_partition_messages = 2;  // 200 ns
+  a.delivered_messages = 4;
+  a.delivered_bytes = 64;
+  stats.addSuperstep(std::move(a));
+
+  SuperstepRecord b;
+  b.timestep = 0;
+  b.superstep = 1;
+  b.parts.resize(2);
+  b.parts[0].compute_ns = 50;
+  b.parts[1].compute_ns = 400;
+  stats.addSuperstep(std::move(b));
+
+  SuperstepRecord c;
+  c.timestep = 1;
+  c.superstep = 0;
+  c.parts.resize(2);
+  c.parts[0].compute_ns = 500;
+  c.parts[1].compute_ns = 100;
+  stats.addSuperstep(std::move(c));
+  return stats;
 }
 
 // --- Minimal JSON validity checker (grammar only, no DOM) ---------------

@@ -9,12 +9,18 @@
 //   tsgcli hashtag DIR [--tag=#meme]
 //   tsgcli pagerank DIR [--iters=N] [--top=N]
 //   tsgcli wcc DIR
+//   tsgcli analyze RUN.json
+//   tsgcli compare BASE.json CANDIDATE.json [--max-regress=PCT]
 //
 // Every analysis command prints the result summary plus the run's
 // utilization split (the Fig. 7b-style table). All analysis commands also
 // accept --trace=PATH (Perfetto/Chrome trace-event JSON of the run) and
-// --json=PATH (machine-readable RunStats export); the TSG_LOG_LEVEL
-// environment variable (debug|info|warn|error) controls log verbosity.
+// --json=PATH (machine-readable RunStats export). `analyze` and `compare`
+// consume those --json exports: analyze prints the critical-path /
+// straggler breakdown, compare is the regression gate CI runs against a
+// committed baseline. Log verbosity comes from the TSG_LOG_LEVEL
+// environment variable (debug|info|warn|error) or the --log-level= flag
+// (the flag wins).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -30,12 +36,14 @@
 #include "algorithms/tdsp.h"
 #include "algorithms/wcc.h"
 #include "common/log.h"
+#include "common/serialize.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
 #include "common/trace.h"
 #include "generators/instances.h"
 #include "generators/topology.h"
 #include "gofs/dataset.h"
+#include "metrics/analysis.h"
 #include "metrics/report.h"
 #include "partition/partitioner.h"
 
@@ -99,9 +107,13 @@ int usage() {
       "  hashtag  DIR [--tag=#meme]\n"
       "  pagerank DIR [--iters=N] [--top=N]\n"
       "  wcc      DIR\n"
+      "  analyze  RUN.json\n"
+      "  compare  BASE.json CANDIDATE.json [--max-regress=PCT]\n"
       "analysis commands also take:\n"
       "  --trace=PATH   write a Perfetto/Chrome trace of the run\n"
       "  --json=PATH    write machine-readable run stats (JSON)\n"
+      "all commands take:\n"
+      "  --log-level=debug|info|warn|error (overrides TSG_LOG_LEVEL)\n"
       "environment: TSG_LOG_LEVEL=debug|info|warn|error\n",
       stderr);
   return 2;
@@ -452,6 +464,64 @@ int cmdWcc(const Args& args) {
   return 0;
 }
 
+// Loads a runStatsToJson document from disk (as written by --json=PATH).
+Result<LoadedRunStats> loadRunStatsFile(const std::string& path) {
+  auto bytes = readFileBytes(path);
+  if (!bytes.isOk()) {
+    return bytes.status();
+  }
+  auto loaded = runStatsFromJson(std::string_view(
+      reinterpret_cast<const char*>(bytes.value().data()),
+      bytes.value().size()));
+  if (!loaded.isOk()) {
+    return Status(loaded.status().code(),
+                  path + ": " + loaded.status().message());
+  }
+  return loaded;
+}
+
+int cmdAnalyze(const Args& args) {
+  if (args.positional.empty()) {
+    std::fputs("tsgcli analyze: missing RUN.json argument\n", stderr);
+    return 2;
+  }
+  auto loaded = loadRunStatsFile(args.positional[0]);
+  if (!loaded.isOk()) {
+    return fail(loaded.status());
+  }
+  const auto& run = loaded.value();
+  const std::string label =
+      run.label.empty() ? args.positional[0] : run.label;
+  const auto analysis = analyzeCriticalPath(run.stats);
+  std::fputs(renderCriticalPath(analysis, label).c_str(), stdout);
+  std::fputs(renderUtilization(run.stats, label).c_str(), stdout);
+  return 0;
+}
+
+int cmdCompare(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::fputs("tsgcli compare: need BASE.json and CANDIDATE.json\n", stderr);
+    return 2;
+  }
+  auto base = loadRunStatsFile(args.positional[0]);
+  if (!base.isOk()) {
+    std::fprintf(stderr, "tsgcli: %s\n", base.status().toString().c_str());
+    return 2;
+  }
+  auto candidate = loadRunStatsFile(args.positional[1]);
+  if (!candidate.isOk()) {
+    std::fprintf(stderr, "tsgcli: %s\n",
+                 candidate.status().toString().c_str());
+    return 2;
+  }
+  CompareThresholds thresholds;
+  thresholds.max_regress_pct = args.getDouble("max-regress", 10.0);
+  const auto result =
+      compareRuns(base.value(), candidate.value(), thresholds);
+  std::fputs(renderCompare(result).c_str(), stdout);
+  return result.pass ? 0 : 1;
+}
+
 }  // namespace
 
 int dispatch(const std::string& command, const Args& args) {
@@ -476,6 +546,12 @@ int dispatch(const std::string& command, const Args& args) {
   if (command == "wcc") {
     return cmdWcc(args);
   }
+  if (command == "analyze") {
+    return cmdAnalyze(args);
+  }
+  if (command == "compare") {
+    return cmdCompare(args);
+  }
   std::fprintf(stderr, "tsgcli: unknown command '%s'\n", command.c_str());
   return usage();
 }
@@ -484,10 +560,21 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     return usage();
   }
-  const LogLevel level = initLogLevelFromEnv();
-  TSG_LOG(Info) << "log level: " << logLevelName(level);
+  LogLevel level = initLogLevelFromEnv();
   const std::string command = argv[1];
   const Args args = parseArgs(argc, argv);
+  // --log-level= wins over TSG_LOG_LEVEL.
+  if (args.has("log-level")) {
+    const std::string requested = args.get("log-level", "");
+    if (parseLogLevel(requested, level)) {
+      setLogLevel(level);
+    } else {
+      std::fprintf(stderr, "tsgcli: invalid --log-level=%s\n",
+                   requested.c_str());
+      return 2;
+    }
+  }
+  TSG_LOG(Info) << "log level: " << logLevelName(level);
   g_json_path = args.get("json", "");
   const std::string trace_path = args.get("trace", "");
   if (!trace_path.empty()) {
