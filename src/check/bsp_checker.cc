@@ -1,0 +1,279 @@
+#include "check/bsp_checker.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace tsg {
+namespace check {
+
+namespace check_detail {
+
+bool envDefault() {
+  const char* env = std::getenv("TSG_CHECK");
+  if (env == nullptr) {
+#if defined(TSG_CHECK_DEFAULT_ON)
+    return true;
+#else
+    return false;
+#endif
+  }
+  const std::string v(env);
+  return v == "1" || v == "on" || v == "true" || v == "yes";
+}
+
+std::atomic<bool> g_check_enabled{envDefault()};
+
+// Handler registry. Violations can fire on any worker thread; the mutex
+// covers handler installation racing a firing violation.
+std::mutex g_handler_mutex;
+ViolationHandler g_handler;  // empty = default (log + abort)
+
+}  // namespace check_detail
+
+void setEnabled(bool on) {
+  check_detail::g_check_enabled.store(on, std::memory_order_relaxed);
+}
+
+void setViolationHandler(ViolationHandler handler) {
+  std::lock_guard lock(check_detail::g_handler_mutex);
+  check_detail::g_handler = std::move(handler);
+}
+
+void clearViolationHandler() { setViolationHandler({}); }
+
+BspChecker::BspChecker(std::uint32_t num_partitions)
+    : parts_(num_partitions) {
+  TSG_CHECK(num_partitions > 0);
+}
+
+void BspChecker::violate(const char* rule, PartitionId p,
+                         std::uint64_t flow_id, std::string detail) {
+  violations_.fetch_add(1, std::memory_order_relaxed);
+  Violation v;
+  v.rule = rule;
+  v.partition = p;
+  v.timestep = timestep();
+  v.superstep = superstep();
+  v.flow_id = flow_id;
+  std::ostringstream os;
+  os << "BSP protocol violation [" << rule << "]: " << detail
+     << " (timestep " << v.timestep << ", superstep " << v.superstep;
+  if (p != kInvalidPartition) {
+    os << ", partition " << p;
+  }
+  if (flow_id != 0) {
+    os << ", flow " << flow_id;
+  }
+  os << ")";
+  v.detail = os.str();
+
+  ViolationHandler handler;
+  {
+    std::lock_guard lock(check_detail::g_handler_mutex);
+    handler = check_detail::g_handler;
+  }
+  if (handler) {
+    handler(v);
+    rebaseline();
+    return;
+  }
+  TSG_LOG(Error) << v.detail;
+  std::abort();
+}
+
+void BspChecker::rebaseline() {
+  sent_messages_.store(0, std::memory_order_relaxed);
+  sent_bytes_.store(0, std::memory_order_relaxed);
+  outstanding_.store(0, std::memory_order_relaxed);
+  consumed_.store(0, std::memory_order_relaxed);
+}
+
+void BspChecker::beginTimestep(Timestep t) {
+  timestep_.store(t, std::memory_order_relaxed);
+  superstep_.store(-1, std::memory_order_relaxed);
+}
+
+void BspChecker::beginSuperstep(std::int32_t s) {
+  superstep_.store(s, std::memory_order_relaxed);
+}
+
+void BspChecker::onInject(std::uint64_t messages, std::uint64_t bytes) {
+  (void)bytes;
+  for (PartitionId p = 0; p < parts_.size(); ++p) {
+    if (parts_[p].in_compute.load(std::memory_order_acquire)) {
+      violate("inject-during-compute", p, 0,
+              "coordinator injected " + std::to_string(messages) +
+                  " message(s) while partition " + std::to_string(p) +
+                  " was still inside its compute phase");
+      return;
+    }
+  }
+  outstanding_.fetch_add(messages, std::memory_order_relaxed);
+}
+
+void BspChecker::onDeliver(std::uint64_t messages, std::uint64_t bytes,
+                           std::uint64_t leftover_messages,
+                           std::uint64_t leftover_flow) {
+  for (PartitionId p = 0; p < parts_.size(); ++p) {
+    auto& ps = parts_[p];
+    if (ps.in_compute.load(std::memory_order_acquire)) {
+      violate("deliver-during-compute", p, 0,
+              "barrier delivery ran while partition " + std::to_string(p) +
+                  " was still inside its compute phase");
+      return;
+    }
+    const auto entered = ps.rounds_entered.load(std::memory_order_relaxed);
+    const auto exited = ps.rounds_exited.load(std::memory_order_relaxed);
+    if (entered != exited) {
+      violate("barrier-unpaired", p, 0,
+              "partition " + std::to_string(p) + " entered " +
+                  std::to_string(entered) + " round(s) but exited " +
+                  std::to_string(exited));
+      return;
+    }
+  }
+
+  const auto sent = sent_messages_.load(std::memory_order_relaxed);
+  const auto sent_bytes = sent_bytes_.load(std::memory_order_relaxed);
+  if (messages != sent || bytes != sent_bytes) {
+    violate("conservation-delivered", kInvalidPartition, leftover_flow,
+            "fabric delivered " + std::to_string(messages) + " message(s) / " +
+                std::to_string(bytes) + " byte(s) but workers sent " +
+                std::to_string(sent) + " / " + std::to_string(sent_bytes) +
+                " this superstep");
+    return;
+  }
+
+  const auto outstanding = outstanding_.load(std::memory_order_relaxed);
+  const auto consumed = consumed_.load(std::memory_order_relaxed);
+  if (consumed != outstanding || leftover_messages != 0) {
+    violate("conservation-consumed", kInvalidPartition, leftover_flow,
+            std::to_string(outstanding) +
+                " message(s) were delivered or injected but " +
+                std::to_string(consumed) + " consumed; " +
+                std::to_string(leftover_messages) +
+                " abandoned in inboxes at the barrier");
+    return;
+  }
+
+  sent_messages_.store(0, std::memory_order_relaxed);
+  sent_bytes_.store(0, std::memory_order_relaxed);
+  consumed_.store(0, std::memory_order_relaxed);
+  outstanding_.store(messages, std::memory_order_relaxed);
+  total_delivered_messages_ += messages;
+  total_delivered_bytes_ += bytes;
+}
+
+void BspChecker::onReset() { rebaseline(); }
+
+void BspChecker::enableRegistryReconciliation() {
+  reconcile_registry_ = true;
+  registry_messages_base_ =
+      MetricsRegistry::global().counter("bus.messages_delivered").value();
+  registry_bytes_base_ =
+      MetricsRegistry::global().counter("bus.bytes_delivered").value();
+}
+
+void BspChecker::endRun() {
+  const auto outstanding = outstanding_.load(std::memory_order_relaxed);
+  const auto consumed = consumed_.load(std::memory_order_relaxed);
+  if (outstanding != consumed) {
+    violate("conservation-consumed", kInvalidPartition, 0,
+            "run ended with " + std::to_string(outstanding - consumed) +
+                " delivered message(s) never consumed");
+    return;
+  }
+  if (reconcile_registry_) {
+    const auto reg_messages =
+        MetricsRegistry::global().counter("bus.messages_delivered").value() -
+        registry_messages_base_;
+    const auto reg_bytes =
+        MetricsRegistry::global().counter("bus.bytes_delivered").value() -
+        registry_bytes_base_;
+    if (reg_messages != total_delivered_messages_ ||
+        reg_bytes != total_delivered_bytes_) {
+      violate("registry-mismatch", kInvalidPartition, 0,
+              "MetricsRegistry recorded " + std::to_string(reg_messages) +
+                  " delivered message(s) / " + std::to_string(reg_bytes) +
+                  " byte(s) but the checker observed " +
+                  std::to_string(total_delivered_messages_) + " / " +
+                  std::to_string(total_delivered_bytes_));
+    }
+  }
+}
+
+void BspChecker::enterCompute(PartitionId p) {
+  TSG_CHECK(p < parts_.size());
+  auto& ps = parts_[p];
+  if (ps.in_compute.exchange(true, std::memory_order_acq_rel)) {
+    violate("barrier-double-enter", p, 0,
+            "partition " + std::to_string(p) +
+                " entered a compute phase it was already inside");
+    return;
+  }
+  ps.rounds_entered.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BspChecker::exitCompute(PartitionId p) {
+  TSG_CHECK(p < parts_.size());
+  auto& ps = parts_[p];
+  if (!ps.in_compute.exchange(false, std::memory_order_acq_rel)) {
+    violate("barrier-exit-without-enter", p, 0,
+            "partition " + std::to_string(p) +
+                " exited a compute phase it never entered");
+    return;
+  }
+  ps.rounds_exited.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BspChecker::onComputeUnit(PartitionId p, std::uint64_t unit_id,
+                               bool was_halted, bool reactivated) {
+  if (was_halted && !reactivated) {
+    violate("compute-on-halted", p, 0,
+            "unit " + std::to_string(unit_id) +
+                " was computed while halted and not reactivated (no pending "
+                "messages, not superstep 0)");
+  }
+}
+
+void BspChecker::onSend(PartitionId from, PartitionId to,
+                        std::uint64_t bytes) {
+  TSG_CHECK(from < parts_.size());
+  if (!parts_[from].in_compute.load(std::memory_order_acquire)) {
+    violate("send-outside-compute", from, 0,
+            "partition " + std::to_string(from) + " sent a message to " +
+                std::to_string(to) + " outside its compute phase");
+    return;
+  }
+  sent_messages_.fetch_add(1, std::memory_order_relaxed);
+  sent_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void BspChecker::onConsume(PartitionId p, std::uint64_t messages,
+                           Timestep stamp_t, std::int32_t stamp_s,
+                           std::uint64_t flow_id) {
+  const Timestep now_t = timestep();
+  const std::int32_t now_s = superstep();
+  const bool earlier =
+      stamp_t < now_t || (stamp_t == now_t && stamp_s < now_s);
+  if (!earlier) {
+    violate("same-superstep-read", p, flow_id,
+            "partition " + std::to_string(p) + " consumed " +
+                std::to_string(messages) +
+                " message(s) delivered at timestep " +
+                std::to_string(stamp_t) + " superstep " +
+                std::to_string(stamp_s) +
+                ", which is not strictly earlier than the current superstep");
+    return;
+  }
+  consumed_.fetch_add(messages, std::memory_order_relaxed);
+}
+
+}  // namespace check
+}  // namespace tsg

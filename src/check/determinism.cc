@@ -1,0 +1,58 @@
+#include "check/determinism.h"
+
+#include <sstream>
+
+#include "check/perturb.h"
+#include "common/status.h"
+
+namespace tsg {
+namespace check {
+
+DeterminismReport checkDeterminism(
+    const DeterminismOptions& options,
+    const std::function<std::string(std::int32_t)>& run_and_digest) {
+  TSG_CHECK(options.runs >= 1);
+  DeterminismReport report;
+  report.runs.reserve(static_cast<std::size_t>(options.runs));
+  for (std::int32_t i = 0; i < options.runs; ++i) {
+    DeterminismReport::Run run;
+    run.perturb_seed = options.seed + static_cast<std::uint64_t>(i);
+    setPerturbation(run.perturb_seed);
+    run.digest = run_and_digest(i);
+    clearPerturbation();
+    report.runs.push_back(run);
+    if (report.divergence.empty() && run.digest != report.runs[0].digest) {
+      report.deterministic = false;
+      std::ostringstream os;
+      os << "run " << i << " (perturb seed " << run.perturb_seed
+         << ") digest " << run.digest << " != run 0 digest "
+         << report.runs[0].digest;
+      report.divergence = os.str();
+    }
+  }
+  return report;
+}
+
+std::string renderDeterminismReport(const DeterminismReport& report,
+                                    std::string_view label) {
+  std::ostringstream os;
+  os << "determinism check: " << label << "\n";
+  for (std::size_t i = 0; i < report.runs.size(); ++i) {
+    const auto& run = report.runs[i];
+    os << "  run " << i << "  seed " << run.perturb_seed << "  digest "
+       << run.digest
+       << (i > 0 && run.digest != report.runs[0].digest ? "  << DIVERGES"
+                                                        : "")
+       << "\n";
+  }
+  if (report.deterministic) {
+    os << "  deterministic across " << report.runs.size()
+       << " perturbed schedules\n";
+  } else {
+    os << "  SCHEDULE-DEPENDENT OUTPUT: " << report.divergence << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace check
+}  // namespace tsg

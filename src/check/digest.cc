@@ -1,0 +1,33 @@
+#include "check/digest.h"
+
+namespace tsg {
+namespace check {
+
+void Digest::addU64s(const std::vector<std::uint64_t>& values) {
+  addVector(values, [](Digest& d, std::uint64_t v) { d.addU64(v); });
+}
+
+void Digest::addI64s(const std::vector<std::int64_t>& values) {
+  addVector(values, [](Digest& d, std::int64_t v) { d.addI64(v); });
+}
+
+void Digest::addDoubles(const std::vector<double>& values) {
+  addVector(values, [](Digest& d, double v) { d.addDouble(v); });
+}
+
+void Digest::addStrings(const std::vector<std::string>& values) {
+  addVector(values, [](Digest& d, const std::string& v) { d.addString(v); });
+}
+
+std::string Digest::hex() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        kHex[(hash_ >> (60 - 4 * i)) & 0xF];
+  }
+  return out;
+}
+
+}  // namespace check
+}  // namespace tsg

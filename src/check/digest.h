@@ -1,0 +1,77 @@
+// Canonical run digest — the equality the determinism harness compares.
+//
+// A digest is a 64-bit FNV-1a hash over a canonical byte serialization of a
+// run's semantic outputs: every value is length- or tag-framed so that
+// (e.g.) ["ab","c"] and ["a","bc"] hash differently, doubles hash by IEEE
+// bit pattern (so -0.0 != +0.0 and every NaN payload is itself — if a
+// schedule can flip a bit, we want to see it), and containers hash their
+// size first. Timings, metrics and anything else wall-clock-derived are
+// deliberately NOT part of a digest.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsg {
+namespace check {
+
+class Digest {
+ public:
+  void addU64(std::uint64_t v) {
+    addTag('u');
+    addRaw(v);
+  }
+  void addI64(std::int64_t v) {
+    addTag('i');
+    addRaw(static_cast<std::uint64_t>(v));
+  }
+  void addDouble(double v) {
+    addTag('d');
+    addRaw(std::bit_cast<std::uint64_t>(v));
+  }
+  void addString(std::string_view s) {
+    addTag('s');
+    addRaw(static_cast<std::uint64_t>(s.size()));
+    for (const char c : s) {
+      addByte(static_cast<std::uint8_t>(c));
+    }
+  }
+
+  template <typename T, typename Fn>
+  void addVector(const std::vector<T>& values, Fn add_one) {
+    addTag('v');
+    addRaw(static_cast<std::uint64_t>(values.size()));
+    for (const auto& v : values) {
+      add_one(*this, v);
+    }
+  }
+
+  void addU64s(const std::vector<std::uint64_t>& values);
+  void addI64s(const std::vector<std::int64_t>& values);
+  void addDoubles(const std::vector<double>& values);
+  void addStrings(const std::vector<std::string>& values);
+
+  // 16 lowercase hex digits of the current hash.
+  [[nodiscard]] std::string hex() const;
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  void addByte(std::uint8_t b) {
+    hash_ ^= b;
+    hash_ *= 0x00000100000001B3ULL;  // FNV-1a 64 prime
+  }
+  void addTag(char tag) { addByte(static_cast<std::uint8_t>(tag)); }
+  void addRaw(std::uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      addByte(static_cast<std::uint8_t>(v >> shift));
+    }
+  }
+
+  std::uint64_t hash_ = 0xCBF29CE484222325ULL;  // FNV-1a 64 offset basis
+};
+
+}  // namespace check
+}  // namespace tsg

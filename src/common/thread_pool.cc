@@ -1,7 +1,11 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <numeric>
+#include <vector>
 
+#include "check/perturb.h"
 #include "common/status.h"
 
 namespace tsg {
@@ -58,6 +62,19 @@ void ThreadPool::parallelFor(std::size_t n,
   const std::size_t num_tasks = std::min(workers, n);
   std::mutex done_mutex;
   std::condition_variable done_cv;
+  // Determinism-harness hook: under schedule perturbation, dispatch indices
+  // in a seeded shuffled order instead of 0..n-1 so each run assigns work
+  // to workers differently. Empty order = identity (the normal path).
+  std::vector<std::size_t> order;
+  if (check::perturbEnabled()) {
+    order.resize(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [](std::size_t a, std::size_t b) {
+      const auto ra = check::perturbRank(a);
+      const auto rb = check::perturbRank(b);
+      return ra != rb ? ra < rb : a < b;
+    });
+  }
   for (std::size_t t = 0; t < num_tasks; ++t) {
     submit([&] {
       while (true) {
@@ -67,7 +84,7 @@ void ThreadPool::parallelFor(std::size_t n,
         }
         const std::size_t end = std::min(n, start + chunk);
         for (std::size_t i = start; i < end; ++i) {
-          fn(i);
+          fn(order.empty() ? i : order[i]);
         }
       }
       if (done_tasks.fetch_add(1) + 1 == num_tasks) {

@@ -11,6 +11,7 @@
 #define TSG_HAVE_MALLOC_TRIM 1
 #endif
 
+#include "check/bsp_checker.h"
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/stopwatch.h"
@@ -389,6 +390,7 @@ struct ExecEnv {
   const RoundRunner& round;
   RunStats& stats;
   std::mutex* stats_mutex;  // null when single coordinator thread
+  check::BspChecker* checker;  // null when protocol checking is off
 };
 
 void commitRecord(ExecEnv& env, SuperstepRecord rec, Timestep counter_t) {
@@ -439,6 +441,9 @@ void commitRecord(ExecEnv& env, SuperstepRecord rec, Timestep counter_t) {
 TimestepOutcome runOneTimestep(ExecEnv& env, Timestep t,
                                std::vector<Message> seed_msgs) {
   TraceSpan timestep_span("tibsp", "tibsp.timestep", "t", t);
+  if (env.checker != nullptr) {
+    env.checker->beginTimestep(t);
+  }
   const auto k = static_cast<std::uint32_t>(env.states.size());
   for (auto& st_ptr : env.states) {
     auto& st = *st_ptr;
@@ -455,11 +460,17 @@ TimestepOutcome runOneTimestep(ExecEnv& env, Timestep t,
   std::int32_t s = 0;
   while (true) {
     TraceSpan superstep_span("tibsp", "tibsp.superstep", "t", t, "s", s);
+    if (env.checker != nullptr) {
+      env.checker->beginSuperstep(s);
+    }
     for (auto& st_ptr : env.states) {
       st_ptr->superstep = s;
     }
     const auto& timings = env.round([&env, t, s](PartitionId p) {
       auto& st = *env.states[p];
+      if (env.checker != nullptr) {
+        env.checker->enterCompute(p);
+      }
       if (s == 0) {
         TraceSpan load_span("gofs", "gofs.instance_load", "partition", p,
                             "t", t);
@@ -474,6 +485,10 @@ TimestepOutcome runOneTimestep(ExecEnv& env, Timestep t,
         if (!active) {
           continue;
         }
+        if (env.checker != nullptr) {
+          env.checker->onComputeUnit(p, part.subgraphs[i].id,
+                                     st.halted[i] != 0, s == 0 || has_msgs);
+        }
         st.halted[i] = 0;  // must re-vote to stay halted
         st.cur_local = i;
         st.cur_sg = &part.subgraphs[i];
@@ -481,6 +496,9 @@ TimestepOutcome runOneTimestep(ExecEnv& env, Timestep t,
         st.program->compute(ctx);
         ++st.subgraphs_computed;
         st.sg_inbox[i].clear();
+      }
+      if (env.checker != nullptr) {
+        env.checker->exitCompute(p);
       }
     });
 
@@ -522,18 +540,27 @@ TimestepOutcome runOneTimestep(ExecEnv& env, Timestep t,
 
   // EndOfTimestep hook: every subgraph, one round (metered like a superstep).
   TraceSpan eot_span("tibsp", "tibsp.end_of_timestep", "t", t);
+  if (env.checker != nullptr) {
+    env.checker->beginSuperstep(s);
+  }
   for (auto& st_ptr : env.states) {
     st_ptr->superstep = s;
     st_ptr->phase = ExecPhase::kEndOfTimestep;
   }
   const auto& eot_timings = env.round([&env](PartitionId p) {
     auto& st = *env.states[p];
+    if (env.checker != nullptr) {
+      env.checker->enterCompute(p);
+    }
     const Partition& part = env.pg.partition(p);
     for (std::uint32_t i = 0; i < part.subgraphs.size(); ++i) {
       st.cur_local = i;
       st.cur_sg = &part.subgraphs[i];
       auto ctx = st.makeContext();
       st.program->endOfTimestep(ctx);
+    }
+    if (env.checker != nullptr) {
+      env.checker->exitCompute(p);
     }
   });
   SuperstepRecord eot_rec;
@@ -559,6 +586,9 @@ TimestepOutcome runOneTimestep(ExecEnv& env, Timestep t,
 void runMergePhase(ExecEnv& env, std::vector<Message> merge_pool,
                    Timestep stats_timestep) {
   TraceSpan merge_span("tibsp", "tibsp.merge");
+  if (env.checker != nullptr) {
+    env.checker->beginTimestep(stats_timestep);
+  }
   const auto k = static_cast<std::uint32_t>(env.states.size());
   for (auto& st_ptr : env.states) {
     auto& st = *st_ptr;
@@ -572,11 +602,17 @@ void runMergePhase(ExecEnv& env, std::vector<Message> merge_pool,
   std::int32_t s = 0;
   while (true) {
     TraceSpan superstep_span("tibsp", "tibsp.merge_superstep", "s", s);
+    if (env.checker != nullptr) {
+      env.checker->beginSuperstep(s);
+    }
     for (auto& st_ptr : env.states) {
       st_ptr->superstep = s;
     }
     const auto& timings = env.round([&env, s](PartitionId p) {
       auto& st = *env.states[p];
+      if (env.checker != nullptr) {
+        env.checker->enterCompute(p);
+      }
       distributeInbox(st);
       const Partition& part = env.pg.partition(p);
       for (std::uint32_t i = 0; i < part.subgraphs.size(); ++i) {
@@ -585,6 +621,10 @@ void runMergePhase(ExecEnv& env, std::vector<Message> merge_pool,
         if (!active) {
           continue;
         }
+        if (env.checker != nullptr) {
+          env.checker->onComputeUnit(p, part.subgraphs[i].id,
+                                     st.halted[i] != 0, s == 0 || has_msgs);
+        }
         st.halted[i] = 0;
         st.cur_local = i;
         st.cur_sg = &part.subgraphs[i];
@@ -592,6 +632,9 @@ void runMergePhase(ExecEnv& env, std::vector<Message> merge_pool,
         st.program->merge(ctx);
         ++st.subgraphs_computed;
         st.sg_inbox[i].clear();
+      }
+      if (env.checker != nullptr) {
+        env.checker->exitCompute(p);
       }
     });
 
@@ -633,10 +676,16 @@ void runMergePhase(ExecEnv& env, std::vector<Message> merge_pool,
 void runMaintenance(ExecEnv& env, Timestep t) {
   TraceSpan span("tibsp", "tibsp.maintenance", "t", t);
   const auto k = static_cast<std::uint32_t>(env.states.size());
-  const auto& timings = env.round([](PartitionId) {
+  const auto& timings = env.round([&env](PartitionId p) {
+    if (env.checker != nullptr) {
+      env.checker->enterCompute(p);
+    }
 #if defined(TSG_HAVE_MALLOC_TRIM)
     malloc_trim(0);
 #endif
+    if (env.checker != nullptr) {
+      env.checker->exitCompute(p);
+    }
   });
   SuperstepRecord rec;
   rec.timestep = t;
@@ -705,9 +754,17 @@ TiBspResult TiBspEngine::run(const ProgramFactory& factory,
       TSG_CHECK(programs.back() != nullptr);
       states[p]->program = programs.back().get();
     }
+    // Protocol checking: one checker per run, attached to the sole bus.
+    // Registry reconciliation is valid here because no other bus is live.
+    std::unique_ptr<check::BspChecker> checker;
+    if (check::enabled()) {
+      checker = std::make_unique<check::BspChecker>(k);
+      checker->enableRegistryReconciliation();
+      bus.attachChecker(checker.get());
+    }
     const RoundRunner round = makeClusterRunner(cluster);
     ExecEnv env{pg_,  provider_,   config, states,
-                bus,  round,       result.stats, nullptr};
+                bus,  round,       result.stats, nullptr, checker.get()};
 
     std::vector<Message> pending_next;
     std::vector<Message> merge_pool;
@@ -758,6 +815,10 @@ TiBspResult TiBspEngine::run(const ProgramFactory& factory,
 
     if (config.pattern == Pattern::kEventuallyDependent) {
       runMergePhase(env, std::move(merge_pool), first + count);
+    }
+    if (checker != nullptr) {
+      checker->endRun();
+      bus.attachChecker(nullptr);
     }
     for (const auto& st_ptr : states) {
       result.outputs.insert(result.outputs.end(), st_ptr->outputs.begin(),
@@ -818,10 +879,22 @@ TiBspResult TiBspEngine::run(const ProgramFactory& factory,
       local.t0_v = provider_.t0();
       local.delta_v = provider_.delta();
 
+      // Per-task checker: several buses are live at once, so no registry
+      // reconciliation (the process-wide counters mix all tasks' traffic).
+      std::unique_ptr<check::BspChecker> task_checker;
+      if (check::enabled()) {
+        task_checker = std::make_unique<check::BspChecker>(k);
+        bus.attachChecker(task_checker.get());
+      }
       const RoundRunner round = makeSequentialRunner(k);
       ExecEnv env{pg_, local,  config,       states,
-                  bus, round,  result.stats, &stats_mutex};
+                  bus, round,  result.stats, &stats_mutex,
+                  task_checker.get()};
       (void)runOneTimestep(env, t, config.input_messages);
+      if (task_checker != nullptr) {
+        task_checker->endRun();
+        bus.attachChecker(nullptr);
+      }
 
       auto& out = outputs_by_t[i];
       for (auto& st_ptr : states) {
@@ -857,10 +930,20 @@ TiBspResult TiBspEngine::run(const ProgramFactory& factory,
         programs.push_back(factory(p));
         states[p]->program = programs.back().get();
       }
+      std::unique_ptr<check::BspChecker> merge_checker;
+      if (check::enabled()) {
+        merge_checker = std::make_unique<check::BspChecker>(k);
+        bus.attachChecker(merge_checker.get());
+      }
       const RoundRunner round = makeClusterRunner(cluster);
       ExecEnv env{pg_, provider_, config,       states,
-                  bus, round,     result.stats, nullptr};
+                  bus, round,     result.stats, nullptr,
+                  merge_checker.get()};
       runMergePhase(env, std::move(merge_pool), first + count);
+      if (merge_checker != nullptr) {
+        merge_checker->endRun();
+        bus.attachChecker(nullptr);
+      }
       for (const auto& st_ptr : states) {
         result.outputs.insert(result.outputs.end(), st_ptr->outputs.begin(),
                               st_ptr->outputs.end());

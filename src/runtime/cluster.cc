@@ -1,14 +1,30 @@
 #include "runtime/cluster.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
+#include <thread>
 
+#include "check/perturb.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
 
 namespace tsg {
+
+namespace {
+
+// Determinism-harness hook: stagger this worker's schedule by a seeded,
+// per-(round, partition) delay. Off = one relaxed load + branch.
+void perturbPoint(std::uint64_t round, PartitionId p, std::uint64_t salt) {
+  if (check::perturbEnabled()) {
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(check::perturbDelayNs(round, p, salt)));
+  }
+}
+
+}  // namespace
 
 Cluster::Cluster(std::uint32_t num_partitions)
     : start_ns_(num_partitions, 0),
@@ -79,6 +95,10 @@ void Cluster::workerLoop(PartitionId p) {
       seen_round = round_;
       job = job_;
     }
+    // Perturb the release from the round barrier (before timing starts) and
+    // the arrival back at it (after timing ends): under the determinism
+    // harness every run sees a different worker interleaving.
+    perturbPoint(seen_round, p, /*salt=*/0);
     // Busy = CPU time (workers share cores; wall time would charge a worker
     // for time spent descheduled while peers ran). End timestamps stay on
     // the wall clock for barrier-wait (sync) computation.
@@ -90,6 +110,7 @@ void Cluster::workerLoop(PartitionId p) {
     }
     cpu_busy_ns_[p] = threadCpuNowNs() - cpu_start;
     end_ns_[p] = steadyNowNs();
+    perturbPoint(seen_round, p, /*salt=*/1);
     {
       std::lock_guard lock(mutex_);
       if (--remaining_ == 0) {

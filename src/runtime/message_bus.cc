@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/bsp_checker.h"
 #include "common/status.h"
 #include "common/trace.h"
 
@@ -34,6 +35,9 @@ void MessageBus::send(PartitionId from, PartitionId to, Message msg) {
   TSG_CHECK(to < rows_.size());
   auto& row = rows_[from];
   const std::uint64_t size = msg.byteSize();
+  if (checker_ != nullptr) {
+    checker_->onSend(from, to, size);
+  }
   ++row.stats.messages;
   row.stats.bytes += size;
   if (from != to) {
@@ -66,6 +70,23 @@ std::vector<Message> MessageBus::takeSpare() {
 
 MessageBus::DeliveryStats MessageBus::deliver() {
   TraceSpan span("bus", "bus.deliver");
+  // With a checker attached, tally what still sits undrained before the
+  // recycle destroys the evidence: abandoned traffic breaks conservation.
+  std::uint64_t leftover_messages = 0;
+  std::uint64_t leftover_flow = 0;
+  if (checker_ != nullptr) {
+    for (auto& inbox : inboxes_) {
+      leftover_messages += inbox.total_;
+      if (leftover_flow == 0) {
+        for (const std::uint64_t f : inbox.flow_ids_) {
+          if (f != 0 && inbox.total_ != 0) {
+            leftover_flow = f;
+            break;
+          }
+        }
+      }
+    }
+  }
   // Recycle last superstep's batch vectors (consumed or abandoned alike).
   // Abandoned batches drop their flow ids without a finish event: the arrow
   // simply ends at its last observed hand-off, which is the truth.
@@ -113,6 +134,17 @@ MessageBus::DeliveryStats MessageBus::deliver() {
   m_xpart_messages_.add(stats.cross_partition_messages);
   m_xpart_bytes_.add(stats.cross_partition_bytes);
   m_batches_.add(batches);
+  if (checker_ != nullptr) {
+    // Stamp the freshly spliced inboxes with *when* they were delivered —
+    // the current superstep — so the consuming side can prove it only reads
+    // strictly-earlier batches.
+    for (auto& inbox : inboxes_) {
+      inbox.stamp_t_ = checker_->timestep();
+      inbox.stamp_s_ = checker_->superstep();
+    }
+    checker_->onDeliver(stats.messages, stats.bytes, leftover_messages,
+                        leftover_flow);
+  }
   return stats;
 }
 
@@ -127,20 +159,38 @@ void MessageBus::inject(PartitionId to, std::vector<Message> msgs) {
     return;
   }
   auto& inbox = inboxes_[to];
+  if (checker_ != nullptr) {
+    std::uint64_t bytes = 0;
+    for (const auto& m : msgs) {
+      bytes += m.byteSize();
+    }
+    checker_->onInject(msgs.size(), bytes);
+    // Injection happens before superstep 0: stamp as superstep -1 so the
+    // first round is allowed to consume it.
+    inbox.stamp_t_ = checker_->timestep();
+    inbox.stamp_s_ = -1;
+  }
   inbox.total_ += msgs.size();
   inbox.batches_.push_back(std::move(msgs));
   inbox.flow_ids_.push_back(0);  // seeds have no send-side flow
 }
 
 void MessageBus::Inbox::clear() {
+  std::uint64_t drained_flow = 0;
   for (std::size_t i = 0; i < batches_.size(); ++i) {
     if (i < flow_ids_.size() && flow_ids_[i] != 0) {
+      if (drained_flow == 0) {
+        drained_flow = flow_ids_[i];
+      }
       if (Tracer::enabled()) {
         traceFlowFinish("bus", "bus.batch", flow_ids_[i]);
       }
       flow_ids_[i] = 0;
     }
     batches_[i].clear();
+  }
+  if (checker_ != nullptr && total_ != 0) {
+    checker_->onConsume(owner_, total_, stamp_t_, stamp_s_, drained_flow);
   }
   total_ = 0;
 }
@@ -176,6 +226,21 @@ void MessageBus::clearAll() {
     inbox.batches_.clear();
     inbox.flow_ids_.clear();
     inbox.total_ = 0;
+  }
+  if (checker_ != nullptr) {
+    // A fabric reset (superstep-cap abort) legitimately drops traffic in
+    // flight; forgive the accounting rather than report phantom losses.
+    checker_->onReset();
+  }
+}
+
+void MessageBus::attachChecker(check::BspChecker* checker) {
+  checker_ = checker;
+  for (PartitionId p = 0; p < inboxes_.size(); ++p) {
+    inboxes_[p].checker_ = checker;
+    inboxes_[p].owner_ = p;
+    inboxes_[p].stamp_t_ = -1;
+    inboxes_[p].stamp_s_ = -1;
   }
 }
 

@@ -36,6 +36,10 @@
 
 namespace tsg {
 
+namespace check {
+class BspChecker;
+}  // namespace check
+
 class MessageBus {
  public:
   struct DeliveryStats {
@@ -68,6 +72,9 @@ class MessageBus {
     // Drops the messages but keeps the spent batch vectors for recycling.
     // This is the drain point of a batch's trace flow: with tracing on, each
     // tracked batch emits its flow-finish here, on the consuming thread.
+    // With a protocol checker attached this is also the consume hook: the
+    // checker sees how many messages were drained and when they were
+    // delivered (the stamp), so same-superstep reads are caught.
     void clear();
 
    private:
@@ -75,6 +82,13 @@ class MessageBus {
     std::vector<std::vector<Message>> batches_;
     std::vector<std::uint64_t> flow_ids_;  // parallel to batches_
     std::size_t total_ = 0;
+    // Protocol-checker state: which partition owns this inbox and when its
+    // current content was delivered ((timestep, superstep); superstep -1 =
+    // injected before superstep 0). Null checker = checking off.
+    check::BspChecker* checker_ = nullptr;
+    PartitionId owner_ = kInvalidPartition;
+    Timestep stamp_t_ = -1;
+    std::int32_t stamp_s_ = -1;
   };
 
   explicit MessageBus(std::uint32_t num_partitions);
@@ -103,6 +117,11 @@ class MessageBus {
 
   void clearAll();
 
+  // Attaches a BSP protocol checker for the duration of a run (nullptr to
+  // detach). Coordinator-only, between rounds. Every hook site on the hot
+  // path gates on the pointer, so a detached bus pays one null check.
+  void attachChecker(check::BspChecker* checker);
+
   [[nodiscard]] std::uint32_t numPartitions() const {
     return static_cast<std::uint32_t>(inboxes_.size());
   }
@@ -123,6 +142,7 @@ class MessageBus {
 
   std::vector<SenderRow> rows_;
   std::vector<Inbox> inboxes_;
+  check::BspChecker* checker_ = nullptr;
   // Spent batch vectors (coordinator-owned); reused as fresh outbox slots so
   // steady-state supersteps allocate nothing.
   std::vector<std::vector<Message>> spares_;

@@ -1,8 +1,10 @@
 #include "vertexcentric/engine.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
+#include "check/bsp_checker.h"
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
@@ -30,12 +32,19 @@ struct VcWorker {
   std::uint64_t msgs_sent = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t vertices_computed = 0;
+  // Protocol checking (null = off): this engine's swap-based exchange plays
+  // the role MessageBus plays elsewhere, so it reports to the same checker.
+  check::BspChecker* checker = nullptr;
+  std::int32_t incoming_stamp_s = -1;  // superstep incoming was delivered at
 };
 
 void VertexContext::sendTo(VertexIndex dst, double value) {
   auto& worker = *worker_;
   ScopedCpuTimer timer(worker.send_ns);
   const PartitionId to = worker.pg->partitionOfVertex(dst);
+  if (worker.checker != nullptr) {
+    worker.checker->onSend(worker.partition, to, sizeof(VertexMessage));
+  }
   worker.outbox[to].push_back({dst, value});
   ++worker.msgs_sent;
   worker.bytes_sent += sizeof(VertexMessage);
@@ -79,11 +88,32 @@ VcResult VertexCentricEngine::run(
   Stopwatch wall;
   Cluster cluster(k);
 
+  // Protocol checking: one checker per run; no registry reconciliation (the
+  // bus.* counters belong to MessageBus, which this engine does not use).
+  std::unique_ptr<check::BspChecker> checker;
+  if (check::enabled()) {
+    checker = std::make_unique<check::BspChecker>(k);
+    checker->beginTimestep(0);
+    for (auto& w : workers) {
+      w.checker = checker.get();
+    }
+  }
+
   std::int32_t s = 0;
   while (true) {
     TraceSpan superstep_span("vc", "vc.superstep", "s", s);
+    if (checker != nullptr) {
+      checker->beginSuperstep(s);
+    }
     const auto& timings = cluster.run([&, s](PartitionId p) {
       auto& w = workers[p];
+      if (w.checker != nullptr) {
+        w.checker->enterCompute(p);
+        if (!w.incoming.empty()) {
+          w.checker->onConsume(p, w.incoming.size(), 0, w.incoming_stamp_s,
+                               0);
+        }
+      }
       const Partition& part = pg_.partition(p);
       // Distribute incoming messages to per-vertex lists, combining if
       // configured (Giraph's MinimumDoubleCombiner analog).
@@ -110,6 +140,10 @@ VcResult VertexCentricEngine::run(
         if (!active) {
           continue;
         }
+        if (w.checker != nullptr) {
+          w.checker->onComputeUnit(p, v, halted[v] != 0,
+                                   s == 0 || w.has_msgs[i] != 0);
+        }
         halted[v] = 0;  // must re-vote to stay halted
         ctx.vertex_ = v;
         ctx.value_ = &values[v];
@@ -119,6 +153,9 @@ VcResult VertexCentricEngine::run(
         ++w.vertices_computed;
         w.vertex_msgs[i].clear();
         w.has_msgs[i] = 0;
+      }
+      if (w.checker != nullptr) {
+        w.checker->exitCompute(p);
       }
     });
 
@@ -166,6 +203,14 @@ VcResult VertexCentricEngine::run(
       }
     }
     rec.delivered_messages = delivered;
+    if (checker != nullptr) {
+      // The swap loop above is this engine's barrier delivery; nothing is
+      // ever left undrained (incoming is cleared at every round start).
+      for (auto& w : workers) {
+        w.incoming_stamp_s = s;
+      }
+      checker->onDeliver(delivered, delivered * sizeof(VertexMessage), 0, 0);
+    }
     traceCounter("vc.delivered_messages", static_cast<std::int64_t>(delivered));
     {
       registry.counter("vc.supersteps").increment();
@@ -195,8 +240,15 @@ VcResult VertexCentricEngine::run(
       break;
     }
     if (s >= config.max_supersteps) {
+      if (checker != nullptr) {
+        // Cap abort abandons delivered-but-unconsumed traffic by design.
+        checker->onReset();
+      }
       break;
     }
+  }
+  if (checker != nullptr) {
+    checker->endRun();
   }
 
   result.stats.setWallClockNs(wall.elapsedNs());

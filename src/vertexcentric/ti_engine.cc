@@ -1,8 +1,10 @@
 #include "vertexcentric/ti_engine.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
+#include "check/bsp_checker.h"
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
@@ -33,6 +35,12 @@ struct TvWorker {
   std::uint64_t msgs_sent = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t vertices_computed = 0;
+  // Protocol checking (null = off). The stamps record when incoming was
+  // filled: (t, s) at the barrier exchange, (t, -1) for inter-timestep
+  // seeds injected before superstep 0.
+  check::BspChecker* checker = nullptr;
+  Timestep incoming_stamp_t = -1;
+  std::int32_t incoming_stamp_s = -1;
 };
 
 double TemporalVertexContext::edgeDouble(std::size_t attr,
@@ -49,7 +57,11 @@ double TemporalVertexContext::edgeDouble(std::size_t attr,
 void TemporalVertexContext::sendTo(VertexIndex dst, double value) {
   auto& worker = *worker_;
   ScopedCpuTimer timer(worker.send_ns);
-  worker.outbox[worker.pg->partitionOfVertex(dst)].push_back({dst, value});
+  const PartitionId to = worker.pg->partitionOfVertex(dst);
+  if (worker.checker != nullptr) {
+    worker.checker->onSend(worker.partition, to, sizeof(TvMessage));
+  }
+  worker.outbox[to].push_back({dst, value});
   ++worker.msgs_sent;
   worker.bytes_sent += sizeof(TvMessage);
 }
@@ -58,6 +70,9 @@ void TemporalVertexContext::sendToNextTimestep(VertexIndex dst,
                                                double value) {
   auto& worker = *worker_;
   ScopedCpuTimer timer(worker.send_ns);
+  // Deliberately not reported to the protocol checker here: this is the
+  // carried (inter-timestep) channel. The checker accounts for it as an
+  // injection when the coordinator seeds it before t+1's superstep 0.
   worker.next_timestep.push_back({dst, value});
   ++worker.msgs_sent;
   worker.bytes_sent += sizeof(TvMessage);
@@ -104,12 +119,33 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
   Stopwatch wall;
   Cluster cluster(k);
 
+  // Protocol checking: one checker per run; no registry reconciliation (the
+  // bus.* counters belong to MessageBus, which this engine does not use).
+  std::unique_ptr<check::BspChecker> checker;
+  if (check::enabled()) {
+    checker = std::make_unique<check::BspChecker>(k);
+    for (auto& w : workers) {
+      w.checker = checker.get();
+    }
+  }
+
   // Deferred messages from timestep t, routed before t+1's superstep 0.
   std::vector<TvMessage> pending_next;
 
   for (std::int32_t i = 0; i < count; ++i) {
     const Timestep t = first + i;
     TraceSpan timestep_span("vc", "tvc.timestep", "t", t);
+    if (checker != nullptr) {
+      checker->beginTimestep(t);
+      if (!pending_next.empty()) {
+        checker->onInject(pending_next.size(),
+                          pending_next.size() * sizeof(TvMessage));
+      }
+      for (auto& w : workers) {
+        w.incoming_stamp_t = t;
+        w.incoming_stamp_s = -1;
+      }
+    }
     // Seed inter-timestep messages into the owning partitions' inboxes.
     for (auto& msg : pending_next) {
       workers[pg_.partitionOfVertex(msg.dst)].incoming.push_back(msg);
@@ -120,8 +156,18 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
     std::int32_t s = 0;
     while (true) {
       TraceSpan superstep_span("vc", "tvc.superstep", "t", t, "s", s);
+      if (checker != nullptr) {
+        checker->beginSuperstep(s);
+      }
       const auto& timings = cluster.run([&, s, t](PartitionId p) {
         auto& w = workers[p];
+        if (w.checker != nullptr) {
+          w.checker->enterCompute(p);
+          if (!w.incoming.empty()) {
+            w.checker->onConsume(p, w.incoming.size(), w.incoming_stamp_t,
+                                 w.incoming_stamp_s, 0);
+          }
+        }
         if (s == 0) {
           w.instance = &provider_.instanceFor(p, t);
           w.load_ns += provider_.takeLoadNs(p);
@@ -146,6 +192,10 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
           if (!active) {
             continue;
           }
+          if (w.checker != nullptr) {
+            w.checker->onComputeUnit(p, v, halted[v] != 0,
+                                     s == 0 || w.has_msgs[l] != 0);
+          }
           halted[v] = 0;
           ctx.vertex_ = v;
           ctx.halted_ = &halted[v];
@@ -154,6 +204,9 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
           ++w.vertices_computed;
           w.vertex_msgs[l].clear();
           w.has_msgs[l] = 0;
+        }
+        if (w.checker != nullptr) {
+          w.checker->exitCompute(p);
         }
       });
 
@@ -201,6 +254,15 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
         }
       }
       rec.delivered_messages = delivered;
+      if (checker != nullptr) {
+        // The swap loop above is this engine's barrier delivery; incoming
+        // is always fully drained at the next round start.
+        for (auto& w : workers) {
+          w.incoming_stamp_t = t;
+          w.incoming_stamp_s = s;
+        }
+        checker->onDeliver(delivered, delivered * sizeof(TvMessage), 0, 0);
+      }
       traceCounter("vc.delivered_messages",
                    static_cast<std::int64_t>(delivered));
       {
@@ -231,14 +293,27 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
         break;
       }
       if (s >= config.max_supersteps_per_timestep) {
+        if (checker != nullptr) {
+          // Cap abort abandons delivered-but-unconsumed traffic by design.
+          checker->onReset();
+        }
         break;
       }
     }
 
     // End of timestep: per-vertex hook, then collect deferred messages.
+    if (checker != nullptr) {
+      checker->beginSuperstep(s);
+    }
     cluster.run([&, t](PartitionId p) {
+      if (checker != nullptr) {
+        checker->enterCompute(p);
+      }
       for (const VertexIndex v : pg_.partition(p).vertices) {
         program.endOfTimestep(v, t);
+      }
+      if (checker != nullptr) {
+        checker->exitCompute(p);
       }
     });
     for (auto& w : workers) {
@@ -247,6 +322,9 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
       w.next_timestep.clear();
     }
     ++result.timesteps_executed;
+  }
+  if (checker != nullptr) {
+    checker->endRun();
   }
 
   result.stats.setWallClockNs(wall.elapsedNs());

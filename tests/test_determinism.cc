@@ -1,0 +1,235 @@
+// Determinism harness tests: a deterministic job must pass, an
+// intentionally schedule-sensitive (racy, but race-free) toy algorithm
+// must be flagged, and the canonical digest must frame values so that
+// distinct outputs cannot collide by concatenation.
+#include "check/determinism.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/digest.h"
+#include "check/perturb.h"
+#include "core/engine.h"
+#include "test_util.h"
+
+namespace tsg {
+namespace {
+
+using testing::partitionGraph;
+using testing::smallRoad;
+
+// --- digest framing --------------------------------------------------------
+
+TEST(Digest, HexIsSixteenLowercaseDigits) {
+  check::Digest d;
+  d.addU64(42);
+  const std::string hex = d.hex();
+  EXPECT_EQ(hex.size(), 16u);
+  for (const char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << hex;
+  }
+  EXPECT_EQ(hex, check::Digest(d).hex()) << "hex() must not mutate";
+}
+
+TEST(Digest, StringFramingPreventsConcatenationCollisions) {
+  check::Digest ab_c;
+  ab_c.addStrings({"ab", "c"});
+  check::Digest a_bc;
+  a_bc.addStrings({"a", "bc"});
+  EXPECT_NE(ab_c.value(), a_bc.value());
+}
+
+TEST(Digest, ContainerSizeIsPartOfTheDigest) {
+  check::Digest empty;
+  empty.addU64s({});
+  check::Digest untouched;
+  EXPECT_NE(empty.value(), untouched.value())
+      << "an empty vector must still contribute its size";
+}
+
+TEST(Digest, DoublesHashByBitPattern) {
+  check::Digest pos;
+  pos.addDouble(0.0);
+  check::Digest neg;
+  neg.addDouble(-0.0);
+  EXPECT_NE(pos.value(), neg.value());
+}
+
+TEST(Digest, TypeTagsSeparateEqualBitPatterns) {
+  check::Digest as_u64;
+  as_u64.addU64(7);
+  check::Digest as_i64;
+  as_i64.addI64(7);
+  EXPECT_NE(as_u64.value(), as_i64.value());
+}
+
+// --- harness mechanics -----------------------------------------------------
+
+TEST(Determinism, HarnessEnablesPerturbationPerRunAndRestores) {
+  ASSERT_FALSE(check::perturbEnabled());
+  check::DeterminismOptions options;
+  options.runs = 3;
+  options.seed = 11;
+  std::vector<std::uint64_t> seeds;
+  const auto report =
+      check::checkDeterminism(options, [&](std::int32_t) -> std::string {
+        EXPECT_TRUE(check::perturbEnabled());
+        seeds.push_back(check::perturbSeed());
+        return "constant";
+      });
+  EXPECT_FALSE(check::perturbEnabled());
+  EXPECT_TRUE(report.deterministic);
+  EXPECT_TRUE(report.divergence.empty());
+  ASSERT_EQ(report.runs.size(), 3u);
+  ASSERT_EQ(seeds.size(), 3u);
+  EXPECT_NE(seeds[0], seeds[1]);
+  EXPECT_NE(seeds[1], seeds[2]);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(report.runs[i].perturb_seed, seeds[i]);
+    EXPECT_EQ(report.runs[i].digest, "constant");
+  }
+}
+
+TEST(Determinism, DivergenceIsReportedWithTheRunThatDiverged) {
+  check::DeterminismOptions options;
+  options.runs = 3;
+  const auto report =
+      check::checkDeterminism(options, [](std::int32_t run) -> std::string {
+        return run == 2 ? "different" : "same";
+      });
+  EXPECT_FALSE(report.deterministic);
+  EXPECT_FALSE(report.divergence.empty());
+  const std::string rendered =
+      check::renderDeterminismReport(report, "toy");
+  EXPECT_NE(rendered.find("different"), std::string::npos);
+}
+
+// --- end-to-end over the TI-BSP engine -------------------------------------
+
+struct HarnessFixture {
+  explicit HarnessFixture(std::uint32_t k)
+      : tmpl(smallRoad(4, 4)),
+        pg(partitionGraph(tmpl, k)),
+        collection(tmpl, /*t0=*/0, /*delta=*/5) {
+    for (int t = 0; t < 3; ++t) {
+      collection.appendInstance();
+    }
+    provider = std::make_unique<DirectInstanceProvider>(pg, collection);
+  }
+
+  GraphTemplatePtr tmpl;
+  PartitionedGraph pg;
+  TimeSeriesCollection collection;
+  std::unique_ptr<DirectInstanceProvider> provider;
+};
+
+constexpr std::int32_t kToySupersteps = 3;
+
+// Intentionally schedule-sensitive, yet completely race-free: each subgraph
+// claims a global arrival rank with fetch_add and writes it into its own
+// slot. No two threads ever touch the same byte — TSan sees nothing — but
+// the recorded ranks depend on which worker reached the counter first, so
+// perturbed schedules yield different outputs. This is exactly the bug
+// class the harness exists to catch.
+class RacyRankProgram final : public TiBspProgram {
+ public:
+  RacyRankProgram(std::atomic<std::uint64_t>* counter,
+                  std::vector<std::uint64_t>* slots)
+      : counter_(counter), slots_(slots) {}
+
+  void compute(SubgraphContext& ctx) override {
+    const std::uint64_t rank = counter_->fetch_add(1);
+    const std::size_t n = ctx.partitionedGraph().numSubgraphs();
+    const std::size_t step = static_cast<std::size_t>(
+        ctx.timestep() * kToySupersteps + ctx.superstep());
+    (*slots_)[step * n + ctx.subgraphId()] = rank;
+    if (ctx.superstep() >= kToySupersteps - 1) {
+      ctx.voteToHalt();
+    }
+  }
+
+ private:
+  std::atomic<std::uint64_t>* counter_;
+  std::vector<std::uint64_t>* slots_;
+};
+
+// The well-behaved twin: output depends only on (timestep, superstep,
+// subgraph), never on arrival order.
+class PureRankProgram final : public TiBspProgram {
+ public:
+  explicit PureRankProgram(std::vector<std::uint64_t>* slots)
+      : slots_(slots) {}
+
+  void compute(SubgraphContext& ctx) override {
+    const std::size_t n = ctx.partitionedGraph().numSubgraphs();
+    const std::size_t step = static_cast<std::size_t>(
+        ctx.timestep() * kToySupersteps + ctx.superstep());
+    (*slots_)[step * n + ctx.subgraphId()] = step * n + ctx.subgraphId();
+    if (ctx.superstep() >= kToySupersteps - 1) {
+      ctx.voteToHalt();
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t>* slots_;
+};
+
+TEST(Determinism, RacyToyAlgorithmIsFlagged) {
+  HarnessFixture fx(/*k=*/4);
+  const std::size_t n = fx.pg.numSubgraphs();
+  check::DeterminismOptions options;
+  // Many seeds over 4 partitions x 9 recorded rounds: the chance that every
+  // perturbed schedule replays the exact same global arrival order is
+  // negligible.
+  options.runs = 4;
+  options.seed = 7;
+  const auto report =
+      check::checkDeterminism(options, [&](std::int32_t) -> std::string {
+        std::atomic<std::uint64_t> counter{0};
+        std::vector<std::uint64_t> slots(n * 3 * kToySupersteps, 0);
+        TiBspConfig config;
+        TiBspEngine engine(fx.pg, *fx.provider);
+        (void)engine.run(
+            [&](PartitionId) {
+              return std::make_unique<RacyRankProgram>(&counter, &slots);
+            },
+            config);
+        check::Digest d;
+        d.addU64s(slots);
+        return d.hex();
+      });
+  EXPECT_FALSE(report.deterministic)
+      << "the schedule-sensitive toy algorithm produced identical digests "
+         "across perturbed runs; the harness failed to flag it";
+}
+
+TEST(Determinism, DeterministicAlgorithmPasses) {
+  HarnessFixture fx(/*k=*/4);
+  const std::size_t n = fx.pg.numSubgraphs();
+  check::DeterminismOptions options;
+  options.runs = 3;
+  options.seed = 7;
+  const auto report =
+      check::checkDeterminism(options, [&](std::int32_t) -> std::string {
+        std::vector<std::uint64_t> slots(n * 3 * kToySupersteps, 0);
+        TiBspConfig config;
+        TiBspEngine engine(fx.pg, *fx.provider);
+        (void)engine.run(
+            [&](PartitionId) {
+              return std::make_unique<PureRankProgram>(&slots);
+            },
+            config);
+        check::Digest d;
+        d.addU64s(slots);
+        return d.hex();
+      });
+  EXPECT_TRUE(report.deterministic) << report.divergence;
+}
+
+}  // namespace
+}  // namespace tsg

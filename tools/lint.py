@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Project-invariant linter for the tsgraph repo.
+
+Enforces repository rules that neither the compiler nor clang-tidy can
+express, mirroring the contracts documented in the headers they protect:
+
+  trace-literal    TraceSpan / traceInstant / traceCounter call sites must
+                   pass a string literal (or nullptr) as every name-like
+                   argument. TraceLiteral's consteval constructor enforces
+                   this at compile time for direct calls; the lint also
+                   catches code that routes around it (building names via
+                   macros or TraceLiteral{...} from a variable) and keeps
+                   the diagnostic readable. Exempt: src/common/trace.{h,cc}.
+
+  naked-thread     No std::thread outside the scheduling layer
+                   (src/runtime/ and src/common/thread_pool.*). Everything
+                   else must go through Cluster or ThreadPool so worker
+                   counts, naming and perturbation hooks stay centralized.
+                   Tests and benchmarks are exempt.
+
+  unseeded-rng     No rand()/srand()/drand48()/std::random_device/
+                   std::mt19937 outside src/common/rng.*. All randomness
+                   must flow through common/rng so runs are reproducible
+                   from a single seed (the determinism harness depends on
+                   this).
+
+Usage: python3 tools/lint.py [--root DIR] [files...]
+With no file arguments, lints every tracked C++ file under src/, tools/,
+tests/ and benchmarks/. Exits non-zero if any violation is found.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+CPP_SUFFIXES = (".cc", ".h")
+LINT_DIRS = ("src", "tools", "tests", "benchmarks")
+
+# NOLINT(tsg-<rule>) on the offending line suppresses that rule.
+NOLINT_RE = re.compile(r"NOLINT\(tsg-([a-z-]+)\)")
+
+TRACE_CALL_RE = re.compile(r"\b(TraceSpan\s*[({]|traceInstant\s*\(|traceCounter\s*\()")
+# A legal name-like argument starts with a string literal or nullptr.
+TRACE_ARG_OK_RE = re.compile(
+    r"\b(?:TraceSpan\s*[({]|traceInstant\s*\(|traceCounter\s*\()\s*(?:\"|nullptr)"
+)
+TRACE_LITERAL_FROM_VAR_RE = re.compile(r"\bTraceLiteral\s*[({]\s*(?!\"|nullptr)[A-Za-z_]")
+
+THREAD_RE = re.compile(r"\bstd::thread\b|\bstd::jthread\b")
+
+RNG_RE = re.compile(
+    r"(?<![\w:])(?:rand|srand|drand48|srand48)\s*\("
+    r"|\bstd::random_device\b|\bstd::mt19937(?:_64)?\b|\bstd::default_random_engine\b"
+)
+
+
+def norm(path):
+    return path.replace(os.sep, "/")
+
+
+def is_comment_or_string_heavy(line):
+    stripped = line.lstrip()
+    return stripped.startswith("//") or stripped.startswith("*")
+
+
+def code_portion(line):
+    """Drops // comments and string/char literal contents (keeping the
+    quotes, so '("' argument checks still work)."""
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c == '"' or c == "'":
+            quote = c
+            if quote == '"':
+                out.append('"')
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    if quote == '"':
+                        out.append('"')
+                    i += 1
+                    break
+                i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def trace_exempt(relpath):
+    return relpath in ("src/common/trace.h", "src/common/trace.cc")
+
+
+def thread_exempt(relpath):
+    if relpath.startswith("src/runtime/"):
+        return True
+    if relpath.startswith("src/common/thread_pool."):
+        return True
+    return relpath.startswith("tests/") or relpath.startswith("benchmarks/")
+
+
+def rng_exempt(relpath):
+    return relpath.startswith("src/common/rng.")
+
+
+def lint_file(root, relpath):
+    violations = []
+    try:
+        with open(os.path.join(root, relpath), encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as err:
+        return [(relpath, 0, "io", str(err))]
+
+    for lineno, raw in enumerate(lines, start=1):
+        if is_comment_or_string_heavy(raw):
+            continue
+        suppressed = set(NOLINT_RE.findall(raw))  # NOLINT lives in a comment
+        line = code_portion(raw)
+
+        if not trace_exempt(relpath) and "trace-literal" not in suppressed:
+            if TRACE_CALL_RE.search(line) and not TRACE_ARG_OK_RE.search(line):
+                violations.append(
+                    (
+                        relpath,
+                        lineno,
+                        "trace-literal",
+                        "trace category/name must be a string literal "
+                        "(TraceLiteral), not a computed value",
+                    )
+                )
+            if TRACE_LITERAL_FROM_VAR_RE.search(line):
+                violations.append(
+                    (
+                        relpath,
+                        lineno,
+                        "trace-literal",
+                        "TraceLiteral must be constructed from a string "
+                        "literal or nullptr",
+                    )
+                )
+
+        if not thread_exempt(relpath) and "naked-thread" not in suppressed:
+            if THREAD_RE.search(line):
+                violations.append(
+                    (
+                        relpath,
+                        lineno,
+                        "naked-thread",
+                        "spawn workers via runtime/Cluster or "
+                        "common/ThreadPool, not std::thread",
+                    )
+                )
+
+        if not rng_exempt(relpath) and "unseeded-rng" not in suppressed:
+            match = RNG_RE.search(line)
+            if match:
+                violations.append(
+                    (
+                        relpath,
+                        lineno,
+                        "unseeded-rng",
+                        f"'{match.group(0).rstrip('(').strip()}' bypasses "
+                        "common/rng; all randomness must be seeded through "
+                        "tsg::Rng for reproducibility",
+                    )
+                )
+    return violations
+
+
+def collect_files(root):
+    files = []
+    for top in LINT_DIRS:
+        top_abs = os.path.join(root, top)
+        if not os.path.isdir(top_abs):
+            continue
+        for dirpath, _, names in os.walk(top_abs):
+            for name in names:
+                if name.endswith(CPP_SUFFIXES):
+                    files.append(norm(os.path.relpath(os.path.join(dirpath, name), root)))
+    return sorted(files)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    parser.add_argument("files", nargs="*", help="specific files to lint (repo-relative)")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    if args.files:
+        files = [norm(os.path.relpath(os.path.abspath(f), root)) for f in args.files]
+        files = [f for f in files if f.endswith(CPP_SUFFIXES)]
+    else:
+        files = collect_files(root)
+
+    all_violations = []
+    for relpath in files:
+        all_violations.extend(lint_file(root, relpath))
+
+    for relpath, lineno, rule, message in all_violations:
+        print(f"{relpath}:{lineno}: [tsg-{rule}] {message}")
+    if all_violations:
+        print(f"\nlint.py: {len(all_violations)} violation(s) in {len(files)} file(s)")
+        return 1
+    print(f"lint.py: OK ({len(files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

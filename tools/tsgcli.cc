@@ -9,6 +9,7 @@
 //   tsgcli hashtag DIR [--tag=#meme]
 //   tsgcli pagerank DIR [--iters=N] [--top=N]
 //   tsgcli wcc DIR
+//   tsgcli check ALGO DIR [--runs=N] [--seed=S]
 //   tsgcli analyze RUN.json
 //   tsgcli compare BASE.json CANDIDATE.json [--max-regress=PCT]
 //
@@ -33,8 +34,14 @@
 #include "algorithms/hashtag.h"
 #include "algorithms/meme.h"
 #include "algorithms/pagerank.h"
+#include "algorithms/sssp.h"
 #include "algorithms/tdsp.h"
+#include "algorithms/tdsp_vertex.h"
+#include "algorithms/topn.h"
 #include "algorithms/wcc.h"
+#include "check/bsp_checker.h"
+#include "check/determinism.h"
+#include "check/digest.h"
 #include "common/log.h"
 #include "common/serialize.h"
 #include "common/stopwatch.h"
@@ -46,6 +53,7 @@
 #include "metrics/analysis.h"
 #include "metrics/report.h"
 #include "partition/partitioner.h"
+#include "vertexcentric/programs.h"
 
 namespace {
 
@@ -107,6 +115,11 @@ int usage() {
       "  hashtag  DIR [--tag=#meme]\n"
       "  pagerank DIR [--iters=N] [--top=N]\n"
       "  wcc      DIR\n"
+      "  check    ALGO DIR [--runs=N] [--seed=S]\n"
+      "           ALGO: tdsp|meme|hashtag|pagerank|sssp|wcc|topn|\n"
+      "                 tdsp-vertex|sssp-vertex\n"
+      "           runs ALGO N times under perturbed worker schedules with\n"
+      "           the BSP protocol checker on; exit 1 if outputs diverge\n"
       "  analyze  RUN.json\n"
       "  compare  BASE.json CANDIDATE.json [--max-regress=PCT]\n"
       "analysis commands also take:\n"
@@ -498,6 +511,153 @@ int cmdAnalyze(const Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// check — BSP protocol checking + determinism harness over an algorithm.
+// ---------------------------------------------------------------------------
+
+// Digests an algorithm's semantic outputs for one run. Each branch hashes
+// exactly the values a user would consume — never timings or metrics.
+Result<std::string> runAlgoDigest(const std::string& algo,
+                                  const GofsDataset& ds) {
+  const auto& pg = ds.partitionedGraph();
+  const auto& vertex_schema = pg.graphTemplate().vertexSchema();
+  const auto& edge_schema = pg.graphTemplate().edgeSchema();
+  auto provider = ds.makeProvider();
+  check::Digest d;
+
+  if (algo == "tdsp" || algo == "sssp" || algo == "tdsp-vertex") {
+    if (edge_schema.indexOf(kLatencyAttr) == AttributeSchema::npos) {
+      return Status::failedPrecondition(
+          "dataset has no 'latency' edge attribute — generate with "
+          "--workload=road");
+    }
+  }
+  if (algo == "meme" || algo == "hashtag" || algo == "topn") {
+    if (vertex_schema.indexOf(kTweetsAttr) == AttributeSchema::npos) {
+      return Status::failedPrecondition(
+          "dataset has no 'tweets' vertex attribute — generate with "
+          "--workload=tweet");
+    }
+  }
+
+  if (algo == "tdsp") {
+    TdspOptions options;
+    options.latency_attr = edge_schema.requireIndex(kLatencyAttr);
+    const auto run = runTdsp(pg, *provider, options);
+    d.addDoubles(run.tdsp);
+    d.addVector(run.finalized_at, [](check::Digest& dd, Timestep t) {
+      dd.addI64(t);
+    });
+    d.addI64(run.exec.timesteps_executed);
+  } else if (algo == "meme") {
+    MemeOptions options;
+    options.tweets_attr = vertex_schema.requireIndex(kTweetsAttr);
+    const auto run = runMemeTracking(pg, *provider, options);
+    d.addVector(run.colored_at, [](check::Digest& dd, Timestep t) {
+      dd.addI64(t);
+    });
+  } else if (algo == "hashtag") {
+    HashtagOptions options;
+    options.tweets_attr = vertex_schema.requireIndex(kTweetsAttr);
+    const auto run = runHashtagAggregation(pg, *provider, options);
+    d.addU64s(run.counts);
+    d.addI64s(run.rate_of_change);
+  } else if (algo == "pagerank") {
+    PageRankOptions options;
+    const auto run = runSubgraphPageRank(pg, *provider, options);
+    d.addDoubles(run.ranks);
+  } else if (algo == "sssp") {
+    SsspOptions options;
+    options.latency_attr = edge_schema.requireIndex(kLatencyAttr);
+    const auto run = runSubgraphSssp(pg, *provider, options);
+    d.addDoubles(run.distances);
+  } else if (algo == "wcc") {
+    const auto run = runSubgraphWcc(pg, *provider);
+    d.addVector(run.component, [](check::Digest& dd, VertexIndex v) {
+      dd.addU64(v);
+    });
+    d.addU64(run.num_components);
+  } else if (algo == "topn") {
+    TopNOptions options;
+    options.tweets_attr = vertex_schema.requireIndex(kTweetsAttr);
+    const auto run = runTopActiveVertices(pg, *provider, options);
+    d.addU64(run.top.size());
+    for (const auto& per_t : run.top) {
+      d.addVector(per_t, [](check::Digest& dd, VertexIndex v) {
+        dd.addU64(v);
+      });
+    }
+  } else if (algo == "tdsp-vertex") {
+    VertexTdspOptions options;
+    options.latency_attr = edge_schema.requireIndex(kLatencyAttr);
+    const auto run = runVertexTdsp(pg, *provider, options);
+    d.addDoubles(run.tdsp);
+    d.addVector(run.finalized_at, [](check::Digest& dd, Timestep t) {
+      dd.addI64(t);
+    });
+  } else if (algo == "sssp-vertex") {
+    vertexcentric::SsspVertexProgram program(0);
+    vertexcentric::VertexCentricEngine engine(pg);
+    const auto run = engine.run(program, vertexcentric::VcConfig{},
+                                [](VertexIndex) {
+                                  return vertexcentric::kInf;
+                                });
+    d.addDoubles(run.values);
+    d.addI64(run.supersteps);
+  } else {
+    return Status::invalidArgument("unknown algorithm '" + algo +
+                                   "' (expected tdsp, meme, hashtag, "
+                                   "pagerank, sssp, wcc, topn, tdsp-vertex "
+                                   "or sssp-vertex)");
+  }
+  return d.hex();
+}
+
+int cmdCheck(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::fputs("tsgcli check: need <algo> and <dataset dir> arguments\n",
+               stderr);
+    return 2;
+  }
+  const std::string& algo = args.positional[0];
+  auto ds = GofsDataset::open(args.positional[1]);
+  if (!ds.isOk()) {
+    return fail(ds.status());
+  }
+
+  // Protocol checking is on for every harness run; a violation prints its
+  // diagnostic (rule, partition, superstep, flow) and aborts the process.
+  check::setEnabled(true);
+
+  check::DeterminismOptions options;
+  options.runs = static_cast<std::int32_t>(args.getInt("runs", 3));
+  options.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+  if (options.runs < 1) {
+    std::fputs("tsgcli check: --runs must be >= 1\n", stderr);
+    return 2;
+  }
+
+  Status failed = Status::ok();
+  const auto report = check::checkDeterminism(
+      options, [&](std::int32_t) -> std::string {
+        auto digest = runAlgoDigest(algo, ds.value());
+        if (!digest.isOk()) {
+          failed = digest.status();
+          return "";
+        }
+        return std::move(digest).value();
+      });
+  if (!failed.isOk()) {
+    return fail(failed);
+  }
+  std::fputs(
+      check::renderDeterminismReport(report, algo + " on " +
+                                                 args.positional[1])
+          .c_str(),
+      stdout);
+  return report.deterministic ? 0 : 1;
+}
+
 int cmdCompare(const Args& args) {
   if (args.positional.size() < 2) {
     std::fputs("tsgcli compare: need BASE.json and CANDIDATE.json\n", stderr);
@@ -545,6 +705,9 @@ int dispatch(const std::string& command, const Args& args) {
   }
   if (command == "wcc") {
     return cmdWcc(args);
+  }
+  if (command == "check") {
+    return cmdCheck(args);
   }
   if (command == "analyze") {
     return cmdAnalyze(args);
