@@ -87,6 +87,7 @@ HashtagRun runHashtagAggregation(const PartitionedGraph& pg,
   config.first_timestep = options.first_timestep;
   config.num_timesteps = options.num_timesteps;
   config.maintenance_period = options.maintenance_period;
+  config.checkpoint_store = options.checkpoint_store;
 
   TiBspEngine engine(pg, provider);
   run.exec = engine.run(

@@ -23,6 +23,9 @@ struct HashtagOptions {
   std::int32_t num_timesteps = -1;  // -1 = all instances
   TemporalMode temporal_mode = TemporalMode::kSerial;
   std::int32_t maintenance_period = 0;
+  // Fault tolerance (serial mode only): checkpoints every timestep boundary,
+  // including the accumulated merge pool (gofs/checkpoint.h).
+  CheckpointStore* checkpoint_store = nullptr;
 };
 
 struct HashtagRun {

@@ -12,12 +12,50 @@ namespace {
 
 class MemeProgram final : public TiBspProgram {
  public:
-  MemeProgram(const PartitionedGraph& pg, const MemeOptions& options,
-              std::vector<Timestep>& colored_at)
-      : options_(options),
+  MemeProgram(const PartitionedGraph& pg, PartitionId partition,
+              const MemeOptions& options, std::vector<Timestep>& colored_at)
+      : pg_(pg),
+        partition_(partition),
+        options_(options),
         colored_at_(colored_at),
         visited_at_(pg.graphTemplate().numVertices(), -1),
         remote_sent_at_(pg.graphTemplate().numVertices(), -1) {}
+
+  // Checkpoint hooks: C* and this partition's slice of the shared
+  // colored_at_ result carry across timesteps and must roll back together.
+  // The visited/remote-sent stamps compare against the current timestep, so
+  // a fresh -1 fill (the constructor default) is already correct on replay.
+  void saveState(BinaryWriter& w) const override {
+    for (const VertexIndex v : pg_.partition(partition_).vertices) {
+      w.writeI32(colored_at_[v]);
+    }
+    std::vector<SubgraphId> ids;
+    ids.reserve(colored_by_sg_.size());
+    for (const auto& [sg, colored] : colored_by_sg_) {
+      ids.push_back(sg);
+    }
+    std::sort(ids.begin(), ids.end());  // deterministic checkpoint bytes
+    w.writeVarint(ids.size());
+    for (const SubgraphId sg : ids) {
+      w.writeU32(sg);
+      w.writePodVector(colored_by_sg_.at(sg));
+    }
+  }
+
+  Status loadState(BinaryReader& r) override {
+    for (const VertexIndex v : pg_.partition(partition_).vertices) {
+      TSG_RETURN_IF_ERROR(r.readI32(colored_at_[v]));
+    }
+    std::uint64_t entries = 0;
+    TSG_RETURN_IF_ERROR(r.readVarint(entries));
+    colored_by_sg_.clear();
+    for (std::uint64_t i = 0; i < entries; ++i) {
+      SubgraphId sg = kInvalidSubgraph;
+      TSG_RETURN_IF_ERROR(r.readU32(sg));
+      TSG_RETURN_IF_ERROR(r.readPodVector(colored_by_sg_[sg]));
+    }
+    return Status::ok();
+  }
 
   void compute(SubgraphContext& ctx) override {
     const Subgraph& sg = ctx.subgraph();
@@ -131,6 +169,8 @@ class MemeProgram final : public TiBspProgram {
     return colored_by_sg_[sg.id];
   }
 
+  const PartitionedGraph& pg_;
+  const PartitionId partition_;
   const MemeOptions& options_;
   std::vector<Timestep>& colored_at_;       // shared result (own vertices)
   std::vector<Timestep> visited_at_;        // BFS stamp per timestep
@@ -151,11 +191,12 @@ MemeRun runMemeTracking(const PartitionedGraph& pg, InstanceProvider& provider,
   config.first_timestep = options.first_timestep;
   config.num_timesteps = options.num_timesteps;
   config.maintenance_period = options.maintenance_period;
+  config.checkpoint_store = options.checkpoint_store;
 
   TiBspEngine engine(pg, provider);
   run.exec = engine.run(
-      [&](PartitionId) {
-        return std::make_unique<MemeProgram>(pg, options, run.colored_at);
+      [&](PartitionId p) {
+        return std::make_unique<MemeProgram>(pg, p, options, run.colored_at);
       },
       config);
   return run;

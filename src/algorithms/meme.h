@@ -26,6 +26,9 @@ struct MemeOptions {
   // Emit "meme,<vertex_id>,<timestep>" per newly colored vertex (the
   // paper's PrintHorizon; off by default).
   bool emit_outputs = false;
+  // Fault tolerance: when set, the engine checkpoints at every timestep
+  // boundary and recovers from injected worker faults (gofs/checkpoint.h).
+  CheckpointStore* checkpoint_store = nullptr;
 };
 
 struct MemeRun {

@@ -95,6 +95,7 @@ PageRankRun runSubgraphPageRank(const PartitionedGraph& pg,
   config.pattern = Pattern::kSequentiallyDependent;
   config.first_timestep = options.timestep;
   config.num_timesteps = 1;
+  config.checkpoint_store = options.checkpoint_store;
 
   TiBspEngine engine(pg, provider);
   run.exec = engine.run(

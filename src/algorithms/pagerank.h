@@ -24,6 +24,9 @@ struct PageRankOptions {
   double damping = 0.85;
   std::int32_t iterations = 30;
   Timestep timestep = 0;  // instance to bind (topology-only algorithm)
+  // Fault tolerance: recovery replays the single timestep from scratch
+  // (superstep 0 re-seeds every rank), so no program state is checkpointed.
+  CheckpointStore* checkpoint_store = nullptr;
 };
 
 struct PageRankRun {

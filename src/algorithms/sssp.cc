@@ -105,6 +105,7 @@ SsspRun runSubgraphSssp(const PartitionedGraph& pg, InstanceProvider& provider,
   config.pattern = Pattern::kSequentiallyDependent;
   config.first_timestep = options.timestep;
   config.num_timesteps = 1;
+  config.checkpoint_store = options.checkpoint_store;
 
   TiBspEngine engine(pg, provider);
   run.exec = engine.run(

@@ -21,6 +21,9 @@ struct SsspOptions {
   std::size_t latency_attr = kUnweighted;
   // Which instance to run on.
   Timestep timestep = 0;
+  // Fault tolerance: recovery replays the single timestep from scratch
+  // (superstep 0 resets every distance), so no program state is checkpointed.
+  CheckpointStore* checkpoint_store = nullptr;
 };
 
 struct SsspRun {

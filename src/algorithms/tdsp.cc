@@ -1,5 +1,6 @@
 #include "algorithms/tdsp.h"
 
+#include <algorithm>
 #include <limits>
 #include <queue>
 #include <unordered_map>
@@ -21,11 +22,52 @@ class TdspProgram final : public TiBspProgram {
   TdspProgram(const PartitionedGraph& pg, PartitionId partition,
               const TdspOptions& options, std::vector<double>& tdsp,
               std::vector<Timestep>& finalized_at)
-      : options_(options),
+      : pg_(pg),
+        partition_(partition),
+        options_(options),
         tdsp_(tdsp),
         finalized_at_(finalized_at),
-        label_(pg.graphTemplate().numVertices(), kInf) {
-    (void)partition;
+        label_(pg.graphTemplate().numVertices(), kInf) {}
+
+  // Checkpoint hooks: the frontier F and done_ flag carry across timesteps,
+  // and endOfTimestep writes this partition's slice of the shared tdsp_/
+  // finalized_at_ results — all of it must roll back with the engine, or a
+  // replayed timestep would skip vertices the aborted attempt finalized.
+  // label_ stays out: compute rebuilds it at superstep 0 of every timestep.
+  void saveState(BinaryWriter& w) const override {
+    w.writeBool(done_);
+    for (const VertexIndex v : pg_.partition(partition_).vertices) {
+      w.writeDouble(tdsp_[v]);
+      w.writeI32(finalized_at_[v]);
+    }
+    std::vector<SubgraphId> ids;
+    ids.reserve(finalized_by_sg_.size());
+    for (const auto& [sg, frontier] : finalized_by_sg_) {
+      ids.push_back(sg);
+    }
+    std::sort(ids.begin(), ids.end());  // deterministic checkpoint bytes
+    w.writeVarint(ids.size());
+    for (const SubgraphId sg : ids) {
+      w.writeU32(sg);
+      w.writePodVector(finalized_by_sg_.at(sg));
+    }
+  }
+
+  Status loadState(BinaryReader& r) override {
+    TSG_RETURN_IF_ERROR(r.readBool(done_));
+    for (const VertexIndex v : pg_.partition(partition_).vertices) {
+      TSG_RETURN_IF_ERROR(r.readDouble(tdsp_[v]));
+      TSG_RETURN_IF_ERROR(r.readI32(finalized_at_[v]));
+    }
+    std::uint64_t entries = 0;
+    TSG_RETURN_IF_ERROR(r.readVarint(entries));
+    finalized_by_sg_.clear();
+    for (std::uint64_t i = 0; i < entries; ++i) {
+      SubgraphId sg = kInvalidSubgraph;
+      TSG_RETURN_IF_ERROR(r.readU32(sg));
+      TSG_RETURN_IF_ERROR(r.readPodVector(finalized_by_sg_[sg]));
+    }
+    return Status::ok();
   }
 
   void compute(SubgraphContext& ctx) override {
@@ -176,6 +218,8 @@ class TdspProgram final : public TiBspProgram {
     return finalized_by_sg_[sg.id];
   }
 
+  const PartitionedGraph& pg_;
+  const PartitionId partition_;
   const TdspOptions& options_;
   std::vector<double>& tdsp_;
   std::vector<Timestep>& finalized_at_;
@@ -199,6 +243,7 @@ TdspRun runTdsp(const PartitionedGraph& pg, InstanceProvider& provider,
   config.num_timesteps = options.num_timesteps;
   config.while_mode = options.while_mode;
   config.maintenance_period = options.maintenance_period;
+  config.checkpoint_store = options.checkpoint_store;
 
   TiBspEngine engine(pg, provider);
   run.exec = engine.run(

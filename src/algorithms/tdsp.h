@@ -36,6 +36,9 @@ struct TdspOptions {
   // Emit one "tdsp,<vertex_id>,<timestep>,<arrival>" output line per
   // finalized vertex (the paper's OUTPUT; off by default — large).
   bool emit_outputs = false;
+  // Fault tolerance: when set, the engine checkpoints at every timestep
+  // boundary and recovers from injected worker faults (gofs/checkpoint.h).
+  CheckpointStore* checkpoint_store = nullptr;
 };
 
 struct TdspRun {

@@ -60,6 +60,21 @@ class VertexTdspProgram final : public vertexcentric::TemporalVertexProgram {
     }
   }
 
+  // Checkpoint hooks: the single shared program owns all vertices, so the
+  // whole result vectors round-trip. label_ rides along too — replay resets
+  // it at superstep 0, but the restore keeps the rollback unconditional.
+  void saveState(BinaryWriter& w) const override {
+    w.writePodVector(tdsp_);
+    w.writePodVector(finalized_at_);
+    w.writePodVector(label_);
+  }
+
+  Status loadState(BinaryReader& r) override {
+    TSG_RETURN_IF_ERROR(r.readPodVector(tdsp_));
+    TSG_RETURN_IF_ERROR(r.readPodVector(finalized_at_));
+    return r.readPodVector(label_);
+  }
+
  private:
   const VertexTdspOptions& options_;
   std::vector<double>& tdsp_;
@@ -82,6 +97,7 @@ VertexTdspRun runVertexTdsp(const PartitionedGraph& pg,
   vertexcentric::TemporalVcConfig config;
   config.first_timestep = options.first_timestep;
   config.num_timesteps = options.num_timesteps;
+  config.checkpoint_store = options.checkpoint_store;
 
   vertexcentric::TemporalVertexEngine engine(pg, provider);
   run.exec = engine.run(program, config);

@@ -22,6 +22,9 @@ struct VertexTdspOptions {
   std::size_t latency_attr = 0;
   Timestep first_timestep = 0;
   std::int32_t num_timesteps = -1;
+  // Fault tolerance: when set, the engine checkpoints at every timestep
+  // boundary and recovers from injected worker faults (gofs/checkpoint.h).
+  CheckpointStore* checkpoint_store = nullptr;
 };
 
 struct VertexTdspRun {

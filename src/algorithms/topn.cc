@@ -86,6 +86,7 @@ TopNRun runTopActiveVertices(const PartitionedGraph& pg,
   config.temporal_mode = options.temporal_mode;
   config.first_timestep = options.first_timestep;
   config.num_timesteps = options.num_timesteps;
+  config.checkpoint_store = options.checkpoint_store;
 
   TiBspEngine engine(pg, provider);
   run.exec = engine.run(

@@ -22,6 +22,10 @@ struct TopNOptions {
   Timestep first_timestep = 0;
   std::int32_t num_timesteps = -1;
   TemporalMode temporal_mode = TemporalMode::kConcurrent;
+  // Fault tolerance: requires temporal_mode == kSerial (the engine rejects
+  // concurrent checkpointing). Replayed timesteps rewrite their top[] slot
+  // deterministically, so no program state is checkpointed.
+  CheckpointStore* checkpoint_store = nullptr;
 };
 
 struct TopNRun {

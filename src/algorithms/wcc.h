@@ -17,6 +17,9 @@ namespace tsg {
 
 struct WccOptions {
   Timestep timestep = 0;  // instance to bind (topology-only algorithm)
+  // Fault tolerance: recovery replays the single timestep from scratch
+  // (superstep 0 re-seeds every label), so no program state is checkpointed.
+  CheckpointStore* checkpoint_store = nullptr;
 };
 
 struct WccRun {

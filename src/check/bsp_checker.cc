@@ -172,6 +172,15 @@ void BspChecker::onDeliver(std::uint64_t messages, std::uint64_t bytes,
 
 void BspChecker::onReset() { rebaseline(); }
 
+void BspChecker::onRecovery() {
+  for (auto& ps : parts_) {
+    ps.in_compute.store(false, std::memory_order_relaxed);
+    const auto entered = ps.rounds_entered.load(std::memory_order_relaxed);
+    ps.rounds_exited.store(entered, std::memory_order_relaxed);
+  }
+  rebaseline();
+}
+
 void BspChecker::enableRegistryReconciliation() {
   reconcile_registry_ = true;
   registry_messages_base_ =

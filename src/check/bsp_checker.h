@@ -88,6 +88,14 @@ class BspChecker {
   // The engine reset the fabric (superstep-cap abort): forgive everything
   // currently in flight.
   void onReset();
+  // The engine rolled back to a checkpoint after a fault. A killed worker
+  // may have died inside its compute phase (round entered, never exited)
+  // and in-flight traffic was dropped: close the open phases, re-pair the
+  // round counters and re-baseline the conservation accounting. Cumulative
+  // delivered totals are kept — the bus registry counters and the checker
+  // increment together at delivery, so registry reconciliation stays valid
+  // across a recovery.
+  void onRecovery();
   // End of the run: all accounting must be back to zero, and — when
   // reconciliation was requested — the checker's cumulative delivered
   // counts must equal the MetricsRegistry's delta.

@@ -1,9 +1,11 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 
 #if defined(__GLIBC__) || defined(__linux__)
@@ -17,7 +19,9 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "gofs/checkpoint.h"
 #include "runtime/cluster.h"
+#include "runtime/fault_injector.h"
 #include "runtime/message_bus.h"
 
 namespace tsg {
@@ -298,7 +302,21 @@ using RoundRunner = std::function<std::vector<Cluster::RoundTiming>(
 
 RoundRunner makeClusterRunner(Cluster& cluster) {
   return [&cluster](const std::function<void(PartitionId)>& job) {
-    return cluster.run(job);
+    std::vector<Cluster::RoundTiming> timings = cluster.run(job);
+    if (cluster.hasFaults()) [[unlikely]] {
+      // A worker died mid-round (fault::WorkerFault). The round itself
+      // completed — the barrier never hangs — so the coordinator unwinds
+      // here and the engine's recovery path takes over.
+      std::string detail;
+      for (const auto& f : cluster.takeFaults()) {
+        if (!detail.empty()) {
+          detail += "; ";
+        }
+        detail += f.detail;
+      }
+      throw fault::RecoveryNeeded(std::move(detail));
+    }
+    return timings;
   };
 }
 
@@ -468,16 +486,31 @@ TimestepOutcome runOneTimestep(ExecEnv& env, Timestep t,
     }
     const auto& timings = env.round([&env, t, s](PartitionId p) {
       auto& st = *env.states[p];
+      auto& inj = fault::FaultInjector::global();
       if (env.checker != nullptr) {
         env.checker->enterCompute(p);
       }
       if (s == 0) {
+        if (inj.armed() &&
+            inj.fire(fault::Site::kSliceLoad, p, t, fault::Action::kKill))
+            [[unlikely]] {
+          throw fault::WorkerFault(p, t, fault::Site::kSliceLoad);
+        }
         TraceSpan load_span("gofs", "gofs.instance_load", "partition", p,
                             "t", t);
         st.instance = &env.provider.instanceFor(p, t);
         st.load_ns += env.provider.takeLoadNs(p);
       }
       distributeInbox(st);
+      if (inj.armed()) [[unlikely]] {
+        if (const auto spec = inj.fire(fault::Site::kCompute, p, t)) {
+          if (spec->action == fault::Action::kKill) {
+            throw fault::WorkerFault(p, t, fault::Site::kCompute);
+          }
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(spec->delay_us));
+        }
+      }
       const Partition& part = env.pg.partition(p);
       for (std::uint32_t i = 0; i < part.subgraphs.size(); ++i) {
         const bool has_msgs = !st.sg_inbox[i].empty();
@@ -497,6 +530,13 @@ TimestepOutcome runOneTimestep(ExecEnv& env, Timestep t,
         ++st.subgraphs_computed;
         st.sg_inbox[i].clear();
       }
+      if (inj.armed() &&
+          inj.fire(fault::Site::kBarrier, p, t, fault::Action::kKill))
+          [[unlikely]] {
+        // Dies with work done but the compute phase still open: the
+        // checker would see an unpaired round if recovery didn't re-pair.
+        throw fault::WorkerFault(p, t, fault::Site::kBarrier);
+      }
       if (env.checker != nullptr) {
         env.checker->exitCompute(p);
       }
@@ -513,6 +553,29 @@ TimestepOutcome runOneTimestep(ExecEnv& env, Timestep t,
       all_halted = all_halted &&
                    std::all_of(st.halted.begin(), st.halted.end(),
                                [](std::uint8_t h) { return h != 0; });
+    }
+    {
+      auto& inj = fault::FaultInjector::global();
+      if (inj.armed()) [[unlikely]] {
+        if (const auto spec =
+                inj.fire(fault::Site::kDeliver, kInvalidPartition, t)) {
+          if (spec->action == fault::Action::kDrop) {
+            // The batch is lost in transit: clear the fabric and unwind
+            // into the recovery path (the checker forgives via onReset).
+            env.bus.clearAll();
+            commitRecord(env, std::move(rec), t);
+            throw fault::RecoveryNeeded(
+                "delivery batch dropped at timestep " + std::to_string(t) +
+                " superstep " + std::to_string(s));
+          }
+          // Transient delay: the barrier stretches, delivery then proceeds.
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(spec->delay_us));
+          MetricsRegistry::global()
+              .counter("fault.delivery_delays")
+              .increment();
+        }
+      }
     }
     const auto delivery = env.bus.deliver();
     rec.delivered_messages = delivery.messages;
@@ -768,53 +831,158 @@ TiBspResult TiBspEngine::run(const ProgramFactory& factory,
 
     std::vector<Message> pending_next;
     std::vector<Message> merge_pool;
-    for (std::int32_t i = 0; i < count; ++i) {
-      const Timestep t = first + i;
-      if (config.maintenance_period > 0 && i > 0 &&
-          i % config.maintenance_period == 0) {
-        runMaintenance(env, t);
-      }
-      std::vector<Message> seed;
-      if (config.pattern == Pattern::kSequentiallyDependent) {
-        seed = std::move(pending_next);
-        pending_next.clear();
-        if (i == 0) {
-          seed.insert(seed.end(), config.input_messages.begin(),
-                      config.input_messages.end());
-        }
-      } else {
-        seed = config.input_messages;  // every instance gets the inputs
-      }
-      const auto outcome = runOneTimestep(env, t, std::move(seed));
-      ++result.timesteps_executed;
+    CheckpointStore* const store = config.checkpoint_store;
+    std::int32_t recoveries = 0;
 
-      std::map<std::string, std::uint64_t> agg_now;
-      for (auto& st_ptr : states) {
-        auto& st = *st_ptr;
-        std::move(st.next_msgs.begin(), st.next_msgs.end(),
-                  std::back_inserter(pending_next));
-        st.next_msgs.clear();
-        std::move(st.merge_msgs.begin(), st.merge_msgs.end(),
-                  std::back_inserter(merge_pool));
-        st.merge_msgs.clear();
-        for (const auto& [name, value] : st.agg_events) {
-          agg_now[name] += value;
-        }
-        st.agg_events.clear();
+    // Snapshot the consistent cut after `completed` finished (workers parked,
+    // fabric empty): program state, outputs, carried messages, aggregates.
+    const auto saveCheckpoint = [&](Timestep completed,
+                                    std::int32_t executed) {
+      TraceSpan ckpt_span("tibsp", "tibsp.checkpoint", "t", completed);
+      Checkpoint ckpt;
+      ckpt.timestep = completed;
+      ckpt.timesteps_executed = executed;
+      ckpt.partitions.resize(k);
+      for (PartitionId p = 0; p < k; ++p) {
+        BinaryWriter w;
+        states[p]->program->saveState(w);
+        ckpt.partitions[p].program_state = w.takeBuffer();
+        ckpt.partitions[p].outputs = states[p]->outputs;
       }
-      for (auto& st_ptr : states) {
-        st_ptr->agg_prev = agg_now;
-      }
+      ckpt.pending_next = pending_next;
+      ckpt.merge_pool = merge_pool;
+      ckpt.aggregates = states[0]->agg_prev;
+      const Status saved = store->save(ckpt);
+      TSG_CHECK_MSG(saved.isOk(), saved.toString());
+      MetricsRegistry::global().counter("engine.checkpoints").increment();
+    };
 
-      if (config.pattern == Pattern::kSequentiallyDependent &&
-          config.while_mode && outcome.all_halt_timestep &&
-          pending_next.empty()) {
-        break;
-      }
+    std::int32_t i = 0;
+    bool stop = false;   // While-mode requested an early end
+    bool done = false;
+    if (store != nullptr) {
+      TSG_CHECK_MSG(config.checkpoint_period > 0,
+                    "checkpoint_period must be >= 1");
+      // Initial checkpoint (pristine programs, timestep first-1): every
+      // recovery uniformly loads a checkpoint — no "restart from scratch"
+      // special case, which would silently mis-restore stateful programs.
+      saveCheckpoint(first - 1, 0);
     }
+    while (!done) {
+      try {
+        while (i < count && !stop) {
+          const Timestep t = first + i;
+          if (config.maintenance_period > 0 && i > 0 &&
+              i % config.maintenance_period == 0) {
+            runMaintenance(env, t);
+          }
+          std::vector<Message> seed;
+          if (config.pattern == Pattern::kSequentiallyDependent) {
+            seed = std::move(pending_next);
+            pending_next.clear();
+            if (i == 0) {
+              seed.insert(seed.end(), config.input_messages.begin(),
+                          config.input_messages.end());
+            }
+          } else {
+            seed = config.input_messages;  // every instance gets the inputs
+          }
+          const auto outcome = runOneTimestep(env, t, std::move(seed));
+          ++result.timesteps_executed;
 
-    if (config.pattern == Pattern::kEventuallyDependent) {
-      runMergePhase(env, std::move(merge_pool), first + count);
+          std::map<std::string, std::uint64_t> agg_now;
+          for (auto& st_ptr : states) {
+            auto& st = *st_ptr;
+            std::move(st.next_msgs.begin(), st.next_msgs.end(),
+                      std::back_inserter(pending_next));
+            st.next_msgs.clear();
+            std::move(st.merge_msgs.begin(), st.merge_msgs.end(),
+                      std::back_inserter(merge_pool));
+            st.merge_msgs.clear();
+            for (const auto& [name, value] : st.agg_events) {
+              agg_now[name] += value;
+            }
+            st.agg_events.clear();
+          }
+          for (auto& st_ptr : states) {
+            st_ptr->agg_prev = agg_now;
+          }
+
+          if (config.pattern == Pattern::kSequentiallyDependent &&
+              config.while_mode && outcome.all_halt_timestep &&
+              pending_next.empty()) {
+            stop = true;
+          }
+          if (store != nullptr &&
+              ((i + 1) % config.checkpoint_period == 0 || i == count - 1 ||
+               stop)) {
+            saveCheckpoint(t, result.timesteps_executed);
+          }
+          ++i;
+        }
+
+        if (config.pattern == Pattern::kEventuallyDependent) {
+          runMergePhase(env, std::move(merge_pool), first + count);
+        }
+        done = true;
+      } catch (const fault::RecoveryNeeded& fault_cause) {
+        // Rollback: respawn dead workers, forgive in-flight traffic, reload
+        // every partition from the newest checkpoint (all partitions mutate
+        // mid-timestep, so a partial rollback would be inconsistent), then
+        // resume from the timestep after the cut.
+        TSG_CHECK_MSG(store != nullptr,
+                      std::string("worker fault without a checkpoint "
+                                  "store: ") +
+                          fault_cause.what());
+        ++recoveries;
+        TSG_CHECK_MSG(recoveries <= config.max_recoveries,
+                      "recovery limit exhausted; last fault: " +
+                          std::string(fault_cause.what()));
+        TraceSpan rec_span("tibsp", "tibsp.recovery");
+        TSG_LOG(Warn) << "recovering from fault (" << recoveries << "/"
+                      << config.max_recoveries
+                      << "): " << fault_cause.what();
+        MetricsRegistry::global().counter("engine.recoveries").increment();
+        if (checker != nullptr) {
+          checker->onRecovery();
+        }
+        bus.clearAll();
+        cluster.respawnDead();
+
+        auto loaded = store->loadLatest();
+        TSG_CHECK_MSG(loaded.isOk(), loaded.status().toString());
+        Checkpoint ckpt = std::move(loaded).value();
+        TSG_CHECK(ckpt.partitions.size() == k);
+        for (PartitionId p = 0; p < k; ++p) {
+          programs[p] = factory(p);
+          TSG_CHECK(programs[p] != nullptr);
+          auto& st = *states[p];
+          st.program = programs[p].get();
+          BinaryReader state_reader(ckpt.partitions[p].program_state);
+          const Status restored = st.program->loadState(state_reader);
+          TSG_CHECK_MSG(restored.isOk(), restored.toString());
+          st.outputs = std::move(ckpt.partitions[p].outputs);
+          st.next_msgs.clear();
+          st.merge_msgs.clear();
+          st.agg_events.clear();
+          st.counter_events.clear();
+          for (auto& q : st.sg_inbox) {
+            q.clear();
+          }
+          st.send_ns = 0;
+          st.load_ns = 0;
+          st.msgs_sent = 0;
+          st.bytes_sent = 0;
+          st.subgraphs_computed = 0;
+          st.agg_prev = ckpt.aggregates;
+          st.instance = nullptr;
+        }
+        pending_next = std::move(ckpt.pending_next);
+        merge_pool = std::move(ckpt.merge_pool);
+        result.timesteps_executed = ckpt.timesteps_executed;
+        i = (ckpt.timestep - first) + 1;
+        stop = false;
+      }
     }
     if (checker != nullptr) {
       checker->endRun();
@@ -828,6 +996,10 @@ TiBspResult TiBspEngine::run(const ProgramFactory& factory,
     // Temporal concurrency: each timestep runs as one task with its own
     // states, programs and bus; spatial execution inside a task is
     // sequential. Merge (if any) runs afterwards on a spatial cluster.
+    // Recovery is a serial-mode feature: concurrent tasks have no cluster
+    // to respawn and independent timesteps can simply be re-run whole.
+    TSG_CHECK_MSG(config.checkpoint_store == nullptr,
+                  "checkpointing requires TemporalMode::kSerial");
     std::mutex stats_mutex;
     std::vector<std::vector<std::string>> outputs_by_t(
         static_cast<std::size_t>(count));

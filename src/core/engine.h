@@ -25,6 +25,8 @@
 
 namespace tsg {
 
+class CheckpointStore;  // gofs/checkpoint.h
+
 enum class Pattern : std::uint8_t {
   kIndependent,
   kEventuallyDependent,
@@ -57,6 +59,19 @@ struct TiBspConfig {
   // Application inputs, delivered at superstep 0: of the first timestep for
   // the sequentially dependent pattern, of every timestep otherwise (§II-D).
   std::vector<Message> input_messages;
+
+  // Fault tolerance (serial temporal mode only; see gofs/checkpoint.h).
+  // When set, the engine writes an initial checkpoint before the timestep
+  // loop, then one per `checkpoint_period` completed timesteps; a worker
+  // fault (thrown fault::WorkerFault / fault::RecoveryNeeded) triggers a
+  // respawn + rollback to the newest checkpoint instead of an abort. Null
+  // (the default) keeps the hot path fault-oblivious: faults abort.
+  CheckpointStore* checkpoint_store = nullptr;
+  std::int32_t checkpoint_period = 1;
+  // Hard cap on rollbacks per run; exceeding it is a contract failure (a
+  // fault plan that never lets the run finish is a test bug, not a crash
+  // to paper over).
+  std::int32_t max_recoveries = 8;
 };
 
 struct TiBspResult {

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.h"
 #include "gofs/instance_provider.h"
 #include "graph/types.h"
 #include "partition/partitioned_graph.h"
@@ -119,6 +120,17 @@ class TiBspProgram {
   virtual void compute(SubgraphContext& ctx) = 0;
   virtual void endOfTimestep(SubgraphContext& ctx) { (void)ctx; }
   virtual void merge(SubgraphContext& ctx) { (void)ctx; }
+
+  // Checkpoint hooks. A program whose members carry state across timesteps
+  // (TDSP labels, Meme stamps, ...) must serialize all of it here, or a
+  // fault recovery restarts it from whatever loadState leaves behind. The
+  // defaults suit stateless programs (PageRank, SSSP, WCC, Hashtag): there
+  // is nothing to save, and a recovery re-creates the program fresh.
+  virtual void saveState(BinaryWriter& w) const { (void)w; }
+  virtual Status loadState(BinaryReader& r) {
+    (void)r;
+    return Status::ok();
+  }
 };
 
 // Creates the program instance that will serve partition p.

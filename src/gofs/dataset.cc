@@ -1,6 +1,8 @@
 #include "gofs/dataset.h"
 
+#include <chrono>
 #include <filesystem>
+#include <thread>
 #include <utility>
 
 #include "common/log.h"
@@ -8,6 +10,7 @@
 #include "common/serialize.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
+#include "runtime/fault_injector.h"
 
 namespace tsg {
 namespace {
@@ -273,6 +276,21 @@ class GofsInstanceProvider final : public InstanceProvider {
     const std::uint32_t packing = manifest_.options.temporal_packing;
     const auto pack = static_cast<std::uint32_t>(t) / packing;
     if (state.cached_pack != static_cast<std::int64_t>(pack)) {
+      // Transient-load fault site: each injected kFailLoad consumes one
+      // plan entry and costs one backoff'd retry; when the plan runs dry
+      // the load proceeds normally.
+      auto& inj = fault::FaultInjector::global();
+      if (inj.armed()) [[unlikely]] {
+        std::int64_t backoff_us = 50;
+        while (inj.fire(fault::Site::kSliceLoad, p, t,
+                        fault::Action::kFailLoad)) {
+          MetricsRegistry::global()
+              .counter("gofs.load_retries", static_cast<std::int32_t>(p))
+              .increment();
+          std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+          backoff_us *= 2;
+        }
+      }
       TraceSpan span("gofs", "gofs.load_pack", "partition", p, "pack",
                      static_cast<std::int64_t>(pack));
       const std::int64_t load_ns_before = state.load_ns;

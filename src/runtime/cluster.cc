@@ -4,12 +4,14 @@
 #include <chrono>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "check/perturb.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
+#include "runtime/fault_injector.h"
 
 namespace tsg {
 
@@ -33,11 +35,13 @@ Cluster::Cluster(std::uint32_t num_partitions)
       timings_(num_partitions),
       m_rounds_(MetricsRegistry::global().counter("cluster.rounds")),
       m_barrier_wait_ns_(
-          MetricsRegistry::global().counter("cluster.barrier_wait_ns")) {
+          MetricsRegistry::global().counter("cluster.barrier_wait_ns")),
+      m_respawns_(MetricsRegistry::global().counter("cluster.respawns")) {
   TSG_CHECK(num_partitions > 0);
+  dead_.assign(num_partitions, 0);
   workers_.reserve(num_partitions);
   for (PartitionId p = 0; p < num_partitions; ++p) {
-    workers_.emplace_back([this, p] { workerLoop(p); });
+    workers_.emplace_back([this, p] { workerLoop(p, /*start_round=*/0); });
   }
 }
 
@@ -58,6 +62,10 @@ const std::vector<Cluster::RoundTiming>& Cluster::run(
   {
     std::unique_lock lock(mutex_);
     TSG_CHECK_MSG(remaining_ == 0, "run() re-entered mid-round");
+    for (PartitionId p = 0; p < dead_.size(); ++p) {
+      TSG_CHECK_MSG(dead_[p] == 0,
+                    "run() with a dead worker — call respawnDead() first");
+    }
     job_ = &job;
     remaining_ = static_cast<std::uint32_t>(workers_.size());
     ++round_;
@@ -79,9 +87,60 @@ const std::vector<Cluster::RoundTiming>& Cluster::run(
   return timings_;
 }
 
-void Cluster::workerLoop(PartitionId p) {
+bool Cluster::hasFaults() {
+  std::lock_guard lock(mutex_);
+  return !faults_.empty();
+}
+
+std::vector<Cluster::FaultRecord> Cluster::takeFaults() {
+  std::lock_guard lock(mutex_);
+  return std::exchange(faults_, {});
+}
+
+std::uint32_t Cluster::respawnDead() {
+  std::uint32_t respawned = 0;
+  std::uint64_t resume_round = 0;
+  std::vector<PartitionId> to_spawn;
+  {
+    std::lock_guard lock(mutex_);
+    TSG_CHECK_MSG(remaining_ == 0, "respawnDead() mid-round");
+    resume_round = round_;
+    for (PartitionId p = 0; p < dead_.size(); ++p) {
+      if (dead_[p] != 0) {
+        to_spawn.push_back(p);
+      }
+    }
+  }
+  for (const PartitionId p : to_spawn) {
+    // The dead thread already exited its loop; join reclaims it, then a
+    // fresh thread takes over the partition from the current round.
+    workers_[p].join();
+    workers_[p] = std::thread(
+        [this, p, resume_round] { workerLoop(p, resume_round); });
+    ++respawned;
+    m_respawns_.increment();
+  }
+  if (respawned > 0) {
+    std::lock_guard lock(mutex_);
+    for (const PartitionId p : to_spawn) {
+      dead_[p] = 0;
+    }
+  }
+  return respawned;
+}
+
+std::uint32_t Cluster::aliveWorkers() {
+  std::lock_guard lock(mutex_);
+  std::uint32_t alive = 0;
+  for (const std::uint8_t d : dead_) {
+    alive += d == 0 ? 1 : 0;
+  }
+  return alive;
+}
+
+void Cluster::workerLoop(PartitionId p, std::uint64_t start_round) {
   Tracer::setCurrentThreadName("partition-" + std::to_string(p));
-  std::uint64_t seen_round = 0;
+  std::uint64_t seen_round = start_round;
   while (true) {
     const std::function<void(PartitionId)>* job = nullptr;
     {
@@ -104,18 +163,34 @@ void Cluster::workerLoop(PartitionId p) {
     // the wall clock for barrier-wait (sync) computation.
     start_ns_[p] = steadyNowNs();
     const std::int64_t cpu_start = threadCpuNowNs();
+    bool died = false;
+    std::string fault_detail;
     {
       TraceSpan job_span("cluster", "cluster.job", "partition", p);
-      (*job)(p);
+      try {
+        (*job)(p);
+      } catch (const fault::WorkerFault& f) {
+        died = true;
+        fault_detail = f.what();
+      }
     }
     cpu_busy_ns_[p] = threadCpuNowNs() - cpu_start;
     end_ns_[p] = steadyNowNs();
     perturbPoint(seen_round, p, /*salt=*/1);
     {
       std::lock_guard lock(mutex_);
+      if (died) {
+        dead_[p] = 1;
+        faults_.push_back(FaultRecord{p, std::move(fault_detail)});
+      }
       if (--remaining_ == 0) {
         round_done_.notify_all();
       }
+    }
+    if (died) {
+      // The worker is gone until respawnDead(); the thread exits so the
+      // failure is a real thread death, not a flagged skip.
+      return;
     }
   }
 }

@@ -7,6 +7,11 @@
 //
 // Per round and per partition the cluster records busy time and barrier
 // (sync) wait — the raw series behind Fig. 7b/7d's compute / sync split.
+//
+// Fault model: a job that throws fault::WorkerFault kills its worker — the
+// thread records the death and exits, the round still completes (the
+// barrier never hangs). The coordinator observes the casualty via
+// hasFaults(), rolls back, and calls respawnDead() before the next round.
 #pragma once
 
 #include <condition_variable>
@@ -35,7 +40,8 @@ class Cluster {
   };
 
   // Runs job(p) on every partition worker; blocks until the round ends.
-  // The returned reference is valid until the next run() call.
+  // The returned reference is valid until the next run() call. All workers
+  // must be alive (respawnDead() after a fault).
   const std::vector<RoundTiming>& run(
       const std::function<void(PartitionId)>& job);
 
@@ -43,8 +49,24 @@ class Cluster {
     return static_cast<std::uint32_t>(timings_.size());
   }
 
+  // One worker death, as observed at the round barrier.
+  struct FaultRecord {
+    PartitionId partition = kInvalidPartition;
+    std::string detail;
+  };
+
+  // True if any worker died during the last round.
+  [[nodiscard]] bool hasFaults();
+  // Drains the recorded deaths (oldest first).
+  std::vector<FaultRecord> takeFaults();
+  // Joins every dead worker thread and spawns a replacement; returns how
+  // many were respawned. Must be called between rounds.
+  std::uint32_t respawnDead();
+  // Number of workers currently alive (for tests).
+  [[nodiscard]] std::uint32_t aliveWorkers();
+
  private:
-  void workerLoop(PartitionId p);
+  void workerLoop(PartitionId p, std::uint64_t start_round);
 
   std::mutex mutex_;
   std::condition_variable round_start_;
@@ -53,6 +75,8 @@ class Cluster {
   std::uint64_t round_ = 0;
   std::uint32_t remaining_ = 0;
   bool shutting_down_ = false;
+  std::vector<std::uint8_t> dead_;        // guarded by mutex_
+  std::vector<FaultRecord> faults_;       // guarded by mutex_
 
   std::vector<std::int64_t> start_ns_;
   std::vector<std::int64_t> end_ns_;
@@ -62,6 +86,7 @@ class Cluster {
   // cells directly instead of re-doing the registry name lookup.
   MetricsRegistry::Counter& m_rounds_;
   MetricsRegistry::Counter& m_barrier_wait_ns_;
+  MetricsRegistry::Counter& m_respawns_;
   std::vector<std::thread> workers_;
 };
 

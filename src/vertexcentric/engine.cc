@@ -1,14 +1,18 @@
 #include "vertexcentric/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
+#include <thread>
 #include <utility>
 
 #include "check/bsp_checker.h"
+#include "common/log.h"
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
 #include "runtime/cluster.h"
+#include "runtime/fault_injector.h"
 
 namespace tsg {
 namespace vertexcentric {
@@ -100,19 +104,49 @@ VcResult VertexCentricEngine::run(
   }
 
   std::int32_t s = 0;
-  while (true) {
+  std::int32_t recoveries = 0;
+
+  // Runs one barriered round; a worker killed by fault injection surfaces
+  // here as RecoveryNeeded (same contract as the TI-BSP engines).
+  const auto runRound = [&cluster](const std::function<void(PartitionId)>& job)
+      -> const std::vector<Cluster::RoundTiming>& {
+    const auto& timings = cluster.run(job);
+    if (cluster.hasFaults()) [[unlikely]] {
+      std::string detail;
+      for (const auto& f : cluster.takeFaults()) {
+        if (!detail.empty()) {
+          detail += "; ";
+        }
+        detail += f.detail;
+      }
+      throw fault::RecoveryNeeded(std::move(detail));
+    }
+    return timings;
+  };
+
+  // One superstep; returns false once the BSP quiesced or hit the cap.
+  // This engine has no timesteps, so fault filters use timestep 0.
+  const auto runSuperstep = [&]() -> bool {
     TraceSpan superstep_span("vc", "vc.superstep", "s", s);
     if (checker != nullptr) {
       checker->beginSuperstep(s);
     }
-    const auto& timings = cluster.run([&, s](PartitionId p) {
+    const auto& timings = runRound([&, s](PartitionId p) {
       auto& w = workers[p];
+      auto& inj = fault::FaultInjector::global();
       if (w.checker != nullptr) {
         w.checker->enterCompute(p);
         if (!w.incoming.empty()) {
           w.checker->onConsume(p, w.incoming.size(), 0, w.incoming_stamp_s,
                                0);
         }
+      }
+      // No GoFS provider here; the slice-load site maps to this engine's
+      // superstep-0 input consumption so the fault matrix covers all sites.
+      if (s == 0 && inj.armed() &&
+          inj.fire(fault::Site::kSliceLoad, p, 0, fault::Action::kKill))
+          [[unlikely]] {
+        throw fault::WorkerFault(p, 0, fault::Site::kSliceLoad);
       }
       const Partition& part = pg_.partition(p);
       // Distribute incoming messages to per-vertex lists, combining if
@@ -128,6 +162,14 @@ VcResult VertexCentricEngine::run(
         w.has_msgs[local] = 1;
       }
       w.incoming.clear();
+      if (inj.armed()) [[unlikely]] {
+        if (const auto spec = inj.fire(fault::Site::kCompute, p, 0)) {
+          if (spec->action == fault::Action::kKill) {
+            throw fault::WorkerFault(p, 0, fault::Site::kCompute);
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(spec->delay_us));
+        }
+      }
 
       VertexContext ctx;
       ctx.superstep_ = s;
@@ -154,6 +196,12 @@ VcResult VertexCentricEngine::run(
         w.vertex_msgs[i].clear();
         w.has_msgs[i] = 0;
       }
+      if (inj.armed() &&
+          inj.fire(fault::Site::kBarrier, p, 0, fault::Action::kKill))
+          [[unlikely]] {
+        // Dies with the compute phase still open; onRecovery re-pairs it.
+        throw fault::WorkerFault(p, 0, fault::Site::kBarrier);
+      }
       if (w.checker != nullptr) {
         w.checker->exitCompute(p);
       }
@@ -176,6 +224,30 @@ VcResult VertexCentricEngine::run(
       ps.subgraphs_computed = std::exchange(w.vertices_computed, 0);
     }
     auto& registry = MetricsRegistry::global();
+    {
+      // Delivery faults hit the whole exchange, so only wildcard-partition
+      // specs match. A drop discards every outbox and forces a restart; the
+      // aborted attempt's record stays in RunStats.
+      auto& inj = fault::FaultInjector::global();
+      if (inj.armed()) [[unlikely]] {
+        if (const auto spec =
+                inj.fire(fault::Site::kDeliver, kInvalidPartition, 0)) {
+          if (spec->action == fault::Action::kDrop) {
+            for (auto& w : workers) {
+              for (auto& box : w.outbox) {
+                box.clear();
+              }
+            }
+            result.stats.addSuperstep(std::move(rec));
+            throw fault::RecoveryNeeded("delivery exchange dropped at superstep " +
+                                        std::to_string(s));
+          }
+          registry.counter("fault.delivery_delays").increment();
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(spec->delay_us));
+        }
+      }
+    }
     auto& h_batch = registry.histogram("vc.batch_messages");
     std::uint64_t delivered = 0;
     for (PartitionId p = 0; p < k; ++p) {
@@ -237,14 +309,60 @@ VcResult VertexCentricEngine::run(
                     [](std::uint8_t h) { return h != 0; });
     ++s;
     if (all_halted && delivered == 0) {
-      break;
+      return false;
     }
     if (s >= config.max_supersteps) {
       if (checker != nullptr) {
         // Cap abort abandons delivered-but-unconsumed traffic by design.
         checker->onReset();
       }
-      break;
+      return false;
+    }
+    return true;
+  };
+
+  bool done = false;
+  while (!done) {
+    try {
+      while (runSuperstep()) {
+      }
+      done = true;
+    } catch (const fault::RecoveryNeeded& fault_cause) {
+      // A single BSP carries no inter-timestep state, so recovery is a full
+      // restart: re-seed values and rerun from superstep 0. Deterministic
+      // programs converge to the same answer as a fault-free run.
+      ++recoveries;
+      TSG_CHECK_MSG(recoveries <= config.max_recoveries,
+                    "recovery limit exhausted; last fault: " +
+                        std::string(fault_cause.what()));
+      TraceSpan rec_span("vc", "vc.recovery");
+      TSG_LOG(Warn) << "restarting after fault (" << recoveries << "/"
+                    << config.max_recoveries << "): " << fault_cause.what();
+      MetricsRegistry::global().counter("engine.recoveries").increment();
+      if (checker != nullptr) {
+        checker->onRecovery();
+      }
+      cluster.respawnDead();
+      for (auto& w : workers) {
+        for (auto& box : w.outbox) {
+          box.clear();
+        }
+        w.incoming.clear();
+        for (auto& msgs : w.vertex_msgs) {
+          msgs.clear();
+        }
+        std::fill(w.has_msgs.begin(), w.has_msgs.end(), 0);
+        w.send_ns = 0;
+        w.msgs_sent = 0;
+        w.bytes_sent = 0;
+        w.vertices_computed = 0;
+        w.incoming_stamp_s = -1;
+      }
+      for (VertexIndex v = 0; v < n; ++v) {
+        values[v] = initial_value(v);
+      }
+      std::fill(halted.begin(), halted.end(), 0);
+      s = 0;
     }
   }
   if (checker != nullptr) {

@@ -40,6 +40,10 @@ struct VcConfig {
   std::int32_t max_supersteps = 100000;
   // Edge weights by template edge index; empty = unweighted (1.0).
   std::vector<double> edge_weights;
+  // Fault tolerance: a single BSP carries no inter-timestep state, so
+  // recovery is a restart — re-seed values via initial_value and rerun from
+  // superstep 0. This caps how many restarts a run tolerates.
+  std::int32_t max_recoveries = 8;
 };
 
 struct VcResult {

@@ -1,14 +1,19 @@
 #include "vertexcentric/ti_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
+#include <thread>
 #include <utility>
 
 #include "check/bsp_checker.h"
+#include "common/log.h"
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
+#include "gofs/checkpoint.h"
 #include "runtime/cluster.h"
+#include "runtime/fault_injector.h"
 
 namespace tsg {
 namespace vertexcentric {
@@ -132,7 +137,55 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
   // Deferred messages from timestep t, routed before t+1's superstep 0.
   std::vector<TvMessage> pending_next;
 
-  for (std::int32_t i = 0; i < count; ++i) {
+  CheckpointStore* const store = config.checkpoint_store;
+  std::int32_t recoveries = 0;
+
+  // Runs one barriered round; a worker killed by fault injection surfaces
+  // here as RecoveryNeeded (same contract as the subgraph engine).
+  const auto runRound = [&cluster](const std::function<void(PartitionId)>& job)
+      -> const std::vector<Cluster::RoundTiming>& {
+    const auto& timings = cluster.run(job);
+    if (cluster.hasFaults()) [[unlikely]] {
+      std::string detail;
+      for (const auto& f : cluster.takeFaults()) {
+        if (!detail.empty()) {
+          detail += "; ";
+        }
+        detail += f.detail;
+      }
+      throw fault::RecoveryNeeded(std::move(detail));
+    }
+    return timings;
+  };
+
+  // The cut after `completed`: program state plus deferred messages
+  // (TvMessages travel as Checkpoint Messages with an 8-byte payload).
+  const auto saveCheckpoint = [&](Timestep completed,
+                                  std::int32_t executed) {
+    TraceSpan ckpt_span("vc", "tvc.checkpoint", "t", completed);
+    Checkpoint ckpt;
+    ckpt.timestep = completed;
+    ckpt.timesteps_executed = executed;
+    ckpt.partitions.resize(1);
+    BinaryWriter w;
+    program.saveState(w);
+    ckpt.partitions[0].program_state = w.takeBuffer();
+    ckpt.pending_next.reserve(pending_next.size());
+    for (const auto& msg : pending_next) {
+      Message m;
+      m.dst = msg.dst;
+      BinaryWriter pw;
+      pw.writeDouble(msg.value);
+      m.payload = PayloadBuffer(pw.buffer().data(), pw.buffer().size());
+      ckpt.pending_next.push_back(std::move(m));
+    }
+    const Status saved = store->save(ckpt);
+    TSG_CHECK_MSG(saved.isOk(), saved.toString());
+    MetricsRegistry::global().counter("engine.checkpoints").increment();
+  };
+
+  // One timestep's BSP; throws fault::RecoveryNeeded when a worker dies.
+  const auto runTimestep = [&](std::int32_t i) {
     const Timestep t = first + i;
     TraceSpan timestep_span("vc", "tvc.timestep", "t", t);
     if (checker != nullptr) {
@@ -159,8 +212,9 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
       if (checker != nullptr) {
         checker->beginSuperstep(s);
       }
-      const auto& timings = cluster.run([&, s, t](PartitionId p) {
+      const auto& timings = runRound([&, s, t](PartitionId p) {
         auto& w = workers[p];
+        auto& inj = fault::FaultInjector::global();
         if (w.checker != nullptr) {
           w.checker->enterCompute(p);
           if (!w.incoming.empty()) {
@@ -169,6 +223,11 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
           }
         }
         if (s == 0) {
+          if (inj.armed() &&
+              inj.fire(fault::Site::kSliceLoad, p, t, fault::Action::kKill))
+              [[unlikely]] {
+            throw fault::WorkerFault(p, t, fault::Site::kSliceLoad);
+          }
           w.instance = &provider_.instanceFor(p, t);
           w.load_ns += provider_.takeLoadNs(p);
         }
@@ -179,6 +238,15 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
           w.has_msgs[local] = 1;
         }
         w.incoming.clear();
+        if (inj.armed()) [[unlikely]] {
+          if (const auto spec = inj.fire(fault::Site::kCompute, p, t)) {
+            if (spec->action == fault::Action::kKill) {
+              throw fault::WorkerFault(p, t, fault::Site::kCompute);
+            }
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(spec->delay_us));
+          }
+        }
 
         TemporalVertexContext ctx;
         ctx.timestep_ = t;
@@ -205,6 +273,11 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
           w.vertex_msgs[l].clear();
           w.has_msgs[l] = 0;
         }
+        if (inj.armed() &&
+            inj.fire(fault::Site::kBarrier, p, t, fault::Action::kKill))
+            [[unlikely]] {
+          throw fault::WorkerFault(p, t, fault::Site::kBarrier);
+        }
         if (w.checker != nullptr) {
           w.checker->exitCompute(p);
         }
@@ -226,6 +299,25 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
         ps.messages_sent = std::exchange(w.msgs_sent, 0);
         ps.bytes_sent = std::exchange(w.bytes_sent, 0);
         ps.subgraphs_computed = std::exchange(w.vertices_computed, 0);
+      }
+      {
+        auto& inj = fault::FaultInjector::global();
+        if (inj.armed()) [[unlikely]] {
+          if (const auto spec =
+                  inj.fire(fault::Site::kDeliver, kInvalidPartition, t)) {
+            if (spec->action == fault::Action::kDrop) {
+              // The exchange is lost in flight; recovery clears the boxes.
+              throw fault::RecoveryNeeded(
+                  "delivery exchange dropped at timestep " +
+                  std::to_string(t) + " superstep " + std::to_string(s));
+            }
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(spec->delay_us));
+            MetricsRegistry::global()
+                .counter("fault.delivery_delays")
+                .increment();
+          }
+        }
       }
       auto& registry = MetricsRegistry::global();
       auto& h_batch = registry.histogram("vc.batch_messages");
@@ -305,7 +397,7 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
     if (checker != nullptr) {
       checker->beginSuperstep(s);
     }
-    cluster.run([&, t](PartitionId p) {
+    runRound([&, t](PartitionId p) {
       if (checker != nullptr) {
         checker->enterCompute(p);
       }
@@ -322,6 +414,75 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
       w.next_timestep.clear();
     }
     ++result.timesteps_executed;
+  };
+
+  std::int32_t i = 0;
+  bool done = false;
+  if (store != nullptr) {
+    saveCheckpoint(first - 1, 0);  // initial cut: pristine program state
+  }
+  while (!done) {
+    try {
+      while (i < count) {
+        runTimestep(i);
+        if (store != nullptr) {
+          saveCheckpoint(first + i, result.timesteps_executed);
+        }
+        ++i;
+      }
+      done = true;
+    } catch (const fault::RecoveryNeeded& fault_cause) {
+      TSG_CHECK_MSG(store != nullptr,
+                    std::string("worker fault without a checkpoint store: ") +
+                        fault_cause.what());
+      ++recoveries;
+      TSG_CHECK_MSG(recoveries <= config.max_recoveries,
+                    "recovery limit exhausted; last fault: " +
+                        std::string(fault_cause.what()));
+      TraceSpan rec_span("vc", "tvc.recovery");
+      TSG_LOG(Warn) << "recovering from fault (" << recoveries << "/"
+                    << config.max_recoveries << "): " << fault_cause.what();
+      MetricsRegistry::global().counter("engine.recoveries").increment();
+      if (checker != nullptr) {
+        checker->onRecovery();
+      }
+      cluster.respawnDead();
+      auto loaded = store->loadLatest();
+      TSG_CHECK_MSG(loaded.isOk(), loaded.status().toString());
+      Checkpoint ckpt = std::move(loaded).value();
+      TSG_CHECK(ckpt.partitions.size() == 1);
+      BinaryReader state_reader(ckpt.partitions[0].program_state);
+      const Status restored = program.loadState(state_reader);
+      TSG_CHECK_MSG(restored.isOk(), restored.toString());
+      for (auto& w : workers) {
+        for (auto& box : w.outbox) {
+          box.clear();
+        }
+        w.incoming.clear();
+        w.next_timestep.clear();
+        for (auto& msgs : w.vertex_msgs) {
+          msgs.clear();
+        }
+        std::fill(w.has_msgs.begin(), w.has_msgs.end(), 0);
+        w.send_ns = 0;
+        w.load_ns = 0;
+        w.msgs_sent = 0;
+        w.bytes_sent = 0;
+        w.vertices_computed = 0;
+        w.instance = nullptr;
+      }
+      pending_next.clear();
+      for (const auto& m : ckpt.pending_next) {
+        BinaryReader payload_reader(
+            std::span<const std::uint8_t>(m.payload.data(), m.payload.size()));
+        double value = 0;
+        const Status read = payload_reader.readDouble(value);
+        TSG_CHECK_MSG(read.isOk(), read.toString());
+        pending_next.push_back({m.dst, value});
+      }
+      result.timesteps_executed = ckpt.timesteps_executed;
+      i = (ckpt.timestep - first) + 1;
+    }
   }
   if (checker != nullptr) {
     checker->endRun();

@@ -21,11 +21,15 @@
 #include <span>
 #include <vector>
 
+#include "common/serialize.h"
 #include "gofs/instance_provider.h"
 #include "partition/partitioned_graph.h"
 #include "runtime/stats.h"
 
 namespace tsg {
+
+class CheckpointStore;  // gofs/checkpoint.h
+
 namespace vertexcentric {
 
 class TemporalVertexContext;
@@ -40,12 +44,26 @@ class TemporalVertexProgram {
     (void)v;
     (void)t;
   }
+  // Checkpoint hooks (cf. TiBspProgram). Per-vertex algorithm state lives
+  // in the program across timesteps, so a program used with a checkpoint
+  // store must round-trip every member that outlives one timestep.
+  virtual void saveState(BinaryWriter& w) const { (void)w; }
+  virtual Status loadState(BinaryReader& r) {
+    (void)r;
+    return Status::ok();
+  }
 };
 
 struct TemporalVcConfig {
   Timestep first_timestep = 0;
   std::int32_t num_timesteps = -1;  // -1 = all instances
   std::int32_t max_supersteps_per_timestep = 100000;
+
+  // Fault tolerance (see gofs/checkpoint.h and TiBspConfig). The single
+  // shared program is restored in place via loadState on recovery; null
+  // means faults abort.
+  CheckpointStore* checkpoint_store = nullptr;
+  std::int32_t max_recoveries = 8;
 };
 
 struct TemporalVcResult {

@@ -1,0 +1,265 @@
+// Checkpoint codec + store tests, including the crash-consistency matrix:
+// a truncated or bit-flipped pack, a torn manifest tail, or a corrupt
+// manifest record must make recovery fall back to the newest intact
+// checkpoint (with a diagnostic) — never produce a wrong answer.
+#include "gofs/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "test_util.h"
+
+namespace tsg {
+namespace {
+
+using testing::TempDir;
+using testing::unwrap;
+
+std::vector<std::uint8_t> payloadBytes(const Message& m) {
+  return {m.payload.data(), m.payload.data() + m.payload.size()};
+}
+
+Message makeMessage(SubgraphId src, SubgraphId dst, Timestep origin,
+                    std::vector<std::uint8_t> payload) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.origin_timestep = origin;
+  m.payload = PayloadBuffer(payload.data(), payload.size());
+  return m;
+}
+
+Checkpoint makeCheckpoint(Timestep t, std::uint8_t salt) {
+  Checkpoint ckpt;
+  ckpt.timestep = t;
+  ckpt.timesteps_executed = t + 1;
+  ckpt.partitions.resize(2);
+  ckpt.partitions[0].program_state = {1, 2, salt};
+  ckpt.partitions[0].outputs = {"out," + std::to_string(salt)};
+  ckpt.partitions[1].program_state = {};
+  ckpt.pending_next.push_back(makeMessage(0, 3, t, {salt, 9}));
+  ckpt.merge_pool.push_back(makeMessage(2, 1, t, {7}));
+  ckpt.aggregates["total"] = 100u + salt;
+  return ckpt;
+}
+
+void expectEqual(const Checkpoint& a, const Checkpoint& b) {
+  EXPECT_EQ(a.timestep, b.timestep);
+  EXPECT_EQ(a.timesteps_executed, b.timesteps_executed);
+  ASSERT_EQ(a.partitions.size(), b.partitions.size());
+  for (std::size_t p = 0; p < a.partitions.size(); ++p) {
+    EXPECT_EQ(a.partitions[p].program_state, b.partitions[p].program_state);
+    EXPECT_EQ(a.partitions[p].outputs, b.partitions[p].outputs);
+  }
+  const auto expectMessagesEqual = [](const std::vector<Message>& ma,
+                                      const std::vector<Message>& mb) {
+    ASSERT_EQ(ma.size(), mb.size());
+    for (std::size_t i = 0; i < ma.size(); ++i) {
+      EXPECT_EQ(ma[i].src, mb[i].src);
+      EXPECT_EQ(ma[i].dst, mb[i].dst);
+      EXPECT_EQ(ma[i].origin_timestep, mb[i].origin_timestep);
+      EXPECT_EQ(payloadBytes(ma[i]), payloadBytes(mb[i]));
+    }
+  };
+  expectMessagesEqual(a.pending_next, b.pending_next);
+  expectMessagesEqual(a.merge_pool, b.merge_pool);
+  EXPECT_EQ(a.aggregates, b.aggregates);
+}
+
+TEST(CheckpointCodec, RoundTripsAllFields) {
+  const Checkpoint original = makeCheckpoint(4, 42);
+  const auto bytes = encodeCheckpoint(original);
+  const Checkpoint decoded = unwrap(decodeCheckpoint(bytes));
+  expectEqual(original, decoded);
+}
+
+TEST(CheckpointCodec, RejectsBadMagicAndVersion) {
+  auto bytes = encodeCheckpoint(makeCheckpoint(0, 1));
+  auto flipped = bytes;
+  flipped[0] ^= 0xFF;  // magic
+  EXPECT_FALSE(decodeCheckpoint(flipped).isOk());
+  flipped = bytes;
+  flipped[4] ^= 0xFF;  // version
+  EXPECT_FALSE(decodeCheckpoint(flipped).isOk());
+}
+
+TEST(CheckpointCodec, RejectsTrailingGarbage) {
+  auto bytes = encodeCheckpoint(makeCheckpoint(0, 1));
+  bytes.push_back(0);
+  EXPECT_FALSE(decodeCheckpoint(bytes).isOk());
+}
+
+Checkpoint randomCheckpoint(Rng& rng) {
+  Checkpoint ckpt;
+  ckpt.timestep = static_cast<Timestep>(rng.uniformInt(-1, 40));
+  ckpt.timesteps_executed = static_cast<std::int32_t>(rng.uniformInt(0, 40));
+  ckpt.partitions.resize(rng.uniformBelow(4));
+  for (auto& part : ckpt.partitions) {
+    part.program_state.resize(rng.uniformBelow(48));
+    for (auto& byte : part.program_state) {
+      byte = static_cast<std::uint8_t>(rng.uniformBelow(256));
+    }
+    const std::uint64_t lines = rng.uniformBelow(3);
+    for (std::uint64_t i = 0; i < lines; ++i) {
+      part.outputs.push_back("line," + std::to_string(rng.uniformBelow(1000)));
+    }
+  }
+  const auto randomMessages = [&rng](std::vector<Message>& out) {
+    const std::uint64_t n = rng.uniformBelow(5);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::vector<std::uint8_t> payload(1 + rng.uniformBelow(24));
+      for (auto& byte : payload) {
+        byte = static_cast<std::uint8_t>(rng.uniformBelow(256));
+      }
+      out.push_back(makeMessage(
+          static_cast<SubgraphId>(rng.uniformBelow(16)),
+          static_cast<SubgraphId>(rng.uniformBelow(16)),
+          static_cast<Timestep>(rng.uniformInt(-1, 40)), std::move(payload)));
+    }
+  };
+  randomMessages(ckpt.pending_next);
+  randomMessages(ckpt.merge_pool);
+  const std::uint64_t aggs = rng.uniformBelow(4);
+  for (std::uint64_t i = 0; i < aggs; ++i) {
+    ckpt.aggregates["agg" + std::to_string(i)] = rng.next();
+  }
+  return ckpt;
+}
+
+TEST(CheckpointCodec, FuzzRoundTripAndTruncation) {
+  Rng rng(2026);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Checkpoint original = randomCheckpoint(rng);
+    const auto bytes = encodeCheckpoint(original);
+    const Checkpoint decoded = unwrap(decodeCheckpoint(bytes));
+    expectEqual(original, decoded);
+
+    // Every proper prefix must fail cleanly — the decoder consumes the
+    // whole pack, so a truncated pack always runs dry or fails the
+    // trailing-length check. Never a crash, never a partial checkpoint.
+    const std::size_t cut = rng.uniformBelow(bytes.size());
+    const auto truncated =
+        std::vector<std::uint8_t>(bytes.begin(),
+                                  bytes.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(decodeCheckpoint(truncated).isOk()) << "cut=" << cut;
+
+    // A random bit flip must not crash; a success is allowed only for
+    // payload-byte flips (the store's manifest checksums catch those).
+    auto flipped = bytes;
+    const std::size_t at = rng.uniformBelow(flipped.size());
+    flipped[at] ^= static_cast<std::uint8_t>(1 + rng.uniformBelow(255));
+    (void)decodeCheckpoint(flipped);
+  }
+}
+
+TEST(MemoryCheckpointStore, RoundTripsLatestAndCountsSaves) {
+  MemoryCheckpointStore store;
+  EXPECT_FALSE(store.hasCheckpoint());
+  EXPECT_FALSE(store.loadLatest().isOk());
+
+  ASSERT_TRUE(store.save(makeCheckpoint(0, 1)).isOk());
+  ASSERT_TRUE(store.save(makeCheckpoint(1, 2)).isOk());
+  EXPECT_TRUE(store.hasCheckpoint());
+  EXPECT_EQ(store.saves(), 2u);
+  expectEqual(makeCheckpoint(1, 2), unwrap(store.loadLatest()));
+}
+
+class FileStoreTest : public ::testing::Test {
+ protected:
+  // Flips one byte in the middle of a file.
+  static void flipByteAt(const std::string& path, std::size_t offset) {
+    auto bytes = unwrap(readFileBytes(path));
+    ASSERT_LT(offset, bytes.size());
+    bytes[offset] ^= 0xFF;
+    ASSERT_TRUE(writeFileBytes(path, bytes).isOk());
+  }
+
+  TempDir tmp_{"tsg_ckpt"};
+};
+
+TEST_F(FileStoreTest, LoadsNewestCheckpoint) {
+  FileCheckpointStore store(tmp_.path());
+  EXPECT_FALSE(store.hasCheckpoint());
+  ASSERT_TRUE(store.save(makeCheckpoint(0, 10)).isOk());
+  ASSERT_TRUE(store.save(makeCheckpoint(1, 11)).isOk());
+  ASSERT_TRUE(store.save(makeCheckpoint(2, 12)).isOk());
+  EXPECT_TRUE(store.hasCheckpoint());
+  expectEqual(makeCheckpoint(2, 12), unwrap(store.loadLatest()));
+}
+
+TEST_F(FileStoreTest, CorruptPackFallsBackToPreviousTimestep) {
+  FileCheckpointStore store(tmp_.path());
+  ASSERT_TRUE(store.save(makeCheckpoint(0, 10)).isOk());
+  ASSERT_TRUE(store.save(makeCheckpoint(1, 11)).isOk());
+  const auto size = std::filesystem::file_size(store.packPath(1));
+  flipByteAt(store.packPath(1), static_cast<std::size_t>(size) / 2);
+  expectEqual(makeCheckpoint(0, 10), unwrap(store.loadLatest()));
+}
+
+TEST_F(FileStoreTest, TruncatedPackFallsBackToPreviousTimestep) {
+  FileCheckpointStore store(tmp_.path());
+  ASSERT_TRUE(store.save(makeCheckpoint(0, 10)).isOk());
+  ASSERT_TRUE(store.save(makeCheckpoint(1, 11)).isOk());
+  const auto size = std::filesystem::file_size(store.packPath(1));
+  std::filesystem::resize_file(store.packPath(1), size / 2);
+  expectEqual(makeCheckpoint(0, 10), unwrap(store.loadLatest()));
+}
+
+TEST_F(FileStoreTest, MissingPackFallsBackToPreviousTimestep) {
+  FileCheckpointStore store(tmp_.path());
+  ASSERT_TRUE(store.save(makeCheckpoint(0, 10)).isOk());
+  ASSERT_TRUE(store.save(makeCheckpoint(1, 11)).isOk());
+  std::filesystem::remove(store.packPath(1));
+  expectEqual(makeCheckpoint(0, 10), unwrap(store.loadLatest()));
+}
+
+TEST_F(FileStoreTest, TornManifestTailFallsBackToPreviousTimestep) {
+  FileCheckpointStore store(tmp_.path());
+  ASSERT_TRUE(store.save(makeCheckpoint(0, 10)).isOk());
+  ASSERT_TRUE(store.save(makeCheckpoint(1, 11)).isOk());
+  // A crash mid-append leaves a partial trailing record; it must be skipped
+  // without invalidating the earlier, complete records.
+  const auto size = std::filesystem::file_size(store.manifestPath());
+  std::filesystem::resize_file(store.manifestPath(), size - 13);
+  expectEqual(makeCheckpoint(0, 10), unwrap(store.loadLatest()));
+}
+
+TEST_F(FileStoreTest, CorruptTrailingManifestRecordFallsBack) {
+  FileCheckpointStore store(tmp_.path());
+  ASSERT_TRUE(store.save(makeCheckpoint(0, 10)).isOk());
+  ASSERT_TRUE(store.save(makeCheckpoint(1, 11)).isOk());
+  // Flip a byte inside the newest record's pack-checksum field: the
+  // record's own checksum no longer matches, so the entry is skipped.
+  const auto size = std::filesystem::file_size(store.manifestPath());
+  flipByteAt(store.manifestPath(), static_cast<std::size_t>(size) - 20);
+  expectEqual(makeCheckpoint(0, 10), unwrap(store.loadLatest()));
+}
+
+TEST_F(FileStoreTest, AllCheckpointsCorruptIsAnErrorNeverAWrongAnswer) {
+  FileCheckpointStore store(tmp_.path());
+  ASSERT_TRUE(store.save(makeCheckpoint(0, 10)).isOk());
+  const auto size = std::filesystem::file_size(store.packPath(0));
+  flipByteAt(store.packPath(0), static_cast<std::size_t>(size) / 2);
+  const auto loaded = store.loadLatest();
+  ASSERT_FALSE(loaded.isOk());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kCorruptData);
+}
+
+TEST_F(FileStoreTest, SurvivesRestartAcrossStoreInstances) {
+  {
+    FileCheckpointStore store(tmp_.path());
+    ASSERT_TRUE(store.save(makeCheckpoint(3, 30)).isOk());
+  }
+  FileCheckpointStore reopened(tmp_.path());
+  EXPECT_TRUE(reopened.hasCheckpoint());
+  expectEqual(makeCheckpoint(3, 30), unwrap(reopened.loadLatest()));
+}
+
+}  // namespace
+}  // namespace tsg

@@ -19,12 +19,8 @@ using testing::unwrap;
 
 class GofsTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    dir_ = testing::uniqueTempDir("tsg_gofs");
-  }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
-
-  std::string dir_;
+  testing::TempDir tmp_{"tsg_gofs"};
+  std::string dir_ = tmp_.path();
 };
 
 // Reads every instance through both providers and compares all columns.

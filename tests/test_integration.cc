@@ -27,12 +27,8 @@ using testing::unwrap;
 
 class IntegrationTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    dir_ = testing::uniqueTempDir("tsg_integration");
-  }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
-
-  std::string dir_;
+  testing::TempDir tmp_{"tsg_integration"};
+  std::string dir_ = tmp_.path();
 };
 
 TEST_F(IntegrationTest, TdspOverGofsMatchesReference) {

@@ -50,6 +50,26 @@ inline std::string uniqueTempDir(const std::string& prefix) {
       .string();
 }
 
+// RAII scratch directory. Prefer this over calling uniqueTempDir directly:
+// the destructor removes the tree on every exit path (including early
+// returns and fixtures without a TearDown), so failed tests don't leak
+// directories into /tmp.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& prefix) : path_(uniqueTempDir(prefix)) {}
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);  // best effort; never throws
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
 // A small connected road-like template with a "latency" edge attribute.
 inline GraphTemplatePtr smallRoad(std::uint32_t width = 8,
                                   std::uint32_t height = 8,

@@ -19,7 +19,10 @@
 // --json=PATH (machine-readable RunStats export). `analyze` and `compare`
 // consume those --json exports: analyze prints the critical-path /
 // straggler breakdown, compare is the regression gate CI runs against a
-// committed baseline. Log verbosity comes from the TSG_LOG_LEVEL
+// committed baseline. Fault tolerance: --checkpoint=DIR persists a
+// recovery point at every timestep boundary and --inject=PLAN (or
+// TSG_INJECT) arms the fault injector; analyze reports any recoveries a
+// run survived. Log verbosity comes from the TSG_LOG_LEVEL
 // environment variable (debug|info|warn|error) or the --log-level= flag
 // (the flag wins).
 #include <algorithm>
@@ -28,6 +31,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -49,10 +53,12 @@
 #include "common/trace.h"
 #include "generators/instances.h"
 #include "generators/topology.h"
+#include "gofs/checkpoint.h"
 #include "gofs/dataset.h"
 #include "metrics/analysis.h"
 #include "metrics/report.h"
 #include "partition/partitioner.h"
+#include "runtime/fault_injector.h"
 #include "vertexcentric/programs.h"
 
 namespace {
@@ -125,9 +131,17 @@ int usage() {
       "analysis commands also take:\n"
       "  --trace=PATH   write a Perfetto/Chrome trace of the run\n"
       "  --json=PATH    write machine-readable run stats (JSON)\n"
+      "  --checkpoint=DIR  checkpoint each timestep to DIR and recover from\n"
+      "                    injected worker faults (serial temporal mode)\n"
       "all commands take:\n"
       "  --log-level=debug|info|warn|error (overrides TSG_LOG_LEVEL)\n"
-      "environment: TSG_LOG_LEVEL=debug|info|warn|error\n",
+      "  --inject=PLAN  arm the fault injector, e.g.\n"
+      "                 --inject=kill@compute:p1:t2 or drop@deliver:t1\n"
+      "                 (sites: compute|barrier|deliver|slice-load;\n"
+      "                  actions: kill|drop|delay|fail)\n"
+      "  --inject-seed=S  delay-jitter seed for the plan (default 42)\n"
+      "environment: TSG_LOG_LEVEL=debug|info|warn|error\n"
+      "             TSG_INJECT / TSG_INJECT_SEED (same as --inject flags)\n",
       stderr);
   return 2;
 }
@@ -149,7 +163,46 @@ Result<GofsDataset> openFrom(const Args& args) {
 // run's stats there (every analysis command funnels through it).
 std::string g_json_path;
 
+// Builds the store named by --checkpoint=DIR; null (no checkpointing) when
+// the flag is absent. The caller owns the store for the run's duration.
+std::unique_ptr<CheckpointStore> makeCheckpointStore(const Args& args) {
+  const std::string dir = args.get("checkpoint", "");
+  if (dir.empty()) {
+    return nullptr;
+  }
+  return std::make_unique<FileCheckpointStore>(dir);
+}
+
+// Sums a counter across partitions in a run's metrics delta.
+std::int64_t metricTotal(const RunStats& stats, const std::string& name) {
+  std::int64_t total = 0;
+  for (const auto& point : stats.metrics()) {
+    if (point.name == name) {
+      total += point.value;
+    }
+  }
+  return total;
+}
+
+// One line per fault-tolerance event, printed only when something happened
+// so fault-free runs stay byte-identical to before.
+void printFaultSummary(const RunStats& stats) {
+  const std::int64_t recoveries = metricTotal(stats, "engine.recoveries");
+  const std::int64_t checkpoints = metricTotal(stats, "engine.checkpoints");
+  const std::int64_t delays = metricTotal(stats, "fault.delivery_delays");
+  const std::int64_t retries = metricTotal(stats, "gofs.load_retries");
+  if (recoveries > 0 || delays > 0 || retries > 0) {
+    std::printf(
+        "fault tolerance: %lld recoveries, %lld checkpoints, %lld delivery "
+        "delays, %lld slice-load retries\n",
+        static_cast<long long>(recoveries),
+        static_cast<long long>(checkpoints), static_cast<long long>(delays),
+        static_cast<long long>(retries));
+  }
+}
+
 void printRunFooter(const RunStats& stats) {
+  printFaultSummary(stats);
   std::fputs(summarizeRun(stats, "run").c_str(), stdout);
   std::fputc('\n', stdout);
   std::fputs(renderUtilization(stats, "per-partition split").c_str(), stdout);
@@ -345,6 +398,8 @@ int cmdTdsp(const Args& args) {
     }
     options.exists_attr = schema.requireIndex(kExistsAttr);
   }
+  const auto store = makeCheckpointStore(args);
+  options.checkpoint_store = store.get();
   const auto run = runTdsp(pg, *provider, options);
 
   std::uint64_t reached = 0;
@@ -383,6 +438,8 @@ int cmdMeme(const Args& args) {
   options.meme = args.get("tag", "#meme");
   options.tweets_attr = schema.requireIndex(kTweetsAttr);
   options.emit_outputs = args.has("outputs");
+  const auto store = makeCheckpointStore(args);
+  options.checkpoint_store = store.get();
   const auto run = runMemeTracking(pg, *provider, options);
 
   std::uint64_t colored = 0;
@@ -419,6 +476,8 @@ int cmdHashtag(const Args& args) {
   HashtagOptions options;
   options.tag = args.get("tag", "#meme");
   options.tweets_attr = schema.requireIndex(kTweetsAttr);
+  const auto store = makeCheckpointStore(args);
+  options.checkpoint_store = store.get();
   const auto run = runHashtagAggregation(pg, *provider, options);
 
   TextTable table({"timestep", "count", "rate of change"});
@@ -440,6 +499,8 @@ int cmdPageRank(const Args& args) {
   auto provider = ds.value().makeProvider();
   PageRankOptions options;
   options.iterations = static_cast<std::int32_t>(args.getInt("iters", 30));
+  const auto store = makeCheckpointStore(args);
+  options.checkpoint_store = store.get();
   const auto run = runSubgraphPageRank(pg, *provider, options);
 
   const auto top_n = static_cast<std::size_t>(args.getInt("top", 10));
@@ -470,7 +531,10 @@ int cmdWcc(const Args& args) {
   }
   const auto& pg = ds.value().partitionedGraph();
   auto provider = ds.value().makeProvider();
-  const auto run = runSubgraphWcc(pg, *provider);
+  WccOptions options;
+  const auto store = makeCheckpointStore(args);
+  options.checkpoint_store = store.get();
+  const auto run = runSubgraphWcc(pg, *provider, options);
   std::printf("weakly connected components: %zu (over %zu vertices)\n",
               run.num_components, run.component.size());
   printRunFooter(run.exec.stats);
@@ -505,6 +569,7 @@ int cmdAnalyze(const Args& args) {
   const auto& run = loaded.value();
   const std::string label =
       run.label.empty() ? args.positional[0] : run.label;
+  printFaultSummary(run.stats);
   const auto analysis = analyzeCriticalPath(run.stats);
   std::fputs(renderCriticalPath(analysis, label).c_str(), stdout);
   std::fputs(renderUtilization(run.stats, label).c_str(), stdout);
@@ -738,6 +803,20 @@ int main(int argc, char** argv) {
     }
   }
   TSG_LOG(Info) << "log level: " << logLevelName(level);
+  // Fault injection: --inject= wins over TSG_INJECT.
+  if (args.has("inject")) {
+    auto plan = fault::parseFaultPlan(args.get("inject", ""));
+    if (!plan.isOk()) {
+      std::fprintf(stderr, "tsgcli: --inject: %s\n",
+                   plan.status().toString().c_str());
+      return 2;
+    }
+    fault::FaultInjector::global().arm(
+        std::move(plan).value(),
+        static_cast<std::uint64_t>(args.getInt("inject-seed", 42)));
+  } else {
+    fault::armFromEnv();
+  }
   g_json_path = args.get("json", "");
   const std::string trace_path = args.get("trace", "");
   if (!trace_path.empty()) {
