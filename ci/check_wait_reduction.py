@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Barrier-elimination gate for the async schedule.
+
+Compares a BSP run's cluster.barrier_wait_ns against an async run's
+(cluster.barrier_wait_ns + engine.ready_wait_ns) on the same workload and
+fails unless the async wait sum is at least --min-reduction percent lower.
+
+Both inputs are tsgcli --json documents (runStatsToJson schema). The wait
+counters live in the "metrics" array as registry deltas.
+
+Usage: check_wait_reduction.py BSP.json ASYNC.json [--min-reduction=40]
+"""
+
+import argparse
+import json
+import sys
+
+
+def metric_total(doc, name):
+    total = 0
+    for point in doc.get("metrics", []):
+        if point.get("name") == name and point.get("kind") != "gauge":
+            total += point.get("value", 0)
+    return total
+
+
+def wait_sum(doc):
+    return metric_total(doc, "cluster.barrier_wait_ns") + metric_total(
+        doc, "engine.ready_wait_ns"
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("bsp", help="BSP run JSON (tsgcli --json output)")
+    parser.add_argument("asynch", help="async run JSON")
+    parser.add_argument("--min-reduction", type=float, default=40.0)
+    args = parser.parse_args()
+
+    with open(args.bsp) as f:
+        bsp = json.load(f)
+    with open(args.asynch) as f:
+        asy = json.load(f)
+
+    bsp_wait = wait_sum(bsp)
+    async_wait = wait_sum(asy)
+    if bsp_wait <= 0:
+        print("FAIL: BSP run recorded no barrier wait — wrong input file?")
+        return 1
+
+    reduction = 100.0 * (1.0 - async_wait / bsp_wait)
+    print(
+        f"BSP wait sum      {bsp_wait / 1e6:.3f} ms "
+        f"(barrier {metric_total(bsp, 'cluster.barrier_wait_ns') / 1e6:.3f}, "
+        f"ready {metric_total(bsp, 'engine.ready_wait_ns') / 1e6:.3f})"
+    )
+    print(
+        f"async wait sum    {async_wait / 1e6:.3f} ms "
+        f"(barrier {metric_total(asy, 'cluster.barrier_wait_ns') / 1e6:.3f}, "
+        f"ready {metric_total(asy, 'engine.ready_wait_ns') / 1e6:.3f})"
+    )
+    print(
+        f"steals {metric_total(asy, 'cluster.steals')}, "
+        f"skipped rounds {metric_total(asy, 'cluster.barrier_skips')}, "
+        f"waves {metric_total(asy, 'cluster.waves')}"
+    )
+    print(f"reduction         {reduction:.1f}% (gate: >= {args.min_reduction:.0f}%)")
+    if reduction < args.min_reduction:
+        print("FAIL")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

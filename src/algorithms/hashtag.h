@@ -26,6 +26,9 @@ struct HashtagOptions {
   // Fault tolerance (serial mode only): checkpoints every timestep boundary,
   // including the accumulated merge pool (gofs/checkpoint.h).
   CheckpointStore* checkpoint_store = nullptr;
+  // Superstep scheduling: kBsp (global barrier, the default) or kAsync
+  // (dependency-driven waves; identical output, see DESIGN.md).
+  Schedule schedule = Schedule::kBsp;
 };
 
 struct HashtagRun {

@@ -192,6 +192,7 @@ MemeRun runMemeTracking(const PartitionedGraph& pg, InstanceProvider& provider,
   config.num_timesteps = options.num_timesteps;
   config.maintenance_period = options.maintenance_period;
   config.checkpoint_store = options.checkpoint_store;
+  config.schedule = options.schedule;
 
   TiBspEngine engine(pg, provider);
   run.exec = engine.run(

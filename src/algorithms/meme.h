@@ -29,6 +29,9 @@ struct MemeOptions {
   // Fault tolerance: when set, the engine checkpoints at every timestep
   // boundary and recovers from injected worker faults (gofs/checkpoint.h).
   CheckpointStore* checkpoint_store = nullptr;
+  // Superstep scheduling: kBsp (global barrier, the default) or kAsync
+  // (dependency-driven waves; identical output, see DESIGN.md).
+  Schedule schedule = Schedule::kBsp;
 };
 
 struct MemeRun {

@@ -27,6 +27,9 @@ struct PageRankOptions {
   // Fault tolerance: recovery replays the single timestep from scratch
   // (superstep 0 re-seeds every rank), so no program state is checkpointed.
   CheckpointStore* checkpoint_store = nullptr;
+  // Superstep scheduling: kBsp (global barrier, the default) or kAsync
+  // (dependency-driven waves; identical output, see DESIGN.md).
+  Schedule schedule = Schedule::kBsp;
 };
 
 struct PageRankRun {

@@ -106,6 +106,7 @@ SsspRun runSubgraphSssp(const PartitionedGraph& pg, InstanceProvider& provider,
   config.first_timestep = options.timestep;
   config.num_timesteps = 1;
   config.checkpoint_store = options.checkpoint_store;
+  config.schedule = options.schedule;
 
   TiBspEngine engine(pg, provider);
   run.exec = engine.run(

@@ -24,6 +24,9 @@ struct SsspOptions {
   // Fault tolerance: recovery replays the single timestep from scratch
   // (superstep 0 resets every distance), so no program state is checkpointed.
   CheckpointStore* checkpoint_store = nullptr;
+  // Superstep scheduling: kBsp (global barrier, the default) or kAsync
+  // (dependency-driven waves; identical output, see DESIGN.md).
+  Schedule schedule = Schedule::kBsp;
 };
 
 struct SsspRun {

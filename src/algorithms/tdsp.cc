@@ -244,6 +244,7 @@ TdspRun runTdsp(const PartitionedGraph& pg, InstanceProvider& provider,
   config.while_mode = options.while_mode;
   config.maintenance_period = options.maintenance_period;
   config.checkpoint_store = options.checkpoint_store;
+  config.schedule = options.schedule;
 
   TiBspEngine engine(pg, provider);
   run.exec = engine.run(

@@ -98,6 +98,7 @@ VertexTdspRun runVertexTdsp(const PartitionedGraph& pg,
   config.first_timestep = options.first_timestep;
   config.num_timesteps = options.num_timesteps;
   config.checkpoint_store = options.checkpoint_store;
+  config.schedule = options.schedule;
 
   vertexcentric::TemporalVertexEngine engine(pg, provider);
   run.exec = engine.run(program, config);

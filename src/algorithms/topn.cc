@@ -87,6 +87,7 @@ TopNRun runTopActiveVertices(const PartitionedGraph& pg,
   config.first_timestep = options.first_timestep;
   config.num_timesteps = options.num_timesteps;
   config.checkpoint_store = options.checkpoint_store;
+  config.schedule = options.schedule;
 
   TiBspEngine engine(pg, provider);
   run.exec = engine.run(

@@ -26,6 +26,9 @@ struct TopNOptions {
   // concurrent checkpointing). Replayed timesteps rewrite their top[] slot
   // deterministically, so no program state is checkpointed.
   CheckpointStore* checkpoint_store = nullptr;
+  // Superstep scheduling: kBsp (global barrier, the default) or kAsync
+  // (dependency-driven waves; identical output, see DESIGN.md).
+  Schedule schedule = Schedule::kBsp;
 };
 
 struct TopNRun {

@@ -20,6 +20,9 @@ struct WccOptions {
   // Fault tolerance: recovery replays the single timestep from scratch
   // (superstep 0 re-seeds every label), so no program state is checkpointed.
   CheckpointStore* checkpoint_store = nullptr;
+  // Superstep scheduling: kBsp (global barrier, the default) or kAsync
+  // (dependency-driven waves; identical output, see DESIGN.md).
+  Schedule schedule = Schedule::kBsp;
 };
 
 struct WccRun {

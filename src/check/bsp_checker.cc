@@ -92,6 +92,11 @@ void BspChecker::rebaseline() {
   sent_bytes_.store(0, std::memory_order_relaxed);
   outstanding_.store(0, std::memory_order_relaxed);
   consumed_.store(0, std::memory_order_relaxed);
+  if (async_mode_) {
+    for (auto& ps : parts_) {
+      ps.entered_this_wave.store(0, std::memory_order_relaxed);
+    }
+  }
 }
 
 void BspChecker::beginTimestep(Timestep t) {
@@ -101,6 +106,14 @@ void BspChecker::beginTimestep(Timestep t) {
 
 void BspChecker::beginSuperstep(std::int32_t s) {
   superstep_.store(s, std::memory_order_relaxed);
+  if (async_mode_) {
+    // A new wave (or a phase boundary: end-of-timestep round, next
+    // timestep's wave 0) starts here; each partition may enter compute
+    // once until the next boundary.
+    for (auto& ps : parts_) {
+      ps.entered_this_wave.store(0, std::memory_order_relaxed);
+    }
+  }
 }
 
 void BspChecker::onInject(std::uint64_t messages, std::uint64_t bytes) {
@@ -170,6 +183,18 @@ void BspChecker::onDeliver(std::uint64_t messages, std::uint64_t bytes,
   total_delivered_bytes_ += bytes;
 }
 
+void BspChecker::enableAsyncMode() { async_mode_ = true; }
+
+void BspChecker::onSkipRound(PartitionId p, std::uint64_t inbox_pending) {
+  TSG_CHECK(p < parts_.size());
+  if (inbox_pending != 0) {
+    violate("skip-with-pending", p, 0,
+            "scheduler skipped partition " + std::to_string(p) +
+                " this wave but its inbox still holds " +
+                std::to_string(inbox_pending) + " message(s)");
+  }
+}
+
 void BspChecker::onReset() { rebaseline(); }
 
 void BspChecker::onRecovery() {
@@ -177,6 +202,7 @@ void BspChecker::onRecovery() {
     ps.in_compute.store(false, std::memory_order_relaxed);
     const auto entered = ps.rounds_entered.load(std::memory_order_relaxed);
     ps.rounds_exited.store(entered, std::memory_order_relaxed);
+    ps.entered_this_wave.store(0, std::memory_order_relaxed);
   }
   rebaseline();
 }
@@ -227,6 +253,13 @@ void BspChecker::enterCompute(PartitionId p) {
     return;
   }
   ps.rounds_entered.fetch_add(1, std::memory_order_relaxed);
+  if (async_mode_ &&
+      ps.entered_this_wave.fetch_add(1, std::memory_order_relaxed) != 0) {
+    violate("wave-double-schedule", p, 0,
+            "partition " + std::to_string(p) +
+                " was scheduled twice within one wave (before the seal "
+                "delivered)");
+  }
 }
 
 void BspChecker::exitCompute(PartitionId p) {

@@ -107,6 +107,19 @@ class BspChecker {
   // process (the serial engine path).
   void enableRegistryReconciliation();
 
+  // --- async-schedule legality mode ----------------------------------------
+  // Under the dependency-driven schedule, a superstep is a *wave*: only
+  // ready partitions run, and delivery happens at the wave seal instead of
+  // a global barrier. The BSP rules above still hold (pairing is
+  // per-partition and conservation is aggregate), but two new failure
+  // modes appear that BSP cannot exhibit: the scheduler double-scheduling
+  // a partition within one wave, and the readiness tracker skipping a
+  // partition that the bus still holds messages for. Async mode arms both.
+  void enableAsyncMode();
+  // The engine skipped partition p this wave; `inbox_pending` is what the
+  // bus actually holds for p (ground truth, independent of the tracker).
+  void onSkipRound(PartitionId p, std::uint64_t inbox_pending);
+
   // --- worker-side hooks (inside a round) ----------------------------------
   void enterCompute(PartitionId p);
   void exitCompute(PartitionId p);
@@ -145,6 +158,10 @@ class BspChecker {
     std::atomic<bool> in_compute{false};
     std::atomic<std::uint64_t> rounds_entered{0};
     std::atomic<std::uint64_t> rounds_exited{0};
+    // Async mode: entries since the last wave/phase boundary (reset at
+    // each beginSuperstep); > 1 means the scheduler ran the partition
+    // twice before the seal.
+    std::atomic<std::uint64_t> entered_this_wave{0};
   };
 
   std::vector<PartitionState> parts_;
@@ -164,6 +181,7 @@ class BspChecker {
   bool reconcile_registry_ = false;
   std::uint64_t registry_messages_base_ = 0;
   std::uint64_t registry_bytes_base_ = 0;
+  bool async_mode_ = false;
 
   std::atomic<std::uint64_t> violations_{0};
 };

@@ -11,10 +11,67 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 namespace tsg {
+
+// A work-stealing deque: the owning worker pushes and pops at the bottom
+// (LIFO, cache-warm), thieves steal from the top (FIFO, oldest task first —
+// the one the owner is least likely to touch soon). Mutex-based: the
+// scheduler's tasks are whole (partition, superstep) units, coarse enough
+// that lock cost is noise next to task cost, and a mutex keeps the deque
+// trivially correct under TSan.
+template <typename T>
+class StealDeque {
+ public:
+  void pushBottom(T item) {
+    std::lock_guard lock(mutex_);
+    items_.push_back(std::move(item));
+  }
+
+  // Owner-side pop (newest task).
+  std::optional<T> popBottom() {
+    std::lock_guard lock(mutex_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.back());
+    items_.pop_back();
+    return item;
+  }
+
+  // Thief-side steal (oldest task).
+  std::optional<T> stealTop() {
+    std::lock_guard lock(mutex_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  [[nodiscard]] bool empty() const {
+    std::lock_guard lock(mutex_);
+    return items_.empty();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  void clear() {
+    std::lock_guard lock(mutex_);
+    items_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<T> items_;
+};
 
 class ThreadPool {
  public:
@@ -33,6 +90,16 @@ class ThreadPool {
 
   // Runs fn(i) for i in [0, n) across the pool and waits for completion.
   void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // Work-stealing variant used by the async scheduler's timestep-overlap
+  // path: indices are dealt round-robin into one StealDeque per worker
+  // task; each task drains its own deque LIFO and then steals FIFO from
+  // the others, so a straggling index never strands the rest of its deque.
+  // `stolen_out`, when non-null, receives the number of indices executed
+  // by a task other than the one they were dealt to.
+  void parallelForStealing(std::size_t n,
+                           const std::function<void(std::size_t)>& fn,
+                           std::size_t* stolen_out = nullptr);
 
   [[nodiscard]] std::size_t numThreads() const { return threads_.size(); }
 

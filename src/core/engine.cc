@@ -4,6 +4,7 @@
 #include <chrono>
 #include <map>
 #include <mutex>
+#include <numeric>
 #include <string>
 #include <thread>
 #include <utility>
@@ -23,6 +24,7 @@
 #include "runtime/cluster.h"
 #include "runtime/fault_injector.h"
 #include "runtime/message_bus.h"
+#include "runtime/ready_tracker.h"
 
 namespace tsg {
 namespace core_detail {
@@ -320,6 +322,26 @@ RoundRunner makeClusterRunner(Cluster& cluster) {
   };
 }
 
+// Full-cluster rounds (maintenance, end-of-timestep) on the async
+// substrate: every partition participates, faults unwind like the BSP
+// runner's.
+RoundRunner makeAsyncAllRunner(AsyncCluster& cluster) {
+  return [&cluster](const std::function<void(PartitionId)>& job) {
+    std::vector<Cluster::RoundTiming> timings = cluster.runAll(job);
+    if (cluster.hasFaults()) [[unlikely]] {
+      std::string detail;
+      for (const auto& f : cluster.takeFaults()) {
+        if (!detail.empty()) {
+          detail += "; ";
+        }
+        detail += f.detail;
+      }
+      throw fault::RecoveryNeeded(std::move(detail));
+    }
+    return timings;
+  };
+}
+
 RoundRunner makeSequentialRunner(std::uint32_t num_partitions) {
   return [num_partitions](const std::function<void(PartitionId)>& job) {
     std::vector<Cluster::RoundTiming> timings(num_partitions);
@@ -398,6 +420,9 @@ struct TimestepOutcome {
   bool all_halt_timestep = false;
   std::int32_t supersteps = 0;
 };
+
+struct ExecEnv;
+bool runEndOfTimestep(ExecEnv& env, Timestep t, std::int32_t s);
 
 struct ExecEnv {
   const PartitionedGraph& pg;
@@ -600,8 +625,16 @@ TimestepOutcome runOneTimestep(ExecEnv& env, Timestep t,
     }
   }
   outcome.supersteps = s;
+  outcome.all_halt_timestep = runEndOfTimestep(env, t, s);
+  return outcome;
+}
 
-  // EndOfTimestep hook: every subgraph, one round (metered like a superstep).
+// EndOfTimestep hook: every subgraph, one round (metered like a superstep).
+// Runs as a full round on either substrate (all partitions participate
+// regardless of halt state). Returns whether every subgraph voted to halt
+// the timestep loop.
+bool runEndOfTimestep(ExecEnv& env, Timestep t, std::int32_t s) {
+  const auto k = static_cast<std::uint32_t>(env.states.size());
   TraceSpan eot_span("tibsp", "tibsp.end_of_timestep", "t", t);
   if (env.checker != nullptr) {
     env.checker->beginSuperstep(s);
@@ -640,8 +673,7 @@ TimestepOutcome runOneTimestep(ExecEnv& env, Timestep t,
                     [](std::uint8_t h) { return h != 0; });
   }
   commitRecord(env, std::move(eot_rec), t);
-  outcome.all_halt_timestep = all_halt_timestep;
-  return outcome;
+  return all_halt_timestep;
 }
 
 // The Merge BSP of the eventually dependent pattern (§II-D). Runs over the
@@ -733,6 +765,259 @@ void runMergePhase(ExecEnv& env, std::vector<Message> merge_pool,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Dependency-driven (async) schedule — wave execution of one BSP phase.
+// ---------------------------------------------------------------------------
+//
+// A wave is the async analogue of a superstep: only partitions the
+// ReadyTracker deems eligible run, as whole (partition, superstep) tasks on
+// AsyncCluster's steal-deques. The last finisher seals the wave — delivery,
+// record commit, termination check and readiness advance all happen there,
+// exclusively, replacing the global barrier + coordinator rendezvous.
+// Because one thread runs all of a partition's subgraphs in local order,
+// the send sequence (and therefore every digest) is identical to BSP.
+class WaveDriver final : public AsyncCluster::Driver {
+ public:
+  WaveDriver(ExecEnv& env, Timestep t, bool is_merge)
+      : env_(env),
+        t_(t),
+        is_merge_(is_merge),
+        tracker_(static_cast<std::int32_t>(env.states.size())),
+        busy_ns_(env.states.size(), 0),
+        wait_ns_(env.states.size(), 0),
+        m_skips_(
+            MetricsRegistry::global().counter("cluster.barrier_skips")) {
+    tracker_.beginTimestep();
+  }
+
+  [[nodiscard]] std::int32_t wavesRun() const { return waves_run_; }
+
+  void runTask(PartitionId p, const AsyncCluster::TaskInfo& info) override {
+    auto& st = *env_.states[p];
+    const std::int32_t s = info.wave;
+    st.superstep = s;
+    auto& inj = fault::FaultInjector::global();
+    const std::int64_t cpu_start = threadCpuNowNs();
+    if (env_.checker != nullptr) {
+      env_.checker->enterCompute(p);
+    }
+    if (!is_merge_ && s == 0) {
+      if (inj.armed() &&
+          inj.fire(fault::Site::kSliceLoad, p, t_, fault::Action::kKill))
+          [[unlikely]] {
+        throw fault::WorkerFault(p, t_, fault::Site::kSliceLoad);
+      }
+      TraceSpan load_span("gofs", "gofs.instance_load", "partition", p, "t",
+                          t_);
+      st.instance = &env_.provider.instanceFor(p, t_);
+      st.load_ns += env_.provider.takeLoadNs(p);
+    }
+    distributeInbox(st);
+    if (!is_merge_ && inj.armed()) [[unlikely]] {
+      if (const auto spec = inj.fire(fault::Site::kCompute, p, t_)) {
+        if (spec->action == fault::Action::kKill) {
+          throw fault::WorkerFault(p, t_, fault::Site::kCompute);
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(spec->delay_us));
+      }
+    }
+    const Partition& part = env_.pg.partition(p);
+    for (std::uint32_t i = 0; i < part.subgraphs.size(); ++i) {
+      const bool has_msgs = !st.sg_inbox[i].empty();
+      const bool active = s == 0 || has_msgs || st.halted[i] == 0;
+      if (!active) {
+        continue;
+      }
+      if (env_.checker != nullptr) {
+        env_.checker->onComputeUnit(p, part.subgraphs[i].id,
+                                    st.halted[i] != 0, s == 0 || has_msgs);
+      }
+      st.halted[i] = 0;  // must re-vote to stay halted
+      st.cur_local = i;
+      st.cur_sg = &part.subgraphs[i];
+      auto ctx = st.makeContext();
+      if (is_merge_) {
+        st.program->merge(ctx);
+      } else {
+        st.program->compute(ctx);
+      }
+      ++st.subgraphs_computed;
+      st.sg_inbox[i].clear();
+    }
+    if (!is_merge_ && inj.armed() &&
+        inj.fire(fault::Site::kBarrier, p, t_, fault::Action::kKill))
+        [[unlikely]] {
+      throw fault::WorkerFault(p, t_, fault::Site::kBarrier);
+    }
+    if (env_.checker != nullptr) {
+      env_.checker->exitCompute(p);
+    }
+    busy_ns_[p] = threadCpuNowNs() - cpu_start;
+    wait_ns_[p] = info.ready_wait_ns;
+  }
+
+  std::vector<PartitionId> sealWave(std::int32_t s) override {
+    const auto k = static_cast<std::uint32_t>(env_.states.size());
+    SuperstepRecord rec;
+    rec.timestep = t_;
+    rec.superstep = s;
+    rec.is_merge_phase = is_merge_;
+    rec.parts.resize(k);
+    for (PartitionId p = 0; p < k; ++p) {
+      auto& st = *env_.states[p];
+      // Skipped partitions drained nothing: their meters are zero, so the
+      // row stays a zero row — same record schema as BSP.
+      Cluster::RoundTiming timing;
+      timing.busy_ns = std::exchange(busy_ns_[p], 0);
+      timing.sync_ns = std::exchange(wait_ns_[p], 0);
+      drainPartitionStats(st, rec.parts[p], timing);
+      tracker_.recordQuiesce(
+          p, std::all_of(st.halted.begin(), st.halted.end(),
+                         [](std::uint8_t h) { return h != 0; }));
+    }
+    if (!is_merge_) {
+      auto& inj = fault::FaultInjector::global();
+      if (inj.armed()) [[unlikely]] {
+        if (const auto spec =
+                inj.fire(fault::Site::kDeliver, kInvalidPartition, t_)) {
+          if (spec->action == fault::Action::kDrop) {
+            env_.bus.clearAll();
+            commitRecord(env_, std::move(rec), t_);
+            throw fault::RecoveryNeeded(
+                "delivery batch dropped at timestep " + std::to_string(t_) +
+                " superstep " + std::to_string(s));
+          }
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(spec->delay_us));
+          MetricsRegistry::global()
+              .counter("fault.delivery_delays")
+              .increment();
+        }
+      }
+    }
+    const auto delivery = env_.bus.deliver();
+    rec.delivered_messages = delivery.messages;
+    rec.delivered_bytes = delivery.bytes;
+    rec.cross_partition_messages = delivery.cross_partition_messages;
+    rec.cross_partition_bytes = delivery.cross_partition_bytes;
+    if (!is_merge_) {
+      traceCounter("bus.delivered_messages",
+                   static_cast<std::int64_t>(delivery.messages));
+      traceCounter("bus.cross_partition_bytes",
+                   static_cast<std::int64_t>(delivery.cross_partition_bytes));
+    }
+    commitRecord(env_, std::move(rec), t_);
+    waves_run_ = s + 1;
+
+    // Readiness: what the bus just put in each inbox is the ground-truth
+    // inbound set for wave s+1 (the conservation accounting, per
+    // destination).
+    for (PartitionId p = 0; p < k; ++p) {
+      tracker_.recordDelivery(
+          p, static_cast<std::uint64_t>(env_.bus.inbox(p).size()));
+    }
+    if (tracker_.terminated()) {
+      return {};
+    }
+    if (s + 1 >= env_.config.max_supersteps_per_timestep) {
+      TSG_LOG(Warn) << (is_merge_ ? "merge phase" : "timestep")
+                    << " hit the superstep cap (" << (s + 1)
+                    << ") under the async schedule; aborting its BSP";
+      env_.bus.clearAll();
+      return {};
+    }
+    std::vector<PartitionId> next = tracker_.advance();
+    if (next.size() < k) {
+      m_skips_.add(k - static_cast<std::uint32_t>(next.size()));
+      if (env_.checker != nullptr) {
+        // Cross-check every skip against the bus: `next` is ascending, so
+        // a two-pointer sweep finds the complement.
+        std::size_t j = 0;
+        for (PartitionId p = 0; p < k; ++p) {
+          if (j < next.size() && next[j] == p) {
+            ++j;
+            continue;
+          }
+          env_.checker->onSkipRound(
+              p, static_cast<std::uint64_t>(env_.bus.inbox(p).size()));
+        }
+      }
+    }
+    if (env_.checker != nullptr) {
+      env_.checker->beginSuperstep(s + 1);
+    }
+    return next;
+  }
+
+ private:
+  ExecEnv& env_;
+  Timestep t_;
+  bool is_merge_;
+  ReadyTracker tracker_;
+  std::vector<std::int64_t> busy_ns_;
+  std::vector<std::int64_t> wait_ns_;
+  std::int32_t waves_run_ = 0;
+  MetricsRegistry::Counter& m_skips_;
+};
+
+// Async analogue of runOneTimestep: supersteps run as waves, then the
+// end-of-timestep hook runs as a full round (it must reach every partition
+// regardless of halt state, exactly like BSP).
+TimestepOutcome runOneTimestepAsync(ExecEnv& env, AsyncCluster& cluster,
+                                    Timestep t,
+                                    std::vector<Message> seed_msgs) {
+  TraceSpan timestep_span("tibsp", "tibsp.timestep", "t", t);
+  if (env.checker != nullptr) {
+    env.checker->beginTimestep(t);
+    env.checker->beginSuperstep(0);
+  }
+  for (auto& st_ptr : env.states) {
+    auto& st = *st_ptr;
+    st.timestep = t;
+    st.superstep = 0;
+    st.phase = ExecPhase::kCompute;
+    st.instance = nullptr;
+    std::fill(st.halted.begin(), st.halted.end(), 0);
+    std::fill(st.halt_timestep.begin(), st.halt_timestep.end(), 0);
+  }
+  routeBySubgraphPartition(env.pg, std::move(seed_msgs), env.bus);
+
+  WaveDriver driver(env, t, /*is_merge=*/false);
+  std::vector<PartitionId> all(env.states.size());
+  std::iota(all.begin(), all.end(), PartitionId{0});
+  cluster.runWaves(driver, all, /*first_wave=*/0);
+
+  TimestepOutcome outcome;
+  outcome.supersteps = driver.wavesRun();
+  outcome.all_halt_timestep = runEndOfTimestep(env, t, outcome.supersteps);
+  return outcome;
+}
+
+// Async analogue of runMergePhase.
+void runMergePhaseAsync(ExecEnv& env, AsyncCluster& cluster,
+                        std::vector<Message> merge_pool,
+                        Timestep stats_timestep) {
+  TraceSpan merge_span("tibsp", "tibsp.merge");
+  if (env.checker != nullptr) {
+    env.checker->beginTimestep(stats_timestep);
+    env.checker->beginSuperstep(0);
+  }
+  for (auto& st_ptr : env.states) {
+    auto& st = *st_ptr;
+    st.timestep = stats_timestep;
+    st.superstep = 0;
+    st.phase = ExecPhase::kMerge;
+    st.instance = nullptr;
+    std::fill(st.halted.begin(), st.halted.end(), 0);
+  }
+  routeBySubgraphPartition(env.pg, std::move(merge_pool), env.bus);
+
+  WaveDriver driver(env, stats_timestep, /*is_merge=*/true);
+  std::vector<PartitionId> all(env.states.size());
+  std::iota(all.begin(), all.end(), PartitionId{0});
+  cluster.runWaves(driver, all, /*first_wave=*/0);
+}
+
 // Synchronized maintenance pause: the structural stand-in for the paper's
 // forced System.gc() every 20 timesteps (§IV-D). Each partition trims its
 // allocator arenas; the round is recorded so it shows in per-timestep time.
@@ -800,12 +1085,31 @@ TiBspResult TiBspEngine::run(const ProgramFactory& factory,
   const auto hists_before = MetricsRegistry::global().histogramSnapshot();
   Stopwatch wall;
 
+  const bool use_async = config.schedule == Schedule::kAsync;
+  // Timestep overlap (async × independent/eventually-dependent × serial):
+  // whole timesteps become the work units of the steal scheduler — t+1 runs
+  // while t's straggler finishes. Checkpointing pins execution to the
+  // serial wave path (concurrent tasks have no consistent cut), and a
+  // single timestep has nothing to overlap.
+  const bool overlap = use_async &&
+                       config.temporal_mode == TemporalMode::kSerial &&
+                       config.pattern != Pattern::kSequentiallyDependent &&
+                       config.checkpoint_store == nullptr && count > 1;
   const bool concurrent =
-      config.temporal_mode == TemporalMode::kConcurrent &&
+      (config.temporal_mode == TemporalMode::kConcurrent || overlap) &&
       config.pattern != Pattern::kSequentiallyDependent;
 
   if (!concurrent) {
-    Cluster cluster(k);
+    std::unique_ptr<Cluster> bsp_cluster;
+    std::unique_ptr<AsyncCluster> async_cluster;
+    RoundRunner round;
+    if (use_async) {
+      async_cluster = std::make_unique<AsyncCluster>(k);
+      round = makeAsyncAllRunner(*async_cluster);
+    } else {
+      bsp_cluster = std::make_unique<Cluster>(k);
+      round = makeClusterRunner(*bsp_cluster);
+    }
     MessageBus bus(k);
     auto states = makeStates(pg_, bus, config.pattern,
                              static_cast<std::size_t>(count), provider_.t0(),
@@ -823,9 +1127,11 @@ TiBspResult TiBspEngine::run(const ProgramFactory& factory,
     if (check::enabled()) {
       checker = std::make_unique<check::BspChecker>(k);
       checker->enableRegistryReconciliation();
+      if (use_async) {
+        checker->enableAsyncMode();
+      }
       bus.attachChecker(checker.get());
     }
-    const RoundRunner round = makeClusterRunner(cluster);
     ExecEnv env{pg_,  provider_,   config, states,
                 bus,  round,       result.stats, nullptr, checker.get()};
 
@@ -887,7 +1193,11 @@ TiBspResult TiBspEngine::run(const ProgramFactory& factory,
           } else {
             seed = config.input_messages;  // every instance gets the inputs
           }
-          const auto outcome = runOneTimestep(env, t, std::move(seed));
+          const auto outcome =
+              use_async
+                  ? runOneTimestepAsync(env, *async_cluster, t,
+                                        std::move(seed))
+                  : runOneTimestep(env, t, std::move(seed));
           ++result.timesteps_executed;
 
           std::map<std::string, std::uint64_t> agg_now;
@@ -922,7 +1232,12 @@ TiBspResult TiBspEngine::run(const ProgramFactory& factory,
         }
 
         if (config.pattern == Pattern::kEventuallyDependent) {
-          runMergePhase(env, std::move(merge_pool), first + count);
+          if (use_async) {
+            runMergePhaseAsync(env, *async_cluster, std::move(merge_pool),
+                               first + count);
+          } else {
+            runMergePhase(env, std::move(merge_pool), first + count);
+          }
         }
         done = true;
       } catch (const fault::RecoveryNeeded& fault_cause) {
@@ -947,7 +1262,11 @@ TiBspResult TiBspEngine::run(const ProgramFactory& factory,
           checker->onRecovery();
         }
         bus.clearAll();
-        cluster.respawnDead();
+        if (use_async) {
+          async_cluster->respawnDead();
+        } else {
+          bsp_cluster->respawnDead();
+        }
 
         auto loaded = store->loadLatest();
         TSG_CHECK_MSG(loaded.isOk(), loaded.status().toString());
@@ -1010,7 +1329,7 @@ TiBspResult TiBspEngine::run(const ProgramFactory& factory,
     // A private provider view is not available per task; serialize access
     // and copy the data out under the lock.
     ThreadPool pool(k);
-    pool.parallelFor(static_cast<std::size_t>(count), [&](std::size_t i) {
+    const auto run_timestep_task = [&](std::size_t i) {
       const Timestep t = first + static_cast<Timestep>(i);
       MessageBus bus(k);
       auto states = makeStates(pg_, bus, config.pattern,
@@ -1080,7 +1399,17 @@ TiBspResult TiBspEngine::run(const ProgramFactory& factory,
         TSG_CHECK_MSG(st.agg_events.empty(),
                       "aggregators require the serial temporal mode");
       }
-    });
+    };
+    if (use_async) {
+      // Timestep tasks on steal-deques: a straggling timestep never strands
+      // the ones dealt behind it.
+      std::size_t stolen = 0;
+      pool.parallelForStealing(static_cast<std::size_t>(count),
+                               run_timestep_task, &stolen);
+      MetricsRegistry::global().counter("cluster.steals").add(stolen);
+    } else {
+      pool.parallelFor(static_cast<std::size_t>(count), run_timestep_task);
+    }
     result.timesteps_executed = count;
     for (auto& out : outputs_by_t) {
       std::move(out.begin(), out.end(), std::back_inserter(result.outputs));
@@ -1091,7 +1420,16 @@ TiBspResult TiBspEngine::run(const ProgramFactory& factory,
       for (auto& msgs : merge_by_t) {
         std::move(msgs.begin(), msgs.end(), std::back_inserter(merge_pool));
       }
-      Cluster cluster(k);
+      std::unique_ptr<Cluster> bsp_cluster;
+      std::unique_ptr<AsyncCluster> async_cluster;
+      RoundRunner round;
+      if (use_async) {
+        async_cluster = std::make_unique<AsyncCluster>(k);
+        round = makeAsyncAllRunner(*async_cluster);
+      } else {
+        bsp_cluster = std::make_unique<Cluster>(k);
+        round = makeClusterRunner(*bsp_cluster);
+      }
       MessageBus bus(k);
       auto states = makeStates(pg_, bus, config.pattern,
                                static_cast<std::size_t>(count),
@@ -1105,13 +1443,20 @@ TiBspResult TiBspEngine::run(const ProgramFactory& factory,
       std::unique_ptr<check::BspChecker> merge_checker;
       if (check::enabled()) {
         merge_checker = std::make_unique<check::BspChecker>(k);
+        if (use_async) {
+          merge_checker->enableAsyncMode();
+        }
         bus.attachChecker(merge_checker.get());
       }
-      const RoundRunner round = makeClusterRunner(cluster);
       ExecEnv env{pg_, provider_, config,       states,
                   bus, round,     result.stats, nullptr,
                   merge_checker.get()};
-      runMergePhase(env, std::move(merge_pool), first + count);
+      if (use_async) {
+        runMergePhaseAsync(env, *async_cluster, std::move(merge_pool),
+                           first + count);
+      } else {
+        runMergePhase(env, std::move(merge_pool), first + count);
+      }
       if (merge_checker != nullptr) {
         merge_checker->endRun();
         bus.attachChecker(nullptr);

@@ -38,9 +38,21 @@ enum class TemporalMode : std::uint8_t {
   kConcurrent,  // temporal parallelism for independent/eventually patterns
 };
 
+enum class Schedule : std::uint8_t {
+  // Global per-superstep barrier (the paper's model; the checked reference).
+  kBsp,
+  // Dependency-driven waves: only ready partitions run each superstep,
+  // idle workers steal straggler partitions' tasks, halted partitions skip
+  // rounds, and independent/eventually-dependent patterns overlap
+  // timesteps. Output is identical to kBsp by construction (whole-partition
+  // tasks replay the BSP send order); see DESIGN.md "Scheduling".
+  kAsync,
+};
+
 struct TiBspConfig {
   Pattern pattern = Pattern::kSequentiallyDependent;
   TemporalMode temporal_mode = TemporalMode::kSerial;
+  Schedule schedule = Schedule::kBsp;
 
   Timestep first_timestep = 0;
   // Number of instances to process; -1 = all remaining in the provider.

@@ -80,6 +80,11 @@ CriticalPathAnalysis analyzeCriticalPath(const RunStats& stats,
     out.comm_ns += step.comm_ns;
     out.barrier_ns += net.per_superstep_barrier_ns;
     out.total_barrier_wait_ns += step.barrier_wait_ns;
+    if (step.is_merge_phase) {
+      out.merge_wait_ns += step.barrier_wait_ns;
+    } else {
+      out.straggler_wait_ns += step.barrier_wait_ns;
+    }
     out.path.push_back(step);
   }
 
@@ -127,6 +132,12 @@ std::string renderCriticalPath(const CriticalPathAnalysis& analysis,
       << " (1 = balanced, k = serial); total barrier wait "
       << TextTable::fmtDouble(nsToMs(analysis.total_barrier_wait_ns), 3)
       << " ms across " << analysis.path.size() << " supersteps\n";
+  out << "barrier wait split: straggler (compute supersteps) "
+      << TextTable::fmtDouble(nsToMs(analysis.straggler_wait_ns), 3)
+      << " ms, merge supersteps "
+      << TextTable::fmtDouble(nsToMs(analysis.merge_wait_ns), 3)
+      << " ms — only the straggler share is stealable under "
+         "--schedule=async\n";
   if (analysis.dominant_straggler >= 0) {
     out << "dominant straggler: partition " << analysis.dominant_straggler
         << " (" << TextTable::fmtPercent(analysis.dominant_wait_fraction, 1)
@@ -213,6 +224,18 @@ std::string renderCriticalPath(const CriticalPathAnalysis& analysis,
 
 namespace {
 
+// Sum of a counter across all partitions in a run's registry delta (0 when
+// the run predates the counter or never touched it).
+std::int64_t metricTotal(const RunStats& stats, std::string_view name) {
+  std::int64_t total = 0;
+  for (const auto& point : stats.metrics()) {
+    if (point.name == name && !point.is_gauge) {
+      total += point.value;
+    }
+  }
+  return total;
+}
+
 MetricComparison compareMetric(std::string name, std::int64_t base,
                                std::int64_t candidate, bool gated,
                                double max_regress_pct) {
@@ -281,6 +304,20 @@ CompareResult compareRuns(const LoadedRunStats& base,
   // Informational: wall clock on a shared CI runner is too noisy to gate.
   add(compareMetric("wall_clock_ns", base.stats.wallClockNs(),
                     candidate.stats.wallClockNs(), /*gated=*/false, pct));
+  // Scheduler wait attribution, also informational (timing-derived): the
+  // barrier wait a BSP run paid vs the ready wait an async run paid, plus
+  // the async schedule's work-stealing and skip activity. Comparing a BSP
+  // base against an async candidate, these rows show where the barrier
+  // time went.
+  for (const char* name :
+       {"cluster.barrier_wait_ns", "engine.ready_wait_ns", "cluster.steals",
+        "cluster.barrier_skips"}) {
+    const std::int64_t base_total = metricTotal(base.stats, name);
+    const std::int64_t cand_total = metricTotal(candidate.stats, name);
+    if (base_total != 0 || cand_total != 0) {
+      add(compareMetric(name, base_total, cand_total, /*gated=*/false, pct));
+    }
+  }
   return result;
 }
 

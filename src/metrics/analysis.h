@@ -55,6 +55,13 @@ struct CriticalPathAnalysis {
   // RunStats::modelledParallelNs under the same NetworkModel.
   std::int64_t modelled_parallel_ns = 0;
   std::int64_t total_barrier_wait_ns = 0;
+  // total_barrier_wait_ns split by phase: waiting on a straggler partition
+  // inside an ordinary compute superstep vs waiting inside a Merge-BSP
+  // superstep. The split tells you whether to attack partitioning skew or
+  // the merge topology — and which part the async schedule can steal away
+  // (only the straggler share; merge supersteps stay barriered).
+  std::int64_t straggler_wait_ns = 0;
+  std::int64_t merge_wait_ns = 0;
 
   // critical_path_busy / (total_busy / k): 1.0 = perfectly balanced,
   // k = one partition does all the work. 0 partitions / no busy time → 1.0.

@@ -346,6 +346,27 @@ Result<LoadedRunStats> runStatsFromJson(std::string_view text) {
     }
   }
 
+  // Registry delta: needed so compare can report scheduler counters
+  // (cluster.barrier_wait_ns, engine.ready_wait_ns, steals, skips) from
+  // re-loaded runs.
+  const JsonValue* metrics = doc.find("metrics");
+  if (metrics != nullptr && metrics->isArray()) {
+    MetricsRegistry::Snapshot snap;
+    for (const JsonValue& m : metrics->array()) {
+      if (!m.isObject()) {
+        continue;
+      }
+      MetricsRegistry::Point point;
+      point.name = m.stringOr("name", "");
+      point.partition = static_cast<std::int32_t>(
+          m.intOr("partition", MetricsRegistry::kNoPartition));
+      point.is_gauge = m.stringOr("kind", "counter") == "gauge";
+      point.value = m.intOr("value", 0);
+      snap.push_back(std::move(point));
+    }
+    loaded.stats.setMetrics(std::move(snap));
+  }
+
   return loaded;
 }
 

@@ -138,6 +138,348 @@ std::uint32_t Cluster::aliveWorkers() {
   return alive;
 }
 
+AsyncCluster::AsyncCluster(std::uint32_t num_partitions)
+    : deques_(num_partitions),
+      end_ns_(num_partitions, 0),
+      cpu_busy_ns_(num_partitions, 0),
+      timings_(num_partitions),
+      m_waves_(MetricsRegistry::global().counter("cluster.waves")),
+      m_steals_(MetricsRegistry::global().counter("cluster.steals")),
+      m_ready_wait_ns_(
+          MetricsRegistry::global().counter("engine.ready_wait_ns")),
+      m_respawns_(MetricsRegistry::global().counter("cluster.respawns")) {
+  TSG_CHECK(num_partitions > 0);
+  dead_.assign(num_partitions, 0);
+  workers_.reserve(num_partitions);
+  for (PartitionId p = 0; p < num_partitions; ++p) {
+    workers_.emplace_back([this, p] { workerLoop(p, /*start_round=*/0); });
+  }
+}
+
+AsyncCluster::~AsyncCluster() {
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void AsyncCluster::pushTasksLocked(const std::vector<PartitionId>& parts,
+                                   std::int32_t wave) {
+  const std::int64_t now = steadyNowNs();
+  for (const PartitionId p : parts) {
+    TSG_CHECK(static_cast<std::size_t>(p) < deques_.size());
+    deques_[static_cast<std::size_t>(p)].pushBottom(Task{p, wave, now});
+  }
+  queued_ += static_cast<std::uint32_t>(parts.size());
+  outstanding_ += static_cast<std::uint32_t>(parts.size());
+  // Work is now queued; if nobody is executing, the idle clock starts
+  // ticking until the first pickup.
+  if (executing_ == 0 && idle_since_ns_ < 0) {
+    idle_since_ns_ = now;
+  }
+}
+
+bool AsyncCluster::popTaskLocked(PartitionId w, Task* out) {
+  const std::size_t k = deques_.size();
+  // Own deque first (LIFO, cache-warm), then steal oldest from peers.
+  if (auto t = deques_[static_cast<std::size_t>(w)].popBottom()) {
+    *out = *t;
+    --queued_;
+    return true;
+  }
+  for (std::size_t v = 1; v < k; ++v) {
+    const std::size_t victim = (static_cast<std::size_t>(w) + v) % k;
+    if (auto t = deques_[victim].stealTop()) {
+      *out = *t;
+      --queued_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void AsyncCluster::runWaves(Driver& driver,
+                            const std::vector<PartitionId>& initial,
+                            std::int32_t first_wave) {
+  TraceSpan span("cluster", "cluster.wave_phase");
+  TSG_CHECK(!initial.empty());
+  std::string detail;
+  bool failed = false;
+  {
+    std::unique_lock lock(mutex_);
+    TSG_CHECK_MSG(mode_ == Mode::kIdle && outstanding_ == 0,
+                  "runWaves() re-entered mid-phase");
+    for (PartitionId p = 0; p < dead_.size(); ++p) {
+      TSG_CHECK_MSG(dead_[p] == 0,
+                    "runWaves() with a dead worker — respawnDead() first");
+    }
+    driver_ = &driver;
+    mode_ = Mode::kWaves;
+    wave_ = first_wave;
+    phase_done_ = false;
+    abort_ = false;
+    abort_detail_.clear();
+    executing_ = 0;
+    idle_since_ns_ = -1;
+    pushTasksLocked(initial, first_wave);
+    work_available_.notify_all();
+    phase_done_cv_.wait(lock, [this] { return phase_done_; });
+    mode_ = Mode::kIdle;
+    driver_ = nullptr;
+    failed = abort_ || !faults_.empty();
+    detail = abort_detail_;
+    // Drain the death records now (dead_ stays set for respawnDead): a
+    // stale record must not fail the rerun after the engine recovers.
+    for (auto& f : std::exchange(faults_, {})) {
+      if (!detail.empty()) {
+        detail += "; ";
+      }
+      detail += std::move(f.detail);
+    }
+  }
+  if (failed) {
+    throw fault::RecoveryNeeded(detail.empty() ? "worker died during wave"
+                                               : detail);
+  }
+}
+
+const std::vector<Cluster::RoundTiming>& AsyncCluster::runAll(
+    const std::function<void(PartitionId)>& job) {
+  TraceSpan span("cluster", "cluster.round");
+  {
+    std::unique_lock lock(mutex_);
+    TSG_CHECK_MSG(mode_ == Mode::kIdle && outstanding_ == 0,
+                  "runAll() re-entered mid-phase");
+    for (PartitionId p = 0; p < dead_.size(); ++p) {
+      TSG_CHECK_MSG(dead_[p] == 0,
+                    "runAll() with a dead worker — respawnDead() first");
+    }
+    job_ = &job;
+    mode_ = Mode::kAll;
+    all_remaining_ = static_cast<std::uint32_t>(workers_.size());
+    ++round_;
+    work_available_.notify_all();
+    phase_done_cv_.wait(lock, [this] { return all_remaining_ == 0; });
+    mode_ = Mode::kIdle;
+    job_ = nullptr;
+  }
+  const std::int64_t round_end =
+      *std::max_element(end_ns_.begin(), end_ns_.end());
+  for (PartitionId p = 0; p < timings_.size(); ++p) {
+    timings_[p].busy_ns = cpu_busy_ns_[p];
+    timings_[p].sync_ns = round_end - end_ns_[p];
+  }
+  return timings_;
+}
+
+bool AsyncCluster::hasFaults() {
+  std::lock_guard lock(mutex_);
+  return !faults_.empty();
+}
+
+std::vector<AsyncCluster::FaultRecord> AsyncCluster::takeFaults() {
+  std::lock_guard lock(mutex_);
+  return std::exchange(faults_, {});
+}
+
+std::uint32_t AsyncCluster::respawnDead() {
+  std::uint32_t respawned = 0;
+  std::uint64_t resume_round = 0;
+  std::vector<PartitionId> to_spawn;
+  {
+    std::lock_guard lock(mutex_);
+    TSG_CHECK_MSG(mode_ == Mode::kIdle, "respawnDead() mid-phase");
+    resume_round = round_;
+    for (PartitionId p = 0; p < dead_.size(); ++p) {
+      if (dead_[p] != 0) {
+        to_spawn.push_back(p);
+      }
+    }
+  }
+  for (const PartitionId p : to_spawn) {
+    workers_[p].join();
+    workers_[p] =
+        std::thread([this, p, resume_round] { workerLoop(p, resume_round); });
+    ++respawned;
+    m_respawns_.increment();
+  }
+  if (respawned > 0) {
+    std::lock_guard lock(mutex_);
+    for (const PartitionId p : to_spawn) {
+      dead_[p] = 0;
+    }
+  }
+  return respawned;
+}
+
+std::uint32_t AsyncCluster::aliveWorkers() {
+  std::lock_guard lock(mutex_);
+  std::uint32_t alive = 0;
+  for (const std::uint8_t d : dead_) {
+    alive += d == 0 ? 1 : 0;
+  }
+  return alive;
+}
+
+void AsyncCluster::workerLoop(PartitionId p, std::uint64_t start_round) {
+  Tracer::setCurrentThreadName("partition-" + std::to_string(p));
+  std::uint64_t seen_round = start_round;
+  while (true) {
+    std::unique_lock lock(mutex_);
+    work_available_.wait(lock, [&] {
+      return shutting_down_ || (mode_ == Mode::kWaves && queued_ > 0) ||
+             (mode_ == Mode::kAll && round_ != seen_round);
+    });
+    if (shutting_down_) {
+      return;
+    }
+    if (mode_ == Mode::kAll && round_ != seen_round) {
+      seen_round = round_;
+      const std::function<void(PartitionId)>* job = job_;
+      lock.unlock();
+      perturbPoint(seen_round, p, /*salt=*/0);
+      const std::int64_t cpu_start = threadCpuNowNs();
+      bool died = false;
+      std::string fault_detail;
+      {
+        TraceSpan job_span("cluster", "cluster.job", "partition", p);
+        try {
+          (*job)(p);
+        } catch (const fault::WorkerFault& f) {
+          died = true;
+          fault_detail = f.what();
+        }
+      }
+      cpu_busy_ns_[p] = threadCpuNowNs() - cpu_start;
+      end_ns_[p] = steadyNowNs();
+      perturbPoint(seen_round, p, /*salt=*/1);
+      lock.lock();
+      if (died) {
+        dead_[p] = 1;
+        faults_.push_back(FaultRecord{p, std::move(fault_detail)});
+      }
+      if (--all_remaining_ == 0) {
+        phase_done_cv_.notify_all();
+      }
+      if (died) {
+        return;
+      }
+      continue;
+    }
+    // Wave mode: pick up a task (own deque first, then steal).
+    Task task;
+    if (!popTaskLocked(p, &task)) {
+      continue;  // raced another worker to the last queued task
+    }
+    const std::int64_t picked = steadyNowNs();
+    TaskInfo info;
+    info.wave = task.wave;
+    // Charge only spans where ready work sat with nobody executing. Time
+    // covered by workers chewing through earlier tasks is utilization, not
+    // wait — the whole point of the schedule is converting barrier idling
+    // into stolen work.
+    if (idle_since_ns_ >= 0) {
+      info.ready_wait_ns = picked - std::max(task.push_ns, idle_since_ns_);
+      idle_since_ns_ = -1;
+    }
+    info.stolen = task.partition != p;
+    ++executing_;
+    Driver* driver = driver_;
+    lock.unlock();
+    m_ready_wait_ns_.add(static_cast<std::uint64_t>(
+        info.ready_wait_ns > 0 ? info.ready_wait_ns : 0));
+    if (info.stolen) {
+      m_steals_.increment();
+    }
+    perturbPoint(static_cast<std::uint64_t>(task.wave), task.partition,
+                 /*salt=*/0);
+    bool died = false;
+    bool recover = false;
+    std::string fault_detail;
+    {
+      TraceSpan job_span("cluster", "cluster.wave_task", "partition",
+                         task.partition);
+      try {
+        driver->runTask(task.partition, info);
+      } catch (const fault::WorkerFault& f) {
+        died = true;
+        fault_detail = f.what();
+      } catch (const fault::RecoveryNeeded& f) {
+        recover = true;
+        fault_detail = f.what();
+      }
+    }
+    perturbPoint(static_cast<std::uint64_t>(task.wave), task.partition,
+                 /*salt=*/1);
+    lock.lock();
+    --executing_;
+    if (queued_ > 0 && executing_ == 0 && idle_since_ns_ < 0) {
+      idle_since_ns_ = steadyNowNs();
+    }
+    if (died || recover) {
+      if (died) {
+        dead_[p] = 1;
+        faults_.push_back(FaultRecord{task.partition, std::move(fault_detail)});
+      }
+      abort_ = true;
+      if (recover && abort_detail_.empty()) {
+        abort_detail_ = std::move(fault_detail);
+      }
+      // Discard queued work; in-flight tasks drain, then the phase ends.
+      for (auto& dq : deques_) {
+        while (dq.popBottom()) {
+          --outstanding_;
+        }
+      }
+      queued_ = 0;
+      idle_since_ns_ = -1;
+    }
+    if (--outstanding_ == 0) {
+      if (abort_) {
+        phase_done_ = true;
+        phase_done_cv_.notify_all();
+      } else {
+        // Last finisher seals the wave: delivery + termination check run
+        // exclusively (no task in flight), outside the lock.
+        const std::int32_t sealed_wave = wave_;
+        Driver* sealer = driver_;
+        lock.unlock();
+        m_waves_.increment();
+        std::vector<PartitionId> next;
+        bool seal_failed = false;
+        std::string seal_detail;
+        try {
+          next = sealer->sealWave(sealed_wave);
+        } catch (const fault::RecoveryNeeded& f) {
+          seal_failed = true;
+          seal_detail = f.what();
+        }
+        lock.lock();
+        if (seal_failed) {
+          abort_ = true;
+          abort_detail_ = seal_detail;
+          phase_done_ = true;
+          phase_done_cv_.notify_all();
+        } else if (next.empty()) {
+          phase_done_ = true;
+          phase_done_cv_.notify_all();
+        } else {
+          wave_ = sealed_wave + 1;
+          pushTasksLocked(next, wave_);
+          work_available_.notify_all();
+        }
+      }
+    }
+    if (died) {
+      return;
+    }
+  }
+}
+
 void Cluster::workerLoop(PartitionId p, std::uint64_t start_round) {
   Tracer::setCurrentThreadName("partition-" + std::to_string(p));
   std::uint64_t seen_round = start_round;

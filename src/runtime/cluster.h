@@ -18,10 +18,12 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/thread_pool.h"
 #include "graph/types.h"
 
 namespace tsg {
@@ -86,6 +88,139 @@ class Cluster {
   // cells directly instead of re-doing the registry name lookup.
   MetricsRegistry::Counter& m_rounds_;
   MetricsRegistry::Counter& m_barrier_wait_ns_;
+  MetricsRegistry::Counter& m_respawns_;
+  std::vector<std::thread> workers_;
+};
+
+// AsyncCluster — the dependency-driven substrate behind `--schedule=async`.
+//
+// Where Cluster rendezvouses every partition at a global barrier each
+// superstep, AsyncCluster runs *waves*: the set of partitions that are
+// actually ready for superstep s (per ReadyTracker). Each wave's tasks are
+// dealt to their owning workers' steal-deques; an idle worker whose own
+// deque is dry steals whole partition-tasks from stragglers instead of
+// blocking in barrier_wait. The last task to finish a wave *seals* it —
+// runs the driver's delivery/termination step exclusively — and pushes the
+// next wave's tasks, so there is no coordinator rendezvous per superstep
+// at all: control threads only sleep at phase boundaries.
+//
+// Tasks are whole (partition, superstep) units — programs are stateful per
+// partition, so a partition's subgraphs must run on one thread, in local
+// order. That granularity also makes async output byte-identical to BSP:
+// one thread replays exactly the BSP send sequence of that partition.
+//
+// Fault model matches Cluster: a task throwing fault::WorkerFault kills the
+// executing worker thread (even if the task was stolen — the thief's host
+// dies); queued tasks are discarded, in-flight tasks finish, and runWaves
+// reports the abort so the engine can roll back and respawnDead().
+class AsyncCluster {
+ public:
+  using FaultRecord = Cluster::FaultRecord;
+
+  struct TaskInfo {
+    std::int32_t wave = 0;
+    // Scheduler gap time ending at this task's pickup: the wall-clock span
+    // during which ready tasks sat queued while NO worker was executing
+    // (zero when some worker was busy the whole time). Time covered by
+    // workers chewing through earlier tasks is utilization, not wait —
+    // that is exactly the barrier wait the async schedule converts into
+    // stolen work. Summed into engine.ready_wait_ns, the async analogue
+    // of cluster.barrier_wait_ns (which likewise counts only idle-at-
+    // barrier time, never between-round wake latency).
+    std::int64_t ready_wait_ns = 0;
+    bool stolen = false;  // executed by a worker other than the owner
+  };
+
+  // The engine side of a wave phase. runTask does the partition's work for
+  // one superstep (and its own CPU metering); sealWave is invoked exactly
+  // once per wave, by the last finisher, with no task running — it
+  // delivers, commits the record and returns the next wave's partitions
+  // (empty = phase complete). Either may throw WorkerFault (runTask only)
+  // or RecoveryNeeded.
+  class Driver {
+   public:
+    virtual ~Driver() = default;
+    virtual void runTask(PartitionId p, const TaskInfo& info) = 0;
+    virtual std::vector<PartitionId> sealWave(std::int32_t wave) = 0;
+  };
+
+  explicit AsyncCluster(std::uint32_t num_partitions);
+  ~AsyncCluster();
+
+  AsyncCluster(const AsyncCluster&) = delete;
+  AsyncCluster& operator=(const AsyncCluster&) = delete;
+
+  // Runs waves starting with `initial` at `first_wave` until sealWave
+  // returns empty. Throws fault::RecoveryNeeded if a worker died or
+  // sealWave threw; the engine rolls back and calls respawnDead().
+  void runWaves(Driver& driver, const std::vector<PartitionId>& initial,
+                std::int32_t first_wave = 0);
+
+  // Runs job(p) once on every worker concurrently and blocks (used for
+  // maintenance rounds). Timings mirror Cluster::run.
+  const std::vector<Cluster::RoundTiming>& runAll(
+      const std::function<void(PartitionId)>& job);
+
+  [[nodiscard]] std::uint32_t numPartitions() const {
+    return static_cast<std::uint32_t>(deques_.size());
+  }
+
+  [[nodiscard]] bool hasFaults();
+  std::vector<FaultRecord> takeFaults();
+  std::uint32_t respawnDead();
+  [[nodiscard]] std::uint32_t aliveWorkers();
+
+ private:
+  struct Task {
+    PartitionId partition = kInvalidPartition;
+    std::int32_t wave = 0;
+    std::int64_t push_ns = 0;
+  };
+
+  enum class Mode : std::uint8_t { kIdle, kWaves, kAll };
+
+  void workerLoop(PartitionId p, std::uint64_t start_round);
+  // Called with mutex_ held: push one task per partition for `wave`.
+  void pushTasksLocked(const std::vector<PartitionId>& parts,
+                       std::int32_t wave);
+  // Steal-scan all deques starting at w's own. Mutex must be held.
+  bool popTaskLocked(PartitionId w, Task* out);
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable phase_done_cv_;
+
+  Mode mode_ = Mode::kIdle;
+  Driver* driver_ = nullptr;
+  std::int32_t wave_ = 0;
+  std::uint32_t outstanding_ = 0;  // tasks pushed, not yet completed
+  std::uint32_t queued_ = 0;       // tasks sitting in deques
+  bool phase_done_ = false;
+  bool abort_ = false;
+  std::string abort_detail_;
+
+  // runAll round state (mirrors Cluster).
+  const std::function<void(PartitionId)>* job_ = nullptr;
+  std::uint64_t round_ = 0;
+  std::uint32_t all_remaining_ = 0;
+
+  bool shutting_down_ = false;
+  std::vector<std::uint8_t> dead_;   // guarded by mutex_
+  std::vector<FaultRecord> faults_;  // guarded by mutex_
+
+  std::vector<StealDeque<Task>> deques_;  // all access under mutex_
+  // Gap-time accounting for TaskInfo::ready_wait_ns (guarded by mutex_):
+  // how many workers are currently inside runTask, and — when tasks are
+  // queued with nobody executing — when that idle span began (-1 = none).
+  std::uint32_t executing_ = 0;
+  std::int64_t idle_since_ns_ = -1;
+  std::vector<std::int64_t> end_ns_;
+  std::vector<std::int64_t> cpu_busy_ns_;
+  std::vector<Cluster::RoundTiming> timings_;
+
+  MetricsRegistry::Counter& m_waves_;
+  MetricsRegistry::Counter& m_steals_;
+  MetricsRegistry::Counter& m_ready_wait_ns_;
   MetricsRegistry::Counter& m_respawns_;
   std::vector<std::thread> workers_;
 };

@@ -28,6 +28,12 @@ MessageBus::MessageBus(std::uint32_t num_partitions)
     row.boxes.resize(num_partitions);
     row.flow_ids.resize(num_partitions, 0);
   }
+  // Pre-warm the spare pool to one vector per partition: the first
+  // deliver() splices batches before any inbox vector has been recycled,
+  // so a cold pool would record one miss per initial batch (3 at run start
+  // in the k=4 baseline). The vectors are empty — only the pool slots are
+  // warm — so this costs k empty vectors, not memory.
+  spares_.resize(num_partitions);
 }
 
 void MessageBus::send(PartitionId from, PartitionId to, Message msg) {

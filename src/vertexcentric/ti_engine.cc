@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
+#include <numeric>
 #include <thread>
 #include <utility>
 
@@ -14,6 +15,7 @@
 #include "gofs/checkpoint.h"
 #include "runtime/cluster.h"
 #include "runtime/fault_injector.h"
+#include "runtime/ready_tracker.h"
 
 namespace tsg {
 namespace vertexcentric {
@@ -22,6 +24,22 @@ namespace {
 struct TvMessage {
   VertexIndex dst;
   double value;
+};
+
+// Adapter so the wave callbacks can live as lambdas inside run() instead of
+// a second engine class; see the subgraph engine's WaveDriver for the
+// sealing contract.
+class CallbackWaveDriver final : public AsyncCluster::Driver {
+ public:
+  std::function<void(PartitionId, const AsyncCluster::TaskInfo&)> run_task;
+  std::function<std::vector<PartitionId>(std::int32_t)> seal;
+
+  void runTask(PartitionId p, const AsyncCluster::TaskInfo& info) override {
+    run_task(p, info);
+  }
+  std::vector<PartitionId> sealWave(std::int32_t s) override {
+    return seal(s);
+  }
 };
 }  // namespace
 
@@ -122,7 +140,14 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
   const auto metrics_before = MetricsRegistry::global().snapshot();
   const auto hists_before = MetricsRegistry::global().histogramSnapshot();
   Stopwatch wall;
-  Cluster cluster(k);
+  const bool use_async = config.schedule == Schedule::kAsync;
+  std::unique_ptr<Cluster> bsp_cluster;
+  std::unique_ptr<AsyncCluster> async_cluster;
+  if (use_async) {
+    async_cluster = std::make_unique<AsyncCluster>(k);
+  } else {
+    bsp_cluster = std::make_unique<Cluster>(k);
+  }
 
   // Protocol checking: one checker per run; no registry reconciliation (the
   // bus.* counters belong to MessageBus, which this engine does not use).
@@ -141,13 +166,20 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
   std::int32_t recoveries = 0;
 
   // Runs one barriered round; a worker killed by fault injection surfaces
-  // here as RecoveryNeeded (same contract as the subgraph engine).
-  const auto runRound = [&cluster](const std::function<void(PartitionId)>& job)
+  // here as RecoveryNeeded (same contract as the subgraph engine). Under
+  // the async schedule full rounds (end-of-timestep) go through
+  // AsyncCluster::runAll, which has the same timing/fault contract.
+  const auto runRound = [&](const std::function<void(PartitionId)>& job)
       -> const std::vector<Cluster::RoundTiming>& {
-    const auto& timings = cluster.run(job);
-    if (cluster.hasFaults()) [[unlikely]] {
+    const auto& timings =
+        use_async ? async_cluster->runAll(job) : bsp_cluster->run(job);
+    const bool faulted =
+        use_async ? async_cluster->hasFaults() : bsp_cluster->hasFaults();
+    if (faulted) [[unlikely]] {
       std::string detail;
-      for (const auto& f : cluster.takeFaults()) {
+      const auto faults =
+          use_async ? async_cluster->takeFaults() : bsp_cluster->takeFaults();
+      for (const auto& f : faults) {
         if (!detail.empty()) {
           detail += "; ";
         }
@@ -206,100 +238,87 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
     pending_next.clear();
     std::fill(halted.begin(), halted.end(), 0);
 
-    std::int32_t s = 0;
-    while (true) {
-      TraceSpan superstep_span("vc", "tvc.superstep", "t", t, "s", s);
-      if (checker != nullptr) {
-        checker->beginSuperstep(s);
+    // Per-partition compute for superstep s — shared verbatim between the
+    // barriered loop and the wave tasks, so both schedules replay the same
+    // send sequence.
+    const auto partition_job = [&, t](PartitionId p, std::int32_t s) {
+      auto& w = workers[p];
+      auto& inj = fault::FaultInjector::global();
+      if (w.checker != nullptr) {
+        w.checker->enterCompute(p);
+        if (!w.incoming.empty()) {
+          w.checker->onConsume(p, w.incoming.size(), w.incoming_stamp_t,
+                               w.incoming_stamp_s, 0);
+        }
       }
-      const auto& timings = runRound([&, s, t](PartitionId p) {
-        auto& w = workers[p];
-        auto& inj = fault::FaultInjector::global();
-        if (w.checker != nullptr) {
-          w.checker->enterCompute(p);
-          if (!w.incoming.empty()) {
-            w.checker->onConsume(p, w.incoming.size(), w.incoming_stamp_t,
-                                 w.incoming_stamp_s, 0);
-          }
-        }
-        if (s == 0) {
-          if (inj.armed() &&
-              inj.fire(fault::Site::kSliceLoad, p, t, fault::Action::kKill))
-              [[unlikely]] {
-            throw fault::WorkerFault(p, t, fault::Site::kSliceLoad);
-          }
-          w.instance = &provider_.instanceFor(p, t);
-          w.load_ns += provider_.takeLoadNs(p);
-        }
-        const Partition& part = pg_.partition(p);
-        for (const auto& msg : w.incoming) {
-          const std::uint32_t local = pg_.localIndexOfVertex(msg.dst);
-          w.vertex_msgs[local].push_back(msg.value);
-          w.has_msgs[local] = 1;
-        }
-        w.incoming.clear();
-        if (inj.armed()) [[unlikely]] {
-          if (const auto spec = inj.fire(fault::Site::kCompute, p, t)) {
-            if (spec->action == fault::Action::kKill) {
-              throw fault::WorkerFault(p, t, fault::Site::kCompute);
-            }
-            std::this_thread::sleep_for(
-                std::chrono::microseconds(spec->delay_us));
-          }
-        }
-
-        TemporalVertexContext ctx;
-        ctx.timestep_ = t;
-        ctx.superstep_ = s;
-        ctx.tmpl_ = &tmpl;
-        ctx.delta_ = provider_.delta();
-        ctx.worker_ = &w;
-        for (std::uint32_t l = 0; l < part.vertices.size(); ++l) {
-          const VertexIndex v = part.vertices[l];
-          const bool active = s == 0 || w.has_msgs[l] != 0 || halted[v] == 0;
-          if (!active) {
-            continue;
-          }
-          if (w.checker != nullptr) {
-            w.checker->onComputeUnit(p, v, halted[v] != 0,
-                                     s == 0 || w.has_msgs[l] != 0);
-          }
-          halted[v] = 0;
-          ctx.vertex_ = v;
-          ctx.halted_ = &halted[v];
-          ctx.messages_ = w.vertex_msgs[l];
-          program.compute(ctx);
-          ++w.vertices_computed;
-          w.vertex_msgs[l].clear();
-          w.has_msgs[l] = 0;
-        }
+      if (s == 0) {
         if (inj.armed() &&
-            inj.fire(fault::Site::kBarrier, p, t, fault::Action::kKill))
+            inj.fire(fault::Site::kSliceLoad, p, t, fault::Action::kKill))
             [[unlikely]] {
-          throw fault::WorkerFault(p, t, fault::Site::kBarrier);
+          throw fault::WorkerFault(p, t, fault::Site::kSliceLoad);
+        }
+        w.instance = &provider_.instanceFor(p, t);
+        w.load_ns += provider_.takeLoadNs(p);
+      }
+      const Partition& part = pg_.partition(p);
+      for (const auto& msg : w.incoming) {
+        const std::uint32_t local = pg_.localIndexOfVertex(msg.dst);
+        w.vertex_msgs[local].push_back(msg.value);
+        w.has_msgs[local] = 1;
+      }
+      w.incoming.clear();
+      if (inj.armed()) [[unlikely]] {
+        if (const auto spec = inj.fire(fault::Site::kCompute, p, t)) {
+          if (spec->action == fault::Action::kKill) {
+            throw fault::WorkerFault(p, t, fault::Site::kCompute);
+          }
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(spec->delay_us));
+        }
+      }
+
+      TemporalVertexContext ctx;
+      ctx.timestep_ = t;
+      ctx.superstep_ = s;
+      ctx.tmpl_ = &tmpl;
+      ctx.delta_ = provider_.delta();
+      ctx.worker_ = &w;
+      for (std::uint32_t l = 0; l < part.vertices.size(); ++l) {
+        const VertexIndex v = part.vertices[l];
+        const bool active = s == 0 || w.has_msgs[l] != 0 || halted[v] == 0;
+        if (!active) {
+          continue;
         }
         if (w.checker != nullptr) {
-          w.checker->exitCompute(p);
+          w.checker->onComputeUnit(p, v, halted[v] != 0,
+                                   s == 0 || w.has_msgs[l] != 0);
         }
-      });
-
-      SuperstepRecord rec;
-      rec.timestep = t;
-      rec.superstep = s;
-      rec.parts.resize(k);
-      std::uint64_t delivered = 0;
-      for (PartitionId p = 0; p < k; ++p) {
-        auto& w = workers[p];
-        auto& ps = rec.parts[p];
-        ps.send_ns = std::exchange(w.send_ns, 0);
-        ps.load_ns = std::exchange(w.load_ns, 0);
-        ps.compute_ns = std::max<std::int64_t>(
-            0, timings[p].busy_ns - ps.send_ns - ps.load_ns);
-        ps.sync_ns = timings[p].sync_ns;
-        ps.messages_sent = std::exchange(w.msgs_sent, 0);
-        ps.bytes_sent = std::exchange(w.bytes_sent, 0);
-        ps.subgraphs_computed = std::exchange(w.vertices_computed, 0);
+        halted[v] = 0;
+        ctx.vertex_ = v;
+        ctx.halted_ = &halted[v];
+        ctx.messages_ = w.vertex_msgs[l];
+        program.compute(ctx);
+        ++w.vertices_computed;
+        w.vertex_msgs[l].clear();
+        w.has_msgs[l] = 0;
       }
+      if (inj.armed() &&
+          inj.fire(fault::Site::kBarrier, p, t, fault::Action::kKill))
+          [[unlikely]] {
+        throw fault::WorkerFault(p, t, fault::Site::kBarrier);
+      }
+      if (w.checker != nullptr) {
+        w.checker->exitCompute(p);
+      }
+    };
+
+    // Delivery, checker accounting, vc.* metrics and the record commit —
+    // shared between the barrier and the wave seal. Takes rec with its
+    // parts[] timing rows already filled; returns the delivered count.
+    // Throws RecoveryNeeded on an injected drop (rec is discarded: the
+    // exchange never happened).
+    const auto sealDelivery = [&, t](SuperstepRecord rec,
+                                     std::int32_t s) -> std::uint64_t {
       {
         auto& inj = fault::FaultInjector::global();
         if (inj.armed()) [[unlikely]] {
@@ -321,6 +340,7 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
       }
       auto& registry = MetricsRegistry::global();
       auto& h_batch = registry.histogram("vc.batch_messages");
+      std::uint64_t delivered = 0;
       for (PartitionId p = 0; p < k; ++p) {
         for (PartitionId q = 0; q < k; ++q) {
           auto& box = workers[p].outbox[q];
@@ -376,21 +396,140 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
         registry.counter("vc.messages_delivered").add(delivered);
       }
       result.stats.addSuperstep(std::move(rec));
+      return delivered;
+    };
 
-      const bool all_halted =
-          std::all_of(halted.begin(), halted.end(),
-                      [](std::uint8_t h) { return h != 0; });
-      ++s;
-      if (all_halted && delivered == 0) {
-        break;
-      }
-      if (s >= config.max_supersteps_per_timestep) {
+    std::int32_t s = 0;
+    if (!use_async) {
+      while (true) {
+        TraceSpan superstep_span("vc", "tvc.superstep", "t", t, "s", s);
         if (checker != nullptr) {
-          // Cap abort abandons delivered-but-unconsumed traffic by design.
-          checker->onReset();
+          checker->beginSuperstep(s);
         }
-        break;
+        const auto& timings =
+            runRound([&, s](PartitionId p) { partition_job(p, s); });
+
+        SuperstepRecord rec;
+        rec.timestep = t;
+        rec.superstep = s;
+        rec.parts.resize(k);
+        for (PartitionId p = 0; p < k; ++p) {
+          auto& w = workers[p];
+          auto& ps = rec.parts[p];
+          ps.send_ns = std::exchange(w.send_ns, 0);
+          ps.load_ns = std::exchange(w.load_ns, 0);
+          ps.compute_ns = std::max<std::int64_t>(
+              0, timings[p].busy_ns - ps.send_ns - ps.load_ns);
+          ps.sync_ns = timings[p].sync_ns;
+          ps.messages_sent = std::exchange(w.msgs_sent, 0);
+          ps.bytes_sent = std::exchange(w.bytes_sent, 0);
+          ps.subgraphs_computed = std::exchange(w.vertices_computed, 0);
+        }
+        const std::uint64_t delivered = sealDelivery(std::move(rec), s);
+
+        const bool all_halted =
+            std::all_of(halted.begin(), halted.end(),
+                        [](std::uint8_t h) { return h != 0; });
+        ++s;
+        if (all_halted && delivered == 0) {
+          break;
+        }
+        if (s >= config.max_supersteps_per_timestep) {
+          if (checker != nullptr) {
+            // Cap abort abandons delivered-but-unconsumed traffic by design.
+            checker->onReset();
+          }
+          break;
+        }
       }
+    } else {
+      // Wave schedule: only partitions with pending messages or unhalted
+      // vertices run each superstep; the last finisher seals the wave with
+      // the same swap-loop exchange. Termination (all halted, nothing
+      // delivered) falls out of the tracker: a seal that records universal
+      // quiesce and empty inboxes reports terminated().
+      if (checker != nullptr) {
+        checker->beginSuperstep(0);
+      }
+      ReadyTracker tracker(static_cast<std::int32_t>(k));
+      tracker.beginTimestep();
+      std::vector<std::int64_t> busy_ns(k, 0);
+      std::vector<std::int64_t> wait_ns(k, 0);
+      auto& m_skips =
+          MetricsRegistry::global().counter("cluster.barrier_skips");
+      CallbackWaveDriver driver;
+      driver.run_task = [&](PartitionId p,
+                            const AsyncCluster::TaskInfo& info) {
+        const std::int64_t cpu_start = threadCpuNowNs();
+        partition_job(p, info.wave);
+        busy_ns[p] = threadCpuNowNs() - cpu_start;
+        wait_ns[p] = info.ready_wait_ns;
+      };
+      driver.seal = [&](std::int32_t sw) -> std::vector<PartitionId> {
+        SuperstepRecord rec;
+        rec.timestep = t;
+        rec.superstep = sw;
+        rec.parts.resize(k);
+        for (PartitionId p = 0; p < k; ++p) {
+          auto& w = workers[p];
+          auto& ps = rec.parts[p];
+          ps.send_ns = std::exchange(w.send_ns, 0);
+          ps.load_ns = std::exchange(w.load_ns, 0);
+          ps.compute_ns = std::max<std::int64_t>(
+              0, std::exchange(busy_ns[p], 0) - ps.send_ns - ps.load_ns);
+          ps.sync_ns = std::exchange(wait_ns[p], 0);
+          ps.messages_sent = std::exchange(w.msgs_sent, 0);
+          ps.bytes_sent = std::exchange(w.bytes_sent, 0);
+          ps.subgraphs_computed = std::exchange(w.vertices_computed, 0);
+          const Partition& part = pg_.partition(p);
+          tracker.recordQuiesce(
+              p, std::all_of(part.vertices.begin(), part.vertices.end(),
+                             [&](VertexIndex v) { return halted[v] != 0; }));
+        }
+        sealDelivery(std::move(rec), sw);
+        s = sw + 1;
+        // Post-splice inbox sizes are the ground-truth inbound set for the
+        // next wave (partitions that ran drained theirs at task start).
+        for (PartitionId p = 0; p < k; ++p) {
+          tracker.recordDelivery(
+              p, static_cast<std::uint64_t>(workers[p].incoming.size()));
+        }
+        if (tracker.terminated()) {
+          return {};
+        }
+        if (sw + 1 >= config.max_supersteps_per_timestep) {
+          if (checker != nullptr) {
+            // Cap abort abandons delivered-but-unconsumed traffic by design.
+            checker->onReset();
+          }
+          return {};
+        }
+        std::vector<PartitionId> next = tracker.advance();
+        if (next.size() < k) {
+          m_skips.add(k - static_cast<std::uint64_t>(next.size()));
+          if (checker != nullptr) {
+            // Cross-check every skip against the actual inbox contents;
+            // `next` is ascending, so a two-pointer sweep walks the
+            // complement.
+            std::size_t j = 0;
+            for (PartitionId p = 0; p < k; ++p) {
+              if (j < next.size() && next[j] == p) {
+                ++j;
+                continue;
+              }
+              checker->onSkipRound(
+                  p, static_cast<std::uint64_t>(workers[p].incoming.size()));
+            }
+          }
+        }
+        if (checker != nullptr) {
+          checker->beginSuperstep(sw + 1);
+        }
+        return next;
+      };
+      std::vector<PartitionId> all(k);
+      std::iota(all.begin(), all.end(), PartitionId{0});
+      async_cluster->runWaves(driver, all, /*first_wave=*/0);
     }
 
     // End of timestep: per-vertex hook, then collect deferred messages.
@@ -446,7 +585,11 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
       if (checker != nullptr) {
         checker->onRecovery();
       }
-      cluster.respawnDead();
+      if (use_async) {
+        async_cluster->respawnDead();
+      } else {
+        bsp_cluster->respawnDead();
+      }
       auto loaded = store->loadLatest();
       TSG_CHECK_MSG(loaded.isOk(), loaded.status().toString());
       Checkpoint ckpt = std::move(loaded).value();

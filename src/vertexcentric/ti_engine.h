@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/serialize.h"
+#include "core/engine.h"  // Schedule
 #include "gofs/instance_provider.h"
 #include "partition/partitioned_graph.h"
 #include "runtime/stats.h"
@@ -58,6 +59,12 @@ struct TemporalVcConfig {
   Timestep first_timestep = 0;
   std::int32_t num_timesteps = -1;  // -1 = all instances
   std::int32_t max_supersteps_per_timestep = 100000;
+
+  // kAsync runs each timestep's BSP as dependency-driven waves (see
+  // TiBspConfig::schedule): partitions whose vertices all halted and whose
+  // inboxes are empty skip rounds, stragglers get their tasks stolen.
+  // Output is identical to kBsp by construction.
+  Schedule schedule = Schedule::kBsp;
 
   // Fault tolerance (see gofs/checkpoint.h and TiBspConfig). The single
   // shared program is restored in place via loadState on recovery; null

@@ -121,11 +121,13 @@ int usage() {
       "  hashtag  DIR [--tag=#meme]\n"
       "  pagerank DIR [--iters=N] [--top=N]\n"
       "  wcc      DIR\n"
-      "  check    ALGO DIR [--runs=N] [--seed=S]\n"
+      "  check    ALGO DIR [--runs=N] [--seed=S] [--schedule=bsp|async]\n"
       "           ALGO: tdsp|meme|hashtag|pagerank|sssp|wcc|topn|\n"
       "                 tdsp-vertex|sssp-vertex\n"
       "           runs ALGO N times under perturbed worker schedules with\n"
       "           the BSP protocol checker on; exit 1 if outputs diverge\n"
+      "           (with --schedule=async, also runs the BSP reference once\n"
+      "            and requires the async digests to match it)\n"
       "  analyze  RUN.json\n"
       "  compare  BASE.json CANDIDATE.json [--max-regress=PCT]\n"
       "analysis commands also take:\n"
@@ -133,6 +135,9 @@ int usage() {
       "  --json=PATH    write machine-readable run stats (JSON)\n"
       "  --checkpoint=DIR  checkpoint each timestep to DIR and recover from\n"
       "                    injected worker faults (serial temporal mode)\n"
+      "  --schedule=bsp|async  superstep scheduling: global barrier (bsp,\n"
+      "                        default) or dependency-driven waves with\n"
+      "                        work stealing (async; identical output)\n"
       "all commands take:\n"
       "  --log-level=debug|info|warn|error (overrides TSG_LOG_LEVEL)\n"
       "  --inject=PLAN  arm the fault injector, e.g.\n"
@@ -171,6 +176,23 @@ std::unique_ptr<CheckpointStore> makeCheckpointStore(const Args& args) {
     return nullptr;
   }
   return std::make_unique<FileCheckpointStore>(dir);
+}
+
+// Parses --schedule=bsp|async into *out; returns false (after printing the
+// diagnostic) on an unknown value.
+bool parseSchedule(const Args& args, Schedule* out) {
+  const std::string value = args.get("schedule", "bsp");
+  if (value == "bsp") {
+    *out = Schedule::kBsp;
+    return true;
+  }
+  if (value == "async") {
+    *out = Schedule::kAsync;
+    return true;
+  }
+  std::fprintf(stderr, "tsgcli: unknown --schedule=%s (expected bsp|async)\n",
+               value.c_str());
+  return false;
 }
 
 // Sums a counter across partitions in a run's metrics delta.
@@ -400,6 +422,9 @@ int cmdTdsp(const Args& args) {
   }
   const auto store = makeCheckpointStore(args);
   options.checkpoint_store = store.get();
+  if (!parseSchedule(args, &options.schedule)) {
+    return 2;
+  }
   const auto run = runTdsp(pg, *provider, options);
 
   std::uint64_t reached = 0;
@@ -440,6 +465,9 @@ int cmdMeme(const Args& args) {
   options.emit_outputs = args.has("outputs");
   const auto store = makeCheckpointStore(args);
   options.checkpoint_store = store.get();
+  if (!parseSchedule(args, &options.schedule)) {
+    return 2;
+  }
   const auto run = runMemeTracking(pg, *provider, options);
 
   std::uint64_t colored = 0;
@@ -478,6 +506,9 @@ int cmdHashtag(const Args& args) {
   options.tweets_attr = schema.requireIndex(kTweetsAttr);
   const auto store = makeCheckpointStore(args);
   options.checkpoint_store = store.get();
+  if (!parseSchedule(args, &options.schedule)) {
+    return 2;
+  }
   const auto run = runHashtagAggregation(pg, *provider, options);
 
   TextTable table({"timestep", "count", "rate of change"});
@@ -501,6 +532,9 @@ int cmdPageRank(const Args& args) {
   options.iterations = static_cast<std::int32_t>(args.getInt("iters", 30));
   const auto store = makeCheckpointStore(args);
   options.checkpoint_store = store.get();
+  if (!parseSchedule(args, &options.schedule)) {
+    return 2;
+  }
   const auto run = runSubgraphPageRank(pg, *provider, options);
 
   const auto top_n = static_cast<std::size_t>(args.getInt("top", 10));
@@ -534,6 +568,9 @@ int cmdWcc(const Args& args) {
   WccOptions options;
   const auto store = makeCheckpointStore(args);
   options.checkpoint_store = store.get();
+  if (!parseSchedule(args, &options.schedule)) {
+    return 2;
+  }
   const auto run = runSubgraphWcc(pg, *provider, options);
   std::printf("weakly connected components: %zu (over %zu vertices)\n",
               run.num_components, run.component.size());
@@ -583,7 +620,8 @@ int cmdAnalyze(const Args& args) {
 // Digests an algorithm's semantic outputs for one run. Each branch hashes
 // exactly the values a user would consume — never timings or metrics.
 Result<std::string> runAlgoDigest(const std::string& algo,
-                                  const GofsDataset& ds) {
+                                  const GofsDataset& ds,
+                                  Schedule schedule) {
   const auto& pg = ds.partitionedGraph();
   const auto& vertex_schema = pg.graphTemplate().vertexSchema();
   const auto& edge_schema = pg.graphTemplate().edgeSchema();
@@ -607,6 +645,7 @@ Result<std::string> runAlgoDigest(const std::string& algo,
 
   if (algo == "tdsp") {
     TdspOptions options;
+    options.schedule = schedule;
     options.latency_attr = edge_schema.requireIndex(kLatencyAttr);
     const auto run = runTdsp(pg, *provider, options);
     d.addDoubles(run.tdsp);
@@ -616,6 +655,7 @@ Result<std::string> runAlgoDigest(const std::string& algo,
     d.addI64(run.exec.timesteps_executed);
   } else if (algo == "meme") {
     MemeOptions options;
+    options.schedule = schedule;
     options.tweets_attr = vertex_schema.requireIndex(kTweetsAttr);
     const auto run = runMemeTracking(pg, *provider, options);
     d.addVector(run.colored_at, [](check::Digest& dd, Timestep t) {
@@ -623,27 +663,33 @@ Result<std::string> runAlgoDigest(const std::string& algo,
     });
   } else if (algo == "hashtag") {
     HashtagOptions options;
+    options.schedule = schedule;
     options.tweets_attr = vertex_schema.requireIndex(kTweetsAttr);
     const auto run = runHashtagAggregation(pg, *provider, options);
     d.addU64s(run.counts);
     d.addI64s(run.rate_of_change);
   } else if (algo == "pagerank") {
     PageRankOptions options;
+    options.schedule = schedule;
     const auto run = runSubgraphPageRank(pg, *provider, options);
     d.addDoubles(run.ranks);
   } else if (algo == "sssp") {
     SsspOptions options;
+    options.schedule = schedule;
     options.latency_attr = edge_schema.requireIndex(kLatencyAttr);
     const auto run = runSubgraphSssp(pg, *provider, options);
     d.addDoubles(run.distances);
   } else if (algo == "wcc") {
-    const auto run = runSubgraphWcc(pg, *provider);
+    WccOptions options;
+    options.schedule = schedule;
+    const auto run = runSubgraphWcc(pg, *provider, options);
     d.addVector(run.component, [](check::Digest& dd, VertexIndex v) {
       dd.addU64(v);
     });
     d.addU64(run.num_components);
   } else if (algo == "topn") {
     TopNOptions options;
+    options.schedule = schedule;
     options.tweets_attr = vertex_schema.requireIndex(kTweetsAttr);
     const auto run = runTopActiveVertices(pg, *provider, options);
     d.addU64(run.top.size());
@@ -654,6 +700,7 @@ Result<std::string> runAlgoDigest(const std::string& algo,
     }
   } else if (algo == "tdsp-vertex") {
     VertexTdspOptions options;
+    options.schedule = schedule;
     options.latency_attr = edge_schema.requireIndex(kLatencyAttr);
     const auto run = runVertexTdsp(pg, *provider, options);
     d.addDoubles(run.tdsp);
@@ -661,6 +708,9 @@ Result<std::string> runAlgoDigest(const std::string& algo,
       dd.addI64(t);
     });
   } else if (algo == "sssp-vertex") {
+    // The plain (non-temporal) vertex-centric engine has no timestep loop
+    // and therefore no wave schedule; it always runs barriered BSP. The
+    // flag is accepted so sweeps can pass a uniform --schedule=async.
     vertexcentric::SsspVertexProgram program(0);
     vertexcentric::VertexCentricEngine engine(pg);
     const auto run = engine.run(program, vertexcentric::VcConfig{},
@@ -689,6 +739,10 @@ int cmdCheck(const Args& args) {
   if (!ds.isOk()) {
     return fail(ds.status());
   }
+  Schedule schedule = Schedule::kBsp;
+  if (!parseSchedule(args, &schedule)) {
+    return 2;
+  }
 
   // Protocol checking is on for every harness run; a violation prints its
   // diagnostic (rule, partition, superstep, flow) and aborts the process.
@@ -702,10 +756,22 @@ int cmdCheck(const Args& args) {
     return 2;
   }
 
+  // The async schedule's contract is digest-identity with BSP, not just
+  // internal determinism: run the checked BSP reference once (unperturbed)
+  // and require every async run to reproduce its digest exactly.
+  std::string bsp_reference;
+  if (schedule == Schedule::kAsync) {
+    auto reference = runAlgoDigest(algo, ds.value(), Schedule::kBsp);
+    if (!reference.isOk()) {
+      return fail(reference.status());
+    }
+    bsp_reference = std::move(reference).value();
+  }
+
   Status failed = Status::ok();
   const auto report = check::checkDeterminism(
       options, [&](std::int32_t) -> std::string {
-        auto digest = runAlgoDigest(algo, ds.value());
+        auto digest = runAlgoDigest(algo, ds.value(), schedule);
         if (!digest.isOk()) {
           failed = digest.status();
           return "";
@@ -720,7 +786,21 @@ int cmdCheck(const Args& args) {
                                                  args.positional[1])
           .c_str(),
       stdout);
-  return report.deterministic ? 0 : 1;
+  if (!report.deterministic) {
+    return 1;
+  }
+  if (schedule == Schedule::kAsync && !report.runs.empty() &&
+      report.runs.front().digest != bsp_reference) {
+    std::printf("async schedule DIVERGES from the BSP reference:\n"
+                "  bsp   %s\n  async %s\n",
+                bsp_reference.c_str(), report.runs.front().digest.c_str());
+    return 1;
+  }
+  if (schedule == Schedule::kAsync) {
+    std::printf("async digest matches the BSP reference (%s)\n",
+                bsp_reference.c_str());
+  }
+  return 0;
 }
 
 int cmdCompare(const Args& args) {
