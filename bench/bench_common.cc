@@ -13,9 +13,14 @@
 #include "generators/instances.h"
 #include "generators/topology.h"
 #include "partition/partitioner.h"
+#include "telemetry/run_telemetry.h"
 
 namespace tsg::bench {
 namespace {
+
+// Armed by parseArgs when a telemetry flag is present; finishTrace stops it
+// and writes the artifacts.
+std::unique_ptr<RunTelemetry> g_telemetry;
 
 template <typename T>
 T unwrapOrDie(Result<T> result, const char* what) {
@@ -50,6 +55,14 @@ BenchConfig parseArgs(int argc, char** argv) {
       config.trace_path = arg.substr(8);
     } else if (arg.rfind("--json=", 0) == 0) {
       config.json_path = arg.substr(7);
+    } else if (arg.rfind("--sample-ms=", 0) == 0) {
+      config.sample_ms = std::atoi(arg.c_str() + 12);
+    } else if (arg.rfind("--timeline=", 0) == 0) {
+      config.timeline_path = arg.substr(11);
+    } else if (arg.rfind("--prom=", 0) == 0) {
+      config.prom_path = arg.substr(7);
+    } else if (arg.rfind("--prom-port=", 0) == 0) {
+      config.prom_port = std::atoi(arg.c_str() + 12);
     } else if (arg.rfind("--log-level=", 0) == 0) {
       log_level_flag = arg.substr(12);
     } else if (arg.rfind("--benchmark", 0) == 0) {
@@ -58,7 +71,8 @@ BenchConfig parseArgs(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale=percent] [--timesteps=N] [--seed=S]"
-                   " [--trace=PATH] [--json=DIR]"
+                   " [--trace=PATH] [--json=DIR] [--sample-ms=N]"
+                   " [--timeline=PATH] [--prom=PATH] [--prom-port=N]"
                    " [--log-level=debug|info|warn|error]\n",
                    argv[0]);
       std::exit(2);
@@ -88,6 +102,20 @@ BenchConfig parseArgs(int argc, char** argv) {
   TSG_LOG(Info) << "log level: " << logLevelName(level);
   if (!config.trace_path.empty()) {
     Tracer::instance().start();
+  }
+  RunTelemetryOptions telemetry;
+  telemetry.sample_ms = config.sample_ms;
+  telemetry.timeline_path = config.timeline_path;
+  telemetry.prom_path = config.prom_path;
+  telemetry.prom_port = config.prom_port;
+  telemetry.label = argv[0] != nullptr ? argv[0] : "bench";
+  if (telemetry.armed()) {
+    g_telemetry = std::make_unique<RunTelemetry>(std::move(telemetry));
+    const Status status = g_telemetry->start();
+    if (!status.isOk()) {
+      std::fprintf(stderr, "bench: %s\n", status.toString().c_str());
+      std::exit(1);
+    }
   }
   return config;
 }
@@ -215,16 +243,24 @@ void emitRunStatsJson(const BenchConfig& config, const std::string& name,
 }
 
 void finishTrace(const BenchConfig& config) {
-  if (config.trace_path.empty()) {
-    return;
+  if (!config.trace_path.empty()) {
+    Tracer::instance().stop();
+    const Status status = Tracer::instance().writeJson(config.trace_path);
+    if (status.isOk()) {
+      std::printf("wrote trace: %s (%zu events)\n", config.trace_path.c_str(),
+                  Tracer::instance().eventCount());
+    } else {
+      std::fprintf(stderr, "bench: %s\n", status.toString().c_str());
+    }
   }
-  Tracer::instance().stop();
-  const Status status = Tracer::instance().writeJson(config.trace_path);
-  if (status.isOk()) {
-    std::printf("wrote trace: %s (%zu events)\n", config.trace_path.c_str(),
-                Tracer::instance().eventCount());
-  } else {
-    std::fprintf(stderr, "bench: %s\n", status.toString().c_str());
+  if (g_telemetry != nullptr) {
+    const Status status = g_telemetry->finish();
+    if (!status.isOk()) {
+      std::fprintf(stderr, "bench: %s\n", status.toString().c_str());
+    } else if (!config.timeline_path.empty()) {
+      std::printf("wrote timeline: %s\n", config.timeline_path.c_str());
+    }
+    g_telemetry.reset();
   }
 }
 

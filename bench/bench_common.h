@@ -35,11 +35,18 @@ struct BenchConfig {
   std::string data_dir;       // resolved cache directory
   std::string trace_path;     // --trace=PATH: Perfetto trace of the run
   std::string json_path;      // --json=PATH: machine-readable run stats
+
+  // Live telemetry (see src/telemetry/): any of these arms the sampler.
+  int sample_ms = -1;          // --sample-ms=N (-1 = default 10 when armed)
+  std::string timeline_path;   // --timeline=PATH: timeline JSON at exit
+  std::string prom_path;       // --prom=PATH: Prometheus exposition file
+  int prom_port = -1;          // --prom-port=N (-1 = off, 0 = ephemeral)
 };
 
-// Parses --scale=, --timesteps=, --seed=, --trace=, --json= out of argv;
-// resolves data_dir, applies TSG_LOG_LEVEL and starts the tracer if
-// --trace was given.
+// Parses --scale=, --timesteps=, --seed=, --trace=, --json= and the
+// telemetry flags (--sample-ms=, --timeline=, --prom=, --prom-port=) out of
+// argv; resolves data_dir, applies TSG_LOG_LEVEL, starts the tracer if
+// --trace was given and the telemetry sampler if any telemetry flag was.
 BenchConfig parseArgs(int argc, char** argv);
 
 // Deterministic templates. CARN default ~22.5k vertices; WIKI ~20k.
@@ -75,8 +82,9 @@ void emit(const BenchConfig& config, const std::string& name,
 void emitRunStatsJson(const BenchConfig& config, const std::string& name,
                       const RunStats& stats);
 
-// Stops the tracer and writes the trace to --trace=PATH (no-op without
-// --trace). Call once at the end of main.
+// Stops the tracer and writes the trace to --trace=PATH, then stops the
+// telemetry sampler and writes the --timeline= / final --prom= artifacts
+// (each part a no-op without its flag). Call once at the end of main.
 void finishTrace(const BenchConfig& config);
 
 }  // namespace tsg::bench

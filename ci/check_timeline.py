@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Timeline gate for the live-telemetry subsystem.
+
+Validates a --timeline= JSON artifact produced by a telemetry-on run:
+
+  * schema_version is the supported version (1);
+  * timestamps are strictly monotonic and the sample count is plausible
+    for the run's cadence;
+  * every --require-series name is present (use NAME or NAME@PARTITION);
+  * every --require-nonconstant series actually varies over the run —
+    a flat cluster.ready_queue_depth means the sampler never caught the
+    scheduler working, which is the regression this gate exists to catch;
+  * sampler overhead: given --base-run (the --json= stats of a
+    telemetry-off run of the same workload) and --run (the telemetry-on
+    run's stats), the wall_clock_ns delta must stay under
+    --max-overhead-pct, with a small absolute floor so micro-runs on
+    noisy runners don't flake.
+
+Usage:
+  check_timeline.py TIMELINE.json
+      [--require-series NAME ...]
+      [--require-nonconstant NAME ...]
+      [--base-run base.json --run telem.json]
+      [--max-overhead-pct 2.0] [--overhead-floor-ms 150]
+"""
+
+import argparse
+import json
+import sys
+
+SUPPORTED_SCHEMA = 1
+
+
+def find_series(doc, spec):
+    """spec is NAME or NAME@PARTITION (default partition -1)."""
+    name, _, part = spec.partition("@")
+    partition = int(part) if part else -1
+    for series in doc.get("series", []):
+        if series.get("name") == name and series.get("partition") == partition:
+            return series
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("timeline", help="--timeline= JSON artifact")
+    parser.add_argument("--require-series", action="append", default=[])
+    parser.add_argument("--require-nonconstant", action="append", default=[])
+    parser.add_argument("--base-run", default=None,
+                        help="--json= stats of the telemetry-off reference run")
+    parser.add_argument("--run", default=None,
+                        help="--json= stats of the telemetry-on run")
+    parser.add_argument("--max-overhead-pct", type=float, default=2.0)
+    parser.add_argument("--overhead-floor-ms", type=float, default=150.0,
+                        help="absolute overhead below this never fails")
+    args = parser.parse_args()
+
+    with open(args.timeline) as f:
+        doc = json.load(f)
+
+    errors = []
+
+    if doc.get("schema_version") != SUPPORTED_SCHEMA:
+        errors.append(
+            f"schema_version {doc.get('schema_version')} != {SUPPORTED_SCHEMA}"
+        )
+
+    t_ms = doc.get("t_ms", [])
+    if not t_ms:
+        errors.append("timeline has no samples")
+    for i in range(1, len(t_ms)):
+        if not t_ms[i] > t_ms[i - 1]:
+            errors.append(
+                f"timestamps not strictly monotonic at sample {i}: "
+                f"{t_ms[i - 1]} -> {t_ms[i]}"
+            )
+            break
+
+    for series in doc.get("series", []):
+        if len(series.get("values", [])) != len(t_ms):
+            errors.append(
+                f"series {series.get('name')} length "
+                f"{len(series.get('values', []))} != time axis {len(t_ms)}"
+            )
+
+    for spec in args.require_series:
+        if find_series(doc, spec) is None:
+            errors.append(f"required series missing: {spec}")
+
+    for spec in args.require_nonconstant:
+        series = find_series(doc, spec)
+        if series is None:
+            errors.append(f"required series missing: {spec}")
+        elif len(set(series.get("values", []))) <= 1:
+            errors.append(f"series is constant over the run: {spec}")
+
+    if args.base_run is not None and args.run is not None:
+        with open(args.base_run) as f:
+            base_wall_ns = json.load(f).get("wall_clock_ns", 0)
+        with open(args.run) as f:
+            wall_ns = json.load(f).get("wall_clock_ns", 0)
+        overhead_ns = wall_ns - base_wall_ns
+        overhead_pct = (
+            100.0 * overhead_ns / base_wall_ns if base_wall_ns > 0 else 0.0
+        )
+        floor_ns = args.overhead_floor_ms * 1e6
+        print(
+            f"sampler overhead: {overhead_ns / 1e6:.1f} ms "
+            f"({overhead_pct:+.2f}% of {base_wall_ns / 1e6:.1f} ms)"
+        )
+        if overhead_pct > args.max_overhead_pct and overhead_ns > floor_ns:
+            errors.append(
+                f"sampler overhead {overhead_pct:.2f}% exceeds "
+                f"{args.max_overhead_pct}% (and {overhead_ns / 1e6:.1f} ms "
+                f"exceeds the {args.overhead_floor_ms:.0f} ms noise floor)"
+            )
+
+    dropped = doc.get("dropped_samples", 0)
+    produced = doc.get("produced_samples", 0)
+    print(
+        f"timeline: {len(t_ms)} samples, "
+        f"{len(doc.get('series', []))} series, produced={produced}, "
+        f"dropped={dropped}, missed_ticks={doc.get('missed_ticks', 0)}"
+    )
+
+    if errors:
+        for err in errors:
+            print(f"check_timeline: FAIL: {err}")
+        return 1
+    print("check_timeline: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -104,6 +104,7 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
       point.value = point.is_gauge
                         ? cell->gauge.value()
                         : static_cast<std::int64_t>(cell->counter.value());
+      point.touches = point.is_gauge ? cell->gauge.touches() : 0;
       points.push_back(std::move(point));
     }
   }
@@ -181,6 +182,7 @@ void MetricsRegistry::reset() {
   for (Cell* cell : cells_) {
     cell->counter.value_.store(0, std::memory_order_relaxed);
     cell->gauge.value_.store(0, std::memory_order_relaxed);
+    cell->gauge.touches_.store(0, std::memory_order_relaxed);
     if (cell->histogram != nullptr) {
       Histogram& h = *cell->histogram;
       for (auto& bucket : h.buckets_) {
@@ -205,9 +207,17 @@ MetricsRegistry::Snapshot snapshotDelta(
           return std::tie(a.name, a.partition) < std::tie(b.name, b.partition);
         });
     MetricsRegistry::Point out = point;
-    if (!point.is_gauge) {
-      if (it != before.end() && it->name == point.name &&
-          it->partition == point.partition) {
+    const bool known_before = it != before.end() && it->name == point.name &&
+                              it->partition == point.partition;
+    if (point.is_gauge) {
+      // A gauge that existed before the window and was never set/add-ed
+      // during it is residue from an earlier run — drop it so concurrent or
+      // back-to-back engines do not leak each other's levels into RunStats.
+      if (known_before && it->touches == point.touches) {
+        continue;
+      }
+    } else {
+      if (known_before) {
         out.value -= it->value;
       }
       if (out.value == 0) {

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <tuple>
 #include <string_view>
 #include <vector>
 
@@ -104,14 +105,30 @@ class MetricsRegistry {
    public:
     void set(std::int64_t value) {
       value_.store(value, std::memory_order_relaxed);
+      touches_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Relaxed read-modify-write for gauges that track a live level (queue
+    // depths, in-flight messages) from many threads at once.
+    void add(std::int64_t delta) {
+      value_.fetch_add(delta, std::memory_order_relaxed);
+      touches_.fetch_add(1, std::memory_order_relaxed);
     }
     [[nodiscard]] std::int64_t value() const {
       return value_.load(std::memory_order_relaxed);
+    }
+    // Monotonic count of set()/add() calls. snapshotDelta() compares it
+    // across two snapshots to tell "this gauge moved during the window"
+    // apart from "a stale value left over from an earlier run" — value
+    // comparison alone cannot (a gauge may be rewritten to the same value,
+    // or return to it).
+    [[nodiscard]] std::uint64_t touches() const {
+      return touches_.load(std::memory_order_relaxed);
     }
 
    private:
     friend class MetricsRegistry;
     std::atomic<std::int64_t> value_{0};
+    std::atomic<std::uint64_t> touches_{0};
   };
 
   // Implementation detail (one registered metric); public only so the
@@ -140,7 +157,13 @@ class MetricsRegistry {
     std::int32_t partition = kNoPartition;
     bool is_gauge = false;
     std::int64_t value = 0;
-    friend bool operator==(const Point&, const Point&) = default;
+    // Gauge touch count at snapshot time (0 for counters); bookkeeping for
+    // snapshotDelta's stale-gauge filter, excluded from equality.
+    std::uint64_t touches = 0;
+    friend bool operator==(const Point& a, const Point& b) {
+      return std::tie(a.name, a.partition, a.is_gauge, a.value) ==
+             std::tie(b.name, b.partition, b.is_gauge, b.value);
+    }
   };
   using Snapshot = std::vector<Point>;  // sorted by (name, partition)
 
@@ -190,7 +213,9 @@ class MetricsRegistry {
 
 // Per-run view: counters report after-minus-before; gauges report the
 // `after` value. Points absent from `before` are treated as starting at 0;
-// zero-valued counter deltas are dropped.
+// zero-valued counter deltas are dropped, and gauges whose touch count did
+// not move between the snapshots are dropped too (they are stale residue
+// from outside the run window, e.g. another engine in the same process).
 MetricsRegistry::Snapshot snapshotDelta(
     const MetricsRegistry::Snapshot& before,
     const MetricsRegistry::Snapshot& after);

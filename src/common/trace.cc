@@ -5,6 +5,8 @@
 #include <mutex>
 
 #include "common/json.h"
+#include "common/log.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
 
@@ -43,6 +45,14 @@ thread_local Tracer::ThreadBuffer* t_buffer = nullptr;
 thread_local std::uint64_t t_generation = 0;
 thread_local std::string t_thread_name;
 
+// Saturation accounting: events recorded once a per-thread buffer is full
+// are dropped, counted here (for the warn-once at export) and into the
+// `trace.dropped_events` metric (for RunStats / telemetry visibility).
+std::atomic<std::size_t> g_max_events_per_buffer{
+    Tracer::kDefaultMaxEventsPerBuffer};
+std::atomic<std::uint64_t> g_dropped_events{0};
+std::atomic<bool> g_drop_warned{false};
+
 }  // namespace
 
 Tracer& Tracer::instance() {
@@ -70,11 +80,21 @@ Tracer::ThreadBuffer& Tracer::threadBuffer() {
 void Tracer::record(const TraceEvent& event) {
   auto& buffer = threadBuffer();
   std::lock_guard lock(buffer.mutex);
+  if (buffer.events.size() >=
+      g_max_events_per_buffer.load(std::memory_order_relaxed)) {
+    g_dropped_events.fetch_add(1, std::memory_order_relaxed);
+    static MetricsRegistry::Counter& dropped =
+        MetricsRegistry::global().counter("trace.dropped_events");
+    dropped.increment();
+    return;
+  }
   buffer.events.push_back(event);
 }
 
 void Tracer::start() {
   clear();
+  g_dropped_events.store(0, std::memory_order_relaxed);
+  g_drop_warned.store(false, std::memory_order_relaxed);
   trace_detail::g_trace_enabled.store(true, std::memory_order_release);
 }
 
@@ -180,7 +200,21 @@ void appendEvent(JsonWriter& json, const TraceEvent& ev, std::uint32_t tid) {
 
 }  // namespace
 
+std::size_t Tracer::droppedEventCount() {
+  return g_dropped_events.load(std::memory_order_relaxed);
+}
+
+void Tracer::setMaxEventsPerBufferForTest(std::size_t cap) {
+  g_max_events_per_buffer.store(cap, std::memory_order_relaxed);
+}
+
 std::string Tracer::toJson() {
+  const std::uint64_t dropped =
+      g_dropped_events.load(std::memory_order_relaxed);
+  if (dropped > 0 && !g_drop_warned.exchange(true)) {
+    TSG_LOG(Warn) << "trace buffers saturated: " << dropped
+                  << " events dropped; the exported trace is truncated";
+  }
   auto& reg = registry();
   std::lock_guard lock(reg.mutex);
   JsonWriter json(1 << 16);

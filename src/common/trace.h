@@ -96,8 +96,21 @@ class Tracer {
   static void setCurrentThreadName(std::string name);
 
   // Export. Call after the traced work finished (no concurrent spans open).
+  // Warns once per start() if any events were dropped (see below), so a
+  // truncated trace never silently passes for a complete one.
   [[nodiscard]] std::string toJson();
   Status writeJson(const std::string& path);
+
+  // Per-thread buffers are capped (default 1<<18 events ≈ 23 MB/thread);
+  // events recorded past the cap are discarded and counted into the
+  // `trace.dropped_events` metric. droppedEventCount() reports drops since
+  // the last start().
+  static constexpr std::size_t kDefaultMaxEventsPerBuffer = std::size_t{1}
+                                                            << 18;
+  [[nodiscard]] static std::size_t droppedEventCount();
+  // Test hook: shrink the cap so saturation is reachable without recording
+  // 2^18 events. Takes effect for subsequent record() calls.
+  static void setMaxEventsPerBufferForTest(std::size_t cap);
 
   // Introspection for tests.
   [[nodiscard]] std::size_t eventCount();

@@ -440,6 +440,13 @@ void commitRecord(ExecEnv& env, SuperstepRecord rec, Timestep counter_t) {
   // Feed the process-wide registry (atomic cells; no lock needed).
   auto& registry = MetricsRegistry::global();
   registry.counter("engine.supersteps").increment();
+  // Progress gauges for the live telemetry sampler: which (timestep,
+  // superstep) the engine most recently committed. These are what `tsgcli
+  // top` and the timeline's phase-aligned curves key on.
+  registry.gauge("engine.current_timestep")
+      .set(static_cast<std::int64_t>(rec.timestep));
+  registry.gauge("engine.current_superstep")
+      .set(static_cast<std::int64_t>(rec.superstep));
   // Phase-duration distributions across (superstep × partition) samples —
   // the spread the straggler analysis quantifies (p50/p99/max).
   auto& h_compute = registry.histogram("engine.superstep_compute_ns");

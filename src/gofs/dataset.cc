@@ -250,6 +250,52 @@ Result<GofsDataset::StorageStats> GofsDataset::storageStats() const {
 
 namespace {
 
+// Estimated heap footprint of one attribute column, for the
+// gofs.resident_bytes gauge. Exact for fixed-width types; strings count
+// payload bytes plus the string object itself (SBO storage is part of the
+// object, so short strings are not double-counted).
+std::int64_t columnBytes(const AttributeColumn& col) {
+  switch (col.type()) {
+    case AttrType::kInt64:
+      return static_cast<std::int64_t>(col.asInt64().size() *
+                                       sizeof(std::int64_t));
+    case AttrType::kDouble:
+      return static_cast<std::int64_t>(col.asDouble().size() * sizeof(double));
+    case AttrType::kBool:
+      return static_cast<std::int64_t>(col.asBool().size());
+    case AttrType::kString: {
+      std::int64_t bytes = 0;
+      for (const auto& s : col.asString()) {
+        bytes += static_cast<std::int64_t>(sizeof(std::string) + s.capacity());
+      }
+      return bytes;
+    }
+    case AttrType::kStringList: {
+      std::int64_t bytes = 0;
+      for (const auto& list : col.asStringList()) {
+        bytes += static_cast<std::int64_t>(sizeof(list));
+        for (const auto& s : list) {
+          bytes +=
+              static_cast<std::int64_t>(sizeof(std::string) + s.capacity());
+        }
+      }
+      return bytes;
+    }
+  }
+  return 0;
+}
+
+std::int64_t instanceBytes(const PartitionInstanceData& data) {
+  std::int64_t bytes = 0;
+  for (const auto& col : data.vertex_cols) {
+    bytes += columnBytes(col);
+  }
+  for (const auto& col : data.edge_cols) {
+    bytes += columnBytes(col);
+  }
+  return bytes;
+}
+
 // Lazy slice-backed provider. Caches one pack per partition; asking for a
 // timestep outside the cached pack loads (and meters) the new pack.
 class GofsInstanceProvider final : public InstanceProvider {
@@ -304,6 +350,17 @@ class GofsInstanceProvider final : public InstanceProvider {
           .increment();
       registry.counter("gofs.load_ns", static_cast<std::int32_t>(p))
           .add(static_cast<std::uint64_t>(state.load_ns - load_ns_before));
+      // Residency levels for the telemetry sampler: how many timestep
+      // slices this partition holds in memory and what they weigh. One
+      // gauge write per pack load — nowhere near the hot path.
+      std::int64_t resident_bytes = 0;
+      for (const auto& inst : state.pack_data) {
+        resident_bytes += instanceBytes(inst);
+      }
+      registry.gauge("gofs.resident_slices", static_cast<std::int32_t>(p))
+          .set(static_cast<std::int64_t>(state.pack_data.size()));
+      registry.gauge("gofs.resident_bytes", static_cast<std::int32_t>(p))
+          .set(resident_bytes);
     }
     const std::size_t offset = static_cast<std::uint32_t>(t) % packing;
     TSG_CHECK(offset < state.pack_data.size());

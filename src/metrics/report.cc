@@ -367,6 +367,47 @@ Result<LoadedRunStats> runStatsFromJson(std::string_view text) {
     loaded.stats.setMetrics(std::move(snap));
   }
 
+  // Histogram deltas: buckets come back from the sparse [index, count]
+  // pairs, so quantile() on a re-loaded run answers the same p50/p90/p99
+  // the writer resolved (compare and analyze read those).
+  const JsonValue* histograms = doc.find("histograms");
+  if (histograms != nullptr && histograms->isArray()) {
+    MetricsRegistry::HistogramSnapshots hists;
+    for (const JsonValue& h : histograms->array()) {
+      if (!h.isObject()) {
+        continue;
+      }
+      MetricsRegistry::HistogramSnapshot snap;
+      snap.name = h.stringOr("name", "");
+      snap.partition = static_cast<std::int32_t>(
+          h.intOr("partition", MetricsRegistry::kNoPartition));
+      snap.count = u64Or(h, "count", 0);
+      snap.sum = u64Or(h, "sum", 0);
+      snap.max = u64Or(h, "max", 0);
+      const JsonValue* buckets = h.find("buckets");
+      if (buckets != nullptr && buckets->isArray()) {
+        for (const JsonValue& pair : buckets->array()) {
+          if (!pair.isArray() || pair.array().size() != 2 ||
+              !pair.array()[0].isNumber() || !pair.array()[1].isNumber()) {
+            return Status::corruptData(
+                "run stats JSON: histogram bucket entries must be "
+                "[index, count] pairs");
+          }
+          const auto index =
+              static_cast<std::size_t>(pair.array()[0].intValue());
+          if (index >= snap.buckets.size()) {
+            return Status::corruptData(
+                "run stats JSON: histogram bucket index out of range");
+          }
+          snap.buckets[index] =
+              static_cast<std::uint64_t>(pair.array()[1].intValue());
+        }
+      }
+      hists.push_back(std::move(snap));
+    }
+    loaded.stats.setHistograms(std::move(hists));
+  }
+
   return loaded;
 }
 

@@ -147,9 +147,16 @@ AsyncCluster::AsyncCluster(std::uint32_t num_partitions)
       m_steals_(MetricsRegistry::global().counter("cluster.steals")),
       m_ready_wait_ns_(
           MetricsRegistry::global().counter("engine.ready_wait_ns")),
-      m_respawns_(MetricsRegistry::global().counter("cluster.respawns")) {
+      m_respawns_(MetricsRegistry::global().counter("cluster.respawns")),
+      g_ready_depth_(
+          MetricsRegistry::global().gauge("cluster.ready_queue_depth")) {
   TSG_CHECK(num_partitions > 0);
   dead_.assign(num_partitions, 0);
+  g_worker_depth_.reserve(num_partitions);
+  for (PartitionId p = 0; p < num_partitions; ++p) {
+    g_worker_depth_.push_back(&MetricsRegistry::global().gauge(
+        "cluster.worker_queue_depth", static_cast<std::int32_t>(p)));
+  }
   workers_.reserve(num_partitions);
   for (PartitionId p = 0; p < num_partitions; ++p) {
     workers_.emplace_back([this, p] { workerLoop(p, /*start_round=*/0); });
@@ -167,15 +174,23 @@ AsyncCluster::~AsyncCluster() {
   }
 }
 
+void AsyncCluster::updateReadyDepthLocked() {
+  g_ready_depth_.set(static_cast<std::int64_t>(queued_) +
+                     static_cast<std::int64_t>(executing_));
+}
+
 void AsyncCluster::pushTasksLocked(const std::vector<PartitionId>& parts,
                                    std::int32_t wave) {
   const std::int64_t now = steadyNowNs();
   for (const PartitionId p : parts) {
     TSG_CHECK(static_cast<std::size_t>(p) < deques_.size());
     deques_[static_cast<std::size_t>(p)].pushBottom(Task{p, wave, now});
+    g_worker_depth_[static_cast<std::size_t>(p)]->set(
+        static_cast<std::int64_t>(deques_[static_cast<std::size_t>(p)].size()));
   }
   queued_ += static_cast<std::uint32_t>(parts.size());
   outstanding_ += static_cast<std::uint32_t>(parts.size());
+  updateReadyDepthLocked();
   // Work is now queued; if nobody is executing, the idle clock starts
   // ticking until the first pickup.
   if (executing_ == 0 && idle_since_ns_ < 0) {
@@ -189,6 +204,8 @@ bool AsyncCluster::popTaskLocked(PartitionId w, Task* out) {
   if (auto t = deques_[static_cast<std::size_t>(w)].popBottom()) {
     *out = *t;
     --queued_;
+    g_worker_depth_[static_cast<std::size_t>(w)]->set(
+        static_cast<std::int64_t>(deques_[static_cast<std::size_t>(w)].size()));
     return true;
   }
   for (std::size_t v = 1; v < k; ++v) {
@@ -196,6 +213,8 @@ bool AsyncCluster::popTaskLocked(PartitionId w, Task* out) {
     if (auto t = deques_[victim].stealTop()) {
       *out = *t;
       --queued_;
+      g_worker_depth_[victim]->set(
+          static_cast<std::int64_t>(deques_[victim].size()));
       return true;
     }
   }
@@ -417,6 +436,7 @@ void AsyncCluster::workerLoop(PartitionId p, std::uint64_t start_round) {
                  /*salt=*/1);
     lock.lock();
     --executing_;
+    updateReadyDepthLocked();
     if (queued_ > 0 && executing_ == 0 && idle_since_ns_ < 0) {
       idle_since_ns_ = steadyNowNs();
     }
@@ -430,12 +450,14 @@ void AsyncCluster::workerLoop(PartitionId p, std::uint64_t start_round) {
         abort_detail_ = std::move(fault_detail);
       }
       // Discard queued work; in-flight tasks drain, then the phase ends.
-      for (auto& dq : deques_) {
-        while (dq.popBottom()) {
+      for (std::size_t d = 0; d < deques_.size(); ++d) {
+        while (deques_[d].popBottom()) {
           --outstanding_;
         }
+        g_worker_depth_[d]->set(0);
       }
       queued_ = 0;
+      updateReadyDepthLocked();
       idle_since_ns_ = -1;
     }
     if (--outstanding_ == 0) {

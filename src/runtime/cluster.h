@@ -185,6 +185,9 @@ class AsyncCluster {
                        std::int32_t wave);
   // Steal-scan all deques starting at w's own. Mutex must be held.
   bool popTaskLocked(PartitionId w, Task* out);
+  // Refreshes cluster.ready_queue_depth from queued_ + executing_ (tasks
+  // admitted to the current wave and not yet completed). Mutex must be held.
+  void updateReadyDepthLocked();
 
   std::mutex mutex_;
   std::condition_variable work_available_;
@@ -222,6 +225,14 @@ class AsyncCluster {
   MetricsRegistry::Counter& m_steals_;
   MetricsRegistry::Counter& m_ready_wait_ns_;
   MetricsRegistry::Counter& m_respawns_;
+  // Sampled scheduler levels for live telemetry: cluster.ready_queue_depth
+  // is the number of (partition, superstep) tasks admitted to the current
+  // wave and not yet completed (queued in deques + executing); the
+  // per-worker cluster.worker_queue_depth gauges expose each deque's depth
+  // so `tsgcli top` can show where backlog sits. Updated under mutex_ at
+  // push/pop/completion transitions — no new synchronization.
+  MetricsRegistry::Gauge& g_ready_depth_;
+  std::vector<MetricsRegistry::Gauge*> g_worker_depth_;
   std::vector<std::thread> workers_;
 };
 

@@ -22,11 +22,15 @@ MessageBus::MessageBus(std::uint32_t num_partitions)
       m_spare_misses_(
           MetricsRegistry::global().counter("bus.spare_pool_misses")),
       h_batch_messages_(
-          MetricsRegistry::global().histogram("bus.batch_messages")) {
+          MetricsRegistry::global().histogram("bus.batch_messages")),
+      g_inflight_(MetricsRegistry::global().gauge("bus.inflight_messages")) {
   TSG_CHECK(num_partitions > 0);
   for (auto& row : rows_) {
     row.boxes.resize(num_partitions);
     row.flow_ids.resize(num_partitions, 0);
+  }
+  for (auto& inbox : inboxes_) {
+    inbox.inflight_ = &g_inflight_;
   }
   // Pre-warm the spare pool to one vector per partition: the first
   // deliver() splices batches before any inbox vector has been recycled,
@@ -51,6 +55,7 @@ void MessageBus::send(PartitionId from, PartitionId to, Message msg) {
     row.stats.cross_partition_bytes += size;
   }
   ++row.pending;
+  g_inflight_.add(1);
   auto& box = row.boxes[to];
   // First message into an empty box opens the batch: start its trace flow
   // here on the sending thread, so the viewer can draw send → deliver →
@@ -76,22 +81,24 @@ std::vector<Message> MessageBus::takeSpare() {
 
 MessageBus::DeliveryStats MessageBus::deliver() {
   TraceSpan span("bus", "bus.deliver");
-  // With a checker attached, tally what still sits undrained before the
-  // recycle destroys the evidence: abandoned traffic breaks conservation.
+  // Tally what still sits undrained before the recycle destroys the
+  // evidence: abandoned traffic breaks conservation (checker) and must come
+  // off the in-flight level (telemetry). O(k) either way.
   std::uint64_t leftover_messages = 0;
   std::uint64_t leftover_flow = 0;
-  if (checker_ != nullptr) {
-    for (auto& inbox : inboxes_) {
-      leftover_messages += inbox.total_;
-      if (leftover_flow == 0) {
-        for (const std::uint64_t f : inbox.flow_ids_) {
-          if (f != 0 && inbox.total_ != 0) {
-            leftover_flow = f;
-            break;
-          }
+  for (auto& inbox : inboxes_) {
+    leftover_messages += inbox.total_;
+    if (checker_ != nullptr && leftover_flow == 0) {
+      for (const std::uint64_t f : inbox.flow_ids_) {
+        if (f != 0 && inbox.total_ != 0) {
+          leftover_flow = f;
+          break;
         }
       }
     }
+  }
+  if (leftover_messages != 0) {
+    g_inflight_.add(-static_cast<std::int64_t>(leftover_messages));
   }
   // Recycle last superstep's batch vectors (consumed or abandoned alike).
   // Abandoned batches drop their flow ids without a finish event: the arrow
@@ -176,6 +183,7 @@ void MessageBus::inject(PartitionId to, std::vector<Message> msgs) {
     inbox.stamp_t_ = checker_->timestep();
     inbox.stamp_s_ = -1;
   }
+  g_inflight_.add(static_cast<std::int64_t>(msgs.size()));
   inbox.total_ += msgs.size();
   inbox.batches_.push_back(std::move(msgs));
   inbox.flow_ids_.push_back(0);  // seeds have no send-side flow
@@ -198,6 +206,9 @@ void MessageBus::Inbox::clear() {
   if (checker_ != nullptr && total_ != 0) {
     checker_->onConsume(owner_, total_, stamp_t_, stamp_s_, drained_flow);
   }
+  if (inflight_ != nullptr && total_ != 0) {
+    inflight_->add(-static_cast<std::int64_t>(total_));
+  }
   total_ = 0;
 }
 
@@ -216,13 +227,21 @@ bool MessageBus::anyPending() const {
 }
 
 void MessageBus::clearAll() {
+  std::int64_t discarded = 0;
   for (auto& row : rows_) {
+    discarded += static_cast<std::int64_t>(row.pending);
     for (auto& box : row.boxes) {
       box.clear();
     }
     std::fill(row.flow_ids.begin(), row.flow_ids.end(), 0);
     row.stats = DeliveryStats{};
     row.pending = 0;
+  }
+  for (auto& inbox : inboxes_) {
+    discarded += static_cast<std::int64_t>(inbox.total_);
+  }
+  if (discarded != 0) {
+    g_inflight_.add(-discarded);
   }
   for (auto& inbox : inboxes_) {
     for (auto& batch : inbox.batches_) {

@@ -89,6 +89,10 @@ class MessageBus {
     PartitionId owner_ = kInvalidPartition;
     Timestep stamp_t_ = -1;
     std::int32_t stamp_s_ = -1;
+    // The bus-wide bus.inflight_messages gauge (attached at construction,
+    // like checker_): clear() subtracts what it drains so the live level
+    // stays truthful from the consuming thread.
+    MetricsRegistry::Gauge* inflight_ = nullptr;
   };
 
   explicit MessageBus(std::uint32_t num_partitions);
@@ -157,6 +161,10 @@ class MessageBus {
   MetricsRegistry::Counter& m_spare_hits_;
   MetricsRegistry::Counter& m_spare_misses_;
   Histogram& h_batch_messages_;  // messages per spliced batch
+  // Live backlog level for the telemetry sampler: messages sent or injected
+  // and not yet drained (outboxes + inboxes). +1 per send (one relaxed RMW
+  // on the hot path), -n at the drain/abandon/reset points.
+  MetricsRegistry::Gauge& g_inflight_;
 };
 
 }  // namespace tsg

@@ -1,0 +1,74 @@
+// RunTelemetry — the flag-level glue tsgcli and the bench binaries share.
+//
+// Callers fill RunTelemetryOptions from their --sample-ms / --timeline /
+// --prom / --prom-port flags; armed() says whether any of them asked for
+// telemetry. When armed, start() spawns the TelemetrySampler (and the
+// Prometheus listener / file refresher when requested) and finish() stops
+// everything and writes the timeline JSON. A run without telemetry flags
+// never constructs this object's sampler, keeping the off-path at zero cost.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "telemetry/prom.h"
+#include "telemetry/sampler.h"
+#include "telemetry/timeline.h"
+
+namespace tsg {
+
+struct RunTelemetryOptions {
+  // Cadence. <0 = unset; the effective cadence defaults to 10 ms whenever
+  // another flag arms telemetry.
+  int sample_ms = -1;
+  std::string timeline_path;  // --timeline=out.json ("" = off)
+  std::string prom_path;      // --prom=path ("" = off)
+  int prom_port = -1;         // --prom-port=N (-1 = off, 0 = ephemeral)
+  std::string label;          // stamped into the timeline
+
+  [[nodiscard]] bool armed() const {
+    return sample_ms >= 0 || !timeline_path.empty() || !prom_path.empty() ||
+           prom_port >= 0;
+  }
+};
+
+class RunTelemetry {
+ public:
+  explicit RunTelemetry(RunTelemetryOptions options);
+  ~RunTelemetry();
+
+  RunTelemetry(const RunTelemetry&) = delete;
+  RunTelemetry& operator=(const RunTelemetry&) = delete;
+
+  // Starts the sampler and (if requested) the HTTP listener. No-op when
+  // not armed. Errors (e.g. an unbindable --prom-port) are returned, not
+  // fatal: the caller decides whether to abort the run.
+  Status start();
+
+  // Stops sampling, writes the timeline JSON and the final Prometheus
+  // exposition, and shuts down the listener. Safe to call more than once;
+  // the destructor calls it too (ignoring the status).
+  Status finish();
+
+  [[nodiscard]] bool armed() const { return options_.armed(); }
+  [[nodiscard]] const TelemetrySampler* sampler() const {
+    return sampler_.get();
+  }
+  // Bound Prometheus port (for --prom-port=0); 0 when no listener runs.
+  [[nodiscard]] int promPort() const {
+    return listener_ != nullptr ? listener_->port() : 0;
+  }
+
+ private:
+  void onSample(const TelemetrySample& sample);
+
+  RunTelemetryOptions options_;
+  std::unique_ptr<TelemetrySampler> sampler_;
+  std::unique_ptr<PromHttpListener> listener_;
+  std::int64_t last_prom_write_ns_ = 0;  // sampler-thread only
+  bool finished_ = false;
+};
+
+}  // namespace tsg

@@ -1,0 +1,164 @@
+#include "telemetry/sampler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
+
+namespace tsg {
+
+TelemetryRing::TelemetryRing(std::size_t capacity)
+    : slots_(std::max<std::size_t>(1, capacity)) {}
+
+void TelemetryRing::push(TelemetrySample sample) {
+  const std::uint64_t index = produced_.load(std::memory_order_relaxed);
+  sample.index = index;
+  Slot& slot = slots_[static_cast<std::size_t>(index % slots_.size())];
+  {
+    std::unique_lock lock(slot.mutex, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      // A reader is copying this slot right now. Dropping one sample beats
+      // stalling the cadence; the producer stays wait-free.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      produced_.store(index + 1, std::memory_order_release);
+      return;
+    }
+    slot.index = index;
+    slot.sample = std::move(sample);
+  }
+  produced_.store(index + 1, std::memory_order_release);
+}
+
+bool TelemetryRing::latest(TelemetrySample& out) const {
+  const std::uint64_t produced = produced_.load(std::memory_order_acquire);
+  if (produced == 0) {
+    return false;
+  }
+  // Scan back from the newest: the newest slot may have been dropped (or be
+  // mid-overwrite from this very reader's lock), so fall back a few.
+  const std::uint64_t window =
+      std::min<std::uint64_t>(produced, slots_.size());
+  for (std::uint64_t back = 0; back < window; ++back) {
+    const std::uint64_t want = produced - 1 - back;
+    const Slot& slot = slots_[static_cast<std::size_t>(want % slots_.size())];
+    std::lock_guard lock(slot.mutex);
+    if (slot.index == want) {
+      out = slot.sample;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<TelemetrySample> TelemetryRing::collect() const {
+  const std::uint64_t produced = produced_.load(std::memory_order_acquire);
+  const std::uint64_t window =
+      std::min<std::uint64_t>(produced, slots_.size());
+  std::vector<TelemetrySample> out;
+  out.reserve(static_cast<std::size_t>(window));
+  for (std::uint64_t want = produced - window; want < produced; ++want) {
+    const Slot& slot = slots_[static_cast<std::size_t>(want % slots_.size())];
+    std::lock_guard lock(slot.mutex);
+    if (slot.index == want) {
+      out.push_back(slot.sample);
+    }
+    // Mismatch = dropped at push time or overwritten since `produced` was
+    // read; either way the sample is gone, skip it.
+  }
+  return out;
+}
+
+TelemetrySampler::TelemetrySampler(TelemetryOptions options)
+    : options_(std::move(options)),
+      ring_(options_.ring_capacity) {
+  options_.sample_ms = std::max(1, options_.sample_ms);
+}
+
+TelemetrySampler::~TelemetrySampler() { stop(); }
+
+TelemetrySample TelemetrySampler::captureSample() {
+  TelemetrySample sample;
+  sample.ts_ns = steadyNowNs();
+  sample.proc = readProcStats();
+  auto& registry = MetricsRegistry::global();
+  sample.points = registry.snapshot();
+  const auto hists = registry.histogramSnapshot();
+  sample.hists.reserve(hists.size());
+  for (const auto& h : hists) {
+    TelemetrySample::HistPoint hp;
+    hp.name = h.name;
+    hp.partition = h.partition;
+    hp.count = h.count;
+    hp.sum = h.sum;
+    hp.p50 = h.quantile(0.5);
+    hp.p99 = h.quantile(0.99);
+    sample.hists.push_back(std::move(hp));
+  }
+  return sample;
+}
+
+void TelemetrySampler::start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    stop_requested_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { threadMain(); });  // NOLINT(tsg-naked-thread)
+}
+
+void TelemetrySampler::stop() {
+  if (!running_.load(std::memory_order_acquire)) {
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void TelemetrySampler::threadMain() {
+  Tracer::setCurrentThreadName("telemetry-sampler");
+  const auto interval = std::chrono::milliseconds(options_.sample_ms);
+  auto next_tick = std::chrono::steady_clock::now();
+  while (true) {
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait_until(lock, next_tick, [this] { return stop_requested_; });
+      if (stop_requested_) {
+        // Final capture so the timeline's last sample covers the run tail.
+        break;
+      }
+    }
+    TelemetrySample sample = captureSample();
+    if (options_.on_sample) {
+      options_.on_sample(sample);
+    }
+    ring_.push(std::move(sample));
+    // Absolute schedule: if a capture overran one or more ticks, skip them
+    // (counted) rather than firing a burst of late samples.
+    next_tick += interval;
+    const auto now = std::chrono::steady_clock::now();
+    while (next_tick < now) {
+      next_tick += interval;
+      missed_ticks_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  TelemetrySample final_sample = captureSample();
+  if (options_.on_sample) {
+    options_.on_sample(final_sample);
+  }
+  ring_.push(std::move(final_sample));
+}
+
+}  // namespace tsg

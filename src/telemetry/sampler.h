@@ -1,0 +1,159 @@
+// Live telemetry: in-run sampling of the MetricsRegistry into a ring of
+// timestamped samples.
+//
+// A TelemetrySampler is a background thread that, every `sample_ms`
+// milliseconds, snapshots the process-wide MetricsRegistry (counters,
+// gauges, histogram quantiles) plus /proc/self process stats into a
+// preallocated TelemetryRing. Consumers — the timeline JSON writer, the
+// Prometheus exposition and `tsgcli top` — read the ring concurrently with
+// production.
+//
+// Cost model: nothing here exists unless a telemetry flag armed it — a run
+// without --sample-ms/--timeline/--prom* constructs no sampler, so the
+// steady-state cost when off is zero. When on, the budget is one registry
+// snapshot (~a few µs for a few hundred cells) per tick on a thread of its
+// own; the CI gate holds the end-to-end overhead under 2% of wall time.
+//
+// Ring-buffer concurrency: slots are preallocated and guarded by per-slot
+// locks. The producer only ever try_locks — if a reader happens to hold the
+// slot (it copies one sample, microseconds), the sample is dropped and
+// counted instead of blocking the cadence. So the sampler thread is
+// wait-free, readers never observe torn samples, and the structure is clean
+// under TSan (no seqlock-style benign races).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "telemetry/proc_stats.h"
+
+namespace tsg {
+
+// One captured sample: a timestamp, process stats and the registry's state.
+struct TelemetrySample {
+  std::int64_t ts_ns = 0;    // steadyNowNs() at capture
+  std::uint64_t index = 0;   // 0-based monotone sample number
+  ProcStats proc;
+  MetricsRegistry::Snapshot points;  // counters + gauges, sorted
+
+  // Derived histogram state (quantiles resolved at capture, so consumers
+  // never need the bucket arrays).
+  struct HistPoint {
+    std::string name;
+    std::int32_t partition = MetricsRegistry::kNoPartition;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p99 = 0;
+  };
+  std::vector<HistPoint> hists;
+};
+
+// Fixed-capacity ring of samples: single producer (the sampler thread),
+// any number of concurrent readers. Retains the most recent `capacity`
+// samples; older ones are overwritten in place (no allocation after
+// construction beyond the sample payloads themselves).
+class TelemetryRing {
+ public:
+  explicit TelemetryRing(std::size_t capacity);
+
+  TelemetryRing(const TelemetryRing&) = delete;
+  TelemetryRing& operator=(const TelemetryRing&) = delete;
+
+  // Producer side. Never blocks: a slot held by a reader drops the sample
+  // (counted in droppedSamples()).
+  void push(TelemetrySample sample);
+
+  // Copies the most recent sample; false if nothing was produced yet.
+  [[nodiscard]] bool latest(TelemetrySample& out) const;
+
+  // Copies all retained samples, oldest first. Samples overwritten while
+  // collecting are skipped (their slot index no longer fits the window).
+  [[nodiscard]] std::vector<TelemetrySample> collect() const;
+
+  // Total samples offered to push() (including dropped / overwritten).
+  [[nodiscard]] std::uint64_t produced() const {
+    return produced_.load(std::memory_order_acquire);
+  }
+  // Samples dropped because a reader held the slot at push time.
+  [[nodiscard]] std::uint64_t droppedSamples() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    mutable std::mutex mutex;
+    // Sample index stored here, or kEmpty. Guarded by mutex.
+    std::uint64_t index = kEmpty;
+    TelemetrySample sample;
+  };
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> produced_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+struct TelemetryOptions {
+  int sample_ms = 10;               // cadence; clamped to >= 1
+  std::size_t ring_capacity = 8192; // samples retained
+  std::string label;                // run label, stamped into the timeline
+  // Invoked on the sampler thread after each captured sample (Prometheus
+  // file refresh hangs off this). Keep it cheap; it runs inside the tick.
+  std::function<void(const TelemetrySample&)> on_sample;
+};
+
+// The background sampling thread. start() spawns it, stop() joins it; the
+// destructor stops. captureSample() is exposed so tests and `tsgcli top`
+// can take a sample synchronously without the thread.
+class TelemetrySampler {
+ public:
+  explicit TelemetrySampler(TelemetryOptions options);
+  ~TelemetrySampler();
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] const TelemetryRing& ring() const { return ring_; }
+  [[nodiscard]] const TelemetryOptions& options() const { return options_; }
+
+  // Ticks the sampler missed because a capture overran the cadence (the
+  // schedule skips forward rather than bunching late samples).
+  [[nodiscard]] std::uint64_t missedTicks() const {
+    return missed_ticks_.load(std::memory_order_relaxed);
+  }
+
+  // One synchronous capture of registry + process state (does not touch
+  // the ring).
+  [[nodiscard]] static TelemetrySample captureSample();
+
+ private:
+  void threadMain();
+
+  TelemetryOptions options_;
+  TelemetryRing ring_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> missed_ticks_{0};
+  std::thread thread_;  // NOLINT(tsg-naked-thread) — long-lived background
+                        // sampler, deliberately outside the worker pools so
+                        // it can observe them.
+};
+
+}  // namespace tsg

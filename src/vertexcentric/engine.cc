@@ -286,6 +286,10 @@ VcResult VertexCentricEngine::run(
     traceCounter("vc.delivered_messages", static_cast<std::int64_t>(delivered));
     {
       registry.counter("vc.supersteps").increment();
+      // Live-progress gauge (shared series name with the TI engines so the
+      // telemetry consumers need no per-engine cases).
+      registry.gauge("engine.current_superstep")
+          .set(static_cast<std::int64_t>(s));
       std::uint64_t computed = 0;
       auto& h_compute = registry.histogram("vc.superstep_compute_ns");
       auto& h_send = registry.histogram("vc.superstep_send_ns");

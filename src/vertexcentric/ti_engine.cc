@@ -379,6 +379,11 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
                    static_cast<std::int64_t>(delivered));
       {
         registry.counter("vc.supersteps").increment();
+        // Live-progress gauges (series names shared with the core engine).
+        registry.gauge("engine.current_timestep")
+            .set(static_cast<std::int64_t>(t));
+        registry.gauge("engine.current_superstep")
+            .set(static_cast<std::int64_t>(s));
         std::uint64_t computed = 0;
         auto& h_compute = registry.histogram("vc.superstep_compute_ns");
         auto& h_send = registry.histogram("vc.superstep_send_ns");

@@ -147,5 +147,71 @@ TEST(Report, JsonRoundTripsAgainstEngineRun) {
   EXPECT_NE(json.find("\"engine.supersteps\""), std::string::npos);
 }
 
+// Full round-trip through runStatsFromJson, including the PR-6 scheduler
+// counters and histogram quantiles the loader previously dropped.
+TEST(Report, RunStatsJsonRoundTripPreservesMetricsAndHistograms) {
+  RunStats stats = sampleStats();
+  stats.setMetrics({{"cluster.barrier_skips", MetricsRegistry::kNoPartition,
+                     false, 12},
+                    {"cluster.barrier_wait_ns",
+                     MetricsRegistry::kNoPartition, false, 5'000'000},
+                    {"cluster.steals", MetricsRegistry::kNoPartition, false,
+                     3},
+                    {"cluster.waves", MetricsRegistry::kNoPartition, false,
+                     9},
+                    {"cluster.worker_queue_depth", 1, true, 4},
+                    {"engine.ready_wait_ns", MetricsRegistry::kNoPartition,
+                     false, 777}});
+
+  MetricsRegistry::HistogramSnapshot compute;
+  compute.name = "engine.superstep_compute_ns";
+  compute.buckets[3] = 5;
+  compute.buckets[10] = 5;
+  compute.count = 10;
+  compute.sum = 12'345;
+  compute.max = 1024;
+  MetricsRegistry::HistogramSnapshot batch;
+  batch.name = "bus.batch_messages";
+  batch.partition = 1;
+  batch.buckets[2] = 1;
+  batch.count = 1;
+  batch.sum = 3;
+  batch.max = 3;
+  stats.setHistograms({compute, batch});
+
+  const auto json = runStatsToJson(stats, "roundtrip");
+  ASSERT_TRUE(testing::isValidJson(json));
+  auto loaded = runStatsFromJson(json);
+  ASSERT_TRUE(loaded.isOk()) << loaded.status().toString();
+  const RunStats& got = loaded.value().stats;
+
+  EXPECT_EQ(loaded.value().label, "roundtrip");
+  EXPECT_EQ(got.wallClockNs(), stats.wallClockNs());
+  EXPECT_EQ(got.totalSupersteps(), stats.totalSupersteps());
+  EXPECT_EQ(got.totalMessages(), stats.totalMessages());
+  EXPECT_EQ(got.metrics(), stats.metrics());
+
+  ASSERT_EQ(got.histograms().size(), 2u);
+  // Point::operator== covers name/partition; HistogramSnapshot's default
+  // equality covers buckets too, so quantiles answer identically.
+  EXPECT_EQ(got.histograms()[0], stats.histograms()[0]);
+  EXPECT_EQ(got.histograms()[1], stats.histograms()[1]);
+  EXPECT_EQ(got.histograms()[0].quantile(0.5),
+            stats.histograms()[0].quantile(0.5));
+  EXPECT_EQ(got.histograms()[0].quantile(0.99),
+            stats.histograms()[0].quantile(0.99));
+}
+
+TEST(Report, RunStatsJsonRejectsMalformedHistogramBuckets) {
+  // Bucket entries must be [index, count] pairs with the index in range.
+  const std::string base =
+      "{\"schema_version\":1,\"num_partitions\":1,\"supersteps\":[],"
+      "\"histograms\":[{\"name\":\"h.x\",\"count\":1,\"sum\":1,\"max\":1,"
+      "\"buckets\":";
+  EXPECT_FALSE(runStatsFromJson(base + "[[0]]}]}").isOk());
+  EXPECT_FALSE(runStatsFromJson(base + "[[9999,1]]}]}").isOk());
+  EXPECT_TRUE(runStatsFromJson(base + "[[2,1]]}]}").isOk());
+}
+
 }  // namespace
 }  // namespace tsg

@@ -24,6 +24,14 @@ express, mirroring the contracts documented in the headers they protect:
                    from a single seed (the determinism harness depends on
                    this).
 
+  metric-name      MetricsRegistry lookups (.counter/.gauge/.histogram)
+                   must pass a string literal named <subsystem>.<snake_case>
+                   (e.g. "bus.inflight_messages"). Runtime-concatenated
+                   names would make the Prometheus exposition (telemetry/
+                   prom) unstable across builds and defeat handle caching.
+                   Exempt: src/common/metrics.* (the registry itself) and
+                   tests (which use throwaway names).
+
 Usage: python3 tools/lint.py [--root DIR] [files...]
 With no file arguments, lints every tracked C++ file under src/, tools/,
 tests/ and benchmarks/. Exits non-zero if any violation is found.
@@ -53,6 +61,11 @@ RNG_RE = re.compile(
     r"(?<![\w:])(?:rand|srand|drand48|srand48)\s*\("
     r"|\bstd::random_device\b|\bstd::mt19937(?:_64)?\b|\bstd::default_random_engine\b"
 )
+
+METRIC_CALL_RE = re.compile(r"\.(counter|gauge|histogram)\s*\(")
+# <subsystem>.<snake_case>, possibly more dotted segments (e.g. a ".p99"
+# suffix); every segment is lowercase snake_case.
+METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9][a-z0-9_]*)+$")
 
 
 def norm(path):
@@ -111,6 +124,69 @@ def rng_exempt(relpath):
     return relpath.startswith("src/common/rng.")
 
 
+def metric_exempt(relpath):
+    if relpath.startswith("src/common/metrics."):
+        return True
+    return relpath.startswith("tests/")
+
+
+def strip_comment(line):
+    """Drops a trailing // comment but KEEPS string literal contents (the
+    metric-name rule needs to read them, unlike code_portion)."""
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c == '"' or c == "'":
+            quote = c
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    i += 1
+                    break
+                i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            return line[:i]
+        i += 1
+    return line
+
+
+def check_metric_names(lines, lineno, line):
+    """Yields (rule, message) for .counter(/.gauge(/.histogram( call sites
+    on `line` whose first argument is not a literal <subsystem>.<name>.
+    `lines`/`lineno` let a call broken after the '(' read its literal from
+    the next line."""
+    for match in METRIC_CALL_RE.finditer(line):
+        rest = line[match.end():]
+        if not rest.strip() and lineno < len(lines):
+            rest = strip_comment(lines[lineno]).strip()  # literal on next line
+        rest = rest.lstrip()
+        if not rest:
+            continue
+        if rest[0] != '"':
+            # Parameter declarations ("std::string_view name") and forwarding
+            # helpers live in the exempt registry; everywhere else the first
+            # argument must be a literal so exposition names are greppable.
+            yield (
+                "metric-name",
+                f"{match.group(1)}() name must be a string literal, not a "
+                "computed value (Prometheus series names must be stable)",
+            )
+            continue
+        end = rest.find('"', 1)
+        name = rest[1:end] if end > 0 else ""
+        if not METRIC_NAME_RE.match(name):
+            yield (
+                "metric-name",
+                f'metric name "{name}" must follow <subsystem>.<snake_case> '
+                '(e.g. "bus.inflight_messages")',
+            )
+
+
 def lint_file(root, relpath):
     violations = []
     try:
@@ -158,6 +234,11 @@ def lint_file(root, relpath):
                         "common/ThreadPool, not std::thread",
                     )
                 )
+
+        if not metric_exempt(relpath) and "metric-name" not in suppressed:
+            code = strip_comment(raw)
+            for rule, message in check_metric_names(lines, lineno, code):
+                violations.append((relpath, lineno, rule, message))
 
         if not rng_exempt(relpath) and "unseeded-rng" not in suppressed:
             match = RNG_RE.search(line)

@@ -26,6 +26,8 @@
 // environment variable (debug|info|warn|error) or the --log-level= flag
 // (the flag wins).
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +35,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "algorithms/hashtag.h"
@@ -59,7 +62,13 @@
 #include "metrics/report.h"
 #include "partition/partitioner.h"
 #include "runtime/fault_injector.h"
+#include "telemetry/run_telemetry.h"
+#include "telemetry/timeline.h"
 #include "vertexcentric/programs.h"
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
 
 namespace {
 
@@ -128,11 +137,21 @@ int usage() {
       "           the BSP protocol checker on; exit 1 if outputs diverge\n"
       "           (with --schedule=async, also runs the BSP reference once\n"
       "            and requires the async digests to match it)\n"
-      "  analyze  RUN.json\n"
+      "  analyze  RUN.json | --timeline=TIMELINE.json\n"
       "  compare  BASE.json CANDIDATE.json [--max-regress=PCT]\n"
+      "  top      ALGO DIR [--schedule=bsp|async] [--sample-ms=N]\n"
+      "           [--refresh-ms=N]\n"
+      "           runs ALGO with the telemetry sampler on and renders a\n"
+      "           live progress view until the job completes\n"
       "analysis commands also take:\n"
       "  --trace=PATH   write a Perfetto/Chrome trace of the run\n"
       "  --json=PATH    write machine-readable run stats (JSON)\n"
+      "  --sample-ms=N  telemetry sampling cadence (default 10 when any\n"
+      "                 telemetry flag is present; off otherwise)\n"
+      "  --timeline=PATH  write the sampled timeline JSON at exit\n"
+      "                   (for `analyze`, the flag names a file to read)\n"
+      "  --prom=PATH    rewrite a Prometheus text exposition during the run\n"
+      "  --prom-port=N  serve the exposition over HTTP (0 = ephemeral port)\n"
       "  --checkpoint=DIR  checkpoint each timestep to DIR and recover from\n"
       "                    injected worker faults (serial temporal mode)\n"
       "  --schedule=bsp|async  superstep scheduling: global barrier (bsp,\n"
@@ -595,6 +614,26 @@ Result<LoadedRunStats> loadRunStatsFile(const std::string& path) {
 }
 
 int cmdAnalyze(const Args& args) {
+  // For analyze, --timeline= names a file to READ (written earlier by a run
+  // command); render the Fig. 7-style utilization/progress curves from it.
+  const std::string timeline_path = args.get("timeline", "");
+  if (!timeline_path.empty()) {
+    auto bytes = readFileBytes(timeline_path);
+    if (!bytes.isOk()) {
+      return fail(bytes.status());
+    }
+    auto timeline = timelineFromJson(std::string_view(
+        reinterpret_cast<const char*>(bytes.value().data()),
+        bytes.value().size()));
+    if (!timeline.isOk()) {
+      return fail(Status(timeline.status().code(),
+                         timeline_path + ": " + timeline.status().message()));
+    }
+    std::fputs(renderTimelineCurves(timeline.value()).c_str(), stdout);
+    if (args.positional.empty()) {
+      return 0;
+    }
+  }
   if (args.positional.empty()) {
     std::fputs("tsgcli analyze: missing RUN.json argument\n", stderr);
     return 2;
@@ -803,6 +842,188 @@ int cmdCheck(const Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// top — live terminal view of a running job, fed by the telemetry ring.
+// ---------------------------------------------------------------------------
+
+std::int64_t pointTotal(const MetricsRegistry::Snapshot& points,
+                        std::string_view name) {
+  std::int64_t total = 0;
+  for (const auto& p : points) {
+    if (p.name == name) {
+      total += p.value;
+    }
+  }
+  return total;
+}
+
+const MetricsRegistry::Point* findPoint(
+    const MetricsRegistry::Snapshot& points, std::string_view name,
+    std::int32_t partition) {
+  for (const auto& p : points) {
+    if (p.partition == partition && p.name == name) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+// Per-second rate of a counter between two samples.
+double rateOf(const TelemetrySample& now, const TelemetrySample& prev,
+              std::string_view name) {
+  const double dt_s = static_cast<double>(now.ts_ns - prev.ts_ns) / 1e9;
+  if (dt_s <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(pointTotal(now.points, name) -
+                             pointTotal(prev.points, name)) /
+         dt_s;
+}
+
+std::string renderTopFrame(const std::string& algo,
+                           std::uint32_t num_partitions,
+                           const TelemetrySample& now,
+                           const TelemetrySample* prev, double elapsed_s) {
+  std::string out = "tsgcli top — " + algo + "   elapsed " +
+                    TextTable::fmtDouble(elapsed_s, 1) + " s";
+  if (now.proc.valid) {
+    out += "   rss " +
+           TextTable::fmtDouble(
+               static_cast<double>(now.proc.rss_bytes) / (1024.0 * 1024.0),
+               1) +
+           " MB   threads " + std::to_string(now.proc.threads);
+  }
+  out += "\n";
+  out += "timestep " +
+         std::to_string(pointTotal(now.points, "engine.current_timestep")) +
+         "   superstep " +
+         std::to_string(pointTotal(now.points, "engine.current_superstep")) +
+         "   ready " +
+         std::to_string(pointTotal(now.points, "cluster.ready_queue_depth")) +
+         "   bus backlog " +
+         std::to_string(pointTotal(now.points, "bus.inflight_messages"));
+  if (prev != nullptr) {
+    out += "   waves/s " + TextTable::fmtDouble(
+                               rateOf(now, *prev, "cluster.waves"), 0) +
+           "   steals/s " + TextTable::fmtDouble(
+                                rateOf(now, *prev, "cluster.steals"), 0) +
+           "   skips/s " +
+           TextTable::fmtDouble(rateOf(now, *prev, "cluster.barrier_skips"),
+                                0) +
+           "   msg/s " +
+           TextTable::fmtDouble(rateOf(now, *prev, "bus.messages_delivered"),
+                                0);
+  }
+  out += "\n";
+  TextTable table({"partition", "subgraphs", "deque", "msgs sent",
+                   "resident MB"});
+  for (std::uint32_t p = 0; p < num_partitions; ++p) {
+    const auto part = static_cast<std::int32_t>(p);
+    const auto* computed =
+        findPoint(now.points, "engine.subgraphs_computed", part);
+    const auto* deque =
+        findPoint(now.points, "cluster.worker_queue_depth", part);
+    const auto* sent = findPoint(now.points, "engine.messages_sent", part);
+    const auto* resident = findPoint(now.points, "gofs.resident_bytes", part);
+    table.addRow({std::to_string(p),
+                  computed != nullptr
+                      ? TextTable::fmtCount(
+                            static_cast<std::uint64_t>(computed->value))
+                      : "-",
+                  deque != nullptr ? std::to_string(deque->value) : "-",
+                  sent != nullptr
+                      ? TextTable::fmtCount(
+                            static_cast<std::uint64_t>(sent->value))
+                      : "-",
+                  resident != nullptr
+                      ? TextTable::fmtDouble(
+                            static_cast<double>(resident->value) / 1e6, 1)
+                      : "-"});
+  }
+  out += table.render();
+  return out;
+}
+
+int cmdTop(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::fputs("tsgcli top: need <algo> and <dataset dir> arguments\n",
+               stderr);
+    return 2;
+  }
+  const std::string& algo = args.positional[0];
+  auto ds = GofsDataset::open(args.positional[1]);
+  if (!ds.isOk()) {
+    return fail(ds.status());
+  }
+  Schedule schedule = Schedule::kBsp;
+  if (!parseSchedule(args, &schedule)) {
+    return 2;
+  }
+  const auto num_partitions = ds.value().partitionedGraph().numPartitions();
+
+  TelemetryOptions sampler_options;
+  sampler_options.sample_ms =
+      static_cast<int>(args.getInt("sample-ms", 20));
+  sampler_options.label = "top " + algo;
+  TelemetrySampler sampler(sampler_options);
+  sampler.start();
+
+  // The job runs on its own thread so this one can keep redrawing. The
+  // digest result is only read after join().
+  Result<std::string> digest = Status::internal("job did not run");
+  std::atomic<bool> done{false};
+  std::thread job([&] {  // NOLINT(tsg-naked-thread)
+    digest = runAlgoDigest(algo, ds.value(), schedule);
+    done.store(true, std::memory_order_release);
+  });
+
+  const auto refresh =
+      std::chrono::milliseconds(args.getInt("refresh-ms", 200));
+#ifdef __linux__
+  const bool tty = isatty(fileno(stdout)) != 0;
+#else
+  const bool tty = false;
+#endif
+  const std::int64_t t0 = steadyNowNs();
+  TelemetrySample prev;
+  bool has_prev = false;
+  while (!done.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(refresh);
+    TelemetrySample sample;
+    if (!sampler.ring().latest(sample)) {
+      continue;
+    }
+    const double elapsed_s = static_cast<double>(steadyNowNs() - t0) / 1e9;
+    const std::string frame =
+        renderTopFrame(algo, num_partitions, sample,
+                       has_prev ? &prev : nullptr, elapsed_s);
+    if (tty) {
+      // Home + clear-to-end redraw keeps the view stable in a terminal.
+      std::printf("\x1b[H\x1b[2J%s", frame.c_str());
+      std::fflush(stdout);
+    } else {
+      std::printf("%s---\n", frame.c_str());
+    }
+    prev = std::move(sample);
+    has_prev = true;
+  }
+  job.join();
+  sampler.stop();
+
+  // Final frame from a synchronous capture so the end state is exact.
+  const double elapsed_s = static_cast<double>(steadyNowNs() - t0) / 1e9;
+  const TelemetrySample last = TelemetrySampler::captureSample();
+  std::printf("%s", renderTopFrame(algo, num_partitions, last,
+                                   has_prev ? &prev : nullptr, elapsed_s)
+                        .c_str());
+  if (!digest.isOk()) {
+    return fail(digest.status());
+  }
+  std::printf("done in %.1f s; digest %s\n", elapsed_s,
+              digest.value().c_str());
+  return 0;
+}
+
 int cmdCompare(const Args& args) {
   if (args.positional.size() < 2) {
     std::fputs("tsgcli compare: need BASE.json and CANDIDATE.json\n", stderr);
@@ -860,6 +1081,9 @@ int dispatch(const std::string& command, const Args& args) {
   if (command == "compare") {
     return cmdCompare(args);
   }
+  if (command == "top") {
+    return cmdTop(args);
+  }
   std::fprintf(stderr, "tsgcli: unknown command '%s'\n", command.c_str());
   return usage();
 }
@@ -902,7 +1126,43 @@ int main(int argc, char** argv) {
   if (!trace_path.empty()) {
     Tracer::instance().start();
   }
+  // Live telemetry wraps the run commands only: `analyze` reads --timeline=
+  // instead of writing it, `top` drives its own sampler, and compare /
+  // generate / inspect have nothing to sample.
+  RunTelemetryOptions telemetry_options;
+  telemetry_options.sample_ms =
+      args.has("sample-ms")
+          ? static_cast<int>(args.getInt("sample-ms", 10))
+          : -1;
+  telemetry_options.timeline_path = args.get("timeline", "");
+  telemetry_options.prom_path = args.get("prom", "");
+  telemetry_options.prom_port =
+      args.has("prom-port")
+          ? static_cast<int>(args.getInt("prom-port", 0))
+          : -1;
+  telemetry_options.label = command;
+  const bool run_command = command == "tdsp" || command == "meme" ||
+                           command == "hashtag" || command == "pagerank" ||
+                           command == "wcc" || command == "check";
+  RunTelemetry telemetry(run_command ? telemetry_options
+                                     : RunTelemetryOptions{});
+  if (telemetry.armed()) {
+    const Status status = telemetry.start();
+    if (!status.isOk()) {
+      std::fprintf(stderr, "tsgcli: %s\n", status.toString().c_str());
+      return 1;
+    }
+  }
   const int rc = dispatch(command, args);
+  {
+    const Status status = telemetry.finish();
+    if (!status.isOk()) {
+      std::fprintf(stderr, "tsgcli: %s\n", status.toString().c_str());
+    } else if (!telemetry_options.timeline_path.empty() && run_command) {
+      std::printf("wrote timeline: %s\n",
+                  telemetry_options.timeline_path.c_str());
+    }
+  }
   if (!trace_path.empty()) {
     Tracer::instance().stop();
     const Status status = Tracer::instance().writeJson(trace_path);
