@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Perf-trajectory bookkeeping for CI.
+
+Each CI run produces BENCH_micro.json (bsp) and BENCH_micro.async.json for
+the seeded smoke workload. This script condenses both into one JSON line —
+label, schedule, wall clock, modelled parallel time, and the run totals —
+and appends it to a trajectory file (one line per run, oldest first), so
+the artifact accumulates a per-commit performance history that plots with
+a one-liner. It also refreshes a full snapshot of the bsp run
+(BENCH_micro.latest.json at the repo root) as the browsable "current
+numbers" document.
+
+Usage:
+  append_trajectory.py --trajectory ci/BENCH_trajectory.jsonl
+      [--latest BENCH_micro.latest.json] [--commit SHA]
+      BENCH_micro.json [BENCH_micro.async.json ...]
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+
+def summarize(path, commit):
+    with open(path) as f:
+        doc = json.load(f)
+    totals = doc.get("totals", {})
+    entry = {
+        "commit": commit,
+        "label": doc.get("label", os.path.basename(path)),
+        "schema_version": doc.get("schema_version"),
+        "wall_clock_ns": doc.get("wall_clock_ns", 0),
+        "modelled_parallel_ns": doc.get("modelled_parallel_ns", 0),
+        "num_partitions": doc.get("num_partitions", 0),
+        "num_timesteps": doc.get("num_timesteps", 0),
+        "supersteps": totals.get("supersteps", 0),
+        "delivered_messages": totals.get("delivered_messages", 0),
+        "cross_partition_bytes": totals.get("cross_partition_bytes", 0),
+    }
+    return entry
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--trajectory", required=True,
+                        help="JSONL file to append run summaries to")
+    parser.add_argument("--latest", default=None,
+                        help="copy the first run document here verbatim")
+    parser.add_argument("--commit", default=os.environ.get(
+        "GITHUB_SHA", "local"))
+    parser.add_argument("runs", nargs="+",
+                        help="BENCH_*.json run-stats documents")
+    args = parser.parse_args()
+
+    entries = [summarize(path, args.commit) for path in args.runs]
+    with open(args.trajectory, "a") as f:
+        for entry in entries:
+            f.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    if args.latest:
+        shutil.copyfile(args.runs[0], args.latest)
+
+    with open(args.trajectory) as f:
+        total = sum(1 for line in f if line.strip())
+    print(
+        f"append_trajectory: +{len(entries)} entries "
+        f"({total} total) -> {args.trajectory}"
+        + (f"; snapshot -> {args.latest}" if args.latest else "")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

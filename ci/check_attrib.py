@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""CI gate for the cost-attribution profiler.
+
+Takes a paired run of the same workload with the profiler off (--base-run)
+and on (--run, produced with --profile=) and checks:
+
+  * the profiler-on run carries an `attribution` block with the supported
+    schema version;
+  * conservation: summing the attribution cells over each partition's
+    subgraphs reproduces the engine meters recorded per superstep
+    (subgraphs_computed, messages_sent, bytes_sent) exactly, and inbound
+    totals equal outbound totals;
+  * sketch sanity: every heavy hitter's error is bounded by its weight and
+    by the sketch's total weight;
+  * profiler overhead: the wall-clock delta between the two runs must stay
+    under --max-overhead-pct, with an absolute floor so micro-runs on
+    noisy runners don't flake (same logic as check_timeline.py).
+
+Usage:
+  check_attrib.py --base-run base.json --run attrib.json
+      [--max-overhead-pct 2.0] [--overhead-floor-ms 150]
+"""
+
+import argparse
+import json
+import sys
+
+SUPPORTED_SCHEMA = 1
+
+
+def partition_meter_sums(doc, num_partitions):
+    """Per-partition (computes, msgs, bytes) from the superstep records."""
+    computes = [0] * num_partitions
+    msgs = [0] * num_partitions
+    bytes_ = [0] * num_partitions
+    for rec in doc.get("supersteps", []):
+        for p, part in enumerate(rec.get("parts", [])):
+            if p >= num_partitions:
+                break
+            computes[p] += part.get("subgraphs_computed", 0)
+            msgs[p] += part.get("messages_sent", 0)
+            bytes_[p] += part.get("bytes_sent", 0)
+    return computes, msgs, bytes_
+
+
+def partition_attrib_sums(attrib):
+    """Per-partition sums of the attribution cells, grouped by owner."""
+    num_partitions = attrib.get("num_partitions", 0)
+    owners = [sg.get("partition", -1) for sg in attrib.get("subgraphs", [])]
+    computes = [0] * num_partitions
+    msgs = [0] * num_partitions
+    bytes_ = [0] * num_partitions
+    # Row cells are fixed-order arrays:
+    # [compute_ns, computes, msgs_out, bytes_out, resident_bytes].
+    for row in attrib.get("rows", []):
+        for sg, cell in enumerate(row):
+            p = owners[sg]
+            if 0 <= p < num_partitions:
+                computes[p] += cell[1]
+                msgs[p] += cell[2]
+                bytes_[p] += cell[3]
+    return computes, msgs, bytes_
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--base-run", required=True,
+                        help="--json= stats of the profiler-off run")
+    parser.add_argument("--run", required=True,
+                        help="--json= stats of the profiler-on run")
+    parser.add_argument("--max-overhead-pct", type=float, default=2.0)
+    parser.add_argument("--overhead-floor-ms", type=float, default=150.0,
+                        help="absolute overhead below this never fails")
+    args = parser.parse_args()
+
+    with open(args.base_run) as f:
+        base = json.load(f)
+    with open(args.run) as f:
+        run = json.load(f)
+
+    errors = []
+
+    attrib = run.get("attribution")
+    if attrib is None:
+        print("check_attrib: FAIL: profiler-on run has no attribution block")
+        return 1
+    if attrib.get("schema_version") != SUPPORTED_SCHEMA:
+        errors.append(
+            f"attribution schema_version {attrib.get('schema_version')} "
+            f"!= {SUPPORTED_SCHEMA}"
+        )
+
+    num_partitions = attrib.get("num_partitions", 0)
+    meters = partition_meter_sums(run, num_partitions)
+    cells = partition_attrib_sums(attrib)
+    for label, meter, cell in zip(
+        ("computes", "messages", "bytes"), meters, cells
+    ):
+        for p, (m, c) in enumerate(zip(meter, cell)):
+            if m != c:
+                errors.append(
+                    f"{label} do not reconcile on partition {p}: "
+                    f"attribution {c} != engine meter {m}"
+                )
+
+    out_msgs = sum(c[2] for row in attrib.get("rows", []) for c in row)
+    out_bytes = sum(c[3] for row in attrib.get("rows", []) for c in row)
+    in_msgs = sum(attrib.get("msgs_in", []))
+    in_bytes = sum(attrib.get("bytes_in", []))
+    if in_msgs != out_msgs:
+        errors.append(f"inbound messages {in_msgs} != outbound {out_msgs}")
+    if in_bytes != out_bytes:
+        errors.append(f"inbound bytes {in_bytes} != outbound {out_bytes}")
+
+    for name, weight_key in (("hot_compute", "sketch_weight_compute"),
+                             ("hot_fanout", "sketch_weight_fanout")):
+        total = attrib.get(weight_key, 0)
+        for hot in attrib.get(name, []):
+            if hot.get("error", 0) > hot.get("weight", 0):
+                errors.append(
+                    f"{name} vertex {hot.get('vertex')}: error "
+                    f"{hot.get('error')} exceeds weight {hot.get('weight')}"
+                )
+            if hot.get("weight", 0) > total:
+                errors.append(
+                    f"{name} vertex {hot.get('vertex')}: weight "
+                    f"{hot.get('weight')} exceeds sketch total {total}"
+                )
+
+    base_wall_ns = base.get("wall_clock_ns", 0)
+    wall_ns = run.get("wall_clock_ns", 0)
+    overhead_ns = wall_ns - base_wall_ns
+    overhead_pct = (
+        100.0 * overhead_ns / base_wall_ns if base_wall_ns > 0 else 0.0
+    )
+    floor_ns = args.overhead_floor_ms * 1e6
+    print(
+        f"profiler overhead: {overhead_ns / 1e6:.1f} ms "
+        f"({overhead_pct:+.2f}% of {base_wall_ns / 1e6:.1f} ms)"
+    )
+    if overhead_pct > args.max_overhead_pct and overhead_ns > floor_ns:
+        errors.append(
+            f"profiler overhead {overhead_pct:.2f}% exceeds "
+            f"{args.max_overhead_pct}% (and {overhead_ns / 1e6:.1f} ms "
+            f"exceeds the {args.overhead_floor_ms:.0f} ms noise floor)"
+        )
+
+    print(
+        f"attribution: {len(attrib.get('subgraphs', []))} subgraphs, "
+        f"{attrib.get('num_rows', 0)} rows, "
+        f"{len(attrib.get('hot_compute', []))} hot-compute / "
+        f"{len(attrib.get('hot_fanout', []))} hot-fanout vertices"
+    )
+
+    if errors:
+        for err in errors:
+            print(f"check_attrib: FAIL: {err}")
+        return 1
+    print("check_attrib: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

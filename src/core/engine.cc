@@ -21,6 +21,7 @@
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "gofs/checkpoint.h"
+#include "profile/profiler.h"
 #include "runtime/cluster.h"
 #include "runtime/fault_injector.h"
 #include "runtime/message_bus.h"
@@ -222,6 +223,9 @@ void SubgraphContext::sendToSubgraph(SubgraphId dst, PayloadBuffer payload) {
   msg.payload = std::move(payload);
   ++st.msgs_sent;
   st.bytes_sent += msg.byteSize();
+  if (Profiler::enabled()) [[unlikely]] {
+    Profiler::global().recordSend(msg.src, dst, st.timestep, msg.byteSize());
+  }
   st.bus_.send(st.partition_, st.pg_.partitionOfSubgraph(dst), std::move(msg));
 }
 
@@ -244,6 +248,9 @@ void SubgraphContext::sendToSubgraphInNextTimestep(SubgraphId dst,
   msg.payload = std::move(payload);
   ++st.msgs_sent;
   st.bytes_sent += msg.byteSize();
+  if (Profiler::enabled()) [[unlikely]] {
+    Profiler::global().recordSend(msg.src, dst, st.timestep, msg.byteSize());
+  }
   st.next_msgs.push_back(std::move(msg));
 }
 
@@ -261,6 +268,10 @@ void SubgraphContext::sendMessageToMerge(PayloadBuffer payload) {
   msg.payload = std::move(payload);
   ++st.msgs_sent;
   st.bytes_sent += msg.byteSize();
+  if (Profiler::enabled()) [[unlikely]] {
+    Profiler::global().recordSend(msg.src, msg.dst, st.timestep,
+                                  msg.byteSize());
+  }
   st.merge_msgs.push_back(std::move(msg));
 }
 
@@ -558,7 +569,14 @@ TimestepOutcome runOneTimestep(ExecEnv& env, Timestep t,
         st.cur_local = i;
         st.cur_sg = &part.subgraphs[i];
         auto ctx = st.makeContext();
-        st.program->compute(ctx);
+        if (Profiler::enabled()) [[unlikely]] {
+          const std::int64_t unit_start = steadyNowNs();
+          st.program->compute(ctx);
+          Profiler::global().recordCompute(st.cur_sg->id, t,
+                                           steadyNowNs() - unit_start);
+        } else {
+          st.program->compute(ctx);
+        }
         ++st.subgraphs_computed;
         st.sg_inbox[i].clear();
       }
@@ -710,7 +728,7 @@ void runMergePhase(ExecEnv& env, std::vector<Message> merge_pool,
     for (auto& st_ptr : env.states) {
       st_ptr->superstep = s;
     }
-    const auto& timings = env.round([&env, s](PartitionId p) {
+    const auto& timings = env.round([&env, s, stats_timestep](PartitionId p) {
       auto& st = *env.states[p];
       if (env.checker != nullptr) {
         env.checker->enterCompute(p);
@@ -731,7 +749,14 @@ void runMergePhase(ExecEnv& env, std::vector<Message> merge_pool,
         st.cur_local = i;
         st.cur_sg = &part.subgraphs[i];
         auto ctx = st.makeContext();
-        st.program->merge(ctx);
+        if (Profiler::enabled()) [[unlikely]] {
+          const std::int64_t unit_start = steadyNowNs();
+          st.program->merge(ctx);
+          Profiler::global().recordCompute(st.cur_sg->id, stats_timestep,
+                                           steadyNowNs() - unit_start);
+        } else {
+          st.program->merge(ctx);
+        }
         ++st.subgraphs_computed;
         st.sg_inbox[i].clear();
       }
@@ -843,7 +868,16 @@ class WaveDriver final : public AsyncCluster::Driver {
       st.cur_local = i;
       st.cur_sg = &part.subgraphs[i];
       auto ctx = st.makeContext();
-      if (is_merge_) {
+      if (Profiler::enabled()) [[unlikely]] {
+        const std::int64_t unit_start = steadyNowNs();
+        if (is_merge_) {
+          st.program->merge(ctx);
+        } else {
+          st.program->compute(ctx);
+        }
+        Profiler::global().recordCompute(st.cur_sg->id, t_,
+                                         steadyNowNs() - unit_start);
+      } else if (is_merge_) {
         st.program->merge(ctx);
       } else {
         st.program->compute(ctx);
@@ -1088,6 +1122,9 @@ TiBspResult TiBspEngine::run(const ProgramFactory& factory,
   result.stats = RunStats(k);
   Tracer::setCurrentThreadName("coordinator");
   TraceSpan run_span("tibsp", "tibsp.run", "timesteps", count);
+  if (Profiler::enabled()) {
+    Profiler::global().beginRun(pg_, first, count);
+  }
   const auto metrics_before = MetricsRegistry::global().snapshot();
   const auto hists_before = MetricsRegistry::global().histogramSnapshot();
   Stopwatch wall;
@@ -1306,6 +1343,11 @@ TiBspResult TiBspEngine::run(const ProgramFactory& factory,
         pending_next = std::move(ckpt.pending_next);
         merge_pool = std::move(ckpt.merge_pool);
         result.timesteps_executed = ckpt.timesteps_executed;
+        if (Profiler::enabled()) {
+          // Rolled-back timesteps re-run from the cut; drop their rows so
+          // attributed costs are not double-counted on the replay.
+          Profiler::global().resetRowsFrom(ckpt.timestep + 1);
+        }
         i = (ckpt.timestep - first) + 1;
         stop = false;
       }
@@ -1480,6 +1522,9 @@ TiBspResult TiBspEngine::run(const ProgramFactory& factory,
       snapshotDelta(metrics_before, MetricsRegistry::global().snapshot()));
   result.stats.setHistograms(histogramDelta(
       hists_before, MetricsRegistry::global().histogramSnapshot()));
+  if (Profiler::enabled()) {
+    result.stats.setAttribution(Profiler::global().take());
+  }
   return result;
 }
 

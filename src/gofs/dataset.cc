@@ -10,6 +10,7 @@
 #include "common/serialize.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
+#include "profile/profiler.h"
 #include "runtime/fault_injector.h"
 
 namespace tsg {
@@ -361,6 +362,9 @@ class GofsInstanceProvider final : public InstanceProvider {
           .set(static_cast<std::int64_t>(state.pack_data.size()));
       registry.gauge("gofs.resident_bytes", static_cast<std::int32_t>(p))
           .set(resident_bytes);
+      if (Profiler::enabled()) [[unlikely]] {
+        Profiler::global().recordResidentSlice(p, t, resident_bytes);
+      }
     }
     const std::size_t offset = static_cast<std::uint32_t>(t) % packing;
     TSG_CHECK(offset < state.pack_data.size());

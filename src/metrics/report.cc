@@ -239,6 +239,12 @@ std::string runStatsToJson(const RunStats& stats, const std::string& label,
   }
   json.endArray();
 
+  // Cost-attribution table (present only when the run was profiled).
+  if (stats.hasAttribution()) {
+    json.key("attribution");
+    attributionToJson(json, stats.attribution());
+  }
+
   json.endObject();
   return json.take();
 }
@@ -406,6 +412,15 @@ Result<LoadedRunStats> runStatsFromJson(std::string_view text) {
       hists.push_back(std::move(snap));
     }
     loaded.stats.setHistograms(std::move(hists));
+  }
+
+  const JsonValue* attribution = doc.find("attribution");
+  if (attribution != nullptr) {
+    auto table = attributionFromJson(*attribution);
+    if (!table.isOk()) {
+      return table.status();
+    }
+    loaded.stats.setAttribution(std::move(table).value());
   }
 
   return loaded;

@@ -1,0 +1,80 @@
+// Partition-quality advisor — turns an AttributionTable into concrete,
+// checkable rebalancing suggestions.
+//
+// The PR-3 analyzer says "partition 2 straggles"; the attribution table
+// says which subgraphs make it heavy. The advisor closes the loop: it
+// greedily moves the straggler's heaviest subgraphs to the lightest
+// partition while the modelled wave makespan (max per-partition compute)
+// improves, and emits findings like
+//
+//   subgraph 12 is 41% of p2's compute (8.3 ms); moving it to p0 cuts the
+//   modelled wave makespan by 17%
+//
+// cross-referenced against the critical-path analysis (is the compute-heavy
+// partition also the barrier-wait straggler?) and the scheduler blame
+// series. The suggested assignment is replayable: bench_ablation_advisor
+// rebuilds the PartitionedGraph from `suggested_subgraph_partition` and
+// reruns the workload to validate the predicted gain.
+//
+// The makespan model is per-partition *compute* only — deliberately the
+// same signal the paper's load-balance discussion uses (subgraph size/
+// degree skew), not a full comms model; the ablation bench is the ground
+// truth for whether a suggestion holds up.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/analysis.h"
+#include "profile/attribution.h"
+
+namespace tsg {
+
+struct AdvisorMove {
+  SubgraphId subgraph = kInvalidSubgraph;
+  PartitionId from = kInvalidPartition;
+  PartitionId to = kInvalidPartition;
+  double share_of_from = 0.0;        // subgraph's fraction of from's compute
+  std::int64_t subgraph_compute_ns = 0;
+  std::int64_t makespan_before_ns = 0;
+  std::int64_t makespan_after_ns = 0;
+};
+
+struct AdvisorReport {
+  std::vector<AdvisorMove> moves;
+  std::vector<std::string> findings;  // one human-readable line per insight
+  // Subgraph -> partition after applying `moves`; equals the original
+  // owners when no move clears the gain threshold.
+  std::vector<PartitionId> suggested_subgraph_partition;
+  std::int64_t makespan_before_ns = 0;
+  std::int64_t makespan_after_ns = 0;
+
+  [[nodiscard]] bool hasSuggestions() const { return !moves.empty(); }
+  [[nodiscard]] double gainPct() const {
+    return makespan_before_ns <= 0
+               ? 0.0
+               : 100.0 *
+                     static_cast<double>(makespan_before_ns -
+                                         makespan_after_ns) /
+                     static_cast<double>(makespan_before_ns);
+  }
+};
+
+struct AdvisorOptions {
+  std::int32_t max_moves = 3;
+  // A move must improve the modelled makespan by at least this much.
+  double min_gain_pct = 2.0;
+};
+
+// `analysis` is optional (pass nullptr when no superstep records are at
+// hand); when present, findings note whether compute skew and barrier-wait
+// blame point at the same partition.
+AdvisorReport advisePartitioning(const AttributionTable& table,
+                                 const CriticalPathAnalysis* analysis,
+                                 const AdvisorOptions& options = {});
+
+// Renders the findings as an indented text block for tsgcli.
+std::string renderAdvisorReport(const AdvisorReport& report);
+
+}  // namespace tsg

@@ -1,0 +1,245 @@
+#include "profile/profiler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tsg {
+
+std::atomic<bool> Profiler::armed_{false};
+
+Profiler& Profiler::global() {
+  static Profiler instance;
+  return instance;
+}
+
+void Profiler::arm(const ProfileOptions& options) {
+  options_ = options;
+  sample_every_ = std::max<std::uint32_t>(1, options.sample_every);
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void Profiler::disarm() {
+  armed_.store(false, std::memory_order_relaxed);
+  run_active_.store(false, std::memory_order_relaxed);
+}
+
+void Profiler::beginRun(const PartitionedGraph& pg, Timestep first_timestep,
+                        std::int32_t num_timesteps) {
+  if (!enabled()) {
+    return;
+  }
+  pg_ = &pg;
+  first_timestep_ = first_timestep;
+  num_rows_ = std::max<std::int32_t>(0, num_timesteps) + 1;  // + merge row
+  num_subgraphs_ = static_cast<std::uint32_t>(pg.numSubgraphs());
+  cells_ = std::vector<Cell>(static_cast<std::size_t>(num_rows_) *
+                             num_subgraphs_);
+  msgs_in_ = std::vector<std::atomic<std::uint64_t>>(num_subgraphs_);
+  bytes_in_ = std::vector<std::atomic<std::uint64_t>>(num_subgraphs_);
+  wait_caused_ns_ =
+      std::vector<std::atomic<std::int64_t>>(pg.numPartitions());
+  steal_victims_ =
+      std::vector<std::atomic<std::uint64_t>>(pg.numPartitions());
+  shards_.clear();
+  const std::size_t capacity = std::max<std::size_t>(8, options_.sketch_capacity);
+  for (std::uint32_t p = 0; p < pg.numPartitions(); ++p) {
+    shards_.push_back(std::make_unique<SketchShard>(capacity));
+  }
+  run_active_.store(true, std::memory_order_release);
+}
+
+AttributionTable Profiler::take() {
+  AttributionTable table;
+  if (!run_active_.exchange(false, std::memory_order_acq_rel) ||
+      pg_ == nullptr) {
+    return table;
+  }
+  const PartitionedGraph& pg = *pg_;
+  table.num_partitions = pg.numPartitions();
+  table.first_timestep = first_timestep_;
+  table.num_rows = num_rows_;
+  table.sample_every = sample_every_;
+
+  table.subgraphs.resize(num_subgraphs_);
+  for (SubgraphId sg = 0; sg < num_subgraphs_; ++sg) {
+    const Subgraph& s = pg.subgraph(sg);
+    SubgraphMeta& m = table.subgraphs[sg];
+    m.id = sg;
+    m.partition = s.partition;
+    m.vertices = s.numVertices();
+    m.local_edges = s.num_local_edges;
+    m.remote_edges = s.remote_edges.size();
+  }
+
+  table.rows.resize(static_cast<std::size_t>(num_rows_));
+  for (std::int32_t row = 0; row < num_rows_; ++row) {
+    auto& out = table.rows[static_cast<std::size_t>(row)];
+    out.resize(num_subgraphs_);
+    for (SubgraphId sg = 0; sg < num_subgraphs_; ++sg) {
+      const Cell& c =
+          cells_[static_cast<std::size_t>(row) * num_subgraphs_ + sg];
+      SubgraphCosts& dst = out[sg];
+      dst.compute_ns = c.compute_ns.load(std::memory_order_relaxed);
+      dst.computes = c.computes.load(std::memory_order_relaxed);
+      dst.msgs_out = c.msgs_out.load(std::memory_order_relaxed);
+      dst.bytes_out = c.bytes_out.load(std::memory_order_relaxed);
+      dst.resident_bytes = c.resident_bytes.load(std::memory_order_relaxed);
+    }
+  }
+
+  table.msgs_in.resize(num_subgraphs_);
+  table.bytes_in.resize(num_subgraphs_);
+  for (SubgraphId sg = 0; sg < num_subgraphs_; ++sg) {
+    table.msgs_in[sg] = msgs_in_[sg].load(std::memory_order_relaxed);
+    table.bytes_in[sg] = bytes_in_[sg].load(std::memory_order_relaxed);
+  }
+  table.sched_wait_caused_ns.resize(wait_caused_ns_.size());
+  table.steal_victims.resize(steal_victims_.size());
+  for (std::size_t p = 0; p < wait_caused_ns_.size(); ++p) {
+    table.sched_wait_caused_ns[p] =
+        wait_caused_ns_[p].load(std::memory_order_relaxed);
+    table.steal_victims[p] =
+        steal_victims_[p].load(std::memory_order_relaxed);
+  }
+
+  const std::size_t capacity =
+      std::max<std::size_t>(8, options_.sketch_capacity);
+  SpaceSavingSketch compute_sketch(capacity);
+  SpaceSavingSketch fanout_sketch(capacity);
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    compute_sketch.merge(shard->compute);
+    fanout_sketch.merge(shard->fanout);
+  }
+  const auto to_hot = [&pg](const SpaceSavingSketch::Entry& e) {
+    HotVertex h;
+    h.vertex = e.key;
+    h.partition =
+        e.key < pg.graphTemplate().numVertices()
+            ? pg.partitionOfVertex(static_cast<VertexIndex>(e.key))
+            : kInvalidPartition;
+    h.weight = e.count;
+    h.error = e.error;
+    return h;
+  };
+  for (const auto& e : compute_sketch.topK()) {
+    table.hot_compute.push_back(to_hot(e));
+  }
+  for (const auto& e : fanout_sketch.topK()) {
+    table.hot_fanout.push_back(to_hot(e));
+  }
+  table.sketch_weight_compute = compute_sketch.totalWeight();
+  table.sketch_weight_fanout = fanout_sketch.totalWeight();
+
+  pg_ = nullptr;
+  cells_.clear();
+  msgs_in_.clear();
+  bytes_in_.clear();
+  wait_caused_ns_.clear();
+  steal_victims_.clear();
+  shards_.clear();
+  return table;
+}
+
+void Profiler::recordCompute(SubgraphId sg, Timestep t, std::int64_t ns) {
+  if (!run_active_.load(std::memory_order_acquire)) {
+    return;
+  }
+  Cell* cell = cellAt(rowOf(t), sg);
+  if (cell == nullptr) {
+    return;
+  }
+  cell->compute_ns.fetch_add(ns, std::memory_order_relaxed);
+  cell->computes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Profiler::recordSend(SubgraphId src, SubgraphId dst, Timestep t,
+                          std::uint64_t bytes) {
+  if (!run_active_.load(std::memory_order_acquire)) {
+    return;
+  }
+  if (Cell* cell = cellAt(rowOf(t), src)) {
+    cell->msgs_out.fetch_add(1, std::memory_order_relaxed);
+    cell->bytes_out.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  if (dst < msgs_in_.size()) {
+    msgs_in_[dst].fetch_add(1, std::memory_order_relaxed);
+    bytes_in_[dst].fetch_add(bytes, std::memory_order_relaxed);
+  }
+}
+
+void Profiler::recordVertexSample(PartitionId p, VertexIndex vertex,
+                                  std::uint64_t ns, std::uint64_t fanout) {
+  if (!run_active_.load(std::memory_order_acquire) || p >= shards_.size()) {
+    return;
+  }
+  const std::uint64_t scale = sample_every_;
+  SketchShard& shard = *shards_[p];
+  std::lock_guard lock(shard.mutex);
+  shard.compute.offer(vertex, ns * scale);
+  if (fanout > 0) {
+    shard.fanout.offer(vertex, fanout * scale);
+  }
+}
+
+void Profiler::recordResidentSlice(PartitionId p, Timestep t,
+                                   std::uint64_t bytes) {
+  if (!run_active_.load(std::memory_order_acquire) || pg_ == nullptr ||
+      p >= pg_->numPartitions()) {
+    return;
+  }
+  const std::int32_t row = rowOf(t);
+  if (row < 0) {
+    return;
+  }
+  const Partition& part = pg_->partition(p);
+  const std::uint64_t part_vertices = part.numVertices();
+  if (part_vertices == 0) {
+    return;
+  }
+  for (const Subgraph& sg : part.subgraphs) {
+    Cell* cell = cellAt(row, sg.id);
+    if (cell == nullptr) {
+      continue;
+    }
+    const std::uint64_t share =
+        bytes * sg.numVertices() / part_vertices;
+    // An occupancy level, not a flow: the latest load for this row wins.
+    cell->resident_bytes.store(share, std::memory_order_relaxed);
+  }
+}
+
+void Profiler::recordWaitCaused(PartitionId p, std::int64_t ns) {
+  if (!run_active_.load(std::memory_order_acquire) ||
+      p >= wait_caused_ns_.size() || ns <= 0) {
+    return;
+  }
+  wait_caused_ns_[p].fetch_add(ns, std::memory_order_relaxed);
+}
+
+void Profiler::recordStealVictim(PartitionId p) {
+  if (!run_active_.load(std::memory_order_acquire) ||
+      p >= steal_victims_.size()) {
+    return;
+  }
+  steal_victims_[p].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Profiler::resetRowsFrom(Timestep t) {
+  if (!run_active_.load(std::memory_order_acquire)) {
+    return;
+  }
+  const std::int32_t first_row = std::max(0, t - first_timestep_);
+  for (std::int32_t row = first_row; row < num_rows_; ++row) {
+    for (SubgraphId sg = 0; sg < num_subgraphs_; ++sg) {
+      Cell* cell = cellAt(row, sg);
+      cell->compute_ns.store(0, std::memory_order_relaxed);
+      cell->computes.store(0, std::memory_order_relaxed);
+      cell->msgs_out.store(0, std::memory_order_relaxed);
+      cell->bytes_out.store(0, std::memory_order_relaxed);
+      cell->resident_bytes.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace tsg

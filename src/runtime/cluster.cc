@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
+#include "profile/profiler.h"
 #include "runtime/fault_injector.h"
 
 namespace tsg {
@@ -84,6 +85,13 @@ const std::vector<Cluster::RoundTiming>& Cluster::run(
   }
   m_rounds_.increment();
   m_barrier_wait_ns_.add(static_cast<std::uint64_t>(sync_total));
+  if (Profiler::enabled()) [[unlikely]] {
+    // The last finisher is the round's straggler: every other partition's
+    // barrier wait this round traces back to it.
+    const PartitionId straggler = static_cast<PartitionId>(
+        std::max_element(end_ns_.begin(), end_ns_.end()) - end_ns_.begin());
+    Profiler::global().recordWaitCaused(straggler, sync_total);
+  }
   return timings_;
 }
 
@@ -288,9 +296,16 @@ const std::vector<Cluster::RoundTiming>& AsyncCluster::runAll(
   }
   const std::int64_t round_end =
       *std::max_element(end_ns_.begin(), end_ns_.end());
+  std::int64_t sync_total = 0;
   for (PartitionId p = 0; p < timings_.size(); ++p) {
     timings_[p].busy_ns = cpu_busy_ns_[p];
     timings_[p].sync_ns = round_end - end_ns_[p];
+    sync_total += timings_[p].sync_ns;
+  }
+  if (Profiler::enabled()) [[unlikely]] {
+    const PartitionId straggler = static_cast<PartitionId>(
+        std::max_element(end_ns_.begin(), end_ns_.end()) - end_ns_.begin());
+    Profiler::global().recordWaitCaused(straggler, sync_total);
   }
   return timings_;
 }
@@ -413,6 +428,17 @@ void AsyncCluster::workerLoop(PartitionId p, std::uint64_t start_round) {
         info.ready_wait_ns > 0 ? info.ready_wait_ns : 0));
     if (info.stolen) {
       m_steals_.increment();
+    }
+    if (Profiler::enabled()) [[unlikely]] {
+      // The task that ends an all-idle gap left the scheduler starved for
+      // that long; a steal marks its home partition as overloaded.
+      if (info.ready_wait_ns > 0) {
+        Profiler::global().recordWaitCaused(task.partition,
+                                            info.ready_wait_ns);
+      }
+      if (info.stolen) {
+        Profiler::global().recordStealVictim(task.partition);
+      }
     }
     perturbPoint(static_cast<std::uint64_t>(task.wave), task.partition,
                  /*salt=*/0);

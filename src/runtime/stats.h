@@ -16,11 +16,14 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.h"
 #include "graph/types.h"
+#include "profile/attribution.h"
 
 namespace tsg {
 
@@ -98,6 +101,18 @@ class RunStats {
     return histograms_;
   }
 
+  // Cost-attribution table captured over this run (only when the profiler
+  // was armed via --profile=); attached by the engines next to metrics().
+  void setAttribution(AttributionTable table) {
+    attribution_ = std::move(table);
+  }
+  [[nodiscard]] bool hasAttribution() const {
+    return attribution_.has_value();
+  }
+  [[nodiscard]] const AttributionTable& attribution() const {
+    return *attribution_;
+  }
+
   // --- aggregations ---
 
   [[nodiscard]] std::int32_t numTimesteps() const;
@@ -143,6 +158,7 @@ class RunStats {
   std::int64_t wall_clock_ns_ = 0;
   MetricsRegistry::Snapshot metrics_;
   MetricsRegistry::HistogramSnapshots histograms_;
+  std::optional<AttributionTable> attribution_;
 };
 
 }  // namespace tsg

@@ -71,6 +71,33 @@ std::vector<TelemetrySample> TelemetryRing::collect() const {
   return out;
 }
 
+namespace {
+
+// Sampler self-telemetry, injected as synthetic points so the Prometheus
+// exposition (tsg_telemetry_*) and the timeline carry the sampler's own
+// health without routing it through the process-wide registry (which would
+// leak them into every run's counter deltas).
+void appendSamplerPoints(TelemetrySample& sample, const TelemetryRing& ring,
+                         std::uint64_t missed_ticks) {
+  const auto insert_sorted = [&sample](std::string name, std::uint64_t value) {
+    MetricsRegistry::Point p;
+    p.name = std::move(name);
+    p.value = static_cast<std::int64_t>(value);
+    // Snapshots stay sorted by (name, partition): consumers binary-search.
+    const auto it = std::lower_bound(
+        sample.points.begin(), sample.points.end(), p,
+        [](const MetricsRegistry::Point& a, const MetricsRegistry::Point& b) {
+          return std::tie(a.name, a.partition) < std::tie(b.name, b.partition);
+        });
+    sample.points.insert(it, std::move(p));
+  };
+  insert_sorted("telemetry.dropped_samples", ring.droppedSamples());
+  insert_sorted("telemetry.missed_ticks", missed_ticks);
+  insert_sorted("telemetry.produced_samples", ring.produced());
+}
+
+}  // namespace
+
 TelemetrySampler::TelemetrySampler(TelemetryOptions options)
     : options_(std::move(options)),
       ring_(options_.ring_capacity) {
@@ -141,6 +168,8 @@ void TelemetrySampler::threadMain() {
       }
     }
     TelemetrySample sample = captureSample();
+    appendSamplerPoints(sample, ring_,
+                        missed_ticks_.load(std::memory_order_relaxed));
     if (options_.on_sample) {
       options_.on_sample(sample);
     }
@@ -155,6 +184,8 @@ void TelemetrySampler::threadMain() {
     }
   }
   TelemetrySample final_sample = captureSample();
+  appendSamplerPoints(final_sample, ring_,
+                      missed_ticks_.load(std::memory_order_relaxed));
   if (options_.on_sample) {
     options_.on_sample(final_sample);
   }

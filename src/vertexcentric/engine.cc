@@ -11,6 +11,7 @@
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
+#include "profile/profiler.h"
 #include "runtime/cluster.h"
 #include "runtime/fault_injector.h"
 
@@ -52,6 +53,12 @@ void VertexContext::sendTo(VertexIndex dst, double value) {
   worker.outbox[to].push_back({dst, value});
   ++worker.msgs_sent;
   worker.bytes_sent += sizeof(VertexMessage);
+  if (Profiler::enabled()) [[unlikely]] {
+    // This engine has no timesteps; everything lands on row 0.
+    Profiler::global().recordSend(worker.pg->subgraphOfVertex(vertex_),
+                                  worker.pg->subgraphOfVertex(dst), 0,
+                                  sizeof(VertexMessage));
+  }
 }
 
 VertexCentricEngine::VertexCentricEngine(const PartitionedGraph& pg)
@@ -87,6 +94,9 @@ VcResult VertexCentricEngine::run(
   result.stats = RunStats(k);
   Tracer::setCurrentThreadName("coordinator");
   TraceSpan run_span("vc", "vc.run");
+  if (Profiler::enabled()) {
+    Profiler::global().beginRun(pg_, 0, 1);
+  }
   const auto metrics_before = MetricsRegistry::global().snapshot();
   const auto hists_before = MetricsRegistry::global().histogramSnapshot();
   Stopwatch wall;
@@ -191,7 +201,19 @@ VcResult VertexCentricEngine::run(
         ctx.value_ = &values[v];
         ctx.halted_ = &halted[v];
         ctx.messages_ = w.vertex_msgs[i];
-        program.compute(ctx);
+        if (Profiler::enabled()) [[unlikely]] {
+          auto& prof = Profiler::global();
+          const std::uint64_t msgs_before = w.msgs_sent;
+          const std::int64_t unit_start = steadyNowNs();
+          program.compute(ctx);
+          const std::int64_t unit_ns = steadyNowNs() - unit_start;
+          prof.recordCompute(pg_.subgraphOfVertex(v), 0, unit_ns);
+          if (w.vertices_computed % prof.sampleEvery() == 0) {
+            prof.recordVertexSample(p, v, unit_ns, w.msgs_sent - msgs_before);
+          }
+        } else {
+          program.compute(ctx);
+        }
         ++w.vertices_computed;
         w.vertex_msgs[i].clear();
         w.has_msgs[i] = 0;
@@ -366,6 +388,10 @@ VcResult VertexCentricEngine::run(
         values[v] = initial_value(v);
       }
       std::fill(halted.begin(), halted.end(), 0);
+      if (Profiler::enabled()) {
+        // Full restart: drop the aborted attempt's attributed compute.
+        Profiler::global().resetRowsFrom(0);
+      }
       s = 0;
     }
   }
@@ -378,6 +404,9 @@ VcResult VertexCentricEngine::run(
       snapshotDelta(metrics_before, MetricsRegistry::global().snapshot()));
   result.stats.setHistograms(histogramDelta(
       hists_before, MetricsRegistry::global().histogramSnapshot()));
+  if (Profiler::enabled()) {
+    result.stats.setAttribution(Profiler::global().take());
+  }
   result.values = std::move(values);
   result.supersteps = s;
   return result;

@@ -13,6 +13,7 @@
 #include "common/stopwatch.h"
 #include "common/trace.h"
 #include "gofs/checkpoint.h"
+#include "profile/profiler.h"
 #include "runtime/cluster.h"
 #include "runtime/fault_injector.h"
 #include "runtime/ready_tracker.h"
@@ -87,6 +88,11 @@ void TemporalVertexContext::sendTo(VertexIndex dst, double value) {
   worker.outbox[to].push_back({dst, value});
   ++worker.msgs_sent;
   worker.bytes_sent += sizeof(TvMessage);
+  if (Profiler::enabled()) [[unlikely]] {
+    Profiler::global().recordSend(worker.pg->subgraphOfVertex(vertex_),
+                                  worker.pg->subgraphOfVertex(dst),
+                                  timestep_, sizeof(TvMessage));
+  }
 }
 
 void TemporalVertexContext::sendToNextTimestep(VertexIndex dst,
@@ -99,6 +105,11 @@ void TemporalVertexContext::sendToNextTimestep(VertexIndex dst,
   worker.next_timestep.push_back({dst, value});
   ++worker.msgs_sent;
   worker.bytes_sent += sizeof(TvMessage);
+  if (Profiler::enabled()) [[unlikely]] {
+    Profiler::global().recordSend(worker.pg->subgraphOfVertex(vertex_),
+                                  worker.pg->subgraphOfVertex(dst),
+                                  timestep_, sizeof(TvMessage));
+  }
 }
 
 TemporalVertexEngine::TemporalVertexEngine(const PartitionedGraph& pg,
@@ -137,6 +148,9 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
   result.stats = RunStats(k);
   Tracer::setCurrentThreadName("coordinator");
   TraceSpan run_span("vc", "tvc.run", "timesteps", count);
+  if (Profiler::enabled()) {
+    Profiler::global().beginRun(pg_, first, count);
+  }
   const auto metrics_before = MetricsRegistry::global().snapshot();
   const auto hists_before = MetricsRegistry::global().histogramSnapshot();
   Stopwatch wall;
@@ -297,7 +311,19 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
         ctx.vertex_ = v;
         ctx.halted_ = &halted[v];
         ctx.messages_ = w.vertex_msgs[l];
-        program.compute(ctx);
+        if (Profiler::enabled()) [[unlikely]] {
+          auto& prof = Profiler::global();
+          const std::uint64_t msgs_before = w.msgs_sent;
+          const std::int64_t unit_start = steadyNowNs();
+          program.compute(ctx);
+          const std::int64_t unit_ns = steadyNowNs() - unit_start;
+          prof.recordCompute(pg_.subgraphOfVertex(v), t, unit_ns);
+          if (w.vertices_computed % prof.sampleEvery() == 0) {
+            prof.recordVertexSample(p, v, unit_ns, w.msgs_sent - msgs_before);
+          }
+        } else {
+          program.compute(ctx);
+        }
         ++w.vertices_computed;
         w.vertex_msgs[l].clear();
         w.has_msgs[l] = 0;
@@ -629,6 +655,10 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
         pending_next.push_back({m.dst, value});
       }
       result.timesteps_executed = ckpt.timesteps_executed;
+      if (Profiler::enabled()) {
+        // Rolled-back timesteps re-run from the cut; drop their rows.
+        Profiler::global().resetRowsFrom(ckpt.timestep + 1);
+      }
       i = (ckpt.timestep - first) + 1;
     }
   }
@@ -641,6 +671,9 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
       snapshotDelta(metrics_before, MetricsRegistry::global().snapshot()));
   result.stats.setHistograms(histogramDelta(
       hists_before, MetricsRegistry::global().histogramSnapshot()));
+  if (Profiler::enabled()) {
+    result.stats.setAttribution(Profiler::global().take());
+  }
   return result;
 }
 

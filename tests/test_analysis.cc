@@ -5,7 +5,9 @@
 #include <algorithm>
 #include <string>
 
+#include "algorithms/tdsp.h"
 #include "common/json.h"
+#include "gofs/instance_provider.h"
 #include "metrics/report.h"
 #include "runtime/stats.h"
 #include "test_util.h"
@@ -39,6 +41,30 @@ TEST(Analysis, ReconcilesWithModelledParallelTime) {
   EXPECT_EQ(analysis.critical_path_busy_ns + analysis.comm_ns +
                 analysis.barrier_ns,
             analysis.modelled_parallel_ns);
+}
+
+// The same identity must hold for records produced by the dependency-
+// driven scheduler (`--schedule=async`), whose supersteps interleave across
+// timesteps — not just the barrier-aligned BSP records the fixture models.
+TEST(Analysis, ReconcilesUnderAsyncScheduleRecords) {
+  auto tmpl = testing::smallRoad(8, 8);
+  auto pg = testing::partitionGraph(tmpl, 3);
+  auto coll = testing::roadCollection(tmpl, 5);
+  DirectInstanceProvider provider(pg, coll);
+  TdspOptions options;
+  options.latency_attr = tmpl->edgeSchema().requireIndex("latency");
+  options.schedule = Schedule::kAsync;
+  const auto run = runTdsp(pg, provider, options);
+  ASSERT_FALSE(run.exec.stats.supersteps().empty());
+
+  const NetworkModel net = testing::fixtureNetworkModel();
+  const auto analysis = analyzeCriticalPath(run.exec.stats, net);
+  EXPECT_EQ(analysis.modelled_parallel_ns,
+            run.exec.stats.modelledParallelNs(net));
+  EXPECT_EQ(analysis.critical_path_busy_ns + analysis.comm_ns +
+                analysis.barrier_ns,
+            analysis.modelled_parallel_ns);
+  EXPECT_GT(analysis.critical_path_busy_ns, 0);
 }
 
 TEST(Analysis, HandComputedFixtureDecomposition) {

@@ -1,0 +1,495 @@
+// Cost-attribution profiler tests: the space-saving sketch's error
+// envelope, the AttributionTable JSON round trip, zero-cost-when-off, the
+// partition advisor, and the headline conservation invariant — for every
+// shipped algorithm, summing the attribution table over a partition's
+// subgraphs reproduces the engine meters (SuperstepRecord parts) exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "algorithms/hashtag.h"
+#include "algorithms/meme.h"
+#include "algorithms/pagerank.h"
+#include "algorithms/sssp.h"
+#include "algorithms/tdsp.h"
+#include "algorithms/tdsp_vertex.h"
+#include "algorithms/topn.h"
+#include "algorithms/wcc.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "gofs/instance_provider.h"
+#include "metrics/report.h"
+#include "profile/advisor.h"
+#include "profile/attribution.h"
+#include "profile/profiler.h"
+#include "profile/sketch.h"
+#include "vertexcentric/engine.h"
+#include "vertexcentric/programs.h"
+#include "test_util.h"
+
+namespace tsg {
+namespace {
+
+using testing::partitionGraph;
+using testing::roadCollection;
+using testing::smallRoad;
+using testing::smallSocial;
+using testing::tweetCollection;
+using testing::unwrap;
+
+constexpr std::uint32_t kPartitions = 3;
+constexpr std::uint32_t kTimesteps = 5;
+
+// --- SpaceSavingSketch ---------------------------------------------------
+
+TEST(SpaceSavingSketch, ExactUnderCapacity) {
+  SpaceSavingSketch sketch(8);
+  sketch.offer(1, 10);
+  sketch.offer(2, 5);
+  sketch.offer(1, 3);
+  sketch.offer(3, 1);
+  EXPECT_EQ(sketch.totalWeight(), 19u);
+  const auto top = sketch.topK();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, 1u);
+  EXPECT_EQ(top[0].count, 13u);
+  EXPECT_EQ(top[0].error, 0u);
+  EXPECT_EQ(top[1].key, 2u);
+  EXPECT_EQ(top[1].count, 5u);
+}
+
+// The paper-grade guarantee (Metwally et al.): for every monitored key,
+// count - error <= true <= count, error <= W / k, and any key whose true
+// weight exceeds W / k is guaranteed to be monitored.
+TEST(SpaceSavingSketch, ErrorEnvelopeUnderOverflow) {
+  constexpr std::size_t kCapacity = 16;
+  SpaceSavingSketch sketch(kCapacity);
+  Rng rng(2015);
+  // Skewed stream: key k drawn ~ 1/(k+1), weights 1..4.
+  std::map<std::uint64_t, std::uint64_t> truth;
+  std::uint64_t total = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniformDouble(1e-9, 1.0);
+    const auto key = static_cast<std::uint64_t>(1.0 / u) % 200;
+    const auto weight = static_cast<std::uint64_t>(rng.uniformInt(1, 4));
+    sketch.offer(key, weight);
+    truth[key] += weight;
+    total += weight;
+  }
+  ASSERT_EQ(sketch.totalWeight(), total);
+  const std::uint64_t bound = total / kCapacity;
+  std::map<std::uint64_t, const SpaceSavingSketch::Entry*> monitored;
+  for (const auto& e : sketch.topK()) {
+    monitored[e.key] = nullptr;
+    EXPECT_LE(e.error, bound);
+    EXPECT_GE(e.count, truth[e.key]);               // upper bound
+    EXPECT_LE(e.count - e.error, truth[e.key]);     // lower bound
+  }
+  for (const auto& [key, weight] : truth) {
+    if (weight > bound) {
+      EXPECT_TRUE(monitored.count(key))
+          << "key " << key << " with weight " << weight
+          << " > W/k = " << bound << " must be monitored";
+    }
+  }
+}
+
+TEST(SpaceSavingSketch, MergePreservesEnvelope) {
+  constexpr std::size_t kCapacity = 8;
+  SpaceSavingSketch a(kCapacity);
+  SpaceSavingSketch b(kCapacity);
+  std::map<std::uint64_t, std::uint64_t> truth;
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const auto key = static_cast<std::uint64_t>(rng.uniformInt(0, 40));
+    (i % 2 == 0 ? a : b).offer(key, 1);
+    truth[key] += 1;
+  }
+  a.merge(b);
+  EXPECT_EQ(a.totalWeight(), 2000u);
+  const std::uint64_t bound = a.totalWeight() / kCapacity;
+  for (const auto& e : a.topK()) {
+    EXPECT_GE(e.count, truth[e.key]);
+    EXPECT_LE(e.count - e.error, truth[e.key]);
+    EXPECT_LE(e.error, bound);
+  }
+}
+
+// --- AttributionTable ----------------------------------------------------
+
+AttributionTable sampleTable() {
+  AttributionTable t;
+  t.num_partitions = 2;
+  t.first_timestep = 3;
+  t.num_rows = 2;
+  t.sample_every = 4;
+  t.subgraphs = {{0, 0, 10, 20, 2}, {1, 0, 5, 8, 1}, {2, 1, 12, 30, 3}};
+  t.rows.resize(2, std::vector<SubgraphCosts>(3));
+  t.rows[0][0] = {1000, 2, 3, 96, 512};
+  t.rows[0][2] = {4000, 1, 1, 32, 700};
+  t.rows[1][1] = {500, 1, 0, 0, 128};
+  t.msgs_in = {1, 0, 3};
+  t.bytes_in = {32, 0, 96};
+  t.sched_wait_caused_ns = {1500, 300};
+  t.steal_victims = {0, 2};
+  t.hot_compute = {{42, 1, 9000, 100}};
+  t.hot_fanout = {{17, 0, 12, 0}};
+  t.sketch_weight_compute = 9000;
+  t.sketch_weight_fanout = 12;
+  return t;
+}
+
+TEST(Attribution, JsonRoundTrip) {
+  const AttributionTable t = sampleTable();
+  JsonWriter w;
+  attributionToJson(w, t);
+  const auto parsed = unwrap(JsonValue::parse(w.str()));
+  const AttributionTable back = unwrap(attributionFromJson(parsed));
+
+  EXPECT_EQ(back.schema_version, t.schema_version);
+  EXPECT_EQ(back.num_partitions, t.num_partitions);
+  EXPECT_EQ(back.first_timestep, t.first_timestep);
+  EXPECT_EQ(back.num_rows, t.num_rows);
+  EXPECT_EQ(back.sample_every, t.sample_every);
+  ASSERT_EQ(back.subgraphs.size(), t.subgraphs.size());
+  for (std::size_t i = 0; i < t.subgraphs.size(); ++i) {
+    EXPECT_EQ(back.subgraphs[i].partition, t.subgraphs[i].partition);
+    EXPECT_EQ(back.subgraphs[i].vertices, t.subgraphs[i].vertices);
+    EXPECT_EQ(back.subgraphs[i].remote_edges, t.subgraphs[i].remote_edges);
+  }
+  ASSERT_EQ(back.rows.size(), t.rows.size());
+  for (std::size_t r = 0; r < t.rows.size(); ++r) {
+    for (std::size_t s = 0; s < t.rows[r].size(); ++s) {
+      EXPECT_EQ(back.rows[r][s].compute_ns, t.rows[r][s].compute_ns);
+      EXPECT_EQ(back.rows[r][s].computes, t.rows[r][s].computes);
+      EXPECT_EQ(back.rows[r][s].msgs_out, t.rows[r][s].msgs_out);
+      EXPECT_EQ(back.rows[r][s].bytes_out, t.rows[r][s].bytes_out);
+      EXPECT_EQ(back.rows[r][s].resident_bytes, t.rows[r][s].resident_bytes);
+    }
+  }
+  EXPECT_EQ(back.msgs_in, t.msgs_in);
+  EXPECT_EQ(back.bytes_in, t.bytes_in);
+  EXPECT_EQ(back.sched_wait_caused_ns, t.sched_wait_caused_ns);
+  EXPECT_EQ(back.steal_victims, t.steal_victims);
+  ASSERT_EQ(back.hot_compute.size(), 1u);
+  EXPECT_EQ(back.hot_compute[0].vertex, 42u);
+  EXPECT_EQ(back.hot_compute[0].weight, 9000u);
+  EXPECT_EQ(back.hot_compute[0].error, 100u);
+  EXPECT_EQ(back.sketch_weight_compute, t.sketch_weight_compute);
+  EXPECT_EQ(back.sketch_weight_fanout, t.sketch_weight_fanout);
+}
+
+TEST(Attribution, RejectsUnknownSchemaVersion) {
+  AttributionTable t = sampleTable();
+  t.schema_version = 999;
+  JsonWriter w;
+  attributionToJson(w, t);
+  const auto parsed = unwrap(JsonValue::parse(w.str()));
+  EXPECT_FALSE(attributionFromJson(parsed).isOk());
+}
+
+TEST(Attribution, GiniCoefficient) {
+  EXPECT_DOUBLE_EQ(giniCoefficient({}), 0.0);
+  EXPECT_DOUBLE_EQ(giniCoefficient({5, 5, 5, 5}), 0.0);
+  // One subgraph owns everything: G -> (n-1)/n.
+  EXPECT_NEAR(giniCoefficient({0, 0, 0, 100}), 0.75, 1e-9);
+  const AttributionTable t = sampleTable();
+  EXPECT_GT(t.rowGini(0), 0.0);
+  EXPECT_LE(t.rowGini(0), 1.0);
+}
+
+TEST(Attribution, TotalsFoldByPartition) {
+  const AttributionTable t = sampleTable();
+  const auto totals = t.subgraphTotals();
+  ASSERT_EQ(totals.size(), 3u);
+  EXPECT_EQ(totals[0].compute_ns, 1000);
+  EXPECT_EQ(totals[1].compute_ns, 500);
+  const auto per_part = t.partitionComputeNs();
+  ASSERT_EQ(per_part.size(), 2u);
+  EXPECT_EQ(per_part[0], 1500);
+  EXPECT_EQ(per_part[1], 4000);
+}
+
+// --- Advisor -------------------------------------------------------------
+
+AttributionTable imbalancedTable() {
+  AttributionTable t;
+  t.num_partitions = 2;
+  t.num_rows = 1;
+  // p0 owns two heavy subgraphs (600us + 500us), p1 one light (100us):
+  // moving the 500us subgraph to p1 balances the makespan 1.1ms -> 600us.
+  t.subgraphs = {{0, 0, 100, 0, 0}, {1, 0, 80, 0, 0}, {2, 1, 20, 0, 0}};
+  t.rows.resize(1, std::vector<SubgraphCosts>(3));
+  t.rows[0][0] = {600000, 1, 0, 0, 0};
+  t.rows[0][1] = {500000, 1, 0, 0, 0};
+  t.rows[0][2] = {100000, 1, 0, 0, 0};
+  t.msgs_in.resize(3);
+  t.bytes_in.resize(3);
+  t.sched_wait_caused_ns.resize(2);
+  t.steal_victims.resize(2);
+  return t;
+}
+
+TEST(Advisor, SuggestsMoveForImbalancedPartitions) {
+  const AttributionTable t = imbalancedTable();
+  const AdvisorReport report = advisePartitioning(t, nullptr);
+  ASSERT_TRUE(report.hasSuggestions());
+  EXPECT_LT(report.makespan_after_ns, report.makespan_before_ns);
+  EXPECT_EQ(report.makespan_before_ns, 1100000);
+  // The suggested assignment must reproduce the predicted makespan.
+  std::vector<std::int64_t> load(t.num_partitions, 0);
+  const auto totals = t.subgraphTotals();
+  for (std::size_t sg = 0; sg < totals.size(); ++sg) {
+    load[static_cast<std::size_t>(
+        report.suggested_subgraph_partition[sg])] += totals[sg].compute_ns;
+  }
+  EXPECT_EQ(*std::max_element(load.begin(), load.end()),
+            report.makespan_after_ns);
+  EXPECT_FALSE(report.findings.empty());
+}
+
+TEST(Advisor, BalancedTableSuggestsNothing) {
+  AttributionTable t = imbalancedTable();
+  t.rows[0][0] = {500000, 1, 0, 0, 0};
+  t.rows[0][1] = {100000, 1, 0, 0, 0};
+  t.rows[0][2] = {500000, 1, 0, 0, 0};
+  const AdvisorReport report = advisePartitioning(t, nullptr);
+  EXPECT_FALSE(report.hasSuggestions());
+  // Identity assignment back.
+  for (std::size_t sg = 0; sg < t.subgraphs.size(); ++sg) {
+    EXPECT_EQ(report.suggested_subgraph_partition[sg],
+              t.subgraphs[sg].partition);
+  }
+}
+
+// --- Conservation invariant across all nine algorithms -------------------
+
+// Arms the profiler for one scope; sample_every=1 so vertex-centric runs
+// sample every vertex (the sketch fan-out weight then reconciles exactly).
+class ArmedProfiler {
+ public:
+  ArmedProfiler() {
+    ProfileOptions options;
+    options.sample_every = 1;
+    options.sketch_capacity = 32;
+    Profiler::global().arm(options);
+  }
+  ~ArmedProfiler() { Profiler::global().disarm(); }
+};
+
+// The invariant: per partition, the attribution cells of its subgraphs sum
+// to exactly the meters the engine recorded per superstep (which also feed
+// the per-partition MetricsRegistry counters).
+void expectReconciles(const RunStats& stats) {
+  ASSERT_TRUE(stats.hasAttribution());
+  const AttributionTable& a = stats.attribution();
+  ASSERT_FALSE(a.empty());
+  const std::size_t k = a.num_partitions;
+
+  std::vector<std::uint64_t> meter_computes(k, 0);
+  std::vector<std::uint64_t> meter_msgs(k, 0);
+  std::vector<std::uint64_t> meter_bytes(k, 0);
+  for (const auto& rec : stats.supersteps()) {
+    for (std::size_t p = 0; p < rec.parts.size() && p < k; ++p) {
+      meter_computes[p] += rec.parts[p].subgraphs_computed;
+      meter_msgs[p] += rec.parts[p].messages_sent;
+      meter_bytes[p] += rec.parts[p].bytes_sent;
+    }
+  }
+
+  std::vector<std::uint64_t> attrib_computes(k, 0);
+  std::vector<std::uint64_t> attrib_msgs(k, 0);
+  std::vector<std::uint64_t> attrib_bytes(k, 0);
+  std::uint64_t out_msgs = 0;
+  std::uint64_t out_bytes = 0;
+  for (const auto& row : a.rows) {
+    for (std::size_t sg = 0; sg < row.size(); ++sg) {
+      const auto p = static_cast<std::size_t>(a.subgraphs[sg].partition);
+      ASSERT_LT(p, k);
+      attrib_computes[p] += row[sg].computes;
+      attrib_msgs[p] += row[sg].msgs_out;
+      attrib_bytes[p] += row[sg].bytes_out;
+      out_msgs += row[sg].msgs_out;
+      out_bytes += row[sg].bytes_out;
+    }
+  }
+  for (std::size_t p = 0; p < k; ++p) {
+    EXPECT_EQ(attrib_computes[p], meter_computes[p]) << "partition " << p;
+    EXPECT_EQ(attrib_msgs[p], meter_msgs[p]) << "partition " << p;
+    EXPECT_EQ(attrib_bytes[p], meter_bytes[p]) << "partition " << p;
+  }
+
+  // Every send charges the destination too: in == out, conserved.
+  std::uint64_t in_msgs = 0;
+  std::uint64_t in_bytes = 0;
+  for (std::size_t sg = 0; sg < a.msgs_in.size(); ++sg) {
+    in_msgs += a.msgs_in[sg];
+    in_bytes += a.bytes_in[sg];
+  }
+  EXPECT_EQ(in_msgs, out_msgs);
+  EXPECT_EQ(in_bytes, out_bytes);
+}
+
+struct RoadEnv {
+  GraphTemplatePtr tmpl = smallRoad(8, 8);
+  PartitionedGraph pg = partitionGraph(tmpl, kPartitions);
+  TimeSeriesCollection coll = roadCollection(tmpl, kTimesteps);
+  std::size_t latency_attr = tmpl->edgeSchema().requireIndex("latency");
+};
+
+struct SocialEnv {
+  GraphTemplatePtr tmpl = smallSocial(64);
+  PartitionedGraph pg = partitionGraph(tmpl, kPartitions);
+  TimeSeriesCollection coll = tweetCollection(tmpl, kTimesteps);
+  std::size_t tweets_attr = tmpl->vertexSchema().requireIndex("tweets");
+};
+
+TEST(ProfileReconciliation, Tdsp) {
+  RoadEnv env;
+  ArmedProfiler armed;
+  DirectInstanceProvider provider(env.pg, env.coll);
+  TdspOptions options;
+  options.latency_attr = env.latency_attr;
+  expectReconciles(runTdsp(env.pg, provider, options).exec.stats);
+}
+
+TEST(ProfileReconciliation, Meme) {
+  SocialEnv env;
+  ArmedProfiler armed;
+  DirectInstanceProvider provider(env.pg, env.coll);
+  MemeOptions options;
+  options.tweets_attr = env.tweets_attr;
+  expectReconciles(runMemeTracking(env.pg, provider, options).exec.stats);
+}
+
+TEST(ProfileReconciliation, Hashtag) {
+  SocialEnv env;
+  ArmedProfiler armed;
+  DirectInstanceProvider provider(env.pg, env.coll);
+  HashtagOptions options;
+  options.tweets_attr = env.tweets_attr;
+  expectReconciles(
+      runHashtagAggregation(env.pg, provider, options).exec.stats);
+}
+
+TEST(ProfileReconciliation, PageRank) {
+  RoadEnv env;
+  ArmedProfiler armed;
+  DirectInstanceProvider provider(env.pg, env.coll);
+  expectReconciles(
+      runSubgraphPageRank(env.pg, provider, PageRankOptions{}).exec.stats);
+}
+
+TEST(ProfileReconciliation, Sssp) {
+  RoadEnv env;
+  ArmedProfiler armed;
+  DirectInstanceProvider provider(env.pg, env.coll);
+  SsspOptions options;
+  options.latency_attr = env.latency_attr;
+  expectReconciles(runSubgraphSssp(env.pg, provider, options).exec.stats);
+}
+
+TEST(ProfileReconciliation, Wcc) {
+  RoadEnv env;
+  ArmedProfiler armed;
+  DirectInstanceProvider provider(env.pg, env.coll);
+  expectReconciles(
+      runSubgraphWcc(env.pg, provider, WccOptions{}).exec.stats);
+}
+
+TEST(ProfileReconciliation, TopN) {
+  SocialEnv env;
+  ArmedProfiler armed;
+  DirectInstanceProvider provider(env.pg, env.coll);
+  TopNOptions options;
+  options.tweets_attr = env.tweets_attr;
+  expectReconciles(
+      runTopActiveVertices(env.pg, provider, options).exec.stats);
+}
+
+TEST(ProfileReconciliation, TdspVertex) {
+  RoadEnv env;
+  ArmedProfiler armed;
+  DirectInstanceProvider provider(env.pg, env.coll);
+  VertexTdspOptions options;
+  options.latency_attr = env.latency_attr;
+  expectReconciles(runVertexTdsp(env.pg, provider, options).exec.stats);
+}
+
+TEST(ProfileReconciliation, SsspVertex) {
+  RoadEnv env;
+  ArmedProfiler armed;
+  vertexcentric::SsspVertexProgram program(0);
+  vertexcentric::VertexCentricEngine engine(env.pg);
+  const auto run =
+      engine.run(program, vertexcentric::VcConfig{},
+                 [](VertexIndex) { return vertexcentric::kInf; });
+  expectReconciles(run.stats);
+
+  // Vertex engines feed the heavy-hitter sketches; at sample_every=1 the
+  // fan-out sketch weight is exactly the total message count.
+  const AttributionTable& a = run.stats.attribution();
+  EXPECT_FALSE(a.hot_compute.empty());
+  EXPECT_GT(a.sketch_weight_compute, 0u);
+  std::uint64_t total_msgs = 0;
+  for (const auto& rec : run.stats.supersteps()) {
+    for (const auto& part : rec.parts) {
+      total_msgs += part.messages_sent;
+    }
+  }
+  EXPECT_EQ(a.sketch_weight_fanout, total_msgs);
+}
+
+// --- Lifecycle -----------------------------------------------------------
+
+TEST(Profiler, DisarmedRunRecordsNothing) {
+  Profiler::global().disarm();
+  SocialEnv env;
+  DirectInstanceProvider provider(env.pg, env.coll);
+  MemeOptions options;
+  options.tweets_attr = env.tweets_attr;
+  const auto run = runMemeTracking(env.pg, provider, options);
+  EXPECT_FALSE(Profiler::enabled());
+  EXPECT_FALSE(run.exec.stats.hasAttribution());
+}
+
+TEST(Profiler, HooksAreNoOpsOutsideRunWindow) {
+  ArmedProfiler armed;
+  // Armed but no beginRun(): every hook must be a harmless no-op.
+  Profiler::global().recordCompute(0, 0, 100);
+  Profiler::global().recordSend(0, 1, 0, 8);
+  Profiler::global().recordVertexSample(0, 3, 50, 2);
+  Profiler::global().recordResidentSlice(0, 0, 4096);
+  Profiler::global().recordWaitCaused(0, 10);
+  Profiler::global().recordStealVictim(0);
+  Profiler::global().resetRowsFrom(0);
+  const AttributionTable t = Profiler::global().take();
+  EXPECT_TRUE(t.empty());
+}
+
+// Attribution survives the full RunStats JSON round trip (what `tsgcli
+// analyze --attrib` consumes from an exported run).
+TEST(Profiler, AttributionRoundTripsThroughRunStatsJson) {
+  SocialEnv env;
+  ArmedProfiler armed;
+  DirectInstanceProvider provider(env.pg, env.coll);
+  MemeOptions options;
+  options.tweets_attr = env.tweets_attr;
+  const auto run = runMemeTracking(env.pg, provider, options);
+  ASSERT_TRUE(run.exec.stats.hasAttribution());
+
+  const std::string doc = runStatsToJson(run.exec.stats, "profile-test");
+  const auto loaded = unwrap(runStatsFromJson(doc));
+  ASSERT_TRUE(loaded.stats.hasAttribution());
+  const AttributionTable& before = run.exec.stats.attribution();
+  const AttributionTable& after = loaded.stats.attribution();
+  EXPECT_EQ(after.numSubgraphs(), before.numSubgraphs());
+  EXPECT_EQ(after.num_rows, before.num_rows);
+  EXPECT_EQ(after.subgraphTotals().size(), before.subgraphTotals().size());
+  EXPECT_EQ(after.partitionComputeNs(), before.partitionComputeNs());
+}
+
+}  // namespace
+}  // namespace tsg

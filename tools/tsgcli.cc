@@ -61,6 +61,8 @@
 #include "metrics/analysis.h"
 #include "metrics/report.h"
 #include "partition/partitioner.h"
+#include "profile/advisor.h"
+#include "profile/profiler.h"
 #include "runtime/fault_injector.h"
 #include "telemetry/run_telemetry.h"
 #include "telemetry/timeline.h"
@@ -131,13 +133,17 @@ int usage() {
       "  pagerank DIR [--iters=N] [--top=N]\n"
       "  wcc      DIR\n"
       "  check    ALGO DIR [--runs=N] [--seed=S] [--schedule=bsp|async]\n"
+      "           [--json=PATH]  (stats of the last run; with --profile,\n"
+      "            the vertex engines' attribution reaches `analyze`)\n"
       "           ALGO: tdsp|meme|hashtag|pagerank|sssp|wcc|topn|\n"
       "                 tdsp-vertex|sssp-vertex\n"
       "           runs ALGO N times under perturbed worker schedules with\n"
       "           the BSP protocol checker on; exit 1 if outputs diverge\n"
       "           (with --schedule=async, also runs the BSP reference once\n"
       "            and requires the async digests to match it)\n"
-      "  analyze  RUN.json | --timeline=TIMELINE.json\n"
+      "  analyze  RUN.json [--attrib] | --timeline=TIMELINE.json\n"
+      "           --attrib: render the cost-attribution report (per-subgraph\n"
+      "           table, hot vertices, per-timestep skew, partition advisor)\n"
       "  compare  BASE.json CANDIDATE.json [--max-regress=PCT]\n"
       "  top      ALGO DIR [--schedule=bsp|async] [--sample-ms=N]\n"
       "           [--refresh-ms=N]\n"
@@ -157,6 +163,11 @@ int usage() {
       "  --schedule=bsp|async  superstep scheduling: global barrier (bsp,\n"
       "                        default) or dependency-driven waves with\n"
       "                        work stealing (async; identical output)\n"
+      "  --profile[=TOPK]   arm the cost-attribution profiler (per-subgraph\n"
+      "                     accounting + top-K heavy-hitter sketches;\n"
+      "                     TOPK defaults to 64)\n"
+      "  --profile-sample=N time every Nth vertex in the vertex-centric\n"
+      "                     engines (default 8; implies --profile)\n"
       "all commands take:\n"
       "  --log-level=debug|info|warn|error (overrides TSG_LOG_LEVEL)\n"
       "  --inject=PLAN  arm the fault injector, e.g.\n"
@@ -242,8 +253,49 @@ void printFaultSummary(const RunStats& stats) {
   }
 }
 
+// Short attribution footer for run commands (full report: analyze --attrib):
+// the heaviest subgraphs by attributed compute, plus the scheduler blame
+// line when any wait was charged.
+void printAttributionSummary(const RunStats& stats) {
+  if (!stats.hasAttribution() || stats.attribution().empty()) {
+    return;
+  }
+  const AttributionTable& attrib = stats.attribution();
+  const auto totals = attrib.subgraphTotals();
+  std::int64_t total_ns = 0;
+  for (const auto& c : totals) {
+    total_ns += c.compute_ns;
+  }
+  std::vector<std::size_t> order(totals.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  const std::size_t keep = std::min<std::size_t>(5, order.size());
+  std::partial_sort(order.begin(), order.begin() + keep, order.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      return totals[a].compute_ns > totals[b].compute_ns;
+                    });
+  TextTable table({"subgraph", "partition", "compute ms", "share", "msgs out"});
+  for (std::size_t i = 0; i < keep; ++i) {
+    const std::size_t sg = order[i];
+    const double share =
+        total_ns > 0 ? 100.0 * static_cast<double>(totals[sg].compute_ns) /
+                           static_cast<double>(total_ns)
+                     : 0.0;
+    table.addRow({std::to_string(sg),
+                  std::to_string(attrib.subgraphs[sg].partition),
+                  TextTable::fmtDouble(
+                      static_cast<double>(totals[sg].compute_ns) / 1e6, 3),
+                  TextTable::fmtDouble(share, 1) + "%",
+                  TextTable::fmtCount(totals[sg].msgs_out)});
+  }
+  std::printf("== cost attribution: top subgraphs by compute ==\n%s",
+              table.render().c_str());
+}
+
 void printRunFooter(const RunStats& stats) {
   printFaultSummary(stats);
+  printAttributionSummary(stats);
   std::fputs(summarizeRun(stats, "run").c_str(), stdout);
   std::fputc('\n', stdout);
   std::fputs(renderUtilization(stats, "per-partition split").c_str(), stdout);
@@ -613,6 +665,119 @@ Result<LoadedRunStats> loadRunStatsFile(const std::string& path) {
   return loaded;
 }
 
+// Superstep/batch histogram quantiles for the analyze summary. Duration
+// series (.._ns) render as milliseconds; size series as raw counts.
+std::string renderHistogramQuantiles(const RunStats& stats) {
+  if (stats.histograms().empty()) {
+    return "";
+  }
+  const auto fmt = [](const std::string& name, std::uint64_t v) {
+    if (name.size() > 3 && name.compare(name.size() - 3, 3, "_ns") == 0) {
+      return TextTable::fmtDouble(static_cast<double>(v) / 1e6, 3);
+    }
+    return TextTable::fmtCount(v);
+  };
+  TextTable table({"histogram", "count", "p50", "p95", "p99", "max"});
+  for (const auto& h : stats.histograms()) {
+    if (h.count == 0) {
+      continue;
+    }
+    table.addRow({h.name, TextTable::fmtCount(h.count),
+                  fmt(h.name, h.quantile(0.50)), fmt(h.name, h.quantile(0.95)),
+                  fmt(h.name, h.quantile(0.99)), fmt(h.name, h.max)});
+  }
+  return "== histogram quantiles (ms / count) ==\n" + table.render();
+}
+
+// The full --attrib report: per-subgraph cost table, per-timestep skew
+// series, heavy-hitter vertices, and the partition-quality advisor cross-
+// referenced with the critical-path analysis.
+void printAttributionReport(const AttributionTable& attrib,
+                            const CriticalPathAnalysis& analysis) {
+  const auto totals = attrib.subgraphTotals();
+  std::int64_t total_ns = 0;
+  for (const auto& c : totals) {
+    total_ns += c.compute_ns;
+  }
+
+  std::vector<std::size_t> order(totals.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return totals[a].compute_ns > totals[b].compute_ns;
+  });
+  const std::size_t keep = std::min<std::size_t>(15, order.size());
+  TextTable table({"subgraph", "partition", "vertices", "compute ms", "share",
+                   "computes", "msgs out", "msgs in", "KB out", "KB in",
+                   "resident KB"});
+  for (std::size_t i = 0; i < keep; ++i) {
+    const std::size_t sg = order[i];
+    const double share =
+        total_ns > 0 ? 100.0 * static_cast<double>(totals[sg].compute_ns) /
+                           static_cast<double>(total_ns)
+                     : 0.0;
+    table.addRow(
+        {std::to_string(sg), std::to_string(attrib.subgraphs[sg].partition),
+         TextTable::fmtCount(attrib.subgraphs[sg].vertices),
+         TextTable::fmtDouble(
+             static_cast<double>(totals[sg].compute_ns) / 1e6, 3),
+         TextTable::fmtDouble(share, 1) + "%",
+         TextTable::fmtCount(totals[sg].computes),
+         TextTable::fmtCount(totals[sg].msgs_out),
+         TextTable::fmtCount(attrib.msgs_in[sg]),
+         TextTable::fmtDouble(static_cast<double>(totals[sg].bytes_out) / 1e3,
+                              1),
+         TextTable::fmtDouble(static_cast<double>(attrib.bytes_in[sg]) / 1e3,
+                              1),
+         TextTable::fmtDouble(
+             static_cast<double>(totals[sg].resident_bytes) / 1e3, 1)});
+  }
+  std::printf("== cost attribution: subgraphs by compute (top %zu of %zu) ==\n%s",
+              keep, totals.size(), table.render().c_str());
+
+  // Per-timestep compute + skew (Gini over the row's subgraph compute).
+  TextTable skew({"timestep", "compute ms", "gini"});
+  for (std::int32_t row = 0; row < attrib.num_rows; ++row) {
+    std::int64_t row_ns = 0;
+    for (const auto& cell : attrib.rows[static_cast<std::size_t>(row)]) {
+      row_ns += cell.compute_ns;
+    }
+    if (row_ns == 0) {
+      continue;
+    }
+    const bool merge_row = row == attrib.num_rows - 1;
+    skew.addRow({merge_row ? "merge"
+                           : std::to_string(attrib.first_timestep + row),
+                 TextTable::fmtDouble(static_cast<double>(row_ns) / 1e6, 3),
+                 TextTable::fmtDouble(attrib.rowGini(row), 3)});
+  }
+  std::printf("== per-timestep compute skew ==\n%s", skew.render().c_str());
+
+  const auto hotTable = [](const std::vector<HotVertex>& hot,
+                           const char* what) {
+    if (hot.empty()) {
+      return;
+    }
+    TextTable t({"vertex", "partition", "weight<=", "error"});
+    const std::size_t n = std::min<std::size_t>(10, hot.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      t.addRow({std::to_string(hot[i].vertex),
+                std::to_string(hot[i].partition),
+                TextTable::fmtCount(hot[i].weight),
+                TextTable::fmtCount(hot[i].error)});
+    }
+    std::printf("== hot vertices: %s (space-saving top-k; true weight in "
+                "[weight-error, weight]) ==\n%s",
+                what, t.render().c_str());
+  };
+  hotTable(attrib.hot_compute, "compute ns");
+  hotTable(attrib.hot_fanout, "message fan-out");
+
+  const AdvisorReport advice = advisePartitioning(attrib, &analysis);
+  std::fputs(renderAdvisorReport(advice).c_str(), stdout);
+}
+
 int cmdAnalyze(const Args& args) {
   // For analyze, --timeline= names a file to READ (written earlier by a run
   // command); render the Fig. 7-style utilization/progress curves from it.
@@ -649,6 +814,17 @@ int cmdAnalyze(const Args& args) {
   const auto analysis = analyzeCriticalPath(run.stats);
   std::fputs(renderCriticalPath(analysis, label).c_str(), stdout);
   std::fputs(renderUtilization(run.stats, label).c_str(), stdout);
+  std::fputs(renderHistogramQuantiles(run.stats).c_str(), stdout);
+  if (args.has("attrib")) {
+    if (!run.stats.hasAttribution() || run.stats.attribution().empty()) {
+      std::fputs(
+          "tsgcli analyze: no attribution block in this run (record one "
+          "with --profile= on the run command)\n",
+          stderr);
+      return 2;
+    }
+    printAttributionReport(run.stats.attribution(), analysis);
+  }
   return 0;
 }
 
@@ -658,9 +834,13 @@ int cmdAnalyze(const Args& args) {
 
 // Digests an algorithm's semantic outputs for one run. Each branch hashes
 // exactly the values a user would consume — never timings or metrics.
+// `stats_out`, when non-null, receives the run's RunStats (including any
+// armed attribution) so `check --json=` can persist a vertex-engine run —
+// the only CLI path that exercises the vertex-centric engines.
 Result<std::string> runAlgoDigest(const std::string& algo,
                                   const GofsDataset& ds,
-                                  Schedule schedule) {
+                                  Schedule schedule,
+                                  RunStats* stats_out = nullptr) {
   const auto& pg = ds.partitionedGraph();
   const auto& vertex_schema = pg.graphTemplate().vertexSchema();
   const auto& edge_schema = pg.graphTemplate().edgeSchema();
@@ -687,6 +867,9 @@ Result<std::string> runAlgoDigest(const std::string& algo,
     options.schedule = schedule;
     options.latency_attr = edge_schema.requireIndex(kLatencyAttr);
     const auto run = runTdsp(pg, *provider, options);
+    if (stats_out != nullptr) {
+      *stats_out = run.exec.stats;
+    }
     d.addDoubles(run.tdsp);
     d.addVector(run.finalized_at, [](check::Digest& dd, Timestep t) {
       dd.addI64(t);
@@ -697,6 +880,9 @@ Result<std::string> runAlgoDigest(const std::string& algo,
     options.schedule = schedule;
     options.tweets_attr = vertex_schema.requireIndex(kTweetsAttr);
     const auto run = runMemeTracking(pg, *provider, options);
+    if (stats_out != nullptr) {
+      *stats_out = run.exec.stats;
+    }
     d.addVector(run.colored_at, [](check::Digest& dd, Timestep t) {
       dd.addI64(t);
     });
@@ -705,23 +891,35 @@ Result<std::string> runAlgoDigest(const std::string& algo,
     options.schedule = schedule;
     options.tweets_attr = vertex_schema.requireIndex(kTweetsAttr);
     const auto run = runHashtagAggregation(pg, *provider, options);
+    if (stats_out != nullptr) {
+      *stats_out = run.exec.stats;
+    }
     d.addU64s(run.counts);
     d.addI64s(run.rate_of_change);
   } else if (algo == "pagerank") {
     PageRankOptions options;
     options.schedule = schedule;
     const auto run = runSubgraphPageRank(pg, *provider, options);
+    if (stats_out != nullptr) {
+      *stats_out = run.exec.stats;
+    }
     d.addDoubles(run.ranks);
   } else if (algo == "sssp") {
     SsspOptions options;
     options.schedule = schedule;
     options.latency_attr = edge_schema.requireIndex(kLatencyAttr);
     const auto run = runSubgraphSssp(pg, *provider, options);
+    if (stats_out != nullptr) {
+      *stats_out = run.exec.stats;
+    }
     d.addDoubles(run.distances);
   } else if (algo == "wcc") {
     WccOptions options;
     options.schedule = schedule;
     const auto run = runSubgraphWcc(pg, *provider, options);
+    if (stats_out != nullptr) {
+      *stats_out = run.exec.stats;
+    }
     d.addVector(run.component, [](check::Digest& dd, VertexIndex v) {
       dd.addU64(v);
     });
@@ -731,6 +929,9 @@ Result<std::string> runAlgoDigest(const std::string& algo,
     options.schedule = schedule;
     options.tweets_attr = vertex_schema.requireIndex(kTweetsAttr);
     const auto run = runTopActiveVertices(pg, *provider, options);
+    if (stats_out != nullptr) {
+      *stats_out = run.exec.stats;
+    }
     d.addU64(run.top.size());
     for (const auto& per_t : run.top) {
       d.addVector(per_t, [](check::Digest& dd, VertexIndex v) {
@@ -742,6 +943,9 @@ Result<std::string> runAlgoDigest(const std::string& algo,
     options.schedule = schedule;
     options.latency_attr = edge_schema.requireIndex(kLatencyAttr);
     const auto run = runVertexTdsp(pg, *provider, options);
+    if (stats_out != nullptr) {
+      *stats_out = run.exec.stats;
+    }
     d.addDoubles(run.tdsp);
     d.addVector(run.finalized_at, [](check::Digest& dd, Timestep t) {
       dd.addI64(t);
@@ -756,6 +960,9 @@ Result<std::string> runAlgoDigest(const std::string& algo,
                                 [](VertexIndex) {
                                   return vertexcentric::kInf;
                                 });
+    if (stats_out != nullptr) {
+      *stats_out = run.stats;
+    }
     d.addDoubles(run.values);
     d.addI64(run.supersteps);
   } else {
@@ -808,9 +1015,10 @@ int cmdCheck(const Args& args) {
   }
 
   Status failed = Status::ok();
+  RunStats last_stats;
   const auto report = check::checkDeterminism(
       options, [&](std::int32_t) -> std::string {
-        auto digest = runAlgoDigest(algo, ds.value(), schedule);
+        auto digest = runAlgoDigest(algo, ds.value(), schedule, &last_stats);
         if (!digest.isOk()) {
           failed = digest.status();
           return "";
@@ -819,6 +1027,17 @@ int cmdCheck(const Args& args) {
       });
   if (!failed.isOk()) {
     return fail(failed);
+  }
+  // --json= persists the last harness run's stats. This is the only CLI
+  // route into the vertex-centric engines, so it is also how their
+  // attribution tables (per-vertex heavy-hitter sketches) reach `analyze`.
+  if (!g_json_path.empty()) {
+    if (writeTextFile(g_json_path,
+                      runStatsToJson(last_stats, "check " + algo))) {
+      std::printf("wrote run stats: %s\n", g_json_path.c_str());
+    } else {
+      std::fprintf(stderr, "tsgcli: cannot write %s\n", g_json_path.c_str());
+    }
   }
   std::fputs(
       check::renderDeterminismReport(report, algo + " on " +
@@ -1016,6 +1235,12 @@ int cmdTop(const Args& args) {
   std::printf("%s", renderTopFrame(algo, num_partitions, last,
                                    has_prev ? &prev : nullptr, elapsed_s)
                         .c_str());
+  // Sampler health footer: how many frames the ring produced, how many a
+  // slow consumer cost us, and how far the tick thread fell behind.
+  std::printf("telemetry: %llu samples, %llu dropped, %llu missed ticks\n",
+              static_cast<unsigned long long>(sampler.ring().produced()),
+              static_cast<unsigned long long>(sampler.ring().droppedSamples()),
+              static_cast<unsigned long long>(sampler.missedTicks()));
   if (!digest.isOk()) {
     return fail(digest.status());
   }
@@ -1120,6 +1345,20 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(args.getInt("inject-seed", 42)));
   } else {
     fault::armFromEnv();
+  }
+  // Cost-attribution profiler: armed process-wide before any engine runs;
+  // the engines attach the table to RunStats and the footers render it.
+  if (args.has("profile") || args.has("profile-sample")) {
+    ProfileOptions profile_options;
+    const std::int64_t topk = args.getInt("profile", 0);
+    if (topk > 1) {
+      profile_options.sketch_capacity = static_cast<std::size_t>(topk);
+    }
+    const std::int64_t sample = args.getInt("profile-sample", 0);
+    if (sample > 0) {
+      profile_options.sample_every = static_cast<std::uint32_t>(sample);
+    }
+    Profiler::global().arm(profile_options);
   }
   g_json_path = args.get("json", "");
   const std::string trace_path = args.get("trace", "");
