@@ -18,7 +18,7 @@
 #include "gofs/dataset.h"
 #include "graph/collection.h"
 #include "partition/partitioned_graph.h"
-#include "runtime/stats.h"
+#include "metrics/stats.h"
 
 namespace tsg::bench {
 

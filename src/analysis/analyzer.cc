@@ -1,0 +1,281 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace tsg {
+namespace lint {
+
+namespace {
+
+std::string normalizeSlashes(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  return path;
+}
+
+// Reads a whole file; returns false on IO error.
+bool readFile(const std::string& abs_path, std::string& out) {
+  std::ifstream in(abs_path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+// Parses every NOLINT(...) occurrence in a comment into tsg rule names.
+void parseNolint(const std::string& text, std::set<std::string>& rules) {
+  std::size_t at = 0;
+  while ((at = text.find("NOLINT(", at)) != std::string::npos) {
+    const std::size_t open = at + 7;
+    const std::size_t close = text.find(')', open);
+    if (close == std::string::npos) {
+      break;
+    }
+    std::string inner = text.substr(open, close - open);
+    std::size_t begin = 0;
+    while (begin <= inner.size()) {
+      std::size_t end = inner.find(',', begin);
+      if (end == std::string::npos) {
+        end = inner.size();
+      }
+      std::string item = inner.substr(begin, end - begin);
+      const std::size_t first = item.find_first_not_of(" \t");
+      const std::size_t last = item.find_last_not_of(" \t");
+      if (first != std::string::npos) {
+        item = item.substr(first, last - first + 1);
+        if (item.rfind("tsg-", 0) == 0) {
+          rules.insert(item.substr(4));
+        }
+      }
+      begin = end + 1;
+    }
+    at = close;
+  }
+}
+
+// True if `tokens[i]` starts at or after the (line, column) position.
+bool tokenAtOrAfter(const Token& t, int line, int column) {
+  return t.line > line || (t.line == line && t.column >= column);
+}
+
+// A hot marker is a comment that *leads* with tsg:hot (`// tsg:hot` or
+// `// tsg:hot — reason`); prose that merely mentions the annotation does
+// not mark a region.
+bool isHotMarker(const std::string& text) {
+  std::size_t i = 0;
+  while (i < text.size() && (text[i] == '/' || text[i] == '*')) {
+    ++i;
+  }
+  while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) {
+    ++i;
+  }
+  return text.compare(i, 7, "tsg:hot") == 0;
+}
+
+}  // namespace
+
+std::string SourceFile::module() const {
+  const std::size_t slash = path.find('/');
+  if (slash == std::string::npos) {
+    return path;
+  }
+  const std::string top = path.substr(0, slash);
+  if (top != "src") {
+    return top;
+  }
+  const std::size_t next = path.find('/', slash + 1);
+  if (next == std::string::npos) {
+    return top;
+  }
+  return path.substr(slash + 1, next - slash - 1);
+}
+
+bool SourceFile::isHot(std::size_t token_index) const {
+  for (const auto& [begin, end] : hot_regions) {
+    if (token_index >= begin && token_index < end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SourceFile buildSourceFile(std::string path, LexResult lex_result) {
+  SourceFile f;
+  f.path = normalizeSlashes(std::move(path));
+  f.lex = std::move(lex_result);
+
+  for (const Comment& c : f.lex.comments) {
+    std::set<std::string> rules;
+    parseNolint(c.text, rules);
+    if (!rules.empty()) {
+      f.suppressions[c.line].insert(rules.begin(), rules.end());
+    }
+  }
+
+  // `// tsg:hot` marks the next braced block: the first `{` at or after the
+  // marker, or — for a trailing marker on a block-opening line — the last
+  // `{` earlier on the same line.
+  const auto& tokens = f.lex.tokens;
+  for (const Comment& c : f.lex.comments) {
+    if (!isHotMarker(c.text)) {
+      continue;
+    }
+    std::size_t open = tokens.size();
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (tokenAtOrAfter(tokens[i], c.line, c.column) &&
+          tokens[i].kind == TokenKind::kPunct && tokens[i].text == "{") {
+        open = i;
+        break;
+      }
+    }
+    // Trailing-marker form: `while (...) {  // tsg:hot`.
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (tokens[i].line == c.line && tokens[i].column < c.column &&
+          tokens[i].kind == TokenKind::kPunct && tokens[i].text == "{") {
+        open = i;  // keep the last one before the marker
+      }
+      if (tokens[i].line > c.line) {
+        break;
+      }
+    }
+    if (open >= tokens.size()) {
+      continue;
+    }
+    int depth = 0;
+    std::size_t close = tokens.size();
+    for (std::size_t i = open; i < tokens.size(); ++i) {
+      if (tokens[i].kind != TokenKind::kPunct) {
+        continue;
+      }
+      if (tokens[i].text == "{") {
+        ++depth;
+      } else if (tokens[i].text == "}") {
+        if (--depth == 0) {
+          close = i;
+          break;
+        }
+      }
+    }
+    f.hot_regions.emplace_back(open + 1, close);
+  }
+  return f;
+}
+
+Analyzer::Analyzer(AnalyzerOptions options) : options_(std::move(options)) {
+  if (options_.layers_path.empty()) {
+    options_.layers_path = options_.root + "/tools/layers.txt";
+  }
+  if (options_.lock_order_path.empty()) {
+    options_.lock_order_path = options_.root + "/tools/lock_order.txt";
+  }
+}
+
+std::vector<std::string> Analyzer::collectFiles(
+    const std::vector<std::string>& paths) const {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& rel : paths) {
+    const fs::path abs = fs::path(options_.root) / rel;
+    std::error_code ec;
+    if (fs::is_directory(abs, ec)) {
+      for (fs::recursive_directory_iterator it(abs, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_directory() &&
+            (it->path().filename() == "lint_fixtures" ||
+             it->path().filename().string().rfind('.', 0) == 0)) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (!it->is_regular_file()) {
+          continue;
+        }
+        const std::string ext = it->path().extension().string();
+        if (ext != ".cc" && ext != ".h") {
+          continue;
+        }
+        files.push_back(normalizeSlashes(
+            fs::relative(it->path(), options_.root).string()));
+      }
+    } else {
+      files.push_back(normalizeSlashes(rel));
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::vector<Diagnostic> Analyzer::run(
+    const std::vector<std::string>& files) const {
+  std::vector<Diagnostic> out;
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
+  for (const std::string& rel : files) {
+    std::string text;
+    if (!readFile(options_.root + "/" + rel, text)) {
+      out.push_back(Diagnostic{rel, 0, "io", "cannot read file"});
+      continue;
+    }
+    sources.push_back(buildSourceFile(rel, lex(text)));
+  }
+
+  for (const SourceFile& f : sources) {
+    checkTraceLiteral(f, out);
+    checkNakedThread(f, out);
+    checkUnseededRng(f, out);
+    checkMetricName(f, out);
+    checkHotPath(f, out);
+    checkAtomics(f, out);
+  }
+
+  std::string layers_text;
+  if (readFile(options_.layers_path, layers_text)) {
+    checkLayering(sources, layers_text, out);
+  } else {
+    out.push_back(Diagnostic{normalizeSlashes(options_.layers_path), 0,
+                             "layering", "cannot read layer declaration"});
+  }
+  std::string seed_text;
+  if (readFile(options_.lock_order_path, seed_text)) {
+    checkLockOrder(sources, seed_text, out);
+  } else {
+    out.push_back(Diagnostic{normalizeSlashes(options_.lock_order_path), 0,
+                             "lock-order", "cannot read lock-order seeds"});
+  }
+
+  // Apply NOLINT suppressions (graph-level rules are not waivable: a
+  // layering back-edge or a lock cycle gets fixed, not annotated away).
+  std::map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& f : sources) {
+    by_path[f.path] = &f;
+  }
+  std::vector<Diagnostic> kept;
+  for (Diagnostic& d : out) {
+    if (d.rule != "layering" && d.rule != "lock-order") {
+      const auto fit = by_path.find(d.file);
+      if (fit != by_path.end()) {
+        const auto sit = fit->second->suppressions.find(d.line);
+        if (sit != fit->second->suppressions.end() &&
+            sit->second.count(d.rule) != 0) {
+          continue;
+        }
+      }
+    }
+    kept.push_back(std::move(d));
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return kept;
+}
+
+}  // namespace lint
+}  // namespace tsg

@@ -1,0 +1,300 @@
+#include "analysis/lexer.h"
+
+#include <cctype>
+
+namespace tsg {
+namespace lint {
+
+namespace {
+
+// Cursor over the raw source that performs phase-2 line splicing
+// (backslash-newline deletion) transparently while keeping physical
+// line/column positions truthful. Raw-string bodies opt out via rawGet()
+// — the standard un-splices them.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  [[nodiscard]] bool atEnd() const { return skipSplices(pos_) >= src_.size(); }
+
+  // Current character after splice skipping (0 at end).
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    std::size_t p = skipSplices(pos_);
+    while (ahead > 0 && p < src_.size()) {
+      p = skipSplices(p + 1);
+      --ahead;
+    }
+    return p < src_.size() ? src_[p] : '\0';
+  }
+
+  char get() {
+    pos_ = skipSplices(pos_);
+    if (pos_ >= src_.size()) {
+      return '\0';
+    }
+    const char c = src_[pos_++];
+    advancePosition(c);
+    return c;
+  }
+
+  // Raw-string mode: no splice processing at all.
+  [[nodiscard]] bool rawAtEnd() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char rawPeek() const {
+    return pos_ < src_.size() ? src_[pos_] : '\0';
+  }
+  char rawGet() {
+    if (pos_ >= src_.size()) {
+      return '\0';
+    }
+    const char c = src_[pos_++];
+    advancePosition(c);
+    return c;
+  }
+
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int column() const { return column_; }
+
+ private:
+  // Returns the first position at or after `p` that is not inside a
+  // backslash-newline splice. Updates no state (const): get() re-walks and
+  // accounts line numbers as it consumes.
+  [[nodiscard]] std::size_t skipSplices(std::size_t p) const {
+    while (p + 1 < src_.size() && src_[p] == '\\') {
+      if (src_[p + 1] == '\n') {
+        p += 2;
+      } else if (src_[p + 1] == '\r' && p + 2 < src_.size() &&
+                 src_[p + 2] == '\n') {
+        p += 3;
+      } else {
+        break;
+      }
+    }
+    return p;
+  }
+
+  void advancePosition(char c) {
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    // Account for any splice the *next* read will silently hop over, so
+    // line numbers stay physical. The skip itself happens in get().
+    std::size_t p = pos_;
+    while (p + 1 < src_.size() && src_[p] == '\\' &&
+           (src_[p + 1] == '\n' ||
+            (src_[p + 1] == '\r' && p + 2 < src_.size() &&
+             src_[p + 2] == '\n'))) {
+      p += src_[p + 1] == '\n' ? 2 : 3;
+      ++line_;
+      column_ = 1;
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '$';
+}
+
+bool isIdentCont(char c) {
+  return isIdentStart(c) || std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+// Is this identifier a string/char literal prefix (L, u, U, u8, R and the
+// raw combinations uR, u8R, LR, UR)?
+bool isLiteralPrefix(std::string_view id) {
+  return id == "L" || id == "u" || id == "U" || id == "u8" || id == "R" ||
+         id == "uR" || id == "u8R" || id == "LR" || id == "UR";
+}
+
+}  // namespace
+
+LexResult lex(std::string_view source) {
+  LexResult result;
+  Cursor cur(source);
+
+  const auto push = [&result](TokenKind kind, std::string text, int line,
+                              int column) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    t.column = column;
+    result.tokens.push_back(std::move(t));
+  };
+
+  // Consumes a quoted literal (quote already identified, not yet consumed);
+  // returns its text including quotes. Escapes are skipped, contents kept.
+  const auto lexQuoted = [&cur](char quote) {
+    std::string text;
+    text.push_back(cur.get());  // opening quote
+    while (!cur.atEnd()) {
+      const char c = cur.get();
+      text.push_back(c);
+      if (c == '\\') {
+        if (!cur.atEnd()) {
+          text.push_back(cur.get());  // escaped char, incl. quote/backslash
+        }
+        continue;
+      }
+      if (c == quote || c == '\n') {  // newline: unterminated, stop at EOL
+        break;
+      }
+    }
+    return text;
+  };
+
+  // Consumes a raw string starting at R" (R consumed by caller as part of
+  // the prefix, the cursor sits on '"'). No splices, no escapes.
+  const auto lexRawString = [&cur]() {
+    std::string text;
+    text.push_back(cur.rawGet());  // opening quote
+    std::string delim;
+    while (!cur.rawAtEnd() && cur.rawPeek() != '(') {
+      delim.push_back(cur.rawGet());
+      text.push_back(delim.back());
+    }
+    if (!cur.rawAtEnd()) {
+      text.push_back(cur.rawGet());  // '('
+    }
+    const std::string closer = ")" + delim + "\"";
+    std::string tail;
+    while (!cur.rawAtEnd()) {
+      const char c = cur.rawGet();
+      text.push_back(c);
+      tail.push_back(c);
+      if (tail.size() > closer.size()) {
+        tail.erase(tail.begin());
+      }
+      if (tail == closer) {
+        break;
+      }
+    }
+    return text;
+  };
+
+  while (!cur.atEnd()) {
+    const char c = cur.peek();
+    const int line = cur.line();
+    const int column = cur.column();
+
+    // Whitespace.
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+        c == '\v') {
+      cur.get();
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && cur.peek(1) == '/') {
+      std::string text;
+      // A line comment extends across splices (the cursor handles that).
+      while (!cur.atEnd() && cur.peek() != '\n') {
+        text.push_back(cur.get());
+      }
+      result.comments.push_back(Comment{std::move(text), line, column});
+      continue;
+    }
+    if (c == '/' && cur.peek(1) == '*') {
+      std::string text;
+      text.push_back(cur.get());
+      text.push_back(cur.get());
+      // C++ block comments do not nest: the first */ ends it, even after
+      // an inner /*.
+      while (!cur.atEnd()) {
+        const char d = cur.get();
+        text.push_back(d);
+        if (d == '*' && cur.peek() == '/') {
+          text.push_back(cur.get());
+          break;
+        }
+      }
+      result.comments.push_back(Comment{std::move(text), line, column});
+      continue;
+    }
+
+    // String and char literals (no prefix).
+    if (c == '"') {
+      push(TokenKind::kString, lexQuoted('"'), line, column);
+      continue;
+    }
+    if (c == '\'') {
+      push(TokenKind::kChar, lexQuoted('\''), line, column);
+      continue;
+    }
+
+    // Identifiers, keywords, and literal prefixes.
+    if (isIdentStart(c)) {
+      std::string text;
+      while (!cur.atEnd() && isIdentCont(cur.peek())) {
+        text.push_back(cur.get());
+      }
+      // u8"...", L'x', R"(...)", uR"(...)" etc. lex as one string token.
+      if (!cur.atEnd() && isLiteralPrefix(text)) {
+        if (cur.peek() == '"') {
+          const bool raw = text.back() == 'R';
+          std::string lit =
+              raw ? lexRawString() : lexQuoted('"');
+          push(TokenKind::kString, text + lit, line, column);
+          continue;
+        }
+        if (cur.peek() == '\'' && text.back() != 'R') {
+          push(TokenKind::kChar, text + lexQuoted('\''), line, column);
+          continue;
+        }
+      }
+      push(TokenKind::kIdentifier, std::move(text), line, column);
+      continue;
+    }
+
+    // Numbers (pp-number: digits, idents, ', and exponent signs).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(cur.peek(1))) !=
+                         0)) {
+      std::string text;
+      text.push_back(cur.get());
+      while (!cur.atEnd()) {
+        const char d = cur.peek();
+        if (isIdentCont(d) || d == '\'' || d == '.') {
+          text.push_back(cur.get());
+          continue;
+        }
+        if ((d == '+' || d == '-') && !text.empty() &&
+            (text.back() == 'e' || text.back() == 'E' || text.back() == 'p' ||
+             text.back() == 'P')) {
+          text.push_back(cur.get());
+          continue;
+        }
+        break;
+      }
+      push(TokenKind::kNumber, std::move(text), line, column);
+      continue;
+    }
+
+    // Punctuation: fuse `::` and `->`, everything else single-char.
+    if (c == ':' && cur.peek(1) == ':') {
+      cur.get();
+      cur.get();
+      push(TokenKind::kPunct, "::", line, column);
+      continue;
+    }
+    if (c == '-' && cur.peek(1) == '>') {
+      cur.get();
+      cur.get();
+      push(TokenKind::kPunct, "->", line, column);
+      continue;
+    }
+    push(TokenKind::kPunct, std::string(1, cur.get()), line, column);
+  }
+  return result;
+}
+
+}  // namespace lint
+}  // namespace tsg

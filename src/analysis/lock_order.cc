@@ -1,0 +1,701 @@
+// tsg-lock-order: builds per-function mutex-acquire sequences, propagates
+// them over an approximate intra-repo call graph, merges the known-good
+// seed order from tools/lock_order.txt, and flags any cycle in the global
+// lock graph. Not suppressible — a cycle is a deadlock waiting for the
+// right interleaving, so it gets fixed, never waived.
+//
+// Lock names are `<Class>.<member>` (enclosing class from the definition's
+// qualifier or the surrounding class body; the file's module when free).
+// Blocking acquisitions (lock_guard, scoped_lock, unique_lock without
+// defer/try tags, raw .lock()) create edges held-lock -> new-lock; a
+// try_to_lock acquisition never blocks, so it is a valid edge *source*
+// (you hold it while blocking elsewhere) but never an edge target.
+//
+// Seed grammar (tools/lock_order.txt, '#' comments):
+//   <LockA> < <LockB>     A may be held while acquiring B
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/analyzer.h"
+
+namespace tsg {
+namespace lint {
+
+namespace {
+
+bool isPunct(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+bool isIdent(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+bool isKeywordName(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "if",       "while",   "for",     "switch",        "catch",
+      "return",   "sizeof",  "alignof", "decltype",      "noexcept",
+      "operator", "static_assert",      "alignas",       "typeid",
+      "co_await", "co_return", "co_yield"};
+  return kKeywords.count(s) != 0;
+}
+
+std::size_t matchParen(const std::vector<Token>& tokens, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (isPunct(tokens[i], "(")) {
+      ++depth;
+    } else if (isPunct(tokens[i], ")")) {
+      if (--depth == 0) {
+        return i;
+      }
+    }
+  }
+  return tokens.size();
+}
+
+struct Site {
+  std::string file;
+  int line = 0;
+};
+
+struct Edge {
+  std::string from;
+  std::string to;
+  Site site;
+};
+
+struct CallSite {
+  std::string callee;       // simple name
+  bool member_call = false;  // obj.callee(...) / obj->callee(...)
+  int line = 0;
+  std::vector<std::string> held;
+};
+
+struct FunctionInfo {
+  std::string simple;
+  std::string klass;   // enclosing class or "" for free functions
+  std::string module;  // the file's module, used as class fallback
+  std::string file;
+  std::set<std::string> acquires;  // locks this body may block-acquire
+  std::vector<Edge> edges;         // direct nesting edges
+  std::vector<CallSite> calls;
+};
+
+// Last depth-0 identifier of an argument token run: the lock member in
+// `buckets_[i].mutex`, the array in `deques_[v]`.
+std::string lastTopLevelIdent(const std::vector<Token>& tokens,
+                              std::size_t begin, std::size_t end) {
+  int bracket = 0;
+  int paren = 0;
+  std::string last;
+  for (std::size_t i = begin; i < end; ++i) {
+    const Token& t = tokens[i];
+    if (t.kind == TokenKind::kPunct) {
+      if (t.text == "[") {
+        ++bracket;
+      } else if (t.text == "]") {
+        --bracket;
+      } else if (t.text == "(") {
+        ++paren;
+      } else if (t.text == ")") {
+        --paren;
+      }
+      continue;
+    }
+    if (bracket == 0 && paren == 0 && t.kind == TokenKind::kIdentifier) {
+      last = t.text;
+    }
+  }
+  return last;
+}
+
+// Splits the argument list of the paren group [open, close] at top-level
+// commas into [begin, end) token ranges.
+std::vector<std::pair<std::size_t, std::size_t>> splitArgs(
+    const std::vector<Token>& tokens, std::size_t open, std::size_t close) {
+  std::vector<std::pair<std::size_t, std::size_t>> args;
+  int depth = 0;
+  std::size_t begin = open + 1;
+  for (std::size_t i = open; i <= close && i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != TokenKind::kPunct) {
+      continue;
+    }
+    if (t.text == "(" || t.text == "[" || t.text == "{" || t.text == "<") {
+      ++depth;
+    } else if (t.text == ")" || t.text == "]" || t.text == "}" ||
+               t.text == ">") {
+      --depth;
+      if (depth == 0 && t.text == ")" && i == close) {
+        if (i > begin) {
+          args.emplace_back(begin, i);
+        }
+        break;
+      }
+    } else if (t.text == "," && depth == 1) {
+      args.emplace_back(begin, i);
+      begin = i + 1;
+    }
+  }
+  return args;
+}
+
+bool rangeHasIdent(const std::vector<Token>& tokens, std::size_t begin,
+                   std::size_t end, std::string_view name) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (tokens[i].kind == TokenKind::kIdentifier && tokens[i].text == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// --------------------------------------------------------------- parser ---
+
+class FileParser {
+ public:
+  FileParser(const SourceFile& f, std::vector<FunctionInfo>& sink)
+      : f_(f), tokens_(f.lex.tokens), sink_(sink) {}
+
+  void run() {
+    int depth = 0;
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      const Token& t = tokens_[i];
+      if (isPunct(t, "{")) {
+        ++depth;
+        continue;
+      }
+      if (isPunct(t, "}")) {
+        --depth;
+        while (!classes_.empty() && classes_.back().second >= depth) {
+          classes_.pop_back();
+        }
+        continue;
+      }
+      if (t.kind != TokenKind::kIdentifier) {
+        continue;
+      }
+      if ((t.text == "class" || t.text == "struct" || t.text == "union") &&
+          !(i > 0 && isIdent(tokens_[i - 1], "enum"))) {
+        trackClass(i, depth);
+        continue;
+      }
+      std::size_t body = findFunctionBody(i);
+      if (body != 0) {
+        parseFunction(i, body, depth);
+        // Skip to the body's closing brace; nested definitions (lambdas)
+        // belong to this function's analysis.
+        i = skipBraces(body) - 1;
+      }
+    }
+  }
+
+ private:
+  // `class X ... {` (not a forward declaration). Records (X, body depth).
+  void trackClass(std::size_t kw, int depth) {
+    std::size_t i = kw + 1;
+    std::string name;
+    if (i < tokens_.size() && tokens_[i].kind == TokenKind::kIdentifier) {
+      name = tokens_[i].text;
+    }
+    for (; i < tokens_.size(); ++i) {
+      if (isPunct(tokens_[i], ";") || isPunct(tokens_[i], "(")) {
+        return;  // forward declaration / something else
+      }
+      if (isPunct(tokens_[i], "{")) {
+        if (!name.empty()) {
+          classes_.emplace_back(name, depth + 1);
+        }
+        return;
+      }
+    }
+  }
+
+  // If token i names a function definition `name(...) [quals] [: init] {`,
+  // returns the index of the body's `{`; 0 otherwise.
+  std::size_t findFunctionBody(std::size_t i) {
+    if (i + 1 >= tokens_.size() || !isPunct(tokens_[i + 1], "(") ||
+        isKeywordName(tokens_[i].text)) {
+      return 0;
+    }
+    // Calls are not definitions: a member access / plain call in statement
+    // position still gets rejected below because the `)` is followed by
+    // `;`, an operator, etc., not `{`.
+    const std::size_t close = matchParen(tokens_, i + 1);
+    if (close >= tokens_.size()) {
+      return 0;
+    }
+    std::size_t j = close + 1;
+    // Trailing qualifiers.
+    while (j < tokens_.size() && tokens_[j].kind == TokenKind::kIdentifier &&
+           (tokens_[j].text == "const" || tokens_[j].text == "noexcept" ||
+            tokens_[j].text == "override" || tokens_[j].text == "final" ||
+            tokens_[j].text == "mutable")) {
+      ++j;
+      if (j < tokens_.size() && isPunct(tokens_[j], "(")) {
+        j = matchParen(tokens_, j) + 1;  // noexcept(...)
+      }
+    }
+    // Trailing return type: `-> Type` up to `{` or `;`.
+    if (j < tokens_.size() && isPunct(tokens_[j], "->")) {
+      while (j < tokens_.size() && !isPunct(tokens_[j], "{") &&
+             !isPunct(tokens_[j], ";")) {
+        ++j;
+      }
+    }
+    // Constructor init list: `: name(...)[, name{...}]... {`.
+    if (j < tokens_.size() && isPunct(tokens_[j], ":")) {
+      ++j;
+      while (j < tokens_.size()) {
+        while (j < tokens_.size() &&
+               (tokens_[j].kind == TokenKind::kIdentifier ||
+                isPunct(tokens_[j], "::") || isPunct(tokens_[j], "<") ||
+                isPunct(tokens_[j], ">") || isPunct(tokens_[j], ","))) {
+          if (isPunct(tokens_[j], ",")) {
+            ++j;
+            break;
+          }
+          ++j;
+        }
+        if (j >= tokens_.size() || isPunct(tokens_[j], "{")) {
+          // A `{` here is an init like `b_{y}`; the body brace follows the
+          // last initializer. Distinguish: member init braces are followed
+          // by `,` or `{`.
+          if (j < tokens_.size()) {
+            const std::size_t after = skipBraces(j);
+            if (after < tokens_.size() && (isPunct(tokens_[after], ",") ||
+                                           isPunct(tokens_[after], "{"))) {
+              j = after;
+              if (isPunct(tokens_[j], ",")) {
+                ++j;
+              }
+              continue;
+            }
+          }
+          break;
+        }
+        if (isPunct(tokens_[j], "(")) {
+          j = matchParen(tokens_, j) + 1;
+          if (j < tokens_.size() && isPunct(tokens_[j], ",")) {
+            ++j;
+            continue;
+          }
+          continue;
+        }
+        ++j;
+      }
+    }
+    if (j < tokens_.size() && isPunct(tokens_[j], "{")) {
+      return j;
+    }
+    return 0;
+  }
+
+  // Index just past the matching `}` of the `{` at `open`.
+  std::size_t skipBraces(std::size_t open) {
+    int depth = 0;
+    for (std::size_t i = open; i < tokens_.size(); ++i) {
+      if (isPunct(tokens_[i], "{")) {
+        ++depth;
+      } else if (isPunct(tokens_[i], "}")) {
+        if (--depth == 0) {
+          return i + 1;
+        }
+      }
+    }
+    return tokens_.size();
+  }
+
+  std::string enclosingClass() const {
+    return classes_.empty() ? std::string() : classes_.back().first;
+  }
+
+  std::string lockName(const std::string& member,
+                       const std::string& klass) const {
+    const std::string owner = klass.empty() ? f_.module() : klass;
+    return owner + "." + member;
+  }
+
+  struct Held {
+    std::string lock;
+    int depth = 0;
+    bool try_acquired = false;
+  };
+
+  void parseFunction(std::size_t name_at, std::size_t body, int depth) {
+    FunctionInfo fn;
+    fn.simple = tokens_[name_at].text;
+    fn.module = f_.module();
+    fn.file = f_.path;
+    // `Class::name` qualifier wins over the surrounding class body.
+    if (name_at >= 2 && isPunct(tokens_[name_at - 1], "::") &&
+        tokens_[name_at - 2].kind == TokenKind::kIdentifier) {
+      fn.klass = tokens_[name_at - 2].text;
+    } else {
+      fn.klass = enclosingClass();
+    }
+
+    const std::size_t end = skipBraces(body);
+    std::vector<Held> held;
+    std::map<std::string, std::string> lock_vars;  // unique_lock var -> lock
+    int fdepth = depth;
+
+    const auto acquire = [&](const std::string& lock, int at_depth, int line,
+                             bool try_acquired) {
+      if (!try_acquired) {
+        for (const Held& h : held) {
+          if (h.lock != lock) {
+            fn.edges.push_back(Edge{h.lock, lock, Site{f_.path, line}});
+          }
+        }
+        // Only blocking acquisitions propagate as edge *targets*; a
+        // try-acquire never blocks, so it cannot close a deadlock cycle.
+        fn.acquires.insert(lock);
+      }
+      held.push_back(Held{lock, at_depth, try_acquired});
+    };
+    const auto release = [&](const std::string& lock) {
+      for (auto it = held.rbegin(); it != held.rend(); ++it) {
+        if (it->lock == lock) {
+          held.erase(std::next(it).base());
+          return;
+        }
+      }
+    };
+
+    for (std::size_t i = body; i < end; ++i) {
+      const Token& t = tokens_[i];
+      if (isPunct(t, "{")) {
+        ++fdepth;
+        continue;
+      }
+      if (isPunct(t, "}")) {
+        --fdepth;
+        for (std::size_t h = held.size(); h > 0; --h) {
+          if (held[h - 1].depth > fdepth) {
+            held.erase(held.begin() + static_cast<std::ptrdiff_t>(h - 1));
+          }
+        }
+        continue;
+      }
+      if (t.kind != TokenKind::kIdentifier) {
+        continue;
+      }
+
+      // RAII guard constructions.
+      if (t.text == "lock_guard" || t.text == "scoped_lock" ||
+          t.text == "unique_lock" || t.text == "shared_lock") {
+        std::size_t j = i + 1;
+        if (j < end && isPunct(tokens_[j], "<")) {
+          int angle = 0;
+          for (; j < end; ++j) {
+            if (isPunct(tokens_[j], "<")) {
+              ++angle;
+            } else if (isPunct(tokens_[j], ">") && --angle == 0) {
+              ++j;
+              break;
+            }
+          }
+        }
+        std::string var;
+        if (j < end && tokens_[j].kind == TokenKind::kIdentifier) {
+          var = tokens_[j].text;
+          ++j;
+        }
+        if (j >= end || !isPunct(tokens_[j], "(")) {
+          continue;
+        }
+        const std::size_t close = matchParen(tokens_, j);
+        const auto args = splitArgs(tokens_, j, close);
+        bool defer = false;
+        bool try_to = false;
+        std::vector<std::string> mutexes;
+        for (const auto& [ab, ae] : args) {
+          if (rangeHasIdent(tokens_, ab, ae, "defer_lock")) {
+            defer = true;
+          } else if (rangeHasIdent(tokens_, ab, ae, "try_to_lock")) {
+            try_to = true;
+          } else if (rangeHasIdent(tokens_, ab, ae, "adopt_lock")) {
+            // already held via .lock(); tracked there
+          } else {
+            const std::string member = lastTopLevelIdent(tokens_, ab, ae);
+            if (!member.empty()) {
+              mutexes.push_back(lockName(member, fn.klass));
+            }
+          }
+        }
+        for (const std::string& m : mutexes) {
+          if (!var.empty() &&
+              (t.text == "unique_lock" || t.text == "shared_lock")) {
+            lock_vars[var] = m;
+          }
+          if (!defer) {
+            acquire(m, fdepth, t.line, try_to);
+          }
+        }
+        i = close;
+        continue;
+      }
+
+      // `x.lock()` / `x.unlock()` — on a guard variable or a raw mutex.
+      if ((t.text == "lock" || t.text == "unlock" || t.text == "try_lock") &&
+          i >= 2 && i + 1 < end && isPunct(tokens_[i + 1], "(") &&
+          (isPunct(tokens_[i - 1], ".") || isPunct(tokens_[i - 1], "->")) &&
+          tokens_[i - 2].kind == TokenKind::kIdentifier) {
+        const std::string obj = tokens_[i - 2].text;
+        const auto vit = lock_vars.find(obj);
+        const std::string lock =
+            vit != lock_vars.end() ? vit->second : lockName(obj, fn.klass);
+        if (t.text == "lock") {
+          acquire(lock, fdepth, t.line, false);
+        } else if (t.text == "try_lock") {
+          acquire(lock, fdepth, t.line, true);
+        } else {
+          release(lock);
+        }
+        i = matchParen(tokens_, i + 1);
+        continue;
+      }
+
+      // Call sites (for may-acquire propagation).
+      if (i + 1 < end && isPunct(tokens_[i + 1], "(") &&
+          !isKeywordName(t.text) && t.text != fn.simple) {
+        CallSite cs;
+        cs.callee = t.text;
+        cs.member_call =
+            i > 0 && (isPunct(tokens_[i - 1], ".") ||
+                      isPunct(tokens_[i - 1], "->"));
+        cs.line = t.line;
+        for (const Held& h : held) {
+          cs.held.push_back(h.lock);
+        }
+        fn.calls.push_back(std::move(cs));
+      }
+    }
+    sink_.push_back(std::move(fn));
+  }
+
+ private:
+  const SourceFile& f_;
+  const std::vector<Token>& tokens_;
+  std::vector<FunctionInfo>& sink_;
+  std::vector<std::pair<std::string, int>> classes_;  // (name, body depth)
+};
+
+}  // namespace
+
+void checkLockOrder(const std::vector<SourceFile>& files,
+                    const std::string& seed_text,
+                    std::vector<Diagnostic>& out) {
+  // --- collect per-function facts ---
+  std::vector<FunctionInfo> fns;
+  for (const SourceFile& f : files) {
+    FileParser parser(f, fns);
+    parser.run();
+  }
+
+  // --- name index for approximate call resolution ---
+  std::map<std::string, std::vector<std::size_t>> by_name;
+  for (std::size_t i = 0; i < fns.size(); ++i) {
+    if (!fns[i].acquires.empty() || !fns[i].calls.empty()) {
+      by_name[fns[i].simple].push_back(i);
+    }
+  }
+  // Names that collide with the standard library: resolving `x.size()` to
+  // StealDeque::size would hang a lock edge off every container call made
+  // under a mutex, so these never resolve across classes.
+  static const std::set<std::string> kStlLikeNames = {
+      "size",     "empty",    "clear",   "reserve",  "resize",
+      "push_back", "emplace_back", "pop_back", "insert", "erase",
+      "find",     "count",    "at",      "begin",    "end",
+      "front",    "back",     "data",    "swap",     "reset",
+      "get",      "str",      "load",    "store",    "wait",
+      "push",     "pop",      "merge",   "append",   "take"};
+  const auto resolve = [&](const FunctionInfo& from,
+                           const CallSite& cs) -> std::vector<std::size_t> {
+    const auto it = by_name.find(cs.callee);
+    if (it == by_name.end()) {
+      return {};
+    }
+    // An unqualified, non-member call inside a class body is almost always
+    // `this->`: prefer same-class candidates.
+    if (!cs.member_call) {
+      std::vector<std::size_t> same_class;
+      for (const std::size_t idx : it->second) {
+        if (fns[idx].klass == from.klass && fns[idx].module == from.module) {
+          same_class.push_back(idx);
+        }
+      }
+      if (!same_class.empty()) {
+        return same_class;
+      }
+    }
+    if (kStlLikeNames.count(cs.callee) != 0) {
+      return {};
+    }
+    // Cross-class resolution only when every candidate agrees on the class
+    // (the name is effectively unique in the repo); anything else is too
+    // ambiguous to hang a deadlock edge on.
+    const std::string& klass = fns[it->second.front()].klass;
+    for (const std::size_t idx : it->second) {
+      if (fns[idx].klass != klass) {
+        return {};
+      }
+    }
+    return it->second;
+  };
+
+  // --- may-acquire fixpoint over the call graph ---
+  std::vector<std::set<std::string>> may(fns.size());
+  for (std::size_t i = 0; i < fns.size(); ++i) {
+    may[i] = fns[i].acquires;
+  }
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds++ < 64) {
+    changed = false;
+    for (std::size_t i = 0; i < fns.size(); ++i) {
+      for (const CallSite& cs : fns[i].calls) {
+        for (const std::size_t callee : resolve(fns[i], cs)) {
+          for (const std::string& lock : may[callee]) {
+            if (may[i].insert(lock).second) {
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // --- global edge set: direct nesting + propagated + seed ---
+  std::map<std::pair<std::string, std::string>, Site> edges;
+  const auto add_edge = [&edges](const std::string& a, const std::string& b,
+                                 const Site& site) {
+    if (a != b) {
+      edges.emplace(std::make_pair(a, b), site);
+    }
+  };
+  for (std::size_t i = 0; i < fns.size(); ++i) {
+    for (const Edge& e : fns[i].edges) {
+      add_edge(e.from, e.to, e.site);
+    }
+    for (const CallSite& cs : fns[i].calls) {
+      if (cs.held.empty()) {
+        continue;
+      }
+      for (const std::size_t callee : resolve(fns[i], cs)) {
+        for (const std::string& lock : may[callee]) {
+          for (const std::string& h : cs.held) {
+            add_edge(h, lock, Site{fns[i].file, cs.line});
+          }
+        }
+      }
+    }
+  }
+
+  // Debugging aid: TSGLINT_DEBUG_EDGES=1 dumps the discovered lock graph
+  // with the site that produced each edge.
+  if (std::getenv("TSGLINT_DEBUG_EDGES") != nullptr) {
+    for (const auto& [edge, site] : edges) {
+      std::fprintf(stderr, "edge %s -> %s  (%s:%d)\n", edge.first.c_str(),
+                   edge.second.c_str(), site.file.c_str(), site.line);
+    }
+  }
+
+  // Seed edges (the declared known-good order).
+  {
+    std::istringstream in(seed_text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      const std::size_t hash = line.find('#');
+      if (hash != std::string::npos) {
+        line = line.substr(0, hash);
+      }
+      std::istringstream parts(line);
+      std::string a;
+      std::string lt;
+      std::string b;
+      if (parts >> a >> lt >> b && lt == "<") {
+        add_edge(a, b, Site{"tools/lock_order.txt", lineno});
+      }
+    }
+  }
+
+  // --- cycle detection ---
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [edge, site] : edges) {
+    (void)site;
+    adj[edge.first].push_back(edge.second);
+  }
+  std::set<std::string> reported;
+  std::map<std::string, int> color;
+  std::vector<std::string> stack;
+  const std::function<void(const std::string&)> visit =
+      [&](const std::string& node) {
+        color[node] = 1;
+        stack.push_back(node);
+        for (const std::string& next : adj[node]) {
+          if (color[next] == 1) {
+            // Build the cycle path next -> ... -> node -> next.
+            std::vector<std::string> cycle;
+            bool in = false;
+            for (const std::string& s : stack) {
+              if (s == next) {
+                in = true;
+              }
+              if (in) {
+                cycle.push_back(s);
+              }
+            }
+            cycle.push_back(next);
+            // Canonical key: rotate so the smallest lock leads.
+            std::string key;
+            for (const std::string& c :
+                 std::set<std::string>(cycle.begin(), cycle.end())) {
+              key += c + "|";
+            }
+            if (reported.insert(key).second) {
+              std::string path;
+              for (std::size_t k = 0; k + 1 < cycle.size(); ++k) {
+                path += cycle[k] + " -> ";
+              }
+              path += cycle.back();
+              const auto site_it =
+                  edges.find(std::make_pair(node, next));
+              const Site site = site_it != edges.end()
+                                    ? site_it->second
+                                    : Site{"tools/lock_order.txt", 0};
+              out.push_back(Diagnostic{
+                  site.file, site.line, "lock-order",
+                  "lock-order cycle: " + path +
+                      " (this edge closes the cycle; fix the acquisition "
+                      "order or split the critical section)"});
+            }
+          } else if (color[next] == 0) {
+            visit(next);
+          }
+        }
+        stack.pop_back();
+        color[node] = 2;
+      };
+  for (const auto& [node, nexts] : adj) {
+    (void)nexts;
+    if (color[node] == 0) {
+      visit(node);
+    }
+  }
+}
+
+}  // namespace lint
+}  // namespace tsg

@@ -37,7 +37,7 @@ ViolationHandler g_handler;  // empty = default (log + abort)
 }  // namespace check_detail
 
 void setEnabled(bool on) {
-  check_detail::g_check_enabled.store(on, std::memory_order_relaxed);
+  check_detail::g_check_enabled.store(on, std::memory_order_relaxed);  // tsg:mo(gate flag; no data is published with it)
 }
 
 void setViolationHandler(ViolationHandler handler) {
@@ -54,7 +54,7 @@ BspChecker::BspChecker(std::uint32_t num_partitions)
 
 void BspChecker::violate(const char* rule, PartitionId p,
                          std::uint64_t flow_id, std::string detail) {
-  violations_.fetch_add(1, std::memory_order_relaxed);
+  violations_.fetch_add(1, std::memory_order_relaxed);  // tsg:mo(stat counter; read after the run quiesces)
   Violation v;
   v.rule = rule;
   v.partition = p;
@@ -88,30 +88,30 @@ void BspChecker::violate(const char* rule, PartitionId p,
 }
 
 void BspChecker::rebaseline() {
-  sent_messages_.store(0, std::memory_order_relaxed);
-  sent_bytes_.store(0, std::memory_order_relaxed);
-  outstanding_.store(0, std::memory_order_relaxed);
-  consumed_.store(0, std::memory_order_relaxed);
+  sent_messages_.store(0, std::memory_order_relaxed);  // tsg:mo(barrier-side reset; workers quiescent)
+  sent_bytes_.store(0, std::memory_order_relaxed);  // tsg:mo(barrier-side reset; workers quiescent)
+  outstanding_.store(0, std::memory_order_relaxed);  // tsg:mo(barrier-side reset; workers quiescent)
+  consumed_.store(0, std::memory_order_relaxed);  // tsg:mo(barrier-side reset; workers quiescent)
   if (async_mode_) {
     for (auto& ps : parts_) {
-      ps.entered_this_wave.store(0, std::memory_order_relaxed);
+      ps.entered_this_wave.store(0, std::memory_order_relaxed);  // tsg:mo(barrier-side reset; workers quiescent)
     }
   }
 }
 
 void BspChecker::beginTimestep(Timestep t) {
-  timestep_.store(t, std::memory_order_relaxed);
-  superstep_.store(-1, std::memory_order_relaxed);
+  timestep_.store(t, std::memory_order_relaxed);  // tsg:mo(coordinator writes between phases; the barrier orders them)
+  superstep_.store(-1, std::memory_order_relaxed);  // tsg:mo(coordinator writes between phases; the barrier orders them)
 }
 
 void BspChecker::beginSuperstep(std::int32_t s) {
-  superstep_.store(s, std::memory_order_relaxed);
+  superstep_.store(s, std::memory_order_relaxed);  // tsg:mo(coordinator writes between phases; the barrier orders them)
   if (async_mode_) {
     // A new wave (or a phase boundary: end-of-timestep round, next
     // timestep's wave 0) starts here; each partition may enter compute
     // once until the next boundary.
     for (auto& ps : parts_) {
-      ps.entered_this_wave.store(0, std::memory_order_relaxed);
+      ps.entered_this_wave.store(0, std::memory_order_relaxed);  // tsg:mo(coordinator writes between phases; the barrier orders them)
     }
   }
 }
@@ -119,7 +119,7 @@ void BspChecker::beginSuperstep(std::int32_t s) {
 void BspChecker::onInject(std::uint64_t messages, std::uint64_t bytes) {
   (void)bytes;
   for (PartitionId p = 0; p < parts_.size(); ++p) {
-    if (parts_[p].in_compute.load(std::memory_order_acquire)) {
+    if (parts_[p].in_compute.load(std::memory_order_acquire)) {  // tsg:mo(acquire pairs with the acq_rel phase-gate exchange)
       violate("inject-during-compute", p, 0,
               "coordinator injected " + std::to_string(messages) +
                   " message(s) while partition " + std::to_string(p) +
@@ -127,7 +127,7 @@ void BspChecker::onInject(std::uint64_t messages, std::uint64_t bytes) {
       return;
     }
   }
-  outstanding_.fetch_add(messages, std::memory_order_relaxed);
+  outstanding_.fetch_add(messages, std::memory_order_relaxed);  // tsg:mo(conservation tally; compared only at the barrier)
 }
 
 void BspChecker::onDeliver(std::uint64_t messages, std::uint64_t bytes,
@@ -135,14 +135,14 @@ void BspChecker::onDeliver(std::uint64_t messages, std::uint64_t bytes,
                            std::uint64_t leftover_flow) {
   for (PartitionId p = 0; p < parts_.size(); ++p) {
     auto& ps = parts_[p];
-    if (ps.in_compute.load(std::memory_order_acquire)) {
+    if (ps.in_compute.load(std::memory_order_acquire)) {  // tsg:mo(acquire pairs with the acq_rel phase-gate exchange)
       violate("deliver-during-compute", p, 0,
               "barrier delivery ran while partition " + std::to_string(p) +
                   " was still inside its compute phase");
       return;
     }
-    const auto entered = ps.rounds_entered.load(std::memory_order_relaxed);
-    const auto exited = ps.rounds_exited.load(std::memory_order_relaxed);
+    const auto entered = ps.rounds_entered.load(std::memory_order_relaxed);  // tsg:mo(read at the barrier; workers quiescent)
+    const auto exited = ps.rounds_exited.load(std::memory_order_relaxed);  // tsg:mo(read at the barrier; workers quiescent)
     if (entered != exited) {
       violate("barrier-unpaired", p, 0,
               "partition " + std::to_string(p) + " entered " +
@@ -152,8 +152,8 @@ void BspChecker::onDeliver(std::uint64_t messages, std::uint64_t bytes,
     }
   }
 
-  const auto sent = sent_messages_.load(std::memory_order_relaxed);
-  const auto sent_bytes = sent_bytes_.load(std::memory_order_relaxed);
+  const auto sent = sent_messages_.load(std::memory_order_relaxed);  // tsg:mo(read at the barrier; workers quiescent)
+  const auto sent_bytes = sent_bytes_.load(std::memory_order_relaxed);  // tsg:mo(read at the barrier; workers quiescent)
   if (messages != sent || bytes != sent_bytes) {
     violate("conservation-delivered", kInvalidPartition, leftover_flow,
             "fabric delivered " + std::to_string(messages) + " message(s) / " +
@@ -163,8 +163,8 @@ void BspChecker::onDeliver(std::uint64_t messages, std::uint64_t bytes,
     return;
   }
 
-  const auto outstanding = outstanding_.load(std::memory_order_relaxed);
-  const auto consumed = consumed_.load(std::memory_order_relaxed);
+  const auto outstanding = outstanding_.load(std::memory_order_relaxed);  // tsg:mo(read at the barrier; workers quiescent)
+  const auto consumed = consumed_.load(std::memory_order_relaxed);  // tsg:mo(read at the barrier; workers quiescent)
   if (consumed != outstanding || leftover_messages != 0) {
     violate("conservation-consumed", kInvalidPartition, leftover_flow,
             std::to_string(outstanding) +
@@ -175,10 +175,10 @@ void BspChecker::onDeliver(std::uint64_t messages, std::uint64_t bytes,
     return;
   }
 
-  sent_messages_.store(0, std::memory_order_relaxed);
-  sent_bytes_.store(0, std::memory_order_relaxed);
-  consumed_.store(0, std::memory_order_relaxed);
-  outstanding_.store(messages, std::memory_order_relaxed);
+  sent_messages_.store(0, std::memory_order_relaxed);  // tsg:mo(barrier-side reset; workers quiescent)
+  sent_bytes_.store(0, std::memory_order_relaxed);  // tsg:mo(barrier-side reset; workers quiescent)
+  consumed_.store(0, std::memory_order_relaxed);  // tsg:mo(barrier-side reset; workers quiescent)
+  outstanding_.store(messages, std::memory_order_relaxed);  // tsg:mo(barrier-side reset; workers quiescent)
   total_delivered_messages_ += messages;
   total_delivered_bytes_ += bytes;
 }
@@ -199,10 +199,10 @@ void BspChecker::onReset() { rebaseline(); }
 
 void BspChecker::onRecovery() {
   for (auto& ps : parts_) {
-    ps.in_compute.store(false, std::memory_order_relaxed);
-    const auto entered = ps.rounds_entered.load(std::memory_order_relaxed);
-    ps.rounds_exited.store(entered, std::memory_order_relaxed);
-    ps.entered_this_wave.store(0, std::memory_order_relaxed);
+    ps.in_compute.store(false, std::memory_order_relaxed);  // tsg:mo(recovery path; workers halted)
+    const auto entered = ps.rounds_entered.load(std::memory_order_relaxed);  // tsg:mo(recovery path; workers halted)
+    ps.rounds_exited.store(entered, std::memory_order_relaxed);  // tsg:mo(recovery path; workers halted)
+    ps.entered_this_wave.store(0, std::memory_order_relaxed);  // tsg:mo(recovery path; workers halted)
   }
   rebaseline();
 }
@@ -216,8 +216,8 @@ void BspChecker::enableRegistryReconciliation() {
 }
 
 void BspChecker::endRun() {
-  const auto outstanding = outstanding_.load(std::memory_order_relaxed);
-  const auto consumed = consumed_.load(std::memory_order_relaxed);
+  const auto outstanding = outstanding_.load(std::memory_order_relaxed);  // tsg:mo(end of run; workers joined)
+  const auto consumed = consumed_.load(std::memory_order_relaxed);  // tsg:mo(end of run; workers joined)
   if (outstanding != consumed) {
     violate("conservation-consumed", kInvalidPartition, 0,
             "run ended with " + std::to_string(outstanding - consumed) +
@@ -246,15 +246,15 @@ void BspChecker::endRun() {
 void BspChecker::enterCompute(PartitionId p) {
   TSG_CHECK(p < parts_.size());
   auto& ps = parts_[p];
-  if (ps.in_compute.exchange(true, std::memory_order_acq_rel)) {
+  if (ps.in_compute.exchange(true, std::memory_order_acq_rel)) {  // tsg:mo(phase gate; acq_rel orders compute writes with checker reads)
     violate("barrier-double-enter", p, 0,
             "partition " + std::to_string(p) +
                 " entered a compute phase it was already inside");
     return;
   }
-  ps.rounds_entered.fetch_add(1, std::memory_order_relaxed);
+  ps.rounds_entered.fetch_add(1, std::memory_order_relaxed);  // tsg:mo(tally reconciled at the barrier)
   if (async_mode_ &&
-      ps.entered_this_wave.fetch_add(1, std::memory_order_relaxed) != 0) {
+      ps.entered_this_wave.fetch_add(1, std::memory_order_relaxed) != 0) {  // tsg:mo(tally reconciled at the barrier)
     violate("wave-double-schedule", p, 0,
             "partition " + std::to_string(p) +
                 " was scheduled twice within one wave (before the seal "
@@ -265,13 +265,13 @@ void BspChecker::enterCompute(PartitionId p) {
 void BspChecker::exitCompute(PartitionId p) {
   TSG_CHECK(p < parts_.size());
   auto& ps = parts_[p];
-  if (!ps.in_compute.exchange(false, std::memory_order_acq_rel)) {
+  if (!ps.in_compute.exchange(false, std::memory_order_acq_rel)) {  // tsg:mo(phase gate; acq_rel orders compute writes with checker reads)
     violate("barrier-exit-without-enter", p, 0,
             "partition " + std::to_string(p) +
                 " exited a compute phase it never entered");
     return;
   }
-  ps.rounds_exited.fetch_add(1, std::memory_order_relaxed);
+  ps.rounds_exited.fetch_add(1, std::memory_order_relaxed);  // tsg:mo(tally reconciled at the barrier)
 }
 
 void BspChecker::onComputeUnit(PartitionId p, std::uint64_t unit_id,
@@ -287,14 +287,14 @@ void BspChecker::onComputeUnit(PartitionId p, std::uint64_t unit_id,
 void BspChecker::onSend(PartitionId from, PartitionId to,
                         std::uint64_t bytes) {
   TSG_CHECK(from < parts_.size());
-  if (!parts_[from].in_compute.load(std::memory_order_acquire)) {
+  if (!parts_[from].in_compute.load(std::memory_order_acquire)) {  // tsg:mo(acquire pairs with the acq_rel phase-gate exchange)
     violate("send-outside-compute", from, 0,
             "partition " + std::to_string(from) + " sent a message to " +
                 std::to_string(to) + " outside its compute phase");
     return;
   }
-  sent_messages_.fetch_add(1, std::memory_order_relaxed);
-  sent_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  sent_messages_.fetch_add(1, std::memory_order_relaxed);  // tsg:mo(tally reconciled at the barrier)
+  sent_bytes_.fetch_add(bytes, std::memory_order_relaxed);  // tsg:mo(tally reconciled at the barrier)
 }
 
 void BspChecker::onConsume(PartitionId p, std::uint64_t messages,
@@ -314,7 +314,7 @@ void BspChecker::onConsume(PartitionId p, std::uint64_t messages,
                 ", which is not strictly earlier than the current superstep");
     return;
   }
-  consumed_.fetch_add(messages, std::memory_order_relaxed);
+  consumed_.fetch_add(messages, std::memory_order_relaxed);  // tsg:mo(tally reconciled at the barrier)
 }
 
 }  // namespace check

@@ -49,7 +49,7 @@ extern std::atomic<bool> g_check_enabled;
 // True while protocol checking is on. One relaxed load + branch — the gate
 // every hook site tests before touching a checker.
 inline bool enabled() {
-  return check_detail::g_check_enabled.load(std::memory_order_relaxed);
+  return check_detail::g_check_enabled.load(std::memory_order_relaxed);  // tsg:mo(gate read; hooks tolerate a stale on/off)
 }
 void setEnabled(bool on);
 
@@ -138,13 +138,13 @@ class BspChecker {
 
   // --- introspection -------------------------------------------------------
   [[nodiscard]] Timestep timestep() const {
-    return timestep_.load(std::memory_order_relaxed);
+    return timestep_.load(std::memory_order_relaxed);  // tsg:mo(introspection read; exactness not required)
   }
   [[nodiscard]] std::int32_t superstep() const {
-    return superstep_.load(std::memory_order_relaxed);
+    return superstep_.load(std::memory_order_relaxed);  // tsg:mo(introspection read; exactness not required)
   }
   [[nodiscard]] std::uint64_t violationCount() const {
-    return violations_.load(std::memory_order_relaxed);
+    return violations_.load(std::memory_order_relaxed);  // tsg:mo(introspection read; exactness not required)
   }
 
  private:

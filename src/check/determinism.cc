@@ -2,7 +2,7 @@
 
 #include <sstream>
 
-#include "check/perturb.h"
+#include "common/perturb.h"
 #include "common/status.h"
 
 namespace tsg {

@@ -31,11 +31,11 @@ const char* levelTag(LogLevel level) {
 }  // namespace
 
 void setLogLevel(LogLevel level) {
-  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);  // tsg:mo(level gate; readers tolerate staleness)
 }
 
 LogLevel logLevel() {
-  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));  // tsg:mo(level gate; readers tolerate staleness)
 }
 
 const char* logLevelName(LogLevel level) {
@@ -91,7 +91,7 @@ namespace detail {
 
 LogLine::LogLine(LogLevel level, const char* file, int line)
     : enabled_(static_cast<int>(level) >=
-               g_log_level.load(std::memory_order_relaxed)),
+               g_log_level.load(std::memory_order_relaxed)),  // tsg:mo(level gate; readers tolerate staleness)
       level_(level) {
   if (enabled_) {
     // Only the basename keeps lines short.

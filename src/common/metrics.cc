@@ -135,7 +135,7 @@ MetricsRegistry::HistogramSnapshots MetricsRegistry::histogramSnapshot()
       for (int i = 0; i < Histogram::kNumBuckets; ++i) {
         snap.buckets[static_cast<std::size_t>(i)] =
             h.buckets_[static_cast<std::size_t>(i)].load(
-                std::memory_order_relaxed);
+                std::memory_order_relaxed);  // tsg:mo(snapshot read; a scrape tolerates tearing)
       }
       snaps.push_back(std::move(snap));
     }
@@ -180,17 +180,17 @@ void MetricsRegistry::HistogramSnapshot::merge(const HistogramSnapshot& other) {
 void MetricsRegistry::reset() {
   std::lock_guard lock(mutex_);
   for (Cell* cell : cells_) {
-    cell->counter.value_.store(0, std::memory_order_relaxed);
-    cell->gauge.value_.store(0, std::memory_order_relaxed);
-    cell->gauge.touches_.store(0, std::memory_order_relaxed);
+    cell->counter.value_.store(0, std::memory_order_relaxed);  // tsg:mo(reset under mutex_; tolerates racing adds)
+    cell->gauge.value_.store(0, std::memory_order_relaxed);  // tsg:mo(reset under mutex_; tolerates racing adds)
+    cell->gauge.touches_.store(0, std::memory_order_relaxed);  // tsg:mo(reset under mutex_; tolerates racing adds)
     if (cell->histogram != nullptr) {
       Histogram& h = *cell->histogram;
       for (auto& bucket : h.buckets_) {
-        bucket.store(0, std::memory_order_relaxed);
+        bucket.store(0, std::memory_order_relaxed);  // tsg:mo(reset under mutex_; tolerates racing adds)
       }
-      h.count_.store(0, std::memory_order_relaxed);
-      h.sum_.store(0, std::memory_order_relaxed);
-      h.max_.store(0, std::memory_order_relaxed);
+      h.count_.store(0, std::memory_order_relaxed);  // tsg:mo(reset under mutex_; tolerates racing adds)
+      h.sum_.store(0, std::memory_order_relaxed);  // tsg:mo(reset under mutex_; tolerates racing adds)
+      h.max_.store(0, std::memory_order_relaxed);  // tsg:mo(reset under mutex_; tolerates racing adds)
     }
   }
 }

@@ -48,25 +48,26 @@ class Histogram {
                         : (std::uint64_t{1} << bucket) - 1;
   }
 
+  // tsg:hot — instrumentation sites call this from compute inner loops.
   void record(std::uint64_t value) {
     buckets_[static_cast<std::size_t>(bucketOf(value))].fetch_add(
-        1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    sum_.fetch_add(value, std::memory_order_relaxed);
-    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+        1, std::memory_order_relaxed);  // tsg:mo(stat counter; totals read at scrape time)
+    count_.fetch_add(1, std::memory_order_relaxed);  // tsg:mo(stat counter; totals read at scrape time)
+    sum_.fetch_add(value, std::memory_order_relaxed);  // tsg:mo(stat counter; totals read at scrape time)
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);  // tsg:mo(monotone max; the CAS loop needs no ordering)
     while (value > seen && !max_.compare_exchange_weak(
-                               seen, value, std::memory_order_relaxed)) {
+                               seen, value, std::memory_order_relaxed)) {  // tsg:mo(monotone max; the CAS loop needs no ordering)
     }
   }
 
   [[nodiscard]] std::uint64_t count() const {
-    return count_.load(std::memory_order_relaxed);
+    return count_.load(std::memory_order_relaxed);  // tsg:mo(stat read; a scrape tolerates staleness)
   }
   [[nodiscard]] std::uint64_t sum() const {
-    return sum_.load(std::memory_order_relaxed);
+    return sum_.load(std::memory_order_relaxed);  // tsg:mo(stat read; a scrape tolerates staleness)
   }
   [[nodiscard]] std::uint64_t max() const {
-    return max_.load(std::memory_order_relaxed);
+    return max_.load(std::memory_order_relaxed);  // tsg:mo(stat read; a scrape tolerates staleness)
   }
 
   Histogram() = default;
@@ -89,11 +90,11 @@ class MetricsRegistry {
   class Counter {
    public:
     void add(std::uint64_t delta) {
-      value_.fetch_add(delta, std::memory_order_relaxed);
+      value_.fetch_add(delta, std::memory_order_relaxed);  // tsg:mo(stat counter; totals read at scrape time)
     }
     void increment() { add(1); }
     [[nodiscard]] std::uint64_t value() const {
-      return value_.load(std::memory_order_relaxed);
+      return value_.load(std::memory_order_relaxed);  // tsg:mo(stat read; a scrape tolerates staleness)
     }
 
    private:
@@ -104,17 +105,17 @@ class MetricsRegistry {
   class Gauge {
    public:
     void set(std::int64_t value) {
-      value_.store(value, std::memory_order_relaxed);
-      touches_.fetch_add(1, std::memory_order_relaxed);
+      value_.store(value, std::memory_order_relaxed);  // tsg:mo(gauge value; last write wins, no payload)
+      touches_.fetch_add(1, std::memory_order_relaxed);  // tsg:mo(gauge value; last write wins, no payload)
     }
     // Relaxed read-modify-write for gauges that track a live level (queue
     // depths, in-flight messages) from many threads at once.
     void add(std::int64_t delta) {
-      value_.fetch_add(delta, std::memory_order_relaxed);
-      touches_.fetch_add(1, std::memory_order_relaxed);
+      value_.fetch_add(delta, std::memory_order_relaxed);  // tsg:mo(gauge value; last write wins, no payload)
+      touches_.fetch_add(1, std::memory_order_relaxed);  // tsg:mo(gauge value; last write wins, no payload)
     }
     [[nodiscard]] std::int64_t value() const {
-      return value_.load(std::memory_order_relaxed);
+      return value_.load(std::memory_order_relaxed);  // tsg:mo(stat read; a scrape tolerates staleness)
     }
     // Monotonic count of set()/add() calls. snapshotDelta() compares it
     // across two snapshots to tell "this gauge moved during the window"
@@ -122,7 +123,7 @@ class MetricsRegistry {
     // comparison alone cannot (a gauge may be rewritten to the same value,
     // or return to it).
     [[nodiscard]] std::uint64_t touches() const {
-      return touches_.load(std::memory_order_relaxed);
+      return touches_.load(std::memory_order_relaxed);  // tsg:mo(stat read; a scrape tolerates staleness)
     }
 
    private:

@@ -1,4 +1,4 @@
-#include "check/perturb.h"
+#include "common/perturb.h"
 
 #include "common/rng.h"
 
@@ -11,16 +11,16 @@ std::atomic<std::uint64_t> g_perturb_seed{0};
 }  // namespace perturb_detail
 
 void setPerturbation(std::uint64_t seed) {
-  perturb_detail::g_perturb_seed.store(seed, std::memory_order_relaxed);
-  perturb_detail::g_perturb_enabled.store(true, std::memory_order_release);
+  perturb_detail::g_perturb_seed.store(seed, std::memory_order_relaxed);  // tsg:mo(seed store; the release on the enable flag publishes it)
+  perturb_detail::g_perturb_enabled.store(true, std::memory_order_release);  // tsg:mo(release publishes the seed store above)
 }
 
 void clearPerturbation() {
-  perturb_detail::g_perturb_enabled.store(false, std::memory_order_release);
+  perturb_detail::g_perturb_enabled.store(false, std::memory_order_release);  // tsg:mo(disable gate; nothing to publish)
 }
 
 std::uint64_t perturbSeed() {
-  return perturb_detail::g_perturb_seed.load(std::memory_order_relaxed);
+  return perturb_detail::g_perturb_seed.load(std::memory_order_relaxed);  // tsg:mo(seed is set at configuration time, before workers run)
 }
 
 std::uint64_t perturbDelayNs(std::uint64_t round, std::uint32_t partition,

@@ -25,7 +25,7 @@ extern std::atomic<bool> g_perturb_enabled;
 }  // namespace perturb_detail
 
 inline bool perturbEnabled() {
-  return perturb_detail::g_perturb_enabled.load(std::memory_order_relaxed);
+  return perturb_detail::g_perturb_enabled.load(std::memory_order_relaxed);  // tsg:mo(gate read; perturbation is configured before workers start)
 }
 
 // Enables perturbation with the given seed (affects Cluster rounds and

@@ -1,0 +1,33 @@
+#include "common/prof_hooks.h"
+
+#include "common/status.h"
+
+namespace tsg {
+namespace prof {
+
+namespace prof_detail {
+std::atomic<bool> g_armed{false};
+Hooks g_hooks;
+}  // namespace prof_detail
+
+void install(const Hooks& hooks) {
+  TSG_CHECK(hooks.wait_caused != nullptr);
+  TSG_CHECK(hooks.steal_victim != nullptr);
+  TSG_CHECK(hooks.resident_slice != nullptr);
+  prof_detail::g_hooks = hooks;
+  // tsg:mo(release publishes the table writes above to any thread that
+  // subsequently observes armed() == true)
+  prof_detail::g_armed.store(true, std::memory_order_release);
+}
+
+void uninstall() {
+  // The table is deliberately left in place: a worker that loaded
+  // armed() == true just before this store may still call through it, and
+  // the previously installed callbacks (Profiler::global() trampolines, a
+  // leaked singleton) stay valid forever. Only the gate closes.
+  // tsg:mo(gate close; racing callers fall through to the still-valid table)
+  prof_detail::g_armed.store(false, std::memory_order_release);
+}
+
+}  // namespace prof
+}  // namespace tsg

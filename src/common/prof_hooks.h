@@ -1,0 +1,63 @@
+// ProfHooks — dependency-inverted profiler callbacks for the low layers.
+//
+// The scheduler (runtime/cluster) and the storage layer (gofs/dataset) sit
+// below profile/ in the module DAG (tools/layers.txt) but must feed the
+// cost-attribution profiler: barrier/ready-wait blame, steal victimhood and
+// resident slice bytes originate there. Including profile/profiler.h from
+// those modules would be a layering back-edge, so they call through this
+// table instead; Profiler::arm() installs the callbacks (see
+// profile/profiler.cc) and disarm() clears them.
+//
+// Cost model matches Profiler::enabled(): disarmed, every call site is one
+// relaxed atomic load plus an untaken branch. The table itself is written
+// only by install()/uninstall(), which the profiler calls from the
+// coordinator thread before workers can observe armed() == true (the
+// release store publishes the pointers).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace tsg {
+namespace prof {
+
+// Raw integer types, deliberately: graph/types.h lives above common/ in the
+// layering, so the aliases (PartitionId = uint32_t, Timestep = int32_t)
+// cannot be named here.
+struct Hooks {
+  // Scheduler blame: partition p made others wait for `ns` (BSP barrier
+  // straggler; async ready-queue gap ender).
+  void (*wait_caused)(std::uint32_t partition, std::int64_t ns) = nullptr;
+  // p's queued task was executed by another worker (p is the victim).
+  void (*steal_victim)(std::uint32_t partition) = nullptr;
+  // Resident attribute bytes of p's loaded instance at timestep t.
+  void (*resident_slice)(std::uint32_t partition, std::int32_t timestep,
+                         std::uint64_t bytes) = nullptr;
+};
+
+namespace prof_detail {
+extern std::atomic<bool> g_armed;
+extern Hooks g_hooks;
+}  // namespace prof_detail
+
+// The zero-cost gate every hook call site checks first.
+// tsg:hot
+inline bool armed() {
+  // tsg:mo(gate flag; stale false only skips one sample, install's release
+  // store publishes the table before true is observable)
+  return prof_detail::g_armed.load(std::memory_order_relaxed);
+}
+
+// Valid to read only after armed() returned true (install() publishes the
+// table with release ordering before arming).
+inline const Hooks& hooks() { return prof_detail::g_hooks; }
+
+// Installs the callback table and opens the gate. All three pointers must
+// be non-null. Coordinator-only (profiler arm/disarm), never concurrent
+// with itself.
+void install(const Hooks& hooks);
+// Closes the gate (the table stays valid for stragglers mid-call).
+void uninstall();
+
+}  // namespace prof
+}  // namespace tsg

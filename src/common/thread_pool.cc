@@ -5,7 +5,7 @@
 #include <numeric>
 #include <vector>
 
-#include "check/perturb.h"
+#include "common/perturb.h"
 #include "common/status.h"
 
 namespace tsg {
@@ -138,7 +138,7 @@ void ThreadPool::parallelForStealing(std::size_t n,
           if (!idx) {
             break;
           }
-          stolen.fetch_add(1, std::memory_order_relaxed);
+          stolen.fetch_add(1, std::memory_order_relaxed);  // tsg:mo(steal stat; read after the pool quiesces)
         }
         fn(*idx);
       }

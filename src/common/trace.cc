@@ -62,7 +62,7 @@ Tracer& Tracer::instance() {
 
 Tracer::ThreadBuffer& Tracer::threadBuffer() {
   auto& reg = registry();
-  const std::uint64_t gen = reg.generation.load(std::memory_order_acquire);
+  const std::uint64_t gen = reg.generation.load(std::memory_order_acquire);  // tsg:mo(acquire pairs with clear()'s acq_rel generation bump)
   if (t_buffer == nullptr || t_generation != gen) {
     std::lock_guard lock(reg.mutex);
     auto buffer = std::make_unique<ThreadBuffer>();
@@ -71,7 +71,7 @@ Tracer::ThreadBuffer& Tracer::threadBuffer() {
     t_buffer = buffer.get();
     // Re-read under the lock: a concurrent clear() cannot run between here
     // and the push_back because it takes the same mutex.
-    t_generation = reg.generation.load(std::memory_order_relaxed);
+    t_generation = reg.generation.load(std::memory_order_relaxed);  // tsg:mo(re-read under reg.mutex; the lock orders it)
     reg.buffers.push_back(std::move(buffer));
   }
   return *t_buffer;
@@ -81,8 +81,8 @@ void Tracer::record(const TraceEvent& event) {
   auto& buffer = threadBuffer();
   std::lock_guard lock(buffer.mutex);
   if (buffer.events.size() >=
-      g_max_events_per_buffer.load(std::memory_order_relaxed)) {
-    g_dropped_events.fetch_add(1, std::memory_order_relaxed);
+      g_max_events_per_buffer.load(std::memory_order_relaxed)) {  // tsg:mo(cap read; a stale cap only shifts the drop point)
+    g_dropped_events.fetch_add(1, std::memory_order_relaxed);  // tsg:mo(drop tally; read after tracing stops)
     static MetricsRegistry::Counter& dropped =
         MetricsRegistry::global().counter("trace.dropped_events");
     dropped.increment();
@@ -93,13 +93,13 @@ void Tracer::record(const TraceEvent& event) {
 
 void Tracer::start() {
   clear();
-  g_dropped_events.store(0, std::memory_order_relaxed);
-  g_drop_warned.store(false, std::memory_order_relaxed);
-  trace_detail::g_trace_enabled.store(true, std::memory_order_release);
+  g_dropped_events.store(0, std::memory_order_relaxed);  // tsg:mo(reset before tracing starts; start()'s release publishes it)
+  g_drop_warned.store(false, std::memory_order_relaxed);  // tsg:mo(reset before tracing starts; start()'s release publishes it)
+  trace_detail::g_trace_enabled.store(true, std::memory_order_release);  // tsg:mo(release publishes the resets above to tracing threads)
 }
 
 void Tracer::stop() {
-  trace_detail::g_trace_enabled.store(false, std::memory_order_release);
+  trace_detail::g_trace_enabled.store(false, std::memory_order_release);  // tsg:mo(disable gate; sites re-check before touching buffers)
 }
 
 void Tracer::clear() {
@@ -107,14 +107,14 @@ void Tracer::clear() {
   auto& reg = registry();
   std::lock_guard lock(reg.mutex);
   reg.buffers.clear();
-  reg.generation.fetch_add(1, std::memory_order_acq_rel);
+  reg.generation.fetch_add(1, std::memory_order_acq_rel);  // tsg:mo(acq_rel pairs with threadBuffer()'s acquire generation load)
 }
 
 void Tracer::setCurrentThreadName(std::string name) {
   t_thread_name = std::move(name);
   if (t_buffer != nullptr &&
       t_generation ==
-          registry().generation.load(std::memory_order_acquire)) {
+          registry().generation.load(std::memory_order_acquire)) {  // tsg:mo(acquire pairs with clear()'s acq_rel generation bump)
     std::lock_guard lock(t_buffer->mutex);
     t_buffer->name = t_thread_name;
   }
@@ -201,16 +201,16 @@ void appendEvent(JsonWriter& json, const TraceEvent& ev, std::uint32_t tid) {
 }  // namespace
 
 std::size_t Tracer::droppedEventCount() {
-  return g_dropped_events.load(std::memory_order_relaxed);
+  return g_dropped_events.load(std::memory_order_relaxed);  // tsg:mo(drop tally read; reporting only)
 }
 
 void Tracer::setMaxEventsPerBufferForTest(std::size_t cap) {
-  g_max_events_per_buffer.store(cap, std::memory_order_relaxed);
+  g_max_events_per_buffer.store(cap, std::memory_order_relaxed);  // tsg:mo(test-only cap write; set while quiescent)
 }
 
 std::string Tracer::toJson() {
   const std::uint64_t dropped =
-      g_dropped_events.load(std::memory_order_relaxed);
+      g_dropped_events.load(std::memory_order_relaxed);  // tsg:mo(drop tally read; toJson runs after tracing stops)
   if (dropped > 0 && !g_drop_warned.exchange(true)) {
     TSG_LOG(Warn) << "trace buffers saturated: " << dropped
                   << " events dropped; the exported trace is truncated";
@@ -326,7 +326,7 @@ void traceFlow(char phase, TraceLiteral category, TraceLiteral name,
 }  // namespace
 
 std::uint64_t nextFlowId() {
-  return g_next_flow_id.fetch_add(1, std::memory_order_relaxed);
+  return g_next_flow_id.fetch_add(1, std::memory_order_relaxed);  // tsg:mo(flow-id allocator; uniqueness only, no ordering)
 }
 
 void traceFlowStart(TraceLiteral category, TraceLiteral name,

@@ -80,7 +80,7 @@ class Tracer {
   // True while events are being collected. The one-branch gate every
   // instrumentation site checks first.
   static bool enabled() {
-    return trace_detail::g_trace_enabled.load(std::memory_order_relaxed);
+    return trace_detail::g_trace_enabled.load(std::memory_order_relaxed);  // tsg:mo(gate read; a stale false only skips one event)
   }
 
   // Drops previously buffered events and starts collecting.

@@ -384,6 +384,7 @@ void routeBySubgraphPartition(const PartitionedGraph& pg,
 // partition's worker thread at the start of the round (not on the serial
 // coordinator path): first a counting pass so every destination bucket is
 // reserve()d exactly once, then a move pass.
+// tsg:hot — touches every delivered message once per superstep.
 void distributeInbox(WorkerState& st) {
   auto& inbox = st.bus_.inbox(st.partition_);
   if (inbox.empty()) {

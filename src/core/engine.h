@@ -21,7 +21,7 @@
 #include "core/program.h"
 #include "gofs/instance_provider.h"
 #include "partition/partitioned_graph.h"
-#include "runtime/stats.h"
+#include "metrics/stats.h"
 
 namespace tsg {
 

@@ -18,7 +18,7 @@
 
 #include "common/status.h"
 #include "partition/partitioned_graph.h"
-#include "runtime/stats.h"
+#include "metrics/stats.h"
 
 namespace tsg {
 

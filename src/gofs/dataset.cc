@@ -10,7 +10,7 @@
 #include "common/serialize.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
-#include "profile/profiler.h"
+#include "common/prof_hooks.h"
 #include "runtime/fault_injector.h"
 
 namespace tsg {
@@ -362,8 +362,9 @@ class GofsInstanceProvider final : public InstanceProvider {
           .set(static_cast<std::int64_t>(state.pack_data.size()));
       registry.gauge("gofs.resident_bytes", static_cast<std::int32_t>(p))
           .set(resident_bytes);
-      if (Profiler::enabled()) [[unlikely]] {
-        Profiler::global().recordResidentSlice(p, t, resident_bytes);
+      if (prof::armed()) [[unlikely]] {
+        prof::hooks().resident_slice(
+            p, t, static_cast<std::uint64_t>(resident_bytes));
       }
     }
     const std::size_t offset = static_cast<std::uint32_t>(t) % packing;

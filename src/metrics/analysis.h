@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "metrics/report.h"
-#include "runtime/stats.h"
+#include "metrics/stats.h"
 
 namespace tsg {
 

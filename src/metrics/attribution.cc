@@ -1,4 +1,4 @@
-#include "profile/attribution.h"
+#include "metrics/attribution.h"
 
 #include <algorithm>
 #include <cmath>

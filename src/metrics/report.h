@@ -6,7 +6,7 @@
 #include <string_view>
 
 #include "common/status.h"
-#include "runtime/stats.h"
+#include "metrics/stats.h"
 
 namespace tsg {
 

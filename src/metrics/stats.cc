@@ -1,4 +1,4 @@
-#include "runtime/stats.h"
+#include "metrics/stats.h"
 
 #include <algorithm>
 

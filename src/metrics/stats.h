@@ -23,7 +23,7 @@
 
 #include "common/metrics.h"
 #include "graph/types.h"
-#include "profile/attribution.h"
+#include "metrics/attribution.h"
 
 namespace tsg {
 

@@ -27,7 +27,7 @@
 #include <vector>
 
 #include "metrics/analysis.h"
-#include "profile/attribution.h"
+#include "metrics/attribution.h"
 
 namespace tsg {
 

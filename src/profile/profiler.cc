@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/prof_hooks.h"
+
 namespace tsg {
 
 std::atomic<bool> Profiler::armed_{false};
@@ -15,12 +17,31 @@ Profiler& Profiler::global() {
 void Profiler::arm(const ProfileOptions& options) {
   options_ = options;
   sample_every_ = std::max<std::uint32_t>(1, options.sample_every);
+  // The scheduler and storage layers sit below profile/ in the module DAG,
+  // so they reach the recorder through the common/prof_hooks table instead
+  // of including this header (see tools/layers.txt).
+  prof::Hooks hooks;
+  hooks.wait_caused = [](std::uint32_t p, std::int64_t ns) {
+    Profiler::global().recordWaitCaused(p, ns);
+  };
+  hooks.steal_victim = [](std::uint32_t p) {
+    Profiler::global().recordStealVictim(p);
+  };
+  hooks.resident_slice = [](std::uint32_t p, std::int32_t t,
+                            std::uint64_t bytes) {
+    Profiler::global().recordResidentSlice(p, t, bytes);
+  };
+  prof::install(hooks);
+  // tsg:mo(gate flag only; hook sites re-check run_active_ with acquire
+  // before touching the grid)
   armed_.store(true, std::memory_order_relaxed);
 }
 
 void Profiler::disarm() {
+  prof::uninstall();
+  // tsg:mo(gate flags; no grid state is published by disarming)
   armed_.store(false, std::memory_order_relaxed);
-  run_active_.store(false, std::memory_order_relaxed);
+  run_active_.store(false, std::memory_order_relaxed);  // tsg:mo(gate flag; teardown publishes nothing here)
 }
 
 void Profiler::beginRun(const PartitionedGraph& pg, Timestep first_timestep,
@@ -45,12 +66,12 @@ void Profiler::beginRun(const PartitionedGraph& pg, Timestep first_timestep,
   for (std::uint32_t p = 0; p < pg.numPartitions(); ++p) {
     shards_.push_back(std::make_unique<SketchShard>(capacity));
   }
-  run_active_.store(true, std::memory_order_release);
+  run_active_.store(true, std::memory_order_release);  // tsg:mo(release publishes the grid built above to hook threads)
 }
 
 AttributionTable Profiler::take() {
   AttributionTable table;
-  if (!run_active_.exchange(false, std::memory_order_acq_rel) ||
+  if (!run_active_.exchange(false, std::memory_order_acq_rel) ||  // tsg:mo(acq_rel closes the gate and orders hook writes before reads)
       pg_ == nullptr) {
     return table;
   }
@@ -79,27 +100,27 @@ AttributionTable Profiler::take() {
       const Cell& c =
           cells_[static_cast<std::size_t>(row) * num_subgraphs_ + sg];
       SubgraphCosts& dst = out[sg];
-      dst.compute_ns = c.compute_ns.load(std::memory_order_relaxed);
-      dst.computes = c.computes.load(std::memory_order_relaxed);
-      dst.msgs_out = c.msgs_out.load(std::memory_order_relaxed);
-      dst.bytes_out = c.bytes_out.load(std::memory_order_relaxed);
-      dst.resident_bytes = c.resident_bytes.load(std::memory_order_relaxed);
+      dst.compute_ns = c.compute_ns.load(std::memory_order_relaxed);  // tsg:mo(read after take() closed the gate; writers done)
+      dst.computes = c.computes.load(std::memory_order_relaxed);  // tsg:mo(read after take() closed the gate; writers done)
+      dst.msgs_out = c.msgs_out.load(std::memory_order_relaxed);  // tsg:mo(read after take() closed the gate; writers done)
+      dst.bytes_out = c.bytes_out.load(std::memory_order_relaxed);  // tsg:mo(read after take() closed the gate; writers done)
+      dst.resident_bytes = c.resident_bytes.load(std::memory_order_relaxed);  // tsg:mo(read after take() closed the gate; writers done)
     }
   }
 
   table.msgs_in.resize(num_subgraphs_);
   table.bytes_in.resize(num_subgraphs_);
   for (SubgraphId sg = 0; sg < num_subgraphs_; ++sg) {
-    table.msgs_in[sg] = msgs_in_[sg].load(std::memory_order_relaxed);
-    table.bytes_in[sg] = bytes_in_[sg].load(std::memory_order_relaxed);
+    table.msgs_in[sg] = msgs_in_[sg].load(std::memory_order_relaxed);  // tsg:mo(read after take() closed the gate; writers done)
+    table.bytes_in[sg] = bytes_in_[sg].load(std::memory_order_relaxed);  // tsg:mo(read after take() closed the gate; writers done)
   }
   table.sched_wait_caused_ns.resize(wait_caused_ns_.size());
   table.steal_victims.resize(steal_victims_.size());
   for (std::size_t p = 0; p < wait_caused_ns_.size(); ++p) {
     table.sched_wait_caused_ns[p] =
-        wait_caused_ns_[p].load(std::memory_order_relaxed);
+        wait_caused_ns_[p].load(std::memory_order_relaxed);  // tsg:mo(read after take() closed the gate; writers done)
     table.steal_victims[p] =
-        steal_victims_[p].load(std::memory_order_relaxed);
+        steal_victims_[p].load(std::memory_order_relaxed);  // tsg:mo(read after take() closed the gate; writers done)
   }
 
   const std::size_t capacity =
@@ -141,36 +162,38 @@ AttributionTable Profiler::take() {
   return table;
 }
 
+// tsg:hot — hook fires after every subgraph compute call.
 void Profiler::recordCompute(SubgraphId sg, Timestep t, std::int64_t ns) {
-  if (!run_active_.load(std::memory_order_acquire)) {
+  if (!run_active_.load(std::memory_order_acquire)) {  // tsg:mo(acquire pairs with arm()'s release of the grid)
     return;
   }
   Cell* cell = cellAt(rowOf(t), sg);
   if (cell == nullptr) {
     return;
   }
-  cell->compute_ns.fetch_add(ns, std::memory_order_relaxed);
-  cell->computes.fetch_add(1, std::memory_order_relaxed);
+  cell->compute_ns.fetch_add(ns, std::memory_order_relaxed);  // tsg:mo(cost tally; reconciled when take() closes the gate)
+  cell->computes.fetch_add(1, std::memory_order_relaxed);  // tsg:mo(cost tally; reconciled when take() closes the gate)
 }
 
+// tsg:hot — hook fires once per message send.
 void Profiler::recordSend(SubgraphId src, SubgraphId dst, Timestep t,
                           std::uint64_t bytes) {
-  if (!run_active_.load(std::memory_order_acquire)) {
+  if (!run_active_.load(std::memory_order_acquire)) {  // tsg:mo(acquire pairs with arm()'s release of the grid)
     return;
   }
   if (Cell* cell = cellAt(rowOf(t), src)) {
-    cell->msgs_out.fetch_add(1, std::memory_order_relaxed);
-    cell->bytes_out.fetch_add(bytes, std::memory_order_relaxed);
+    cell->msgs_out.fetch_add(1, std::memory_order_relaxed);  // tsg:mo(cost tally; reconciled when take() closes the gate)
+    cell->bytes_out.fetch_add(bytes, std::memory_order_relaxed);  // tsg:mo(cost tally; reconciled when take() closes the gate)
   }
   if (dst < msgs_in_.size()) {
-    msgs_in_[dst].fetch_add(1, std::memory_order_relaxed);
-    bytes_in_[dst].fetch_add(bytes, std::memory_order_relaxed);
+    msgs_in_[dst].fetch_add(1, std::memory_order_relaxed);  // tsg:mo(cost tally; reconciled when take() closes the gate)
+    bytes_in_[dst].fetch_add(bytes, std::memory_order_relaxed);  // tsg:mo(cost tally; reconciled when take() closes the gate)
   }
 }
 
 void Profiler::recordVertexSample(PartitionId p, VertexIndex vertex,
                                   std::uint64_t ns, std::uint64_t fanout) {
-  if (!run_active_.load(std::memory_order_acquire) || p >= shards_.size()) {
+  if (!run_active_.load(std::memory_order_acquire) || p >= shards_.size()) {  // tsg:mo(acquire pairs with arm()'s release of the grid)
     return;
   }
   const std::uint64_t scale = sample_every_;
@@ -184,7 +207,7 @@ void Profiler::recordVertexSample(PartitionId p, VertexIndex vertex,
 
 void Profiler::recordResidentSlice(PartitionId p, Timestep t,
                                    std::uint64_t bytes) {
-  if (!run_active_.load(std::memory_order_acquire) || pg_ == nullptr ||
+  if (!run_active_.load(std::memory_order_acquire) || pg_ == nullptr ||  // tsg:mo(acquire pairs with arm()'s release of the grid)
       p >= pg_->numPartitions()) {
     return;
   }
@@ -205,39 +228,39 @@ void Profiler::recordResidentSlice(PartitionId p, Timestep t,
     const std::uint64_t share =
         bytes * sg.numVertices() / part_vertices;
     // An occupancy level, not a flow: the latest load for this row wins.
-    cell->resident_bytes.store(share, std::memory_order_relaxed);
+    cell->resident_bytes.store(share, std::memory_order_relaxed);  // tsg:mo(occupancy gauge; the latest value wins)
   }
 }
 
 void Profiler::recordWaitCaused(PartitionId p, std::int64_t ns) {
-  if (!run_active_.load(std::memory_order_acquire) ||
+  if (!run_active_.load(std::memory_order_acquire) ||  // tsg:mo(acquire pairs with arm()'s release of the grid)
       p >= wait_caused_ns_.size() || ns <= 0) {
     return;
   }
-  wait_caused_ns_[p].fetch_add(ns, std::memory_order_relaxed);
+  wait_caused_ns_[p].fetch_add(ns, std::memory_order_relaxed);  // tsg:mo(wait tally; reconciled when take() closes the gate)
 }
 
 void Profiler::recordStealVictim(PartitionId p) {
-  if (!run_active_.load(std::memory_order_acquire) ||
+  if (!run_active_.load(std::memory_order_acquire) ||  // tsg:mo(acquire pairs with arm()'s release of the grid)
       p >= steal_victims_.size()) {
     return;
   }
-  steal_victims_[p].fetch_add(1, std::memory_order_relaxed);
+  steal_victims_[p].fetch_add(1, std::memory_order_relaxed);  // tsg:mo(steal tally; reconciled when take() closes the gate)
 }
 
 void Profiler::resetRowsFrom(Timestep t) {
-  if (!run_active_.load(std::memory_order_acquire)) {
+  if (!run_active_.load(std::memory_order_acquire)) {  // tsg:mo(acquire pairs with arm()'s release of the grid)
     return;
   }
   const std::int32_t first_row = std::max(0, t - first_timestep_);
   for (std::int32_t row = first_row; row < num_rows_; ++row) {
     for (SubgraphId sg = 0; sg < num_subgraphs_; ++sg) {
       Cell* cell = cellAt(row, sg);
-      cell->compute_ns.store(0, std::memory_order_relaxed);
-      cell->computes.store(0, std::memory_order_relaxed);
-      cell->msgs_out.store(0, std::memory_order_relaxed);
-      cell->bytes_out.store(0, std::memory_order_relaxed);
-      cell->resident_bytes.store(0, std::memory_order_relaxed);
+      cell->compute_ns.store(0, std::memory_order_relaxed);  // tsg:mo(rebaseline reset; the engine is between timesteps)
+      cell->computes.store(0, std::memory_order_relaxed);  // tsg:mo(rebaseline reset; the engine is between timesteps)
+      cell->msgs_out.store(0, std::memory_order_relaxed);  // tsg:mo(rebaseline reset; the engine is between timesteps)
+      cell->bytes_out.store(0, std::memory_order_relaxed);  // tsg:mo(rebaseline reset; the engine is between timesteps)
+      cell->resident_bytes.store(0, std::memory_order_relaxed);  // tsg:mo(rebaseline reset; the engine is between timesteps)
     }
   }
 }

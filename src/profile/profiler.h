@@ -30,7 +30,7 @@
 #include <vector>
 
 #include "partition/partitioned_graph.h"
-#include "profile/attribution.h"
+#include "metrics/attribution.h"
 #include "profile/sketch.h"
 
 namespace tsg {
@@ -51,7 +51,7 @@ class Profiler {
 
   // The zero-cost gate every hook call site checks first.
   static bool enabled() {
-    return armed_.load(std::memory_order_relaxed);
+    return armed_.load(std::memory_order_relaxed);  // tsg:mo(gate read; a stale miss only skips one sample)
   }
 
   // Arms/disarms the profiler process-wide (tsgcli --profile=, benches).

@@ -6,12 +6,12 @@
 #include <thread>
 #include <utility>
 
-#include "check/perturb.h"
 #include "common/metrics.h"
+#include "common/perturb.h"
+#include "common/prof_hooks.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
-#include "profile/profiler.h"
 #include "runtime/fault_injector.h"
 
 namespace tsg {
@@ -85,12 +85,12 @@ const std::vector<Cluster::RoundTiming>& Cluster::run(
   }
   m_rounds_.increment();
   m_barrier_wait_ns_.add(static_cast<std::uint64_t>(sync_total));
-  if (Profiler::enabled()) [[unlikely]] {
+  if (prof::armed()) [[unlikely]] {
     // The last finisher is the round's straggler: every other partition's
     // barrier wait this round traces back to it.
     const PartitionId straggler = static_cast<PartitionId>(
         std::max_element(end_ns_.begin(), end_ns_.end()) - end_ns_.begin());
-    Profiler::global().recordWaitCaused(straggler, sync_total);
+    prof::hooks().wait_caused(straggler, sync_total);
   }
   return timings_;
 }
@@ -302,10 +302,10 @@ const std::vector<Cluster::RoundTiming>& AsyncCluster::runAll(
     timings_[p].sync_ns = round_end - end_ns_[p];
     sync_total += timings_[p].sync_ns;
   }
-  if (Profiler::enabled()) [[unlikely]] {
+  if (prof::armed()) [[unlikely]] {
     const PartitionId straggler = static_cast<PartitionId>(
         std::max_element(end_ns_.begin(), end_ns_.end()) - end_ns_.begin());
-    Profiler::global().recordWaitCaused(straggler, sync_total);
+    prof::hooks().wait_caused(straggler, sync_total);
   }
   return timings_;
 }
@@ -429,15 +429,14 @@ void AsyncCluster::workerLoop(PartitionId p, std::uint64_t start_round) {
     if (info.stolen) {
       m_steals_.increment();
     }
-    if (Profiler::enabled()) [[unlikely]] {
+    if (prof::armed()) [[unlikely]] {
       // The task that ends an all-idle gap left the scheduler starved for
       // that long; a steal marks its home partition as overloaded.
       if (info.ready_wait_ns > 0) {
-        Profiler::global().recordWaitCaused(task.partition,
-                                            info.ready_wait_ns);
+        prof::hooks().wait_caused(task.partition, info.ready_wait_ns);
       }
       if (info.stolen) {
-        Profiler::global().recordStealVictim(task.partition);
+        prof::hooks().steal_victim(task.partition);
       }
     }
     perturbPoint(static_cast<std::uint64_t>(task.wave), task.partition,

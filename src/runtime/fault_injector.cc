@@ -69,13 +69,13 @@ void FaultInjector::arm(std::vector<FaultSpec> plan, std::uint64_t seed) {
   for (const auto& spec : plan_) {
     any = any || spec.fires > 0;
   }
-  armed_.store(any, std::memory_order_relaxed);
+  armed_.store(any, std::memory_order_relaxed);  // tsg:mo(gate flag; the plan itself is published under mutex_)
 }
 
 void FaultInjector::disarm() {
   std::lock_guard lock(mutex_);
   plan_.clear();
-  armed_.store(false, std::memory_order_relaxed);
+  armed_.store(false, std::memory_order_relaxed);  // tsg:mo(gate flag; the plan itself is published under mutex_)
 }
 
 std::optional<FaultSpec> FaultInjector::fire(Site site, PartitionId partition,
@@ -116,7 +116,7 @@ std::optional<FaultSpec> FaultInjector::fire(Site site, PartitionId partition,
     fired.delay_us = base + rng_->uniformInt(-base / 4, base / 4);
   }
   if (!budget_left) {
-    armed_.store(false, std::memory_order_relaxed);
+    armed_.store(false, std::memory_order_relaxed);  // tsg:mo(budget exhausted; a lagging disarm is harmless)
   }
   MetricsRegistry::global().counter("fault.injected").increment();
   TSG_LOG(Warn) << "fault injector: firing " << actionName(fired.action)

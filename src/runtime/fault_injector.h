@@ -104,7 +104,7 @@ class FaultInjector {
   // True while any spec still has fire budget. The one-branch gate every
   // instrumented site checks first.
   [[nodiscard]] bool armed() const {
-    return armed_.load(std::memory_order_relaxed);
+    return armed_.load(std::memory_order_relaxed);  // tsg:mo(gate read; sites take mutex_ before acting)
   }
 
   // Installs a plan, replacing any previous one. The seed drives delay

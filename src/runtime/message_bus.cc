@@ -40,6 +40,7 @@ MessageBus::MessageBus(std::uint32_t num_partitions)
   spares_.resize(num_partitions);
 }
 
+// tsg:hot — per-message fast path; called once per edge activation.
 void MessageBus::send(PartitionId from, PartitionId to, Message msg) {
   TSG_CHECK(from < rows_.size());
   TSG_CHECK(to < rows_.size());
@@ -189,6 +190,7 @@ void MessageBus::inject(PartitionId to, std::vector<Message> msgs) {
   inbox.flow_ids_.push_back(0);  // seeds have no send-side flow
 }
 
+// tsg:hot — runs on the worker thread at the top of every round.
 void MessageBus::Inbox::clear() {
   std::uint64_t drained_flow = 0;
   for (std::size_t i = 0; i < batches_.size(); ++i) {

@@ -54,10 +54,11 @@ class PayloadBuffer {
     }
   }
 
+  // tsg:hot — copied on every fan-out of a shared payload.
   PayloadBuffer(const PayloadBuffer& other)
       : shared_(other.shared_), inline_size_(other.inline_size_) {
     if (shared_ != nullptr) {
-      shared_->refs.fetch_add(1, std::memory_order_relaxed);
+      shared_->refs.fetch_add(1, std::memory_order_relaxed);  // tsg:mo(ref increment; the copier already owns a reference)
     } else {
       std::memcpy(inline_, other.inline_, inline_size_);
     }
@@ -130,7 +131,7 @@ class PayloadBuffer {
   // Number of PayloadBuffers sharing the heap block; 1 for inline buffers.
   [[nodiscard]] std::uint32_t useCount() const {
     return shared_ != nullptr
-               ? shared_->refs.load(std::memory_order_relaxed)
+               ? shared_->refs.load(std::memory_order_relaxed)  // tsg:mo(introspection read of the refcount)
                : 1;
   }
 
@@ -158,7 +159,7 @@ class PayloadBuffer {
 
   void release() {
     if (shared_ != nullptr &&
-        shared_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        shared_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {  // tsg:mo(acq_rel: the last release must see all writes before delete)
       delete shared_;
     }
   }

@@ -149,7 +149,7 @@ Status writePromFile(const std::string& path, const std::string& body) {
 PromHttpListener::~PromHttpListener() { stop(); }
 
 Status PromHttpListener::start(int port, Handler handler) {
-  if (running_.load(std::memory_order_acquire)) {
+  if (running_.load(std::memory_order_acquire)) {  // tsg:mo(acquire pairs with start()'s release store)
     return Status::failedPrecondition("prom listener already running");
   }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -179,7 +179,7 @@ Status PromHttpListener::start(int port, Handler handler) {
   }
   listen_fd_ = fd;
   handler_ = std::move(handler);
-  running_.store(true, std::memory_order_release);
+  running_.store(true, std::memory_order_release);  // tsg:mo(release publishes listener state to the accept thread)
   thread_ = std::thread([this] { acceptLoop(); });  // NOLINT(tsg-naked-thread)
   TSG_LOG(Info) << "prometheus exposition on http://127.0.0.1:" << port_
                 << "/metrics";
@@ -202,10 +202,10 @@ void PromHttpListener::stop() {
 }
 
 void PromHttpListener::acceptLoop() {
-  while (running_.load(std::memory_order_acquire)) {
+  while (running_.load(std::memory_order_acquire)) {  // tsg:mo(acquire pairs with start()'s release store)
     const int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) {
-      if (running_.load(std::memory_order_acquire) && errno == EINTR) {
+      if (running_.load(std::memory_order_acquire) && errno == EINTR) {  // tsg:mo(acquire pairs with start()'s release store)
         continue;
       }
       return;  // socket closed by stop()

@@ -66,7 +66,7 @@ class PromHttpListener {
   void stop();
 
   [[nodiscard]] bool running() const {
-    return running_.load(std::memory_order_acquire);
+    return running_.load(std::memory_order_acquire);  // tsg:mo(acquire pairs with start()'s release store)
   }
   // The bound port (useful with port 0); 0 when not running.
   [[nodiscard]] int port() const { return port_; }

@@ -13,8 +13,9 @@ namespace tsg {
 TelemetryRing::TelemetryRing(std::size_t capacity)
     : slots_(std::max<std::size_t>(1, capacity)) {}
 
+// tsg:hot — producer side of the seqlock ring; must stay wait-free.
 void TelemetryRing::push(TelemetrySample sample) {
-  const std::uint64_t index = produced_.load(std::memory_order_relaxed);
+  const std::uint64_t index = produced_.load(std::memory_order_relaxed);  // tsg:mo(producer-only counter; single writer)
   sample.index = index;
   Slot& slot = slots_[static_cast<std::size_t>(index % slots_.size())];
   {
@@ -22,18 +23,18 @@ void TelemetryRing::push(TelemetrySample sample) {
     if (!lock.owns_lock()) {
       // A reader is copying this slot right now. Dropping one sample beats
       // stalling the cadence; the producer stays wait-free.
-      dropped_.fetch_add(1, std::memory_order_relaxed);
-      produced_.store(index + 1, std::memory_order_release);
+      dropped_.fetch_add(1, std::memory_order_relaxed);  // tsg:mo(drop tally; read after sampling stops)
+      produced_.store(index + 1, std::memory_order_release);  // tsg:mo(release publishes the slot seqlock-style to readers)
       return;
     }
     slot.index = index;
     slot.sample = std::move(sample);
   }
-  produced_.store(index + 1, std::memory_order_release);
+  produced_.store(index + 1, std::memory_order_release);  // tsg:mo(release publishes the slot seqlock-style to readers)
 }
 
 bool TelemetryRing::latest(TelemetrySample& out) const {
-  const std::uint64_t produced = produced_.load(std::memory_order_acquire);
+  const std::uint64_t produced = produced_.load(std::memory_order_acquire);  // tsg:mo(acquire pairs with push()'s release publication)
   if (produced == 0) {
     return false;
   }
@@ -54,7 +55,7 @@ bool TelemetryRing::latest(TelemetrySample& out) const {
 }
 
 std::vector<TelemetrySample> TelemetryRing::collect() const {
-  const std::uint64_t produced = produced_.load(std::memory_order_acquire);
+  const std::uint64_t produced = produced_.load(std::memory_order_acquire);  // tsg:mo(acquire pairs with push()'s release publication)
   const std::uint64_t window =
       std::min<std::uint64_t>(produced, slots_.size());
   std::vector<TelemetrySample> out;
@@ -128,19 +129,19 @@ TelemetrySample TelemetrySampler::captureSample() {
 }
 
 void TelemetrySampler::start() {
-  if (running_.load(std::memory_order_acquire)) {
+  if (running_.load(std::memory_order_acquire)) {  // tsg:mo(acquire pairs with stop()'s release store)
     return;
   }
   {
     std::lock_guard lock(mutex_);
     stop_requested_ = false;
   }
-  running_.store(true, std::memory_order_release);
+  running_.store(true, std::memory_order_release);  // tsg:mo(release publishes sampler state to the thread)
   thread_ = std::thread([this] { threadMain(); });  // NOLINT(tsg-naked-thread)
 }
 
 void TelemetrySampler::stop() {
-  if (!running_.load(std::memory_order_acquire)) {
+  if (!running_.load(std::memory_order_acquire)) {  // tsg:mo(acquire pairs with start()'s release store)
     return;
   }
   {
@@ -151,7 +152,7 @@ void TelemetrySampler::stop() {
   if (thread_.joinable()) {
     thread_.join();
   }
-  running_.store(false, std::memory_order_release);
+  running_.store(false, std::memory_order_release);  // tsg:mo(release marks the joined thread's state visible)
 }
 
 void TelemetrySampler::threadMain() {
@@ -169,7 +170,7 @@ void TelemetrySampler::threadMain() {
     }
     TelemetrySample sample = captureSample();
     appendSamplerPoints(sample, ring_,
-                        missed_ticks_.load(std::memory_order_relaxed));
+                        missed_ticks_.load(std::memory_order_relaxed));  // tsg:mo(stat read; the sampler thread is the only writer)
     if (options_.on_sample) {
       options_.on_sample(sample);
     }
@@ -180,12 +181,12 @@ void TelemetrySampler::threadMain() {
     const auto now = std::chrono::steady_clock::now();
     while (next_tick < now) {
       next_tick += interval;
-      missed_ticks_.fetch_add(1, std::memory_order_relaxed);
+      missed_ticks_.fetch_add(1, std::memory_order_relaxed);  // tsg:mo(stat counter; the sampler thread is the only writer)
     }
   }
   TelemetrySample final_sample = captureSample();
   appendSamplerPoints(final_sample, ring_,
-                      missed_ticks_.load(std::memory_order_relaxed));
+                      missed_ticks_.load(std::memory_order_relaxed));  // tsg:mo(stat read; the sampler thread is the only writer)
   if (options_.on_sample) {
     options_.on_sample(final_sample);
   }

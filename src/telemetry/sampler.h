@@ -80,11 +80,11 @@ class TelemetryRing {
 
   // Total samples offered to push() (including dropped / overwritten).
   [[nodiscard]] std::uint64_t produced() const {
-    return produced_.load(std::memory_order_acquire);
+    return produced_.load(std::memory_order_acquire);  // tsg:mo(acquire pairs with push()'s release publication)
   }
   // Samples dropped because a reader held the slot at push time.
   [[nodiscard]] std::uint64_t droppedSamples() const {
-    return dropped_.load(std::memory_order_relaxed);
+    return dropped_.load(std::memory_order_relaxed);  // tsg:mo(drop tally read; reporting only)
   }
   [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
 
@@ -125,7 +125,7 @@ class TelemetrySampler {
   void start();
   void stop();
   [[nodiscard]] bool running() const {
-    return running_.load(std::memory_order_acquire);
+    return running_.load(std::memory_order_acquire);  // tsg:mo(acquire pairs with start()/stop() release stores)
   }
 
   [[nodiscard]] const TelemetryRing& ring() const { return ring_; }
@@ -134,7 +134,7 @@ class TelemetrySampler {
   // Ticks the sampler missed because a capture overran the cadence (the
   // schedule skips forward rather than bunching late samples).
   [[nodiscard]] std::uint64_t missedTicks() const {
-    return missed_ticks_.load(std::memory_order_relaxed);
+    return missed_ticks_.load(std::memory_order_relaxed);  // tsg:mo(stat read; reporting only)
   }
 
   // One synchronous capture of registry + process state (does not touch

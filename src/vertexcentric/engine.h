@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "partition/partitioned_graph.h"
-#include "runtime/stats.h"
+#include "metrics/stats.h"
 
 namespace tsg {
 namespace vertexcentric {

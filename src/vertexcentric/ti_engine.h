@@ -25,7 +25,7 @@
 #include "core/engine.h"  // Schedule
 #include "gofs/instance_provider.h"
 #include "partition/partitioned_graph.h"
-#include "runtime/stats.h"
+#include "metrics/stats.h"
 
 namespace tsg {
 

@@ -1,0 +1,23 @@
+// Known-bad fixture: trips tsg-atomics and nothing else.
+// Not compiled — consumed by tests/test_tsglint.cc as analyzer input.
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<int> g_count{0};
+
+int untaggedRelaxed() {
+  return g_count.load(std::memory_order_relaxed);  // violation: no tsg:mo
+}
+
+// tsg:hot
+int hotSeqCstDefault() {
+  return g_count.load();  // violation: defaults to seq_cst in a hot region
+}
+
+int taggedRelaxed() {
+  // tsg:mo(monotonic counter; readers tolerate staleness)
+  return g_count.load(std::memory_order_relaxed);  // OK
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Known-bad fixture: trips tsg-hot-path and nothing else.
+// Not compiled — consumed by tests/test_tsglint.cc as analyzer input.
+#include <mutex>
+#include <string>
+
+namespace fixture {
+
+std::mutex g_mu;
+
+// tsg:hot
+int* hotAllocates(int n) {
+  std::lock_guard guard(g_mu);  // violation: blocking lock in hot region
+  return new int[n];            // violation: allocation in hot region
+}
+
+int* coldAllocates(int n) {
+  return new int[n];  // fine: not a hot region
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Known-bad fixture: trips tsg-layering and nothing else. The test lends
+// this file the path src/common/layering.cc, so the runtime include below
+// is a back-edge against the declared DAG (runtime depends on common, not
+// the other way around). Not compiled.
+#include "common/status.h"
+#include "runtime/cluster.h"
+
+namespace fixture {
+void useBoth() {}
+}  // namespace fixture

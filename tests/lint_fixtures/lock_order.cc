@@ -1,0 +1,21 @@
+// Known-bad fixture: trips tsg-lock-order and nothing else. Two methods
+// acquire the same pair of mutexes in opposite orders — the classic ABBA
+// deadlock. Not compiled.
+#include <mutex>
+
+namespace fixture {
+
+struct Pair {
+  void forward() {
+    std::lock_guard a(mu_a_);
+    std::lock_guard b(mu_b_);  // edge: mu_a_ -> mu_b_
+  }
+  void backward() {
+    std::lock_guard b(mu_b_);
+    std::lock_guard a(mu_a_);  // edge: mu_b_ -> mu_a_ — closes the cycle
+  }
+  std::mutex mu_a_;
+  std::mutex mu_b_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Known-bad fixture: trips tsg-metric-name and nothing else.
+// Not compiled — consumed by tests/test_tsglint.cc as analyzer input.
+namespace fixture {
+
+void record(MetricsRegistry& reg, const char* dynamic_name) {
+  reg.counter(dynamic_name).add(1);         // violation: computed name
+  reg.gauge("BadCamelCase").set(2);         // violation: not snake_case
+  reg.histogram("engine.compute_ns").record(3);  // OK
+}
+
+}  // namespace fixture

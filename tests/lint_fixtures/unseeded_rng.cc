@@ -1,0 +1,16 @@
+// Known-bad fixture: trips tsg-unseeded-rng and nothing else.
+// Not compiled — consumed by tests/test_tsglint.cc as analyzer input.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int ambientRandomness() {
+  std::mt19937 gen(42);  // violation: bypasses common/rng
+  return static_cast<int>(gen());
+}
+
+// `myrand(` and `.rand(` must not trip: the rule wants the bare libc call.
+int myrand() { return 7; }
+
+}  // namespace fixture

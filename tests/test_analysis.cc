@@ -9,7 +9,7 @@
 #include "common/json.h"
 #include "gofs/instance_provider.h"
 #include "metrics/report.h"
-#include "runtime/stats.h"
+#include "metrics/stats.h"
 #include "test_util.h"
 
 namespace tsg {

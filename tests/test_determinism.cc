@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "check/digest.h"
-#include "check/perturb.h"
+#include "common/perturb.h"
 #include "core/engine.h"
 #include "test_util.h"
 

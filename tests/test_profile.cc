@@ -22,7 +22,7 @@
 #include "gofs/instance_provider.h"
 #include "metrics/report.h"
 #include "profile/advisor.h"
-#include "profile/attribution.h"
+#include "metrics/attribution.h"
 #include "profile/profiler.h"
 #include "profile/sketch.h"
 #include "vertexcentric/engine.h"

@@ -21,7 +21,7 @@
 #include "graph/graph_template.h"
 #include "partition/partitioned_graph.h"
 #include "partition/partitioner.h"
-#include "runtime/stats.h"
+#include "metrics/stats.h"
 
 namespace tsg::testing {
 

@@ -34,16 +34,23 @@ express, mirroring the contracts documented in the headers they protect:
 
 Usage: python3 tools/lint.py [--root DIR] [files...]
 With no file arguments, lints every tracked C++ file under src/, tools/,
-tests/ and benchmarks/. Exits non-zero if any violation is found.
+tests/ and bench/. Exits non-zero if any violation is found.
+
+When a built tsglint binary is present (build/tools/tsglint, or the path in
+$TSGLINT), this script is a thin shim that delegates to it: tsglint covers
+these four rules on a real token stream plus the layering, lock-order,
+hot-path and atomics analyses. The regex implementation below is the
+fallback for environments without a build tree.
 """
 
 import argparse
 import os
 import re
+import subprocess
 import sys
 
 CPP_SUFFIXES = (".cc", ".h")
-LINT_DIRS = ("src", "tools", "tests", "benchmarks")
+LINT_DIRS = ("src", "tools", "tests", "bench")
 
 # NOLINT(tsg-<rule>) on the offending line suppresses that rule.
 NOLINT_RE = re.compile(r"NOLINT\(tsg-([a-z-]+)\)")
@@ -117,7 +124,7 @@ def thread_exempt(relpath):
         return True
     if relpath.startswith("src/common/thread_pool."):
         return True
-    return relpath.startswith("tests/") or relpath.startswith("benchmarks/")
+    return relpath.startswith("tests/") or relpath.startswith("bench/")
 
 
 def rng_exempt(relpath):
@@ -262,11 +269,28 @@ def collect_files(root):
         top_abs = os.path.join(root, top)
         if not os.path.isdir(top_abs):
             continue
-        for dirpath, _, names in os.walk(top_abs):
+        for dirpath, dirnames, names in os.walk(top_abs):
+            # Known-bad analyzer fixtures are inputs, not code under lint.
+            dirnames[:] = [d for d in dirnames if d != "lint_fixtures"]
             for name in names:
                 if name.endswith(CPP_SUFFIXES):
                     files.append(norm(os.path.relpath(os.path.join(dirpath, name), root)))
     return sorted(files)
+
+
+def find_tsglint(root):
+    """Returns the path to a built tsglint binary, or None.
+
+    $TSGLINT overrides; set it to an empty string to force the Python
+    fallback (used by the shim's own tests)."""
+    if "TSGLINT" in os.environ:
+        path = os.environ["TSGLINT"]
+        return path if path and os.access(path, os.X_OK) else None
+    for candidate in ("build/tools/tsglint", "build/tools/tsglint.exe"):
+        path = os.path.join(root, candidate)
+        if os.access(path, os.X_OK):
+            return path
+    return None
 
 
 def main(argv):
@@ -276,6 +300,11 @@ def main(argv):
     args = parser.parse_args(argv)
 
     root = os.path.abspath(args.root)
+
+    tsglint = find_tsglint(root)
+    if tsglint is not None:
+        paths = args.files if args.files else list(LINT_DIRS)
+        return subprocess.call([tsglint, "--root=" + root] + paths)
     if args.files:
         files = [norm(os.path.relpath(os.path.abspath(f), root)) for f in args.files]
         files = [f for f in files if f.endswith(CPP_SUFFIXES)]

@@ -1193,7 +1193,7 @@ int cmdTop(const Args& args) {
   std::atomic<bool> done{false};
   std::thread job([&] {  // NOLINT(tsg-naked-thread)
     digest = runAlgoDigest(algo, ds.value(), schedule);
-    done.store(true, std::memory_order_release);
+    done.store(true, std::memory_order_release);  // tsg:mo(release publishes the digest to the polling loop)
   });
 
   const auto refresh =
@@ -1206,7 +1206,7 @@ int cmdTop(const Args& args) {
   const std::int64_t t0 = steadyNowNs();
   TelemetrySample prev;
   bool has_prev = false;
-  while (!done.load(std::memory_order_acquire)) {
+  while (!done.load(std::memory_order_acquire)) {  // tsg:mo(acquire pairs with the worker's release of done)
     std::this_thread::sleep_for(refresh);
     TelemetrySample sample;
     if (!sampler.ring().latest(sample)) {
