@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Streaming-ingestion gate for the `tsgcli stream --verify` run.
+
+Parses the "stream summary:" block tsgcli prints and fails unless:
+
+  * digest_match is "yes" (streamed == cold batch digest),
+  * sealed_timesteps equals --expect-timesteps (full horizon covered),
+  * seal_queue_max_depth never exceeded seal_queue_capacity (the
+    backpressure bound held),
+  * subgraphs_skipped_incremental >= --min-skips (the incremental path
+    actually elided clean subgraphs — a sparse stream must not recompute
+    everything), and
+  * late_events == 0 (an in-order replay drops nothing).
+
+Usage: tsgcli stream ... --verify | tee stream.out
+       check_stream.py stream.out [--expect-timesteps=N] [--min-skips=1]
+"""
+
+import argparse
+import re
+import sys
+
+
+def parse_summary(text):
+    fields = {}
+    for key in (
+        "events_ingested",
+        "late_events",
+        "sealed_timesteps",
+        "seal_queue_max_depth",
+        "seal_queue_capacity",
+        "subgraphs_skipped_incremental",
+    ):
+        m = re.search(rf"^\s*{key}:\s*(\d+)\s*$", text, re.MULTILINE)
+        if m is None:
+            raise SystemExit(f"check_stream: '{key}' missing from summary")
+        fields[key] = int(m.group(1))
+    m = re.search(r"^\s*digest_match:\s*(\w+)\s*$", text, re.MULTILINE)
+    if m is None:
+        raise SystemExit(
+            "check_stream: no digest_match line (run tsgcli stream with "
+            "--verify)"
+        )
+    fields["digest_match"] = m.group(1)
+    return fields
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("summary", help="captured tsgcli stream output")
+    parser.add_argument("--expect-timesteps", type=int, default=None)
+    parser.add_argument("--min-skips", type=int, default=1)
+    args = parser.parse_args()
+
+    with open(args.summary) as f:
+        fields = parse_summary(f.read())
+
+    failures = []
+    if fields["digest_match"] != "yes":
+        failures.append("streamed digest diverges from the batch reference")
+    if (
+        args.expect_timesteps is not None
+        and fields["sealed_timesteps"] != args.expect_timesteps
+    ):
+        failures.append(
+            f"sealed {fields['sealed_timesteps']} timesteps, expected "
+            f"{args.expect_timesteps}"
+        )
+    if fields["seal_queue_max_depth"] > fields["seal_queue_capacity"]:
+        failures.append(
+            f"seal queue depth {fields['seal_queue_max_depth']} exceeded "
+            f"capacity {fields['seal_queue_capacity']}"
+        )
+    if fields["subgraphs_skipped_incremental"] < args.min_skips:
+        failures.append(
+            f"only {fields['subgraphs_skipped_incremental']} incremental "
+            f"skips, expected >= {args.min_skips}"
+        )
+    if fields["late_events"] != 0:
+        failures.append(f"{fields['late_events']} late events in an "
+                        "in-order replay")
+
+    if failures:
+        for failure in failures:
+            print(f"check_stream: FAIL: {failure}")
+        return 1
+    print(
+        "check_stream: OK "
+        f"(events={fields['events_ingested']}, "
+        f"sealed={fields['sealed_timesteps']}, "
+        f"queue_max={fields['seal_queue_max_depth']}/"
+        f"{fields['seal_queue_capacity']}, "
+        f"skips={fields['subgraphs_skipped_incremental']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -89,6 +89,7 @@ HashtagRun runHashtagAggregation(const PartitionedGraph& pg,
   config.maintenance_period = options.maintenance_period;
   config.checkpoint_store = options.checkpoint_store;
   config.schedule = options.schedule;
+  config.stream = options.stream;
 
   TiBspEngine engine(pg, provider);
   run.exec = engine.run(

@@ -57,6 +57,14 @@ class MemeProgram final : public TiBspProgram {
     return Status::ok();
   }
 
+  // At t > first, superstep-0 roots come only from the previous timestep's
+  // C* messages (Alg. 1 line 6): with an empty inbox the queue stays empty,
+  // compute sends/colors nothing and votes to halt — exactly the state the
+  // engine's incremental skip leaves behind. endOfTimestep re-sends C* for
+  // any subgraph with colored vertices, so those keep receiving messages
+  // and are never skipped.
+  [[nodiscard]] bool skippableWhenClean() const override { return true; }
+
   void compute(SubgraphContext& ctx) override {
     const Subgraph& sg = ctx.subgraph();
     const Timestep t = ctx.timestep();
@@ -193,6 +201,7 @@ MemeRun runMemeTracking(const PartitionedGraph& pg, InstanceProvider& provider,
   config.maintenance_period = options.maintenance_period;
   config.checkpoint_store = options.checkpoint_store;
   config.schedule = options.schedule;
+  config.stream = options.stream;
 
   TiBspEngine engine(pg, provider);
   run.exec = engine.run(

@@ -97,6 +97,7 @@ PageRankRun runSubgraphPageRank(const PartitionedGraph& pg,
   config.num_timesteps = 1;
   config.checkpoint_store = options.checkpoint_store;
   config.schedule = options.schedule;
+  config.stream = options.stream;
 
   TiBspEngine engine(pg, provider);
   run.exec = engine.run(

@@ -245,6 +245,7 @@ TdspRun runTdsp(const PartitionedGraph& pg, InstanceProvider& provider,
   config.maintenance_period = options.maintenance_period;
   config.checkpoint_store = options.checkpoint_store;
   config.schedule = options.schedule;
+  config.stream = options.stream;
 
   TiBspEngine engine(pg, provider);
   run.exec = engine.run(

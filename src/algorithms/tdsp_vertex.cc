@@ -99,6 +99,7 @@ VertexTdspRun runVertexTdsp(const PartitionedGraph& pg,
   config.num_timesteps = options.num_timesteps;
   config.checkpoint_store = options.checkpoint_store;
   config.schedule = options.schedule;
+  config.stream = options.stream;
 
   vertexcentric::TemporalVertexEngine engine(pg, provider);
   run.exec = engine.run(program, config);

@@ -28,6 +28,8 @@ struct VertexTdspOptions {
   // Superstep scheduling: kBsp (global barrier, the default) or kAsync
   // (dependency-driven waves; identical output, see DESIGN.md).
   Schedule schedule = Schedule::kBsp;
+  // Streaming ingestion (see TiBspConfig::stream); null = batch run.
+  TimestepStream* stream = nullptr;
 };
 
 struct VertexTdspRun {

@@ -88,6 +88,7 @@ TopNRun runTopActiveVertices(const PartitionedGraph& pg,
   config.num_timesteps = options.num_timesteps;
   config.checkpoint_store = options.checkpoint_store;
   config.schedule = options.schedule;
+  config.stream = options.stream;
 
   TiBspEngine engine(pg, provider);
   run.exec = engine.run(

@@ -69,6 +69,7 @@ WccRun runSubgraphWcc(const PartitionedGraph& pg, InstanceProvider& provider,
   config.num_timesteps = 1;
   config.checkpoint_store = options.checkpoint_store;
   config.schedule = options.schedule;
+  config.stream = options.stream;
 
   TiBspEngine engine(pg, provider);
   run.exec = engine.run(

@@ -556,10 +556,25 @@ TimestepOutcome runOneTimestep(ExecEnv& env, Timestep t,
         }
       }
       const Partition& part = env.pg.partition(p);
+      std::uint64_t skipped = 0;
       for (std::uint32_t i = 0; i < part.subgraphs.size(); ++i) {
         const bool has_msgs = !st.sg_inbox[i].empty();
         const bool active = s == 0 || has_msgs || st.halted[i] == 0;
         if (!active) {
+          continue;
+        }
+        // Incremental skip (streaming runs): a message-free subgraph whose
+        // instance values did not change this timestep, and whose program
+        // opted in via skippableWhenClean(), halts without computing. Only
+        // legal at superstep 0 of a non-first timestep — later supersteps
+        // are driven by messages alone, and the first timestep has no
+        // previous sealed instance to be clean against.
+        if (s == 0 && env.config.stream != nullptr &&
+            t > env.config.first_timestep && !has_msgs &&
+            st.program->skippableWhenClean() &&
+            !env.config.stream->subgraphDirty(t, part.subgraphs[i].id)) {
+          st.halted[i] = 1;
+          ++skipped;
           continue;
         }
         if (env.checker != nullptr) {
@@ -580,6 +595,11 @@ TimestepOutcome runOneTimestep(ExecEnv& env, Timestep t,
         }
         ++st.subgraphs_computed;
         st.sg_inbox[i].clear();
+      }
+      if (skipped > 0) {
+        MetricsRegistry::global()
+            .counter("engine.subgraphs_skipped_incremental")
+            .add(skipped);
       }
       if (inj.armed() &&
           inj.fire(fault::Site::kBarrier, p, t, fault::Action::kKill))
@@ -855,10 +875,21 @@ class WaveDriver final : public AsyncCluster::Driver {
       }
     }
     const Partition& part = env_.pg.partition(p);
+    std::uint64_t skipped = 0;
     for (std::uint32_t i = 0; i < part.subgraphs.size(); ++i) {
       const bool has_msgs = !st.sg_inbox[i].empty();
       const bool active = s == 0 || has_msgs || st.halted[i] == 0;
       if (!active) {
+        continue;
+      }
+      // Incremental skip — same rule as the BSP loop above; merge phases
+      // never skip (they are not timestep compute).
+      if (!is_merge_ && s == 0 && env_.config.stream != nullptr &&
+          t_ > env_.config.first_timestep && !has_msgs &&
+          st.program->skippableWhenClean() &&
+          !env_.config.stream->subgraphDirty(t_, part.subgraphs[i].id)) {
+        st.halted[i] = 1;
+        ++skipped;
         continue;
       }
       if (env_.checker != nullptr) {
@@ -885,6 +916,11 @@ class WaveDriver final : public AsyncCluster::Driver {
       }
       ++st.subgraphs_computed;
       st.sg_inbox[i].clear();
+    }
+    if (skipped > 0) {
+      MetricsRegistry::global()
+          .counter("engine.subgraphs_skipped_incremental")
+          .add(skipped);
     }
     if (!is_merge_ && inj.armed() &&
         inj.fire(fault::Site::kBarrier, p, t_, fault::Action::kKill))
@@ -1139,7 +1175,8 @@ TiBspResult TiBspEngine::run(const ProgramFactory& factory,
   const bool overlap = use_async &&
                        config.temporal_mode == TemporalMode::kSerial &&
                        config.pattern != Pattern::kSequentiallyDependent &&
-                       config.checkpoint_store == nullptr && count > 1;
+                       config.checkpoint_store == nullptr &&
+                       config.stream == nullptr && count > 1;
   const bool concurrent =
       (config.temporal_mode == TemporalMode::kConcurrent || overlap) &&
       config.pattern != Pattern::kSequentiallyDependent;
@@ -1223,6 +1260,13 @@ TiBspResult TiBspEngine::run(const ProgramFactory& factory,
       try {
         while (i < count && !stop) {
           const Timestep t = first + i;
+          // Streaming: block until timestep t is sealed. A false return
+          // means the source ended early — finish with what we have.
+          // Re-entry after a fault rollback is safe: already-sealed
+          // timesteps return true immediately.
+          if (config.stream != nullptr && !config.stream->awaitTimestep(t)) {
+            break;
+          }
           if (config.maintenance_period > 0 && i > 0 &&
               i % config.maintenance_period == 0) {
             runMaintenance(env, t);
@@ -1369,6 +1413,10 @@ TiBspResult TiBspEngine::run(const ProgramFactory& factory,
     // to respawn and independent timesteps can simply be re-run whole.
     TSG_CHECK_MSG(config.checkpoint_store == nullptr,
                   "checkpointing requires TemporalMode::kSerial");
+    // Streaming seals timesteps in order; concurrent tasks would race
+    // ahead of the watermark.
+    TSG_CHECK_MSG(config.stream == nullptr,
+                  "streaming requires TemporalMode::kSerial");
     std::mutex stats_mutex;
     std::vector<std::vector<std::string>> outputs_by_t(
         static_cast<std::size_t>(count));

@@ -84,6 +84,13 @@ struct TiBspConfig {
   // fault plan that never lets the run finish is a test bug, not a crash
   // to paper over).
   std::int32_t max_recoveries = 8;
+
+  // Streaming ingestion (serial temporal mode only; see src/stream/). When
+  // set, the timestep loop blocks on stream->awaitTimestep(t) before running
+  // t, and subgraphs whose program is skippableWhenClean() are halted at
+  // superstep 0 when they are message-free and stream->subgraphDirty says
+  // nothing of theirs changed. Null (the default) is the batch path.
+  TimestepStream* stream = nullptr;
 };
 
 struct TiBspResult {

@@ -121,6 +121,17 @@ class TiBspProgram {
   virtual void endOfTimestep(SubgraphContext& ctx) { (void)ctx; }
   virtual void merge(SubgraphContext& ctx) { (void)ctx; }
 
+  // Incremental-skip contract (streaming runs). Returning true asserts: "if
+  // this subgraph enters a timestep with no pending messages and none of its
+  // instance values changed versus the previous timestep, then running my
+  // compute/superstep loop would send nothing, output nothing and leave all
+  // my per-subgraph state exactly as it was" — so the engine may halt it at
+  // superstep 0 without calling compute. endOfTimestep still runs for
+  // skipped subgraphs (its effects must therefore be derived from state, not
+  // from "compute ran this timestep"). Programs whose superstep 0 does
+  // unconditional work (e.g. TDSP label resets) must keep the default.
+  [[nodiscard]] virtual bool skippableWhenClean() const { return false; }
+
   // Checkpoint hooks. A program whose members carry state across timesteps
   // (TDSP labels, Meme stamps, ...) must serialize all of it here, or a
   // fault recovery restarts it from whatever loadState leaves behind. The

@@ -84,4 +84,32 @@ PartitionInstanceData gatherPartitionInstance(const PartitionedGraph& pg,
                                               PartitionId p,
                                               const GraphInstance& instance);
 
+// A provider whose timesteps arrive over time (stream ingestion). The engine
+// polls it from the coordinator thread at the top of the serial timestep
+// loop; the dirty-set query gates the per-subgraph incremental skip.
+//
+// Threading contract: awaitTimestep is called only from the engine's
+// coordinator thread. subgraphDirty(t, sg) is called from worker threads but
+// only after awaitTimestep(t) returned true (the coordinator's superstep
+// launch provides the happens-before edge), so implementations may serve it
+// from data frozen at seal time without locking.
+class TimestepStream {
+ public:
+  virtual ~TimestepStream() = default;
+
+  // Blocks until timestep t is sealed and its instance data is servable via
+  // instanceFor. Returns false if the stream ended before t was sealed (the
+  // engine then finishes with the timesteps it has). Re-entrant for
+  // already-sealed t: returns true immediately (fault recovery rewinds the
+  // timestep loop).
+  virtual bool awaitTimestep(Timestep t) = 0;
+
+  // True if sealing timestep t changed any attribute cell of a vertex or
+  // edge belonging to subgraph sg relative to timestep t-1. Subgraphs that
+  // are clean AND message-free AND whose program declares
+  // skippableWhenClean() are not recomputed. Must be conservative: when in
+  // doubt, report dirty. Only meaningful for t > the first sealed timestep.
+  [[nodiscard]] virtual bool subgraphDirty(Timestep t, SubgraphId sg) const = 0;
+};
+
 }  // namespace tsg

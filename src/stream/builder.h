@@ -1,0 +1,82 @@
+// InstanceBuilder — accumulates staged events into the next GraphInstance.
+//
+// The streaming model is carry-forward: the instance for timestep t starts
+// as a copy of t-1 (for the first timestep, the zero/empty instance) and
+// each staged event overwrites one attribute cell. Within a timestep the
+// stream is unordered, so conflicting writes to one cell resolve by a total
+// order independent of arrival: the winner is the lexicographically largest
+// (timestamp, canonical value bytes) pair. Duplicates are idempotent by the
+// same rule.
+//
+// seal() applies the winners and reports exactly which cells changed value
+// versus the carried base — the raw material of the dirty-subgraph tracking
+// that powers incremental recomputation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/collection.h"
+#include "graph/graph_instance.h"
+#include "graph/graph_template.h"
+#include "stream/event.h"
+
+namespace tsg {
+namespace stream {
+
+class InstanceBuilder {
+ public:
+  // first_timestep is the first timestep this builder will seal.
+  InstanceBuilder(GraphTemplatePtr tmpl, std::int64_t t0, std::int64_t delta,
+                  Timestep first_timestep = 0);
+
+  // Timestep whose window [t0 + t·δ, t0 + (t+1)·δ) contains `timestamp`.
+  // Negative for pre-history timestamps.
+  [[nodiscard]] Timestep timestepOf(std::int64_t timestamp) const;
+
+  [[nodiscard]] Timestep openTimestep() const { return open_; }
+  // Number of distinct cells staged for the open timestep (winners, not raw
+  // events — the seal-size trigger counts these).
+  [[nodiscard]] std::size_t stagedCells() const { return staged_.size(); }
+
+  // Stages `ev` into the open timestep (the caller routes by timestepOf).
+  // Rejects events whose attr/index is out of range or whose value type
+  // mismatches the schema; nothing is staged on error.
+  Status stage(const GraphEvent& ev);
+
+  struct Sealed {
+    GraphInstance instance;
+    // Dense template indices whose cells changed value vs. the carried
+    // base. Unsorted, may repeat (one entry per changed cell).
+    std::vector<VertexIndex> dirty_vertices;
+    std::vector<EdgeIndex> dirty_edges;
+  };
+
+  // Seals the open timestep: carried copy of the previous instance plus
+  // staged winners. Advances the open timestep by one and clears staging.
+  Sealed seal();
+
+ private:
+  GraphTemplatePtr tmpl_;
+  std::int64_t t0_;
+  std::int64_t delta_;
+  Timestep open_;
+  bool have_prev_ = false;
+  GraphInstance prev_;  // last sealed instance (carry-forward base)
+
+  struct Winner {
+    std::int64_t timestamp = 0;
+    std::vector<std::uint8_t> order_bytes;  // canonical value encoding
+    AttrValue value;
+  };
+  // (target, attr, index) → winning write. An ordered map keeps seal()
+  // deterministic regardless of arrival order.
+  std::map<std::tuple<std::uint8_t, std::uint32_t, std::uint32_t>, Winner>
+      staged_;
+};
+
+}  // namespace stream
+}  // namespace tsg

@@ -1,0 +1,164 @@
+#include "stream/event.h"
+
+namespace tsg {
+namespace stream {
+
+AttrValue AttrValue::ofInt64(std::int64_t v) {
+  AttrValue out;
+  out.type = AttrType::kInt64;
+  out.i64 = v;
+  return out;
+}
+
+AttrValue AttrValue::ofDouble(double v) {
+  AttrValue out;
+  out.type = AttrType::kDouble;
+  out.f64 = v;
+  return out;
+}
+
+AttrValue AttrValue::ofBool(bool v) {
+  AttrValue out;
+  out.type = AttrType::kBool;
+  out.flag = v;
+  return out;
+}
+
+AttrValue AttrValue::ofString(std::string v) {
+  AttrValue out;
+  out.type = AttrType::kString;
+  out.str = std::move(v);
+  return out;
+}
+
+AttrValue AttrValue::ofStringList(std::vector<std::string> v) {
+  AttrValue out;
+  out.type = AttrType::kStringList;
+  out.list = std::move(v);
+  return out;
+}
+
+namespace {
+
+void writeValue(const AttrValue& v, BinaryWriter& w) {
+  w.writeU8(static_cast<std::uint8_t>(v.type));
+  switch (v.type) {
+    case AttrType::kInt64:
+      w.writeI64(v.i64);
+      break;
+    case AttrType::kDouble:
+      w.writeDouble(v.f64);
+      break;
+    case AttrType::kBool:
+      w.writeBool(v.flag);
+      break;
+    case AttrType::kString:
+      w.writeString(v.str);
+      break;
+    case AttrType::kStringList:
+      w.writeStringVector(v.list);
+      break;
+  }
+}
+
+Status readValue(BinaryReader& r, AttrValue& out) {
+  std::uint8_t tag = 0;
+  TSG_RETURN_IF_ERROR(r.readU8(tag));
+  if (tag > static_cast<std::uint8_t>(AttrType::kStringList)) {
+    return Status::corruptData("event value: unknown type tag " +
+                               std::to_string(tag));
+  }
+  out.type = static_cast<AttrType>(tag);
+  switch (out.type) {
+    case AttrType::kInt64:
+      return r.readI64(out.i64);
+    case AttrType::kDouble:
+      return r.readDouble(out.f64);
+    case AttrType::kBool:
+      return r.readBool(out.flag);
+    case AttrType::kString:
+      return r.readString(out.str);
+    case AttrType::kStringList:
+      return r.readStringVector(out.list);
+  }
+  return Status::internal("unreachable");
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> AttrValue::canonicalBytes() const {
+  BinaryWriter w;
+  writeValue(*this, w);
+  return w.takeBuffer();
+}
+
+void encodeEvent(const GraphEvent& ev, BinaryWriter& w) {
+  BinaryWriter payload;
+  payload.writeU8(static_cast<std::uint8_t>(ev.target));
+  payload.writeI64(ev.timestamp);
+  payload.writeU32(ev.attr);
+  payload.writeU32(ev.index);
+  writeValue(ev.value, payload);
+  w.writeU32(kFrameMagic);
+  w.writeU32(static_cast<std::uint32_t>(payload.size()));
+  w.writeBytes(payload.buffer().data(), payload.size());
+}
+
+void encodeEndOfStream(BinaryWriter& w) {
+  w.writeU32(kFrameMagic);
+  w.writeU32(0);
+}
+
+Result<DecodedFrame> decodeFrame(std::span<const std::uint8_t> bytes) {
+  // Check the magic byte-by-byte so a short buffer that could still grow
+  // into a valid frame reports kNeedMore, while a wrong byte fails fast.
+  static constexpr std::uint8_t kMagicBytes[4] = {'T', 'S', 'E', 'V'};
+  const std::size_t have = bytes.size();
+  for (std::size_t i = 0; i < have && i < 4; ++i) {
+    if (bytes[i] != kMagicBytes[i]) {
+      return Status::corruptData("event frame: bad magic");
+    }
+  }
+  DecodedFrame out;
+  if (have < 8) {
+    return out;  // kNeedMore
+  }
+  BinaryReader header(bytes.subspan(0, 8));
+  std::uint32_t magic = 0;
+  std::uint32_t len = 0;
+  TSG_RETURN_IF_ERROR(header.readU32(magic));
+  TSG_RETURN_IF_ERROR(header.readU32(len));
+  if (len > kMaxFramePayload) {
+    return Status::corruptData("event frame: payload length " +
+                               std::to_string(len) + " exceeds limit");
+  }
+  if (len == 0) {
+    out.kind = DecodedFrame::Kind::kEnd;
+    out.consumed = 8;
+    return out;
+  }
+  if (have < 8 + static_cast<std::size_t>(len)) {
+    return out;  // kNeedMore
+  }
+  BinaryReader r(bytes.subspan(8, len));
+  std::uint8_t target = 0;
+  TSG_RETURN_IF_ERROR(r.readU8(target));
+  if (target > static_cast<std::uint8_t>(EventTarget::kEdge)) {
+    return Status::corruptData("event frame: unknown target " +
+                               std::to_string(target));
+  }
+  out.event.target = static_cast<EventTarget>(target);
+  TSG_RETURN_IF_ERROR(r.readI64(out.event.timestamp));
+  TSG_RETURN_IF_ERROR(r.readU32(out.event.attr));
+  TSG_RETURN_IF_ERROR(r.readU32(out.event.index));
+  TSG_RETURN_IF_ERROR(readValue(r, out.event.value));
+  if (!r.atEnd()) {
+    return Status::corruptData("event frame: trailing bytes in payload");
+  }
+  out.kind = DecodedFrame::Kind::kEvent;
+  out.consumed = 8 + static_cast<std::size_t>(len);
+  return out;
+}
+
+}  // namespace stream
+}  // namespace tsg

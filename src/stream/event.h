@@ -1,0 +1,94 @@
+// Graph event model + framed wire codec for streaming ingestion.
+//
+// The streaming front door (ROADMAP item 2) consumes an append-only stream
+// of attribute events against the fixed template Ĝ: "vertex v's attribute a
+// became x at time ts" / "edge e's attribute a became x at time ts". The
+// topology never changes mid-stream (the paper's model, §II-A: instances
+// vary values, the template is time-invariant), so an event addresses a
+// cell by (target kind, attribute index, dense template index).
+//
+// Wire format (FileTailSource, tsgcli stream --events): a sequence of
+// frames, each
+//     [u32 magic 'TSEV'] [u32 payload_len] [payload]
+// where payload_len == 0 marks end-of-stream and a non-empty payload is
+//     [u8 target] [i64 timestamp] [u32 attr] [u32 index] [u8 type tag]
+//     [typed value]
+// (BinaryWriter encoding: little-endian fixed ints, varint-prefixed
+// strings). Decoding is strict — unknown targets/tags, oversized lengths
+// and payload bytes left unconsumed are all rejected as corrupt, never
+// skipped. Truncation at a frame boundary is distinguishable from
+// corruption so a tailing reader can wait for more bytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "graph/attribute.h"
+#include "graph/types.h"
+
+namespace tsg {
+namespace stream {
+
+enum class EventTarget : std::uint8_t { kVertex = 0, kEdge = 1 };
+
+// A dynamically typed attribute value. Exactly one member (per `type`) is
+// meaningful; the others stay default so equality works member-wise.
+struct AttrValue {
+  AttrType type = AttrType::kInt64;
+  std::int64_t i64 = 0;
+  double f64 = 0.0;
+  bool flag = false;
+  std::string str;
+  std::vector<std::string> list;
+
+  static AttrValue ofInt64(std::int64_t v);
+  static AttrValue ofDouble(double v);
+  static AttrValue ofBool(bool v);
+  static AttrValue ofString(std::string v);
+  static AttrValue ofStringList(std::vector<std::string> v);
+
+  // Canonical byte encoding (type tag + BinaryWriter value). Used both on
+  // the wire and as the total-order tiebreak that makes same-timestamp
+  // conflicting events resolve identically under any arrival order.
+  [[nodiscard]] std::vector<std::uint8_t> canonicalBytes() const;
+
+  bool operator==(const AttrValue&) const = default;
+};
+
+struct GraphEvent {
+  EventTarget target = EventTarget::kVertex;
+  std::int64_t timestamp = 0;
+  std::uint32_t attr = 0;   // index into the template's vertex/edge schema
+  std::uint32_t index = 0;  // dense template VertexIndex / EdgeIndex
+  AttrValue value;
+
+  bool operator==(const GraphEvent&) const = default;
+};
+
+// 'T','S','E','V' on the wire (little-endian u32).
+inline constexpr std::uint32_t kFrameMagic = 0x56455354;
+// Upper bound on one payload; anything larger is corrupt, not ambitious.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
+
+// Appends one event frame / the end-of-stream frame to `w`.
+void encodeEvent(const GraphEvent& ev, BinaryWriter& w);
+void encodeEndOfStream(BinaryWriter& w);
+
+struct DecodedFrame {
+  enum class Kind : std::uint8_t { kEvent, kEnd, kNeedMore };
+  Kind kind = Kind::kNeedMore;
+  GraphEvent event;       // valid when kind == kEvent
+  std::size_t consumed = 0;  // bytes consumed; 0 when kNeedMore
+};
+
+// Decodes the frame at the front of `bytes`. kNeedMore means the bytes so
+// far are a well-formed prefix of a frame (a tailing reader should wait for
+// more); an error Status means the stream is definitely corrupt.
+Result<DecodedFrame> decodeFrame(std::span<const std::uint8_t> bytes);
+
+}  // namespace stream
+}  // namespace tsg

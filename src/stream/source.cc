@@ -1,0 +1,117 @@
+#include "stream/source.h"
+
+#include <chrono>
+#include <span>
+#include <thread>
+#include <utility>
+
+namespace tsg {
+namespace stream {
+
+void MemoryEventSource::push(GraphEvent ev) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TSG_CHECK_MSG(!closed_, "push after close");
+    queue_.push_back(std::move(ev));
+  }
+  cv_.notify_one();
+}
+
+void MemoryEventSource::push(std::vector<GraphEvent> evs) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TSG_CHECK_MSG(!closed_, "push after close");
+    for (auto& ev : evs) {
+      queue_.push_back(std::move(ev));
+    }
+  }
+  cv_.notify_one();
+}
+
+void MemoryEventSource::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+Result<Poll> MemoryEventSource::next(GraphEvent& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) {
+    return Poll::kEnd;
+  }
+  out = std::move(queue_.front());
+  queue_.pop_front();
+  return Poll::kEvent;
+}
+
+FileTailSource::FileTailSource(std::string path, bool follow,
+                               std::int64_t poll_interval_us)
+    : path_(std::move(path)),
+      follow_(follow),
+      poll_interval_us_(poll_interval_us) {}
+
+bool FileTailSource::readMore() {
+  if (!opened_) {
+    file_.open(path_, std::ios::binary);
+    if (!file_.is_open()) {
+      return false;
+    }
+    opened_ = true;
+  }
+  // A tailed file hits EOF repeatedly; clear the flags so the next read
+  // after an append succeeds.
+  file_.clear();
+  char chunk[4096];
+  bool grew = false;
+  while (file_.read(chunk, sizeof(chunk)) || file_.gcount() > 0) {
+    const auto got = static_cast<std::size_t>(file_.gcount());
+    const auto* p = reinterpret_cast<const std::uint8_t*>(chunk);
+    buf_.insert(buf_.end(), p, p + got);
+    grew = grew || got > 0;
+    if (got < sizeof(chunk)) {
+      break;
+    }
+  }
+  return grew;
+}
+
+Result<Poll> FileTailSource::next(GraphEvent& out) {
+  for (;;) {
+    auto decoded =
+        decodeFrame(std::span<const std::uint8_t>(buf_).subspan(pos_));
+    if (!decoded.isOk()) {
+      return decoded.status();
+    }
+    const DecodedFrame& frame = decoded.value();
+    switch (frame.kind) {
+      case DecodedFrame::Kind::kEvent:
+        pos_ += frame.consumed;
+        out = frame.event;
+        return Poll::kEvent;
+      case DecodedFrame::Kind::kEnd:
+        pos_ += frame.consumed;
+        return Poll::kEnd;
+      case DecodedFrame::Kind::kNeedMore:
+        break;
+    }
+    if (readMore()) {
+      continue;
+    }
+    if (!follow_) {
+      if (!opened_) {
+        return Status::ioError("event file not found: " + path_);
+      }
+      if (pos_ == buf_.size()) {
+        return Poll::kEnd;  // clean, frame-aligned EOF
+      }
+      return Status::corruptData("event file ends mid-frame: " + path_);
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(poll_interval_us_));
+  }
+}
+
+}  // namespace stream
+}  // namespace tsg

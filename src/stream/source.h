@@ -1,0 +1,80 @@
+// Event sources — where the ingestor pulls GraphEvents from.
+//
+// A source is a blocking pull iterator: next() parks the ingest thread
+// until an event arrives or the stream ends. Two implementations:
+//  * MemoryEventSource — a thread-safe in-process queue; tests and the
+//    tsgcli replay path push generated events into it.
+//  * FileTailSource — tails a framed event file (stream/event.h wire
+//    format), re-reading as a writer appends; in follow mode it waits for
+//    the explicit end-of-stream frame, otherwise a clean EOF at a frame
+//    boundary ends the stream.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/event.h"
+
+namespace tsg {
+namespace stream {
+
+enum class Poll : std::uint8_t { kEvent, kEnd };
+
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+
+  // Blocks until an event is available (returns kEvent with `out` filled),
+  // the stream ends (kEnd), or the input turns out to be corrupt (error
+  // Status — the ingestor aborts the stream without sealing anything
+  // partial). Called only from the ingest thread.
+  virtual Result<Poll> next(GraphEvent& out) = 0;
+};
+
+class MemoryEventSource final : public EventSource {
+ public:
+  void push(GraphEvent ev);
+  void push(std::vector<GraphEvent> evs);
+  // After close(), next() drains what is queued and then reports kEnd.
+  void close();
+
+  Result<Poll> next(GraphEvent& out) override;
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<GraphEvent> queue_;
+  bool closed_ = false;
+};
+
+class FileTailSource final : public EventSource {
+ public:
+  // follow=true: poll for appended frames until the end-of-stream frame
+  // arrives (live tail). follow=false: a frame-aligned EOF is kEnd and a
+  // partial trailing frame is corrupt (static file replay).
+  explicit FileTailSource(std::string path, bool follow = true,
+                          std::int64_t poll_interval_us = 2000);
+
+  Result<Poll> next(GraphEvent& out) override;
+
+ private:
+  // Appends newly available file bytes to buf_; returns true if it grew.
+  bool readMore();
+
+  std::string path_;
+  bool follow_;
+  std::int64_t poll_interval_us_;
+  std::ifstream file_;
+  bool opened_ = false;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace stream
+}  // namespace tsg

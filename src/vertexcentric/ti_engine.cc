@@ -594,6 +594,12 @@ TemporalVcResult TemporalVertexEngine::run(TemporalVertexProgram& program,
   while (!done) {
     try {
       while (i < count) {
+        // Streaming: block until the instance for this timestep is sealed
+        // (cf. TiBspEngine's serial loop). False = source ended early.
+        if (config.stream != nullptr &&
+            !config.stream->awaitTimestep(first + i)) {
+          break;
+        }
         runTimestep(i);
         if (store != nullptr) {
           saveCheckpoint(first + i, result.timesteps_executed);

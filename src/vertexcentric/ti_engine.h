@@ -71,6 +71,12 @@ struct TemporalVcConfig {
   // means faults abort.
   CheckpointStore* checkpoint_store = nullptr;
   std::int32_t max_recoveries = 8;
+
+  // Streaming ingestion (cf. TiBspConfig::stream): when set, the timestep
+  // loop blocks on stream->awaitTimestep(t) before executing t. The
+  // vertex-centric engine has no per-subgraph skip (its compute units are
+  // vertices), so the dirty tracker is unused here.
+  TimestepStream* stream = nullptr;
 };
 
 struct TemporalVcResult {

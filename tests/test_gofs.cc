@@ -10,6 +10,7 @@
 namespace tsg {
 namespace {
 
+using testing::expectProvidersAgree;
 using testing::partitionGraph;
 using testing::roadCollection;
 using testing::smallRoad;
@@ -22,35 +23,6 @@ class GofsTest : public ::testing::Test {
   testing::TempDir tmp_{"tsg_gofs"};
   std::string dir_ = tmp_.path();
 };
-
-// Reads every instance through both providers and compares all columns.
-void expectProvidersAgree(const PartitionedGraph& pg,
-                          const TimeSeriesCollection& coll,
-                          InstanceProvider& lazy) {
-  DirectInstanceProvider direct(pg, coll);
-  ASSERT_EQ(lazy.numInstances(), coll.numInstances());
-  EXPECT_EQ(lazy.t0(), coll.t0());
-  EXPECT_EQ(lazy.delta(), coll.delta());
-  for (PartitionId p = 0; p < pg.numPartitions(); ++p) {
-    for (Timestep t = 0; t < static_cast<Timestep>(coll.numInstances());
-         ++t) {
-      const auto& a = direct.instanceFor(p, t);
-      const auto& b = lazy.instanceFor(p, t);
-      ASSERT_EQ(a.timestep, b.timestep);
-      ASSERT_EQ(a.timestamp, b.timestamp);
-      ASSERT_EQ(a.vertex_cols.size(), b.vertex_cols.size());
-      ASSERT_EQ(a.edge_cols.size(), b.edge_cols.size());
-      for (std::size_t c = 0; c < a.vertex_cols.size(); ++c) {
-        EXPECT_EQ(a.vertex_cols[c], b.vertex_cols[c])
-            << "p=" << p << " t=" << t << " vcol=" << c;
-      }
-      for (std::size_t c = 0; c < a.edge_cols.size(); ++c) {
-        EXPECT_EQ(a.edge_cols[c], b.edge_cols[c])
-            << "p=" << p << " t=" << t << " ecol=" << c;
-      }
-    }
-  }
-}
 
 TEST_F(GofsTest, RoundtripRoadDataset) {
   auto tmpl = smallRoad(8, 8);

@@ -8,16 +8,7 @@
 namespace tsg {
 namespace {
 
-GraphTemplatePtr tinyTemplate() {
-  GraphTemplateBuilder builder(/*directed=*/false);
-  builder.vertexSchema().add("tweets", AttrType::kStringList);
-  builder.vertexSchema().add("active", AttrType::kBool);
-  builder.edgeSchema().add("latency", AttrType::kDouble);
-  builder.addVertex(1);
-  builder.addVertex(2);
-  builder.addUndirectedEdge(0, 1, 2);
-  return testing::share(testing::unwrap(builder.build()));
-}
+using testing::tinyTemplate;
 
 TEST(GraphInstance, ConstructedColumnsMatchSchema) {
   const auto tmpl = tinyTemplate();

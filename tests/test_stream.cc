@@ -1,0 +1,557 @@
+// Streaming front door: property tests (arrival-order independence of the
+// sealed instances), boundary cases of the seal triggers, source behavior
+// (tail, truncation) and fuzzing of the TSEV wire codec. The streamed ==
+// batch algorithm matrix lives in test_incremental.cc.
+#include "stream/ingestor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "graph/collection.h"
+#include "stream/builder.h"
+#include "stream/event.h"
+#include "stream/replay.h"
+#include "stream/source.h"
+#include "test_util.h"
+
+namespace tsg {
+namespace {
+
+using stream::AttrValue;
+using stream::DecodedFrame;
+using stream::EventTarget;
+using stream::GraphEvent;
+using testing::expectProvidersAgree;
+using testing::partitionGraph;
+using testing::smallSocial;
+using testing::tinyTemplate;
+using testing::tweetCollection;
+using testing::unwrap;
+
+// Bundles queue + ingestor + provider in construction order and drives the
+// whole pipeline: ingest thread pushing seals, this thread awaiting them.
+class StreamHarness {
+ public:
+  StreamHarness(const PartitionedGraph& pg, std::size_t planned,
+                std::int64_t t0, std::int64_t delta,
+                std::size_t queue_cap = 2, std::size_t max_staged = 0)
+      : queue_(queue_cap),
+        ingestor_(pg.templatePtr(), pg, t0, delta, queue_,
+                  makeOptions(planned, max_staged)),
+        provider_(pg, pg.templatePtr(), planned, t0, delta, queue_) {}
+
+  Status run(std::vector<GraphEvent> events, std::int64_t await_delay_us = 0) {
+    stream::MemoryEventSource source;
+    source.push(std::move(events));
+    source.close();
+    return run(source, await_delay_us);
+  }
+
+  Status run(stream::EventSource& source, std::int64_t await_delay_us = 0) {
+    stream::IngestThread thread(ingestor_, source);
+    for (Timestep t = 0;
+         t < static_cast<Timestep>(provider_.numInstances()); ++t) {
+      if (await_delay_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(await_delay_us));
+      }
+      if (!provider_.awaitTimestep(t)) {
+        break;
+      }
+    }
+    // Drain any seals the engine side never consumed (aborted stream) so
+    // the ingest thread's backpressure block releases before the join.
+    stream::SealedTimestep leftover;
+    while (queue_.pop(leftover)) {
+    }
+    return thread.join();
+  }
+
+  stream::StreamIngestor& ingestor() { return ingestor_; }
+  stream::StreamingInstanceProvider& provider() { return provider_; }
+  stream::SealQueue& queue() { return queue_; }
+
+ private:
+  static stream::IngestorOptions makeOptions(std::size_t planned,
+                                             std::size_t max_staged) {
+    stream::IngestorOptions options;
+    options.planned_timesteps = static_cast<std::int32_t>(planned);
+    options.max_staged_cells = max_staged;
+    return options;
+  }
+
+  stream::SealQueue queue_;
+  stream::StreamIngestor ingestor_;
+  stream::StreamingInstanceProvider provider_;
+};
+
+// Events of one timestep share a timestamp and arrive contiguously from
+// eventsFromCollection; the ingestor's contract only covers reordering
+// WITHIN a timestep window, so shuffle each equal-timestamp run and splice
+// in duplicates (idempotent by the winner rule).
+std::vector<GraphEvent> shuffleWithinTimesteps(
+    const std::vector<GraphEvent>& events, Rng& rng,
+    std::size_t dup_every = 0) {
+  std::vector<GraphEvent> out;
+  out.reserve(events.size());
+  std::size_t i = 0;
+  while (i < events.size()) {
+    std::size_t j = i;
+    while (j < events.size() &&
+           events[j].timestamp == events[i].timestamp) {
+      ++j;
+    }
+    std::vector<GraphEvent> window(events.begin() + i, events.begin() + j);
+    if (dup_every > 0) {
+      for (std::size_t k = 0; k < window.size(); k += dup_every) {
+        window.push_back(
+            window[rng.uniformBelow(std::max<std::size_t>(1, k + 1))]);
+      }
+    }
+    for (std::size_t k = window.size(); k > 1; --k) {
+      std::swap(window[k - 1], window[rng.uniformBelow(k)]);
+    }
+    out.insert(out.end(), std::make_move_iterator(window.begin()),
+               std::make_move_iterator(window.end()));
+    i = j;
+  }
+  return out;
+}
+
+// "active" (kBool) is attribute 1 of tinyTemplate's vertex schema.
+GraphEvent activeEvent(std::int64_t ts, std::uint32_t index, bool v) {
+  GraphEvent ev;
+  ev.target = EventTarget::kVertex;
+  ev.timestamp = ts;
+  ev.attr = 1;
+  ev.index = index;
+  ev.value = AttrValue::ofBool(v);
+  return ev;
+}
+
+// --- Property: arrival order within a window never changes the seal ------
+
+TEST(StreamPipeline, ShuffledAndDuplicatedEventsSealIdenticalInstances) {
+  auto tmpl = smallSocial(48);
+  const auto pg = partitionGraph(tmpl, 3);
+  const auto coll = tweetCollection(tmpl, 8);
+  const auto base = stream::eventsFromCollection(coll);
+  ASSERT_FALSE(base.empty());
+
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed);
+    auto events = shuffleWithinTimesteps(base, rng, /*dup_every=*/3);
+    StreamHarness h(pg, coll.numInstances(), coll.t0(), coll.delta());
+    ASSERT_TRUE(h.run(std::move(events)).isOk());
+    ASSERT_EQ(h.provider().sealedCount(), coll.numInstances());
+    EXPECT_EQ(h.ingestor().lateEvents(), 0u);
+    for (Timestep t = 0; t < static_cast<Timestep>(coll.numInstances());
+         ++t) {
+      EXPECT_EQ(h.provider().sealedInstance(t), coll.instance(t))
+          << "t=" << t;
+    }
+    EXPECT_LE(h.queue().maxDepth(), h.queue().capacity());
+    if (seed == 1) {
+      // The gathered per-partition slices agree with the direct provider,
+      // so the engine sees byte-identical inputs to a batch run.
+      expectProvidersAgree(pg, coll, h.provider());
+    }
+  }
+}
+
+TEST(StreamPipeline, EventFileRoundtripMatchesMemoryReplay) {
+  auto tmpl = smallSocial(32);
+  const auto pg = partitionGraph(tmpl, 2);
+  const auto coll = tweetCollection(tmpl, 5);
+  const auto events = stream::eventsFromCollection(coll);
+
+  testing::TempDir tmp{"tsg_stream_file"};
+  std::filesystem::create_directories(tmp.path());
+  const std::string path = tmp.path() + "/events.tsev";
+  ASSERT_TRUE(stream::writeEventFile(path, events).isOk());
+
+  stream::FileTailSource source(path, /*follow=*/false);
+  StreamHarness h(pg, coll.numInstances(), coll.t0(), coll.delta());
+  ASSERT_TRUE(h.run(source).isOk());
+  ASSERT_EQ(h.provider().sealedCount(), coll.numInstances());
+  for (Timestep t = 0; t < static_cast<Timestep>(coll.numInstances()); ++t) {
+    EXPECT_EQ(h.provider().sealedInstance(t), coll.instance(t)) << "t=" << t;
+  }
+}
+
+// --- Boundary cases of the seal triggers ---------------------------------
+
+TEST(StreamPipeline, EmptyTimestepSealsCarriedCopy) {
+  auto tmpl = tinyTemplate();
+  const auto pg = partitionGraph(tmpl, 1);
+  // Windows (t0=0, delta=10): event at ts 0 -> window 0, event at ts 25 ->
+  // window 2. Window 1 has no events and the plan runs to 4, so timestep 1
+  // (watermark gap) and timestep 3 (end-of-source padding) must both seal
+  // as carried copies with their own timestep/timestamp identity.
+  StreamHarness h(pg, 4, 0, 10);
+  ASSERT_TRUE(
+      h.run({activeEvent(0, 0, true), activeEvent(25, 1, true)}).isOk());
+  ASSERT_EQ(h.provider().sealedCount(), 4u);
+  const auto& i0 = h.provider().sealedInstance(0);
+  const auto& i1 = h.provider().sealedInstance(1);
+  const auto& i2 = h.provider().sealedInstance(2);
+  const auto& i3 = h.provider().sealedInstance(3);
+  EXPECT_EQ(i1.timestep(), 1);
+  EXPECT_EQ(i1.timestamp(), 10);
+  EXPECT_EQ(i1.vertexCol(1), i0.vertexCol(1));  // carried, not zeroed
+  EXPECT_EQ(i2.vertexCol(1).asBool()[1], 1u);
+  EXPECT_EQ(i3.vertexCol(1), i2.vertexCol(1));
+  EXPECT_EQ(i3.timestep(), 3);
+}
+
+TEST(StreamPipeline, SingleEventStream) {
+  auto tmpl = tinyTemplate();
+  const auto pg = partitionGraph(tmpl, 1);
+  StreamHarness h(pg, 1, 0, 10);
+  ASSERT_TRUE(h.run({activeEvent(3, 0, true)}).isOk());
+  ASSERT_EQ(h.provider().sealedCount(), 1u);
+  EXPECT_EQ(h.ingestor().eventsIngested(), 1u);
+  EXPECT_EQ(h.provider().sealedInstance(0).vertexCol(1).asBool()[0], 1u);
+}
+
+TEST(StreamPipeline, SizeTriggerSealsExactlyAtThresholdAndRollsForward) {
+  auto tmpl = tinyTemplate();
+  const auto pg = partitionGraph(tmpl, 1);
+  // max_staged_cells = 2: the second staged cell fires the seal exactly at
+  // the threshold. The third event still carries a window-0 timestamp but
+  // arrives after the force-seal, so it rolls forward into timestep 1.
+  StreamHarness h(pg, 3, 0, 10, /*queue_cap=*/2, /*max_staged=*/2);
+  ASSERT_TRUE(h.run({activeEvent(0, 0, true), activeEvent(1, 1, true),
+                     activeEvent(2, 0, false), activeEvent(21, 1, false)})
+                  .isOk());
+  ASSERT_EQ(h.provider().sealedCount(), 3u);
+  EXPECT_EQ(h.ingestor().lateEvents(), 0u);
+  const auto& i0 = h.provider().sealedInstance(0);
+  EXPECT_EQ(i0.vertexCol(1).asBool()[0], 1u);  // sealed with exactly the
+  EXPECT_EQ(i0.vertexCol(1).asBool()[1], 1u);  // two threshold cells
+  const auto& i1 = h.provider().sealedInstance(1);
+  EXPECT_EQ(i1.vertexCol(1).asBool()[0], 0u);  // straggler rolled forward
+  EXPECT_EQ(i1.vertexCol(1).asBool()[1], 1u);
+  EXPECT_EQ(h.provider().sealedInstance(2).vertexCol(1).asBool()[1], 0u);
+}
+
+TEST(StreamPipeline, WatermarkDropsCrossTimestepStragglers) {
+  auto tmpl = tinyTemplate();
+  const auto pg = partitionGraph(tmpl, 1);
+  StreamHarness h(pg, 3, 0, 10);
+  // The ts=2 event arrives after the watermark already sealed window 0
+  // (no size trigger involved), so it must be counted late and dropped.
+  ASSERT_TRUE(h.run({activeEvent(0, 0, true), activeEvent(25, 1, true),
+                     activeEvent(2, 0, false)})
+                  .isOk());
+  ASSERT_EQ(h.provider().sealedCount(), 3u);
+  EXPECT_EQ(h.ingestor().lateEvents(), 1u);
+  // The dropped write never lands: vertex 0 stays at its carried value.
+  EXPECT_EQ(h.provider().sealedInstance(2).vertexCol(1).asBool()[0], 1u);
+}
+
+TEST(StreamPipeline, BackpressureBoundsQueueDepth) {
+  auto tmpl = smallSocial(32);
+  const auto pg = partitionGraph(tmpl, 2);
+  const auto coll = tweetCollection(tmpl, 10);
+  // A slow consumer (capacity 1, delayed awaits) forces the ingest thread
+  // to block on every push; the high-water mark proves backpressure held
+  // the line instead of the queue growing.
+  StreamHarness h(pg, coll.numInstances(), coll.t0(), coll.delta(),
+                  /*queue_cap=*/1);
+  ASSERT_TRUE(h.run(stream::eventsFromCollection(coll),
+                    /*await_delay_us=*/200)
+                  .isOk());
+  EXPECT_EQ(h.ingestor().sealedTimesteps(), coll.numInstances());
+  EXPECT_LE(h.queue().maxDepth(), 1u);
+}
+
+TEST(StreamPipeline, DirtyBitmapTracksActualChangesOnly) {
+  auto tmpl = smallSocial(48);
+  const auto pg = partitionGraph(tmpl, 3);
+  ASSERT_GT(pg.numSubgraphs(), 1u);
+  const auto coll = tweetCollection(tmpl, 1);
+  auto events = stream::eventsFromCollection(coll);
+
+  // Timestep 1: one real change on vertex 0 plus a no-op rewrite of vertex
+  // 1's carried value. Only vertex 0's subgraph may come out dirty.
+  const std::int64_t ts1 = coll.t0() + coll.delta();
+  GraphEvent change;
+  change.target = EventTarget::kVertex;
+  change.timestamp = ts1;
+  change.attr = 0;  // "tweets"
+  change.index = 0;
+  change.value = AttrValue::ofStringList({"#fresh"});
+  events.push_back(change);
+  GraphEvent noop;
+  noop.target = EventTarget::kVertex;
+  noop.timestamp = ts1;
+  noop.attr = 0;
+  noop.index = 1;
+  noop.value = AttrValue::ofStringList(
+      coll.instance(0).vertexCol(0).asStringList()[1]);
+  events.push_back(noop);
+
+  StreamHarness h(pg, 2, coll.t0(), coll.delta());
+  ASSERT_TRUE(h.run(std::move(events)).isOk());
+  ASSERT_EQ(h.provider().sealedCount(), 2u);
+
+  const SubgraphId changed_sg = pg.subgraphOfVertex(0);
+  const SubgraphId noop_sg = pg.subgraphOfVertex(1);
+  EXPECT_TRUE(h.provider().subgraphDirty(1, changed_sg));
+  if (noop_sg != changed_sg) {
+    EXPECT_FALSE(h.provider().subgraphDirty(1, noop_sg));
+  }
+  // Timestep 0 is always dirty (nothing to be clean against), and unknown
+  // timesteps stay conservatively dirty.
+  EXPECT_TRUE(h.provider().subgraphDirty(0, changed_sg));
+  EXPECT_TRUE(h.provider().subgraphDirty(99, changed_sg));
+}
+
+// --- Wire-format fuzzing -------------------------------------------------
+
+std::vector<std::uint8_t> encodeAll(const std::vector<GraphEvent>& events,
+                                    bool end_marker = true) {
+  BinaryWriter w;
+  for (const auto& ev : events) {
+    stream::encodeEvent(ev, w);
+  }
+  if (end_marker) {
+    stream::encodeEndOfStream(w);
+  }
+  return w.buffer();
+}
+
+std::vector<GraphEvent> mixedTypeEvents() {
+  std::vector<GraphEvent> events;
+  GraphEvent ev;
+  ev.timestamp = 7;
+  ev.value = AttrValue::ofStringList({"#a", "#b"});
+  events.push_back(ev);
+  ev.attr = 1;
+  ev.value = AttrValue::ofBool(true);
+  events.push_back(ev);
+  ev.target = EventTarget::kEdge;
+  ev.attr = 0;
+  ev.index = 1;
+  ev.value = AttrValue::ofDouble(2.5);
+  events.push_back(ev);
+  ev.value = AttrValue::ofInt64(-9);
+  events.push_back(ev);
+  ev.value = AttrValue::ofString("x");
+  events.push_back(ev);
+  return events;
+}
+
+TEST(StreamCodec, EveryPrefixDecodesCleanlyOrWaits) {
+  const auto bytes = encodeAll(mixedTypeEvents());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    auto frame = stream::decodeFrame({bytes.data(), len});
+    ASSERT_TRUE(frame.isOk()) << "prefix len " << len << ": "
+                              << frame.status().toString();
+    if (frame.value().kind == DecodedFrame::Kind::kNeedMore) {
+      EXPECT_EQ(frame.value().consumed, 0u);
+    } else {
+      EXPECT_LE(frame.value().consumed, len);
+    }
+  }
+  // The full buffer decodes every frame back exactly.
+  std::span<const std::uint8_t> rest(bytes);
+  for (const auto& expected : mixedTypeEvents()) {
+    auto frame = unwrap(stream::decodeFrame(rest));
+    ASSERT_EQ(frame.kind, DecodedFrame::Kind::kEvent);
+    EXPECT_EQ(frame.event, expected);
+    rest = rest.subspan(frame.consumed);
+  }
+  EXPECT_EQ(unwrap(stream::decodeFrame(rest)).kind,
+            DecodedFrame::Kind::kEnd);
+}
+
+TEST(StreamCodec, RejectsBadMagicLengthTargetTagAndTrailingBytes) {
+  const auto valid = encodeAll({mixedTypeEvents().front()},
+                               /*end_marker=*/false);
+
+  auto bad_magic = valid;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(stream::decodeFrame(bad_magic).isOk());
+
+  // Oversized length claims are corrupt immediately — a tailing reader
+  // must not wait for a gigabyte that will never arrive.
+  BinaryWriter huge;
+  huge.writeU32(stream::kFrameMagic);
+  huge.writeU32(stream::kMaxFramePayload + 1);
+  EXPECT_FALSE(stream::decodeFrame(huge.buffer()).isOk());
+
+  auto bad_target = valid;
+  bad_target[8] = 7;  // payload byte 0: EventTarget
+  EXPECT_FALSE(stream::decodeFrame(bad_target).isOk());
+
+  auto bad_tag = valid;
+  bad_tag[8 + 1 + 8 + 4 + 4] = 0x5E;  // payload type tag
+  EXPECT_FALSE(stream::decodeFrame(bad_tag).isOk());
+
+  // A frame whose payload has unconsumed trailing bytes is corrupt, not
+  // silently skipped.
+  auto trailing = valid;
+  trailing.push_back(0x00);
+  const std::uint32_t new_len =
+      static_cast<std::uint32_t>(trailing.size() - 8);
+  trailing[4] = static_cast<std::uint8_t>(new_len);
+  trailing[5] = static_cast<std::uint8_t>(new_len >> 8);
+  trailing[6] = static_cast<std::uint8_t>(new_len >> 16);
+  trailing[7] = static_cast<std::uint8_t>(new_len >> 24);
+  EXPECT_FALSE(stream::decodeFrame(trailing).isOk());
+}
+
+TEST(StreamCodec, FuzzRandomGarbageNeverCrashes) {
+  Rng rng(20260809);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::uint8_t> buf(rng.uniformBelow(96));
+    for (auto& b : buf) {
+      b = static_cast<std::uint8_t>(rng.next());
+    }
+    auto frame = stream::decodeFrame(buf);  // must not crash or hang
+    if (frame.isOk() &&
+        frame.value().kind != DecodedFrame::Kind::kNeedMore) {
+      EXPECT_LE(frame.value().consumed, buf.size());
+    }
+  }
+}
+
+TEST(StreamCodec, FuzzBitFlippedFilesNeverLeakPartialState) {
+  auto tmpl = tinyTemplate();
+  const auto pg = partitionGraph(tmpl, 1);
+  const std::vector<GraphEvent> events = {
+      activeEvent(0, 0, true), activeEvent(11, 1, true),
+      activeEvent(22, 0, false)};
+  const auto clean = encodeAll(events);
+  const std::size_t planned = 3;
+
+  testing::TempDir tmp{"tsg_stream_fuzz"};
+  std::filesystem::create_directories(tmp.path());
+  const std::string path = tmp.path() + "/fuzz.tsev";
+
+  Rng rng(99);
+  for (int trial = 0; trial < 32; ++trial) {
+    auto bytes = clean;
+    const std::size_t flip_at = rng.uniformBelow(bytes.size());
+    const auto flip_bit = static_cast<unsigned>(rng.uniformBelow(8));
+    bytes[flip_at] ^= static_cast<std::uint8_t>(1u << flip_bit);
+    ASSERT_TRUE(writeFileBytes(path, bytes).isOk());
+
+    SCOPED_TRACE("flip byte " + std::to_string(flip_at) + " bit " +
+                 std::to_string(flip_bit));
+    stream::FileTailSource source(path, /*follow=*/false);
+    StreamHarness h(pg, planned, 0, 10);
+    const Status status = h.run(source);
+    // A flip either leaves a decodable stream (the run covers the full
+    // plan; the value may differ, framing doesn't) or is rejected as
+    // corrupt — in which case only fully sealed timesteps ever surfaced.
+    if (status.isOk()) {
+      EXPECT_EQ(h.ingestor().sealedTimesteps(), planned);
+    } else {
+      EXPECT_LE(h.ingestor().sealedTimesteps(), planned);
+      EXPECT_EQ(h.provider().sealedCount(), h.ingestor().sealedTimesteps());
+    }
+  }
+
+  // Corruption in the very first frame seals nothing at all.
+  auto first = clean;
+  first[9] ^= 0xFF;  // inside frame 0's payload (timestamp byte)
+  first[8] = 9;      // and an invalid target to guarantee rejection
+  ASSERT_TRUE(writeFileBytes(path, first).isOk());
+  stream::FileTailSource source(path, /*follow=*/false);
+  StreamHarness h(pg, planned, 0, 10);
+  EXPECT_FALSE(h.run(source).isOk());
+  EXPECT_EQ(h.ingestor().sealedTimesteps(), 0u);
+  EXPECT_EQ(h.provider().sealedCount(), 0u);
+}
+
+// --- Source behavior -----------------------------------------------------
+
+TEST(StreamSource, TruncationMidFrameIsCorruptButFrameBoundaryIsClean) {
+  auto tmpl = tinyTemplate();
+  const auto pg = partitionGraph(tmpl, 1);
+  const auto bytes =
+      encodeAll({activeEvent(0, 0, true), activeEvent(11, 1, true)},
+                /*end_marker=*/false);
+
+  testing::TempDir tmp{"tsg_stream_trunc"};
+  std::filesystem::create_directories(tmp.path());
+  const std::string path = tmp.path() + "/trunc.tsev";
+
+  // Cut mid-frame: definitely corrupt in non-follow mode.
+  ASSERT_TRUE(writeFileBytes(
+                  path, {bytes.begin(), bytes.end() - 3})
+                  .isOk());
+  {
+    stream::FileTailSource source(path, /*follow=*/false);
+    StreamHarness h(pg, 2, 0, 10);
+    EXPECT_FALSE(h.run(source).isOk());
+  }
+
+  // Cut exactly at a frame boundary (no end marker): a clean EOF; the run
+  // pads the remaining plan with carried copies.
+  ASSERT_TRUE(writeFileBytes(path, bytes).isOk());
+  {
+    stream::FileTailSource source(path, /*follow=*/false);
+    StreamHarness h(pg, 3, 0, 10);
+    EXPECT_TRUE(h.run(source).isOk());
+    EXPECT_EQ(h.ingestor().sealedTimesteps(), 3u);
+  }
+}
+
+TEST(StreamSource, MissingFileIsAnError) {
+  auto tmpl = tinyTemplate();
+  const auto pg = partitionGraph(tmpl, 1);
+  stream::FileTailSource source("/nonexistent/events.tsev",
+                                /*follow=*/false);
+  StreamHarness h(pg, 1, 0, 10);
+  EXPECT_FALSE(h.run(source).isOk());
+  EXPECT_EQ(h.ingestor().sealedTimesteps(), 0u);
+}
+
+TEST(StreamSource, FollowModeTailsFramesAppendedByAWriter) {
+  auto tmpl = tinyTemplate();
+  const auto pg = partitionGraph(tmpl, 1);
+  const std::vector<GraphEvent> events = {
+      activeEvent(0, 0, true), activeEvent(11, 1, true),
+      activeEvent(22, 0, false)};
+  const auto bytes = encodeAll(events);
+  const std::size_t split = 10;  // mid-frame: the tail must wait, not fail
+
+  testing::TempDir tmp{"tsg_stream_tail"};
+  std::filesystem::create_directories(tmp.path());
+  const std::string path = tmp.path() + "/tail.tsev";
+  ASSERT_TRUE(
+      writeFileBytes(path, {bytes.begin(), bytes.begin() + split}).isOk());
+
+  std::thread writer([&] {  // NOLINT(tsg-naked-thread)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out.write(reinterpret_cast<const char*>(bytes.data() + split),
+              static_cast<std::streamsize>(bytes.size() - split));
+  });
+
+  stream::FileTailSource source(path, /*follow=*/true,
+                                /*poll_interval_us=*/500);
+  StreamHarness h(pg, 3, 0, 10);
+  const Status status = h.run(source);
+  writer.join();
+  ASSERT_TRUE(status.isOk());
+  EXPECT_EQ(h.ingestor().eventsIngested(), events.size());
+  EXPECT_EQ(h.ingestor().sealedTimesteps(), 3u);
+  EXPECT_EQ(h.provider().sealedInstance(2).vertexCol(1).asBool()[0], 0u);
+}
+
+}  // namespace
+}  // namespace tsg

@@ -70,6 +70,49 @@ class TempDir {
   std::string path_;
 };
 
+// Three vertices, two undirected edges, one attribute of each flavor a
+// streaming/instance test needs (string-list, bool, double). Small enough
+// to hand-compute expected columns.
+inline GraphTemplatePtr tinyTemplate() {
+  GraphTemplateBuilder builder(/*directed=*/false);
+  builder.vertexSchema().add("tweets", AttrType::kStringList);
+  builder.vertexSchema().add("active", AttrType::kBool);
+  builder.edgeSchema().add("latency", AttrType::kDouble);
+  builder.addVertex(1);
+  builder.addVertex(2);
+  builder.addUndirectedEdge(0, 1, 2);
+  return share(unwrap(builder.build()));
+}
+
+// Reads every instance through both providers and compares all columns.
+inline void expectProvidersAgree(const PartitionedGraph& pg,
+                                 const TimeSeriesCollection& coll,
+                                 InstanceProvider& lazy) {
+  DirectInstanceProvider direct(pg, coll);
+  ASSERT_EQ(lazy.numInstances(), coll.numInstances());
+  EXPECT_EQ(lazy.t0(), coll.t0());
+  EXPECT_EQ(lazy.delta(), coll.delta());
+  for (PartitionId p = 0; p < pg.numPartitions(); ++p) {
+    for (Timestep t = 0; t < static_cast<Timestep>(coll.numInstances());
+         ++t) {
+      const auto& a = direct.instanceFor(p, t);
+      const auto& b = lazy.instanceFor(p, t);
+      ASSERT_EQ(a.timestep, b.timestep);
+      ASSERT_EQ(a.timestamp, b.timestamp);
+      ASSERT_EQ(a.vertex_cols.size(), b.vertex_cols.size());
+      ASSERT_EQ(a.edge_cols.size(), b.edge_cols.size());
+      for (std::size_t c = 0; c < a.vertex_cols.size(); ++c) {
+        EXPECT_EQ(a.vertex_cols[c], b.vertex_cols[c])
+            << "p=" << p << " t=" << t << " vcol=" << c;
+      }
+      for (std::size_t c = 0; c < a.edge_cols.size(); ++c) {
+        EXPECT_EQ(a.edge_cols[c], b.edge_cols[c])
+            << "p=" << p << " t=" << t << " ecol=" << c;
+      }
+    }
+  }
+}
+
 // A small connected road-like template with a "latency" edge attribute.
 inline GraphTemplatePtr smallRoad(std::uint32_t width = 8,
                                   std::uint32_t height = 8,

@@ -2,14 +2,16 @@
 //
 //   tsgcli generate --out=DIR [--kind=road|social] [--vertices=N]
 //          [--timesteps=T] [--partitions=K] [--workload=road|tweet]
-//          [--seed=S] [--closures=P] [--hit=P] [--packing=N] [--binning=N]
+//          [--seed=S] [--closures=P] [--hit=P] [--background=P]
+//          [--packing=N] [--binning=N]
 //   tsgcli inspect DIR
 //   tsgcli tdsp DIR [--source=V] [--no-while] [--closures] [--outputs]
 //   tsgcli meme DIR [--tag=#meme] [--outputs]
 //   tsgcli hashtag DIR [--tag=#meme]
 //   tsgcli pagerank DIR [--iters=N] [--top=N]
 //   tsgcli wcc DIR
-//   tsgcli check ALGO DIR [--runs=N] [--seed=S]
+//   tsgcli check ALGO DIR [--runs=N] [--seed=S] [--stream]
+//   tsgcli stream ALGO DIR [--events=FILE] [--verify]
 //   tsgcli analyze RUN.json
 //   tsgcli compare BASE.json CANDIDATE.json [--max-regress=PCT]
 //
@@ -58,12 +60,16 @@
 #include "generators/topology.h"
 #include "gofs/checkpoint.h"
 #include "gofs/dataset.h"
+#include "graph/collection.h"
 #include "metrics/analysis.h"
 #include "metrics/report.h"
 #include "partition/partitioner.h"
 #include "profile/advisor.h"
 #include "profile/profiler.h"
 #include "runtime/fault_injector.h"
+#include "stream/ingestor.h"
+#include "stream/replay.h"
+#include "stream/source.h"
 #include "telemetry/run_telemetry.h"
 #include "telemetry/timeline.h"
 #include "vertexcentric/programs.h"
@@ -124,8 +130,8 @@ int usage() {
       "usage: tsgcli <command> [args]\n"
       "  generate --out=DIR [--kind=road|social] [--vertices=N]\n"
       "           [--timesteps=T] [--partitions=K] [--workload=road|tweet]\n"
-      "           [--seed=S] [--closures=P] [--hit=P] [--packing=N]\n"
-      "           [--binning=N]\n"
+      "           [--seed=S] [--closures=P] [--hit=P] [--background=P]\n"
+      "           [--packing=N] [--binning=N]\n"
       "  inspect  DIR\n"
       "  tdsp     DIR [--source=V] [--no-while] [--closures] [--outputs]\n"
       "  meme     DIR [--tag=#meme] [--outputs]\n"
@@ -140,7 +146,18 @@ int usage() {
       "           runs ALGO N times under perturbed worker schedules with\n"
       "           the BSP protocol checker on; exit 1 if outputs diverge\n"
       "           (with --schedule=async, also runs the BSP reference once\n"
-      "            and requires the async digests to match it)\n"
+      "            and requires the async digests to match it; with\n"
+      "            --stream, every run replays the dataset through the\n"
+      "            streaming ingest pipeline and must match the cold batch\n"
+      "            BSP reference)\n"
+      "  stream   ALGO DIR [--events=FILE [--follow]] [--queue=N]\n"
+      "           [--max-staged=N] [--schedule=bsp|async] [--verify]\n"
+      "           continuous ingestion: replays an append-only event stream\n"
+      "           (default: the dataset's own instance diffs) through the\n"
+      "           bounded seal queue while ALGO runs incrementally over\n"
+      "           timesteps as they seal; prints the stream summary\n"
+      "           (--verify also runs the cold batch reference and exits 1\n"
+      "            unless the digests match)\n"
       "  analyze  RUN.json [--attrib] | --timeline=TIMELINE.json\n"
       "           --attrib: render the cost-attribution report (per-subgraph\n"
       "           table, hot vertices, per-timestep skew, partition advisor)\n"
@@ -375,6 +392,7 @@ int cmdGenerate(const Args& args) {
     options.num_timesteps = timesteps;
     options.seed = seed + 1;
     options.hit_probability = args.getDouble("hit", 0.1);
+    options.background_probability = args.getDouble("background", 0.01);
     collection = makeSirTweetInstances(tmpl, options);
   }
   if (!collection.isOk()) {
@@ -837,14 +855,14 @@ int cmdAnalyze(const Args& args) {
 // `stats_out`, when non-null, receives the run's RunStats (including any
 // armed attribution) so `check --json=` can persist a vertex-engine run —
 // the only CLI path that exercises the vertex-centric engines.
-Result<std::string> runAlgoDigest(const std::string& algo,
-                                  const GofsDataset& ds,
-                                  Schedule schedule,
-                                  RunStats* stats_out = nullptr) {
-  const auto& pg = ds.partitionedGraph();
+Result<std::string> runAlgoDigestOn(const std::string& algo,
+                                    const PartitionedGraph& pg,
+                                    InstanceProvider& provider,
+                                    Schedule schedule,
+                                    TimestepStream* stream = nullptr,
+                                    RunStats* stats_out = nullptr) {
   const auto& vertex_schema = pg.graphTemplate().vertexSchema();
   const auto& edge_schema = pg.graphTemplate().edgeSchema();
-  auto provider = ds.makeProvider();
   check::Digest d;
 
   if (algo == "tdsp" || algo == "sssp" || algo == "tdsp-vertex") {
@@ -865,8 +883,9 @@ Result<std::string> runAlgoDigest(const std::string& algo,
   if (algo == "tdsp") {
     TdspOptions options;
     options.schedule = schedule;
+    options.stream = stream;
     options.latency_attr = edge_schema.requireIndex(kLatencyAttr);
-    const auto run = runTdsp(pg, *provider, options);
+    const auto run = runTdsp(pg, provider, options);
     if (stats_out != nullptr) {
       *stats_out = run.exec.stats;
     }
@@ -878,8 +897,9 @@ Result<std::string> runAlgoDigest(const std::string& algo,
   } else if (algo == "meme") {
     MemeOptions options;
     options.schedule = schedule;
+    options.stream = stream;
     options.tweets_attr = vertex_schema.requireIndex(kTweetsAttr);
-    const auto run = runMemeTracking(pg, *provider, options);
+    const auto run = runMemeTracking(pg, provider, options);
     if (stats_out != nullptr) {
       *stats_out = run.exec.stats;
     }
@@ -889,8 +909,9 @@ Result<std::string> runAlgoDigest(const std::string& algo,
   } else if (algo == "hashtag") {
     HashtagOptions options;
     options.schedule = schedule;
+    options.stream = stream;
     options.tweets_attr = vertex_schema.requireIndex(kTweetsAttr);
-    const auto run = runHashtagAggregation(pg, *provider, options);
+    const auto run = runHashtagAggregation(pg, provider, options);
     if (stats_out != nullptr) {
       *stats_out = run.exec.stats;
     }
@@ -899,7 +920,8 @@ Result<std::string> runAlgoDigest(const std::string& algo,
   } else if (algo == "pagerank") {
     PageRankOptions options;
     options.schedule = schedule;
-    const auto run = runSubgraphPageRank(pg, *provider, options);
+    options.stream = stream;
+    const auto run = runSubgraphPageRank(pg, provider, options);
     if (stats_out != nullptr) {
       *stats_out = run.exec.stats;
     }
@@ -907,8 +929,9 @@ Result<std::string> runAlgoDigest(const std::string& algo,
   } else if (algo == "sssp") {
     SsspOptions options;
     options.schedule = schedule;
+    options.stream = stream;
     options.latency_attr = edge_schema.requireIndex(kLatencyAttr);
-    const auto run = runSubgraphSssp(pg, *provider, options);
+    const auto run = runSubgraphSssp(pg, provider, options);
     if (stats_out != nullptr) {
       *stats_out = run.exec.stats;
     }
@@ -916,7 +939,8 @@ Result<std::string> runAlgoDigest(const std::string& algo,
   } else if (algo == "wcc") {
     WccOptions options;
     options.schedule = schedule;
-    const auto run = runSubgraphWcc(pg, *provider, options);
+    options.stream = stream;
+    const auto run = runSubgraphWcc(pg, provider, options);
     if (stats_out != nullptr) {
       *stats_out = run.exec.stats;
     }
@@ -927,8 +951,14 @@ Result<std::string> runAlgoDigest(const std::string& algo,
   } else if (algo == "topn") {
     TopNOptions options;
     options.schedule = schedule;
+    options.stream = stream;
+    if (stream != nullptr) {
+      // Streaming serializes the timestep loop: sealed instances arrive in
+      // order, so the concurrent temporal mode cannot apply.
+      options.temporal_mode = TemporalMode::kSerial;
+    }
     options.tweets_attr = vertex_schema.requireIndex(kTweetsAttr);
-    const auto run = runTopActiveVertices(pg, *provider, options);
+    const auto run = runTopActiveVertices(pg, provider, options);
     if (stats_out != nullptr) {
       *stats_out = run.exec.stats;
     }
@@ -941,8 +971,9 @@ Result<std::string> runAlgoDigest(const std::string& algo,
   } else if (algo == "tdsp-vertex") {
     VertexTdspOptions options;
     options.schedule = schedule;
+    options.stream = stream;
     options.latency_attr = edge_schema.requireIndex(kLatencyAttr);
-    const auto run = runVertexTdsp(pg, *provider, options);
+    const auto run = runVertexTdsp(pg, provider, options);
     if (stats_out != nullptr) {
       *stats_out = run.exec.stats;
     }
@@ -974,6 +1005,74 @@ Result<std::string> runAlgoDigest(const std::string& algo,
   return d.hex();
 }
 
+// Batch entry point: reads every timestep straight from the dataset.
+Result<std::string> runAlgoDigest(const std::string& algo,
+                                  const GofsDataset& ds,
+                                  Schedule schedule,
+                                  RunStats* stats_out = nullptr) {
+  auto provider = ds.makeProvider();
+  return runAlgoDigestOn(algo, ds.partitionedGraph(), *provider, schedule,
+                         /*stream=*/nullptr, stats_out);
+}
+
+// Reassembles the dataset's instances into full-graph form and diffs them
+// into the append-only event stream a live ingestor would have consumed.
+Result<std::vector<stream::GraphEvent>> datasetEvents(const GofsDataset& ds) {
+  const auto& pg = ds.partitionedGraph();
+  auto provider = ds.makeProvider();
+  TimeSeriesCollection coll(pg.templatePtr(), provider->t0(),
+                            provider->delta());
+  for (Timestep t = 0; t < static_cast<Timestep>(provider->numInstances());
+       ++t) {
+    TSG_RETURN_IF_ERROR(coll.appendInstance(
+        stream::assembleInstance(pg, pg.graphTemplate(), *provider, t)));
+  }
+  return stream::eventsFromCollection(coll);
+}
+
+// Streamed entry point: replays `events` through an ingest thread and the
+// bounded SealQueue; the engine blocks on each timestep's seal and skips
+// clean subgraphs incrementally. sssp-vertex has no timestep loop (nothing
+// to stream), so it falls through to the batch path — harness sweeps can
+// still pass a uniform --stream.
+Result<std::string> runAlgoDigestStreamed(
+    const std::string& algo, const GofsDataset& ds, Schedule schedule,
+    const std::vector<stream::GraphEvent>& events,
+    RunStats* stats_out = nullptr) {
+  if (algo == "sssp-vertex") {
+    return runAlgoDigest(algo, ds, schedule, stats_out);
+  }
+  const auto& pg = ds.partitionedGraph();
+  auto batch = ds.makeProvider();
+  const std::size_t planned = batch->numInstances();
+
+  stream::SealQueue queue(4);
+  stream::IngestorOptions opts;
+  opts.planned_timesteps = static_cast<std::int32_t>(planned);
+  stream::StreamIngestor ingestor(pg.templatePtr(), pg, batch->t0(),
+                                  batch->delta(), queue, opts);
+  stream::StreamingInstanceProvider sp(pg, pg.templatePtr(), planned,
+                                       batch->t0(), batch->delta(), queue);
+  stream::MemoryEventSource source;
+  source.push(events);
+  source.close();
+
+  stream::IngestThread ingest(ingestor, source);
+  auto digest =
+      runAlgoDigestOn(algo, pg, sp, schedule, &sp, stats_out);
+  // tdsp's while-mode can stop before the planned horizon: drain whatever
+  // the ingest thread is still sealing so its backpressure block releases
+  // and the join below cannot deadlock.
+  stream::SealedTimestep leftover;
+  while (queue.pop(leftover)) {
+  }
+  const Status ingest_status = ingest.join();
+  if (!ingest_status.isOk()) {
+    return ingest_status;
+  }
+  return digest;
+}
+
 int cmdCheck(const Args& args) {
   if (args.positional.size() < 2) {
     std::fputs("tsgcli check: need <algo> and <dataset dir> arguments\n",
@@ -989,10 +1088,23 @@ int cmdCheck(const Args& args) {
   if (!parseSchedule(args, &schedule)) {
     return 2;
   }
+  const bool streamed = args.has("stream");
 
   // Protocol checking is on for every harness run; a violation prints its
   // diagnostic (rule, partition, superstep, flow) and aborts the process.
   check::setEnabled(true);
+
+  // --stream: every harness run replays this event stream through the
+  // ingest pipeline instead of reading the dataset directly. The events are
+  // diffed once up front so all runs see identical input.
+  std::vector<stream::GraphEvent> events;
+  if (streamed) {
+    auto ev = datasetEvents(ds.value());
+    if (!ev.isOk()) {
+      return fail(ev.status());
+    }
+    events = std::move(ev).value();
+  }
 
   check::DeterminismOptions options;
   options.runs = static_cast<std::int32_t>(args.getInt("runs", 3));
@@ -1002,11 +1114,12 @@ int cmdCheck(const Args& args) {
     return 2;
   }
 
-  // The async schedule's contract is digest-identity with BSP, not just
-  // internal determinism: run the checked BSP reference once (unperturbed)
-  // and require every async run to reproduce its digest exactly.
+  // The async schedule's contract is digest-identity with BSP, and the
+  // streamed pipeline's contract is digest-identity with the cold batch
+  // run: compute the unperturbed batch BSP reference once and require
+  // every harness run to reproduce its digest exactly.
   std::string bsp_reference;
-  if (schedule == Schedule::kAsync) {
+  if (schedule == Schedule::kAsync || streamed) {
     auto reference = runAlgoDigest(algo, ds.value(), Schedule::kBsp);
     if (!reference.isOk()) {
       return fail(reference.status());
@@ -1018,7 +1131,10 @@ int cmdCheck(const Args& args) {
   RunStats last_stats;
   const auto report = check::checkDeterminism(
       options, [&](std::int32_t) -> std::string {
-        auto digest = runAlgoDigest(algo, ds.value(), schedule, &last_stats);
+        auto digest =
+            streamed ? runAlgoDigestStreamed(algo, ds.value(), schedule,
+                                             events, &last_stats)
+                     : runAlgoDigest(algo, ds.value(), schedule, &last_stats);
         if (!digest.isOk()) {
           failed = digest.status();
           return "";
@@ -1047,18 +1163,148 @@ int cmdCheck(const Args& args) {
   if (!report.deterministic) {
     return 1;
   }
-  if (schedule == Schedule::kAsync && !report.runs.empty() &&
+  const bool gated = schedule == Schedule::kAsync || streamed;
+  const char* variant =
+      streamed ? (schedule == Schedule::kAsync ? "streamed async" : "streamed")
+               : "async";
+  if (gated && !report.runs.empty() &&
       report.runs.front().digest != bsp_reference) {
-    std::printf("async schedule DIVERGES from the BSP reference:\n"
-                "  bsp   %s\n  async %s\n",
-                bsp_reference.c_str(), report.runs.front().digest.c_str());
+    std::printf("%s run DIVERGES from the batch BSP reference:\n"
+                "  batch bsp  %s\n  %-10s %s\n",
+                variant, bsp_reference.c_str(), variant,
+                report.runs.front().digest.c_str());
     return 1;
   }
-  if (schedule == Schedule::kAsync) {
-    std::printf("async digest matches the BSP reference (%s)\n",
+  if (gated) {
+    std::printf("%s digest matches the batch BSP reference (%s)\n", variant,
                 bsp_reference.c_str());
   }
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// stream — the continuous-ingestion front door: feed an append-only event
+// stream through the ingestor and run ALGO over timesteps as they seal.
+// ---------------------------------------------------------------------------
+
+int cmdStream(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::fputs("tsgcli stream: need <algo> and <dataset dir> arguments\n",
+               stderr);
+    return 2;
+  }
+  const std::string& algo = args.positional[0];
+  auto ds = GofsDataset::open(args.positional[1]);
+  if (!ds.isOk()) {
+    return fail(ds.status());
+  }
+  Schedule schedule = Schedule::kBsp;
+  if (!parseSchedule(args, &schedule)) {
+    return 2;
+  }
+  if (algo == "sssp-vertex") {
+    std::fputs("tsgcli stream: sssp-vertex has no timestep loop to stream\n",
+               stderr);
+    return 2;
+  }
+
+  const auto& pg = ds.value().partitionedGraph();
+  auto batch = ds.value().makeProvider();
+  const std::size_t planned = batch->numInstances();
+
+  const auto queue_cap = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, args.getInt("queue", 4)));
+  stream::SealQueue queue(queue_cap);
+  stream::IngestorOptions opts;
+  opts.planned_timesteps = static_cast<std::int32_t>(planned);
+  opts.max_staged_cells = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, args.getInt("max-staged", 0)));
+  stream::StreamIngestor ingestor(pg.templatePtr(), pg, batch->t0(),
+                                  batch->delta(), queue, opts);
+  stream::StreamingInstanceProvider sp(pg, pg.templatePtr(), planned,
+                                       batch->t0(), batch->delta(), queue);
+
+  // Event source: --events=FILE replays a TSEV frame file (--follow keeps
+  // polling as a writer appends — a live tail). Without --events, the
+  // dataset's own instance diffs replay through a memory source, which
+  // makes `stream ALGO DIR --verify` a self-contained equivalence check.
+  std::unique_ptr<stream::EventSource> source;
+  const std::string events_path = args.get("events", "");
+  if (!events_path.empty()) {
+    source = std::make_unique<stream::FileTailSource>(events_path,
+                                                      args.has("follow"));
+  } else {
+    auto replay = datasetEvents(ds.value());
+    if (!replay.isOk()) {
+      return fail(replay.status());
+    }
+    auto mem = std::make_unique<stream::MemoryEventSource>();
+    mem->push(std::move(replay).value());
+    mem->close();
+    source = std::move(mem);
+  }
+
+  const auto skipped_before =
+      MetricsRegistry::global()
+          .counter("engine.subgraphs_skipped_incremental")
+          .value();
+  Stopwatch sw;
+  stream::IngestThread ingest(ingestor, *source);
+  RunStats stats;
+  auto digest = runAlgoDigestOn(algo, pg, sp, schedule, &sp, &stats);
+  // Release the ingest thread's backpressure block if the run stopped
+  // before the planned horizon (tdsp while-mode, engine error).
+  stream::SealedTimestep leftover;
+  while (queue.pop(leftover)) {
+  }
+  const Status ingest_status = ingest.join();
+  if (!ingest_status.isOk()) {
+    return fail(ingest_status);
+  }
+  if (!digest.isOk()) {
+    return fail(digest.status());
+  }
+  const std::uint64_t skipped =
+      MetricsRegistry::global()
+          .counter("engine.subgraphs_skipped_incremental")
+          .value() -
+      skipped_before;
+
+  std::printf("streamed %s over %s: %zu/%zu timesteps sealed (%.1f s)\n",
+              algo.c_str(), args.positional[1].c_str(), sp.sealedCount(),
+              planned, sw.elapsedSec());
+  // Machine-parseable block — ci/check_stream.py consumes it verbatim.
+  std::printf("stream summary:\n");
+  std::printf("  events_ingested: %llu\n",
+              static_cast<unsigned long long>(ingestor.eventsIngested()));
+  std::printf("  late_events: %llu\n",
+              static_cast<unsigned long long>(ingestor.lateEvents()));
+  std::printf("  sealed_timesteps: %llu\n",
+              static_cast<unsigned long long>(ingestor.sealedTimesteps()));
+  std::printf("  seal_queue_max_depth: %zu\n", queue.maxDepth());
+  std::printf("  seal_queue_capacity: %zu\n", queue.capacity());
+  std::printf("  subgraphs_skipped_incremental: %llu\n",
+              static_cast<unsigned long long>(skipped));
+  std::printf("  digest: %s\n", digest.value().c_str());
+
+  int rc = 0;
+  if (args.has("verify")) {
+    auto reference = runAlgoDigest(algo, ds.value(), Schedule::kBsp);
+    if (!reference.isOk()) {
+      return fail(reference.status());
+    }
+    const bool match = reference.value() == digest.value();
+    std::printf("  batch_digest: %s\n", reference.value().c_str());
+    std::printf("  digest_match: %s\n", match ? "yes" : "no");
+    if (!match) {
+      std::fputs("tsgcli stream: streamed digest DIVERGES from the cold "
+                 "batch run\n",
+                 stderr);
+      rc = 1;
+    }
+  }
+  printRunFooter(stats);
+  return rc;
 }
 
 // ---------------------------------------------------------------------------
@@ -1300,6 +1546,9 @@ int dispatch(const std::string& command, const Args& args) {
   if (command == "check") {
     return cmdCheck(args);
   }
+  if (command == "stream") {
+    return cmdStream(args);
+  }
   if (command == "analyze") {
     return cmdAnalyze(args);
   }
@@ -1382,7 +1631,8 @@ int main(int argc, char** argv) {
   telemetry_options.label = command;
   const bool run_command = command == "tdsp" || command == "meme" ||
                            command == "hashtag" || command == "pagerank" ||
-                           command == "wcc" || command == "check";
+                           command == "wcc" || command == "check" ||
+                           command == "stream";
   RunTelemetry telemetry(run_command ? telemetry_options
                                      : RunTelemetryOptions{});
   if (telemetry.armed()) {
